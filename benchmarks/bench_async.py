@@ -1,0 +1,89 @@
+"""E8 — asynchronous exceptions (Section 5.1).
+
+Regenerates: (a) the interception table — events injected at different
+points are caught by ``getException`` or abort the program; (b) the
+pay-as-you-go cost of arming the event machinery (an event plan that
+never fires must cost only the per-step schedule check); (c) timeout
+watchdog behaviour.
+"""
+
+import pytest
+
+from repro.api import compile_expr, run_io_source
+from repro.core.excset import CONTROL_C, TIMEOUT
+from repro.io.events import control_c_at, timeout_after
+from repro.machine import Machine
+from repro.prelude.loader import machine_env
+
+GUARDED = (
+    "getException (sum (enumFromTo 1 2000)) >>= (\\r -> case r of "
+    "{ OK v -> putStr \"ok\"; Bad e -> putStr (showException e) })"
+)
+UNGUARDED = "putStr (showInt (sum (enumFromTo 1 2000)))"
+PURE = compile_expr("sum (enumFromTo 1 2000)")
+
+
+class TestInterception:
+    @pytest.mark.parametrize("step", [50, 500, 5_000])
+    def test_event_during_evaluation_is_caught(self, step):
+        result = run_io_source(GUARDED, events=control_c_at(step))
+        assert result.ok
+        assert result.stdout == "ControlC"
+
+    def test_event_after_completion_is_unobservable(self):
+        result = run_io_source(
+            GUARDED, events=control_c_at(100_000_000)
+        )
+        assert result.stdout == "ok"
+
+    @pytest.mark.parametrize("step", [50, 500])
+    def test_unguarded_program_aborts(self, step):
+        result = run_io_source(UNGUARDED, events=control_c_at(step))
+        assert result.status == "exception"
+        assert result.exc == CONTROL_C
+
+    def test_timeout_watchdog(self):
+        looping = (
+            "getException (let { spin = \\n -> spin (n + 1) } in spin 0)"
+            " >>= (\\r -> case r of { OK v -> putStr \"ok\"; "
+            "Bad e -> putStr (showException e) })"
+        )
+        result = run_io_source(
+            looping, fuel=30_000, timeout_as_exception=True
+        )
+        assert result.stdout == "Timeout"
+
+
+class TestPayAsYouGo:
+    def test_step_counts_identical_without_firing(self):
+        plain = Machine()
+        plain.eval(PURE, machine_env(plain))
+        armed = Machine(event_plan={10**9: CONTROL_C})
+        armed.eval(PURE, machine_env(armed))
+        assert plain.stats.steps == armed.stats.steps
+
+
+@pytest.mark.benchmark(group="E8-async")
+def test_bench_no_event_plan(benchmark):
+    def run():
+        machine = Machine()
+        return machine.eval(PURE, machine_env(machine))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E8-async")
+def test_bench_armed_but_silent(benchmark):
+    def run():
+        machine = Machine(event_plan={10**9: CONTROL_C})
+        return machine.eval(PURE, machine_env(machine))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E8-async")
+def test_bench_intercepted_interrupt(benchmark):
+    def run():
+        return run_io_source(GUARDED, events=control_c_at(500))
+
+    benchmark(run)

@@ -1,0 +1,160 @@
+"""E7 — why case needs exception-finding mode (Section 4.3).
+
+"The rather curious semantics is necessary, though, to validate
+transformations that change the order of evaluation, such as that
+given at the beginning of Section 4."
+
+Regenerates: the case-switching law verdicts under exception-finding
+vs naive case semantics, together with the measured cost of the mode:
+exploring alternatives on an exceptional scrutinee costs fuel that the
+naive rule does not pay — the "price" side of the design.
+"""
+
+import pytest
+
+from repro.baselines.fixed_order import naive_case_ctx
+from repro.core.denote import DenoteContext, denote
+from repro.core.laws import PAIR_BATTERY, check_law
+from repro.lang.match import flatten_case_patterns
+from repro.lang.parser import parse_expr
+
+LHS = flatten_case_patterns(
+    parse_expr(
+        "case x of { Tuple2 a b -> case y of { Tuple2 s t -> a + s } }"
+    )
+)
+RHS = flatten_case_patterns(
+    parse_expr(
+        "case y of { Tuple2 s t -> case x of { Tuple2 a b -> a + s } }"
+    )
+)
+BATTERIES = {"x": PAIR_BATTERY, "y": PAIR_BATTERY}
+
+# A case whose scrutinee is exceptional and whose branches are cheap /
+# expensive to explore (the cost knob).
+CHEAP_BRANCHES = flatten_case_patterns(
+    parse_expr(
+        "case raise DivideByZero of { True -> 1; False -> 2 }"
+    )
+)
+COSTLY_BRANCHES = flatten_case_patterns(
+    parse_expr(
+        "case raise DivideByZero of "
+        "{ True -> sum99 0; False -> sum99 0 }"
+    )
+)
+
+
+def _sum99_env(ctx):
+    from repro.core.denote import program_env
+    from repro.lang.match import flatten_program
+    from repro.lang.parser import parse_program
+
+    program = flatten_program(
+        parse_program(
+            "sum99 acc = sumGo 99 acc\n"
+            "sumGo n acc = if n == 0 then acc "
+            "else sumGo (n - 1) (acc + n)"
+        )
+    )
+    return program_env(program, ctx)
+
+
+class TestLawVerdicts:
+    def test_exception_finding_validates_case_switch(self):
+        report = check_law(
+            LHS, RHS, name="case-switch", var_batteries=BATTERIES
+        )
+        assert report.verdict == "identity"
+
+    def test_naive_mode_breaks_case_switch(self):
+        report = check_law(
+            LHS,
+            RHS,
+            name="case-switch-naive",
+            var_batteries=BATTERIES,
+            ctx_factory=naive_case_ctx,
+        )
+        assert report.verdict == "unsound"
+
+    def test_counterexample_is_the_papers(self):
+        report = check_law(
+            LHS,
+            RHS,
+            name="case-switch-naive",
+            var_batteries=BATTERIES,
+            ctx_factory=naive_case_ctx,
+        )
+        # Both scrutinees exceptional; the order determines which
+        # exception is "encountered" — exactly Section 4's opener.
+        ce = report.counterexample
+        assert ce is not None
+        from repro.core.domains import Bad
+
+        bads = [v for v in ce.values() if isinstance(v, Bad)]
+        assert len(bads) >= 1
+
+
+class TestExplorationCost:
+    """The mode's price: branch exploration burns fuel proportional to
+    branch cost, but ONLY when the scrutinee is exceptional."""
+
+    def _steps(self, expr, ctx_factory, with_env=False):
+        ctx = ctx_factory()
+        env = _sum99_env(ctx) if with_env else {}
+        denote(expr, env, ctx)
+        return ctx.steps
+
+    def test_exploration_costs_fuel(self):
+        finding = self._steps(
+            COSTLY_BRANCHES, lambda: DenoteContext(fuel=200_000), True
+        )
+        naive = self._steps(
+            COSTLY_BRANCHES, lambda: naive_case_ctx(200_000), True
+        )
+        assert finding > naive * 5
+
+    def test_normal_scrutinee_pays_nothing_extra(self):
+        normal = flatten_case_patterns(
+            parse_expr("case True of { True -> 1; False -> 2 }")
+        )
+        finding = self._steps(
+            normal, lambda: DenoteContext(fuel=10_000)
+        )
+        naive = self._steps(normal, lambda: naive_case_ctx(10_000))
+        assert finding == naive
+
+    def test_cheap_branches_cheap_exploration(self):
+        finding = self._steps(
+            CHEAP_BRANCHES, lambda: DenoteContext(fuel=10_000)
+        )
+        assert finding < 20
+
+
+@pytest.mark.benchmark(group="E7-case-mode")
+def test_bench_exception_finding_case(benchmark):
+    def run():
+        ctx = DenoteContext(fuel=200_000)
+        env = _sum99_env(ctx)
+        return denote(COSTLY_BRANCHES, env, ctx)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E7-case-mode")
+def test_bench_naive_case(benchmark):
+    def run():
+        ctx = naive_case_ctx(200_000)
+        env = _sum99_env(ctx)
+        return denote(COSTLY_BRANCHES, env, ctx)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E7-case-mode")
+def test_bench_law_check(benchmark):
+    benchmark(
+        lambda: check_law(
+            LHS, RHS, name="case-switch", var_batteries=BATTERIES
+        )
+    )

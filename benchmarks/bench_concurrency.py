@@ -1,0 +1,129 @@
+"""Concurrency-extension benchmarks (the Section 4.4 closing remark).
+
+Shapes asserted:
+
+* the scheduler adds only bounded overhead over the sequential
+  executor on single-threaded programs (pay-as-you-go again);
+* MVar-synchronised results are schedule-invariant while raw output
+  interleavings are not — the concurrency analogue of "the observed
+  exception varies, the denoted set does not".
+"""
+
+import pytest
+
+from repro.api import compile_expr, run_io_source
+from repro.io.concurrent import (
+    Scheduler,
+    run_concurrent_program,
+    run_concurrent_source,
+)
+from repro.machine import Cell, Machine
+from repro.prelude.loader import machine_env
+
+SEQUENTIAL = (
+    "mapM_ (\\n -> putStr (showInt n)) (enumFromTo 1 30)"
+)
+
+PIPELINE = """
+produce :: MVar Int -> Int -> IO Unit
+produce chan n =
+  if n == 0 then returnIO Unit
+  else do
+    putMVar chan (n * n)
+    produce chan (n - 1)
+
+consume :: MVar Int -> Int -> Int -> IO Unit
+consume chan n acc =
+  if n == 0 then putStr (showInt acc)
+  else do
+    v <- takeMVar chan
+    consume chan (n - 1) (acc + v)
+
+main = do
+  chan <- newEmptyMVar
+  forkIO (produce chan 25)
+  consume chan 25 0
+"""
+
+
+class TestShapes:
+    def test_single_thread_parity_with_sequential_executor(self):
+        sequential = run_io_source(SEQUENTIAL)
+        concurrent = run_concurrent_source(SEQUENTIAL)
+        assert concurrent.ok
+        assert concurrent.stdout == sequential.stdout
+
+    def test_scheduler_step_overhead_bounded(self):
+        machine_a = Machine()
+        from repro.io.run import IOExecutor
+
+        executor = IOExecutor(machine=machine_a)
+        executor.run_cell(
+            Cell(compile_expr(SEQUENTIAL), machine_env(machine_a))
+        )
+        machine_b = Machine()
+        scheduler = Scheduler(machine=machine_b)
+        scheduler.run_cell(
+            Cell(compile_expr(SEQUENTIAL), machine_env(machine_b))
+        )
+        # Same machine work modulo a small constant factor.
+        ratio = machine_b.stats.steps / machine_a.stats.steps
+        assert ratio < 1.5
+
+    def test_synchronised_result_schedule_invariant(self):
+        outs = {
+            run_concurrent_program(PIPELINE, quantum=q).stdout
+            for q in (1, 2, 5, 50)
+        }
+        assert outs == {"5525"}
+
+    def test_unsynchronised_interleavings_vary(self):
+        race = (
+            'forkIO (mapM_ (\\c -> putChar c) [\'a\', \'b\', \'c\'] '
+            ">> returnIO Unit) >> "
+            "(newEmptyMVar >>= (\\m -> "
+            "mapM_ (\\c -> putChar c) ['1', '2', '3'] >> "
+            "forkIO (putMVar m Unit) >> takeMVar m))"
+        )
+        outs = {
+            run_concurrent_source(race, quantum=q).stdout
+            for q in (1, 2, 100)
+        }
+        assert len(outs) >= 2
+        assert all(sorted(o) == sorted("abc123") for o in outs)
+
+
+@pytest.mark.benchmark(group="concurrency")
+def test_bench_sequential_executor(benchmark):
+    expr = compile_expr(SEQUENTIAL)
+
+    def run():
+        from repro.io.run import IOExecutor
+
+        machine = Machine()
+        return IOExecutor(machine=machine).run_cell(
+            Cell(expr, machine_env(machine))
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="concurrency")
+def test_bench_scheduler_single_thread(benchmark):
+    expr = compile_expr(SEQUENTIAL)
+
+    def run():
+        machine = Machine()
+        return Scheduler(machine=machine).run_cell(
+            Cell(expr, machine_env(machine))
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="concurrency")
+@pytest.mark.parametrize("quantum", [1, 10])
+def test_bench_pipeline(benchmark, quantum):
+    benchmark(
+        lambda: run_concurrent_program(PIPELINE, quantum=quantum)
+    )

@@ -1,0 +1,132 @@
+"""E6 — the effect-analysis comparison (Section 6).
+
+"Compilers often attempt to infer the set of possible exceptions with a
+view to lifting these restrictions, but their power of inference is
+limited; for example, they must be pessimistic across module boundaries
+... We claim that our design retains almost all useful opportunities
+for transformation ... No separate effect analysis is required."
+
+Regenerates: for a corpus of realistic programs, the fraction of
+reordering sites (strict binary primitives and call-by-value
+candidates) that
+
+  * the imprecise semantics licenses:      always 100%
+  * the fixed-order + effect analysis licenses: a small fraction
+
+The benchmark times the analysis itself.
+"""
+
+import pytest
+
+from repro.analysis.effects import (
+    program_effect_env,
+    transformable_sites,
+)
+from repro.api import compile_expr, compile_program
+from repro.prelude.loader import prelude_program
+
+CORPUS = {
+    "arith-loop": (
+        "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } "
+        "in go 100"
+    ),
+    "pipeline": (
+        "sum (map (\\x -> x * x + 1) (enumFromTo 1 50))"
+    ),
+    "pure-comparisons": (
+        "case 1 == 2 of { True -> 1 < 2; False -> 3 <= 4 }"
+    ),
+    "mixed": (
+        "let { safe = \\b -> b == 0 ; "
+        "risky = \\a b -> a `div` b } "
+        "in case safe 0 of { True -> 1; False -> risky 10 2 }"
+    ),
+}
+
+
+def _ratio(expr):
+    sites = transformable_sites(expr)
+    if not sites:
+        return None
+    enabled = sum(1 for s in sites if s.safe_under_fixed_order)
+    return len(sites), enabled
+
+
+class TestEnabledSiteRatios:
+    def test_imprecise_always_100_percent(self):
+        # By construction: the imprecise semantics needs no analysis —
+        # every site is legal to reorder (E3 proves the legality).
+        for name, source in CORPUS.items():
+            sites = transformable_sites(compile_expr(source))
+            assert len(sites) > 0, name
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(CORPUS) - {"pure-comparisons"})
+    )
+    def test_fixed_order_is_pessimistic(self, name):
+        # (pure-comparisons is excluded: it is the deliberately
+        # analysable control — literal comparisons are provably safe,
+        # so the analysis rightly licenses all of them.)
+        total, enabled = _ratio(compile_expr(CORPUS[name]))
+        assert enabled < total, (
+            f"{name}: effect analysis licensed everything?"
+        )
+
+    def test_arithmetic_sites_essentially_all_blocked(self):
+        total, enabled = _ratio(compile_expr(CORPUS["arith-loop"]))
+        assert enabled / total < 0.25
+
+    def test_comparison_only_code_fares_better(self):
+        total, enabled = _ratio(
+            compile_expr(CORPUS["pure-comparisons"])
+        )
+        assert enabled / total > 0.5
+
+    def test_prelude_wide_ratio(self):
+        # Over the whole prelude: the aggregate fraction the baseline
+        # can reorder.  The paper's "almost all" vs "limited" contrast.
+        prelude = prelude_program()
+        env = program_effect_env(prelude)
+        total = 0
+        enabled = 0
+        for _name, rhs in prelude.binds:
+            for site in transformable_sites(rhs, env):
+                total += 1
+                enabled += site.safe_under_fixed_order
+        assert total > 100
+        ratio = enabled / total
+        assert ratio < 0.35, f"prelude enabled ratio {ratio:.2f}"
+
+    def test_print_table(self, capsys):
+        with capsys.disabled():
+            print()
+            print(
+                f"{'program':20s}{'sites':>8s}{'fixed-order':>14s}"
+                f"{'imprecise':>12s}"
+            )
+            for name, source in sorted(CORPUS.items()):
+                total, enabled = _ratio(compile_expr(source))
+                print(
+                    f"{name:20s}{total:>8d}"
+                    f"{enabled / total:>13.0%}{1.0:>12.0%}"
+                )
+
+
+@pytest.mark.benchmark(group="E6-effects")
+def test_bench_effect_analysis_prelude(benchmark):
+    prelude = prelude_program()
+
+    def run():
+        env = program_effect_env(prelude)
+        return [
+            transformable_sites(rhs, env)
+            for _name, rhs in prelude.binds
+        ]
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E6-effects")
+def test_bench_site_discovery(benchmark):
+    exprs = [compile_expr(src) for src in CORPUS.values()]
+    benchmark(lambda: [transformable_sites(e) for e in exprs])

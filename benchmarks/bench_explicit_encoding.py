@@ -1,0 +1,112 @@
+"""E2 — the explicit ``ExVal`` encoding "forces a test-and-propagate at
+every call site, with a substantial cost in code size and speed"
+(Section 2.2).
+
+Regenerates the comparison rows: for each workload,
+  native machine  vs  ExVal-encoded program (same machine)
+reporting code size (AST nodes), machine steps, allocations, and
+wall-clock time.  The *shape* the paper predicts: the encoding loses on
+every axis, by a substantial factor.
+"""
+
+import pytest
+
+from benchmarks.conftest import WORKLOADS, run_on_machine
+from repro.api import compile_expr
+from repro.encoding import encode_expr
+from repro.lang.ast import expr_size
+from repro.machine import Machine
+from repro.prelude.loader import machine_env
+
+# Expression-shaped, prelude-free workloads (the encodable fragment).
+ENCODABLE = {
+    "sum-recursive": (
+        "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } "
+        "in go 300"
+    ),
+    "fib": (
+        "let { fib = \\n -> if n < 2 then n "
+        "else fib (n - 1) + fib (n - 2) } in fib 13"
+    ),
+    "nested-arith": (
+        "let { f = \\a b -> (a + b) * (a - b) } "
+        "in f 3 4 + f 5 6 + f 7 8 + f (f 1 2) (f 3 4)"
+    ),
+    "case-heavy": (
+        "let { classify = \\n -> case n `mod` 3 of "
+        "{ 0 -> 1; 1 -> 2; _ -> 3 } ; "
+        "go = \\n -> if n == 0 then 0 "
+        "else classify n + go (n - 1) } in go 200"
+    ),
+}
+
+
+def _native(expr):
+    machine = Machine()
+    machine.eval(expr, {})
+    return machine
+
+
+def _encoded(expr):
+    machine = Machine()
+    machine.eval(expr, {})
+    return machine
+
+
+@pytest.fixture(params=sorted(ENCODABLE), ids=sorted(ENCODABLE))
+def encodable(request):
+    return request.param
+
+
+class TestEncodingCosts:
+    @pytest.mark.parametrize("name", sorted(ENCODABLE))
+    def test_code_size_blowup(self, name):
+        expr = compile_expr(ENCODABLE[name])
+        encoded = encode_expr(expr)
+        ratio = expr_size(encoded) / expr_size(expr)
+        assert ratio > 2.0, f"{name}: size ratio only {ratio:.2f}"
+
+    @pytest.mark.parametrize("name", sorted(ENCODABLE))
+    def test_step_count_blowup(self, name):
+        expr = compile_expr(ENCODABLE[name])
+        encoded = encode_expr(expr)
+        native = _native(expr)
+        enc = _encoded(encoded)
+        ratio = enc.stats.steps / native.stats.steps
+        assert ratio > 1.4, f"{name}: step ratio only {ratio:.2f}"
+
+    @pytest.mark.parametrize("name", sorted(ENCODABLE))
+    def test_allocation_blowup(self, name):
+        expr = compile_expr(ENCODABLE[name])
+        encoded = encode_expr(expr)
+        native = _native(expr)
+        enc = _encoded(encoded)
+        assert enc.stats.allocations > native.stats.allocations
+
+    @pytest.mark.parametrize("name", sorted(ENCODABLE))
+    def test_same_answer(self, name):
+        from repro.machine.values import VCon, VInt
+
+        expr = compile_expr(ENCODABLE[name])
+        encoded = encode_expr(expr)
+        native_value = Machine().eval(expr, {})
+        machine = Machine()
+        encoded_value = machine.eval(encoded, {})
+        assert isinstance(encoded_value, VCon)
+        assert encoded_value.name == "OK"
+        assert (
+            encoded_value.args[0].force(machine).value
+            == native_value.value
+        )
+
+
+@pytest.mark.benchmark(group="E2-encoding")
+def test_bench_native(benchmark, encodable):
+    expr = compile_expr(ENCODABLE[encodable])
+    benchmark(lambda: Machine().eval(expr, {}))
+
+
+@pytest.mark.benchmark(group="E2-encoding")
+def test_bench_exval_encoded(benchmark, encodable):
+    expr = encode_expr(compile_expr(ENCODABLE[encodable]))
+    benchmark(lambda: Machine().eval(expr, {}))

@@ -1,0 +1,125 @@
+"""E5 — imprecision in practice (Section 3.5): "if the program is
+recompiled with different optimisation settings, then indeed the order
+of evaluation might change, so a different exception might be
+encountered first, and hence the exception returned by getException
+might change."
+
+Regenerates: the table
+  (optimisation level / strategy)  ->  observed exception
+for a program whose denotation is a multi-exception set, with the
+soundness column: every observation is a member of the denoted set.
+Also covers E10's blackhole knob (detected NonTermination is a member
+of ⊥'s set).
+"""
+
+import pytest
+
+from repro.api import compile_expr, denote_source
+from repro.core.domains import Bad
+from repro.machine import Exceptional, Machine, observe
+from repro.machine.strategy import (
+    LeftToRight,
+    RightToLeft,
+    Shuffled,
+    standard_strategies,
+)
+from repro.prelude.loader import machine_env
+from repro.transform.pipeline import O0, O1, O2, O2_commuted
+
+FAULTY = '(1 `div` 0) + (error "Urk" + raise Overflow)'
+
+LEVELS = [O0, O1, O2, O2_commuted()]
+
+
+def _observe(expr, strategy):
+    machine = Machine(strategy=strategy)
+    return observe(expr, env=machine_env(machine), machine=machine)
+
+
+@pytest.fixture(scope="module")
+def denoted():
+    value = denote_source(FAULTY)
+    assert isinstance(value, Bad)
+    return value.excs
+
+
+class TestImprecisionTable:
+    def test_multiple_distinct_observations(self, denoted):
+        observed = set()
+        for level in LEVELS:
+            expr = level.optimise(compile_expr(FAULTY))
+            for strategy in standard_strategies():
+                out = _observe(expr, strategy)
+                assert isinstance(out, Exceptional)
+                observed.add(out.exc)
+        # The imprecision is real: at least two distinct members of
+        # the set are observable across configurations ...
+        assert len(observed) >= 2
+
+    def test_every_observation_is_denoted(self, denoted):
+        for level in LEVELS:
+            expr = level.optimise(compile_expr(FAULTY))
+            for strategy in standard_strategies():
+                out = _observe(expr, strategy)
+                assert out.exc in denoted, (
+                    f"{level}/{strategy}: {out.exc} not in {denoted}"
+                )
+
+    def test_same_configuration_is_reproducible(self):
+        expr = O2.optimise(compile_expr(FAULTY))
+        first = _observe(expr, Shuffled(3))
+        second = _observe(expr, Shuffled(3))
+        assert first.exc == second.exc
+
+    def test_denotation_is_optimisation_invariant(self, denoted):
+        # The SET does not change with the optimiser — only the
+        # representative does.
+        from repro.core.denote import DenoteContext, denote
+        from repro.prelude.loader import denote_env
+
+        for level in LEVELS:
+            expr = level.optimise(compile_expr(FAULTY))
+            ctx = DenoteContext(fuel=100_000)
+            value = denote(expr, denote_env(ctx), ctx)
+            assert isinstance(value, Bad)
+            # optimisation may only refine (shrink) the set
+            assert value.excs.superset_of(denoted) or denoted.superset_of(
+                value.excs
+            )
+
+    def test_blackhole_observation_in_bottom_set(self):
+        # E10: black = black + 1 reported as NonTermination, which is
+        # a member of the denoted ⊥ set.
+        source = "let { black = black + 1 } in black"
+        denoted = denote_source(source, fuel=20_000)
+        out = _observe(compile_expr(source), LeftToRight())
+        assert isinstance(out, Exceptional)
+        assert out.exc in denoted.excs
+
+    def test_print_table(self, capsys, denoted):
+        with capsys.disabled():
+            print()
+            print(f"denoted set: {denoted}")
+            print(f"{'level':12s}", end="")
+            for strategy in standard_strategies():
+                print(f"{strategy.name:>20s}", end="")
+            print()
+            for level in LEVELS:
+                expr = level.optimise(compile_expr(FAULTY))
+                print(f"{level.name:12s}", end="")
+                for strategy in standard_strategies():
+                    out = _observe(expr, strategy)
+                    print(f"{out.exc.name:>20s}", end="")
+                print()
+
+
+@pytest.mark.benchmark(group="E5-imprecision")
+@pytest.mark.parametrize("level", LEVELS, ids=lambda lv: lv.name)
+def test_bench_optimise_and_run(benchmark, level):
+    expr = compile_expr(FAULTY)
+
+    def run():
+        optimised = level.optimise(expr)
+        return _observe(optimised, LeftToRight())
+
+    benchmark(run)

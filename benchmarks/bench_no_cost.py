@@ -1,0 +1,109 @@
+"""E1 — "programs that don't invoke exceptions ... run with unchanged
+efficiency" (Sections 2.3 and 3.3).
+
+The stack-trimming implementation makes the exception machinery
+pay-as-you-go: arming a top-level ``getException`` handler around a
+pure workload must not change the workload's step count, and its
+wall-clock cost must be within noise.  Contrast with the explicit
+encoding (E2), where every call site pays.
+
+Regenerates: the efficiency claim's two rows —
+  (a) bare workload        vs  (b) getException-guarded workload
+with identical machine step counts.
+"""
+
+import pytest
+
+from benchmarks.conftest import WORKLOADS, compile_workload, run_on_machine
+from repro.api import compile_expr
+from repro.io.run import IOExecutor
+from repro.lang.ast import Program
+from repro.machine import Cell, Machine
+from repro.machine.eval import program_env
+from repro.prelude.loader import machine_env
+
+# The handler is pure overhead: it wraps the WHOLE workload once.
+GUARDED_TEMPLATE = (
+    "getException ({body}) >>= (\\r -> returnIO r)"
+)
+
+
+def _run_bare(compiled):
+    value, machine = run_on_machine(compiled)
+    return machine.stats.steps
+
+
+def _run_guarded(name):
+    body = WORKLOADS[name]
+    if "Leaf" in body:
+        pytest.skip("guarded variant uses expression workloads only")
+    expr = compile_expr(GUARDED_TEMPLATE.format(body=body))
+    machine = Machine()
+    executor = IOExecutor(machine=machine)
+    result = executor.run_cell(Cell(expr, machine_env(machine)))
+    assert result.ok
+    return machine.stats.steps
+
+
+class TestStepParity:
+    """The structural half of the claim: step counts differ only by
+    the constant handler overhead (a handful of steps), independent of
+    workload size."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_constant_overhead(self, name):
+        if "Leaf" in WORKLOADS[name]:
+            pytest.skip("expression workloads only")
+        bare = _run_bare(compile_workload(name))
+        guarded = _run_guarded(name)
+        overhead = guarded - bare
+        assert 0 <= overhead <= 25, (
+            f"{name}: guard overhead {overhead} steps is not constant"
+        )
+
+    def test_overhead_independent_of_workload_size(self):
+        small = compile_expr(
+            "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } "
+            "in go 50"
+        )
+        big = compile_expr(
+            "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } "
+            "in go 800"
+        )
+        overheads = []
+        for body, label in ((small, "go 50"), (big, "go 800")):
+            bare_steps = _run_bare(body)
+            machine = Machine()
+            guarded = compile_expr(
+                GUARDED_TEMPLATE.format(
+                    body="let { go = \\n -> if n == 0 then 0 "
+                    "else n + go (n - 1) } in "
+                    + label
+                )
+            )
+            executor = IOExecutor(machine=machine)
+            executor.run_cell(Cell(guarded, machine_env(machine)))
+            overheads.append(machine.stats.steps - bare_steps)
+        assert overheads[0] == overheads[1]
+
+
+@pytest.mark.benchmark(group="E1-no-cost")
+def test_bench_bare_workload(benchmark, workload):
+    compiled = compile_workload(workload)
+    benchmark(lambda: run_on_machine(compiled))
+
+
+@pytest.mark.benchmark(group="E1-no-cost")
+def test_bench_guarded_workload(benchmark, workload):
+    if "Leaf" in WORKLOADS[workload]:
+        pytest.skip("expression workloads only")
+    expr = compile_expr(
+        GUARDED_TEMPLATE.format(body=WORKLOADS[workload])
+    )
+
+    def run():
+        machine = Machine()
+        executor = IOExecutor(machine=machine)
+        return executor.run_cell(Cell(expr, machine_env(machine)))
+
+    benchmark(run)

@@ -1,0 +1,107 @@
+"""E4 — strictness analysis, "the crucial transformation" (Section 3.4).
+
+Call-by-need builds long chains of unevaluated accumulator thunks; the
+strictness-driven call-by-value rewrite evaluates them at the call,
+flattening the chain.  Under the imprecise semantics the rewrite is a
+checked identity (see tests/transform) even though it *reorders*
+exception discovery; under the fixed-order baseline it is unsound
+unless the argument provably cannot raise — which, with checked
+arithmetic, is essentially never (E6).
+
+Regenerates: the claim's measurement rows — max thunk-chain depth and
+wall-clock, lazy vs strictified, on accumulator loops.
+"""
+
+import pytest
+
+from repro.analysis.strictness import analyse_program
+from repro.api import compile_program
+from repro.machine import Machine
+from repro.machine.eval import program_env
+from repro.machine.values import VInt
+from repro.prelude.loader import machine_env
+from repro.transform.pipeline import O0, O2_strict
+
+ACCUMULATOR = """
+go :: Int -> Int -> Int
+go n acc = if n == 0 then acc else go (n - 1) (acc + n)
+
+main = go {N} 0
+"""
+
+SUM_LEN = """
+walk :: [Int] -> Int -> Int
+walk xs acc = case xs of
+                Nil -> acc
+                (y:ys) -> walk ys (acc + y)
+
+main = walk (enumFromTo 1 {N}) 0
+"""
+
+
+def _prepare(source, n, strict):
+    program = compile_program(source.replace("{N}", str(n)))
+    if strict:
+        env = analyse_program(program)
+        program = O2_strict(env).optimise_program(program)
+    return program
+
+
+def _run(program):
+    machine = Machine()
+    env = program_env(program, machine, machine_env(machine))
+    value = env["main"].force(machine)
+    return value, machine
+
+
+class TestStrictnessPayoff:
+    @pytest.mark.parametrize("source", [ACCUMULATOR, SUM_LEN],
+                             ids=["go-loop", "list-walk"])
+    def test_same_answer(self, source):
+        lazy_value, _ = _run(_prepare(source, 300, strict=False))
+        strict_value, _ = _run(_prepare(source, 300, strict=True))
+        assert isinstance(lazy_value, VInt)
+        assert lazy_value.value == strict_value.value
+
+    def test_thunk_chain_flattened(self):
+        _, lazy = _run(_prepare(ACCUMULATOR, 500, strict=False))
+        _, strict = _run(_prepare(ACCUMULATOR, 500, strict=True))
+        # Lazy: the accumulator chain forces ~N deep at the end.
+        # Strict: each addition is forced at the call, O(1) chain.
+        assert lazy.stats.max_force_depth > 400
+        assert strict.stats.max_force_depth < 50
+        ratio = lazy.stats.max_force_depth / strict.stats.max_force_depth
+        assert ratio > 10
+
+    def test_depth_grows_linearly_only_when_lazy(self):
+        depths = {}
+        for n in (100, 400):
+            _, lazy = _run(_prepare(ACCUMULATOR, n, strict=False))
+            _, strict = _run(_prepare(ACCUMULATOR, n, strict=True))
+            depths[n] = (
+                lazy.stats.max_force_depth,
+                strict.stats.max_force_depth,
+            )
+        lazy_growth = depths[400][0] - depths[100][0]
+        strict_growth = depths[400][1] - depths[100][1]
+        assert lazy_growth > 250
+        assert strict_growth <= 2
+
+    def test_analysis_found_the_strict_argument(self):
+        program = compile_program(ACCUMULATOR.replace("{N}", "10"))
+        env = analyse_program(program)
+        assert env["go"] == (True, True)
+
+
+@pytest.mark.benchmark(group="E4-strictness")
+@pytest.mark.parametrize("strict", [False, True], ids=["lazy", "strict"])
+def test_bench_accumulator(benchmark, strict):
+    program = _prepare(ACCUMULATOR, 400, strict=strict)
+    benchmark(lambda: _run(program))
+
+
+@pytest.mark.benchmark(group="E4-strictness")
+@pytest.mark.parametrize("strict", [False, True], ids=["lazy", "strict"])
+def test_bench_list_walk(benchmark, strict):
+    program = _prepare(SUM_LEN, 300, strict=strict)
+    benchmark(lambda: _run(program))

@@ -1,0 +1,130 @@
+"""E3 — the transformation algebra under three semantics (Sections 3.4
+/ 4.5 / Section 6's comparison).
+
+Regenerates the central table: each rewrite rule classified as
+identity / refinement / unsound under
+
+  * imprecise   (the paper's design)
+  * fixed-order (ML/FL baseline)
+  * naive-case  (no exception-finding mode — E7's knob)
+
+Shape asserted: the imprecise column validates every optimising rule;
+the baselines lose the reordering rules; the deliberately-broken
+``eta-reduce`` is rejected everywhere.  The benchmark times the
+verifier itself (the cost of checking a rule over the corpus).
+"""
+
+import pytest
+
+from repro.baselines.fixed_order import fixed_order_ctx, naive_case_ctx
+from repro.transform import (
+    AppOfCase,
+    BetaReduce,
+    CaseOfCase,
+    CaseOfKnownCon,
+    CaseSwitch,
+    CommonSubexpression,
+    CommutePrimArgs,
+    DeadAltRemoval,
+    DeadLetElimination,
+    EtaReduce,
+    InlineLet,
+    LetFloatFromApp,
+    LetFloatFromCase,
+    classify_on_corpus,
+    classify_transformation,
+    default_corpus,
+)
+
+OPTIMISING_RULES = [
+    BetaReduce(),
+    InlineLet(aggressive=True),
+    CommonSubexpression(),
+    DeadLetElimination(),
+    LetFloatFromApp(),
+    LetFloatFromCase(),
+    CaseOfKnownCon(),
+    CommutePrimArgs(),
+    CaseSwitch(),
+    CaseOfCase(),
+    AppOfCase(),
+    DeadAltRemoval(),
+]
+
+
+@pytest.fixture(scope="module")
+def table():
+    corpus = default_corpus()
+    rows = {}
+    for name, factory in (
+        ("imprecise", None),
+        ("fixed-order", fixed_order_ctx),
+        ("naive-case", naive_case_ctx),
+    ):
+        rows[name] = {
+            r.rule: r
+            for r in classify_on_corpus(
+                OPTIMISING_RULES + [EtaReduce()],
+                corpus=corpus,
+                ctx_factory=factory,
+                semantics_name=name,
+            )
+        }
+    return rows
+
+
+class TestTableShape:
+    def test_imprecise_validates_all_optimising_rules(self, table):
+        for rule in OPTIMISING_RULES:
+            assert table["imprecise"][rule.name].valid, rule.name
+
+    def test_fixed_order_loses_reordering_rules(self, table):
+        assert not table["fixed-order"]["commute-prim-args"].valid
+        assert not table["fixed-order"]["case-switch"].valid
+
+    def test_naive_case_loses_case_switch(self, table):
+        assert not table["naive-case"]["case-switch"].valid
+
+    def test_eta_reduce_rejected_everywhere(self, table):
+        for semantics in table:
+            assert not table[semantics]["eta-reduce"].valid
+
+    def test_imprecise_strictly_dominates(self, table):
+        count = {
+            semantics: sum(
+                1
+                for rule in OPTIMISING_RULES
+                if table[semantics][rule.name].valid
+            )
+            for semantics in table
+        }
+        assert count["imprecise"] == len(OPTIMISING_RULES)
+        assert count["imprecise"] > count["fixed-order"]
+        assert count["imprecise"] > count["naive-case"]
+
+    def test_print_table(self, table, capsys):
+        with capsys.disabled():
+            print()
+            print(f"{'rule':28s}", end="")
+            for semantics in table:
+                print(f"{semantics:>14s}", end="")
+            print()
+            for rule in OPTIMISING_RULES + [EtaReduce()]:
+                print(f"{rule.name:28s}", end="")
+                for semantics in table:
+                    print(
+                        f"{table[semantics][rule.name].worst:>14s}",
+                        end="",
+                    )
+                print()
+
+
+@pytest.mark.benchmark(group="E3-verify")
+@pytest.mark.parametrize(
+    "rule",
+    [BetaReduce(), CommutePrimArgs(), CaseSwitch()],
+    ids=lambda r: r.name,
+)
+def test_bench_classification(benchmark, rule):
+    corpus = default_corpus()
+    benchmark(lambda: classify_transformation(rule, corpus=corpus))

@@ -1,0 +1,69 @@
+"""Shared benchmark workloads and helpers.
+
+The paper has no numeric tables; each bench file regenerates one of
+its *claims* (experiment index in DESIGN.md, results recorded in
+EXPERIMENTS.md).  Workloads are small programs in the object language,
+chosen so each benchmark finishes in well under a second while still
+exercising the relevant machinery thousands of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import compile_expr, compile_program
+from repro.machine import Machine
+from repro.machine.eval import program_env
+from repro.prelude.loader import machine_env
+
+# Pure (exception-free in practice) workloads for E1/E2/E4.
+WORKLOADS = {
+    "sum-recursive": (
+        "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } "
+        "in go 400"
+    ),
+    "fib": (
+        "let { fib = \\n -> if n < 2 then n "
+        "else fib (n - 1) + fib (n - 2) } in fib 15"
+    ),
+    "list-pipeline": (
+        "sum (map (\\x -> x * x) (filter (\\x -> x `mod` 2 == 0) "
+        "(enumFromTo 1 200)))"
+    ),
+    "tree-fold": (
+        "let { build = \\n -> if n == 0 then Leaf 1 "
+        "else Node (build (n - 1)) (build (n - 1)) ; "
+        "total = \\t -> case t of { Leaf v -> v; "
+        "Node l r -> total l + total r } } in total (build 7)"
+    ),
+}
+
+TREE_DECLS = "data Tree = Leaf Int | Node Tree Tree\n"
+
+
+def compile_workload(name: str):
+    source = WORKLOADS[name]
+    if "Leaf" in source:
+        # tree workloads need the Tree declaration: compile as program
+        program = compile_program(TREE_DECLS + "main = " + source)
+        return program
+    return compile_expr(source)
+
+
+def run_on_machine(compiled, machine=None):
+    """Evaluate a compiled workload; returns (value, machine)."""
+    from repro.lang.ast import Expr, Program
+
+    if machine is None:
+        machine = Machine()
+    if isinstance(compiled, Program):
+        env = program_env(compiled, machine, machine_env(machine))
+        value = env["main"].force(machine)
+    else:
+        value = machine.eval(compiled, machine_env(machine))
+    return value, machine
+
+
+@pytest.fixture(params=sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def workload(request):
+    return request.param

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Asynchronous exceptions (Section 5.1).
+
+Asynchronous events — a user typing ^C, a timeout from an external
+monitor, resource exhaustion — are not part of any denotation ("they
+perhaps will not recur if the same program is run again"), yet
+``getException`` can catch them: the rule is
+
+    getException v  --?x-->  return (Bad x)
+
+discarding the value ``v`` entirely, even when ``v`` is a perfectly
+ordinary 42.  This script injects events at chosen machine steps and
+shows (a) interception by getException, (b) abort when uncaught, and
+(c) the "fascinating wrinkle": thunks abandoned by an interrupt are
+*resumable*, not poisoned.
+
+Run:  python examples/async_interrupts.py
+"""
+
+from repro.api import compile_expr, run_io_source
+from repro.core.excset import CONTROL_C
+from repro.io.events import control_c_at, timeout_after
+from repro.machine import Cell, Machine
+from repro.machine.heap import AsyncInterrupt
+from repro.prelude.loader import machine_env
+
+GUARDED = (
+    "getException (sum (enumFromTo 1 5000)) >>= (\\r -> case r of "
+    "{ OK v -> putStr (strAppend \"finished: \" (showInt v)); "
+    "Bad e -> putStr (strAppend \"interrupted: \" (showException e)) })"
+)
+
+
+def main() -> None:
+    print("== ^C intercepted by getException ==")
+    for step in (100, 1_000, 10_000_000):
+        result = run_io_source(GUARDED, events=control_c_at(step))
+        print(f"  ^C at step {step:>9,}: {result.stdout!r}")
+    print()
+
+    print("== Uncaught interrupt aborts the program ==")
+    result = run_io_source(
+        "putStr (showInt (sum (enumFromTo 1 5000)))",
+        events=control_c_at(200),
+    )
+    print(f"  status = {result.status}, exception = {result.exc}")
+    print()
+
+    print("== Timeout monitor (external watchdog) ==")
+    looping = (
+        "getException (let { spin = \\n -> spin (n + 1) } in spin 0) "
+        ">>= (\\r -> case r of { OK v -> putStr \"ok\"; "
+        "Bad e -> putStr (strAppend \"watchdog: \" (showException e)) })"
+    )
+    result = run_io_source(
+        looping, fuel=50_000, timeout_as_exception=True
+    )
+    print(f"  {result.stdout!r}  (the loop was abandoned)")
+    print()
+
+    print("== Resumable thunks (the Section 5.1 wrinkle) ==")
+    machine = Machine(event_plan={60: CONTROL_C})
+    env = machine_env(machine)
+    cell = Cell(compile_expr("sum (enumFromTo 1 200)"), env)
+    try:
+        cell.force(machine)
+    except AsyncInterrupt as err:
+        print(f"  first force: interrupted by {err.exc}")
+    value = cell.force(machine)
+    print(f"  second force (resumed): {value}")
+    print(
+        "  — a synchronous exception would have poisoned the thunk\n"
+        "    with `raise ex`; the interrupt restored it instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Parser combinators — a realistic higher-order lazy workload in the
+object language, with the paper's exception story on top.
+
+A combinator parser for arithmetic expressions is written entirely in
+the object language (Maybe for the "alternative return" usage, §2);
+*evaluation* of the parsed tree can divide by zero, and that disaster
+is caught once at the top with ``getException`` — no plumbing in
+either the parser or the evaluator.
+
+Run:  python examples/parser_combinators.py
+"""
+
+from repro.api import run_io_program
+
+PROGRAM = r"""
+-- Input is a list of tokens.
+data Token = TNum Int | TPlus | TTimes | TOver | TOpen | TClose
+
+data ExprT = Num Int | Add ExprT ExprT | Mul ExprT ExprT | Dv ExprT ExprT
+
+-- A parser returns Maybe (result, remaining-tokens): the "alternative
+-- return" pattern the paper says the explicit encoding handles
+-- beautifully (Section 2).
+-- parseExpr  ::= term (+ term)*
+-- parseTerm  ::= factor ((* | /) factor)*
+-- parseFactor ::= number | ( expr )
+
+parseExpr :: [Token] -> Maybe (ExprT, [Token])
+parseExpr ts = case parseTerm ts of
+                 Nothing -> Nothing
+                 Just (Tuple2 left rest) -> parseExprLoop left rest
+
+parseExprLoop :: ExprT -> [Token] -> Maybe (ExprT, [Token])
+parseExprLoop left ts =
+  case ts of
+    (TPlus : rest) -> case parseTerm rest of
+                        Nothing -> Nothing
+                        Just (Tuple2 right rest2) ->
+                          parseExprLoop (Add left right) rest2
+    _ -> Just (Tuple2 left ts)
+
+parseTerm :: [Token] -> Maybe (ExprT, [Token])
+parseTerm ts = case parseFactor ts of
+                 Nothing -> Nothing
+                 Just (Tuple2 left rest) -> parseTermLoop left rest
+
+parseTermLoop :: ExprT -> [Token] -> Maybe (ExprT, [Token])
+parseTermLoop left ts =
+  case ts of
+    (TTimes : rest) -> case parseFactor rest of
+                         Nothing -> Nothing
+                         Just (Tuple2 right rest2) ->
+                           parseTermLoop (Mul left right) rest2
+    (TOver : rest) -> case parseFactor rest of
+                        Nothing -> Nothing
+                        Just (Tuple2 right rest2) ->
+                          parseTermLoop (Dv left right) rest2
+    _ -> Just (Tuple2 left ts)
+
+parseFactor :: [Token] -> Maybe (ExprT, [Token])
+parseFactor ts =
+  case ts of
+    (TNum n : rest) -> Just (Tuple2 (Num n) rest)
+    (TOpen : rest) ->
+      case parseExpr rest of
+        Just (Tuple2 e (TClose : rest2)) -> Just (Tuple2 e rest2)
+        _ -> Nothing
+    _ -> Nothing
+
+-- The evaluator has NO exception plumbing: division by zero simply
+-- propagates to whoever chooses to catch it (Section 2, "disaster
+-- recovery").
+evalT :: ExprT -> Int
+evalT (Num n) = n
+evalT (Add a b) = evalT a + evalT b
+evalT (Mul a b) = evalT a * evalT b
+evalT (Dv a b) = evalT a `div` evalT b
+
+runLine :: String -> [Token] -> IO Unit
+runLine label ts = do
+  putStr label
+  putStr " = "
+  case parseExpr ts of
+    Nothing -> putLine "parse error"
+    Just (Tuple2 tree rest) ->
+      case rest of
+        (t : more) -> putLine "trailing tokens"
+        Nil -> do
+          r <- getException (evalT tree)
+          case r of
+            OK v -> putLine (showInt v)
+            Bad e -> putLine (strAppend "!! " (showException e))
+
+main = do
+  runLine "1 + 2 * 3"
+          [TNum 1, TPlus, TNum 2, TTimes, TNum 3]
+  runLine "(1 + 2) * 3"
+          [TOpen, TNum 1, TPlus, TNum 2, TClose, TTimes, TNum 3]
+  runLine "10 / (3 * 0)"
+          [TNum 10, TOver, TOpen, TNum 3, TTimes, TNum 0, TClose]
+  runLine "10 / 0"
+          [TNum 10, TOver, TNum 0]
+  runLine "1 + +"
+          [TNum 1, TPlus, TPlus]
+"""
+
+
+def main() -> None:
+    result = run_io_program(PROGRAM, typecheck=True, fuel=5_000_000)
+    print(result.stdout, end="")
+    if not result.ok:
+        print(f"*** {result.status}: {result.exc}")
+
+
+if __name__ == "__main__":
+    main()

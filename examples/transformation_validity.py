@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The transformation-algebra comparison (Sections 3.4 / 4.5 / 6).
+
+Classifies the optimiser's rewrite rules under three semantics:
+
+* **imprecise** — the paper's design (exception sets);
+* **fixed-order** — the ML/FL baseline ("+ evaluates its first
+  argument first");
+* **naive-case** — imprecise primitives, but without Section 4.3's
+  exception-finding mode for ``case``.
+
+The output is the paper's central table in executable form: reordering
+rules that are identities under the imprecise semantics become unsound
+under the baselines, and the ``eta-reduce`` control (which the paper's
+semantics *rightly* rejects — λx.⊥ ≠ ⊥) is caught everywhere.
+
+Run:  python examples/transformation_validity.py
+"""
+
+from repro.baselines.fixed_order import fixed_order_ctx, naive_case_ctx
+from repro.transform import (
+    AppOfCase,
+    BetaReduce,
+    CaseOfCase,
+    CaseOfKnownCon,
+    CaseSwitch,
+    CommonSubexpression,
+    CommutePrimArgs,
+    DeadAltRemoval,
+    DeadLetElimination,
+    EtaReduce,
+    InlineLet,
+    LetFloatFromApp,
+    classify_transformation,
+)
+
+RULES = [
+    BetaReduce(),
+    InlineLet(aggressive=True),
+    CommonSubexpression(),
+    DeadLetElimination(),
+    LetFloatFromApp(),
+    CaseOfKnownCon(),
+    CommutePrimArgs(),
+    CaseSwitch(),
+    CaseOfCase(),
+    AppOfCase(),
+    DeadAltRemoval(),
+    EtaReduce(),  # control: must be rejected
+]
+
+SEMANTICS = [
+    ("imprecise", None),
+    ("fixed-order", fixed_order_ctx),
+    ("naive-case", naive_case_ctx),
+]
+
+
+def main() -> None:
+    print(
+        f"{'rule':28s} " + "".join(f"{name:>14s}" for name, _ in SEMANTICS)
+    )
+    print("-" * 72)
+    summary = {name: 0 for name, _ in SEMANTICS}
+    for rule in RULES:
+        row = f"{rule.name:28s} "
+        for name, factory in SEMANTICS:
+            report = classify_transformation(
+                rule, ctx_factory=factory, semantics_name=name
+            )
+            row += f"{report.worst:>14s}"
+            if report.valid:
+                summary[name] += 1
+        print(row)
+    print("-" * 72)
+    print(
+        f"{'valid rules (of ' + str(len(RULES)) + ')':28s} "
+        + "".join(f"{summary[name]:>14d}" for name, _ in SEMANTICS)
+    )
+    print()
+    print(
+        "The imprecise semantics validates every optimising rule\n"
+        "(identity or refinement) with NO effect analysis; the\n"
+        "fixed-order baseline loses the reordering rules, and the\n"
+        "naive case rule loses case-switching (which is why the\n"
+        "paper's Section 4.3 exception-finding mode exists)."
+    )
+
+
+if __name__ == "__main__":
+    main()

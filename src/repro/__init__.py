@@ -1,0 +1,84 @@
+"""repro — a full reproduction of *"A Semantics for Imprecise
+Exceptions"* (Peyton Jones, Reid, Hoare, Marlow, Henderson; PLDI 1999).
+
+The package implements, from scratch:
+
+* a lazy mini-Haskell (:mod:`repro.lang`, :mod:`repro.types`,
+  :mod:`repro.prelude`);
+* the paper's denotational semantics with exceptional values as *sets*
+  of exceptions (:mod:`repro.core`);
+* an operational lazy machine with stack-trimming exceptions and
+  pluggable evaluation strategies — the source of the *imprecision*
+  (:mod:`repro.machine`);
+* the IO layer: executor and the Section 4.4 labelled transition
+  system (:mod:`repro.io`);
+* a transformation suite with a semantics-aware verifier
+  (:mod:`repro.transform`) and the analyses
+  (:mod:`repro.analysis`);
+* the baselines the paper argues against: the explicit ``ExVal``
+  encoding (:mod:`repro.encoding`), the fixed-evaluation-order
+  semantics and the naive non-deterministic semantics
+  (:mod:`repro.baselines`).
+
+Quickstart::
+
+    >>> from repro import denote_source, observe_source
+    >>> from repro.machine import LeftToRight, RightToLeft
+    >>> str(denote_source('(1 `div` 0) + error "Urk"'))
+    "Bad {DivideByZero, UserError 'Urk'}"
+    >>> observe_source('(1 `div` 0) + error "Urk"',
+    ...                strategy=LeftToRight()).exc.name
+    'DivideByZero'
+    >>> observe_source('(1 `div` 0) + error "Urk"',
+    ...                strategy=RightToLeft()).exc.name
+    'UserError'
+"""
+
+from repro.api import (
+    check_law_sources,
+    compile_expr,
+    compile_program,
+    denote_source,
+    observe_source,
+    prelude_type_env,
+    run_io_program,
+    run_io_source,
+    typecheck_program,
+)
+from repro.core import (
+    BOTTOM,
+    Bad,
+    DenoteContext,
+    ExcSet,
+    Ok,
+    check_law,
+    denote_expr,
+    denote_program,
+    refines,
+    sem_equal,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BOTTOM",
+    "Bad",
+    "DenoteContext",
+    "ExcSet",
+    "Ok",
+    "check_law",
+    "check_law_sources",
+    "compile_expr",
+    "compile_program",
+    "denote_expr",
+    "denote_program",
+    "denote_source",
+    "observe_source",
+    "prelude_type_env",
+    "refines",
+    "run_io_program",
+    "run_io_source",
+    "sem_equal",
+    "typecheck_program",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Static analyses.
+
+* :mod:`repro.analysis.strictness` — two-point abstract interpretation
+  answering "does forcing this expression necessarily force that
+  variable?"  It drives the call-by-need -> call-by-value
+  transformation the paper calls "crucial" (Section 3.4).
+* :mod:`repro.analysis.effects` — a conservative exception-freedom
+  (effect) analysis: the approach ML/FL compilers must use to license
+  reordering under a fixed-evaluation-order semantics (Sections 3.4
+  and 6).  Its pessimism is the paper's argument, quantified by E6.
+* :mod:`repro.analysis.occurrence` — occurrence counting shared by the
+  inliner and the benchmarks.
+"""
+
+from repro.analysis.effects import (
+    EffectEnv,
+    cannot_raise,
+    transformable_sites,
+)
+from repro.analysis.strictness import (
+    StrictnessEnv,
+    analyse_program,
+    strict_in,
+)
+
+__all__ = [
+    "EffectEnv",
+    "StrictnessEnv",
+    "analyse_program",
+    "cannot_raise",
+    "strict_in",
+    "transformable_sites",
+]

@@ -1,0 +1,219 @@
+"""Exception-freedom (effect) analysis — the baseline of Section 6.
+
+Under a fixed-evaluation-order semantics (ML, FL, Ada), reordering
+transformations are only valid when the reordered subexpressions
+*provably cannot raise*.  "Compilers often attempt to infer the set of
+possible exceptions with a view to lifting these restrictions, but
+their power of inference is limited" — this module is that limited
+inference, implemented honestly:
+
+* arithmetic may overflow, ``div``/``mod`` may divide by zero, so no
+  expression containing them is exception-free (exactly the pessimism
+  the paper highlights);
+* ``case`` may fail to match unless the alternatives end in a
+  catch-all;
+* calls to unknown functions may raise ("they must be pessimistic
+  across module boundaries in the presence of separate compilation");
+* values in WHNF (literals, lambdas, constructor applications) are
+  safe *to have around* but their fields may still raise when forced,
+  so only WHNF-safety is certified.
+
+E6 counts, over a program corpus, the fraction of reordering sites
+this analysis licenses versus the imprecise semantics' "all of them".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+    pattern_vars,
+)
+from repro.lang.ops import PRIM_TABLE
+
+# Primitives that can never raise (given well-typed arguments).
+_SAFE_PRIMS = frozenset(
+    ["==", "/=", "<", "<=", ">", ">=", "strAppend", "strLen",
+     "showInt", "ord", "returnIO", "bindIO", "getChar", "putChar",
+     "putStr", "getException", "ioError"]
+)
+# Primitives that can raise regardless of their arguments' safety.
+_UNSAFE_PRIMS = frozenset(["+", "-", "*", "div", "mod", "negate", "chr"])
+
+EffectEnv = Dict[str, bool]  # name -> forcing its WHNF cannot raise
+
+
+def cannot_raise(
+    expr: Expr,
+    env: Optional[EffectEnv] = None,
+    assume_safe: FrozenSet[str] = frozenset(),
+) -> bool:
+    """Can forcing ``expr`` to WHNF provably not raise an exception?
+
+    ``env`` gives verdicts for known bindings; ``assume_safe`` lists
+    local variables whose cells are known exception-free (pattern
+    variables of forced scrutinees, for example, are *not* safe —
+    laziness means the exception hides until the field is demanded).
+    """
+    return _safe(expr, env or {}, assume_safe)
+
+
+def _safe(expr: Expr, env: EffectEnv, safe_vars: FrozenSet[str]) -> bool:
+    if isinstance(expr, Var):
+        if expr.name in safe_vars:
+            return True
+        return env.get(expr.name, False)
+    if isinstance(expr, (Lit, Lam)):
+        return True
+    if isinstance(expr, Con):
+        return True  # WHNF already; fields are lazy
+    if isinstance(expr, App):
+        # Would need the callee's effect signature; across unknown
+        # calls we must be pessimistic (separate compilation).
+        return False
+    if isinstance(expr, Case):
+        if not _safe(expr.scrutinee, env, safe_vars):
+            return False
+        exhaustive = any(
+            isinstance(alt.pattern, (PVar, PWild)) for alt in expr.alts
+        )
+        if not exhaustive:
+            return False  # PatternMatchFail possible
+        return all(
+            _safe(
+                alt.body,
+                env,
+                safe_vars - frozenset(pattern_vars(alt.pattern)),
+            )
+            for alt in expr.alts
+        )
+    if isinstance(expr, Raise):
+        return False
+    if isinstance(expr, PrimOp):
+        if expr.op in _UNSAFE_PRIMS:
+            return False
+        if expr.op == "seq":
+            return all(_safe(a, env, safe_vars) for a in expr.args)
+        if expr.op == "mapException":
+            return _safe(expr.args[1], env, safe_vars)
+        if expr.op in _SAFE_PRIMS:
+            info = PRIM_TABLE[expr.op]
+            return all(
+                _safe(expr.args[i], env, safe_vars)
+                for i in info.strict_in
+                if i < len(expr.args)
+            )
+        return False
+    if isinstance(expr, Fix):
+        return False  # may diverge; with pedantic bottoms that is ⊥
+    if isinstance(expr, Let):
+        inner_safe = safe_vars - {name for name, _ in expr.binds}
+        verdicts = dict(env)
+        for name, rhs in expr.binds:
+            verdicts[name] = _safe(rhs, verdicts, inner_safe)
+        return _safe(expr.body, verdicts, inner_safe)
+    raise TypeError(f"cannot_raise: unknown expression {expr!r}")
+
+
+@dataclass(frozen=True)
+class ReorderSite:
+    """A program point where an optimiser would like to reorder two
+    subexpressions (a strict binary primitive, or an application that
+    strictness analysis wants to evaluate call-by-value)."""
+
+    kind: str  # "prim" | "app"
+    detail: str
+    safe_under_fixed_order: bool
+
+
+def transformable_sites(
+    expr: Expr, env: Optional[EffectEnv] = None
+) -> List[ReorderSite]:
+    """Every reordering site in ``expr``, with the fixed-order verdict.
+
+    Under the imprecise semantics *all* these sites may be reordered;
+    under the fixed-order baseline only those whose operands are
+    provably exception-free.  E6 aggregates the ratio.
+    """
+    env = env or {}
+    sites: List[ReorderSite] = []
+
+    def go(e: Expr) -> None:
+        if isinstance(e, PrimOp):
+            info = PRIM_TABLE.get(e.op)
+            if info is not None and len(info.strict_in) >= 2:
+                operands_safe = all(
+                    _safe(e.args[i], env, frozenset())
+                    for i in info.strict_in
+                )
+                sites.append(
+                    ReorderSite("prim", e.op, operands_safe)
+                )
+            for a in e.args:
+                go(a)
+            return
+        if isinstance(e, App):
+            # Reordering an application = evaluating the argument
+            # early (call-by-value); fixed-order licenses it only if
+            # the argument cannot raise (and cannot diverge — folded
+            # into our Fix pessimism).
+            sites.append(
+                ReorderSite(
+                    "app", "call-by-value", _safe(e.arg, env, frozenset())
+                )
+            )
+            go(e.fn)
+            go(e.arg)
+            return
+        if isinstance(e, Lam):
+            go(e.body)
+        elif isinstance(e, Con):
+            for a in e.args:
+                go(a)
+        elif isinstance(e, Case):
+            go(e.scrutinee)
+            for alt in e.alts:
+                go(alt.body)
+        elif isinstance(e, Raise):
+            go(e.exc)
+        elif isinstance(e, Fix):
+            go(e.fn)
+        elif isinstance(e, Let):
+            for _n, rhs in e.binds:
+                go(rhs)
+            go(e.body)
+
+    go(expr)
+    return sites
+
+
+def program_effect_env(program: Program) -> EffectEnv:
+    """Whole-program effect verdicts for top-level bindings (two
+    passes: optimistic start would be unsound here, so we start
+    pessimistic and only promote — a safe ascending iteration)."""
+    env: EffectEnv = {name: False for name, _ in program.binds}
+    for _round in range(10):
+        changed = False
+        for name, rhs in program.binds:
+            verdict = _safe(rhs, env, frozenset())
+            if verdict and not env[name]:
+                env[name] = True
+                changed = True
+        if not changed:
+            break
+    return env

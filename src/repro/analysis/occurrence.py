@@ -1,0 +1,80 @@
+"""Occurrence analysis: how often and where a variable is used.
+
+Shared by the inliner (duplication budgets) and by the benchmarks
+(code-size accounting for the explicit-encoding comparison, E2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Raise,
+    Var,
+    pattern_vars,
+)
+
+
+def occurrences(expr: Expr) -> Counter:
+    """Free-variable occurrence counts."""
+    counts: Counter = Counter()
+    _collect(expr, frozenset(), counts)
+    return counts
+
+
+def _collect(expr: Expr, bound: FrozenSet[str], counts: Counter) -> None:
+    if isinstance(expr, Var):
+        if expr.name not in bound:
+            counts[expr.name] += 1
+        return
+    if isinstance(expr, Lit):
+        return
+    if isinstance(expr, Lam):
+        _collect(expr.body, bound | {expr.var}, counts)
+        return
+    if isinstance(expr, App):
+        _collect(expr.fn, bound, counts)
+        _collect(expr.arg, bound, counts)
+        return
+    if isinstance(expr, Con):
+        for a in expr.args:
+            _collect(a, bound, counts)
+        return
+    if isinstance(expr, Case):
+        _collect(expr.scrutinee, bound, counts)
+        for alt in expr.alts:
+            _collect(
+                alt.body, bound | frozenset(pattern_vars(alt.pattern)), counts
+            )
+        return
+    if isinstance(expr, Raise):
+        _collect(expr.exc, bound, counts)
+        return
+    if isinstance(expr, PrimOp):
+        for a in expr.args:
+            _collect(a, bound, counts)
+        return
+    if isinstance(expr, Fix):
+        _collect(expr.fn, bound, counts)
+        return
+    if isinstance(expr, Let):
+        inner = bound | {name for name, _ in expr.binds}
+        for _name, rhs in expr.binds:
+            _collect(rhs, inner, counts)
+        _collect(expr.body, inner, counts)
+        return
+    raise TypeError(f"occurrences: unknown expression {expr!r}")
+
+
+def occurs_free(expr: Expr, name: str) -> bool:
+    return occurrences(expr)[name] > 0

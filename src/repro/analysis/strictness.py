@@ -1,0 +1,183 @@
+"""Strictness analysis (two-point abstract interpretation).
+
+``strict_in(e, x, env)`` answers: does evaluating ``e`` to WHNF
+necessarily evaluate ``x`` to WHNF?  In domain terms: is
+``[e][⊥/x] = ⊥``?  If yes, a compiler may evaluate ``x`` *before* ``e``
+— the call-by-need -> call-by-value transformation whose validity the
+imprecise semantics preserves (Section 3.4: "Haskell compilers perform
+strictness analysis ... This crucial transformation changes the
+evaluation order").
+
+The analysis is standard Mycroft-style: function strictness signatures
+(which argument positions are strict) are computed by a descending
+Kleene iteration starting from the optimistic all-strict assumption;
+the result is safe for the transformation because we only *use* "is
+strict" verdicts after the iteration stabilises.
+
+Soundness against the denotational semantics — "if the analysis says
+strict then ``[e][⊥/x] ⊑ Bad s`` for every instantiation" — is property
+tested in ``tests/analysis/test_strictness.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Program,
+    PVar,
+    Raise,
+    Var,
+    pattern_vars,
+    unfold_app,
+    unfold_lam,
+)
+from repro.lang.ops import PRIM_TABLE
+
+# A strictness signature: for each parameter position, True iff the
+# function is strict in it.
+Signature = Tuple[bool, ...]
+StrictnessEnv = Dict[str, Signature]
+
+
+def strict_in(
+    expr: Expr, var: str, env: Optional[StrictnessEnv] = None
+) -> bool:
+    """Is ``expr`` strict in ``var``?
+
+    ``env`` supplies strictness signatures for known (top-level or
+    let-bound) functions; unknown functions are assumed lazy in all
+    arguments (safe: we may miss strictness, never invent it).
+    """
+    return _strict(expr, var, env or {}, frozenset())
+
+
+def _strict(
+    expr: Expr,
+    var: str,
+    env: StrictnessEnv,
+    shadowed: FrozenSet[str],
+) -> bool:
+    if isinstance(expr, Var):
+        return expr.name == var and var not in shadowed
+    if isinstance(expr, (Lit, Lam, Con)):
+        # WHNF immediately: nothing is forced (constructors are
+        # non-strict, Section 4.2).
+        return False
+    if isinstance(expr, App):
+        head, args = unfold_app(expr)
+        if isinstance(head, Var) and head.name not in shadowed:
+            signature = env.get(head.name)
+            if signature is not None and len(args) == len(signature):
+                if _strict(head, var, env, shadowed):
+                    return True
+                return any(
+                    is_strict and _strict(arg, var, env, shadowed)
+                    for is_strict, arg in zip(signature, args)
+                )
+        # Unknown function: evaluating the application surely forces
+        # the function part; the argument we cannot know about.
+        return _strict(expr.fn, var, env, shadowed)
+    if isinstance(expr, Case):
+        if _strict(expr.scrutinee, var, env, shadowed):
+            return True
+        if not expr.alts:
+            return False
+        # Strict if *every* branch is strict (whichever is taken
+        # forces the variable).
+        return all(
+            _strict(
+                alt.body,
+                var,
+                env,
+                shadowed | frozenset(pattern_vars(alt.pattern)),
+            )
+            for alt in expr.alts
+        )
+    if isinstance(expr, Raise):
+        return _strict(expr.exc, var, env, shadowed)
+    if isinstance(expr, PrimOp):
+        info = PRIM_TABLE.get(expr.op)
+        if info is None:
+            return False
+        if expr.op == "seq":
+            # seq forces both: its first argument explicitly, and its
+            # WHNF is its second argument's WHNF.
+            return any(
+                _strict(a, var, env, shadowed) for a in expr.args
+            )
+        return any(
+            _strict(expr.args[i], var, env, shadowed)
+            for i in info.strict_in
+            if i < len(expr.args)
+        )
+    if isinstance(expr, Fix):
+        return _strict(expr.fn, var, env, shadowed)
+    if isinstance(expr, Let):
+        bound = frozenset(name for name, _ in expr.binds)
+        inner_shadowed = shadowed | bound
+        if _strict(expr.body, var, env, inner_shadowed):
+            return True
+        # A let-bound variable forced strictly by the body can make the
+        # body strict in `var` transitively; approximate one level: if
+        # the body is strict in a bind whose rhs is strict in var.
+        for name, rhs in expr.binds:
+            if _strict(expr.body, name, env, shadowed - {name}):
+                if _strict(rhs, var, env, inner_shadowed):
+                    return True
+        return False
+    raise TypeError(f"strict_in: unknown expression {expr!r}")
+
+
+def function_signature(
+    expr: Expr, env: StrictnessEnv
+) -> Optional[Signature]:
+    """The strictness signature of a (syntactic) function definition."""
+    params, body = unfold_lam(expr)
+    if not params:
+        return None
+    return tuple(
+        _strict(body, p, env, frozenset(params[i + 1 :]))
+        for i, p in enumerate(params)
+    )
+
+
+def analyse_program(
+    program: Program, max_rounds: int = 20
+) -> StrictnessEnv:
+    """Compute strictness signatures for all top-level functions.
+
+    Descending Kleene iteration: start all-strict (the optimistic
+    assumption for recursive calls), recompute until stable.  Monotone
+    in the finite signature lattice, so it terminates; the round bound
+    is belt-and-braces.
+    """
+    env: StrictnessEnv = {}
+    shapes: Dict[str, int] = {}
+    for name, rhs in program.binds:
+        params, _body = unfold_lam(rhs)
+        if params:
+            shapes[name] = len(params)
+            env[name] = tuple(True for _ in params)
+    for _round in range(max_rounds):
+        changed = False
+        for name, rhs in program.binds:
+            if name not in shapes:
+                continue
+            signature = function_signature(rhs, env)
+            assert signature is not None
+            if signature != env[name]:
+                env[name] = signature
+                changed = True
+        if not changed:
+            break
+    return env

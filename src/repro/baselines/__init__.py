@@ -1,0 +1,30 @@
+"""The alternative designs the paper considers and rejects
+(Section 3.4), built so the comparison is executable:
+
+* :mod:`repro.baselines.fixed_order` — "fix the evaluation order, as
+  part of the language semantics" (ML, FL, some Haskell proposals):
+  simple semantics, but reordering transformations become unsound.
+* :mod:`repro.baselines.nondet` — "go non-deterministic": the compiler
+  may choose any order, but the non-determinism leaks into the source
+  language and beta reduction dies.
+"""
+
+from repro.baselines.fixed_order import (
+    fixed_order_ctx,
+    denote_fixed_order,
+    naive_case_ctx,
+)
+from repro.baselines.nondet import (
+    collect_outcomes,
+    demonstrate_beta_failure,
+    ChoiceStrategy,
+)
+
+__all__ = [
+    "ChoiceStrategy",
+    "collect_outcomes",
+    "demonstrate_beta_failure",
+    "denote_fixed_order",
+    "fixed_order_ctx",
+    "naive_case_ctx",
+]

@@ -1,0 +1,57 @@
+"""The fixed-evaluation-order baseline (Section 3.4, first option).
+
+"The semantics could state that + evaluates its first argument first,
+so that if its first argument is exceptional then that's the exception
+that is returned.  This is the most common approach, adopted by (among
+others) ML, FL, and some proposals for Haskell.  It gives rise to a
+simple semantics, but has the Very Bad Feature that it invalidates many
+useful transformations."
+
+The baseline reuses the core evaluator with three knobs flipped:
+
+* ``prim_mode="left-first"`` — the first exceptional argument wins;
+* ``case_mode="naive"`` — an exceptional scrutinee propagates alone (no
+  exception-finding union over alternatives);
+* ``app_unions_arg=False`` — applying an exceptional function ignores
+  the argument.
+
+With these settings every ``Bad`` carries the exceptions of one fixed
+path, so denotations behave like the single-exception semantics of
+ML-style languages (sets stay singletons for programs whose raises are
+singletons).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.denote import DenoteContext, denote, ensure_recursion_headroom
+from repro.core.domains import SemVal, Thunk
+from repro.lang.ast import Expr
+
+
+def fixed_order_ctx(fuel: int = 200_000) -> DenoteContext:
+    """A context implementing the fixed left-to-right order semantics."""
+    return DenoteContext(
+        fuel=fuel,
+        case_mode="naive",
+        prim_mode="left-first",
+        app_unions_arg=False,
+    )
+
+
+def naive_case_ctx(fuel: int = 200_000) -> DenoteContext:
+    """Imprecise primitives but the *naive* case rule — the halfway
+    design E7 uses to show why exception-finding mode is necessary."""
+    return DenoteContext(fuel=fuel, case_mode="naive")
+
+
+def denote_fixed_order(
+    expr: Expr,
+    env: Optional[Dict[str, Thunk]] = None,
+    fuel: int = 200_000,
+) -> SemVal:
+    """Denote under the fixed-evaluation-order semantics."""
+    ensure_recursion_headroom()
+    ctx = fixed_order_ctx(fuel)
+    return denote(expr, dict(env) if env else {}, ctx)

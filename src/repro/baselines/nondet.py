@@ -1,0 +1,209 @@
+"""The "go non-deterministic" baseline (Section 3.4, second option).
+
+"Declare that + makes a non-deterministic choice of which argument to
+evaluate first.  Then the compiler is free to make that choice however
+it likes.  Alas, this approach exposes non-determinism in the source
+language, which also invalidates useful laws.  In particular, β
+reduction is not valid any more."
+
+Two tools:
+
+* :func:`collect_outcomes` — a collecting semantics: run the machine
+  over *every* resolution of the evaluation-order choices (bounded
+  backtracking over choice points) and return the set of observable
+  outcomes.  Under this baseline the meaning of a program IS this set.
+* :func:`demonstrate_beta_failure` — the paper's own counterexample,
+  made executable: with a hypothetical *pure* ``getException`` the
+  shared ``let x = ... in gx == gx`` always yields True, while the
+  β-expanded form can yield False when the two occurrences resolve
+  their choices differently.  (In the paper's actual design this cannot
+  happen because ``getException`` is in the IO monad — Section 3.5.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.excset import Exc
+from repro.lang.ast import Expr
+from repro.machine.eval import Env, Machine
+from repro.machine.heap import MachineDiverged, ObjRaise
+from repro.machine.observe import Diverged, Exceptional, Normal, Outcome
+from repro.machine.strategy import Strategy
+from repro.machine.values import VCon, VInt, VStr, Value
+
+
+class ChoiceStrategy(Strategy):
+    """A strategy driven by an explicit choice sequence.
+
+    Each binary strict primitive is a choice point; the k-th choice
+    point takes its order from ``choices[k]`` (0 = left-to-right,
+    1 = right-to-left).  Past the end of the sequence it defaults to 0
+    and records that a new choice point was reached — the enumerator
+    uses this to schedule the alternative run.
+    """
+
+    def __init__(self, choices: Sequence[int]) -> None:
+        self.choices = list(choices)
+        self.used = 0
+        self.overflowed = False
+        self.name = f"choice({''.join(map(str, choices))})"
+
+    def order(self, op: str, n: int) -> Tuple[int, ...]:
+        if n < 2:
+            return tuple(range(n))
+        index = self.used
+        self.used += 1
+        if index < len(self.choices):
+            pick = self.choices[index]
+        else:
+            self.overflowed = True
+            pick = 0
+        if pick == 0:
+            return tuple(range(n))
+        return tuple(reversed(range(n)))
+
+
+def _freeze_outcome(outcome: Outcome) -> Tuple:
+    if isinstance(outcome, Normal):
+        value = outcome.value
+        if isinstance(value, VInt):
+            return ("ok-int", value.value)
+        if isinstance(value, VStr):
+            return ("ok-str", value.value)
+        if isinstance(value, VCon):
+            return ("ok-con", value.name)
+        return ("ok", str(value))
+    if isinstance(outcome, Exceptional):
+        return ("exc", outcome.exc.name, outcome.exc.arg)
+    return ("diverge",)
+
+
+def collect_outcomes(
+    expr: Expr,
+    env_builder=None,
+    fuel: int = 200_000,
+    max_runs: int = 256,
+) -> FrozenSet[Tuple]:
+    """All machine outcomes over every evaluation-order resolution.
+
+    ``env_builder(machine) -> Env`` supplies the environment (e.g. the
+    prelude); None means an empty environment.  Exploration is DFS over
+    choice-point prefixes, capped at ``max_runs`` runs.
+    """
+    outcomes: Set[Tuple] = set()
+    pending: List[List[int]] = [[]]
+    seen_prefixes: Set[Tuple[int, ...]] = set()
+    runs = 0
+    while pending and runs < max_runs:
+        prefix = pending.pop()
+        key = tuple(prefix)
+        if key in seen_prefixes:
+            continue
+        seen_prefixes.add(key)
+        runs += 1
+        strategy = ChoiceStrategy(prefix)
+        machine = Machine(strategy=strategy, fuel=fuel)
+        env: Env = env_builder(machine) if env_builder else {}
+        try:
+            value = machine.eval(expr, env)
+            outcomes.add(_freeze_outcome(Normal(value)))
+        except ObjRaise as err:
+            outcomes.add(_freeze_outcome(Exceptional(err.exc)))
+        except MachineDiverged:
+            outcomes.add(_freeze_outcome(Diverged()))
+        # Schedule the unexplored sibling of every choice point this
+        # run reached beyond the fixed prefix.
+        for position in range(len(prefix), strategy.used):
+            sibling = prefix + [0] * (position - len(prefix)) + [1]
+            pending.append(sibling)
+    return frozenset(outcomes)
+
+
+@dataclass(frozen=True)
+class BetaFailureDemo:
+    """The result of the Section 3.4 β-failure experiment."""
+
+    shared_outcomes: FrozenSet[Tuple]
+    substituted_outcomes: FrozenSet[Tuple]
+
+    @property
+    def beta_valid(self) -> bool:
+        """β would be valid iff the two outcome sets coincide."""
+        return self.shared_outcomes == self.substituted_outcomes
+
+
+def demonstrate_beta_failure(fuel: int = 100_000) -> BetaFailureDemo:
+    """Run the paper's counterexample under the non-deterministic
+    baseline.
+
+    A pure exception observer is simulated with ``mapException``-style
+    machinery: ``observe e`` evaluates ``e`` and converts the escaping
+    exception to a distinguishing integer.  Shared form::
+
+        let x = (1/0) + raise (UserError "Urk") in obs x == obs x
+
+    always True (the thunk memoises its first resolution).
+    Substituted form: each occurrence re-evaluates with its own
+    choices, so the two observations can differ.
+    """
+    from repro.lang.match import flatten_case_patterns
+    from repro.lang.parser import parse_expr
+
+    # The hypothetical pure getException is simulated in Python: we
+    # build a pair, force each component separately (each forcing is
+    # one "occurrence" of getException), and compare the escaping
+    # exceptions.  The object-language `error` needs the prelude; use
+    # raise (UserError ...) directly to stay self-contained.
+    shared = flatten_case_patterns(
+        parse_expr(
+            "let { x = (1 `div` 0) + raise (UserError \"Urk\") } in "
+            "Tuple2 x x"
+        )
+    )
+    substituted = flatten_case_patterns(
+        parse_expr(
+            "Tuple2 ((1 `div` 0) + raise (UserError \"Urk\")) "
+            "((1 `div` 0) + raise (UserError \"Urk\"))"
+        )
+    )
+
+    def equal_observations(expr: Expr) -> FrozenSet[Tuple]:
+        """For every choice resolution: observe both components of the
+        pair (the pure-getException simulation) and record whether the
+        two observed exceptions coincide."""
+        results: Set[Tuple] = set()
+        pending: List[List[int]] = [[]]
+        seen: Set[Tuple[int, ...]] = set()
+        runs = 0
+        while pending and runs < 64:
+            prefix = pending.pop()
+            key = tuple(prefix)
+            if key in seen:
+                continue
+            seen.add(key)
+            runs += 1
+            strategy = ChoiceStrategy(prefix)
+            machine = Machine(strategy=strategy, fuel=fuel)
+            value = machine.eval(expr, {})
+            assert isinstance(value, VCon) and value.name == "Tuple2"
+            observed: List[Optional[Exc]] = []
+            for cell in value.args:
+                try:
+                    cell.force(machine)
+                    observed.append(None)
+                except ObjRaise as err:
+                    observed.append(err.exc)
+            results.add(("equal", observed[0] == observed[1]))
+            for position in range(len(prefix), strategy.used):
+                pending.append(
+                    prefix + [0] * (position - len(prefix)) + [1]
+                )
+        return frozenset(results)
+
+    return BetaFailureDemo(
+        shared_outcomes=equal_observations(shared),
+        substituted_outcomes=equal_observations(substituted),
+    )

@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run FILE        perform a program's ``main`` (IO) action
+eval EXPR       evaluate an expression on the lazy machine
+denote EXPR     print the denotation (the exception *set*)
+law LHS RHS     classify a law: identity / refinement / unsound
+trace EXPR      enumerate every behaviour the §4.4 LTS permits
+optimise EXPR   run an optimisation level and pretty-print the result
+typecheck FILE  infer and print the types of a module's bindings
+
+Examples
+--------
+    python -m repro denote '(1 `div` 0) + error "Urk"'
+    python -m repro eval   '(1 `div` 0) + error "Urk"' --strategy right-to-left
+    python -m repro law    'a + b' 'b + a' --semantics fixed-order
+    python -m repro run    examples/hello.hs --stdin "x"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import (
+    check_law_sources,
+    compile_expr,
+    compile_program,
+    denote_source,
+    observe_source,
+    run_io_program,
+)
+from repro.baselines.fixed_order import fixed_order_ctx, naive_case_ctx
+from repro.core.denote import DenoteContext
+from repro.io.transition import enumerate_outcomes
+from repro.lang.pretty import pretty
+from repro.machine.strategy import LeftToRight, RightToLeft, Shuffled
+
+_STRATEGIES = {
+    "left-to-right": LeftToRight,
+    "right-to-left": RightToLeft,
+}
+
+_SEMANTICS = {
+    "imprecise": lambda fuel: DenoteContext(fuel=fuel),
+    "fixed-order": fixed_order_ctx,
+    "naive-case": naive_case_ctx,
+}
+
+
+def _strategy(name: str):
+    if name in _STRATEGIES:
+        return _STRATEGIES[name]()
+    if name.startswith("shuffled:"):
+        return Shuffled(int(name.split(":", 1)[1]))
+    raise SystemExit(
+        f"unknown strategy {name!r} "
+        f"(choose from {sorted(_STRATEGIES)} or shuffled:<seed>)"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "A Semantics for Imprecise Exceptions (PLDI 1999) — "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="perform a program's main action")
+    run.add_argument("file")
+    run.add_argument("--stdin", default="")
+    run.add_argument("--entry", default="main")
+    run.add_argument("--strategy", default="left-to-right")
+    run.add_argument("--fuel", type=int, default=2_000_000)
+    run.add_argument("--typecheck", action="store_true")
+
+    ev = sub.add_parser("eval", help="evaluate on the lazy machine")
+    ev.add_argument("expr")
+    ev.add_argument("--strategy", default="left-to-right")
+    ev.add_argument("--fuel", type=int, default=2_000_000)
+    ev.add_argument("--deep", action="store_true")
+
+    de = sub.add_parser("denote", help="print the denotation")
+    de.add_argument("expr")
+    de.add_argument("--fuel", type=int, default=200_000)
+    de.add_argument(
+        "--semantics", default="imprecise", choices=sorted(_SEMANTICS)
+    )
+    de.add_argument(
+        "--deep",
+        action="store_true",
+        help="force through constructor fields (lurking exceptions "
+        "render as <Bad {...}>)",
+    )
+
+    law = sub.add_parser(
+        "law",
+        help="classify lhs -> rhs",
+        description=(
+            "Laws quantify over well-typed environments.  Variable "
+            "naming convention: p/q/r range over Booleans, x/y over "
+            "pairs, names passed via --functions over total "
+            "functions, everything else over scalars "
+            "(ints/bools/Bads/bottom).  Use --plain to disable the "
+            "convention."
+        ),
+    )
+    law.add_argument("lhs")
+    law.add_argument("rhs")
+    law.add_argument(
+        "--semantics", default="imprecise", choices=sorted(_SEMANTICS)
+    )
+    law.add_argument("--functions", default="",
+                     help="comma-separated function-valued variables")
+    law.add_argument(
+        "--plain",
+        action="store_true",
+        help="disable the p/q/r + x/y typed-variable convention",
+    )
+
+    tr = sub.add_parser(
+        "trace", help="enumerate permitted IO behaviours"
+    )
+    tr.add_argument("expr")
+    tr.add_argument("--stdin", default="")
+    tr.add_argument("--fuel", type=int, default=100_000)
+
+    opt = sub.add_parser("optimise", help="apply an optimisation level")
+    opt.add_argument("expr")
+    opt.add_argument("--level", default="O2")
+
+    tc = sub.add_parser("typecheck", help="infer a module's types")
+    tc.add_argument("file")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    result = run_io_program(
+        source,
+        entry=args.entry,
+        stdin=args.stdin,
+        strategy=_strategy(args.strategy),
+        fuel=args.fuel,
+        typecheck=args.typecheck,
+    )
+    sys.stdout.write(result.stdout)
+    if result.status == "exception":
+        print(f"\n*** uncaught exception: {result.exc}", file=sys.stderr)
+        return 1
+    if result.status == "diverged":
+        print("\n*** diverged (fuel exhausted)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    outcome = observe_source(
+        args.expr,
+        strategy=_strategy(args.strategy),
+        fuel=args.fuel,
+        deep=args.deep,
+    )
+    from repro.machine import Machine, Normal
+    from repro.machine.observe import show_value
+
+    if isinstance(outcome, Normal):
+        # Re-run to render with a machine in hand (outputs lazily).
+        machine = Machine(strategy=_strategy(args.strategy), fuel=args.fuel)
+        from repro.prelude.loader import machine_env
+
+        value = machine.eval(
+            compile_expr(args.expr), machine_env(machine)
+        )
+        print(show_value(value, machine))
+        return 0
+    print(str(outcome))
+    return 0
+
+
+def _cmd_denote(args) -> int:
+    ctx = _SEMANTICS[args.semantics](args.fuel)
+    value = denote_source(args.expr, ctx=ctx)
+    if args.deep:
+        from repro.core.render import show_semval
+
+        print(show_semval(value))
+    else:
+        print(str(value))
+    return 0
+
+
+def _cmd_law(args) -> int:
+    from repro.core.laws import (
+        BOOL_BATTERY,
+        PAIR_BATTERY,
+        TOTAL_FUNCTION_BATTERY,
+    )
+
+    kwargs = {}
+    if args.semantics != "imprecise":
+        factory = _SEMANTICS[args.semantics]
+        kwargs["ctx_factory"] = factory
+    if not args.plain:
+        var_batteries = {
+            "p": BOOL_BATTERY,
+            "q": BOOL_BATTERY,
+            "r": BOOL_BATTERY,
+            "x": PAIR_BATTERY,
+            "y": PAIR_BATTERY,
+        }
+        if args.functions:
+            for name in args.functions.split(","):
+                name = name.strip()
+                if name:
+                    var_batteries[name] = TOTAL_FUNCTION_BATTERY
+        kwargs["var_batteries"] = var_batteries
+    elif args.functions:
+        kwargs["function_vars"] = [
+            f.strip() for f in args.functions.split(",") if f.strip()
+        ]
+    report = check_law_sources(
+        args.lhs, args.rhs, name=f"{args.lhs} -> {args.rhs}", **kwargs
+    )
+    print(str(report))
+    return 0 if report.holds else 1
+
+
+def _cmd_trace(args) -> int:
+    io_value = denote_source(args.expr, fuel=args.fuel)
+    for result in sorted(
+        enumerate_outcomes(io_value, stdin=args.stdin), key=str
+    ):
+        print(str(result))
+    return 0
+
+
+def _cmd_optimise(args) -> int:
+    from repro.transform.pipeline import pipeline_for
+
+    level = pipeline_for(args.level)
+    expr = compile_expr(args.expr)
+    print(pretty(level.optimise(expr)))
+    return 0
+
+
+def _cmd_typecheck(args) -> int:
+    from repro.api import typecheck_program
+
+    with open(args.file) as handle:
+        source = handle.read()
+    program = compile_program(source)
+    env = typecheck_program(program)
+    for name, _rhs in program.binds:
+        print(f"{name} :: {env[name]}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "eval": _cmd_eval,
+    "denote": _cmd_denote,
+    "law": _cmd_law,
+    "trace": _cmd_trace,
+    "optimise": _cmd_optimise,
+    "typecheck": _cmd_typecheck,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

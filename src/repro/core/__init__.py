@@ -1,0 +1,82 @@
+"""The paper's primary contribution: the imprecise-exception semantics.
+
+* :mod:`repro.core.excset` — the lattice ``P(E)_⊥`` of exception sets
+  under reverse inclusion (Section 4.1).
+* :mod:`repro.core.domains` — the semantic domain ``M t``: values are
+  ``Ok v`` or ``Bad s`` with ``⊥ = Bad (E ∪ {NonTermination})``.
+* :mod:`repro.core.denote` — the denotational evaluator (Section 4.2 /
+  4.3), including ``case``'s exception-finding mode.
+* :mod:`repro.core.ordering` — the information order ``⊑`` on
+  denotations, used to classify transformations as identities or
+  refinements (Section 4.5).
+* :mod:`repro.core.laws` — law-checking helpers built on the above.
+"""
+
+from repro.core.excset import (
+    ALL_EXCEPTIONS,
+    BOTTOM_SET,
+    CONTROL_C,
+    DIVIDE_BY_ZERO,
+    EMPTY_SET,
+    Exc,
+    ExcSet,
+    HEAP_OVERFLOW,
+    NON_TERMINATION,
+    OVERFLOW,
+    PATTERN_MATCH_FAIL,
+    STACK_OVERFLOW,
+    TIMEOUT,
+    user_error,
+)
+from repro.core.domains import (
+    BOTTOM,
+    Bad,
+    ConVal,
+    FunVal,
+    IOVal,
+    Ok,
+    SemVal,
+    Thunk,
+    exc_part,
+    is_bottom,
+    mk_bad,
+)
+from repro.core.denote import DenoteContext, denote, denote_expr, denote_program
+from repro.core.ordering import refines, sem_equal
+from repro.core.laws import LawReport, check_law
+
+__all__ = [
+    "ALL_EXCEPTIONS",
+    "BOTTOM",
+    "BOTTOM_SET",
+    "Bad",
+    "CONTROL_C",
+    "ConVal",
+    "DIVIDE_BY_ZERO",
+    "DenoteContext",
+    "EMPTY_SET",
+    "Exc",
+    "ExcSet",
+    "FunVal",
+    "HEAP_OVERFLOW",
+    "IOVal",
+    "LawReport",
+    "NON_TERMINATION",
+    "OVERFLOW",
+    "Ok",
+    "PATTERN_MATCH_FAIL",
+    "STACK_OVERFLOW",
+    "SemVal",
+    "TIMEOUT",
+    "Thunk",
+    "check_law",
+    "denote",
+    "denote_expr",
+    "denote_program",
+    "exc_part",
+    "is_bottom",
+    "mk_bad",
+    "refines",
+    "sem_equal",
+    "user_error",
+]

@@ -1,0 +1,613 @@
+"""The denotational semantics of Section 4.2–4.3.
+
+The evaluator computes (a fuel-bounded approximation of) the denotation
+``[e]ρ`` of an expression.  The combinator rules are transcribed
+directly from the paper:
+
+* ``[e1 + e2] = v1 ⊕ v2`` if both normal, else
+  ``Bad (S[e1] ∪ S[e2])`` — and likewise for every strict primitive;
+* application against an exceptional function unions in the argument's
+  exceptions: ``[e1 e2] = Bad (s ∪ S[e2])`` if ``[e1] = Bad s`` — "we
+  have traded transformations for precision";
+* constructors and lambdas are non-strict normal values;
+* ``case`` on an exceptional scrutinee enters *exception-finding mode*:
+  every alternative is (semantically) explored with its pattern
+  variables bound to the strange value ``Bad {}``, and all the resulting
+  exception sets are unioned (Section 4.3);
+* ``fix`` is the least fixed point; we compute it lazily by knot-tying,
+  with re-entrant demand detected as ⊥.
+
+Divergence is handled with *fuel*: each evaluator step consumes one
+unit, and exhaustion yields ⊥ (``Bad (E ∪ {NonTermination})``).  This
+computes the k-th element of the paper's ascending chain for ``fix`` —
+an approximation from below that is monotone in the fuel (property
+tested in ``tests/core/test_monotonicity.py``).
+
+Two knobs let the baselines of Section 3.4 reuse this evaluator:
+
+* ``prim_mode="left-first"`` gives the ML/FL fixed-evaluation-order
+  semantics (the first exceptional argument wins, no union);
+* ``case_mode="naive"`` disables exception-finding mode (the scrutinee's
+  exceptions are returned alone — the rule the paper rejects because it
+  invalidates case-switching).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.domains import (
+    BAD_EMPTY,
+    BOTTOM,
+    Bad,
+    ConVal,
+    FunVal,
+    IOVal,
+    Ok,
+    SemVal,
+    Thunk,
+    exc_part,
+    mk_bad,
+)
+from repro.core.excset import (
+    BOTTOM_SET,
+    DIVIDE_BY_ZERO,
+    EMPTY_SET,
+    Exc,
+    ExcSet,
+    OVERFLOW,
+    PATTERN_MATCH_FAIL,
+    user_error,
+)
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PLit,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+)
+from repro.lang.ops import INT_MAX, INT_MIN
+
+Env = Dict[str, Thunk]
+
+_MIN_RECURSION_LIMIT = 400_000
+
+
+def ensure_recursion_headroom() -> None:
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+class InternalError(Exception):
+    """An ill-formed program reached the evaluator (a bug in the caller
+    or a type error the checker would have caught)."""
+
+
+@dataclass
+class DenoteContext:
+    """Shared evaluation state: the fuel budget and semantics knobs.
+
+    ``max_depth`` bounds the evaluator's recursion depth separately
+    from fuel: exception-finding exploration of a recursive function
+    applied to an exceptional value regresses depth-linearly (its true
+    denotation is ⊥ — see EXPERIMENTS.md F-1), and the Python stack
+    must be protected.  Exceeding the depth returns ⊥, the same
+    sound-from-below approximation fuel exhaustion uses.
+    """
+
+    fuel: int = 200_000
+    case_mode: str = "exception-finding"  # or "naive"
+    prim_mode: str = "union"  # or "left-first"
+    app_unions_arg: bool = True
+    steps: int = 0
+    max_depth: int = 25_000
+    depth: int = 0
+
+    def __post_init__(self) -> None:
+        # Creating a context is the universal entry point to the
+        # evaluator, so claim Python stack headroom here.
+        ensure_recursion_headroom()
+
+    def tick(self) -> bool:
+        """Consume one unit of fuel; False when exhausted."""
+        self.steps += 1
+        if self.fuel <= 0:
+            return False
+        self.fuel -= 1
+        return True
+
+
+def denote(expr: Expr, env: Env, ctx: DenoteContext) -> SemVal:
+    """Compute ``[expr]env`` down to weak head normal form."""
+    if not ctx.tick():
+        return BOTTOM
+    ctx.depth += 1
+    if ctx.depth > ctx.max_depth:
+        ctx.depth -= 1
+        return BOTTOM
+    try:
+        return _denote(expr, env, ctx)
+    finally:
+        ctx.depth -= 1
+
+
+def _denote(expr: Expr, env: Env, ctx: DenoteContext) -> SemVal:
+    if isinstance(expr, Var):
+        thunk = env.get(expr.name)
+        if thunk is None:
+            raise InternalError(f"unbound variable {expr.name!r}")
+        return thunk.force()
+
+    if isinstance(expr, Lit):
+        return Ok(expr.value)
+
+    if isinstance(expr, Lam):
+        var, body = expr.var, expr.body
+
+        def call(arg: Thunk, _var=var, _body=body, _env=env) -> SemVal:
+            inner = dict(_env)
+            inner[_var] = arg
+            return denote(_body, inner, ctx)
+
+        return Ok(FunVal(call, label=f"\\{var} -> ..."))
+
+    if isinstance(expr, App):
+        fn_val = denote(expr.fn, env, ctx)
+        if isinstance(fn_val, Bad):
+            # Bad s applied: union in the argument's exceptions, since a
+            # strictness-transformed implementation might evaluate the
+            # argument first (Section 4.2).
+            if not ctx.app_unions_arg:
+                return fn_val
+            arg_val = denote(expr.arg, env, ctx)
+            return mk_bad(fn_val.excs | exc_part(arg_val))
+        if isinstance(fn_val, Ok) and isinstance(fn_val.value, FunVal):
+            arg_expr = expr.arg
+            return fn_val.value.apply(
+                Thunk(lambda: denote(arg_expr, env, ctx))
+            )
+        raise InternalError(f"application of a non-function: {fn_val}")
+
+    if isinstance(expr, Con):
+        args = tuple(
+            Thunk(lambda a=a: denote(a, env, ctx)) for a in expr.args
+        )
+        return Ok(ConVal(expr.name, args))
+
+    if isinstance(expr, Case):
+        return _denote_case(expr, env, ctx)
+
+    if isinstance(expr, Raise):
+        return _denote_raise(expr, env, ctx)
+
+    if isinstance(expr, PrimOp):
+        return _denote_prim(expr, env, ctx)
+
+    if isinstance(expr, Fix):
+        return _denote_fix(expr, env, ctx)
+
+    if isinstance(expr, Let):
+        inner: Env = dict(env)
+        for name, rhs in expr.binds:
+            inner[name] = Thunk(
+                lambda r=rhs: denote(r, inner, ctx)
+            )
+        return denote(expr.body, inner, ctx)
+
+    raise InternalError(f"denote: unknown expression {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# case
+
+
+def _match_flat(
+    pattern: Pattern, value: SemVal, ctx: DenoteContext
+) -> Optional[Env]:
+    """Match a normal WHNF value against a *flat* pattern.
+
+    Returns a binding environment on success, None on failure.  Nested
+    patterns must have been compiled away
+    (:func:`repro.lang.match.flatten_case_patterns`).
+    """
+    if isinstance(pattern, PWild):
+        return {}
+    if isinstance(pattern, PVar):
+        return {pattern.name: Thunk.ready(value)}
+    assert isinstance(value, Ok)
+    if isinstance(pattern, PLit):
+        return {} if value.value == pattern.value else None
+    if isinstance(pattern, PCon):
+        con = value.value
+        if not isinstance(con, ConVal) or con.name != pattern.name:
+            return None
+        if len(con.args) != len(pattern.args):
+            raise InternalError(
+                f"constructor arity mismatch in pattern {pattern.name}"
+            )
+        bindings: Env = {}
+        for sub, arg in zip(pattern.args, con.args):
+            if isinstance(sub, PVar):
+                bindings[sub.name] = arg
+            elif not isinstance(sub, PWild):
+                raise InternalError(
+                    "nested pattern reached denote; run "
+                    "flatten_case_patterns first"
+                )
+        return bindings
+    raise InternalError(f"unknown pattern {pattern!r}")
+
+
+def _denote_case(expr: Case, env: Env, ctx: DenoteContext) -> SemVal:
+    scrut = denote(expr.scrutinee, env, ctx)
+    if isinstance(scrut, Ok):
+        for alt in expr.alts:
+            bindings = _match_flat(alt.pattern, scrut, ctx)
+            if bindings is not None:
+                if bindings:
+                    inner = dict(env)
+                    inner.update(bindings)
+                else:
+                    inner = env
+                return denote(alt.body, inner, ctx)
+        return Bad(ExcSet.of(PATTERN_MATCH_FAIL))
+    # Exceptional scrutinee.
+    assert isinstance(scrut, Bad)
+    if ctx.case_mode == "naive":
+        return scrut
+    # Exception-finding mode (Section 4.3): explore every alternative
+    # with pattern variables bound to Bad {} and union the results.
+    result = scrut.excs
+    for alt in expr.alts:
+        inner = dict(env)
+        for name in _flat_pattern_vars(alt.pattern):
+            inner[name] = Thunk.ready(BAD_EMPTY)
+        branch = denote(alt.body, inner, ctx)
+        result = result | exc_part(branch)
+    return mk_bad(result)
+
+
+def _flat_pattern_vars(pattern: Pattern) -> Tuple[str, ...]:
+    if isinstance(pattern, PVar):
+        return (pattern.name,)
+    if isinstance(pattern, PCon):
+        return tuple(
+            sub.name for sub in pattern.args if isinstance(sub, PVar)
+        )
+    return ()
+
+
+# ----------------------------------------------------------------------
+# raise
+
+
+def exc_from_conval(value: SemVal, ctx: DenoteContext) -> SemVal:
+    """Convert an ``Exception``-typed denotation into a ``Bad``.
+
+    ``raise``'s rule (Section 4.2): an exceptional argument propagates
+    (``Bad s -> Bad s``); a normal ``Exception`` value ``C`` becomes
+    ``Bad {C}``.  We force ``UserError``'s message eagerly (the paper
+    "neglects the String argument to UserError"; forcing keeps the
+    exception printable and is the choice GHC later made for
+    ``ErrorCall``)."""
+    if isinstance(value, Bad):
+        return value
+    assert isinstance(value, Ok)
+    con = value.value
+    if not isinstance(con, ConVal):
+        raise InternalError(f"raise applied to non-Exception: {value}")
+    if con.name == "UserError":
+        msg_val = con.args[0].force() if con.args else Ok("")
+        if isinstance(msg_val, Bad):
+            return msg_val
+        assert isinstance(msg_val, Ok)
+        return Bad(ExcSet.of(user_error(str(msg_val.value))))
+    synchronous = con.name not in (
+        "NonTermination",
+        "ControlC",
+        "Timeout",
+        "StackOverflow",
+        "HeapOverflow",
+    )
+    return Bad(ExcSet.of(Exc(con.name, synchronous=synchronous)))
+
+
+def _denote_raise(expr: Raise, env: Env, ctx: DenoteContext) -> SemVal:
+    return exc_from_conval(denote(expr.exc, env, ctx), ctx)
+
+
+def conval_from_exc(exc: Exc) -> ConVal:
+    """The inverse direction: reflect a semantic exception back into the
+    object-language ``Exception`` data type (used by ``getException``)."""
+    if exc.arg is not None:
+        return ConVal(exc.name, (Thunk.ready(Ok(exc.arg)),))
+    return ConVal(exc.name)
+
+
+# ----------------------------------------------------------------------
+# primitives
+
+
+def _denote_fix(expr: Fix, env: Env, ctx: DenoteContext) -> SemVal:
+    fn_val = denote(expr.fn, env, ctx)
+    if isinstance(fn_val, Bad):
+        # fix (Bad s): the chain f^k(⊥) never leaves ⊥ (each application
+        # unions in S(⊥)), so the fixpoint is ⊥.
+        return BOTTOM
+    assert isinstance(fn_val, Ok)
+    fun = fn_val.value
+    if not isinstance(fun, FunVal):
+        raise InternalError("fix of a non-function")
+    knot: Thunk = Thunk(lambda: fun.apply(knot))
+    return knot.force()
+
+
+def _force_args(
+    args: Tuple[Expr, ...], env: Env, ctx: DenoteContext
+) -> Tuple[Tuple[SemVal, ...], Optional[Bad]]:
+    """Evaluate strict-primitive arguments.
+
+    Returns (values, combined-Bad-or-None) following ``ctx.prim_mode``:
+    ``union`` takes the union of all exceptional arguments' sets
+    (Section 4.2); ``left-first`` returns the first exceptional argument
+    alone (the fixed-evaluation-order baseline).
+    """
+    values = tuple(denote(a, env, ctx) for a in args)
+    if ctx.prim_mode == "left-first":
+        for v in values:
+            if isinstance(v, Bad):
+                return values, v
+        return values, None
+    combined = EMPTY_SET
+    saw_bad = False
+    for v in values:
+        if isinstance(v, Bad):
+            saw_bad = True
+            combined = combined | v.excs
+    if saw_bad:
+        return values, mk_bad(combined)
+    return values, None
+
+
+def _arith(op: str, a: int, b: int) -> SemVal:
+    """The checked arithmetic of Section 4.2 (⊕ with overflow, plus the
+    paper's running DivideByZero example)."""
+    if op == "+":
+        result = a + b
+    elif op == "-":
+        result = a - b
+    elif op == "*":
+        result = a * b
+    elif op in ("div", "mod"):
+        if b == 0:
+            return Bad(ExcSet.of(DIVIDE_BY_ZERO))
+        result = a // b if op == "div" else a % b
+    else:
+        raise InternalError(f"unknown arithmetic op {op!r}")
+    if not (INT_MIN < result < INT_MAX):
+        return Bad(ExcSet.of(OVERFLOW))
+    return Ok(result)
+
+
+_COMPARE: Dict[str, Callable[[object, object], bool]] = {
+    "==": lambda a, b: a == b,
+    "/=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _denote_prim(expr: PrimOp, env: Env, ctx: DenoteContext) -> SemVal:
+    op = expr.op
+
+    # IO constructors are lazy: they build an IOVal without evaluating
+    # anything ("evaluating it has no side effects", Section 3.5).
+    if op in ("returnIO", "bindIO", "putChar", "putStr", "getException",
+              "ioError", "catchIO", "forkIO", "newMVar", "takeMVar",
+              "putMVar"):
+        payload = tuple(
+            Thunk(lambda a=a: denote(a, env, ctx)) for a in expr.args
+        )
+        tag = {
+            "returnIO": "return",
+            "bindIO": "bind",
+            "putChar": "putChar",
+            "putStr": "putStr",
+            "getException": "getException",
+            "ioError": "ioError",
+            "catchIO": "catch",
+            "forkIO": "fork",
+            "newMVar": "newMVar",
+            "takeMVar": "takeMVar",
+            "putMVar": "putMVar",
+        }[op]
+        return Ok(IOVal(tag, payload))
+    if op == "getChar":
+        return Ok(IOVal("getChar"))
+    if op == "newEmptyMVar":
+        return Ok(IOVal("newEmptyMVar"))
+    if op == "yieldIO":
+        return Ok(IOVal("yield"))
+
+    if op == "seq":
+        # seq a b  =  case a of _ -> b   (Section 3.2 forcing; the Bad
+        # case unions the continuation's exceptions exactly as a
+        # one-alternative case would, Section 4.3).
+        first = denote(expr.args[0], env, ctx)
+        if isinstance(first, Ok):
+            return denote(expr.args[1], env, ctx)
+        assert isinstance(first, Bad)
+        if ctx.case_mode == "naive":
+            return first
+        rest = denote(expr.args[1], env, ctx)
+        return mk_bad(first.excs | exc_part(rest))
+
+    if op == "mapException":
+        return _denote_map_exception(expr, env, ctx)
+
+    # All remaining primitives are strict in every argument.
+    values, bad = _force_args(expr.args, env, ctx)
+    if bad is not None:
+        return bad
+    unwrapped = tuple(v.value for v in values)  # type: ignore[union-attr]
+
+    if op in ("+", "-", "*", "div", "mod"):
+        a, b = unwrapped
+        if not isinstance(a, int) or not isinstance(b, int):
+            raise InternalError(f"{op} applied to non-integers")
+        return _arith(op, a, b)
+    if op in ("uadd", "usub", "umul", "udiv", "umod"):
+        a, b = unwrapped
+        if not isinstance(a, int) or not isinstance(b, int):
+            raise InternalError(f"{op} applied to non-integers")
+        if op == "uadd":
+            return Ok(a + b)
+        if op == "usub":
+            return Ok(a - b)
+        if op == "umul":
+            return Ok(a * b)
+        if b == 0:
+            raise InternalError(
+                f"{op} by zero: the encoding must guard divisors"
+            )
+        return Ok(a // b if op == "udiv" else a % b)
+    if op == "unegate":
+        (a,) = unwrapped
+        assert isinstance(a, int)
+        return Ok(-a)
+    if op == "negate":
+        (a,) = unwrapped
+        if not isinstance(a, int):
+            raise InternalError("negate applied to a non-integer")
+        if not (INT_MIN < -a < INT_MAX):
+            return Bad(ExcSet.of(OVERFLOW))
+        return Ok(-a)
+    if op in _COMPARE:
+        a, b = unwrapped
+        if isinstance(a, ConVal) or isinstance(b, ConVal):
+            raise InternalError(
+                f"{op} compares base values only; derive structural "
+                "equality in the object language"
+            )
+        flag = _COMPARE[op](a, b)
+        return Ok(ConVal("True" if flag else "False"))
+    if op == "strAppend":
+        a, b = unwrapped
+        return Ok(str(a) + str(b))
+    if op == "strLen":
+        return Ok(len(str(unwrapped[0])))
+    if op == "showInt":
+        return Ok(str(unwrapped[0]))
+    if op == "ord":
+        return Ok(ord(str(unwrapped[0])))
+    if op == "chr":
+        code = unwrapped[0]
+        assert isinstance(code, int)
+        if not (0 <= code < 0x110000):
+            return Bad(ExcSet.of(OVERFLOW))
+        return Ok(chr(code))
+    raise InternalError(f"unknown primitive {op!r}")
+
+
+def _denote_map_exception(
+    expr: PrimOp, env: Env, ctx: DenoteContext
+) -> SemVal:
+    """``mapException f e`` (Section 5.4): applies ``f`` to each member
+    of the exception set; does nothing to normal values.  It is pure —
+    no IO monad needed — because it hides *which* exception is chosen.
+
+    For infinite sets (``all_synchronous``, in particular ⊥) the image
+    is not representable symbolically; we under-approximate with ⊥,
+    which is sound for the ``⊑``-based law checks (documented in
+    DESIGN.md as a substitution).
+    """
+    fn_expr, arg_expr = expr.args
+    value = denote(arg_expr, env, ctx)
+    if isinstance(value, Ok):
+        return value
+    assert isinstance(value, Bad)
+    excs = value.excs
+    if not excs.is_finite():
+        return BOTTOM
+    fn_val = denote(fn_expr, env, ctx)
+    if isinstance(fn_val, Bad):
+        # The function itself is exceptional; every member's image is
+        # unknown, so the whole set collapses to the function's set
+        # unioned with the argument's (any order of faults observable).
+        return mk_bad(fn_val.excs | excs)
+    assert isinstance(fn_val, Ok)
+    fun = fn_val.value
+    if not isinstance(fun, FunVal):
+        raise InternalError("mapException: non-function mapper")
+    mapped = EMPTY_SET
+    for member in excs.finite_members():
+        image = fun.apply(Thunk.ready(Ok(conval_from_exc(member))))
+        image_exc = exc_from_conval(image, ctx)
+        assert isinstance(image_exc, Bad)
+        mapped = mapped | image_exc.excs
+    return mk_bad(mapped)
+
+
+# ----------------------------------------------------------------------
+# entry points
+
+
+def base_env() -> Env:
+    return {}
+
+
+def denote_expr(
+    expr: Expr,
+    env: Optional[Env] = None,
+    fuel: int = 200_000,
+    ctx: Optional[DenoteContext] = None,
+) -> SemVal:
+    """Denote a closed (or prelude-closed) expression to WHNF."""
+    ensure_recursion_headroom()
+    if ctx is None:
+        ctx = DenoteContext(fuel=fuel)
+    return denote(expr, dict(env) if env else {}, ctx)
+
+
+def program_env(
+    program: Program, ctx: DenoteContext, base: Optional[Env] = None
+) -> Env:
+    """Build the mutually recursive top-level environment."""
+    env: Env = dict(base) if base else {}
+    for name, rhs in program.binds:
+        env[name] = Thunk(lambda r=rhs: denote(r, env, ctx))
+    return env
+
+
+def denote_program(
+    program: Program,
+    entry: str = "main",
+    fuel: int = 200_000,
+    base: Optional[Env] = None,
+    ctx: Optional[DenoteContext] = None,
+) -> SemVal:
+    """Denote one top-level binding of a program."""
+    ensure_recursion_headroom()
+    if ctx is None:
+        ctx = DenoteContext(fuel=fuel)
+    env = program_env(program, ctx, base)
+    if entry not in env:
+        raise InternalError(f"no top-level binding {entry!r}")
+    return env[entry].force()

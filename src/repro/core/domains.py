@@ -1,0 +1,182 @@
+"""The semantic domain ``M t`` of Section 4.1.
+
+Following the paper's "perhaps more perspicuous" presentation::
+
+    M t = {Ok v | v ∈ t} ∪ {Bad s | s ⊆ E} ∪ {Bad (E ∪ {NonTermination})}
+
+A denotation is either a normal value ``Ok v`` or an exceptional value
+``Bad s`` where ``s`` is an :class:`repro.core.excset.ExcSet`; the
+bottom element is ``Bad BOTTOM_SET``.
+
+Normal values ``v`` are:
+
+* Python ``int`` (machine integers with the paper's overflow checking),
+* Python ``str`` of length 1 for characters and arbitrary ``str`` for
+  the ``String`` base type (kept primitive rather than ``[Char]`` for
+  efficiency; ``error``/``UserError`` carry them),
+* :class:`ConVal` — a constructor applied to *lazy* arguments (thunks),
+  since constructors are non-strict (Section 4.2),
+* :class:`FunVal` — a function from thunk to denotation; note
+  ``Ok (\\x.⊥) ≠ ⊥``: "a lambda abstraction is a normal value"
+  (Section 4.2),
+* :class:`IOVal` — an unperformed IO computation (a first-class value
+  with no side effects until performed, Section 3.5).
+
+Laziness is emulated with memoised closures: a :class:`Thunk` wraps a
+nullary Python callable and caches its denotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+from repro.core.excset import BOTTOM_SET, ExcSet, EMPTY_SET
+
+
+class SemVal:
+    """Base class of denotations."""
+
+    __slots__ = ()
+
+
+class Thunk:
+    """A memoised lazy denotation.
+
+    ``Thunk(fn)`` delays ``fn()``; :meth:`force` computes it once and
+    caches.  Re-entrant forcing (a value defined directly in terms of
+    itself, e.g. ``black = black + 1``) is detected and yields ⊥ — at
+    the denotational level such a knot genuinely *is* ⊥, which is also
+    what licenses the Section 5.2 "detectable bottoms" behaviour.
+    """
+
+    __slots__ = ("_fn", "_value", "_entered")
+
+    def __init__(self, fn: Callable[[], "SemVal"]) -> None:
+        self._fn: Optional[Callable[[], SemVal]] = fn
+        self._value: Optional[SemVal] = None
+        self._entered = False
+
+    @staticmethod
+    def ready(value: "SemVal") -> "Thunk":
+        thunk = Thunk.__new__(Thunk)
+        thunk._fn = None
+        thunk._value = value
+        thunk._entered = False
+        return thunk
+
+    def force(self) -> "SemVal":
+        if self._value is not None:
+            return self._value
+        if self._entered:
+            return BOTTOM
+        self._entered = True
+        try:
+            assert self._fn is not None
+            value = self._fn()
+        finally:
+            self._entered = False
+        self._value = value
+        self._fn = None
+        return value
+
+
+@dataclass(frozen=True)
+class Ok(SemVal):
+    """A normal value."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return f"Ok {self.value}"
+
+
+@dataclass(frozen=True)
+class Bad(SemVal):
+    """An exceptional value carrying a *set* of exceptions."""
+
+    excs: ExcSet
+
+    def __str__(self) -> str:
+        return f"Bad {self.excs}"
+
+
+BOTTOM = Bad(BOTTOM_SET)
+BAD_EMPTY = Bad(EMPTY_SET)  # the "strange value Bad {}" of Section 4.3
+
+
+@dataclass(frozen=True)
+class ConVal:
+    """A saturated constructor value with lazy fields."""
+
+    name: str
+    args: Tuple[Thunk, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}<{len(self.args)} args>"
+
+
+@dataclass(frozen=True)
+class FunVal:
+    """A semantic function: thunked argument in, denotation out."""
+
+    fn: Callable[[Thunk], SemVal]
+    label: str = "<function>"
+
+    def apply(self, arg: Thunk) -> SemVal:
+        return self.fn(arg)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class IOVal:
+    """An unperformed IO action (interpreted by :mod:`repro.io`).
+
+    ``tag`` is one of ``return``, ``bind``, ``getChar``, ``putChar``,
+    ``putStr``, ``getException``, ``ioError``; ``payload`` is a tuple of
+    thunks whose shape depends on the tag.
+    """
+
+    tag: str
+    payload: Tuple[Thunk, ...] = ()
+
+    def __str__(self) -> str:
+        return f"IO<{self.tag}>"
+
+
+def mk_bad(excs: ExcSet) -> Bad:
+    return BOTTOM if excs.is_bottom() else Bad(excs)
+
+
+def is_bottom(value: SemVal) -> bool:
+    return isinstance(value, Bad) and value.excs.is_bottom()
+
+
+def exc_part(value: SemVal) -> ExcSet:
+    """The auxiliary function ``S`` of Section 4.2:
+    ``S(Ok v) = {}`` and ``S(Bad s) = s``."""
+    if isinstance(value, Bad):
+        return value.excs
+    return EMPTY_SET
+
+
+def ok_unit() -> Ok:
+    return Ok(ConVal("Unit"))
+
+
+def ok_bool(flag: bool) -> Ok:
+    return Ok(ConVal("True" if flag else "False"))
+
+
+def from_bool(value: SemVal) -> Optional[bool]:
+    """Read a Bool denotation back, or None if exceptional/non-Bool."""
+    if isinstance(value, Ok) and isinstance(value.value, ConVal):
+        if value.value.name == "True":
+            return True
+        if value.value.name == "False":
+            return False
+    return None

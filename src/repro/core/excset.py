@@ -1,0 +1,200 @@
+"""The exception-set lattice ``P(E)_⊥`` of Section 4.1.
+
+The paper defines the semantic domain as ``M t = t_⊥ + P(E)_⊥``
+(coalesced sum), where ``E`` is the set of all synchronous exceptions
+and ``P(E)`` is ordered by *reverse* inclusion::
+
+    S1 ⊑ S2   iff   S1 ⊇ S2
+
+so the bottom element of ``P(E)`` is ``E`` itself (least informative:
+"could be anything") and the top element is the empty set ``{}`` (most
+informative: "definitely no exception" — the strange value ``Bad {}``
+used by ``case``'s exception-finding mode, Section 4.3).  The lattice is
+then lifted, and the new bottom is identified with the set of *all*
+exceptions plus ``NonTermination``::
+
+    ⊥ = E ∪ {NonTermination}
+
+``E`` is infinite (``UserError`` carries a string), so sets are
+represented symbolically: a finite ``frozenset`` of members plus an
+``all_synchronous`` flag meaning "every synchronous exception is a
+member".  All lattice operations (union, reverse-inclusion order) are
+exact under this representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Exc:
+    """A single exception value.
+
+    ``name`` is the constructor name of the ``Exception`` data type
+    (Section 3.1); ``arg`` carries ``UserError``'s string.
+    ``synchronous`` means "a member of ``E``, the set of all synchronous
+    exceptions".  It is False both for the Section 5.1 asynchronous
+    events (interrupts, timeouts, resource exhaustion) and for
+    ``NonTermination``, which the paper adds *on top of* ``E`` when
+    forming ``⊥ = E ∪ {NonTermination}`` — so neither is ever implied by
+    an ``all_synchronous`` set.
+    """
+
+    name: str
+    arg: Optional[str] = None
+    synchronous: bool = True
+
+    def __str__(self) -> str:
+        if self.arg is not None:
+            return f"{self.name} {self.arg!r}"
+        return self.name
+
+
+DIVIDE_BY_ZERO = Exc("DivideByZero")
+OVERFLOW = Exc("Overflow")
+PATTERN_MATCH_FAIL = Exc("PatternMatchFail")
+NON_TERMINATION = Exc("NonTermination", synchronous=False)
+
+# Asynchronous events (Section 5.1).
+CONTROL_C = Exc("ControlC", synchronous=False)
+TIMEOUT = Exc("Timeout", synchronous=False)
+STACK_OVERFLOW = Exc("StackOverflow", synchronous=False)
+HEAP_OVERFLOW = Exc("HeapOverflow", synchronous=False)
+
+ASYNC_EXCEPTIONS = (CONTROL_C, TIMEOUT, STACK_OVERFLOW, HEAP_OVERFLOW)
+
+
+def user_error(message: str) -> Exc:
+    """The exception raised by ``error message`` (Section 3.1)."""
+    return Exc("UserError", message)
+
+
+@dataclass(frozen=True)
+class ExcSet:
+    """A set of exceptions, possibly infinite.
+
+    The set denoted is ``members ∪ (E if all_synchronous else {})``
+    where ``E`` is the set of every synchronous exception.  Note that
+    ``NonTermination`` is *not* synchronous-in-``E``: the paper adds it
+    as one extra constructor on top of ``E`` when forming ``⊥``, so it
+    only enters a set as an explicit member.
+    """
+
+    members: FrozenSet[Exc] = frozenset()
+    all_synchronous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.all_synchronous:
+            # Normalise: explicit synchronous members are redundant
+            # (they are already implied by the flag).
+            kept = frozenset(m for m in self.members if not m.synchronous)
+            object.__setattr__(self, "members", kept)
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def of(*excs: Exc) -> "ExcSet":
+        return ExcSet(frozenset(excs))
+
+    @staticmethod
+    def from_iter(excs: Iterable[Exc]) -> "ExcSet":
+        return ExcSet(frozenset(excs))
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, exc: Exc) -> bool:
+        if exc in self.members:
+            return True
+        return self.all_synchronous and exc.synchronous
+
+    def is_empty(self) -> bool:
+        return not self.members and not self.all_synchronous
+
+    def is_bottom(self) -> bool:
+        """Is this the set identified with ⊥, ``E ∪ {NonTermination}``?"""
+        return self.all_synchronous and NON_TERMINATION in self.members
+
+    def is_finite(self) -> bool:
+        return not self.all_synchronous
+
+    def finite_members(self) -> FrozenSet[Exc]:
+        """The explicitly listed members (all members iff finite)."""
+        return self.members
+
+    def witness(self) -> Optional[Exc]:
+        """Some member of the set, or None if empty.
+
+        Deterministic (smallest by the derived ordering) so tests are
+        reproducible; the *implementation-level* choice of witness is a
+        strategy concern, not a semantic one.
+        """
+        if self.members:
+            return min(self.members)
+        if self.all_synchronous:
+            return DIVIDE_BY_ZERO  # arbitrary canonical inhabitant of E
+        return None
+
+    # -- lattice operations ----------------------------------------------
+
+    def union(self, other: "ExcSet") -> "ExcSet":
+        """Set union — the combination rule of every strict primitive
+        (Section 4.2: ``Bad (S(e1) ∪ S(e2))``)."""
+        return ExcSet(
+            self.members | other.members,
+            self.all_synchronous or other.all_synchronous,
+        )
+
+    def intersection(self, other: "ExcSet") -> "ExcSet":
+        if self.all_synchronous and other.all_synchronous:
+            return ExcSet(
+                frozenset(
+                    m
+                    for m in self.members | other.members
+                    if m in self and m in other
+                ),
+                True,
+            )
+        if self.all_synchronous:
+            return ExcSet(
+                frozenset(m for m in other.members if m in self)
+            )
+        if other.all_synchronous:
+            return ExcSet(
+                frozenset(m for m in self.members if m in other)
+            )
+        return ExcSet(self.members & other.members)
+
+    def superset_of(self, other: "ExcSet") -> bool:
+        if other.all_synchronous and not self.all_synchronous:
+            return False
+        return all(m in self for m in other.members)
+
+    def leq(self, other: "ExcSet") -> bool:
+        """The information order: ``self ⊑ other`` iff ``self ⊇ other``."""
+        return self.superset_of(other)
+
+    def __or__(self, other: "ExcSet") -> "ExcSet":
+        return self.union(other)
+
+    def __str__(self) -> str:
+        parts = [str(m) for m in sorted(self.members)]
+        if self.all_synchronous:
+            parts.insert(0, "E")
+        return "{" + ", ".join(parts) + "}"
+
+
+EMPTY_SET = ExcSet()
+ALL_EXCEPTIONS = ExcSet(frozenset(), True)
+BOTTOM_SET = ExcSet(frozenset((NON_TERMINATION,)), True)
+
+
+def lub(a: ExcSet, b: ExcSet) -> ExcSet:
+    """Least upper bound in the information order = intersection."""
+    return a.intersection(b)
+
+
+def glb(a: ExcSet, b: ExcSet) -> ExcSet:
+    """Greatest lower bound in the information order = union."""
+    return a.union(b)

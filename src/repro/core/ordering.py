@@ -1,0 +1,112 @@
+"""The information order ``⊑`` on denotations (Section 4.1 / 4.5).
+
+The domain ``M t = t_⊥ + P(E)_⊥`` is a coalesced sum, so:
+
+* ``Bad s1 ⊑ Bad s2``  iff  ``s1 ⊇ s2`` (reverse inclusion);
+* ``⊥ = Bad (E ∪ {NonTermination})`` is below everything;
+* a non-bottom ``Bad`` and an ``Ok`` are incomparable;
+* ``Ok v1 ⊑ Ok v2`` is the pointwise order on ``t``: base values by
+  equality, constructor values componentwise (forcing lazily, bounded
+  by ``depth``), functions extensionally over a finite probe set.
+
+Functions make ``⊑`` undecidable in general; for law checking
+(Section 4.5) we compare them extensionally on a battery of probe
+arguments — ``Ok 0``, ``Ok 1``, ``Bad {}``, a singleton ``Bad`` and ⊥ —
+which suffices to *refute* laws and gives strong evidence for them
+(this is a testing semantics, documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.domains import (
+    BAD_EMPTY,
+    BOTTOM,
+    Bad,
+    ConVal,
+    FunVal,
+    IOVal,
+    Ok,
+    SemVal,
+    Thunk,
+)
+from repro.core.excset import DIVIDE_BY_ZERO, ExcSet
+
+
+def default_probes() -> Sequence[Thunk]:
+    """Probe arguments for extensional function comparison."""
+    return (
+        Thunk.ready(Ok(0)),
+        Thunk.ready(Ok(1)),
+        Thunk.ready(BAD_EMPTY),
+        Thunk.ready(Bad(ExcSet.of(DIVIDE_BY_ZERO))),
+        Thunk.ready(BOTTOM),
+    )
+
+
+def refines(
+    lower: SemVal,
+    upper: SemVal,
+    depth: int = 6,
+    probes: Optional[Sequence[Thunk]] = None,
+) -> bool:
+    """Is ``lower ⊑ upper``?  (``upper`` has at least as much
+    information: a transformation ``e -> e'`` is *legitimate* when
+    ``[e] ⊑ [e']``, Section 4.5.)"""
+    if probes is None:
+        probes = default_probes()
+    return _refines(lower, upper, depth, probes)
+
+
+def _refines(
+    lower: SemVal, upper: SemVal, depth: int, probes: Sequence[Thunk]
+) -> bool:
+    if isinstance(lower, Bad):
+        if lower.excs.is_bottom():
+            return True
+        if isinstance(upper, Bad):
+            return lower.excs.superset_of(upper.excs)
+        return False
+    if isinstance(upper, Bad):
+        return False
+    assert isinstance(lower, Ok) and isinstance(upper, Ok)
+    a, b = lower.value, upper.value
+    if isinstance(a, ConVal) and isinstance(b, ConVal):
+        if a.name != b.name or len(a.args) != len(b.args):
+            return False
+        if depth <= 0:
+            return True  # depth-bounded: assume comparable (testing order)
+        return all(
+            _refines(x.force(), y.force(), depth - 1, probes)
+            for x, y in zip(a.args, b.args)
+        )
+    if isinstance(a, FunVal) and isinstance(b, FunVal):
+        if a is b:
+            return True
+        if depth <= 0:
+            return True
+        return all(
+            _refines(a.apply(p), b.apply(p), depth - 1, probes)
+            for p in probes
+        )
+    if isinstance(a, IOVal) and isinstance(b, IOVal):
+        if a.tag != b.tag or len(a.payload) != len(b.payload):
+            return False
+        if depth <= 0:
+            return True
+        return all(
+            _refines(x.force(), y.force(), depth - 1, probes)
+            for x, y in zip(a.payload, b.payload)
+        )
+    return a == b and type(a) is type(b)
+
+
+def sem_equal(
+    a: SemVal,
+    b: SemVal,
+    depth: int = 6,
+    probes: Optional[Sequence[Thunk]] = None,
+) -> bool:
+    """Semantic equality: ``a ⊑ b`` and ``b ⊑ a``."""
+    return refines(a, b, depth, probes) and refines(b, a, depth, probes)

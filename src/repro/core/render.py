@@ -1,0 +1,82 @@
+"""Deep rendering of denotations.
+
+``str(SemVal)`` shows WHNF only; :func:`show_semval` forces lazily
+through constructor fields, rendering lurking exceptional values as
+``<Bad {...}>`` instead of aborting — the denotational counterpart of
+:func:`repro.machine.observe.show_value` (Section 3.2: exceptional
+values hide inside lazy structures and surface only on demand).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.domains import (
+    Bad,
+    ConVal,
+    FunVal,
+    IOVal,
+    Ok,
+    SemVal,
+    Thunk,
+)
+
+
+def show_semval(value: SemVal, depth: int = 50) -> str:
+    """Render a denotation, forcing constructor fields as needed."""
+    if isinstance(value, Bad):
+        return f"<Bad {value.excs}>"
+    assert isinstance(value, Ok)
+    inner = value.value
+    if isinstance(inner, bool):
+        return str(inner)
+    if isinstance(inner, int):
+        return str(inner)
+    if isinstance(inner, str):
+        return repr(inner)
+    if isinstance(inner, FunVal):
+        return "<function>"
+    if isinstance(inner, IOVal):
+        return f"<io:{inner.tag}>"
+    if isinstance(inner, ConVal):
+        return _show_con(inner, depth)
+    return str(inner)
+
+
+def _force(thunk: Thunk, depth: int) -> str:
+    if depth <= 0:
+        return "..."
+    return show_semval(thunk.force(), depth)
+
+
+def _show_con(con: ConVal, depth: int) -> str:
+    if con.name == "Cons":
+        items: List[str] = []
+        current: object = con
+        budget = depth
+        while (
+            isinstance(current, ConVal)
+            and current.name == "Cons"
+            and budget > 0
+        ):
+            items.append(_force(current.args[0], budget - 1))
+            tail = current.args[1].force()
+            if isinstance(tail, Bad):
+                items.append(f"<Bad {tail.excs}>")
+                return "[" + ", ".join(items) + "?"
+            assert isinstance(tail, Ok)
+            current = tail.value
+            budget -= 1
+        if isinstance(current, ConVal) and current.name == "Nil":
+            return "[" + ", ".join(items) + "]"
+        return "[" + ", ".join(items) + ", ...]"
+    if con.name.startswith("Tuple"):
+        return (
+            "("
+            + ", ".join(_force(a, depth - 1) for a in con.args)
+            + ")"
+        )
+    if not con.args:
+        return con.name
+    inner = " ".join(_force(a, depth - 1) for a in con.args)
+    return f"({con.name} {inner})"

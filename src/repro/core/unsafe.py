@@ -1,0 +1,117 @@
+"""``isException`` — the Section 5.4 cautionary tale, implemented.
+
+The paper asks whether a *pure* ``isException :: a -> Bool`` can
+exist.  Two respectable denotational semantics are available:
+
+* the **optimistic** one — ``isException (Bad s) = True`` always;
+* the **pessimistic** one — ``isException (Bad s) = ⊥`` when
+  ``NonTermination ∈ s`` (the set might only be "exceptional" because
+  of possible divergence).
+
+Neither is efficiently implementable, "because they require the
+implementation to detect nontermination": evaluating
+``isException ((1/0) + loop)`` right-to-left loops (where the
+optimistic semantics demands True), and left-to-right returns True
+(where the pessimistic semantics demands ⊥).  The paper's resolution
+— option 2 of its list — is to expose the function as
+``unsafeIsException`` with a *proof obligation* on the programmer:
+the argument must not be ⊥.
+
+This module provides all three artifacts:
+
+* :func:`is_exception_optimistic` / :func:`is_exception_pessimistic`
+  — the two denotational semantics, as functions on denotations;
+* :func:`unsafe_is_exception` — the paper's chosen design, documented
+  with its obligation;
+* :func:`observe_is_exception` — the operational behaviour under a
+  given strategy, used by the tests to *demonstrate* the
+  unimplementability argument (different strategies disagree with
+  whichever pure semantics you pick).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.denote import DenoteContext, denote
+from repro.core.domains import (
+    BOTTOM,
+    Bad,
+    ConVal,
+    Ok,
+    SemVal,
+    Thunk,
+)
+from repro.core.excset import NON_TERMINATION
+from repro.lang.ast import Expr
+
+
+def is_exception_optimistic(value: SemVal) -> SemVal:
+    """The optimistic semantics: any exceptional value answers True.
+
+    Making this implementable would require the language to promise
+    only "the same or LESS defined than the denotation" — under which
+    "an implementation could, in theory, abort with an error message
+    or fail to terminate for any program at all" (Section 5.4,
+    option 4)."""
+    if isinstance(value, Bad):
+        return Ok(ConVal("True"))
+    return Ok(ConVal("False"))
+
+
+def is_exception_pessimistic(value: SemVal) -> SemVal:
+    """The pessimistic semantics: possible divergence answers ⊥.
+
+    Making this implementable would require "any value that is the
+    same as or MORE defined than the program's denotation" — under
+    which a looping program "would be justified in returning an IO
+    computation that (say) deleted your entire filestore"
+    (Section 5.4, option 3)."""
+    if isinstance(value, Bad):
+        if NON_TERMINATION in value.excs:
+            return BOTTOM
+        return Ok(ConVal("True"))
+    return Ok(ConVal("False"))
+
+
+def unsafe_is_exception(
+    expr: Expr,
+    env: Optional[Dict[str, Thunk]] = None,
+    ctx: Optional[DenoteContext] = None,
+) -> SemVal:
+    """The paper's chosen design (Section 5.4, option 2).
+
+    PROOF OBLIGATION: the caller must ensure ``expr`` does not denote
+    ⊥.  Under that assumption the optimistic and pessimistic semantics
+    coincide and every evaluation order implements them; without it,
+    which answer (or divergence) you get is evaluation-order-dependent
+    and this function's result is meaningless.
+    """
+    if ctx is None:
+        ctx = DenoteContext(fuel=100_000)
+    value = denote(expr, dict(env) if env else {}, ctx)
+    return is_exception_optimistic(value)
+
+
+def observe_is_exception(
+    expr: Expr,
+    strategy=None,
+    env=None,
+    fuel: int = 100_000,
+) -> str:
+    """What an *implementation* of isException does under a strategy:
+    force the argument to WHNF and report.  Returns ``"True"``,
+    ``"False"`` or ``"diverged"`` — the Section 5.4 demonstration that
+    no strategy implements either pure semantics on all arguments."""
+    from repro.machine.eval import Machine
+    from repro.machine.heap import MachineDiverged, ObjRaise
+
+    machine = Machine(strategy=strategy, fuel=fuel,
+                      detect_blackholes=False)
+    try:
+        machine.eval(expr, dict(env) if env else {})
+        return "False"
+    except ObjRaise:
+        return "True"
+    except MachineDiverged:
+        return "diverged"

@@ -1,0 +1,16 @@
+"""The explicit exceptions-as-values encoding (Section 2.1) — the
+baseline the paper's design is measured against."""
+
+from repro.encoding.exval import (
+    EncodeError,
+    encode_expr,
+    encode_program,
+    encoding_overhead,
+)
+
+__all__ = [
+    "EncodeError",
+    "encode_expr",
+    "encode_program",
+    "encoding_overhead",
+]

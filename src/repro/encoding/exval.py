@@ -1,0 +1,261 @@
+"""The explicit ``ExVal`` encoding of exceptions (Section 2.1).
+
+A mechanical translation of a pure program into one where every
+evaluation step returns ``OK v`` or ``Bad exception`` and every
+consumer performs the case analysis by hand — the paper's Section 2.2
+example made systematic::
+
+    (f x) + (g y)
+  ==>
+    case (f x) of
+      Bad ex -> Bad ex
+      OK xv  -> case (g y) of
+                  Bad ex -> Bad ex
+                  OK yv  -> OK (xv + yv)
+
+This is the *baseline* the imprecise design is measured against, and
+the translation deliberately reproduces the baseline's documented
+flaws:
+
+* **Excessive clutter** — code size blows up (measured by E2);
+* **Poor efficiency** — a test-and-propagate at every call site
+  (measured by E2: machine steps and allocations);
+* **Increased strictness** — arguments are checked when passed, so
+  ``const 3 (1 `div` 0)`` becomes ``Bad DivideByZero`` instead of
+  ``OK 3`` (asserted by the tests; it is Section 2.2's first bullet);
+* **Fixed evaluation order** — the sequencing bakes in left-to-right,
+  so the encoding is only adequate against the left-to-right machine
+  strategy.
+
+Calling convention: lambda- and pattern-bound variables hold *raw*
+(unencoded) payloads; ``let``- and top-level-bound variables hold
+*encoded* (``ExVal``) values.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+    expr_size,
+    program_size,
+)
+from repro.lang.names import NameSupply, bound_vars, free_vars
+
+
+class EncodeError(Exception):
+    """The expression uses a feature outside the encodable fragment
+    (IO actions, ``fix``, ``mapException``)."""
+
+
+_UNENCODABLE_PRIMS = frozenset(
+    [
+        "mapException",
+        "returnIO",
+        "bindIO",
+        "getChar",
+        "putChar",
+        "putStr",
+        "getException",
+        "ioError",
+    ]
+)
+
+
+class _Encoder:
+    def __init__(self, supply: NameSupply) -> None:
+        self.supply = supply
+
+    def ok(self, expr: Expr) -> Expr:
+        return Con("OK", (expr,), 1)
+
+    def check(self, encoded: Expr, then) -> Expr:
+        """``case encoded of Bad ex -> Bad ex; OK v -> then(Var v)``."""
+        ex = self.supply.fresh("ex")
+        v = self.supply.fresh("v")
+        return Case(
+            encoded,
+            (
+                Alt(PCon("Bad", (PVar(ex),)), Con("Bad", (Var(ex),), 1)),
+                Alt(PCon("OK", (PVar(v),)), then(Var(v))),
+            ),
+        )
+
+    def check_all(self, encodeds: List[Expr], then) -> Expr:
+        """Sequence several checks left to right, collecting payloads."""
+        payloads: List[Expr] = []
+
+        def go(remaining: List[Expr]) -> Expr:
+            if not remaining:
+                return then(payloads)
+            head, rest = remaining[0], remaining[1:]
+            return self.check(
+                head, lambda v: (payloads.append(v), go(rest))[1]
+            )
+
+        return go(encodeds)
+
+    # Checked primitive -> unchecked variant.  The encoded program must
+    # represent every failure as an explicit Bad value, so the machine's
+    # raising primitives are replaced: division gets an explicit
+    # divisor guard, and overflow checking is elided (the encoded
+    # baseline treats arithmetic as total except division — documented
+    # in DESIGN.md as part of the Section 2.1 baseline's fragment).
+    _UNCHECKED = {
+        "+": "uadd",
+        "-": "usub",
+        "*": "umul",
+        "negate": "unegate",
+    }
+
+    def _encoded_prim(self, op: str, payloads: List[Expr]) -> Expr:
+        if op in self._UNCHECKED:
+            return self.ok(PrimOp(self._UNCHECKED[op], tuple(payloads)))
+        if op in ("div", "mod"):
+            numerator, divisor = payloads
+            unchecked = "udiv" if op == "div" else "umod"
+            return Case(
+                PrimOp("==", (divisor, Lit(0, "int"))),
+                (
+                    Alt(
+                        PCon("True"),
+                        Con("Bad", (Con("DivideByZero", (), 0),), 1),
+                    ),
+                    Alt(
+                        PCon("False"),
+                        self.ok(PrimOp(unchecked, (numerator, divisor))),
+                    ),
+                ),
+            )
+        # Remaining primitives (comparisons, string ops) cannot raise.
+        return self.ok(PrimOp(op, tuple(payloads)))
+
+    def encode(self, expr: Expr, encoded_vars: FrozenSet[str]) -> Expr:
+        if isinstance(expr, Var):
+            if expr.name in encoded_vars:
+                return expr
+            return self.ok(expr)
+        if isinstance(expr, Lit):
+            return self.ok(expr)
+        if isinstance(expr, Lam):
+            return self.ok(
+                Lam(expr.var, self.encode(expr.body, encoded_vars - {expr.var}))
+            )
+        if isinstance(expr, App):
+            fn_enc = self.encode(expr.fn, encoded_vars)
+            arg_enc = self.encode(expr.arg, encoded_vars)
+            return self.check(
+                fn_enc,
+                lambda f: self.check(arg_enc, lambda a: App(f, a)),
+            )
+        if isinstance(expr, Con):
+            arg_encs = [self.encode(a, encoded_vars) for a in expr.args]
+            return self.check_all(
+                arg_encs,
+                lambda vs: self.ok(Con(expr.name, tuple(vs), expr.arity)),
+            )
+        if isinstance(expr, Case):
+            scrut_enc = self.encode(expr.scrutinee, encoded_vars)
+
+            def branch(v: Expr) -> Expr:
+                alts = []
+                for alt in expr.alts:
+                    from repro.lang.ast import pattern_vars
+
+                    shadowed = frozenset(pattern_vars(alt.pattern))
+                    alts.append(
+                        Alt(
+                            alt.pattern,
+                            self.encode(alt.body, encoded_vars - shadowed),
+                        )
+                    )
+                # Encoded pattern-match failure: Bad PatternMatchFail.
+                alts.append(
+                    Alt(
+                        PWild(),
+                        Con("Bad", (Con("PatternMatchFail", (), 0),), 1),
+                    )
+                )
+                return Case(v, tuple(alts))
+
+            return self.check(scrut_enc, branch)
+        if isinstance(expr, Raise):
+            exc_enc = self.encode(expr.exc, encoded_vars)
+            return self.check(exc_enc, lambda v: Con("Bad", (v,), 1))
+        if isinstance(expr, PrimOp):
+            if expr.op in _UNENCODABLE_PRIMS:
+                raise EncodeError(
+                    f"primitive {expr.op!r} is outside the encodable "
+                    "(pure, first-order) fragment"
+                )
+            if expr.op == "seq":
+                first = self.encode(expr.args[0], encoded_vars)
+                second = self.encode(expr.args[1], encoded_vars)
+                return self.check(first, lambda _v: second)
+            arg_encs = [self.encode(a, encoded_vars) for a in expr.args]
+            return self.check_all(
+                arg_encs,
+                lambda vs: self._encoded_prim(expr.op, vs),
+            )
+        if isinstance(expr, Fix):
+            raise EncodeError(
+                "fix is outside the encodable fragment (use let recursion)"
+            )
+        if isinstance(expr, Let):
+            names = frozenset(name for name, _ in expr.binds)
+            inner = encoded_vars | names
+            binds = tuple(
+                (name, self.encode(rhs, inner)) for name, rhs in expr.binds
+            )
+            return Let(binds, self.encode(expr.body, inner))
+        raise EncodeError(f"cannot encode {expr!r}")
+
+
+def encode_expr(
+    expr: Expr,
+    encoded_vars: FrozenSet[str] = frozenset(),
+    supply: Optional[NameSupply] = None,
+) -> Expr:
+    """Encode one expression.  ``encoded_vars`` names the variables in
+    scope that already hold ``ExVal``-encoded values (e.g. top-level
+    bindings of an encoded program)."""
+    if supply is None:
+        supply = NameSupply(avoid=free_vars(expr) | bound_vars(expr))
+    return _Encoder(supply).encode(expr, encoded_vars)
+
+
+def encode_program(program: Program) -> Program:
+    """Encode a whole program; every top-level binding becomes
+    ``ExVal``-valued."""
+    names = frozenset(name for name, _ in program.binds)
+    binds = []
+    for name, rhs in program.binds:
+        supply = NameSupply(avoid=free_vars(rhs) | bound_vars(rhs) | names)
+        binds.append((name, _Encoder(supply).encode(rhs, names)))
+    return Program(program.data_decls, tuple(binds), ())
+
+
+def encoding_overhead(program: Program) -> Tuple[int, int, float]:
+    """(original size, encoded size, ratio) — the paper's "substantial
+    cost in code size" (Section 2.2), quantified."""
+    encoded = encode_program(program)
+    before = program_size(program)
+    after = program_size(encoded)
+    return before, after, after / before if before else float("inf")

@@ -1,0 +1,57 @@
+"""The IO layer (Sections 3.5, 4.4 and 5.1).
+
+Two complementary implementations:
+
+* :mod:`repro.io.run` — an *executor* that performs IO actions built by
+  the operational machine: ``getException`` marks the stack, forces its
+  argument, and catches the in-flight exception (Section 3.3), with
+  optional asynchronous event injection (Section 5.1).
+* :mod:`repro.io.transition` — the paper's labelled transition system
+  over *denotational* values (Section 4.4), including the
+  non-deterministic ``getException (Bad s)`` rules; it can enumerate
+  every possible trace/result of a program, which is how the tests
+  check that the executor only ever produces permitted outcomes.
+"""
+
+from repro.io.concurrent import (
+    ConcurrentResult,
+    Scheduler,
+    run_concurrent_program,
+    run_concurrent_source,
+)
+from repro.io.equivalence import (
+    IOEquivalenceReport,
+    compare_io,
+    compare_io_sources,
+)
+from repro.io.events import EventPlan, control_c_at, timeout_after
+from repro.io.oracle import FirstOracle, Oracle, SeededOracle
+from repro.io.run import IOExecutor, IOResult
+from repro.io.transition import (
+    MayDiverge,
+    TraceResult,
+    enumerate_outcomes,
+    run_denotational,
+)
+
+__all__ = [
+    "ConcurrentResult",
+    "EventPlan",
+    "FirstOracle",
+    "IOEquivalenceReport",
+    "IOExecutor",
+    "IOResult",
+    "MayDiverge",
+    "Oracle",
+    "Scheduler",
+    "SeededOracle",
+    "TraceResult",
+    "compare_io",
+    "compare_io_sources",
+    "control_c_at",
+    "enumerate_outcomes",
+    "run_concurrent_program",
+    "run_concurrent_source",
+    "run_denotational",
+    "timeout_after",
+]

@@ -1,0 +1,441 @@
+"""Concurrency: ``forkIO``, MVars and a scheduler.
+
+The paper remarks that its IO-layer presentation "scales to other
+extensions, such as adding concurrency to the language" (Section 4.4,
+citing Concurrent Haskell).  This module is that extension, built in
+the paper's style:
+
+* threads interleave at **IO-action granularity** — pure evaluation is
+  atomic (exactly the paper's split: the pure layer has no effects to
+  interleave);
+* the schedule is one more *strategy*: like evaluation order it is an
+  implementation choice the semantics does not pin down, so which
+  thread's output comes first is imprecise in precisely the same sense
+  as which exception is observed first — and, like strategies, a fixed
+  scheduler is reproducible;
+* ``getException`` / ``catchIO`` are per-thread; an exception escaping
+  a forked thread kills that thread alone, one escaping the main
+  thread ends the program (GHC's model);
+* MVars are the communication primitive: ``takeMVar`` on an empty MVar
+  blocks the thread, ``putMVar`` on a full one blocks, and when every
+  thread is blocked the runtime reports the deadlock as an exceptional
+  result (GHC's ``BlockedIndefinitelyOnMVar``) — a *detectable bottom*
+  in the spirit of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.excset import Exc, TIMEOUT
+from repro.machine.eval import Machine
+from repro.machine.heap import (
+    AsyncInterrupt,
+    Cell,
+    MachineDiverged,
+    ObjRaise,
+)
+from repro.machine.values import VCon, VFun, VIO, VMVar, VStr, Value
+
+BLOCKED_INDEFINITELY = Exc("BlockedIndefinitely", synchronous=False)
+
+
+class ConcurrencyError(Exception):
+    """An ill-formed concurrent program reached the scheduler."""
+
+
+@dataclass
+class ThreadOutcome:
+    """How one thread ended."""
+
+    thread_id: int
+    status: str  # "done" | "exception" | "blocked"
+    exc: Optional[Exc] = None
+
+
+@dataclass
+class ConcurrentResult:
+    """The observable result of a concurrent run."""
+
+    status: str  # "ok" | "exception" | "deadlock" | "diverged"
+    stdout: str
+    value: Optional[Value] = None
+    exc: Optional[Exc] = None
+    threads: Tuple[ThreadOutcome, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class _Frame:
+    """A continuation frame: either a bind continuation or a catch
+    handler boundary."""
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind: str, payload) -> None:
+        self.kind = kind  # "bind" | "catch"
+        self.payload = payload  # Cell holding a VFun
+
+
+class _Thread:
+    __slots__ = ("thread_id", "action", "stack", "is_main")
+
+    def __init__(self, thread_id: int, action: Cell, is_main: bool) -> None:
+        self.thread_id = thread_id
+        self.action = action
+        self.stack: List[_Frame] = []
+        self.is_main = is_main
+
+
+class _MVar:
+    __slots__ = ("contents", "take_queue", "put_queue")
+
+    def __init__(self, contents: Optional[Cell]) -> None:
+        self.contents = contents
+        # Threads blocked on this MVar.
+        self.take_queue: Deque[_Thread] = deque()
+        # (thread, value-cell) pairs blocked trying to put.
+        self.put_queue: Deque[Tuple[_Thread, Cell]] = deque()
+
+
+class Scheduler:
+    """Round-robin over runnable threads, ``quantum`` IO actions per
+    turn.  The quantum plays the role evaluation strategies play for
+    exceptions: a legal implementation choice that changes observable
+    interleavings, reproducibly."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        stdin: str = "",
+        quantum: int = 1,
+        max_actions: int = 100_000,
+        timeout_as_exception: bool = False,
+    ) -> None:
+        self.machine = machine or Machine()
+        self.stdin = list(stdin)
+        self.stdout: List[str] = []
+        self.quantum = max(1, quantum)
+        self.max_actions = max_actions
+        self.timeout_as_exception = timeout_as_exception
+        self.mvars: List[_MVar] = []
+        self.runnable: Deque[_Thread] = deque()
+        self.outcomes: List[ThreadOutcome] = []
+        self._next_thread_id = 0
+        self._main_result: Optional[Value] = None
+        self._main_exc: Optional[Exc] = None
+        self._blocked_count = 0
+
+    # -- public API ------------------------------------------------------
+
+    def run_cell(self, cell: Cell) -> ConcurrentResult:
+        self._spawn(cell, is_main=True)
+        actions = 0
+        while self.runnable:
+            if actions >= self.max_actions:
+                return self._result("diverged")
+            thread = self.runnable.popleft()
+            state = "runnable"
+            used = 0
+            while used < self.quantum and state == "runnable":
+                actions += 1
+                used += 1
+                state = self._step(thread)
+            if state == "runnable":
+                self.runnable.append(thread)
+            elif state == "main-done":
+                return self._result(
+                    "ok" if self._main_exc is None else "exception"
+                )
+            # "blocked" and "dead" threads leave the run queue.
+        if self._blocked_count:
+            # Every thread blocked on an MVar: detectable deadlock.
+            return self._result("deadlock")
+        return self._result(
+            "ok" if self._main_exc is None else "exception"
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _result(self, status: str) -> ConcurrentResult:
+        if status == "ok" and self._main_result is None:
+            # main never finished (e.g. it deadlocked or we ran out of
+            # actions) — should not be reported as ok.
+            status = "deadlock" if self._blocked_count else "diverged"
+        return ConcurrentResult(
+            status=status,
+            stdout="".join(self.stdout),
+            value=self._main_result,
+            exc=self._main_exc
+            if self._main_exc is not None
+            else (
+                BLOCKED_INDEFINITELY if status == "deadlock" else None
+            ),
+            threads=tuple(self.outcomes),
+        )
+
+    def _spawn(self, action: Cell, is_main: bool) -> _Thread:
+        thread = _Thread(self._next_thread_id, action, is_main)
+        self._next_thread_id += 1
+        self.runnable.append(thread)
+        return thread
+
+    def _finish(self, thread: _Thread, value: Value) -> str:
+        self.outcomes.append(ThreadOutcome(thread.thread_id, "done"))
+        if thread.is_main:
+            self._main_result = value
+            return "main-done"
+        return "dead"
+
+    def _die(self, thread: _Thread, exc: Exc) -> str:
+        """An exception escaped the thread entirely."""
+        self.outcomes.append(
+            ThreadOutcome(thread.thread_id, "exception", exc)
+        )
+        if thread.is_main:
+            self._main_exc = exc
+            return "main-done"
+        return "dead"
+
+    def _deliver(self, thread: _Thread, value: Value) -> str:
+        """A step produced a (forced) value: hand it to the next bind
+        continuation."""
+        return self._deliver_cell(thread, Cell.ready(value))
+
+    def _deliver_cell(self, thread: _Thread, cell: Cell) -> str:
+        """Hand a possibly-unevaluated cell to the continuation —
+        laziness flows through MVars: an exceptional value taken from
+        an MVar surfaces at its *consumer*, not at the take."""
+        while thread.stack:
+            frame = thread.stack.pop()
+            if frame.kind == "catch":
+                continue  # body completed; handler is discarded
+            k = frame.payload.force(self.machine)
+            if not isinstance(k, VFun):
+                raise ConcurrencyError(">>= continuation not a function")
+            env = dict(k.env)
+            env[k.var] = cell
+            thread.action = Cell(k.body, env)
+            return "runnable"
+        try:
+            value = cell.force(self.machine)
+        except (ObjRaise, AsyncInterrupt) as err:
+            return self._die(thread, err.exc)
+        return self._finish(thread, value)
+
+    def _raise_in(self, thread: _Thread, exc: Exc) -> str:
+        """An exception escaping the current action: unwind to the
+        nearest catch frame, else the thread dies."""
+        while thread.stack:
+            frame = thread.stack.pop()
+            if frame.kind != "catch":
+                continue
+            handler = frame.payload.force(self.machine)
+            if not isinstance(handler, VFun):
+                raise ConcurrencyError("catch handler not a function")
+            env = dict(handler.env)
+            env[handler.var] = Cell.ready(
+                self.machine.value_of_exc(exc)
+            )
+            thread.action = Cell(handler.body, env)
+            return "runnable"
+        return self._die(thread, exc)
+
+    def _step(self, thread: _Thread) -> str:
+        """Perform one IO action of one thread."""
+        machine = self.machine
+        try:
+            action = thread.action.force(machine)
+        except (ObjRaise, AsyncInterrupt) as err:
+            return self._raise_in(thread, err.exc)
+        except MachineDiverged:
+            if self.timeout_as_exception:
+                machine.grant_fuel(machine.fuel or 1_000_000)
+                return self._raise_in(thread, TIMEOUT)
+            raise
+        if not isinstance(action, VIO):
+            raise ConcurrencyError(f"performed non-IO value {action}")
+        tag = action.tag
+        if tag == "return":
+            # The returned value stays lazy; exceptions inside it
+            # surface at the consumer, exactly as in the sequential
+            # executor.
+            try:
+                value = action.payload[0].force(machine)
+            except (ObjRaise, AsyncInterrupt) as err:
+                return self._raise_in(thread, err.exc)
+            return self._deliver(thread, value)
+        if tag == "bind":
+            m_cell, k_cell = action.payload
+            thread.stack.append(_Frame("bind", k_cell))
+            thread.action = m_cell
+            return "runnable"
+        if tag == "catch":
+            body_cell, handler_cell = action.payload
+            thread.stack.append(_Frame("catch", handler_cell))
+            thread.action = body_cell
+            return "runnable"
+        if tag == "fork":
+            child = self._spawn(action.payload[0], is_main=False)
+            return self._deliver(thread, VCon("Unit"))
+        if tag == "yield":
+            return self._deliver(thread, VCon("Unit"))
+        if tag == "getChar":
+            if not self.stdin:
+                return self._raise_in(
+                    thread, Exc("UserError", "end of input")
+                )
+            return self._deliver(thread, VStr(self.stdin.pop(0)))
+        if tag in ("putChar", "putStr"):
+            try:
+                text = action.payload[0].force(machine)
+            except (ObjRaise, AsyncInterrupt) as err:
+                return self._raise_in(thread, err.exc)
+            if not isinstance(text, VStr):
+                raise ConcurrencyError("putChar/putStr of non-string")
+            self.stdout.append(text.value)
+            return self._deliver(thread, VCon("Unit"))
+        if tag == "getException":
+            try:
+                value = action.payload[0].force(machine)
+                result = VCon("OK", (Cell.ready(value),))
+            except (ObjRaise, AsyncInterrupt) as err:
+                result = VCon(
+                    "Bad", (Cell.ready(machine.value_of_exc(err.exc)),)
+                )
+            except MachineDiverged:
+                if not self.timeout_as_exception:
+                    raise
+                machine.grant_fuel(machine.fuel or 1_000_000)
+                result = VCon(
+                    "Bad", (Cell.ready(machine.value_of_exc(TIMEOUT)),)
+                )
+            return self._deliver(thread, result)
+        if tag == "ioError":
+            try:
+                exc_value = action.payload[0].force(machine)
+            except (ObjRaise, AsyncInterrupt) as err:
+                return self._raise_in(thread, err.exc)
+            return self._raise_in(
+                thread, machine.exc_of_value(exc_value)
+            )
+        if tag == "newMVar":
+            self.mvars.append(_MVar(action.payload[0]))
+            return self._deliver(thread, VMVar(len(self.mvars) - 1))
+        if tag == "newEmptyMVar":
+            self.mvars.append(_MVar(None))
+            return self._deliver(thread, VMVar(len(self.mvars) - 1))
+        if tag == "takeMVar":
+            mvar = self._mvar(thread, action.payload[0])
+            if mvar is None:
+                return "dead"  # _mvar already reported
+            if mvar.contents is None:
+                mvar.take_queue.append(thread)
+                self._blocked_count += 1
+                return "blocked"
+            cell = mvar.contents
+            mvar.contents = None
+            self._wake_putter(mvar)
+            return self._deliver_cell(thread, cell)
+        if tag == "putMVar":
+            mvar = self._mvar(thread, action.payload[0])
+            if mvar is None:
+                return "dead"
+            value_cell = action.payload[1]
+            if mvar.contents is not None:
+                mvar.put_queue.append((thread, value_cell))
+                self._blocked_count += 1
+                return "blocked"
+            self._fill(mvar, value_cell)
+            return self._deliver(thread, VCon("Unit"))
+        raise ConcurrencyError(f"unknown IO action {tag!r}")
+
+    def _mvar(self, thread: _Thread, ref_cell: Cell) -> Optional[_MVar]:
+        try:
+            ref = ref_cell.force(self.machine)
+        except (ObjRaise, AsyncInterrupt) as err:
+            self._raise_in(thread, err.exc)
+            return None
+        if not isinstance(ref, VMVar):
+            raise ConcurrencyError("MVar operation on a non-MVar")
+        return self.mvars[ref.ref]
+
+    def _fill(self, mvar: _MVar, value_cell: Cell) -> None:
+        """Put a value; hand it (still lazy) straight to a blocked
+        taker if any."""
+        if mvar.take_queue:
+            taker = mvar.take_queue.popleft()
+            self._blocked_count -= 1
+            state = self._deliver_cell(taker, value_cell)
+            if state == "runnable":
+                self.runnable.append(taker)
+            return
+        mvar.contents = value_cell
+
+    def _wake_putter(self, mvar: _MVar) -> None:
+        if mvar.put_queue:
+            putter, value_cell = mvar.put_queue.popleft()
+            self._blocked_count -= 1
+            mvar.contents = value_cell
+            state = self._deliver(putter, VCon("Unit"))
+            if state == "runnable":
+                self.runnable.append(putter)
+
+
+def run_concurrent_source(
+    source: str,
+    stdin: str = "",
+    quantum: int = 1,
+    fuel: int = 2_000_000,
+    max_actions: int = 100_000,
+    strategy=None,
+    timeout_as_exception: bool = False,
+) -> ConcurrentResult:
+    """Compile an IO expression (prelude in scope) and run it under the
+    round-robin scheduler."""
+    from repro.api import compile_expr
+    from repro.prelude.loader import machine_env
+
+    machine = Machine(strategy=strategy, fuel=fuel)
+    scheduler = Scheduler(
+        machine=machine,
+        stdin=stdin,
+        quantum=quantum,
+        max_actions=max_actions,
+        timeout_as_exception=timeout_as_exception,
+    )
+    expr = compile_expr(source)
+    return scheduler.run_cell(Cell(expr, machine_env(machine)))
+
+
+def run_concurrent_program(
+    source: str,
+    entry: str = "main",
+    stdin: str = "",
+    quantum: int = 1,
+    fuel: int = 2_000_000,
+    max_actions: int = 100_000,
+    typecheck: bool = False,
+) -> ConcurrentResult:
+    """Compile a module and run its entry point concurrently."""
+    from repro.api import compile_program
+    from repro.machine.eval import program_env
+    from repro.prelude.loader import machine_env
+
+    program = compile_program(source, typecheck=typecheck)
+    machine = Machine(fuel=fuel)
+    scheduler = Scheduler(
+        machine=machine,
+        stdin=stdin,
+        quantum=quantum,
+        max_actions=max_actions,
+    )
+    env = program_env(program, machine, machine_env(machine))
+    cell = env.get(entry)
+    if cell is None:
+        raise KeyError(f"no top-level binding {entry!r}")
+    return scheduler.run_cell(cell)

@@ -1,0 +1,109 @@
+"""Program equivalence for the IO layer.
+
+The Section 4.4 semantics assigns a program "the set of traces obtained
+from the labelled transition system".  Two IO programs are therefore
+
+* **equivalent** when they admit exactly the same behaviours,
+* one **refines** the other when its behaviour set is a subset
+  (fewer behaviours = more deterministic = more defined, matching the
+  pure layer's ⊑ which also shrinks towards definedness).
+
+This gives an executable notion of "may this IO transformation be
+applied?" mirroring the pure layer's law checker: e.g.
+
+    getException (a + b) ≡ getException (b + a)
+
+holds (both denote the same exception set, so the same behaviour set),
+while under a fixed evaluation order it would not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.core.domains import SemVal
+from repro.core.excset import Exc
+from repro.io.transition import TraceResult, enumerate_outcomes
+
+
+def _canonical(results: FrozenSet[TraceResult]) -> FrozenSet[Tuple]:
+    """Strip the fictitious sampling markers: two programs whose only
+    difference is *which* representatives were sampled from an
+    infinite set are not distinguishable."""
+    out = set()
+    for r in results:
+        trace = tuple(t for t in r.trace if not t.startswith("~"))
+        if r.fictitious:
+            out.add((trace, r.kind, "<fictitious>"))
+        else:
+            out.add((trace, r.kind, r.detail))
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class IOEquivalenceReport:
+    """The comparison of two programs' behaviour sets."""
+
+    equivalent: bool
+    lhs_refines_rhs: bool  # lhs ⊑ rhs: rhs's behaviours ⊆ lhs's
+    rhs_refines_lhs: bool
+    only_lhs: FrozenSet[Tuple]
+    only_rhs: FrozenSet[Tuple]
+
+    def __str__(self) -> str:
+        if self.equivalent:
+            return "equivalent"
+        if self.lhs_refines_rhs:
+            return "lhs ⊑ rhs (rhs more deterministic)"
+        if self.rhs_refines_lhs:
+            return "rhs ⊑ lhs (lhs more deterministic)"
+        return (
+            f"incomparable (only-lhs: {sorted(map(str, self.only_lhs))}, "
+            f"only-rhs: {sorted(map(str, self.only_rhs))})"
+        )
+
+
+def compare_io(
+    lhs: SemVal,
+    rhs: SemVal,
+    stdin: str = "",
+    async_events: Sequence[Exc] = (),
+    budget: int = 10_000,
+) -> IOEquivalenceReport:
+    """Compare the behaviour sets of two IO denotations."""
+    lhs_set = _canonical(
+        enumerate_outcomes(
+            lhs, stdin=stdin, async_events=async_events, budget=budget
+        )
+    )
+    rhs_set = _canonical(
+        enumerate_outcomes(
+            rhs, stdin=stdin, async_events=async_events, budget=budget
+        )
+    )
+    return IOEquivalenceReport(
+        equivalent=lhs_set == rhs_set,
+        lhs_refines_rhs=rhs_set <= lhs_set,
+        rhs_refines_lhs=lhs_set <= rhs_set,
+        only_lhs=frozenset(lhs_set - rhs_set),
+        only_rhs=frozenset(rhs_set - lhs_set),
+    )
+
+
+def compare_io_sources(
+    lhs_src: str,
+    rhs_src: str,
+    stdin: str = "",
+    fuel: int = 100_000,
+    **kwargs,
+) -> IOEquivalenceReport:
+    """Convenience: compare two IO programs given as source."""
+    from repro.api import denote_source
+
+    return compare_io(
+        denote_source(lhs_src, fuel=fuel),
+        denote_source(rhs_src, fuel=fuel),
+        stdin=stdin,
+        **kwargs,
+    )

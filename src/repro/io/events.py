@@ -1,0 +1,59 @@
+"""Asynchronous events (Section 5.1).
+
+Asynchronous exceptions — interrupts, timeouts, resource exhaustion —
+"perhaps will not recur (at all) if the same program is run again", so
+they are not part of any denotation.  We model their delivery with an
+:class:`EventPlan`: a schedule mapping machine step numbers to events.
+The machine raises the event as an ``AsyncInterrupt`` when its step
+counter passes the scheduled point; ``getException`` is free to catch
+it and return ``Bad event`` (rule: ``getException v --?x--> return
+(Bad x)``), discarding ``v`` even when ``v`` is a perfectly normal
+value like 42.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.core.excset import CONTROL_C, Exc, HEAP_OVERFLOW, STACK_OVERFLOW, TIMEOUT
+
+
+@dataclass(frozen=True)
+class EventPlan:
+    """A deterministic schedule of asynchronous events.
+
+    ``schedule`` maps a machine step count to the event injected when
+    evaluation reaches that step.  Determinism keeps tests
+    reproducible; the *semantics* places no constraint on when events
+    arrive, which is exactly why they cannot live in denotations.
+    """
+
+    schedule: Tuple[Tuple[int, Exc], ...] = ()
+
+    def as_dict(self) -> Dict[int, Exc]:
+        return dict(self.schedule)
+
+    def shifted(self, offset: int) -> "EventPlan":
+        return EventPlan(
+            tuple((step + offset, exc) for step, exc in self.schedule)
+        )
+
+
+def timeout_after(steps: int) -> EventPlan:
+    """An external monitoring system injecting Timeout after a budget
+    ("if evaluation of my argument goes on for too long...")."""
+    return EventPlan(((steps, TIMEOUT),))
+
+
+def control_c_at(step: int) -> EventPlan:
+    """The programmer typing ^C at a particular moment."""
+    return EventPlan(((step, CONTROL_C),))
+
+
+def stack_overflow_at(step: int) -> EventPlan:
+    return EventPlan(((step, STACK_OVERFLOW),))
+
+
+def heap_overflow_at(step: int) -> EventPlan:
+    return EventPlan(((step, HEAP_OVERFLOW),))

@@ -1,0 +1,64 @@
+"""Choice oracles for the non-deterministic IO rules.
+
+``getException`` "is free (although absolutely not required) to consult
+some external oracle (the FT Share Index, say)" when choosing which
+member of an exception set to return (Section 3.5).  An
+:class:`Oracle` is that external consultant, used by the denotational
+runner :func:`repro.io.transition.run_denotational`.  The operational
+executor needs no oracle: its "choice" is whichever exception the
+machine's evaluation strategy encounters first.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.excset import DIVIDE_BY_ZERO, Exc, ExcSet, NON_TERMINATION
+
+
+class Oracle:
+    """Chooses one exception from a set, and whether to diverge when
+    divergence is permitted (NonTermination in the set)."""
+
+    def choose(self, excs: ExcSet) -> Exc:
+        raise NotImplementedError
+
+    def choose_divergence(self, excs: ExcSet) -> bool:
+        """May return True only when ``NonTermination ∈ excs``."""
+        return False
+
+
+class FirstOracle(Oracle):
+    """Deterministic: the canonical witness of the set."""
+
+    def choose(self, excs: ExcSet) -> Exc:
+        witness = excs.witness()
+        if witness is None:
+            raise ValueError("cannot choose from an empty exception set")
+        return witness
+
+
+class SeededOracle(Oracle):
+    """Pseudo-random but reproducible choice; models "each call to
+    getException can make a different choice"."""
+
+    def __init__(self, seed: int = 0, diverge_probability: float = 0.0):
+        self._rng = random.Random(seed)
+        self.diverge_probability = diverge_probability
+
+    def choose(self, excs: ExcSet) -> Exc:
+        members = sorted(excs.finite_members())
+        if excs.is_finite():
+            if not members:
+                raise ValueError("cannot choose from an empty exception set")
+            return self._rng.choice(members)
+        # Infinite set: any synchronous exception at all is permitted —
+        # this is where "fictitious exceptions" (Section 5.3) come from.
+        pool = list(members) + [DIVIDE_BY_ZERO]
+        return self._rng.choice(pool)
+
+    def choose_divergence(self, excs: ExcSet) -> bool:
+        if NON_TERMINATION not in excs:
+            return False
+        return self._rng.random() < self.diverge_probability

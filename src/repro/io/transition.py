@@ -1,0 +1,416 @@
+"""The labelled transition system of Section 4.4, over denotations.
+
+The paper gives the IO layer an operational semantics acting on the
+*denotation* of the program: ``IO`` is regarded as an algebraic data
+type with constructors ``return``, ``>>=``, ``putChar``, ``getChar``,
+``getException``, and the behaviour of a program is the set of traces
+of the transition system.  The rules implemented here are the paper's:
+
+* structural:  ``m -> m'  ⟹  (m >>= k) -> (m' >>= k)`` and
+  ``(return v) >>= k -> k v`` (we take big steps through these);
+* ``getChar --?c--> return c`` and ``putChar c --!c--> return ()``;
+* ``getException (Ok v)  ->  return (OK v)``
+* ``getException (Bad s) ->  return (Bad x)`` for any ``x ∈ s``
+* ``getException (Bad s) ->  getException (Bad s)`` when
+  ``NonTermination ∈ s`` (it may diverge);
+* asynchronous (Section 5.1):
+  ``getException v --?x--> return (Bad x)`` for an async event ``x``.
+
+:func:`enumerate_outcomes` explores *all* permitted choices and returns
+the set of possible results — this is the specification against which
+the operational executor is property-tested (any executor outcome must
+be in this set).  For infinite exception sets the enumeration samples
+representatives and marks the result as admitting *fictitious
+exceptions* (Section 5.3: ``getException loop`` is justified in
+returning any exception whatsoever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.domains import (
+    Bad,
+    ConVal,
+    FunVal,
+    IOVal,
+    Ok,
+    SemVal,
+    Thunk,
+    mk_bad,
+)
+from repro.core.denote import conval_from_exc
+from repro.core.excset import (
+    DIVIDE_BY_ZERO,
+    Exc,
+    ExcSet,
+    NON_TERMINATION,
+    OVERFLOW,
+)
+from repro.io.oracle import FirstOracle, Oracle
+
+
+@dataclass(frozen=True)
+class MayDiverge:
+    """Marker result: the program may fail to terminate."""
+
+    def __str__(self) -> str:
+        return "MayDiverge"
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """One possible behaviour: an IO trace plus a final result.
+
+    ``trace`` records the visible events (``"?c"`` reads, ``"!c"``
+    writes).  ``kind`` is ``"ok"``, ``"uncaught"``, ``"diverge"`` or
+    ``"blocked"`` (input exhausted).  ``detail`` renders the final
+    value or exception.  ``fictitious`` marks outcomes sampled from an
+    infinite exception set (any exception at all would be permitted).
+    """
+
+    trace: Tuple[str, ...]
+    kind: str
+    detail: str = ""
+    fictitious: bool = False
+
+    def __str__(self) -> str:
+        trace = "".join(self.trace)
+        tag = " (fictitious)" if self.fictitious else ""
+        return f"<{trace}| {self.kind}: {self.detail}{tag}>"
+
+
+def describe_semval(value: SemVal, depth: int = 4) -> str:
+    """A small stable rendering of a denotation for trace results."""
+    if isinstance(value, Bad):
+        return f"Bad {value.excs}"
+    assert isinstance(value, Ok)
+    inner = value.value
+    if isinstance(inner, ConVal):
+        if not inner.args or depth <= 0:
+            return inner.name
+        parts = " ".join(
+            describe_semval(arg.force(), depth - 1) for arg in inner.args
+        )
+        return f"({inner.name} {parts})"
+    if isinstance(inner, FunVal):
+        return "<function>"
+    if isinstance(inner, IOVal):
+        return f"<io:{inner.tag}>"
+    return repr(inner)
+
+
+def _sample_excs(excs: ExcSet) -> Tuple[Sequence[Exc], bool]:
+    """Members to branch over, plus a 'fictitious' flag for infinite
+    sets (where any synchronous exception is permitted)."""
+    members = sorted(excs.finite_members())
+    if excs.is_finite():
+        return members, False
+    # Infinite: sample canonical representatives of E.
+    sample = [m for m in members if m != NON_TERMINATION]
+    sample.extend((DIVIDE_BY_ZERO, OVERFLOW))
+    return sample, True
+
+
+class _Enumerator:
+    def __init__(self, stdin: str, async_events: Sequence[Exc], budget: int):
+        self.stdin = stdin
+        self.async_events = tuple(async_events)
+        self.budget = budget
+        self.results: Set[TraceResult] = set()
+
+    def _spend(self) -> bool:
+        if self.budget <= 0:
+            return False
+        self.budget -= 1
+        return True
+
+    def run(self, io: SemVal) -> FrozenSet[TraceResult]:
+        self._perform(
+            io,
+            trace=(),
+            stdin_pos=0,
+            cont=self._final,
+        )
+        return frozenset(self.results)
+
+    def _final(self, value: SemVal, trace: Tuple[str, ...], stdin_pos: int):
+        self.results.add(
+            TraceResult(trace, "ok", describe_semval(value))
+        )
+
+    def _emit_uncaught(
+        self, excs: ExcSet, trace: Tuple[str, ...], fict_base: bool = False
+    ) -> None:
+        sample, fictitious = _sample_excs(excs)
+        fictitious = fictitious or fict_base
+        for exc in sample:
+            self.results.add(
+                TraceResult(trace, "uncaught", str(exc), fictitious)
+            )
+        if NON_TERMINATION in excs:
+            self.results.add(TraceResult(trace, "diverge", "", fictitious))
+
+    def _fail(self, excs, trace, stdin_pos, handler) -> None:
+        """An exception escaping an IO action: route to the nearest
+        enclosing catchIO handler, or report it uncaught."""
+        if handler is not None:
+            handler(excs, trace, stdin_pos)
+        else:
+            self._emit_uncaught(excs, trace)
+
+    def _perform(self, io, trace, stdin_pos, cont, handler=None) -> None:
+        if not self._spend():
+            self.results.add(TraceResult(trace, "diverge", "budget"))
+            return
+        if isinstance(io, Bad):
+            # The action's denotation at IO type is exceptional: an
+            # escaping exception (caught by catchIO, else reported).
+            self._fail(io.excs, trace, stdin_pos, handler)
+            return
+        assert isinstance(io, Ok)
+        action = io.value
+        if not isinstance(action, IOVal):
+            raise TypeError(f"performed a non-IO denotation: {io}")
+        tag = action.tag
+        if tag == "return":
+            cont(action.payload[0].force(), trace, stdin_pos)
+            return
+        if tag == "bind":
+            m_thunk, k_thunk = action.payload
+
+            def after(value: SemVal, trace2, stdin_pos2) -> None:
+                k = k_thunk.force()
+                if isinstance(k, Bad):
+                    self._fail(k.excs, trace2, stdin_pos2, handler)
+                    return
+                assert isinstance(k, Ok)
+                fun = k.value
+                assert isinstance(fun, FunVal)
+                self._perform(
+                    fun.apply(Thunk.ready(value)),
+                    trace2,
+                    stdin_pos2,
+                    cont,
+                    handler,
+                )
+
+            self._perform(m_thunk.force(), trace, stdin_pos, after, handler)
+            return
+        if tag == "getChar":
+            if stdin_pos >= len(self.stdin):
+                self.results.add(TraceResult(trace, "blocked", "stdin"))
+                return
+            ch = self.stdin[stdin_pos]
+            cont(Ok(ch), trace + (f"?{ch}",), stdin_pos + 1)
+            return
+        if tag == "putChar" or tag == "putStr":
+            value = action.payload[0].force()
+            if isinstance(value, Bad):
+                self._fail(value.excs, trace, stdin_pos, handler)
+                return
+            assert isinstance(value, Ok)
+            text = str(value.value)
+            cont(
+                Ok(ConVal("Unit")),
+                trace + tuple(f"!{c}" for c in text),
+                stdin_pos,
+            )
+            return
+        if tag == "getException":
+            value = action.payload[0].force()
+            # Asynchronous rule: at any getException, an allowed event
+            # may arrive and pre-empt the value entirely.
+            for event in self.async_events:
+                cont(
+                    Ok(ConVal("Bad", (Thunk.ready(Ok(conval_from_exc(event))),))),
+                    trace + (f"?{event.name}",),
+                    stdin_pos,
+                )
+            if isinstance(value, Ok):
+                cont(
+                    Ok(ConVal("OK", (Thunk.ready(value),))),
+                    trace,
+                    stdin_pos,
+                )
+                return
+            assert isinstance(value, Bad)
+            sample, fictitious = _sample_excs(value.excs)
+            for exc in sample:
+                wrapped = Ok(
+                    ConVal(
+                        "Bad",
+                        (Thunk.ready(Ok(conval_from_exc(exc))),),
+                    )
+                )
+                # Fictitious choices are still threaded through the
+                # continuation; mark by tagging the trace element.
+                marker = (
+                    (f"~{exc.name}",) if fictitious else ()
+                )
+                cont(wrapped, trace + marker, stdin_pos)
+            if NON_TERMINATION in value.excs:
+                # getException (Bad s) -> getException (Bad s): may spin.
+                self.results.add(TraceResult(trace, "diverge", ""))
+            return
+        if tag == "ioError":
+            value = action.payload[0].force()
+            if isinstance(value, Bad):
+                self._fail(value.excs, trace, stdin_pos, handler)
+                return
+            assert isinstance(value, Ok)
+            con = value.value
+            assert isinstance(con, ConVal)
+            if handler is not None:
+                exc = Exc(con.name)
+                handler(ExcSet.of(exc), trace, stdin_pos)
+                return
+            self.results.add(TraceResult(trace, "uncaught", con.name))
+            return
+        if tag == "catch":
+            body_thunk, handler_thunk = action.payload
+
+            def on_fail(excs, trace2, stdin_pos2) -> None:
+                sample, fictitious = _sample_excs(excs)
+                fn_val = handler_thunk.force()
+                if isinstance(fn_val, Bad):
+                    self._fail(fn_val.excs, trace2, stdin_pos2, handler)
+                    return
+                fun = fn_val.value
+                assert isinstance(fun, FunVal)
+                for exc in sample:
+                    marker = (f"~{exc.name}",) if fictitious else ()
+                    self._perform(
+                        fun.apply(Thunk.ready(Ok(conval_from_exc(exc)))),
+                        trace2 + marker,
+                        stdin_pos2,
+                        cont,
+                        handler,
+                    )
+                if NON_TERMINATION in excs:
+                    self.results.add(TraceResult(trace2, "diverge", ""))
+
+            self._perform(
+                body_thunk.force(), trace, stdin_pos, cont, on_fail
+            )
+            return
+        raise TypeError(f"unknown IO action {tag!r}")
+
+
+def enumerate_outcomes(
+    io: SemVal,
+    stdin: str = "",
+    async_events: Sequence[Exc] = (),
+    budget: int = 10_000,
+) -> FrozenSet[TraceResult]:
+    """All behaviours the Section 4.4 transition system permits."""
+    return _Enumerator(stdin, async_events, budget).run(io)
+
+
+def run_denotational(
+    io: SemVal,
+    stdin: str = "",
+    oracle: Optional[Oracle] = None,
+    max_steps: int = 100_000,
+) -> TraceResult:
+    """Perform one run, resolving every choice with the oracle."""
+    if oracle is None:
+        oracle = FirstOracle()
+    trace: List[str] = []
+    stdin_pos = 0
+
+    def perform(value: SemVal, depth: int) -> SemVal:
+        nonlocal stdin_pos
+        if depth <= 0:
+            raise RecursionError("IO nesting too deep")
+        if isinstance(value, Bad):
+            raise _Uncaught(oracle.choose(value.excs))
+        assert isinstance(value, Ok)
+        action = value.value
+        if not isinstance(action, IOVal):
+            raise TypeError(f"performed a non-IO denotation: {value}")
+        if action.tag == "return":
+            return action.payload[0].force()
+        if action.tag == "bind":
+            m_thunk, k_thunk = action.payload
+            result = perform(m_thunk.force(), depth - 1)
+            k = k_thunk.force()
+            if isinstance(k, Bad):
+                raise _Uncaught(oracle.choose(k.excs))
+            fun = k.value  # type: ignore[union-attr]
+            assert isinstance(fun, FunVal)
+            return perform(fun.apply(Thunk.ready(result)), depth - 1)
+        if action.tag == "getChar":
+            if stdin_pos >= len(stdin):
+                raise _Blocked()
+            ch = stdin[stdin_pos]
+            stdin_pos += 1
+            trace.append(f"?{ch}")
+            return Ok(ch)
+        if action.tag in ("putChar", "putStr"):
+            out = action.payload[0].force()
+            if isinstance(out, Bad):
+                raise _Uncaught(oracle.choose(out.excs))
+            assert isinstance(out, Ok)
+            for c in str(out.value):
+                trace.append(f"!{c}")
+            return Ok(ConVal("Unit"))
+        if action.tag == "getException":
+            inner = action.payload[0].force()
+            if isinstance(inner, Ok):
+                return Ok(ConVal("OK", (Thunk.ready(inner),)))
+            assert isinstance(inner, Bad)
+            if oracle.choose_divergence(inner.excs):
+                raise _Diverge()
+            exc = oracle.choose(inner.excs)
+            return Ok(
+                ConVal("Bad", (Thunk.ready(Ok(conval_from_exc(exc))),))
+            )
+        if action.tag == "ioError":
+            out = action.payload[0].force()
+            if isinstance(out, Bad):
+                raise _Uncaught(oracle.choose(out.excs))
+            assert isinstance(out, Ok)
+            con = out.value
+            assert isinstance(con, ConVal)
+            raise _Uncaught(Exc(con.name))
+        if action.tag == "catch":
+            body_thunk, handler_thunk = action.payload
+            try:
+                return perform(body_thunk.force(), depth - 1)
+            except _Uncaught as err:
+                fn_val = handler_thunk.force()
+                if isinstance(fn_val, Bad):
+                    raise _Uncaught(oracle.choose(fn_val.excs)) from None
+                fun = fn_val.value
+                assert isinstance(fun, FunVal)
+                return perform(
+                    fun.apply(Thunk.ready(Ok(conval_from_exc(err.exc)))),
+                    depth - 1,
+                )
+        raise TypeError(f"unknown IO action {action.tag!r}")
+
+    try:
+        final = perform(io, max_steps)
+        return TraceResult(tuple(trace), "ok", describe_semval(final))
+    except _Uncaught as err:
+        return TraceResult(tuple(trace), "uncaught", str(err.exc))
+    except _Blocked:
+        return TraceResult(tuple(trace), "blocked", "stdin")
+    except _Diverge:
+        return TraceResult(tuple(trace), "diverge", "")
+
+
+class _Uncaught(Exception):
+    def __init__(self, exc: Exc) -> None:
+        super().__init__(str(exc))
+        self.exc = exc
+
+
+class _Blocked(Exception):
+    pass
+
+
+class _Diverge(Exception):
+    pass

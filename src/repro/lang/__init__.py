@@ -1,0 +1,66 @@
+"""The object language: a lazy mini-Haskell.
+
+This package implements the surface language on which the paper's
+semantics is defined.  The core expression forms (``Var``, ``Lit``,
+``Lam``, ``App``, constructors, ``Case``, ``Raise``, primitives, ``Fix``)
+mirror Figure 1 of the paper exactly; the parser additionally supports
+convenience sugar (``let``, ``if``, operator syntax, multi-equation
+function definitions, ``do`` notation) which desugars onto the core.
+"""
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    DataDecl,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PCon,
+    PLit,
+    Pattern,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+)
+from repro.lang.lexer import LexError, lex
+from repro.lang.names import NameSupply, free_vars, substitute
+from repro.lang.parser import ParseError, parse_expr, parse_program
+from repro.lang.pretty import pretty
+
+__all__ = [
+    "Alt",
+    "App",
+    "Case",
+    "Con",
+    "DataDecl",
+    "Expr",
+    "Fix",
+    "Lam",
+    "Let",
+    "LexError",
+    "Lit",
+    "NameSupply",
+    "ParseError",
+    "PCon",
+    "PLit",
+    "Pattern",
+    "PrimOp",
+    "Program",
+    "PVar",
+    "PWild",
+    "Raise",
+    "Var",
+    "free_vars",
+    "lex",
+    "parse_expr",
+    "parse_program",
+    "pretty",
+    "substitute",
+]

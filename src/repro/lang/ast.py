@@ -1,0 +1,311 @@
+"""Abstract syntax for the object language.
+
+The core constructors mirror Figure 1 of the paper::
+
+    e ::= x                 variable            -> Var
+        | k                 constant            -> Lit
+        | e1 e2             application         -> App
+        | \\x1 ... xn -> e   abstraction         -> Lam (curried)
+        | C e1 ... en       constructors        -> Con / App
+        | case e of alts    matching            -> Case
+        | raise e           raise exception     -> Raise
+        | e1 + e2           primitives          -> PrimOp
+        | fix e             fixpoint            -> Fix
+
+plus ``Let`` (recursive let, expressible via ``Fix`` but kept first-class
+for readability and for the transformation suite).
+
+All nodes are immutable (frozen dataclasses) and hashable, so they can be
+used as dictionary keys by the analyses and as hypothesis-generated test
+data.  Structural equality is exact (not alpha-equivalence); use
+:func:`repro.lang.names.alpha_equivalent` for the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+LitValue = Union[int, str, bool]
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable occurrence, e.g. ``x``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal constant.
+
+    ``kind`` is one of ``"int"``, ``"char"``, ``"string"``.  Booleans and
+    unit are *not* literals; they are the constructors ``True``/``False``
+    and ``Unit`` of the prelude data types, so pattern matching on them
+    goes through the ordinary ``Case`` machinery.
+    """
+
+    value: LitValue
+    kind: str = "int"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "char", "string"):
+            raise ValueError(f"bad literal kind: {self.kind!r}")
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r}, {self.kind!r})"
+
+
+@dataclass(frozen=True)
+class Lam(Expr):
+    """A lambda abstraction of exactly one variable, ``\\x -> body``.
+
+    Multi-argument lambdas are curried by the parser.
+    """
+
+    var: str
+    body: Expr
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application, ``fn arg``."""
+
+    fn: Expr
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class Con(Expr):
+    """A saturated constructor application ``C e1 ... en``.
+
+    The parser initially produces unsaturated constructor references as
+    ``Con(name, ())`` applied via ``App``; the desugarer eta-expands them
+    so that every ``Con`` node in a desugared program is saturated.
+    ``arity`` records the declared arity (used by the saturation pass and
+    the evaluators); ``len(args) <= arity`` always holds.
+    """
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+    arity: int = 0
+
+
+class Pattern:
+    """Base class for case patterns."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PVar(Pattern):
+    """A variable pattern, binds the scrutinee component."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PWild(Pattern):
+    """The wildcard pattern ``_``."""
+
+
+@dataclass(frozen=True)
+class PLit(Pattern):
+    """A literal pattern (integers and characters only)."""
+
+    value: LitValue
+    kind: str = "int"
+
+
+@dataclass(frozen=True)
+class PCon(Pattern):
+    """A constructor pattern ``C p1 ... pn``; sub-patterns may nest."""
+
+    name: str
+    args: Tuple[Pattern, ...] = ()
+
+
+@dataclass(frozen=True)
+class Alt:
+    """One case alternative, ``pattern -> body``."""
+
+    pattern: Pattern
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``case scrutinee of { alt1 ; ... ; altn }``.
+
+    If no alternative matches, the result is a ``PatternMatchFail``
+    exceptional value (the paper treats pattern-match failure as one of
+    the built-in causes of failure, Section 2).
+    """
+
+    scrutinee: Expr
+    alts: Tuple[Alt, ...]
+
+
+@dataclass(frozen=True)
+class Raise(Expr):
+    """``raise e`` — map an ``Exception`` value to an exceptional value
+    of any type (Section 3.1)."""
+
+    exc: Expr
+
+
+@dataclass(frozen=True)
+class PrimOp(Expr):
+    """A saturated primitive operation ``op e1 ... en``.
+
+    The operator table lives in :mod:`repro.lang.ops`; it includes
+    arithmetic (``+ - * div mod negate``), comparison (``== /= < <= >
+    >=``), ``seq``, ``mapException`` and the IO primitives
+    (``returnIO``, ``bindIO``, ``getChar``, ``putChar``, ``putStr``,
+    ``getException``).
+    """
+
+    op: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Fix(Expr):
+    """``fix e`` — the least fixed point of ``e`` (Section 4.2)."""
+
+    fn: Expr
+
+
+@dataclass(frozen=True)
+class Let(Expr):
+    """A (possibly mutually) recursive let: ``let x1 = e1; ... in body``.
+
+    ``binds`` is a tuple of ``(name, rhs)`` pairs.  Semantically this is
+    sugar for ``Fix`` over a tuple, but the evaluators treat it directly
+    (via recursive environment knots) both for efficiency and so that the
+    transformation suite can express let-floating.
+    """
+
+    binds: Tuple[Tuple[str, Expr], ...]
+    body: Expr
+
+
+@dataclass(frozen=True)
+class DataDecl:
+    """A data type declaration, ``data T a1 ... = C1 t11 .. | C2 ...``.
+
+    ``constructors`` maps constructor name to a tuple of (syntactic)
+    argument types; argument types are only used by the type checker, so
+    they are stored in a lightweight parsed form
+    (:class:`repro.types.types.Type` instances once elaborated).
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    constructors: Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed module: data declarations plus top-level value bindings.
+
+    Top-level bindings are mutually recursive (one big ``Let``); the
+    evaluators build a single recursive environment from them.
+    """
+
+    data_decls: Tuple[DataDecl, ...] = ()
+    binds: Tuple[Tuple[str, Expr], ...] = ()
+    type_sigs: Tuple[Tuple[str, object], ...] = ()
+
+    def bind_map(self) -> dict:
+        return dict(self.binds)
+
+
+def app_chain(fn: Expr, *args: Expr) -> Expr:
+    """Build ``fn a1 a2 ... an`` as nested :class:`App` nodes."""
+    result = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def lam_chain(params: Tuple[str, ...], body: Expr) -> Expr:
+    """Build a curried lambda ``\\p1 -> ... \\pn -> body``."""
+    result = body
+    for param in reversed(params):
+        result = Lam(param, result)
+    return result
+
+
+def unfold_app(expr: Expr) -> Tuple[Expr, list]:
+    """Split nested applications into (head, [args])."""
+    args = []
+    while isinstance(expr, App):
+        args.append(expr.arg)
+        expr = expr.fn
+    args.reverse()
+    return expr, args
+
+
+def unfold_lam(expr: Expr) -> Tuple[list, Expr]:
+    """Split nested lambdas into ([params], body)."""
+    params = []
+    while isinstance(expr, Lam):
+        params.append(expr.var)
+        expr = expr.body
+    return params, expr
+
+
+def pattern_vars(pattern: Pattern) -> list:
+    """All variables bound by a pattern, in left-to-right order."""
+    out: list = []
+
+    def go(p: Pattern) -> None:
+        if isinstance(p, PVar):
+            out.append(p.name)
+        elif isinstance(p, PCon):
+            for sub in p.args:
+                go(sub)
+
+    go(pattern)
+    return out
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of AST nodes in an expression (used as the paper's
+    'code size' measure for the explicit-encoding comparison, E2)."""
+    size = 1
+    if isinstance(expr, Lam):
+        size += expr_size(expr.body)
+    elif isinstance(expr, App):
+        size += expr_size(expr.fn) + expr_size(expr.arg)
+    elif isinstance(expr, Con):
+        size += sum(expr_size(a) for a in expr.args)
+    elif isinstance(expr, Case):
+        size += expr_size(expr.scrutinee)
+        size += sum(1 + expr_size(alt.body) for alt in expr.alts)
+    elif isinstance(expr, Raise):
+        size += expr_size(expr.exc)
+    elif isinstance(expr, PrimOp):
+        size += sum(expr_size(a) for a in expr.args)
+    elif isinstance(expr, Fix):
+        size += expr_size(expr.fn)
+    elif isinstance(expr, Let):
+        size += sum(expr_size(rhs) for _, rhs in expr.binds)
+        size += expr_size(expr.body)
+    return size
+
+
+def program_size(program: Program) -> int:
+    """Total AST node count of all top-level bindings."""
+    return sum(expr_size(rhs) for _, rhs in program.binds)

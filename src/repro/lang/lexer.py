@@ -1,0 +1,296 @@
+"""Lexer with a simplified Haskell-style layout algorithm.
+
+The layout rule implemented here is the pragmatic subset needed for the
+paper's programs and the prelude:
+
+* after ``of``, ``do`` and ``let`` (when not immediately followed by an
+  explicit ``{``) a *layout context* opens at the column of the next
+  token; a virtual ``{`` is emitted;
+* a line beginning at exactly that column emits a virtual ``;``;
+* a line beginning left of that column closes the context (virtual
+  ``}``) — repeatedly, until the column is inside some open context;
+* ``in`` closes a pending ``let`` context;
+* the whole module is a layout context at the column of its first token,
+  so top-level declarations are ``;``-separated.
+
+Explicit ``{ ; }`` always work and disable layout for that block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.ops import OP_SYMBOLS
+from repro.lang.tokens import KEYWORDS, Token
+
+
+class LexError(Exception):
+    """Raised on malformed input."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+_SYMBOL_CHARS = set("!#$%&*+./<=>?@\\^|-~:")
+
+
+def _raw_tokens(source: str) -> List[Token]:
+    """Tokenise without layout processing."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\n\r":
+            advance()
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if source.startswith("{-", i):
+            depth = 1
+            advance(2)
+            while i < n and depth:
+                if source.startswith("{-", i):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("-}", i):
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance()
+            if depth:
+                raise LexError("unterminated block comment", line, col)
+            continue
+        start_line, start_col = line, col
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(
+                Token("INT", int(source[i:j]), start_line, start_col)
+            )
+            advance(j - i)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_'"):
+                j += 1
+            word = source[i:j]
+            advance(j - i)
+            if word in KEYWORDS:
+                tokens.append(Token("KEYWORD", word, start_line, start_col))
+            elif word[0].isupper():
+                tokens.append(Token("CONID", word, start_line, start_col))
+            else:
+                tokens.append(Token("IDENT", word, start_line, start_col))
+            continue
+        if ch == '"':
+            advance()
+            chars = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\":
+                    advance()
+                    if i >= n:
+                        break
+                    esc = source[i]
+                    chars.append(
+                        {"n": "\n", "t": "\t", "\\": "\\", '"': '"'}.get(
+                            esc, esc
+                        )
+                    )
+                    advance()
+                else:
+                    chars.append(source[i])
+                    advance()
+            if i >= n:
+                raise LexError(
+                    "unterminated string literal", start_line, start_col
+                )
+            advance()  # closing quote
+            tokens.append(
+                Token("STRING", "".join(chars), start_line, start_col)
+            )
+            continue
+        if ch == "'":
+            advance()
+            if i < n and source[i] == "\\":
+                advance()
+                if i >= n:
+                    raise LexError(
+                        "unterminated char literal", start_line, start_col
+                    )
+                value = {"n": "\n", "t": "\t", "\\": "\\", "'": "'"}.get(
+                    source[i], source[i]
+                )
+                advance()
+            elif i < n:
+                value = source[i]
+                advance()
+            else:
+                raise LexError(
+                    "unterminated char literal", start_line, start_col
+                )
+            if i >= n or source[i] != "'":
+                raise LexError(
+                    "unterminated char literal", start_line, start_col
+                )
+            advance()
+            tokens.append(Token("CHAR", value, start_line, start_col))
+            continue
+        if ch == "`":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            if j >= n or source[j] != "`":
+                raise LexError("unterminated backquote", start_line, start_col)
+            word = source[i : j + 1]
+            advance(j + 1 - i)
+            tokens.append(Token("OP", word, start_line, start_col))
+            continue
+        if ch in "()[]{},;":
+            tokens.append(Token("PUNCT", ch, start_line, start_col))
+            advance()
+            continue
+        if ch in _SYMBOL_CHARS:
+            j = i
+            while j < n and source[j] in _SYMBOL_CHARS:
+                j += 1
+            sym = source[i:j]
+            advance(j - i)
+            if sym == "--":
+                # already handled above, but guard anyway
+                continue
+            if sym in ("->", "<-", "=", "|", "\\", "::", "@"):
+                tokens.append(Token("PUNCT", sym, start_line, start_col))
+            else:
+                tokens.append(Token("OP", sym, start_line, start_col))
+            continue
+        raise LexError(f"unexpected character {ch!r}", start_line, start_col)
+    tokens.append(Token("EOF", "", line, col))
+    return tokens
+
+
+_LAYOUT_KEYWORDS = frozenset(["of", "do", "let", "where"])
+
+
+def _apply_layout(raw: List[Token], top_level: bool) -> List[Token]:
+    """Insert virtual braces and semicolons per the simplified rule."""
+    out: List[Token] = []
+    # Each context is (column, origin): column -1 marks an explicit
+    # brace block; origin records which keyword opened it ("let",
+    # "of", "do", "module", "explicit") so that `in` only ever closes
+    # an implicit let-context.
+    contexts: List[tuple] = []
+    i = 0
+    n = len(raw)
+
+    pending_keyword: Optional[str] = None  # just saw a layout keyword
+
+    if top_level and raw and raw[0].kind != "EOF":
+        contexts.append((raw[0].col, "module"))
+
+    prev_line = raw[0].line if raw else 1
+
+    while i < n:
+        tok = raw[i]
+        if tok.kind == "EOF":
+            while contexts and contexts[-1][0] != -1:
+                contexts.pop()
+                out.append(Token("VRBRACE", "}", tok.line, tok.col))
+            out.append(tok)
+            break
+
+        if pending_keyword is not None:
+            origin = pending_keyword
+            pending_keyword = None
+            if tok.kind == "PUNCT" and tok.value == "{":
+                contexts.append((-1, "explicit"))
+                out.append(tok)
+                prev_line = tok.line
+                i += 1
+                continue
+            out.append(Token("VLBRACE", "{", tok.line, tok.col))
+            contexts.append((tok.col, origin))
+            # fall through: the token itself is processed below, but do
+            # not apply the new-line rule to it (it opens the block).
+            out.append(tok)
+            if tok.kind == "KEYWORD" and tok.value in _LAYOUT_KEYWORDS:
+                pending_keyword = str(tok.value)
+            prev_line = tok.line
+            i += 1
+            continue
+
+        if tok.line > prev_line:
+            # New line: compare against the innermost layout context.
+            while (
+                contexts
+                and contexts[-1][0] != -1
+                and tok.col < contexts[-1][0]
+            ):
+                contexts.pop()
+                out.append(Token("VRBRACE", "}", tok.line, tok.col))
+            if (
+                contexts
+                and contexts[-1][0] != -1
+                and tok.col == contexts[-1][0]
+            ):
+                out.append(Token("VSEMI", ";", tok.line, tok.col))
+
+        if tok.kind == "KEYWORD" and tok.value == "in":
+            # `in` closes the innermost context when (and only when)
+            # that context is an implicit let-block.
+            if contexts and contexts[-1][1] == "let":
+                contexts.pop()
+                out.append(Token("VRBRACE", "}", tok.line, tok.col))
+            out.append(tok)
+            prev_line = tok.line
+            i += 1
+            continue
+
+        if tok.kind == "PUNCT" and tok.value == "{":
+            contexts.append((-1, "explicit"))
+            out.append(tok)
+            prev_line = tok.line
+            i += 1
+            continue
+        if tok.kind == "PUNCT" and tok.value == "}":
+            if contexts and contexts[-1][0] == -1:
+                contexts.pop()
+            out.append(tok)
+            prev_line = tok.line
+            i += 1
+            continue
+
+        out.append(tok)
+        if tok.kind == "KEYWORD" and tok.value in _LAYOUT_KEYWORDS:
+            pending_keyword = str(tok.value)
+        prev_line = tok.line
+        i += 1
+
+    return out
+
+
+def lex(source: str, top_level: bool = False) -> List[Token]:
+    """Tokenise ``source``.
+
+    With ``top_level=True`` the whole input is treated as a module-level
+    layout block (declarations separated by virtual semicolons).
+    """
+    return _apply_layout(_raw_tokens(source), top_level)

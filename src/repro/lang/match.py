@@ -1,0 +1,295 @@
+"""Pattern-match compilation: nested patterns -> flat cases.
+
+The paper's core language (Figure 1) has flat patterns only
+(``C x1 ... xn``).  The surface language allows nesting
+(``f (Just (x:xs)) = ...``); this module compiles any ``Case`` whose
+alternatives use nested patterns into a tree of flat cases, with
+sequential match semantics and ``raise PatternMatchFail`` fall-through
+(pattern-match failure is one of the paper's built-in failure causes,
+Section 2).
+
+The compiler is the standard column-wise matrix algorithm.  Fall-through
+join points are bound in ``let``s (they are lazy, so the failure
+continuation costs nothing unless reached), and an explicit default
+alternative is omitted when a constructor group is exhaustive — this
+matters for the exception-finding mode of Section 4.3, which explores
+*every* alternative of a case on an exceptional scrutinee: a spurious
+default would add a spurious ``PatternMatchFail`` to denotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PLit,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+)
+from repro.lang.names import NameSupply, bound_vars, free_vars, substitute
+from repro.lang.parser import BUILTIN_CON_ARITY
+
+# Sibling sets for the built-in data types, used to detect exhaustive
+# matches.  User `data` declarations extend this via `sibling_map`.
+BUILTIN_SIBLINGS: Dict[str, FrozenSet[str]] = {}
+for _group in (
+    ("True", "False"),
+    ("Unit",),
+    ("Nil", "Cons"),
+    ("Nothing", "Just"),
+    ("OK", "Bad"),
+    ("Tuple2",),
+    ("Tuple3",),
+    ("Tuple4",),
+    (
+        "DivideByZero",
+        "Overflow",
+        "UserError",
+        "PatternMatchFail",
+        "NonTermination",
+        "ControlC",
+        "Timeout",
+        "StackOverflow",
+        "HeapOverflow",
+    ),
+):
+    for _name in _group:
+        BUILTIN_SIBLINGS[_name] = frozenset(_group)
+
+
+def sibling_map(program: Optional[Program] = None) -> Dict[str, FrozenSet[str]]:
+    """Constructor -> full set of constructors of its data type."""
+    result = dict(BUILTIN_SIBLINGS)
+    if program is not None:
+        for decl in program.data_decls:
+            names = frozenset(cname for cname, _ in decl.constructors)
+            for cname, _ in decl.constructors:
+                result[cname] = names
+    return result
+
+
+def _is_flat(pattern: Pattern) -> bool:
+    if isinstance(pattern, (PVar, PWild, PLit)):
+        return True
+    if isinstance(pattern, PCon):
+        return all(isinstance(p, (PVar, PWild)) for p in pattern.args)
+    return False
+
+
+_FAIL = Raise(Con("PatternMatchFail", (), 0))
+
+_Row = Tuple[List[Pattern], Expr]
+
+
+class _MatchCompiler:
+    def __init__(
+        self,
+        siblings: Dict[str, FrozenSet[str]],
+        arities: Dict[str, int],
+        supply: NameSupply,
+    ) -> None:
+        self.siblings = siblings
+        self.arities = arities
+        self.supply = supply
+
+    def compile_case(self, scrut: Expr, alts: Sequence[Alt]) -> Expr:
+        if isinstance(scrut, Var):
+            var = scrut.name
+            wrap = lambda e: e  # noqa: E731
+        else:
+            var = self.supply.fresh("scrut")
+            wrap = lambda e, v=var, s=scrut: Let(((v, s),), e)  # noqa: E731
+        rows: List[_Row] = [([alt.pattern], alt.body) for alt in alts]
+        return wrap(self.match([var], rows, _FAIL))
+
+    def match(
+        self, vars_: List[str], rows: List[_Row], default: Expr
+    ) -> Expr:
+        if not rows:
+            return default
+        if not vars_:
+            return rows[0][1]
+        # Split into maximal runs of rows whose first column has the
+        # same kind (variable-like vs constructor vs literal).
+        runs: List[Tuple[str, List[_Row]]] = []
+        for pats, body in rows:
+            kind = (
+                "var"
+                if isinstance(pats[0], (PVar, PWild))
+                else "lit"
+                if isinstance(pats[0], PLit)
+                else "con"
+            )
+            if runs and runs[-1][0] == kind:
+                runs[-1][1].append((pats, body))
+            else:
+                runs.append((kind, [(pats, body)]))
+        result = default
+        for kind, run in reversed(runs):
+            result = self._compile_run(kind, run, vars_, result)
+        return result
+
+    def _join(self, default: Expr, build):
+        """Bind the failure continuation once if it is non-trivial."""
+        if isinstance(default, (Var, Raise)):
+            return build(default)
+        name = self.supply.fresh("fail")
+        return Let(((name, default),), build(Var(name)))
+
+    def _compile_run(
+        self, kind: str, run: List[_Row], vars_: List[str], default: Expr
+    ) -> Expr:
+        head, rest_vars = vars_[0], vars_[1:]
+        if kind == "var":
+            new_rows: List[_Row] = []
+            for pats, body in run:
+                first = pats[0]
+                if isinstance(first, PVar):
+                    body = substitute(body, {first.name: Var(head)})
+                new_rows.append((pats[1:], body))
+            return self.match(rest_vars, new_rows, default)
+        if kind == "lit":
+            def build_lit(join: Expr) -> Expr:
+                groups: List[Tuple[PLit, List[_Row]]] = []
+                for pats, body in run:
+                    lit = pats[0]
+                    assert isinstance(lit, PLit)
+                    for existing, grp in groups:
+                        if existing == lit:
+                            grp.append((pats[1:], body))
+                            break
+                    else:
+                        groups.append((lit, [(pats[1:], body)]))
+                alts = tuple(
+                    Alt(lit, self.match(rest_vars, grp, join))
+                    for lit, grp in groups
+                ) + (Alt(PWild(), join),)
+                return Case(Var(head), alts)
+
+            return self._join(default, build_lit)
+
+        # constructor run
+        def build_con(join: Expr) -> Expr:
+            groups: List[Tuple[str, List[Tuple[List[Pattern], _Row]]]] = []
+            for pats, body in run:
+                con = pats[0]
+                assert isinstance(con, PCon)
+                subpats = list(con.args)
+                for name, grp in groups:
+                    if name == con.name:
+                        grp.append((subpats, (pats[1:], body)))
+                        break
+                else:
+                    groups.append((con.name, [(subpats, (pats[1:], body))]))
+            alts: List[Alt] = []
+            for name, grp in groups:
+                arity = self.arities.get(
+                    name, BUILTIN_CON_ARITY.get(name)
+                )
+                if arity is None:
+                    arity = len(grp[0][0])
+                fresh = [self.supply.fresh("m") for _ in range(arity)]
+                sub_rows: List[_Row] = [
+                    (subpats + pats, body)
+                    for subpats, (pats, body) in grp
+                ]
+                alts.append(
+                    Alt(
+                        PCon(name, tuple(PVar(f) for f in fresh)),
+                        self.match(fresh + rest_vars, sub_rows, join),
+                    )
+                )
+            covered = frozenset(name for name, _ in groups)
+            siblings = self.siblings.get(next(iter(covered)))
+            exhaustive = siblings is not None and covered >= siblings
+            if not exhaustive:
+                alts.append(Alt(PWild(), join))
+            return Case(Var(head), tuple(alts))
+
+        return self._join(default, build_con)
+
+
+def flatten_case_patterns(
+    expr: Expr,
+    siblings: Optional[Dict[str, FrozenSet[str]]] = None,
+    arities: Optional[Dict[str, int]] = None,
+    supply: Optional[NameSupply] = None,
+) -> Expr:
+    """Rewrite every ``Case`` with nested patterns into flat cases."""
+    if siblings is None:
+        siblings = BUILTIN_SIBLINGS
+    if arities is None:
+        arities = dict(BUILTIN_CON_ARITY)
+    if supply is None:
+        supply = NameSupply(avoid=free_vars(expr) | bound_vars(expr))
+    compiler = _MatchCompiler(siblings, arities, supply)
+    return _flatten(expr, compiler)
+
+
+def _flatten(expr: Expr, compiler: _MatchCompiler) -> Expr:
+    if isinstance(expr, (Var, Lit)):
+        return expr
+    if isinstance(expr, Lam):
+        return Lam(expr.var, _flatten(expr.body, compiler))
+    if isinstance(expr, App):
+        return App(_flatten(expr.fn, compiler), _flatten(expr.arg, compiler))
+    if isinstance(expr, Con):
+        return Con(
+            expr.name,
+            tuple(_flatten(a, compiler) for a in expr.args),
+            expr.arity,
+        )
+    if isinstance(expr, Case):
+        scrut = _flatten(expr.scrutinee, compiler)
+        alts = tuple(
+            Alt(alt.pattern, _flatten(alt.body, compiler))
+            for alt in expr.alts
+        )
+        if all(_is_flat(alt.pattern) for alt in alts):
+            return Case(scrut, alts)
+        return compiler.compile_case(scrut, alts)
+    if isinstance(expr, Raise):
+        return Raise(_flatten(expr.exc, compiler))
+    if isinstance(expr, PrimOp):
+        return PrimOp(
+            expr.op, tuple(_flatten(a, compiler) for a in expr.args)
+        )
+    if isinstance(expr, Fix):
+        return Fix(_flatten(expr.fn, compiler))
+    if isinstance(expr, Let):
+        return Let(
+            tuple(
+                (name, _flatten(rhs, compiler)) for name, rhs in expr.binds
+            ),
+            _flatten(expr.body, compiler),
+        )
+    raise TypeError(f"flatten: unknown expression {expr!r}")
+
+
+def flatten_program(program: Program) -> Program:
+    """Flatten every top-level binding of a program."""
+    siblings = sibling_map(program)
+    arities = dict(BUILTIN_CON_ARITY)
+    for decl in program.data_decls:
+        for cname, cargs in decl.constructors:
+            arities[cname] = len(cargs)
+    binds = tuple(
+        (name, flatten_case_patterns(rhs, siblings, arities))
+        for name, rhs in program.binds
+    )
+    return Program(program.data_decls, binds, program.type_sigs)

@@ -1,0 +1,334 @@
+"""Name handling: free variables, fresh name supply, capture-avoiding
+substitution, and alpha-equivalence.
+
+These are the workhorses of the transformation suite (beta reduction and
+inlining must be capture-avoiding) and of the property-based tests
+(round-trip tests compare modulo alpha).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PrimOp,
+    PVar,
+    Raise,
+    Var,
+    pattern_vars,
+)
+
+
+class NameSupply:
+    """An inexhaustible supply of fresh names.
+
+    Names are of the form ``prefix_N``; the supply can be seeded with a
+    set of names to avoid.
+    """
+
+    def __init__(self, avoid: Optional[Iterable[str]] = None) -> None:
+        self._avoid: Set[str] = set(avoid) if avoid else set()
+        self._counter = itertools.count()
+
+    def fresh(self, prefix: str = "v") -> str:
+        base = prefix.rstrip("0123456789_") or "v"
+        for i in self._counter:
+            name = f"{base}_{i}"
+            if name not in self._avoid:
+                self._avoid.add(name)
+                return name
+        raise AssertionError("unreachable")
+
+    def avoid(self, names: Iterable[str]) -> None:
+        self._avoid.update(names)
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """The free variables of an expression."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, Lit):
+        return frozenset()
+    if isinstance(expr, Lam):
+        return free_vars(expr.body) - {expr.var}
+    if isinstance(expr, App):
+        return free_vars(expr.fn) | free_vars(expr.arg)
+    if isinstance(expr, Con):
+        out: FrozenSet[str] = frozenset()
+        for arg in expr.args:
+            out |= free_vars(arg)
+        return out
+    if isinstance(expr, Case):
+        out = free_vars(expr.scrutinee)
+        for alt in expr.alts:
+            out |= free_vars(alt.body) - frozenset(pattern_vars(alt.pattern))
+        return out
+    if isinstance(expr, Raise):
+        return free_vars(expr.exc)
+    if isinstance(expr, PrimOp):
+        out = frozenset()
+        for arg in expr.args:
+            out |= free_vars(arg)
+        return out
+    if isinstance(expr, Fix):
+        return free_vars(expr.fn)
+    if isinstance(expr, Let):
+        bound = frozenset(name for name, _ in expr.binds)
+        out = free_vars(expr.body) - bound
+        for _, rhs in expr.binds:
+            out |= free_vars(rhs) - bound
+        return out
+    raise TypeError(f"free_vars: unknown expression {expr!r}")
+
+
+def bound_vars(expr: Expr) -> FrozenSet[str]:
+    """All variables bound anywhere inside an expression."""
+    if isinstance(expr, (Var, Lit)):
+        return frozenset()
+    if isinstance(expr, Lam):
+        return frozenset((expr.var,)) | bound_vars(expr.body)
+    if isinstance(expr, App):
+        return bound_vars(expr.fn) | bound_vars(expr.arg)
+    if isinstance(expr, Con):
+        out: FrozenSet[str] = frozenset()
+        for arg in expr.args:
+            out |= bound_vars(arg)
+        return out
+    if isinstance(expr, Case):
+        out = bound_vars(expr.scrutinee)
+        for alt in expr.alts:
+            out |= frozenset(pattern_vars(alt.pattern)) | bound_vars(alt.body)
+        return out
+    if isinstance(expr, Raise):
+        return bound_vars(expr.exc)
+    if isinstance(expr, PrimOp):
+        out = frozenset()
+        for arg in expr.args:
+            out |= bound_vars(arg)
+        return out
+    if isinstance(expr, Fix):
+        return bound_vars(expr.fn)
+    if isinstance(expr, Let):
+        out = frozenset(name for name, _ in expr.binds) | bound_vars(expr.body)
+        for _, rhs in expr.binds:
+            out |= bound_vars(rhs)
+        return out
+    raise TypeError(f"bound_vars: unknown expression {expr!r}")
+
+
+def _rename_pattern(
+    pattern: Pattern, mapping: Dict[str, str]
+) -> Pattern:
+    if isinstance(pattern, PVar):
+        return PVar(mapping.get(pattern.name, pattern.name))
+    if isinstance(pattern, PCon):
+        return PCon(
+            pattern.name,
+            tuple(_rename_pattern(p, mapping) for p in pattern.args),
+        )
+    return pattern
+
+
+def substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """Capture-avoiding simultaneous substitution.
+
+    Binders that would capture a free variable of a substituted
+    expression are renamed on the fly.
+    """
+    if not mapping:
+        return expr
+    needed: Set[str] = set()
+    for replacement in mapping.values():
+        needed |= free_vars(replacement)
+    supply = NameSupply(avoid=needed | set(mapping) | free_vars(expr))
+    return _subst(expr, dict(mapping), needed, supply)
+
+
+def _subst(
+    expr: Expr,
+    mapping: Dict[str, Expr],
+    capture_risk: Set[str],
+    supply: NameSupply,
+) -> Expr:
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, Lam):
+        mapping = {k: v for k, v in mapping.items() if k != expr.var}
+        if not mapping:
+            return expr
+        var, body = expr.var, expr.body
+        if var in capture_risk:
+            fresh = supply.fresh(var)
+            body = _subst(body, {var: Var(fresh)}, set(), supply)
+            var = fresh
+        return Lam(var, _subst(body, mapping, capture_risk, supply))
+    if isinstance(expr, App):
+        return App(
+            _subst(expr.fn, mapping, capture_risk, supply),
+            _subst(expr.arg, mapping, capture_risk, supply),
+        )
+    if isinstance(expr, Con):
+        return Con(
+            expr.name,
+            tuple(_subst(a, mapping, capture_risk, supply) for a in expr.args),
+            expr.arity,
+        )
+    if isinstance(expr, Case):
+        scrut = _subst(expr.scrutinee, mapping, capture_risk, supply)
+        alts = []
+        for alt in expr.alts:
+            pvars = pattern_vars(alt.pattern)
+            sub = {k: v for k, v in mapping.items() if k not in pvars}
+            pattern, body = alt.pattern, alt.body
+            clashes = [v for v in pvars if v in capture_risk]
+            if clashes and sub:
+                renaming = {v: supply.fresh(v) for v in clashes}
+                pattern = _rename_pattern(pattern, renaming)
+                body = _subst(
+                    body,
+                    {old: Var(new) for old, new in renaming.items()},
+                    set(),
+                    supply,
+                )
+            alts.append(Alt(pattern, _subst(body, sub, capture_risk, supply)))
+        return Case(scrut, tuple(alts))
+    if isinstance(expr, Raise):
+        return Raise(_subst(expr.exc, mapping, capture_risk, supply))
+    if isinstance(expr, PrimOp):
+        return PrimOp(
+            expr.op,
+            tuple(_subst(a, mapping, capture_risk, supply) for a in expr.args),
+        )
+    if isinstance(expr, Fix):
+        return Fix(_subst(expr.fn, mapping, capture_risk, supply))
+    if isinstance(expr, Let):
+        bound = [name for name, _ in expr.binds]
+        sub = {k: v for k, v in mapping.items() if k not in bound}
+        clashes = [v for v in bound if v in capture_risk]
+        binds = list(expr.binds)
+        body = expr.body
+        if clashes and sub:
+            renaming = {v: supply.fresh(v) for v in clashes}
+            ren_map = {old: Var(new) for old, new in renaming.items()}
+            binds = [
+                (renaming.get(name, name), _subst(rhs, ren_map, set(), supply))
+                for name, rhs in binds
+            ]
+            body = _subst(body, ren_map, set(), supply)
+        if not sub:
+            return Let(tuple(binds), body)
+        new_binds = tuple(
+            (name, _subst(rhs, sub, capture_risk, supply))
+            for name, rhs in binds
+        )
+        return Let(new_binds, _subst(body, sub, capture_risk, supply))
+    raise TypeError(f"substitute: unknown expression {expr!r}")
+
+
+def alpha_equivalent(a: Expr, b: Expr) -> bool:
+    """Structural equality modulo renaming of bound variables."""
+    return _alpha(a, b, {}, {})
+
+
+def _alpha(a: Expr, b: Expr, env_a: Dict[str, int], env_b: Dict[str, int]) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Var):
+        ka = env_a.get(a.name, a.name)
+        kb = env_b.get(b.name, b.name)
+        return ka == kb
+    if isinstance(a, Lit):
+        return a == b
+    if isinstance(a, Lam):
+        level = len(env_a)
+        return _alpha(
+            a.body,
+            b.body,
+            {**env_a, a.var: level},
+            {**env_b, b.var: level},
+        )
+    if isinstance(a, App):
+        return _alpha(a.fn, b.fn, env_a, env_b) and _alpha(
+            a.arg, b.arg, env_a, env_b
+        )
+    if isinstance(a, Con):
+        if a.name != b.name or len(a.args) != len(b.args):
+            return False
+        return all(
+            _alpha(x, y, env_a, env_b) for x, y in zip(a.args, b.args)
+        )
+    if isinstance(a, Case):
+        if len(a.alts) != len(b.alts):
+            return False
+        if not _alpha(a.scrutinee, b.scrutinee, env_a, env_b):
+            return False
+        for alt_a, alt_b in zip(a.alts, b.alts):
+            ok, ea, eb = _alpha_pattern(
+                alt_a.pattern, alt_b.pattern, env_a, env_b
+            )
+            if not ok:
+                return False
+            if not _alpha(alt_a.body, alt_b.body, ea, eb):
+                return False
+        return True
+    if isinstance(a, Raise):
+        return _alpha(a.exc, b.exc, env_a, env_b)
+    if isinstance(a, PrimOp):
+        if a.op != b.op or len(a.args) != len(b.args):
+            return False
+        return all(
+            _alpha(x, y, env_a, env_b) for x, y in zip(a.args, b.args)
+        )
+    if isinstance(a, Fix):
+        return _alpha(a.fn, b.fn, env_a, env_b)
+    if isinstance(a, Let):
+        if len(a.binds) != len(b.binds):
+            return False
+        level = len(env_a)
+        ea, eb = dict(env_a), dict(env_b)
+        for i, ((name_a, _), (name_b, _)) in enumerate(
+            zip(a.binds, b.binds)
+        ):
+            ea[name_a] = level + i
+            eb[name_b] = level + i
+        for (_, rhs_a), (_, rhs_b) in zip(a.binds, b.binds):
+            if not _alpha(rhs_a, rhs_b, ea, eb):
+                return False
+        return _alpha(a.body, b.body, ea, eb)
+    raise TypeError(f"alpha_equivalent: unknown expression {a!r}")
+
+
+def _alpha_pattern(pa: Pattern, pb: Pattern, env_a: Dict, env_b: Dict):
+    if type(pa) is not type(pb):
+        return False, env_a, env_b
+    if isinstance(pa, PVar):
+        level = len(env_a)
+        return (
+            True,
+            {**env_a, pa.name: level},
+            {**env_b, pb.name: level},
+        )
+    if isinstance(pa, PCon):
+        if pa.name != pb.name or len(pa.args) != len(pb.args):
+            return False, env_a, env_b
+        ea, eb = env_a, env_b
+        for sub_a, sub_b in zip(pa.args, pb.args):
+            ok, ea, eb = _alpha_pattern(sub_a, sub_b, ea, eb)
+            if not ok:
+                return False, env_a, env_b
+        return True, ea, eb
+    return pa == pb, env_a, env_b

@@ -1,0 +1,1022 @@
+"""Recursive-descent parser for the object language.
+
+Produces the core AST of :mod:`repro.lang.ast`.  Sugar handled here:
+
+* ``if c then t else e``      ->  ``case c of {True -> t; False -> e}``
+* operator syntax             ->  ``PrimOp`` / prelude calls / ``Con``
+* list literals ``[a,b]``     ->  ``Cons a (Cons b Nil)``
+* tuples ``(a, b)``           ->  ``Tuple2 a b`` (up to ``Tuple4``)
+* multi-equation definitions  ->  one lambda + ``case`` with sequential
+                                  match and ``raise PatternMatchFail``
+                                  fall-through (Section 2's built-in
+                                  pattern-match failure)
+* ``do`` notation             ->  ``bindIO`` chains (Section 3.5's IO
+                                  monad)
+* operator sections ``(+)``   ->  eta-expanded lambdas
+
+Constructor references start unsaturated; :func:`saturate` eta-expands
+them using declared arities so that every ``Con`` node downstream is
+fully applied (the form the denotational semantics of Section 4.2 is
+defined on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    DataDecl,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PLit,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+    app_chain,
+    lam_chain,
+    pattern_vars,
+)
+from repro.lang.lexer import lex
+from repro.lang.names import NameSupply, free_vars
+from repro.lang.ops import OPERATORS, PRIM_TABLE
+from repro.lang.syntax_types import STCon, STFun, STVar, SynType
+from repro.lang.tokens import Token
+
+# Arities of the constructors that are baked into the language (the
+# prelude re-declares the data types for the type checker, but the
+# parser needs arities even when parsing expressions stand-alone).
+BUILTIN_CON_ARITY: Dict[str, int] = {
+    "True": 0,
+    "False": 0,
+    "Unit": 0,
+    "Nil": 0,
+    "Cons": 2,
+    "Nothing": 0,
+    "Just": 1,
+    "OK": 1,
+    "Bad": 1,
+    "Tuple2": 2,
+    "Tuple3": 3,
+    "Tuple4": 4,
+    # data Exception (Section 3.1, extended with the asynchronous
+    # constructors of Section 5.1 and NonTermination of Section 4.1)
+    "DivideByZero": 0,
+    "Overflow": 0,
+    "UserError": 1,
+    "PatternMatchFail": 0,
+    "NonTermination": 0,
+    "ControlC": 0,
+    "Timeout": 0,
+    "StackOverflow": 0,
+    "HeapOverflow": 0,
+}
+
+
+from dataclasses import dataclass as _dataclass
+
+
+@_dataclass(frozen=True)
+class _Rhs:
+    """A parsed right-hand side: guard alternatives plus where-binds.
+
+    ``guards`` is a non-empty tuple of ``(guard, body)`` pairs; a
+    ``None`` guard is an unguarded ``=`` (always taken).
+    """
+
+    guards: Tuple[Tuple[Optional[Expr], Expr], ...]
+    where_binds: Tuple[Tuple[str, Expr], ...] = ()
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Optional[Token] = None) -> None:
+        if token is not None:
+            message = f"{token.line}:{token.col}: {message} (at {token.value!r})"
+        super().__init__(message)
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        idx = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.at(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}", self.peek())
+        return self.next()
+
+    def skip_semis(self) -> None:
+        while self.at("VSEMI") or self.at("PUNCT", ";"):
+            self.next()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.ts = _TokenStream(tokens)
+        self.supply = NameSupply()
+
+    # ------------------------------------------------------------------
+    # Programs
+
+    def parse_program(self) -> Program:
+        data_decls: List[DataDecl] = []
+        sigs: List[Tuple[str, SynType]] = []
+        # name -> list of (patterns, rhs) clauses, in source order
+        clauses: Dict[str, List[Tuple[List[Pattern], Expr]]] = {}
+        order: List[str] = []
+        ts = self.ts
+        ts.skip_semis()
+        while not ts.at("EOF"):
+            if ts.at("KEYWORD", "data"):
+                data_decls.append(self._data_decl())
+            elif ts.at("KEYWORD", "type"):
+                self._type_synonym_decl()  # parsed and ignored
+            elif ts.at("IDENT") and ts.peek(1).kind == "PUNCT" and ts.peek(
+                1
+            ).value == "::":
+                name = ts.next().value
+                ts.next()  # ::
+                sigs.append((str(name), self._type()))
+            elif ts.at("IDENT") or ts.at("PUNCT", "("):
+                name, pats, rhs = self._equation()
+                if name not in clauses:
+                    clauses[name] = []
+                    order.append(name)
+                clauses[name].append((pats, rhs))
+            else:
+                raise ParseError("expected a declaration", ts.peek())
+            if not ts.at("EOF"):
+                if ts.at("VSEMI") or ts.at("PUNCT", ";") or ts.at("VRBRACE"):
+                    ts.skip_semis()
+                    while ts.at("VRBRACE"):
+                        ts.next()
+                        ts.skip_semis()
+                else:
+                    raise ParseError(
+                        "expected end of declaration", ts.peek()
+                    )
+        binds = tuple(
+            (name, self._compile_clauses(name, clauses[name]))
+            for name in order
+        )
+        return Program(tuple(data_decls), binds, tuple(sigs))
+
+    def _data_decl(self) -> DataDecl:
+        ts = self.ts
+        ts.expect("KEYWORD", "data")
+        name = str(ts.expect("CONID").value)
+        params: List[str] = []
+        while ts.at("IDENT"):
+            params.append(str(ts.next().value))
+        ts.expect("PUNCT", "=")
+        constructors: List[Tuple[str, Tuple[SynType, ...]]] = []
+        while True:
+            cname = str(ts.expect("CONID").value)
+            cargs: List[SynType] = []
+            while self._at_atype_start():
+                cargs.append(self._atype())
+            constructors.append((cname, tuple(cargs)))
+            if ts.at("PUNCT", "|"):
+                ts.next()
+            else:
+                break
+        return DataDecl(name, tuple(params), tuple(constructors))
+
+    def _type_synonym_decl(self) -> None:
+        ts = self.ts
+        ts.expect("KEYWORD", "type")
+        ts.expect("CONID")
+        while ts.at("IDENT"):
+            ts.next()
+        ts.expect("PUNCT", "=")
+        self._type()
+
+    def _equation(self) -> Tuple[str, List[Pattern], "_Rhs"]:
+        """Parse one equation: patterns, guards (``| g = e`` chains)
+        and an optional ``where`` block."""
+        ts = self.ts
+        name = str(ts.expect("IDENT").value)
+        pats: List[Pattern] = []
+        while not (ts.at("PUNCT", "=") or ts.at("PUNCT", "|")):
+            pats.append(self._apattern())
+        guards: List[Tuple[Optional[Expr], Expr]] = []
+        if ts.at("PUNCT", "|"):
+            while ts.at("PUNCT", "|"):
+                ts.next()
+                guard = self.parse_expr()
+                ts.expect("PUNCT", "=")
+                guards.append((guard, self.parse_expr()))
+        else:
+            ts.expect("PUNCT", "=")
+            guards.append((None, self.parse_expr()))
+        where_binds: Tuple[Tuple[str, Expr], ...] = ()
+        if ts.at("KEYWORD", "where"):
+            ts.next()
+            where_binds = self._where_block()
+        return name, pats, _Rhs(tuple(guards), where_binds)
+
+    def _where_block(self) -> Tuple[Tuple[str, Expr], ...]:
+        """A block of equations after ``where``."""
+        ts = self.ts
+        self._open_block()
+        clauses: Dict[str, List[Tuple[List[Pattern], _Rhs]]] = {}
+        order: List[str] = []
+        while True:
+            ts.skip_semis()
+            if self._close_block_if_done():
+                break
+            name, pats, rhs = self._equation()
+            if name not in clauses:
+                clauses[name] = []
+                order.append(name)
+            clauses[name].append((pats, rhs))
+            if not (ts.at("VSEMI") or ts.at("PUNCT", ";")):
+                self._close_block()
+                break
+        return tuple(
+            (name, self._compile_clauses(name, clauses[name]))
+            for name in order
+        )
+
+    def _clause_body(self, rhs: "_Rhs", fallthrough: Expr) -> Expr:
+        """One clause's right-hand side: guards test in order, falling
+        through to ``fallthrough``; where-bindings scope over guards
+        and bodies alike."""
+        body = fallthrough
+        for guard, expr in reversed(rhs.guards):
+            if guard is None:
+                body = expr
+            else:
+                body = Case(
+                    guard,
+                    (
+                        Alt(PCon("True"), expr),
+                        Alt(PCon("False"), body),
+                    ),
+                )
+        if rhs.where_binds:
+            body = Let(rhs.where_binds, body)
+        return body
+
+    def _compile_clauses(
+        self, name: str, clauses: List[Tuple[List[Pattern], "_Rhs"]]
+    ) -> Expr:
+        arity = len(clauses[0][0])
+        for pats, _ in clauses:
+            if len(pats) != arity:
+                raise ParseError(
+                    f"equations for {name!r} have differing arities"
+                )
+        fail: Expr = Raise(Con("PatternMatchFail", (), 0))
+        if arity == 0:
+            if len(clauses) != 1:
+                raise ParseError(f"multiple bindings for {name!r}")
+            return self._clause_body(clauses[0][1], fail)
+        has_guards = any(
+            rhs.guards[0][0] is not None or len(rhs.guards) > 1
+            for _pats, rhs in clauses
+        )
+        # Fast path: a single clause whose patterns are all variables or
+        # wildcards becomes a plain curried lambda.
+        if len(clauses) == 1 and not has_guards and all(
+            isinstance(p, (PVar, PWild)) for p in clauses[0][0]
+        ):
+            pats, rhs = clauses[0]
+            params = tuple(
+                p.name if isinstance(p, PVar) else self.supply.fresh("_w")
+                for p in pats
+            )
+            return lam_chain(params, self._clause_body(rhs, fail))
+        params = tuple(self.supply.fresh("arg") for _ in range(arity))
+        if arity == 1:
+            scrut: Expr = Var(params[0])
+            mk_pattern = lambda pats: pats[0]  # noqa: E731
+        else:
+            tup = f"Tuple{arity}"
+            if tup not in BUILTIN_CON_ARITY:
+                raise ParseError(
+                    f"functions of arity {arity} with non-variable "
+                    "patterns are not supported (max 4)"
+                )
+            scrut = Con(tup, tuple(Var(p) for p in params), arity)
+            mk_pattern = lambda pats, t=tup: PCon(t, tuple(pats))  # noqa: E731
+
+        if not has_guards:
+            # Flat case: sequential matching, PatternMatchFail on
+            # fall-through (no default alternative needed).
+            alts = tuple(
+                Alt(mk_pattern(pats), self._clause_body(rhs, fail))
+                for pats, rhs in clauses
+            )
+            return lam_chain(params, Case(scrut, alts))
+
+        # Guarded clauses: a guard failure must fall through to the
+        # NEXT clause, so compile a chain of cases with join points.
+        def build(index: int) -> Expr:
+            if index == len(clauses):
+                return fail
+            pats, rhs = clauses[index]
+            rest = build(index + 1)
+            join = self.supply.fresh("next")
+            body = self._clause_body(rhs, Var(join))
+            return Let(
+                ((join, rest),),
+                Case(
+                    scrut,
+                    (
+                        Alt(mk_pattern(pats), body),
+                        Alt(PWild(), Var(join)),
+                    ),
+                ),
+            )
+
+        return lam_chain(params, build(0))
+
+    # ------------------------------------------------------------------
+    # Types
+
+    def _type(self) -> SynType:
+        left = self._btype()
+        if self.ts.at("PUNCT", "->"):
+            self.ts.next()
+            return STFun(left, self._type())
+        return left
+
+    def _btype(self) -> SynType:
+        ts = self.ts
+        if ts.at("CONID"):
+            name = str(ts.next().value)
+            args: List[SynType] = []
+            while self._at_atype_start():
+                args.append(self._atype())
+            return STCon(name, tuple(args))
+        return self._atype()
+
+    def _at_atype_start(self) -> bool:
+        ts = self.ts
+        return (
+            ts.at("CONID")
+            or ts.at("IDENT")
+            or ts.at("PUNCT", "(")
+            or ts.at("PUNCT", "[")
+        )
+
+    def _atype(self) -> SynType:
+        ts = self.ts
+        if ts.at("CONID"):
+            return STCon(str(ts.next().value))
+        if ts.at("IDENT"):
+            return STVar(str(ts.next().value))
+        if ts.at("PUNCT", "["):
+            ts.next()
+            inner = self._type()
+            ts.expect("PUNCT", "]")
+            return STCon("List", (inner,))
+        if ts.at("PUNCT", "("):
+            ts.next()
+            if ts.at("PUNCT", ")"):
+                ts.next()
+                return STCon("Unit")
+            first = self._type()
+            if ts.at("PUNCT", ","):
+                items = [first]
+                while ts.at("PUNCT", ","):
+                    ts.next()
+                    items.append(self._type())
+                ts.expect("PUNCT", ")")
+                return STCon(f"Tuple{len(items)}", tuple(items))
+            ts.expect("PUNCT", ")")
+            return first
+        raise ParseError("expected a type", ts.peek())
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def parse_expr(self) -> Expr:
+        ts = self.ts
+        if ts.at("PUNCT", "\\"):
+            ts.next()
+            pats: List[Pattern] = []
+            while not ts.at("PUNCT", "->"):
+                pats.append(self._apattern())
+            ts.expect("PUNCT", "->")
+            body = self.parse_expr()
+            return self._lambda_from_patterns(pats, body)
+        if ts.at("KEYWORD", "let"):
+            return self._let_expr()
+        if ts.at("KEYWORD", "if"):
+            ts.next()
+            cond = self.parse_expr()
+            ts.expect("KEYWORD", "then")
+            then_e = self.parse_expr()
+            ts.expect("KEYWORD", "else")
+            else_e = self.parse_expr()
+            return Case(
+                cond,
+                (Alt(PCon("True"), then_e), Alt(PCon("False"), else_e)),
+            )
+        if ts.at("KEYWORD", "case"):
+            return self._case_expr()
+        if ts.at("KEYWORD", "do"):
+            return self._do_expr()
+        return self._op_expr(0)
+
+    def _lambda_from_patterns(
+        self, pats: List[Pattern], body: Expr
+    ) -> Expr:
+        result = body
+        for pat in reversed(pats):
+            if isinstance(pat, PVar):
+                result = Lam(pat.name, result)
+            elif isinstance(pat, PWild):
+                result = Lam(self.supply.fresh("_w"), result)
+            else:
+                fresh = self.supply.fresh("arg")
+                result = Lam(
+                    fresh, Case(Var(fresh), (Alt(pat, result),))
+                )
+        return result
+
+    def _let_expr(self) -> Expr:
+        ts = self.ts
+        ts.expect("KEYWORD", "let")
+        self._open_block()
+        clauses: Dict[str, List[Tuple[List[Pattern], Expr]]] = {}
+        order: List[str] = []
+        while True:
+            ts.skip_semis()
+            if self._close_block_if_done():
+                break
+            name, pats, rhs = self._equation()
+            if name not in clauses:
+                clauses[name] = []
+                order.append(name)
+            clauses[name].append((pats, rhs))
+            if not (ts.at("VSEMI") or ts.at("PUNCT", ";")):
+                self._close_block()
+                break
+        ts.expect("KEYWORD", "in")
+        body = self.parse_expr()
+        binds = tuple(
+            (name, self._compile_clauses(name, clauses[name]))
+            for name in order
+        )
+        return Let(binds, body)
+
+    def _case_expr(self) -> Expr:
+        ts = self.ts
+        ts.expect("KEYWORD", "case")
+        scrut = self.parse_expr()
+        ts.expect("KEYWORD", "of")
+        self._open_block()
+        # raw alternatives: (pattern, guards) where guards follows the
+        # _Rhs convention (None guard = unguarded ->).
+        raw: List[Tuple[Pattern, Tuple[Tuple[Optional[Expr], Expr], ...]]] = []
+        while True:
+            ts.skip_semis()
+            if self._close_block_if_done():
+                break
+            pat = self._pattern()
+            guards: List[Tuple[Optional[Expr], Expr]] = []
+            if ts.at("PUNCT", "|"):
+                while ts.at("PUNCT", "|"):
+                    ts.next()
+                    guard = self.parse_expr()
+                    ts.expect("PUNCT", "->")
+                    guards.append((guard, self.parse_expr()))
+            else:
+                ts.expect("PUNCT", "->")
+                guards.append((None, self.parse_expr()))
+            raw.append((pat, tuple(guards)))
+            if not (ts.at("VSEMI") or ts.at("PUNCT", ";")):
+                self._close_block()
+                break
+        if not raw:
+            raise ParseError("case expression with no alternatives", ts.peek())
+        if all(
+            len(guards) == 1 and guards[0][0] is None
+            for _pat, guards in raw
+        ):
+            return Case(
+                scrut,
+                tuple(Alt(pat, guards[0][1]) for pat, guards in raw),
+            )
+        # Guarded alternatives: bind the scrutinee once and compile a
+        # fall-through chain (a guard failure tries the NEXT alt).
+        scrut_name = self.supply.fresh("scrut")
+
+        def build(index: int) -> Expr:
+            if index == len(raw):
+                return Raise(Con("PatternMatchFail", (), 0))
+            pat, guards = raw[index]
+            rest = build(index + 1)
+            join = self.supply.fresh("next")
+            body: Expr = Var(join)
+            for guard, expr in reversed(guards):
+                if guard is None:
+                    body = expr
+                else:
+                    body = Case(
+                        guard,
+                        (
+                            Alt(PCon("True"), expr),
+                            Alt(PCon("False"), body),
+                        ),
+                    )
+            return Let(
+                ((join, rest),),
+                Case(
+                    Var(scrut_name),
+                    (Alt(pat, body), Alt(PWild(), Var(join))),
+                ),
+            )
+
+        return Let(((scrut_name, scrut),), build(0))
+
+    def _do_expr(self) -> Expr:
+        ts = self.ts
+        ts.expect("KEYWORD", "do")
+        self._open_block()
+        stmts: List[Tuple[str, object, Optional[Expr]]] = []
+        while True:
+            ts.skip_semis()
+            if self._close_block_if_done():
+                break
+            if ts.at("KEYWORD", "let"):
+                ts.next()
+                # A do-let is a single binding; the lexer still opens a
+                # layout block after `let`, so consume its virtual
+                # braces around the equation.
+                had_brace = ts.at("VLBRACE") or ts.at("PUNCT", "{")
+                if had_brace:
+                    ts.next()
+                name, pats, rhs = self._equation()
+                if had_brace and (ts.at("VRBRACE") or ts.at("PUNCT", "}")):
+                    ts.next()
+                stmts.append(("let", name, self._compile_clauses(name, [(pats, rhs)])))
+            elif (
+                ts.at("IDENT")
+                and ts.peek(1).kind == "PUNCT"
+                and ts.peek(1).value == "<-"
+            ):
+                name = str(ts.next().value)
+                ts.next()  # <-
+                stmts.append(("bind", name, self.parse_expr()))
+            else:
+                stmts.append(("expr", None, self.parse_expr()))
+            if not (ts.at("VSEMI") or ts.at("PUNCT", ";")):
+                self._close_block()
+                break
+        if not stmts or stmts[-1][0] != "expr":
+            raise ParseError(
+                "the last statement of a do block must be an expression",
+                ts.peek(),
+            )
+        result = stmts[-1][2]
+        assert isinstance(result, Expr)
+        for kind, name, expr in reversed(stmts[:-1]):
+            assert isinstance(expr, Expr)
+            if kind == "let":
+                assert isinstance(name, str)
+                result = Let(((name, expr),), result)
+            elif kind == "bind":
+                assert isinstance(name, str)
+                result = PrimOp("bindIO", (expr, Lam(name, result)))
+            else:
+                dummy = self.supply.fresh("_w")
+                result = PrimOp("bindIO", (expr, Lam(dummy, result)))
+        return result
+
+    def _open_block(self) -> None:
+        ts = self.ts
+        if ts.at("VLBRACE") or ts.at("PUNCT", "{"):
+            ts.next()
+        else:
+            raise ParseError("expected a block", ts.peek())
+
+    def _close_block_if_done(self) -> bool:
+        ts = self.ts
+        if ts.at("VRBRACE") or ts.at("PUNCT", "}"):
+            ts.next()
+            return True
+        if ts.at("KEYWORD", "in") or ts.at("EOF"):
+            return True
+        return False
+
+    def _close_block(self) -> None:
+        ts = self.ts
+        if ts.at("VRBRACE") or ts.at("PUNCT", "}"):
+            ts.next()
+
+    # Operator-precedence parsing -------------------------------------
+
+    def _op_expr(self, min_prec: int) -> Expr:
+        left = self._operand()
+        ts = self.ts
+        while ts.at("OP"):
+            op = str(ts.peek().value)
+            if op not in OPERATORS:
+                raise ParseError(f"unknown operator {op!r}", ts.peek())
+            prec, assoc, _target = OPERATORS[op]
+            if prec < min_prec:
+                break
+            ts.next()
+            next_min = prec + 1 if assoc in ("left", "none") else prec
+            right = self._op_expr(next_min)
+            left = _apply_operator(op, left, right)
+        return left
+
+    def _operand(self) -> Expr:
+        ts = self.ts
+        if ts.at("OP", "-"):
+            ts.next()
+            operand = self._operand()
+            if isinstance(operand, Lit) and operand.kind == "int":
+                return Lit(-int(operand.value), "int")
+            return PrimOp("negate", (operand,))
+        # An operand is an application chain of atoms; trailing lambdas
+        # / lets / cases are allowed as the final argument (Haskell's
+        # "extends as far to the right as possible" rule).
+        if ts.at("IDENT") and str(ts.peek().value) in PRIM_TABLE:
+            name = str(ts.next().value)
+            info = PRIM_TABLE[name]
+            args = []
+            while self._at_atom_start():
+                args.append(self._atom())
+            if (
+                ts.at("PUNCT", "\\")
+                or ts.at("KEYWORD", "let")
+                or ts.at("KEYWORD", "if")
+                or ts.at("KEYWORD", "case")
+                or ts.at("KEYWORD", "do")
+            ):
+                args.append(self.parse_expr())
+            if len(args) >= info.arity:
+                prim = PrimOp(name, tuple(args[: info.arity]))
+                return app_chain(prim, *args[info.arity :])
+            return app_chain(_prim_reference(name), *args)
+        atom = self._atom()
+        args: List[Expr] = []
+        while self._at_atom_start():
+            args.append(self._atom())
+        if (
+            ts.at("PUNCT", "\\")
+            or ts.at("KEYWORD", "let")
+            or ts.at("KEYWORD", "if")
+            or ts.at("KEYWORD", "case")
+            or ts.at("KEYWORD", "do")
+        ):
+            args.append(self.parse_expr())
+        return app_chain(atom, *args)
+
+    def _at_atom_start(self) -> bool:
+        ts = self.ts
+        return (
+            ts.at("IDENT")
+            or ts.at("CONID")
+            or ts.at("INT")
+            or ts.at("CHAR")
+            or ts.at("STRING")
+            or ts.at("PUNCT", "(")
+            or ts.at("PUNCT", "[")
+        )
+
+    def _atom(self) -> Expr:
+        ts = self.ts
+        if ts.at("IDENT"):
+            name = str(ts.next().value)
+            if name in PRIM_TABLE:
+                return _prim_reference(name)
+            return Var(name)
+        if ts.at("CONID"):
+            return Con(str(ts.next().value), (), -1)
+        if ts.at("INT"):
+            return Lit(int(ts.next().value), "int")
+        if ts.at("CHAR"):
+            return Lit(str(ts.next().value), "char")
+        if ts.at("STRING"):
+            return Lit(str(ts.next().value), "string")
+        if ts.at("PUNCT", "["):
+            ts.next()
+            items: List[Expr] = []
+            if not ts.at("PUNCT", "]"):
+                items.append(self.parse_expr())
+                while ts.at("PUNCT", ","):
+                    ts.next()
+                    items.append(self.parse_expr())
+            ts.expect("PUNCT", "]")
+            result: Expr = Con("Nil", (), 0)
+            for item in reversed(items):
+                result = Con("Cons", (item, result), 2)
+            return result
+        if ts.at("PUNCT", "("):
+            ts.next()
+            if ts.at("PUNCT", ")"):
+                ts.next()
+                return Con("Unit", (), 0)
+            if ts.at("OP") and ts.peek(1).kind == "PUNCT" and ts.peek(
+                1
+            ).value == ")":
+                op = str(ts.next().value)
+                ts.next()
+                if op not in OPERATORS:
+                    raise ParseError(f"unknown operator {op!r}")
+                return _operator_section(op)
+            first = self.parse_expr()
+            if ts.at("PUNCT", ","):
+                items = [first]
+                while ts.at("PUNCT", ","):
+                    ts.next()
+                    items.append(self.parse_expr())
+                ts.expect("PUNCT", ")")
+                tup = f"Tuple{len(items)}"
+                if tup not in BUILTIN_CON_ARITY:
+                    raise ParseError(f"tuples of size {len(items)} unsupported")
+                return Con(tup, tuple(items), len(items))
+            ts.expect("PUNCT", ")")
+            return first
+        if ts.at("KEYWORD", "raise"):
+            # raise takes an atomic argument (write parentheses around
+            # compound exceptions: raise (UserError msg)); the raise
+            # form itself behaves as an atom, so it composes with
+            # application and operators: `raise X + 0` is (raise X) + 0.
+            ts.next()
+            return Raise(self._atom())
+        if ts.at("KEYWORD", "fix"):
+            ts.next()
+            return Fix(self._atom())
+        raise ParseError("expected an expression", ts.peek())
+
+    # ------------------------------------------------------------------
+    # Patterns
+
+    def _pattern(self) -> Pattern:
+        left = self._bpattern()
+        if self.ts.at("OP", ":"):
+            self.ts.next()
+            right = self._pattern()
+            return PCon("Cons", (left, right))
+        return left
+
+    def _bpattern(self) -> Pattern:
+        ts = self.ts
+        if ts.at("CONID"):
+            name = str(ts.next().value)
+            args: List[Pattern] = []
+            while self._at_apattern_start():
+                args.append(self._apattern())
+            return PCon(name, tuple(args))
+        return self._apattern()
+
+    def _at_apattern_start(self) -> bool:
+        ts = self.ts
+        return (
+            ts.at("IDENT")
+            or ts.at("CONID")
+            or ts.at("INT")
+            or ts.at("CHAR")
+            or ts.at("PUNCT", "(")
+            or ts.at("PUNCT", "[")
+        )
+
+    def _apattern(self) -> Pattern:
+        ts = self.ts
+        if ts.at("IDENT"):
+            name = str(ts.next().value)
+            if name == "_":
+                return PWild()
+            return PVar(name)
+        if ts.at("CONID"):
+            return PCon(str(ts.next().value))
+        if ts.at("INT"):
+            return PLit(int(ts.next().value), "int")
+        if ts.at("CHAR"):
+            return PLit(str(ts.next().value), "char")
+        if ts.at("PUNCT", "["):
+            ts.next()
+            items: List[Pattern] = []
+            if not ts.at("PUNCT", "]"):
+                items.append(self._pattern())
+                while ts.at("PUNCT", ","):
+                    ts.next()
+                    items.append(self._pattern())
+            ts.expect("PUNCT", "]")
+            result: Pattern = PCon("Nil")
+            for item in reversed(items):
+                result = PCon("Cons", (item, result))
+            return result
+        if ts.at("PUNCT", "("):
+            ts.next()
+            if ts.at("PUNCT", ")"):
+                ts.next()
+                return PCon("Unit")
+            first = self._pattern()
+            if ts.at("PUNCT", ","):
+                items = [first]
+                while ts.at("PUNCT", ","):
+                    ts.next()
+                    items.append(self._pattern())
+                ts.expect("PUNCT", ")")
+                return PCon(f"Tuple{len(items)}", tuple(items))
+            ts.expect("PUNCT", ")")
+            return first
+        raise ParseError("expected a pattern", ts.peek())
+
+
+def _prim_reference(name: str) -> Expr:
+    """Eta-expand a primitive used in non-applied position."""
+    info = PRIM_TABLE[name]
+    params = tuple(f"_p{i}" for i in range(info.arity))
+    return lam_chain(params, PrimOp(name, tuple(Var(p) for p in params)))
+
+
+def _apply_operator(op: str, left: Expr, right: Expr) -> Expr:
+    _prec, _assoc, target = OPERATORS[op]
+    kind, _, name = target.partition(":")
+    if kind == "prim":
+        return PrimOp(name, (left, right))
+    if kind == "con":
+        arity = BUILTIN_CON_ARITY[name]
+        return Con(name, (left, right), arity)
+    return app_chain(Var(name), left, right)
+
+
+def _operator_section(op: str) -> Expr:
+    _prec, _assoc, target = OPERATORS[op]
+    kind, _, name = target.partition(":")
+    if kind == "prim":
+        return lam_chain(
+            ("_l", "_r"), PrimOp(name, (Var("_l"), Var("_r")))
+        )
+    if kind == "con":
+        arity = BUILTIN_CON_ARITY[name]
+        return lam_chain(
+            ("_l", "_r"), Con(name, (Var("_l"), Var("_r")), arity)
+        )
+    return Var(name)
+
+
+# ----------------------------------------------------------------------
+# Constructor saturation
+
+
+def saturate(expr: Expr, arities: Dict[str, int]) -> Expr:
+    """Replace unsaturated constructor references with saturated ``Con``
+    nodes, eta-expanding partially applied constructors.
+
+    After this pass, every ``Con`` node has ``len(args) == arity``.
+    """
+    supply = NameSupply(avoid=free_vars(expr))
+    return _saturate(expr, arities, supply)
+
+
+def _lookup_arity(name: str, arities: Dict[str, int]) -> int:
+    if name in arities:
+        return arities[name]
+    if name in BUILTIN_CON_ARITY:
+        return BUILTIN_CON_ARITY[name]
+    raise ParseError(f"unknown constructor {name!r}")
+
+
+def _saturate(expr: Expr, arities: Dict[str, int], supply: NameSupply) -> Expr:
+    if isinstance(expr, (Var, Lit)):
+        return expr
+    if isinstance(expr, App):
+        # Collect the application spine to saturate constructor heads.
+        spine: List[Expr] = []
+        head = expr
+        while isinstance(head, App):
+            spine.append(head.arg)
+            head = head.fn
+        spine.reverse()
+        if isinstance(head, Con) and len(head.args) == 0:
+            arity = _lookup_arity(head.name, arities)
+            args = [_saturate(a, arities, supply) for a in spine]
+            if len(args) >= arity:
+                sat = Con(head.name, tuple(args[:arity]), arity)
+                result: Expr = sat
+                for extra in args[arity:]:
+                    result = App(result, extra)
+                return result
+            missing = [supply.fresh("eta") for _ in range(arity - len(args))]
+            sat = Con(
+                head.name,
+                tuple(args) + tuple(Var(m) for m in missing),
+                arity,
+            )
+            return lam_chain(tuple(missing), sat)
+        return App(
+            _saturate(expr.fn, arities, supply),
+            _saturate(expr.arg, arities, supply),
+        )
+    if isinstance(expr, Con):
+        arity = _lookup_arity(expr.name, arities)
+        args = tuple(_saturate(a, arities, supply) for a in expr.args)
+        if len(args) == arity:
+            return Con(expr.name, args, arity)
+        if len(args) == 0:
+            missing = [supply.fresh("eta") for _ in range(arity)]
+            return lam_chain(
+                tuple(missing),
+                Con(expr.name, tuple(Var(m) for m in missing), arity),
+            )
+        raise ParseError(
+            f"constructor {expr.name!r} applied to {len(args)} of "
+            f"{arity} arguments"
+        )
+    if isinstance(expr, Lam):
+        return Lam(expr.var, _saturate(expr.body, arities, supply))
+    if isinstance(expr, Case):
+        return Case(
+            _saturate(expr.scrutinee, arities, supply),
+            tuple(
+                Alt(alt.pattern, _saturate(alt.body, arities, supply))
+                for alt in expr.alts
+            ),
+        )
+    if isinstance(expr, Raise):
+        return Raise(_saturate(expr.exc, arities, supply))
+    if isinstance(expr, PrimOp):
+        return PrimOp(
+            expr.op,
+            tuple(_saturate(a, arities, supply) for a in expr.args),
+        )
+    if isinstance(expr, Fix):
+        return Fix(_saturate(expr.fn, arities, supply))
+    if isinstance(expr, Let):
+        return Let(
+            tuple(
+                (name, _saturate(rhs, arities, supply))
+                for name, rhs in expr.binds
+            ),
+            _saturate(expr.body, arities, supply),
+        )
+    raise TypeError(f"saturate: unknown expression {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Entry points
+
+
+def parse_expr(
+    source: str, con_arities: Optional[Dict[str, int]] = None
+) -> Expr:
+    """Parse a single expression."""
+    tokens = lex(source, top_level=False)
+    parser = _Parser(tokens)
+    expr = parser.parse_expr()
+    tok = parser.ts.peek()
+    while tok.kind in ("VRBRACE", "VSEMI"):
+        parser.ts.next()
+        tok = parser.ts.peek()
+    if tok.kind != "EOF":
+        raise ParseError("trailing input after expression", tok)
+    arities = dict(BUILTIN_CON_ARITY)
+    if con_arities:
+        arities.update(con_arities)
+    return saturate(expr, arities)
+
+
+def parse_program(
+    source: str, con_arities: Optional[Dict[str, int]] = None
+) -> Program:
+    """Parse a module: data declarations + top-level bindings."""
+    tokens = lex(source, top_level=True)
+    parser = _Parser(tokens)
+    program = parser.parse_program()
+    arities = dict(BUILTIN_CON_ARITY)
+    if con_arities:
+        arities.update(con_arities)
+    for decl in program.data_decls:
+        for cname, cargs in decl.constructors:
+            arities[cname] = len(cargs)
+    binds = tuple(
+        (name, saturate(rhs, arities)) for name, rhs in program.binds
+    )
+    return Program(program.data_decls, binds, program.type_sigs)

@@ -1,0 +1,178 @@
+"""Pretty-printer for the object language.
+
+The output is valid surface syntax: ``parse_expr(pretty(e))`` is
+alpha-equivalent to ``e`` (a property test in
+``tests/lang/test_roundtrip.py`` checks exactly this).  Blocks are
+printed with explicit braces and semicolons so the output is immune to
+layout ambiguity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    DataDecl,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PLit,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+    unfold_lam,
+)
+from repro.lang.ops import OPERATORS, PRIM_TABLE
+
+# Inverse of the operator table, for printing PrimOps infix.
+_PRIM_TO_OP: Dict[str, str] = {}
+for _op, (_prec, _assoc, _target) in OPERATORS.items():
+    _kind, _, _name = _target.partition(":")
+    if _kind == "prim" and _name not in _PRIM_TO_OP:
+        _PRIM_TO_OP[_name] = _op
+
+# Precedence levels for printing: atom = 11, application = 10,
+# operators use their table precedence, lambda/let/case = 0.
+_ATOM = 11
+_APP = 10
+
+
+def _escape_string(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+
+
+def _escape_char(ch: str) -> str:
+    return {"\n": "\\n", "\t": "\\t", "\\": "\\\\", "'": "\\'"}.get(ch, ch)
+
+
+def pretty_pattern(pattern: Pattern, prec: int = 0) -> str:
+    if isinstance(pattern, PVar):
+        return pattern.name
+    if isinstance(pattern, PWild):
+        return "_"
+    if isinstance(pattern, PLit):
+        if pattern.kind == "char":
+            return f"'{_escape_char(str(pattern.value))}'"
+        return str(pattern.value)
+    if isinstance(pattern, PCon):
+        if not pattern.args:
+            return pattern.name
+        inner = " ".join(pretty_pattern(p, _ATOM) for p in pattern.args)
+        text = f"{pattern.name} {inner}"
+        return f"({text})" if prec >= _APP else text
+    raise TypeError(f"pretty_pattern: unknown pattern {pattern!r}")
+
+
+def pretty(expr: Expr, prec: int = 0) -> str:
+    """Render an expression as parseable surface syntax."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Lit):
+        if expr.kind == "string":
+            return f'"{_escape_string(str(expr.value))}"'
+        if expr.kind == "char":
+            return f"'{_escape_char(str(expr.value))}'"
+        value = int(expr.value)
+        if value < 0:
+            text = str(value)
+            return f"({text})" if prec >= _APP else text
+        return str(value)
+    if isinstance(expr, Lam):
+        params, body = unfold_lam(expr)
+        text = f"\\{' '.join(params)} -> {pretty(body)}"
+        return f"({text})" if prec > 0 else text
+    if isinstance(expr, App):
+        text = f"{pretty(expr.fn, _APP - 1)} {pretty(expr.arg, _APP)}"
+        return f"({text})" if prec >= _APP else text
+    if isinstance(expr, Con):
+        if not expr.args:
+            return expr.name
+        inner = " ".join(pretty(a, _APP) for a in expr.args)
+        text = f"{expr.name} {inner}"
+        return f"({text})" if prec >= _APP else text
+    if isinstance(expr, Case):
+        alts = "; ".join(
+            f"{pretty_pattern(alt.pattern)} -> {pretty(alt.body)}"
+            for alt in expr.alts
+        )
+        text = f"case {pretty(expr.scrutinee)} of {{ {alts} }}"
+        return f"({text})" if prec > 0 else text
+    if isinstance(expr, Raise):
+        text = f"raise {pretty(expr.exc, _ATOM)}"
+        return f"({text})" if prec >= _APP else text
+    if isinstance(expr, Fix):
+        text = f"fix {pretty(expr.fn, _ATOM)}"
+        return f"({text})" if prec >= _APP else text
+    if isinstance(expr, PrimOp):
+        op = _PRIM_TO_OP.get(expr.op)
+        if op is not None and len(expr.args) == 2:
+            op_prec, assoc, _target = OPERATORS[op]
+            left_prec = op_prec if assoc == "left" else op_prec + 1
+            right_prec = op_prec if assoc == "right" else op_prec + 1
+            symbol = op  # backquoted ops print as written: `div`
+            text = (
+                f"{pretty(expr.args[0], left_prec)} {symbol} "
+                f"{pretty(expr.args[1], right_prec)}"
+            )
+            return f"({text})" if prec > op_prec else text
+        if not expr.args:
+            return expr.op
+        inner = " ".join(pretty(a, _APP) for a in expr.args)
+        text = f"{expr.op} {inner}"
+        return f"({text})" if prec >= _APP else text
+    if isinstance(expr, Let):
+        binds = "; ".join(
+            f"{name} = {pretty(rhs)}" for name, rhs in expr.binds
+        )
+        text = f"let {{ {binds} }} in {pretty(expr.body)}"
+        return f"({text})" if prec > 0 else text
+    raise TypeError(f"pretty: unknown expression {expr!r}")
+
+
+def pretty_data_decl(decl: DataDecl) -> str:
+    def syn_type(t: object, prec: int = 0) -> str:
+        from repro.lang.syntax_types import STCon, STFun, STVar
+
+        if isinstance(t, STVar):
+            return t.name
+        if isinstance(t, STCon):
+            if not t.args:
+                return t.name
+            inner = " ".join(syn_type(a, 1) for a in t.args)
+            text = f"{t.name} {inner}"
+            return f"({text})" if prec > 0 else text
+        if isinstance(t, STFun):
+            text = f"{syn_type(t.arg, 1)} -> {syn_type(t.result)}"
+            return f"({text})" if prec > 0 else text
+        return str(t)
+
+    cons = " | ".join(
+        name + "".join(f" {syn_type(arg, 1)}" for arg in args)
+        for name, args in decl.constructors
+    )
+    params = "".join(f" {p}" for p in decl.params)
+    return f"data {decl.name}{params} = {cons}"
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole module, one declaration per line."""
+    lines = [pretty_data_decl(d) for d in program.data_decls]
+    lines.extend(
+        f"{name} = {pretty(rhs)}" for name, rhs in program.binds
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,36 @@
+"""Syntactic (unelaborated) types, as written in source programs.
+
+These are produced by the parser for ``data`` declarations and type
+signatures; :mod:`repro.types` elaborates them into semantic types.
+Keeping them separate avoids a dependency cycle between the parser and
+the type checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class SynType:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class STVar(SynType):
+    name: str
+
+
+@dataclass(frozen=True)
+class STCon(SynType):
+    """A type constructor applied to arguments: ``Maybe a``, ``Int``,
+    ``List a`` (written ``[a]``), ``TupleN a b ...``, ``IO a``."""
+
+    name: str
+    args: Tuple[SynType, ...] = ()
+
+
+@dataclass(frozen=True)
+class STFun(SynType):
+    arg: SynType
+    result: SynType

@@ -1,0 +1,47 @@
+"""Token definitions for the lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# Token kinds:
+#   IDENT   lower-case identifier
+#   CONID   upper-case identifier (constructor / type name)
+#   INT     integer literal
+#   CHAR    character literal
+#   STRING  string literal
+#   OP      operator symbol (also backquoted identifiers `div`)
+#   PUNCT   punctuation: ( ) [ ] { } , ; \ -> <- = | :: @
+#   KEYWORD let in case of data do if then else raise fix where type
+#   VLBRACE / VRBRACE / VSEMI   virtual layout tokens
+#   EOF
+
+KEYWORDS = frozenset(
+    [
+        "let",
+        "in",
+        "case",
+        "of",
+        "data",
+        "do",
+        "if",
+        "then",
+        "else",
+        "raise",
+        "fix",
+        "where",
+        "type",
+    ]
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: Union[str, int]
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"

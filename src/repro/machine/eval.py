@@ -1,0 +1,457 @@
+"""The lazy graph-reduction evaluator.
+
+Call-by-need: function arguments and constructor fields are heap cells
+(thunks) that memoise on first force.  ``raise`` is implemented exactly
+as Section 3.3 sketches: it "simply trims the stack" — here by raising
+:class:`repro.machine.heap.ObjRaise` — and the cells under evaluation
+are overwritten with ``raise ex`` as it unwinds (see ``Cell.force``).
+The efficiency claim reproduced by E1 falls out of this design: code
+that does not raise never touches any of the exception machinery.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.excset import (
+    DIVIDE_BY_ZERO,
+    Exc,
+    NON_TERMINATION,
+    OVERFLOW,
+    PATTERN_MATCH_FAIL,
+    user_error,
+)
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PLit,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+)
+from repro.lang.ops import INT_MAX, INT_MIN
+from repro.machine.heap import (
+    AsyncInterrupt,
+    Cell,
+    MachineDiverged,
+    ObjRaise,
+)
+from repro.machine.strategy import LeftToRight, Strategy
+from repro.machine.values import VCon, VFun, VInt, VIO, VStr, Value
+
+Env = Dict[str, Cell]
+
+_MIN_RECURSION_LIMIT = 200_000
+
+
+def _ensure_recursion_headroom() -> None:
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+@dataclass
+class MachineStats:
+    """Operation counters, the measurement substrate for E1/E2/E4.
+
+    ``max_force_depth`` is the deepest chain of nested thunk forcings —
+    the machine analogue of stack build-up from long chains of lazy
+    accumulators, which strictness-driven call-by-value flattens (E4).
+    """
+
+    steps: int = 0
+    allocations: int = 0
+    thunks_forced: int = 0
+    raises: int = 0
+    prim_ops: int = 0
+    force_depth: int = 0
+    max_force_depth: int = 0
+
+    def snapshot(self) -> "MachineStats":
+        return MachineStats(
+            self.steps,
+            self.allocations,
+            self.thunks_forced,
+            self.raises,
+            self.prim_ops,
+            self.force_depth,
+            self.max_force_depth,
+        )
+
+
+class MachineError(Exception):
+    """An ill-typed program reached the machine."""
+
+
+class Machine:
+    """The evaluator.
+
+    Parameters
+    ----------
+    strategy:
+        Evaluation order for strict primitive arguments (the
+        imprecision knob).
+    fuel:
+        Step budget; exhaustion raises :class:`MachineDiverged`.
+    detect_blackholes:
+        Section 5.2: report a re-entered thunk as ``NonTermination``
+        (True) or genuinely diverge (False).
+    event_plan:
+        Optional mapping step-number -> asynchronous :class:`Exc`
+        (Section 5.1): when the step counter passes such a step the
+        event is raised as an :class:`AsyncInterrupt`.
+    """
+
+    def __init__(
+        self,
+        strategy: Optional[Strategy] = None,
+        fuel: int = 2_000_000,
+        detect_blackholes: bool = True,
+        event_plan: Optional[Dict[int, Exc]] = None,
+    ) -> None:
+        _ensure_recursion_headroom()
+        self.strategy = strategy or LeftToRight()
+        self.fuel = fuel
+        self.detect_blackholes = detect_blackholes
+        self.stats = MachineStats()
+        self._events = sorted(event_plan.items()) if event_plan else []
+
+    # -- stepping -------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.stats.steps += 1
+        if self._events and self.stats.steps >= self._events[0][0]:
+            _step, exc = self._events.pop(0)
+            raise AsyncInterrupt(exc)
+        if self.stats.steps > self.fuel:
+            raise MachineDiverged(
+                f"fuel exhausted after {self.stats.steps} steps"
+            )
+
+    def alloc(self, expr: Expr, env: Env) -> Cell:
+        self.stats.allocations += 1
+        return Cell(expr, env)
+
+    def grant_fuel(self, extra: int) -> None:
+        """Extend the step budget — used by the Section 5.1 timeout
+        monitor after aborting a too-long evaluation, so the program's
+        continuation gets a fresh allowance."""
+        self.fuel = self.stats.steps + extra
+
+    # -- evaluation -------------------------------------------------------
+
+    def eval(self, expr: Expr, env: Env) -> Value:
+        """Evaluate to weak head normal form."""
+        while True:
+            self._tick()
+            if isinstance(expr, Var):
+                cell = env.get(expr.name)
+                if cell is None:
+                    raise MachineError(f"unbound variable {expr.name!r}")
+                return cell.force(self)
+            if isinstance(expr, Lit):
+                if expr.kind == "int":
+                    return VInt(int(expr.value))
+                return VStr(str(expr.value))
+            if isinstance(expr, Lam):
+                return VFun(expr.var, expr.body, env)
+            if isinstance(expr, App):
+                fn = self.eval(expr.fn, env)
+                if not isinstance(fn, VFun):
+                    raise MachineError(f"applied non-function {fn}")
+                arg = self.alloc(expr.arg, env)
+                env = dict(fn.env)
+                env[fn.var] = arg
+                expr = fn.body
+                continue  # tail-call into the body
+            if isinstance(expr, Con):
+                self.stats.allocations += 1
+                return VCon(
+                    expr.name,
+                    tuple(self.alloc(a, env) for a in expr.args),
+                )
+            if isinstance(expr, Case):
+                scrut = self.eval(expr.scrutinee, env)
+                matched = None
+                for alt in expr.alts:
+                    bindings = self._match(alt.pattern, scrut)
+                    if bindings is not None:
+                        matched = (alt.body, bindings)
+                        break
+                if matched is None:
+                    self.stats.raises += 1
+                    raise ObjRaise(PATTERN_MATCH_FAIL)
+                body, bindings = matched
+                if bindings:
+                    env = dict(env)
+                    env.update(bindings)
+                expr = body
+                continue
+            if isinstance(expr, Raise):
+                value = self.eval(expr.exc, env)
+                self.stats.raises += 1
+                raise ObjRaise(self.exc_of_value(value))
+            if isinstance(expr, PrimOp):
+                return self._prim(expr, env)
+            if isinstance(expr, Fix):
+                fn = self.eval(expr.fn, env)
+                if not isinstance(fn, VFun):
+                    raise MachineError("fix of a non-function")
+                knot = Cell(None, None)
+                inner = dict(fn.env)
+                inner[fn.var] = knot
+                knot.expr = fn.body
+                knot.env = inner
+                # The knot cell computes the body with itself bound to
+                # the recursive variable: fix f = f (fix f).
+                return knot.force(self)
+            if isinstance(expr, Let):
+                env = dict(env)
+                for name, rhs in expr.binds:
+                    env[name] = self.alloc(rhs, env)
+                # Recursive scope: the cells must see the extended env.
+                for name, _rhs in expr.binds:
+                    env[name].env = env
+                expr = expr.body
+                continue
+            raise MachineError(f"eval: unknown expression {expr!r}")
+
+    # -- pattern matching --------------------------------------------------
+
+    def _match(
+        self, pattern: Pattern, value: Value
+    ) -> Optional[Dict[str, Cell]]:
+        if isinstance(pattern, PWild):
+            return {}
+        if isinstance(pattern, PVar):
+            return {pattern.name: Cell.ready(value)}
+        if isinstance(pattern, PLit):
+            if isinstance(value, VInt):
+                return {} if value.value == pattern.value else None
+            if isinstance(value, VStr):
+                return {} if value.value == pattern.value else None
+            raise MachineError("literal pattern against non-literal")
+        if isinstance(pattern, PCon):
+            if not isinstance(value, VCon) or value.name != pattern.name:
+                return None
+            bindings: Dict[str, Cell] = {}
+            for sub, cell in zip(pattern.args, value.args):
+                if isinstance(sub, PVar):
+                    bindings[sub.name] = cell
+                elif not isinstance(sub, PWild):
+                    raise MachineError(
+                        "nested pattern reached the machine; run "
+                        "flatten_case_patterns first"
+                    )
+            return bindings
+        raise MachineError(f"unknown pattern {pattern!r}")
+
+    # -- exceptions ---------------------------------------------------------
+
+    def exc_of_value(self, value: Value) -> Exc:
+        """Convert an ``Exception``-typed machine value to an Exc."""
+        if not isinstance(value, VCon):
+            raise MachineError(f"raise applied to non-Exception {value}")
+        if value.name == "UserError":
+            msg = value.args[0].force(self) if value.args else VStr("")
+            if not isinstance(msg, VStr):
+                raise MachineError("UserError message is not a string")
+            return user_error(msg.value)
+        synchronous = value.name not in (
+            "NonTermination",
+            "ControlC",
+            "Timeout",
+            "StackOverflow",
+            "HeapOverflow",
+        )
+        return Exc(value.name, synchronous=synchronous)
+
+    def value_of_exc(self, exc: Exc) -> VCon:
+        if exc.arg is not None:
+            return VCon(exc.name, (Cell.ready(VStr(exc.arg)),))
+        return VCon(exc.name)
+
+    # -- primitives ----------------------------------------------------------
+
+    def _prim(self, expr: PrimOp, env: Env) -> Value:
+        op = expr.op
+        self.stats.prim_ops += 1
+
+        # Lazy IO constructors.
+        if op in (
+            "returnIO",
+            "bindIO",
+            "putChar",
+            "putStr",
+            "getException",
+            "ioError",
+            "catchIO",
+            "forkIO",
+            "newMVar",
+            "takeMVar",
+            "putMVar",
+        ):
+            tag = {
+                "returnIO": "return",
+                "bindIO": "bind",
+                "putChar": "putChar",
+                "putStr": "putStr",
+                "getException": "getException",
+                "ioError": "ioError",
+                "catchIO": "catch",
+                "forkIO": "fork",
+                "newMVar": "newMVar",
+                "takeMVar": "takeMVar",
+                "putMVar": "putMVar",
+            }[op]
+            return VIO(tag, tuple(self.alloc(a, env) for a in expr.args))
+        if op == "getChar":
+            return VIO("getChar")
+        if op == "newEmptyMVar":
+            return VIO("newEmptyMVar")
+        if op == "yieldIO":
+            return VIO("yield")
+
+        if op == "seq":
+            self.eval(expr.args[0], env)
+            return self.eval(expr.args[1], env)
+
+        if op == "mapException":
+            return self._map_exception(expr, env)
+
+        # Strict primitives: evaluate arguments in strategy order.  The
+        # *first* exception encountered propagates — this is the single
+        # representative of the denoted set (Section 3.5).
+        n = len(expr.args)
+        values: List[Optional[Value]] = [None] * n
+        for idx in self.strategy.order(op, n):
+            values[idx] = self.eval(expr.args[idx], env)
+        return self._apply_prim(op, values)
+
+    def _map_exception(self, expr: PrimOp, env: Env) -> Value:
+        """``mapException f e``: force ``e``; apply ``f`` to the sole
+        representative of the set if an exception comes out
+        (Section 5.4's implementation reading)."""
+        fn_expr, arg_expr = expr.args
+        try:
+            return self.eval(arg_expr, env)
+        except ObjRaise as err:
+            fn = self.eval(fn_expr, env)
+            if not isinstance(fn, VFun):
+                raise MachineError("mapException: non-function mapper")
+            inner = dict(fn.env)
+            inner[fn.var] = Cell.ready(self.value_of_exc(err.exc))
+            mapped = self.eval(fn.body, inner)
+            raise ObjRaise(self.exc_of_value(mapped)) from None
+
+    def _apply_prim(self, op: str, values: List[Optional[Value]]) -> Value:
+        if op in ("+", "-", "*", "div", "mod"):
+            a, b = values
+            if not isinstance(a, VInt) or not isinstance(b, VInt):
+                raise MachineError(f"{op} on non-integers")
+            return self._arith(op, a.value, b.value)
+        if op in ("uadd", "usub", "umul", "udiv", "umod"):
+            a, b = values
+            if not isinstance(a, VInt) or not isinstance(b, VInt):
+                raise MachineError(f"{op} on non-integers")
+            if op == "uadd":
+                return VInt(a.value + b.value)
+            if op == "usub":
+                return VInt(a.value - b.value)
+            if op == "umul":
+                return VInt(a.value * b.value)
+            if b.value == 0:
+                raise MachineError(
+                    f"{op} by zero: the encoding must guard divisors"
+                )
+            if op == "udiv":
+                return VInt(a.value // b.value)
+            return VInt(a.value % b.value)
+        if op == "unegate":
+            (a,) = values
+            assert isinstance(a, VInt)
+            return VInt(-a.value)
+        if op == "negate":
+            (a,) = values
+            if not isinstance(a, VInt):
+                raise MachineError("negate on a non-integer")
+            if not (INT_MIN < -a.value < INT_MAX):
+                raise ObjRaise(OVERFLOW)
+            return VInt(-a.value)
+        if op in ("==", "/=", "<", "<=", ">", ">="):
+            a, b = values
+            av = a.value if isinstance(a, (VInt, VStr)) else None
+            bv = b.value if isinstance(b, (VInt, VStr)) else None
+            if av is None or bv is None:
+                raise MachineError(f"{op} compares base values only")
+            result = {
+                "==": av == bv,
+                "/=": av != bv,
+                "<": av < bv,
+                "<=": av <= bv,
+                ">": av > bv,
+                ">=": av >= bv,
+            }[op]
+            return VCon("True" if result else "False")
+        if op == "strAppend":
+            a, b = values
+            assert isinstance(a, VStr) and isinstance(b, VStr)
+            return VStr(a.value + b.value)
+        if op == "strLen":
+            (a,) = values
+            assert isinstance(a, VStr)
+            return VInt(len(a.value))
+        if op == "showInt":
+            (a,) = values
+            assert isinstance(a, VInt)
+            return VStr(str(a.value))
+        if op == "ord":
+            (a,) = values
+            assert isinstance(a, VStr)
+            return VInt(ord(a.value))
+        if op == "chr":
+            (a,) = values
+            assert isinstance(a, VInt)
+            if not (0 <= a.value < 0x110000):
+                raise ObjRaise(OVERFLOW)
+            return VStr(chr(a.value))
+        raise MachineError(f"unknown primitive {op!r}")
+
+    def _arith(self, op: str, a: int, b: int) -> Value:
+        if op == "+":
+            result = a + b
+        elif op == "-":
+            result = a - b
+        elif op == "*":
+            result = a * b
+        else:
+            if b == 0:
+                raise ObjRaise(DIVIDE_BY_ZERO)
+            result = a // b if op == "div" else a % b
+        if not (INT_MIN < result < INT_MAX):
+            raise ObjRaise(OVERFLOW)
+        return VInt(result)
+
+
+def program_env(
+    program: Program, machine: Machine, base: Optional[Env] = None
+) -> Env:
+    """Build the mutually recursive top-level environment."""
+    env: Env = dict(base) if base else {}
+    for name, rhs in program.binds:
+        env[name] = machine.alloc(rhs, env)
+    for name, _rhs in program.binds:
+        env[name].env = env
+    return env

@@ -1,0 +1,137 @@
+"""Heap cells: memoised thunks with blackholing and raise-overwriting.
+
+This implements the Section 3.3 machinery faithfully:
+
+* on entry a thunk is overwritten with a **black hole** (avoiding the
+  "celebrated space leak" and detecting some loops, Section 5.2);
+* if evaluation of a thunk is abandoned by ``raise ex``, the thunk is
+  overwritten with ``raise ex`` so re-evaluation raises the *same*
+  exception again ("which is as it should be");
+* on success the thunk is overwritten with its value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.excset import Exc, NON_TERMINATION
+
+if TYPE_CHECKING:
+    from repro.machine.eval import Machine
+    from repro.machine.values import Value
+
+
+class ObjRaise(Exception):
+    """An object-language exception in flight (the stack trim)."""
+
+    def __init__(self, exc: Exc) -> None:
+        super().__init__(str(exc))
+        self.exc = exc
+
+
+class AsyncInterrupt(Exception):
+    """An asynchronous event (Section 5.1) delivered mid-evaluation.
+
+    Unlike :class:`ObjRaise` it does NOT overwrite thunks with
+    ``raise ex``: the paper notes thunks must instead be overwritten
+    with a "resumable continuation".  We model that by resetting
+    in-flight thunks to their unevaluated state, so evaluation can be
+    retried later — the behavioural content of resumability.
+    """
+
+    def __init__(self, exc: Exc) -> None:
+        super().__init__(str(exc))
+        self.exc = exc
+
+
+class MachineDiverged(Exception):
+    """Fuel exhausted: the machine would run forever."""
+
+
+# Cell states
+_UNEVALUATED = 0
+_BLACKHOLE = 1
+_VALUE = 2
+_RAISE = 3
+
+
+class Cell:
+    """One heap cell holding a lazily evaluated expression."""
+
+    __slots__ = ("state", "expr", "env", "value", "exc")
+
+    def __init__(self, expr, env) -> None:
+        self.state = _UNEVALUATED
+        self.expr = expr
+        self.env = env
+        self.value: Optional["Value"] = None
+        self.exc: Optional[Exc] = None
+
+    @staticmethod
+    def ready(value: "Value") -> "Cell":
+        cell = Cell.__new__(Cell)
+        cell.state = _VALUE
+        cell.expr = None
+        cell.env = None
+        cell.value = value
+        cell.exc = None
+        return cell
+
+    @staticmethod
+    def raising(exc: Exc) -> "Cell":
+        cell = Cell.__new__(Cell)
+        cell.state = _RAISE
+        cell.expr = None
+        cell.env = None
+        cell.value = None
+        cell.exc = exc
+        return cell
+
+    def force(self, machine: "Machine") -> "Value":
+        state = self.state
+        if state == _VALUE:
+            assert self.value is not None
+            return self.value
+        if state == _RAISE:
+            assert self.exc is not None
+            raise ObjRaise(self.exc)
+        if state == _BLACKHOLE:
+            # Re-entering a thunk under evaluation: a loop.  Section 5.2
+            # permits (but does not require) reporting NonTermination.
+            if machine.detect_blackholes:
+                raise ObjRaise(NON_TERMINATION)
+            raise MachineDiverged("re-entered a black hole")
+        expr, env = self.expr, self.env
+        self.state = _BLACKHOLE
+        stats = machine.stats
+        stats.thunks_forced += 1
+        stats.force_depth += 1
+        if stats.force_depth > stats.max_force_depth:
+            stats.max_force_depth = stats.force_depth
+        try:
+            value = machine.eval(expr, env)
+        except ObjRaise as err:
+            # Overwrite with `raise ex` (Section 3.3).
+            self.state = _RAISE
+            self.exc = err.exc
+            self.expr = None
+            self.env = None
+            raise
+        except AsyncInterrupt:
+            # Resumable continuation (Section 5.1): restore the thunk.
+            self.state = _UNEVALUATED
+            self.expr = expr
+            self.env = env
+            raise
+        except MachineDiverged:
+            self.state = _UNEVALUATED
+            self.expr = expr
+            self.env = env
+            raise
+        finally:
+            stats.force_depth -= 1
+        self.state = _VALUE
+        self.value = value
+        self.expr = None
+        self.env = None
+        return value

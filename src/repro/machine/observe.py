@@ -1,0 +1,176 @@
+"""Observations: running the machine and classifying the outcome.
+
+An observation of an expression is one of
+
+* ``Normal(value)`` — WHNF reached,
+* ``Exceptional(exc)`` — the machine encountered ``exc`` first (the
+  single representative of the denoted exception set, Section 3.5),
+* ``Diverged()`` — fuel ran out.
+
+The bridge to the denotational layer (the soundness property tested in
+``tests/integration/test_soundness.py``): if ``observe(e)`` is
+``Exceptional(x)`` then ``[e] = Bad s`` with ``x ∈ s``; if it is
+``Normal(v)`` then ``[e] = Ok v'`` with ``v`` matching ``v'``; if it is
+``Diverged()`` then ``NonTermination ∈ s`` (i.e. ``[e] = ⊥``, since our
+denotational ⊥ is the only set containing NonTermination for
+machine-generated programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.excset import Exc
+from repro.lang.ast import Expr, Program
+from repro.machine.eval import Env, Machine, program_env
+from repro.machine.heap import AsyncInterrupt, Cell, MachineDiverged, ObjRaise
+from repro.machine.strategy import Strategy
+from repro.machine.values import VCon, VFun, VInt, VIO, VStr, Value
+
+
+@dataclass(frozen=True)
+class Normal:
+    value: Value
+
+    def __str__(self) -> str:
+        return f"Normal({self.value})"
+
+
+@dataclass(frozen=True)
+class Exceptional:
+    exc: Exc
+
+    def __str__(self) -> str:
+        return f"Exceptional({self.exc})"
+
+
+@dataclass(frozen=True)
+class Diverged:
+    def __str__(self) -> str:
+        return "Diverged"
+
+
+Outcome = Union[Normal, Exceptional, Diverged]
+
+
+def observe(
+    expr: Expr,
+    env: Optional[Env] = None,
+    machine: Optional[Machine] = None,
+    strategy: Optional[Strategy] = None,
+    fuel: int = 2_000_000,
+    deep: bool = False,
+) -> Outcome:
+    """Run ``expr`` to WHNF (or, with ``deep=True``, to full normal
+    form) and classify the outcome."""
+    if machine is None:
+        machine = Machine(strategy=strategy, fuel=fuel)
+    try:
+        value = machine.eval(expr, dict(env) if env else {})
+        if deep:
+            value = deep_force(value, machine)
+        return Normal(value)
+    except ObjRaise as err:
+        return Exceptional(err.exc)
+    except AsyncInterrupt as err:
+        return Exceptional(err.exc)
+    except MachineDiverged:
+        return Diverged()
+
+
+def observe_program(
+    program: Program,
+    entry: str = "main",
+    machine: Optional[Machine] = None,
+    strategy: Optional[Strategy] = None,
+    fuel: int = 2_000_000,
+    base: Optional[Env] = None,
+    deep: bool = False,
+) -> Outcome:
+    if machine is None:
+        machine = Machine(strategy=strategy, fuel=fuel)
+    env = program_env(program, machine, base)
+    cell = env.get(entry)
+    if cell is None:
+        raise KeyError(f"no top-level binding {entry!r}")
+    try:
+        value = cell.force(machine)
+        if deep:
+            value = deep_force(value, machine)
+        return Normal(value)
+    except ObjRaise as err:
+        return Exceptional(err.exc)
+    except AsyncInterrupt as err:
+        return Exceptional(err.exc)
+    except MachineDiverged:
+        return Diverged()
+
+
+def deep_force(value: Value, machine: Machine) -> Value:
+    """Force a value hyper-strictly (every constructor field).
+
+    This is the "force evaluation of all the elements" operation the
+    paper describes for making sure a structure contains no exceptional
+    values (Section 3.2).  Exceptions lurking inside fields propagate —
+    the first one encountered in field order wins, mirroring a
+    ``seq``-chain in the object language.
+    """
+    if isinstance(value, VCon):
+        for cell in value.args:
+            deep_force(cell.force(machine), machine)
+    return value
+
+
+def _show_cell(cell: "Cell", machine: Machine, depth: int) -> str:
+    """Render a lazy field, showing a lurking exception as <raise x>."""
+    try:
+        return show_value(cell.force(machine), machine, depth)
+    except ObjRaise as err:
+        return f"<raise {err.exc}>"
+    except MachineDiverged:
+        return "<diverges>"
+
+
+def show_value(value: Value, machine: Machine, depth: int = 50) -> str:
+    """Render a machine value for output, forcing as needed.
+
+    Exceptional values lurking inside lazy structure (Section 3.2) are
+    rendered as ``<raise x>`` rather than aborting the whole rendering.
+    """
+    if isinstance(value, VInt):
+        return str(value.value)
+    if isinstance(value, VStr):
+        return repr(value.value)
+    if isinstance(value, VFun):
+        return "<function>"
+    if isinstance(value, VIO):
+        return f"<io:{value.tag}>"
+    if isinstance(value, VCon):
+        if depth <= 0:
+            return "..."
+        if value.name == "Cons":
+            items: List[str] = []
+            current: Value = value
+            while (
+                isinstance(current, VCon)
+                and current.name == "Cons"
+                and depth > 0
+            ):
+                items.append(_show_cell(current.args[0], machine, depth - 1))
+                try:
+                    current = current.args[1].force(machine)
+                except ObjRaise as err:
+                    items.append(f"<raise {err.exc}>")
+                    return "[" + ", ".join(items) + "?"
+                depth -= 1
+            if isinstance(current, VCon) and current.name == "Nil":
+                return "[" + ", ".join(items) + "]"
+            return "[" + ", ".join(items) + ", ...]"
+        if not value.args:
+            return value.name
+        inner = " ".join(
+            _show_cell(cell, machine, depth - 1) for cell in value.args
+        )
+        return f"({value.name} {inner})"
+    return str(value)

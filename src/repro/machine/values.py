@@ -1,0 +1,97 @@
+"""Weak-head-normal-form values of the operational machine.
+
+Unlike the denotational domain, there is no ``Bad`` constructor here:
+"an exceptional value behaves as a first class value, but it is never
+explicitly represented as such" (Section 3.3).  Exceptions travel as
+Python exceptions (:class:`repro.machine.heap.ObjRaise`) — the analogue
+of stack trimming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.machine.heap import Cell
+
+
+class Value:
+    """Base class of machine values (always in WHNF)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VInt(Value):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VStr(Value):
+    """Characters (length 1) and strings share this representation;
+    the type checker keeps them apart statically."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class VCon(Value):
+    """A constructor applied to heap cells (lazy fields)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Tuple["Cell", ...] = ()) -> None:
+        self.name = name
+        self.args = args
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}<{len(self.args)}>"
+
+
+class VFun(Value):
+    """A closure: one parameter (lambdas are curried), a body and the
+    captured environment."""
+
+    __slots__ = ("var", "body", "env")
+
+    def __init__(self, var: str, body, env) -> None:
+        self.var = var
+        self.body = body
+        self.env = env
+
+    def __str__(self) -> str:
+        return f"\\{self.var} -> ..."
+
+
+class VIO(Value):
+    """An unperformed IO action (dispatched by :mod:`repro.io.run`)."""
+
+    __slots__ = ("tag", "payload")
+
+    def __init__(self, tag: str, payload: Tuple["Cell", ...] = ()) -> None:
+        self.tag = tag
+        self.payload = payload
+
+    def __str__(self) -> str:
+        return f"IO<{self.tag}>"
+
+
+class VMVar(Value):
+    """A reference to an MVar (concurrency extension; identity is the
+    slot index in the executor's MVar table)."""
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref: int) -> None:
+        self.ref = ref
+
+    def __str__(self) -> str:
+        return f"MVar#{self.ref}"

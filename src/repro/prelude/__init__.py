@@ -1,0 +1,18 @@
+"""The prelude: standard data types and functions, written in the
+object language and shared by both evaluators."""
+
+from repro.prelude.loader import (
+    con_arities,
+    denote_env,
+    machine_env,
+    prelude_program,
+)
+from repro.prelude.source import PRELUDE_SOURCE
+
+__all__ = [
+    "PRELUDE_SOURCE",
+    "con_arities",
+    "denote_env",
+    "machine_env",
+    "prelude_program",
+]

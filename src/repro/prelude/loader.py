@@ -1,0 +1,47 @@
+"""Loading the prelude into both evaluators.
+
+The parsed and pattern-flattened prelude program is cached at module
+level (parsing is pure).  Environments are built per evaluation context
+— denotational thunks capture a :class:`DenoteContext` (fuel), machine
+cells capture a :class:`Machine` — so each caller gets fresh ones.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.core.denote import DenoteContext
+from repro.core.denote import program_env as _denote_program_env
+from repro.lang.ast import Program
+from repro.lang.match import flatten_program
+from repro.lang.parser import BUILTIN_CON_ARITY, parse_program
+from repro.machine.eval import Machine
+from repro.machine.eval import program_env as _machine_program_env
+from repro.prelude.source import PRELUDE_SOURCE
+
+
+@lru_cache(maxsize=None)
+def prelude_program() -> Program:
+    """The parsed, flattened prelude (cached)."""
+    return flatten_program(parse_program(PRELUDE_SOURCE))
+
+
+@lru_cache(maxsize=None)
+def con_arities() -> Dict[str, int]:
+    """Constructor arities visible to programs using the prelude."""
+    arities = dict(BUILTIN_CON_ARITY)
+    for decl in prelude_program().data_decls:
+        for cname, cargs in decl.constructors:
+            arities[cname] = len(cargs)
+    return arities
+
+
+def denote_env(ctx: DenoteContext):
+    """A fresh denotational environment containing the prelude."""
+    return _denote_program_env(prelude_program(), ctx)
+
+
+def machine_env(machine: Machine):
+    """A fresh machine environment containing the prelude."""
+    return _machine_program_env(prelude_program(), machine)

@@ -1,0 +1,340 @@
+'''The prelude source, in the object language.
+
+The data declarations mirror the paper: ``ExVal`` is the discriminated
+union returned by ``getException`` (Section 3.1) and ``Exception`` is
+the Prelude data type of Section 3.1 extended with ``NonTermination``
+(Section 4.1) and the asynchronous constructors (Section 5.1).
+
+``error`` is *defined* via ``raise`` exactly as the paper does::
+
+    error :: String -> a
+    error str = raise (UserError str)
+'''
+
+PRELUDE_SOURCE = """
+data Bool = True | False
+data Unit = Unit
+data List a = Nil | Cons a (List a)
+data Maybe a = Nothing | Just a
+data Tuple2 a b = Tuple2 a b
+data Tuple3 a b c = Tuple3 a b c
+data Tuple4 a b c d = Tuple4 a b c d
+data Exception = DivideByZero
+               | Overflow
+               | UserError String
+               | PatternMatchFail
+               | NonTermination
+               | ControlC
+               | Timeout
+               | StackOverflow
+               | HeapOverflow
+data ExVal a = OK a | Bad Exception
+data Ordering = LT | EQ | GT
+
+-- The paper's error function (Section 3.1).
+error :: String -> a
+error str = raise (UserError str)
+
+otherwise :: Bool
+otherwise = True
+
+id :: a -> a
+id x = x
+
+const :: a -> b -> a
+const x y = x
+
+compose :: (b -> c) -> (a -> b) -> a -> c
+compose f g x = f (g x)
+
+apply :: (a -> b) -> a -> b
+apply f x = f x
+
+flip :: (a -> b -> c) -> b -> a -> c
+flip f x y = f y x
+
+not :: Bool -> Bool
+not True = False
+not False = True
+
+and :: Bool -> Bool -> Bool
+and True y = y
+and False y = False
+
+or :: Bool -> Bool -> Bool
+or True y = True
+or False y = y
+
+fst :: (a, b) -> a
+fst (Tuple2 x y) = x
+
+snd :: (a, b) -> b
+snd (Tuple2 x y) = y
+
+maybe :: b -> (a -> b) -> Maybe a -> b
+maybe d f Nothing = d
+maybe d f (Just x) = f x
+
+fromMaybe :: a -> Maybe a -> a
+fromMaybe d Nothing = d
+fromMaybe d (Just x) = x
+
+head :: [a] -> a
+head (x:xs) = x
+head Nil = error "head: empty list"
+
+tail :: [a] -> [a]
+tail (x:xs) = xs
+tail Nil = error "tail: empty list"
+
+null :: [a] -> Bool
+null Nil = True
+null (x:xs) = False
+
+length :: [a] -> Int
+length Nil = 0
+length (x:xs) = 1 + length xs
+
+append :: [a] -> [a] -> [a]
+append Nil ys = ys
+append (x:xs) ys = x : append xs ys
+
+map :: (a -> b) -> [a] -> [b]
+map f Nil = Nil
+map f (x:xs) = f x : map f xs
+
+filter :: (a -> Bool) -> [a] -> [a]
+filter p Nil = Nil
+filter p (x:xs) = if p x then x : filter p xs else filter p xs
+
+foldr :: (a -> b -> b) -> b -> [a] -> b
+foldr f z Nil = z
+foldr f z (x:xs) = f x (foldr f z xs)
+
+foldl :: (b -> a -> b) -> b -> [a] -> b
+foldl f z Nil = z
+foldl f z (x:xs) = foldl f (f z x) xs
+
+-- The paper's running example function (Section 3.2):
+-- it can return an exception value directly, a list with an
+-- exceptional tail, or a defined spine with exceptional elements.
+zipWith :: (a -> b -> c) -> [a] -> [b] -> [c]
+zipWith f Nil Nil = Nil
+zipWith f (x:xs) (y:ys) = f x y : zipWith f xs ys
+zipWith f xs ys = error "Unequal lists"
+
+zip :: [a] -> [b] -> [(a, b)]
+zip xs ys = zipWith (\\x y -> Tuple2 x y) xs ys
+
+take :: Int -> [a] -> [a]
+take n xs = if n <= 0 then Nil
+            else case xs of
+                   Nil -> Nil
+                   (y:ys) -> y : take (n - 1) ys
+
+drop :: Int -> [a] -> [a]
+drop n xs = if n <= 0 then xs
+            else case xs of
+                   Nil -> Nil
+                   (y:ys) -> drop (n - 1) ys
+
+replicate :: Int -> a -> [a]
+replicate n x = if n <= 0 then Nil else x : replicate (n - 1) x
+
+reverse :: [a] -> [a]
+reverse xs = revOnto xs Nil
+
+revOnto :: [a] -> [a] -> [a]
+revOnto Nil acc = acc
+revOnto (x:xs) acc = revOnto xs (x : acc)
+
+sum :: [Int] -> Int
+sum Nil = 0
+sum (x:xs) = x + sum xs
+
+product :: [Int] -> Int
+product Nil = 1
+product (x:xs) = x * product xs
+
+maximum :: [Int] -> Int
+maximum (x:Nil) = x
+maximum (x:xs) = max x (maximum xs)
+maximum Nil = error "maximum: empty list"
+
+minimum :: [Int] -> Int
+minimum (x:Nil) = x
+minimum (x:xs) = min x (minimum xs)
+minimum Nil = error "minimum: empty list"
+
+max :: Int -> Int -> Int
+max x y = if x >= y then x else y
+
+min :: Int -> Int -> Int
+min x y = if x <= y then x else y
+
+abs :: Int -> Int
+abs x = if x < 0 then negate x else x
+
+elem :: Int -> [Int] -> Bool
+elem x Nil = False
+elem x (y:ys) = if x == y then True else elem x ys
+
+-- The "alternative return" idiom the paper discusses (Section 2):
+-- looking up a key in a finite map, explicitly encoded with Maybe.
+lookup :: Int -> [(Int, b)] -> Maybe b
+lookup k Nil = Nothing
+lookup k (Tuple2 k2 v : rest) = if k == k2 then Just v else lookup k rest
+
+enumFromTo :: Int -> Int -> [Int]
+enumFromTo lo hi = if lo > hi then Nil else lo : enumFromTo (lo + 1) hi
+
+concat :: [[a]] -> [a]
+concat Nil = Nil
+concat (xs:xss) = append xs (concat xss)
+
+concatMap :: (a -> [b]) -> [a] -> [b]
+concatMap f xs = concat (map f xs)
+
+iterate :: (a -> a) -> a -> [a]
+iterate f x = x : iterate f (f x)
+
+all :: (a -> Bool) -> [a] -> Bool
+all p Nil = True
+all p (x:xs) = if p x then all p xs else False
+
+any :: (a -> Bool) -> [a] -> Bool
+any p Nil = False
+any p (x:xs) = if p x then True else any p xs
+
+-- Force the spine and every element of a list (Section 3.2: "to be
+-- sure that a data structure contains no exceptional values one must
+-- force evaluation of all the elements").
+forceList :: [Int] -> [Int]
+forceList Nil = Nil
+forceList (x:xs) = seq x (x : forceList xs)
+
+forceSpine :: [a] -> [a]
+forceSpine Nil = Nil
+forceSpine (x:xs) = x : forceSpine xs
+
+takeWhile :: (a -> Bool) -> [a] -> [a]
+takeWhile p Nil = Nil
+takeWhile p (x:xs) = if p x then x : takeWhile p xs else Nil
+
+dropWhile :: (a -> Bool) -> [a] -> [a]
+dropWhile p Nil = Nil
+dropWhile p (x:xs) = if p x then dropWhile p xs else x : xs
+
+span :: (a -> Bool) -> [a] -> ([a], [a])
+span p xs = Tuple2 (takeWhile p xs) (dropWhile p xs)
+
+splitAt :: Int -> [a] -> ([a], [a])
+splitAt n xs = Tuple2 (take n xs) (drop n xs)
+
+last :: [a] -> a
+last (x:Nil) = x
+last (x:xs) = last xs
+last Nil = error "last: empty list"
+
+init :: [a] -> [a]
+init (x:Nil) = Nil
+init (x:xs) = x : init xs
+init Nil = error "init: empty list"
+
+intersperse :: a -> [a] -> [a]
+intersperse sep Nil = Nil
+intersperse sep (x:Nil) = x : Nil
+intersperse sep (x:xs) = x : sep : intersperse sep xs
+
+zipWith3 :: (a -> b -> c -> d) -> [a] -> [b] -> [c] -> [d]
+zipWith3 f Nil Nil Nil = Nil
+zipWith3 f (x:xs) (y:ys) (z:zs) = f x y z : zipWith3 f xs ys zs
+zipWith3 f xs ys zs = error "Unequal lists"
+
+unzip :: [(a, b)] -> ([a], [b])
+unzip xs = Tuple2 (map fst xs) (map snd xs)
+
+nub :: [Int] -> [Int]
+nub Nil = Nil
+nub (x:xs) = x : nub (filter (\\y -> y /= x) xs)
+
+gcdI :: Int -> Int -> Int
+gcdI a b = if b == 0 then abs a else gcdI b (a `mod` b)
+
+even :: Int -> Bool
+even n = n `mod` 2 == 0
+
+odd :: Int -> Bool
+odd n = n `mod` 2 /= 0
+
+signum :: Int -> Int
+signum n | n < 0 = negate 1
+         | n == 0 = 0
+         | otherwise = 1
+
+showBool :: Bool -> String
+showBool True = "True"
+showBool False = "False"
+
+showIntList :: [Int] -> String
+showIntList xs = strAppend "[" (strAppend (showElems xs) "]")
+
+showElems :: [Int] -> String
+showElems Nil = ""
+showElems (x:Nil) = showInt x
+showElems (x:xs) = strAppend (showInt x)
+                             (strAppend ", " (showElems xs))
+
+-- Higher-order sorting: the Section 2 modularity example.  The
+-- comparison function may raise; nothing here needs to know.
+insertBy :: (a -> a -> Bool) -> a -> [a] -> [a]
+insertBy le x Nil = x : Nil
+insertBy le x (y:ys) = if le x y then x : y : ys
+                       else y : insertBy le x ys
+
+sortBy :: (a -> a -> Bool) -> [a] -> [a]
+sortBy le Nil = Nil
+sortBy le (x:xs) = insertBy le x (sortBy le xs)
+
+sort :: [Int] -> [Int]
+sort xs = sortBy (\\a b -> a <= b) xs
+
+-- IO helpers -----------------------------------------------------------
+
+thenIO :: IO a -> IO b -> IO b
+thenIO m k = bindIO m (\\x -> k)
+
+mapM_ :: (a -> IO Unit) -> [a] -> IO Unit
+mapM_ f Nil = returnIO Unit
+mapM_ f (x:xs) = thenIO (f x) (mapM_ f xs)
+
+putLine :: String -> IO Unit
+putLine s = thenIO (putStr s) (putChar '\\n')
+
+-- Exception-handling combinators built on getException --------------
+
+-- tryEval forces a value and reifies the outcome (Section 3.1's
+-- example usage of getException).
+tryEval :: a -> IO (ExVal a)
+tryEval x = getException x
+
+-- catch with a handler: the disaster-recovery pattern of Section 2.
+catchEval :: a -> (Exception -> a) -> IO a
+catchEval x handler =
+  bindIO (getException x) (\\r ->
+    case r of
+      OK v -> returnIO v
+      Bad e -> returnIO (handler e))
+
+-- showException renders an Exception for output.
+showException :: Exception -> String
+showException DivideByZero = "DivideByZero"
+showException Overflow = "Overflow"
+showException (UserError msg) = strAppend "UserError " msg
+showException PatternMatchFail = "PatternMatchFail"
+showException NonTermination = "NonTermination"
+showException ControlC = "ControlC"
+showException Timeout = "Timeout"
+showException StackOverflow = "StackOverflow"
+showException HeapOverflow = "HeapOverflow"
+"""

@@ -1,0 +1,87 @@
+"""Program transformations and their verification (Sections 3.4, 4.5).
+
+The paper's central claim is that the imprecise semantics "retains
+almost all useful opportunities for transformation ... No separate
+effect analysis is required."  This package makes that claim
+executable:
+
+* each :class:`Transformation` is a local rewrite rule;
+* :mod:`repro.transform.pipeline` assembles them into optimisation
+  levels (the "recompiled with different optimisation settings" knob of
+  Section 3.5);
+* :mod:`repro.transform.verify` classifies a rule as *identity*,
+  *refinement* or *unsound* under a chosen semantics, by comparing
+  denotations over instantiation batteries — reproducing the paper's
+  examples (commutativity of ``+``, beta reduction, case-switching,
+  ``error "This" /= error "That"``).
+"""
+
+from repro.transform.base import (
+    Transformation,
+    rewrite_bottom_up,
+    rewrite_everywhere,
+    rewrite_fixpoint,
+)
+from repro.transform.beta import BetaReduce, BetaToLet, EtaReduce
+from repro.transform.case_rules import (
+    AppOfCase,
+    CaseOfCase,
+    CaseOfKnownCon,
+    CaseSwitch,
+    DeadAltRemoval,
+)
+from repro.transform.commute import CommutePrimArgs
+from repro.transform.cse import CommonSubexpression
+from repro.transform.inline import InlineLet
+from repro.transform.let_rules import (
+    DeadLetElimination,
+    LetFloatFromApp,
+    LetFloatFromCase,
+)
+from repro.transform.strictify import CallByValue
+from repro.transform.pipeline import (
+    OptLevel,
+    Pipeline,
+    O0,
+    O1,
+    O2,
+    pipeline_for,
+)
+from repro.transform.verify import (
+    TransformReport,
+    classify_on_corpus,
+    classify_transformation,
+    default_corpus,
+)
+
+__all__ = [
+    "AppOfCase",
+    "BetaReduce",
+    "BetaToLet",
+    "CallByValue",
+    "CaseOfCase",
+    "CaseOfKnownCon",
+    "CaseSwitch",
+    "CommonSubexpression",
+    "CommutePrimArgs",
+    "DeadAltRemoval",
+    "DeadLetElimination",
+    "EtaReduce",
+    "InlineLet",
+    "LetFloatFromApp",
+    "LetFloatFromCase",
+    "O0",
+    "O1",
+    "O2",
+    "OptLevel",
+    "Pipeline",
+    "TransformReport",
+    "Transformation",
+    "classify_on_corpus",
+    "classify_transformation",
+    "default_corpus",
+    "pipeline_for",
+    "rewrite_bottom_up",
+    "rewrite_everywhere",
+    "rewrite_fixpoint",
+]

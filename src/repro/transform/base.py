@@ -1,0 +1,129 @@
+"""The transformation protocol and generic rewriting drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Raise,
+)
+from repro.lang.names import NameSupply, bound_vars, free_vars
+
+
+class Transformation:
+    """A local rewrite rule.
+
+    ``try_rewrite`` attempts the rule at the *root* of an expression,
+    returning the rewritten expression or None.  Drivers below apply a
+    rule throughout a term.  ``expected`` documents the verdict the
+    paper's semantics assigns the rule (``"identity"`` or
+    ``"refinement"``) — asserted by the test suite and benchmarks.
+    """
+
+    name = "transformation"
+    expected = "identity"
+
+    def try_rewrite(
+        self, expr: Expr, supply: NameSupply
+    ) -> Optional[Expr]:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _map_children(expr: Expr, f: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild an expression with ``f`` applied to each child."""
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, Lam):
+        return Lam(expr.var, f(expr.body))
+    if isinstance(expr, App):
+        return App(f(expr.fn), f(expr.arg))
+    if isinstance(expr, Con):
+        return Con(expr.name, tuple(f(a) for a in expr.args), expr.arity)
+    if isinstance(expr, Case):
+        return Case(
+            f(expr.scrutinee),
+            tuple(Alt(alt.pattern, f(alt.body)) for alt in expr.alts),
+        )
+    if isinstance(expr, Raise):
+        return Raise(f(expr.exc))
+    if isinstance(expr, PrimOp):
+        return PrimOp(expr.op, tuple(f(a) for a in expr.args))
+    if isinstance(expr, Fix):
+        return Fix(f(expr.fn))
+    if isinstance(expr, Let):
+        return Let(
+            tuple((name, f(rhs)) for name, rhs in expr.binds),
+            f(expr.body),
+        )
+    return expr  # Var
+
+
+def rewrite_bottom_up(
+    expr: Expr,
+    rule: Transformation,
+    supply: Optional[NameSupply] = None,
+) -> Tuple[Expr, int]:
+    """Apply ``rule`` once at every node, children first.
+
+    Returns the rewritten expression and the number of rule firings.
+    """
+    if supply is None:
+        supply = NameSupply(avoid=free_vars(expr) | bound_vars(expr))
+    count = 0
+
+    def go(e: Expr) -> Expr:
+        nonlocal count
+        e = _map_children(e, go)
+        rewritten = rule.try_rewrite(e, supply)
+        if rewritten is not None:
+            count += 1
+            return rewritten
+        return e
+
+    return go(expr), count
+
+
+def rewrite_everywhere(
+    expr: Expr,
+    rule: Transformation,
+    supply: Optional[NameSupply] = None,
+) -> Expr:
+    """Bottom-up application, discarding the count."""
+    rewritten, _count = rewrite_bottom_up(expr, rule, supply)
+    return rewritten
+
+
+def rewrite_fixpoint(
+    expr: Expr,
+    rules: List[Transformation],
+    supply: Optional[NameSupply] = None,
+    max_rounds: int = 20,
+) -> Tuple[Expr, int]:
+    """Apply a list of rules bottom-up repeatedly until no rule fires
+    (or the round budget runs out — rules like CSE can ping-pong with
+    inlining, so a bound is essential)."""
+    if supply is None:
+        supply = NameSupply(avoid=free_vars(expr) | bound_vars(expr))
+    total = 0
+    for _round in range(max_rounds):
+        fired = 0
+        for rule in rules:
+            expr, count = rewrite_bottom_up(expr, rule, supply)
+            fired += count
+        total += fired
+        if fired == 0:
+            break
+    return expr, total

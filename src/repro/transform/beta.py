@@ -1,0 +1,80 @@
+"""Beta reduction and friends.
+
+Beta reduction is the transformation the paper refuses to give up: the
+"go non-deterministic" design was rejected precisely because it breaks
+β (Section 3.4), and the sets-of-exceptions design restores it ("Beta
+reduction remains valid", Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import App, Expr, Lam, Let, Var
+from repro.lang.names import NameSupply, free_vars, substitute
+from repro.transform.base import Transformation
+
+
+class BetaReduce(Transformation):
+    """``(\\x -> body) arg  ==>  body[arg/x]``.
+
+    Call-by-name beta: capture-avoiding substitution.  Semantically an
+    identity under the imprecise semantics; it may duplicate *work*
+    (not meaning), which the cost-conscious :class:`BetaToLet` avoids.
+    """
+
+    name = "beta-reduce"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if isinstance(expr, App) and isinstance(expr.fn, Lam):
+            return substitute(
+                expr.fn.body, {expr.fn.var: expr.arg}
+            )
+        return None
+
+
+class BetaToLet(Transformation):
+    """``(\\x -> body) arg  ==>  let x = arg in body`` — the
+    sharing-preserving form compilers actually use."""
+
+    name = "beta-to-let"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if isinstance(expr, App) and isinstance(expr.fn, Lam):
+            lam = expr.fn
+            if lam.var in free_vars(expr.arg):
+                fresh = supply.fresh(lam.var)
+                body = substitute(lam.body, {lam.var: Var(fresh)})
+                return Let(((fresh, expr.arg),), body)
+            return Let(((lam.var, expr.arg),), lam.body)
+        return None
+
+
+class EtaReduce(Transformation):
+    """``\\x -> f x  ==>  f`` when ``x`` not free in ``f``.
+
+    NOTE: this is *not* an identity in general in a lazy language with
+    exceptions: ``\\x -> f x`` is a normal value (a lambda) even when
+    ``f`` is exceptional or ⊥ — "a lambda abstraction is a normal
+    value; that is λx.⊥ ≠ ⊥" (Section 4.2).  The rewrite *loses*
+    information (``Ok (\\x -> ...)`` becomes ``Bad s``), so it is not
+    even a refinement; it goes the wrong way.  It is included
+    deliberately: the verifier must *reject* it (tested in
+    ``tests/transform/test_verify.py``).
+    """
+
+    name = "eta-reduce"
+    expected = "unsound"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if (
+            isinstance(expr, Lam)
+            and isinstance(expr.body, App)
+            and isinstance(expr.body.arg, Var)
+            and expr.body.arg.name == expr.var
+            and expr.var not in free_vars(expr.body.fn)
+        ):
+            return expr.body.fn
+        return None

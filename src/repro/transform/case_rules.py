@@ -1,0 +1,210 @@
+"""Case transformations — the rules that motivated the exception-finding
+mode of Section 4.3.
+
+``CaseSwitch`` is the paper's Section 4 opening example::
+
+    case x of (a,b) -> case y of (p,q) -> e
+  =
+    case y of (p,q) -> case x of (a,b) -> e
+
+"In Haskell the answer is yes; ... But if x and y are both bound to
+exceptional values, then the order of the cases clearly determines
+which exception will be encountered."  The exception-finding semantics
+restores the law (as an identity); the naive case rule makes it fail —
+both verified in the tests and in E7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Lit,
+    PCon,
+    PLit,
+    PVar,
+    PWild,
+    Var,
+    pattern_vars,
+)
+from repro.lang.names import NameSupply, free_vars, substitute
+from repro.transform.base import Transformation
+
+
+class CaseSwitch(Transformation):
+    """Swap two adjacent single-alternative cases on distinct variables
+    (both will be evaluated anyway — the strictness-analysis insight)."""
+
+    name = "case-switch"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not (isinstance(expr, Case) and len(expr.alts) == 1):
+            return None
+        outer_alt = expr.alts[0]
+        inner = outer_alt.body
+        if not (isinstance(inner, Case) and len(inner.alts) == 1):
+            return None
+        inner_alt = inner.alts[0]
+        outer_scrut, inner_scrut = expr.scrutinee, inner.scrutinee
+        if not (
+            isinstance(outer_scrut, Var) and isinstance(inner_scrut, Var)
+        ):
+            return None
+        if outer_scrut.name == inner_scrut.name:
+            return None
+        outer_vars = set(pattern_vars(outer_alt.pattern))
+        inner_vars = set(pattern_vars(inner_alt.pattern))
+        # The inner scrutinee must not be bound by the outer pattern
+        # (and vice versa after the swap), and the patterns must not
+        # shadow each other's variables.
+        if inner_scrut.name in outer_vars:
+            return None
+        if outer_scrut.name in inner_vars:
+            return None
+        if outer_vars & inner_vars:
+            return None
+        return Case(
+            inner_scrut,
+            (
+                Alt(
+                    inner_alt.pattern,
+                    Case(outer_scrut, (Alt(outer_alt.pattern, inner_alt.body),)),
+                ),
+            ),
+        )
+
+
+class CaseOfCase(Transformation):
+    """``case (case e of p_i -> r_i) of alts  ==>
+    case e of p_i -> case r_i of alts``.
+
+    May duplicate the outer alternatives (real compilers introduce join
+    points; duplication does not affect meaning).
+
+    A refinement, not an identity: on an exceptional inner scrutinee
+    the lhs explores every *outer* alternative in exception-finding
+    mode, while on the rhs an inner branch that returns a known normal
+    value selects just one — so the rhs can denote a strictly smaller
+    exception set."""
+
+    name = "case-of-case"
+    expected = "refinement"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not (isinstance(expr, Case) and isinstance(expr.scrutinee, Case)):
+            return None
+        inner = expr.scrutinee
+        outer_alts = expr.alts
+        outer_free = set()
+        for alt in outer_alts:
+            outer_free |= free_vars(alt.body)
+        new_alts = []
+        for alt in inner.alts:
+            # Inner pattern variables must not capture outer bodies.
+            if set(pattern_vars(alt.pattern)) & outer_free:
+                return None
+            new_alts.append(Alt(alt.pattern, Case(alt.body, outer_alts)))
+        return Case(inner.scrutinee, tuple(new_alts))
+
+
+class CaseOfKnownCon(Transformation):
+    """``case (C a b) of ... C x y -> r ...  ==>  let x=a; y=b in r``
+    (substituting directly; the let form preserves sharing)."""
+
+    name = "case-of-known-constructor"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not isinstance(expr, Case):
+            return None
+        scrut = expr.scrutinee
+        if isinstance(scrut, Con):
+            for alt in expr.alts:
+                pat = alt.pattern
+                if isinstance(pat, PWild):
+                    return alt.body
+                if isinstance(pat, PVar):
+                    return substitute(alt.body, {pat.name: scrut})
+                if isinstance(pat, PCon) and pat.name == scrut.name:
+                    mapping = {}
+                    for sub, arg in zip(pat.args, scrut.args):
+                        if isinstance(sub, PVar):
+                            mapping[sub.name] = arg
+                        elif not isinstance(sub, PWild):
+                            return None  # nested: leave to flattener
+                    return substitute(alt.body, mapping)
+                if isinstance(pat, PCon):
+                    continue  # known mismatch: try the next alternative
+                return None
+            return None
+        if isinstance(scrut, Lit):
+            for alt in expr.alts:
+                pat = alt.pattern
+                if isinstance(pat, PWild):
+                    return alt.body
+                if isinstance(pat, PVar):
+                    return substitute(alt.body, {pat.name: scrut})
+                if isinstance(pat, PLit):
+                    if pat.value == scrut.value:
+                        return alt.body
+                    continue
+                return None
+            return None
+        return None
+
+
+class AppOfCase(Transformation):
+    """The paper's Section 4.5 *refinement* example::
+
+        (case e of True -> f; False -> g) x
+      ⊑
+        case e of True -> f x; False -> g x
+
+    With ``e = raise E`` and ``x = raise X``, the lhs denotes
+    ``Bad {E, X}`` but the rhs denotes ``Bad {E}`` — strictly more
+    information.  "We argue that it is legitimate to perform a
+    transformation that increases information."
+    """
+
+    name = "app-of-case"
+    expected = "refinement"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not (isinstance(expr, App) and isinstance(expr.fn, Case)):
+            return None
+        case = expr.fn
+        arg_free = free_vars(expr.arg)
+        new_alts = []
+        for alt in case.alts:
+            if set(pattern_vars(alt.pattern)) & arg_free:
+                return None
+            new_alts.append(Alt(alt.pattern, App(alt.body, expr.arg)))
+        return Case(case.scrutinee, tuple(new_alts))
+
+
+class DeadAltRemoval(Transformation):
+    """Remove a syntactically unreachable alternative (one shadowed by
+    an earlier catch-all pattern).
+
+    A *refinement*: on an exceptional scrutinee the exception-finding
+    mode explores every alternative, so removing one can only shrink
+    the denoted set."""
+
+    name = "dead-alt-removal"
+    expected = "refinement"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not isinstance(expr, Case):
+            return None
+        for idx, alt in enumerate(expr.alts):
+            if isinstance(alt.pattern, (PVar, PWild)) and idx + 1 < len(
+                expr.alts
+            ):
+                return Case(expr.scrutinee, expr.alts[: idx + 1])
+        return None

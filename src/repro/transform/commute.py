@@ -1,0 +1,43 @@
+"""Commuting the arguments of commutative primitives.
+
+The paper's flagship example (Section 3.4): "integer addition should be
+commutative; that is, e1+e2 = e2+e1.  But what are we to make of
+``getException ((1/0) + (error "Urk"))``?"  Under the set semantics the
+law is a genuine identity — both orders denote
+``Bad {DivideByZero, UserError "Urk"}`` — while under the
+fixed-evaluation-order baseline it is unsound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import Expr, PrimOp
+from repro.lang.names import NameSupply
+from repro.lang.ops import PRIM_TABLE
+from repro.transform.base import Transformation
+
+
+class CommutePrimArgs(Transformation):
+    """``e1 + e2  ==>  e2 + e1`` for commutative primitives."""
+
+    name = "commute-prim-args"
+    expected = "identity"
+
+    def __init__(self, ops: Optional[frozenset] = None) -> None:
+        if ops is None:
+            ops = frozenset(
+                name
+                for name, info in PRIM_TABLE.items()
+                if info.commutes
+            )
+        self.ops = ops
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if (
+            isinstance(expr, PrimOp)
+            and expr.op in self.ops
+            and len(expr.args) == 2
+        ):
+            return PrimOp(expr.op, (expr.args[1], expr.args[0]))
+        return None

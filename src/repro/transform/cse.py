@@ -1,0 +1,145 @@
+"""Common subexpression elimination.
+
+Sharing two syntactically identical pure subexpressions is an identity
+under the imprecise semantics — the denotation of an expression does
+not depend on how many times it is computed.  (Contrast the rejected
+non-deterministic design of Section 3.4, where two occurrences of the
+same expression may denote *different* exceptions, making CSE and its
+inverse both unsound.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Raise,
+    Var,
+    expr_size,
+)
+from repro.lang.names import NameSupply, bound_vars, free_vars
+from repro.transform.base import Transformation
+
+
+def _subexpressions(expr: Expr, out: Counter) -> None:
+    """Count closed-enough candidate subexpressions (no binders inside
+    whose variables escape — we only count subtrees whose free vars are
+    free in the whole expression, checked by the caller)."""
+    if isinstance(expr, (App, PrimOp)) and expr_size(expr) >= 3:
+        out[expr] += 1
+    if isinstance(expr, Lam):
+        _subexpressions(expr.body, out)
+    elif isinstance(expr, App):
+        _subexpressions(expr.fn, out)
+        _subexpressions(expr.arg, out)
+    elif isinstance(expr, Con):
+        for a in expr.args:
+            _subexpressions(a, out)
+    elif isinstance(expr, Case):
+        _subexpressions(expr.scrutinee, out)
+        for alt in expr.alts:
+            _subexpressions(alt.body, out)
+    elif isinstance(expr, Raise):
+        _subexpressions(expr.exc, out)
+    elif isinstance(expr, PrimOp):
+        for a in expr.args:
+            _subexpressions(a, out)
+    elif isinstance(expr, Fix):
+        _subexpressions(expr.fn, out)
+    elif isinstance(expr, Let):
+        for _n, rhs in expr.binds:
+            _subexpressions(rhs, out)
+        _subexpressions(expr.body, out)
+
+
+def _replace(expr: Expr, target: Expr, name: str) -> Expr:
+    if expr == target:
+        return Var(name)
+    if isinstance(expr, Lam):
+        return Lam(expr.var, _replace(expr.body, target, name))
+    if isinstance(expr, App):
+        return App(
+            _replace(expr.fn, target, name),
+            _replace(expr.arg, target, name),
+        )
+    if isinstance(expr, Con):
+        return Con(
+            expr.name,
+            tuple(_replace(a, target, name) for a in expr.args),
+            expr.arity,
+        )
+    if isinstance(expr, Case):
+        from repro.lang.ast import Alt
+
+        return Case(
+            _replace(expr.scrutinee, target, name),
+            tuple(
+                Alt(alt.pattern, _replace(alt.body, target, name))
+                for alt in expr.alts
+            ),
+        )
+    if isinstance(expr, Raise):
+        return Raise(_replace(expr.exc, target, name))
+    if isinstance(expr, PrimOp):
+        return PrimOp(
+            expr.op, tuple(_replace(a, target, name) for a in expr.args)
+        )
+    if isinstance(expr, Fix):
+        return Fix(_replace(expr.fn, target, name))
+    if isinstance(expr, Let):
+        return Let(
+            tuple(
+                (n, _replace(rhs, target, name)) for n, rhs in expr.binds
+            ),
+            _replace(expr.body, target, name),
+        )
+    return expr
+
+
+class CommonSubexpression(Transformation):
+    """Bind one repeated subexpression in a fresh ``let``.
+
+    Only subexpressions all of whose free variables are free at the
+    *root* are candidates (no rebinding headaches); this is the common
+    conservative CSE."""
+
+    name = "cse"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        # Applying at every node would re-trigger on its own output;
+        # restrict to "large" roots to keep the driver terminating.
+        if isinstance(expr, (Var, Lit)):
+            return None
+        root_free = free_vars(expr)
+        bound = bound_vars(expr)
+        counts: Counter = Counter()
+        _subexpressions(expr, counts)
+        candidates = [
+            (sub, n)
+            for sub, n in counts.items()
+            if n >= 2 and free_vars(sub) <= root_free and not (
+                free_vars(sub) & bound
+            )
+        ]
+        if not candidates:
+            return None
+        # Largest first: sharing the biggest tree helps the most.
+        candidates.sort(key=lambda pair: -expr_size(pair[0]))
+        target, _count = candidates[0]
+        if isinstance(expr, Let):
+            for _n, rhs in expr.binds:
+                if rhs == target:
+                    return None  # already bound right here
+        name = supply.fresh("shared")
+        return Let(((name, target),), _replace(expr, target, name))

@@ -1,0 +1,104 @@
+"""Inlining let-bound definitions.
+
+Semantically always an identity here — this is precisely the paper's
+point about confining non-determinism to the IO monad: because
+``getException`` is an IO action, ``let x = e in ... x ... x ...`` can
+be replaced by two copies of ``e`` without changing meaning
+(Section 3.5's beta-reduction discussion).  Under the rejected
+"go non-deterministic" design this rewrite is unsound
+(:mod:`repro.baselines.nondet` demonstrates the failure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Raise,
+    Var,
+)
+from repro.lang.names import NameSupply, free_vars, substitute
+from repro.transform.base import Transformation
+
+
+def _count_occurrences(expr: Expr, name: str) -> int:
+    if isinstance(expr, Var):
+        return 1 if expr.name == name else 0
+    if isinstance(expr, Lit):
+        return 0
+    if isinstance(expr, Lam):
+        if expr.var == name:
+            return 0
+        return _count_occurrences(expr.body, name)
+    if isinstance(expr, App):
+        return _count_occurrences(expr.fn, name) + _count_occurrences(
+            expr.arg, name
+        )
+    if isinstance(expr, Con):
+        return sum(_count_occurrences(a, name) for a in expr.args)
+    if isinstance(expr, Case):
+        total = _count_occurrences(expr.scrutinee, name)
+        for alt in expr.alts:
+            from repro.lang.ast import pattern_vars
+
+            if name in pattern_vars(alt.pattern):
+                continue
+            total += _count_occurrences(alt.body, name)
+        return total
+    if isinstance(expr, Raise):
+        return _count_occurrences(expr.exc, name)
+    if isinstance(expr, PrimOp):
+        return sum(_count_occurrences(a, name) for a in expr.args)
+    if isinstance(expr, Fix):
+        return _count_occurrences(expr.fn, name)
+    if isinstance(expr, Let):
+        if any(bname == name for bname, _ in expr.binds):
+            return 0
+        total = _count_occurrences(expr.body, name)
+        for _bname, rhs in expr.binds:
+            total += _count_occurrences(rhs, name)
+        return total
+    return 0
+
+
+def _is_cheap(expr: Expr) -> bool:
+    """Cheap to duplicate: no risk of work duplication."""
+    return isinstance(expr, (Var, Lit, Lam)) or (
+        isinstance(expr, Con) and not expr.args
+    )
+
+
+class InlineLet(Transformation):
+    """Inline a non-recursive let binding that is either cheap or used
+    at most once.  Cost-motivated restrictions only — the rewrite is a
+    semantic identity regardless of use count."""
+
+    name = "inline-let"
+    expected = "identity"
+
+    def __init__(self, aggressive: bool = False) -> None:
+        self.aggressive = aggressive
+        if aggressive:
+            self.name = "inline-let(aggressive)"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not isinstance(expr, Let) or len(expr.binds) != 1:
+            return None
+        (name, rhs), = expr.binds
+        if name in free_vars(rhs):
+            return None  # recursive
+        uses = _count_occurrences(expr.body, name)
+        if uses == 0:
+            return expr.body
+        if self.aggressive or _is_cheap(rhs) or uses == 1:
+            return substitute(expr.body, {name: rhs})
+        return None

@@ -1,0 +1,72 @@
+"""Let transformations: floating and dead-code elimination.
+
+All identities: ``let`` is non-strict, so moving or deleting a binding
+never changes what is demanded — only *when* it would be demanded,
+which the imprecise semantics deliberately does not pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import App, Case, Expr, Let, pattern_vars
+from repro.lang.names import NameSupply, free_vars
+from repro.transform.base import Transformation
+
+
+class DeadLetElimination(Transformation):
+    """``let x = e in b  ==>  b`` when ``x`` unused in ``b`` (and the
+    binding group has no other members referencing it)."""
+
+    name = "dead-let"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not isinstance(expr, Let):
+            return None
+        used = free_vars(expr.body)
+        for _name, rhs in expr.binds:
+            used |= free_vars(rhs)
+        live = tuple(
+            (name, rhs) for name, rhs in expr.binds if name in used
+        )
+        if len(live) == len(expr.binds):
+            return None
+        if not live:
+            return expr.body
+        return Let(live, expr.body)
+
+
+class LetFloatFromApp(Transformation):
+    """``(let binds in f) a  ==>  let binds in (f a)``."""
+
+    name = "let-float-from-app"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not (isinstance(expr, App) and isinstance(expr.fn, Let)):
+            return None
+        let = expr.fn
+        bound = {name for name, _ in let.binds}
+        if bound & free_vars(expr.arg):
+            return None
+        return Let(let.binds, App(let.body, expr.arg))
+
+
+class LetFloatFromCase(Transformation):
+    """``case (let binds in e) of alts  ==>  let binds in case e of alts``."""
+
+    name = "let-float-from-case"
+    expected = "identity"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not (isinstance(expr, Case) and isinstance(expr.scrutinee, Let)):
+            return None
+        let = expr.scrutinee
+        bound = {name for name, _ in let.binds}
+        alt_free = set()
+        for alt in expr.alts:
+            alt_free |= free_vars(alt.body) - set(pattern_vars(alt.pattern))
+        if bound & alt_free:
+            return None
+        return Let(let.binds, Case(let.body, expr.alts))

@@ -1,0 +1,82 @@
+"""The ``-fno-pedantic-bottoms`` transformations (Section 5.3 footnote).
+
+"There are a number of situations in which it is useful to be able to
+assume that a value is not ⊥.  For example, if v is not ⊥, then the
+following law holds::
+
+    case v of { True -> e; False -> e }  =  e
+
+Our compiler has a flag -fno-pedantic-bottoms that enables such
+transformations, in exchange for the programmer undertaking the proof
+obligation that no sub-expression in the program has value ⊥."
+
+In the imprecise setting the obligation is stronger: the scrutinee must
+not be *exceptional* at all — for an exceptional ``v`` the lhs denotes
+``Bad (S(v) ∪ S(e))`` while the rhs denotes ``[e]``.  The verifier
+demonstrates exactly this: the rule is unsound over the full battery
+and an identity over normal-values-only instantiation (the discharged
+obligation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.domains import ConVal, Ok, SemVal
+from repro.lang.ast import Case, Expr, PWild
+from repro.lang.names import NameSupply
+from repro.transform.base import Transformation
+
+# The battery a programmer who has discharged the Section 5.3 proof
+# obligation is entitled to: normal values only.
+NO_BOTTOM_BATTERY: Tuple[SemVal, ...] = (
+    Ok(0),
+    Ok(1),
+    Ok(7),
+    Ok(ConVal("True")),
+    Ok(ConVal("False")),
+)
+
+
+class CollapseIdenticalAlts(Transformation):
+    """``case v of { p1 -> e; ...; pn -> e }  ==>  e`` when every
+    alternative has the same (closed w.r.t. its pattern) body.
+
+    UNSOUND in general under the paper's semantics (the scrutinee's
+    exceptions are dropped); valid under the ``-fno-pedantic-bottoms``
+    proof obligation.  ``expected`` is therefore ``"unsound"`` — the
+    verifier must reject it unless given :data:`NO_BOTTOM_BATTERY`.
+    """
+
+    name = "collapse-identical-alts"
+    expected = "unsound"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        if not isinstance(expr, Case) or not expr.alts:
+            return None
+        from repro.lang.ast import pattern_vars
+        from repro.lang.names import free_vars
+
+        first = expr.alts[0].body
+        for alt in expr.alts:
+            if alt.body != first:
+                return None
+            # Bodies must not use pattern-bound variables.
+            if set(pattern_vars(alt.pattern)) & free_vars(alt.body):
+                return None
+        return first
+
+
+class DropSeqOnNonBottom(Transformation):
+    """``seq a b ==> b`` — sound only when ``a`` provably denotes a
+    normal value; another ``-fno-pedantic-bottoms`` citizen."""
+
+    name = "drop-seq"
+    expected = "unsound"
+
+    def try_rewrite(self, expr: Expr, supply: NameSupply) -> Optional[Expr]:
+        from repro.lang.ast import PrimOp
+
+        if isinstance(expr, PrimOp) and expr.op == "seq":
+            return expr.args[1]
+        return None

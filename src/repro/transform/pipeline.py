@@ -1,0 +1,142 @@
+"""Optimisation pipelines — the paper's "different optimisation
+settings" knob (Section 3.5).
+
+Each :class:`OptLevel` bundles transformations; applying different
+levels to the same program (then running it on the machine) is the
+executable version of "if the program is recompiled with different
+optimisation settings, then indeed the order of evaluation might
+change, so a different exception might be encountered first" — the
+headline of experiment E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.strictness import StrictnessEnv
+from repro.lang.ast import Expr, Program
+from repro.lang.names import NameSupply, bound_vars, free_vars
+from repro.transform.base import (
+    Transformation,
+    rewrite_bottom_up,
+    rewrite_fixpoint,
+)
+from repro.transform.beta import BetaToLet
+from repro.transform.case_rules import (
+    AppOfCase,
+    CaseOfCase,
+    CaseOfKnownCon,
+)
+from repro.transform.commute import CommutePrimArgs
+from repro.transform.inline import InlineLet
+from repro.transform.let_rules import (
+    DeadLetElimination,
+    LetFloatFromApp,
+    LetFloatFromCase,
+)
+from repro.transform.strictify import CallByValue
+
+
+@dataclass(frozen=True)
+class OptLevel:
+    """A bundle of rules run to fixpoint, plus optional ``post_rules``
+    applied exactly once at the end (for involutive rules like argument
+    commuting, which a fixpoint driver would cancel out)."""
+
+    name: str
+    rules: Tuple[Transformation, ...]
+    post_rules: Tuple[Transformation, ...] = ()
+
+    def optimise(self, expr: Expr, max_rounds: int = 8) -> Expr:
+        supply = NameSupply(avoid=free_vars(expr) | bound_vars(expr))
+        optimised, _count = rewrite_fixpoint(
+            expr, list(self.rules), supply, max_rounds=max_rounds
+        )
+        for rule in self.post_rules:
+            optimised, _count = rewrite_bottom_up(
+                optimised, rule, supply
+            )
+        return optimised
+
+    def optimise_program(self, program: Program) -> Program:
+        binds = tuple(
+            (name, self.optimise(rhs)) for name, rhs in program.binds
+        )
+        return Program(program.data_decls, binds, program.type_sigs)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+O0 = OptLevel("O0", ())
+
+O1 = OptLevel(
+    "O1",
+    (
+        BetaToLet(),
+        CaseOfKnownCon(),
+        InlineLet(),
+        DeadLetElimination(),
+    ),
+)
+
+O2 = OptLevel(
+    "O2",
+    (
+        BetaToLet(),
+        CaseOfKnownCon(),
+        InlineLet(),
+        DeadLetElimination(),
+        LetFloatFromApp(),
+        LetFloatFromCase(),
+        CaseOfCase(),
+        AppOfCase(),
+    ),
+)
+
+
+def O2_strict(env: StrictnessEnv) -> OptLevel:
+    """O2 plus strictness-driven call-by-value (needs a strictness
+    environment from :func:`repro.analysis.strictness.analyse_program`)."""
+    return OptLevel("O2+strict", O2.rules + (CallByValue(env),))
+
+
+def O2_commuted(ops: Optional[frozenset] = None) -> OptLevel:
+    """O2 plus a final single pass of argument commuting — a legal
+    optimiser under the imprecise semantics that flips evaluation
+    orders, used by E5 to exhibit a *different* member of the denoted
+    set.  (Commuting is involutive, so it runs as a post rule rather
+    than inside the fixpoint loop, which would cancel it out.)"""
+    return OptLevel(
+        "O2+commute", O2.rules, post_rules=(CommutePrimArgs(ops),)
+    )
+
+
+ALL_LEVELS: Sequence[OptLevel] = (O0, O1, O2)
+
+
+class Pipeline:
+    """A named sequence of optimisation levels applied in order."""
+
+    def __init__(self, levels: Sequence[OptLevel]) -> None:
+        self.levels = tuple(levels)
+
+    def optimise(self, expr: Expr) -> Expr:
+        for level in self.levels:
+            expr = level.optimise(expr)
+        return expr
+
+
+def pipeline_for(name: str, strict_env: Optional[StrictnessEnv] = None) -> OptLevel:
+    if name == "O0":
+        return O0
+    if name == "O1":
+        return O1
+    if name == "O2":
+        return O2
+    if name == "O2+strict":
+        return O2_strict(strict_env or {})
+    if name == "O2+commute":
+        return O2_commuted()
+    raise ValueError(f"unknown optimisation level {name!r}")

@@ -1,0 +1,247 @@
+"""Classifying transformations under a chosen semantics.
+
+For a rule ``t`` and a corpus of expressions, every firing
+``e -> t(e)`` is checked with the law machinery of
+:mod:`repro.core.laws`: denotations of both sides are compared over a
+battery of instantiations of the free variables.
+
+The verdict per firing is *identity*, *refinement* (``[e] ⊑ [t e]``,
+legitimate per Section 4.5) or *unsound*.  A rule's verdict on a corpus
+is the worst verdict over all firings.  Running the same classification
+with the fixed-evaluation-order context reproduces the paper's
+comparison: rules that are identities under the imprecise semantics
+become unsound under fixed order unless an effect analysis can prove
+the operands exception-free (E3, E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.denote import DenoteContext
+from repro.core.laws import (
+    BOOL_BATTERY,
+    DEFAULT_BATTERY,
+    PAIR_BATTERY,
+    TOTAL_FUNCTION_BATTERY,
+    LawReport,
+    check_law,
+)
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Raise,
+)
+from repro.lang.match import flatten_case_patterns
+from repro.lang.names import NameSupply, bound_vars, free_vars
+from repro.lang.parser import parse_expr
+from repro.transform.base import Transformation
+
+_VERDICT_RANK = {"identity": 0, "refinement": 1, "unsound": 2}
+
+
+@dataclass
+class TransformReport:
+    """Aggregated verdicts for one rule over a corpus."""
+
+    rule: str
+    semantics: str
+    firings: int = 0
+    identities: int = 0
+    refinements: int = 0
+    unsound: int = 0
+    worst: str = "identity"
+    counterexamples: List[LawReport] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """Legal to apply everywhere (identity or refinement)?"""
+        return self.unsound == 0
+
+    def record(self, report: LawReport) -> None:
+        self.firings += 1
+        if report.verdict == "identity":
+            self.identities += 1
+        elif report.verdict == "refinement":
+            self.refinements += 1
+        else:
+            self.unsound += 1
+            if len(self.counterexamples) < 3:
+                self.counterexamples.append(report)
+        if _VERDICT_RANK[report.verdict] > _VERDICT_RANK[self.worst]:
+            self.worst = report.verdict
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rule:28s} [{self.semantics:12s}] "
+            f"firings={self.firings:3d} id={self.identities:3d} "
+            f"refine={self.refinements:3d} unsound={self.unsound:3d} "
+            f"-> {self.worst}"
+        )
+
+
+# The corpus: expression schemas with free variables standing for
+# arbitrary denotations.  Each is chosen to exercise a particular
+# transformation; several are lifted straight from the paper.
+#
+# Naming convention (laws quantify over *well-typed* environments):
+#   a b c d e  — scalar battery (ints, bools, Bads, ⊥)
+#   f g h      — total functions (the paper's own instantiations; the
+#                effect of ⊥-bodied functions is a separate finding,
+#                see tests/transform/test_findings.py)
+#   p q r      — booleans (scrutinised against True/False)
+#   x y        — pairs (scrutinised against Tuple2 patterns)
+_CORPUS_SOURCES: Tuple[str, ...] = (
+    # arithmetic with potential exceptions everywhere
+    "a + b",
+    "(a + b) * c",
+    "a + (b `div` c)",
+    "(1 `div` 0) + a",
+    # the paper's Section 3.4 example
+    "(1 `div` 0) + (raise (UserError \"Urk\"))",
+    # beta / inlining shapes
+    "(\\w -> w + w) a",
+    "(\\w -> 3) a",
+    "(\\w -> w + b) (a * a)",
+    "let { v = a + b } in v * v",
+    "let { v = a } in v + (let { u = b } in u)",
+    # case shapes (flat patterns; Bool scrutinees use p/q/r)
+    "case p of { True -> b; False -> c }",
+    "case p of { True -> b + 1; False -> b + 2 }",
+    "(case p of { True -> f; False -> g }) b",
+    "case (case p of { True -> q; False -> r }) of "
+    "{ True -> d; False -> e }",
+    "case p of { True -> case q of { True -> c; False -> d };"
+    " False -> e }",
+    # the Section 4 case-switch pair shape
+    "case x of { Tuple2 a b -> case y of { Tuple2 s t -> a + s } }",
+    # seq / forcing
+    "seq a b",
+    "seq (a + b) c",
+    # raise in value position
+    "raise (UserError \"This\")",
+    "(raise DivideByZero) a",
+    # application of possibly-exceptional function
+    "f (a + b)",
+    "(case p of { True -> f; False -> raise Overflow }) a",
+    # eta shape (the verifier must REJECT eta-reduce on this)
+    "\\w -> f w",
+    # dead binding
+    "let { unused = a `div` b } in c + 1",
+    # known-constructor scrutinee
+    "case Just a of { Just v -> v + 1; Nothing -> 0 }",
+    "case Nil of { Nil -> a; Cons h t -> h }",
+    # shadowed (dead) alternative
+    "case a of { _ -> b; True -> c }",
+    # let floating shapes
+    "(let { v = a + b } in f v) c",
+    "case (let { v = a + b } in v == 0) of { True -> c; False -> d }",
+    # common subexpression
+    "(a + b) * (a + b)",
+    "(a `div` b) + ((a `div` b) + c)",
+)
+
+
+def default_corpus() -> List[Expr]:
+    """The parsed, flattened verification corpus."""
+    return [flatten_case_patterns(parse_expr(src)) for src in _CORPUS_SOURCES]
+
+
+def _firings(
+    expr: Expr, rule: Transformation, supply: NameSupply
+) -> List[Tuple[Expr, Expr]]:
+    """All (subterm, rewritten-subterm) pairs where the rule fires.
+
+    Comparing subterm against its rewrite (rather than whole-program
+    before/after) keeps the law check focused and the battery small.
+    """
+    pairs: List[Tuple[Expr, Expr]] = []
+
+    def visit(e: Expr) -> None:
+        rewritten = rule.try_rewrite(e, supply)
+        if rewritten is not None:
+            pairs.append((e, rewritten))
+        if isinstance(e, Lam):
+            visit(e.body)
+        elif isinstance(e, App):
+            visit(e.fn)
+            visit(e.arg)
+        elif isinstance(e, Con):
+            for a in e.args:
+                visit(a)
+        elif isinstance(e, Case):
+            visit(e.scrutinee)
+            for alt in e.alts:
+                visit(alt.body)
+        elif isinstance(e, Raise):
+            visit(e.exc)
+        elif isinstance(e, PrimOp):
+            for a in e.args:
+                visit(a)
+        elif isinstance(e, Fix):
+            visit(e.fn)
+        elif isinstance(e, Let):
+            for _n, rhs in e.binds:
+                visit(rhs)
+            visit(e.body)
+
+    visit(expr)
+    return pairs
+
+
+def classify_transformation(
+    rule: Transformation,
+    corpus: Optional[Sequence[Expr]] = None,
+    ctx_factory: Optional[Callable[[], DenoteContext]] = None,
+    semantics_name: str = "imprecise",
+    function_vars: Sequence[str] = ("f", "g", "h"),
+    fuel: int = 20_000,
+) -> TransformReport:
+    """Classify one rule over the corpus under one semantics."""
+    if corpus is None:
+        corpus = default_corpus()
+    report = TransformReport(rule.name, semantics_name)
+    var_batteries = {name: TOTAL_FUNCTION_BATTERY for name in function_vars}
+    var_batteries["x"] = PAIR_BATTERY
+    var_batteries["y"] = PAIR_BATTERY
+    for bool_var in ("p", "q", "r"):
+        var_batteries[bool_var] = BOOL_BATTERY
+    for expr in corpus:
+        supply = NameSupply(avoid=free_vars(expr) | bound_vars(expr))
+        for before, after in _firings(expr, rule, supply):
+            law = check_law(
+                before,
+                after,
+                name=f"{rule.name}@{report.firings}",
+                fuel=fuel,
+                ctx_factory=ctx_factory,
+                max_environments=600,
+                var_batteries=var_batteries,
+            )
+            report.record(law)
+    return report
+
+
+def classify_on_corpus(
+    rules: Sequence[Transformation],
+    corpus: Optional[Sequence[Expr]] = None,
+    ctx_factory: Optional[Callable[[], DenoteContext]] = None,
+    semantics_name: str = "imprecise",
+) -> List[TransformReport]:
+    """Classify many rules; the comparison table of E3."""
+    if corpus is None:
+        corpus = default_corpus()
+    return [
+        classify_transformation(
+            rule, corpus, ctx_factory, semantics_name
+        )
+        for rule in rules
+    ]

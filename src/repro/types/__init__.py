@@ -1,0 +1,29 @@
+"""Hindley–Milner type inference for the object language.
+
+The paper's design is deliberately type-system-light: the only typing
+novelties are ``raise :: Exception -> a`` (every type contains
+exceptional values, Section 3.1) and ``getException :: a -> IO (ExVal
+a)`` (handling is confined to the IO monad, Section 3.5).  This package
+provides standard Algorithm-W inference with algebraic data types so
+that programs can be checked before they reach the evaluators.
+"""
+
+from repro.types.adt import ADTEnv, ConstructorInfo
+from repro.types.infer import TypeError_, infer_expr, infer_program
+from repro.types.types import Scheme, TCon, TFun, TVar, Type
+from repro.types.unify import UnifyError, unify
+
+__all__ = [
+    "ADTEnv",
+    "ConstructorInfo",
+    "Scheme",
+    "TCon",
+    "TFun",
+    "TVar",
+    "Type",
+    "TypeError_",
+    "UnifyError",
+    "infer_expr",
+    "infer_program",
+    "unify",
+]

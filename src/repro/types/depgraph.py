@@ -1,0 +1,90 @@
+"""Dependency analysis of top-level binding groups.
+
+Hindley–Milner only generalizes at ``let`` boundaries, so inferring a
+whole module as one mutually recursive group would make every binding
+monomorphic in every other — ``zip``'s use of ``zipWith`` would pin
+``zipWith``'s type.  The standard fix (Haskell report, section 4.5.1)
+is to split the bindings into strongly connected components of the
+call graph and infer them in dependency order, generalizing after each
+component.
+
+Tarjan's algorithm, iterative to avoid Python recursion limits on
+large modules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lang.ast import Expr
+from repro.lang.names import free_vars
+
+Bind = Tuple[str, Expr]
+
+
+def dependency_sccs(binds: Sequence[Bind]) -> List[List[Bind]]:
+    """Partition bindings into SCCs in reverse-topological order
+    (dependencies first)."""
+    names = [name for name, _ in binds]
+    name_set = set(names)
+    rhs_map = dict(binds)
+    graph: Dict[str, List[str]] = {
+        name: sorted(free_vars(rhs) & name_set)
+        for name, rhs in binds
+    }
+
+    index_counter = [0]
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+
+    for root in names:
+        if root in index:
+            continue
+        # Iterative Tarjan: work items are (node, iterator position).
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                index[node] = lowlink[node] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = graph[node]
+            while pos < len(successors):
+                succ = successors[pos]
+                pos += 1
+                if succ not in index:
+                    work[-1] = (node, pos)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    # Tarjan emits SCCs in reverse topological order of the condensed
+    # graph when edges point from user to used — which is exactly
+    # "dependencies first" for our free-variable edges.
+    order = {name: i for i, (name, _) in enumerate(binds)}
+    return [
+        [(name, rhs_map[name]) for name in sorted(component, key=order.get)]
+        for component in sccs
+    ]

@@ -1,0 +1,369 @@
+"""Algorithm W with let-polymorphism.
+
+The exception-specific typing rules follow the paper:
+
+* ``raise e`` has type ``a`` for any ``a``, with ``e :: Exception``
+  (Section 3.1: "for each type a, raise maps an Exception into an
+  exceptional value of type a");
+* ``getException e`` has type ``IO (ExVal a)`` when ``e :: a``
+  (Section 3.5 — the IO monad confines the non-determinism);
+* ``mapException`` has type
+  ``(Exception -> Exception) -> a -> a`` (Section 5.4 — pure!).
+
+Comparison primitives are typed ``a -> a -> Bool``; without type
+classes this is more permissive than the evaluators (which compare base
+values only) — the standard compromise for a class-less HM language,
+noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    Pattern,
+    PCon,
+    PLit,
+    PrimOp,
+    Program,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+)
+from repro.types.adt import ADTEnv
+from repro.types.types import (
+    BOOL,
+    CHAR,
+    EXCEPTION,
+    INT,
+    STRING,
+    Scheme,
+    TCon,
+    TFun,
+    TVar,
+    TVarSupply,
+    Type,
+    UNIT,
+    exval_of,
+    free_type_vars,
+    fun,
+    io_of,
+)
+from repro.types.unify import Subst, UnifyError, apply_subst, unify
+
+TypeEnv = Dict[str, Scheme]
+
+
+class TypeError_(Exception):
+    """A type error in an object-language program."""
+
+
+def _a(name: str = "a") -> TVar:
+    return TVar(name)
+
+
+# Primitive signatures.  Polymorphic entries are Schemes.
+PRIM_SCHEMES: Dict[str, Scheme] = {
+    "+": Scheme.mono(fun(INT, INT, INT)),
+    "-": Scheme.mono(fun(INT, INT, INT)),
+    "*": Scheme.mono(fun(INT, INT, INT)),
+    "div": Scheme.mono(fun(INT, INT, INT)),
+    "mod": Scheme.mono(fun(INT, INT, INT)),
+    "negate": Scheme.mono(fun(INT, INT)),
+    "uadd": Scheme.mono(fun(INT, INT, INT)),
+    "usub": Scheme.mono(fun(INT, INT, INT)),
+    "umul": Scheme.mono(fun(INT, INT, INT)),
+    "udiv": Scheme.mono(fun(INT, INT, INT)),
+    "umod": Scheme.mono(fun(INT, INT, INT)),
+    "unegate": Scheme.mono(fun(INT, INT)),
+    "==": Scheme(("a",), fun(_a(), _a(), BOOL)),
+    "/=": Scheme(("a",), fun(_a(), _a(), BOOL)),
+    "<": Scheme(("a",), fun(_a(), _a(), BOOL)),
+    "<=": Scheme(("a",), fun(_a(), _a(), BOOL)),
+    ">": Scheme(("a",), fun(_a(), _a(), BOOL)),
+    ">=": Scheme(("a",), fun(_a(), _a(), BOOL)),
+    "strAppend": Scheme.mono(fun(STRING, STRING, STRING)),
+    "strLen": Scheme.mono(fun(STRING, INT)),
+    "showInt": Scheme.mono(fun(INT, STRING)),
+    "ord": Scheme.mono(fun(CHAR, INT)),
+    "chr": Scheme.mono(fun(INT, CHAR)),
+    "seq": Scheme(("a", "b"), fun(_a(), _a("b"), _a("b"))),
+    "mapException": Scheme(
+        ("a",), fun(TFun(EXCEPTION, EXCEPTION), _a(), _a())
+    ),
+    "returnIO": Scheme(("a",), fun(_a(), io_of(_a()))),
+    "bindIO": Scheme(
+        ("a", "b"),
+        fun(io_of(_a()), TFun(_a(), io_of(_a("b"))), io_of(_a("b"))),
+    ),
+    "getChar": Scheme.mono(io_of(CHAR)),
+    "putChar": Scheme.mono(fun(CHAR, io_of(UNIT))),
+    "putStr": Scheme.mono(fun(STRING, io_of(UNIT))),
+    "getException": Scheme(("a",), fun(_a(), io_of(exval_of(_a())))),
+    "ioError": Scheme(("a",), fun(EXCEPTION, io_of(_a()))),
+    "catchIO": Scheme(
+        ("a",),
+        fun(io_of(_a()), TFun(EXCEPTION, io_of(_a())), io_of(_a())),
+    ),
+    "forkIO": Scheme.mono(fun(io_of(UNIT), io_of(UNIT))),
+    "newMVar": Scheme(("a",), fun(_a(), io_of(TCon("MVar", (_a(),))))),
+    "newEmptyMVar": Scheme(("a",), io_of(TCon("MVar", (_a(),)))),
+    "takeMVar": Scheme(("a",), fun(TCon("MVar", (_a(),)), io_of(_a()))),
+    "putMVar": Scheme(
+        ("a",), fun(TCon("MVar", (_a(),)), _a(), io_of(UNIT))
+    ),
+    "yieldIO": Scheme.mono(io_of(UNIT)),
+}
+
+
+class Inferencer:
+    def __init__(self, adts: ADTEnv) -> None:
+        self.adts = adts
+        self.supply = TVarSupply()
+        self.subst: Subst = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def fresh(self) -> TVar:
+        return self.supply.fresh()
+
+    def instantiate(self, scheme: Scheme) -> Type:
+        if not scheme.vars:
+            return scheme.type
+        mapping: Subst = {v: self.fresh() for v in scheme.vars}
+        return apply_subst(mapping, scheme.type)
+
+    def _unify(self, t1: Type, t2: Type, where: str) -> None:
+        try:
+            unify(t1, t2, self.subst)
+        except UnifyError as err:
+            raise TypeError_(f"{where}: {err}") from None
+
+    def generalize(self, env: TypeEnv, t: Type) -> Scheme:
+        t = apply_subst(self.subst, t)
+        env_vars: set = set()
+        for scheme in env.values():
+            for name in scheme.free_vars():
+                env_vars |= free_type_vars(
+                    apply_subst(self.subst, TVar(name))
+                )
+        gen = tuple(sorted(free_type_vars(t) - env_vars))
+        return Scheme(gen, t)
+
+    # -- inference ---------------------------------------------------------
+
+    def infer(self, expr: Expr, env: TypeEnv) -> Type:
+        if isinstance(expr, Var):
+            scheme = env.get(expr.name)
+            if scheme is None:
+                raise TypeError_(f"unbound variable {expr.name!r}")
+            return self.instantiate(scheme)
+        if isinstance(expr, Lit):
+            return {"int": INT, "char": CHAR, "string": STRING}[expr.kind]
+        if isinstance(expr, Lam):
+            arg = self.fresh()
+            inner = dict(env)
+            inner[expr.var] = Scheme.mono(arg)
+            result = self.infer(expr.body, inner)
+            return TFun(arg, result)
+        if isinstance(expr, App):
+            fn_t = self.infer(expr.fn, env)
+            arg_t = self.infer(expr.arg, env)
+            result = self.fresh()
+            self._unify(fn_t, TFun(arg_t, result), "application")
+            return result
+        if isinstance(expr, Con):
+            info = self.adts.constructor(expr.name)
+            con_t = self.instantiate(info.scheme())
+            # Saturated: peel one arrow per argument.
+            result: Type = con_t
+            for arg in expr.args:
+                arg_t = self.infer(arg, env)
+                out = self.fresh()
+                self._unify(result, TFun(arg_t, out), f"constructor {expr.name}")
+                result = out
+            return result
+        if isinstance(expr, Case):
+            scrut_t = self.infer(expr.scrutinee, env)
+            result = self.fresh()
+            for alt in expr.alts:
+                bindings: TypeEnv = {}
+                pat_t = self.infer_pattern(alt.pattern, bindings)
+                self._unify(scrut_t, pat_t, "case scrutinee")
+                inner = dict(env)
+                inner.update(bindings)
+                body_t = self.infer(alt.body, inner)
+                self._unify(result, body_t, "case alternative")
+            return result
+        if isinstance(expr, Raise):
+            exc_t = self.infer(expr.exc, env)
+            self._unify(exc_t, EXCEPTION, "raise")
+            return self.fresh()
+        if isinstance(expr, PrimOp):
+            scheme = PRIM_SCHEMES.get(expr.op)
+            if scheme is None:
+                raise TypeError_(f"unknown primitive {expr.op!r}")
+            prim_t = self.instantiate(scheme)
+            result = prim_t
+            for arg in expr.args:
+                arg_t = self.infer(arg, env)
+                out = self.fresh()
+                self._unify(result, TFun(arg_t, out), f"primitive {expr.op}")
+                result = out
+            return result
+        if isinstance(expr, Fix):
+            fn_t = self.infer(expr.fn, env)
+            a = self.fresh()
+            self._unify(fn_t, TFun(a, a), "fix")
+            return a
+        if isinstance(expr, Let):
+            return self.infer_let(expr.binds, expr.body, env)
+        raise TypeError_(f"infer: unknown expression {expr!r}")
+
+    def infer_let(
+        self,
+        binds: Tuple[Tuple[str, Expr], ...],
+        body: Optional[Expr],
+        env: TypeEnv,
+    ) -> Type:
+        """Infer a mutually recursive binding group, generalizing after
+        the whole group is solved; then infer the body (if any)."""
+        mono: Dict[str, TVar] = {name: self.fresh() for name, _ in binds}
+        inner = dict(env)
+        for name, tv in mono.items():
+            inner[name] = Scheme.mono(tv)
+        for name, rhs in binds:
+            rhs_t = self.infer(rhs, inner)
+            self._unify(mono[name], rhs_t, f"binding {name!r}")
+        gen_env = dict(env)
+        for name, tv in mono.items():
+            gen_env[name] = self.generalize(env, tv)
+        if body is None:
+            env.update(gen_env)
+            return UNIT
+        return self.infer(body, gen_env)
+
+    def infer_pattern(self, pattern: Pattern, bindings: TypeEnv) -> Type:
+        if isinstance(pattern, PWild):
+            return self.fresh()
+        if isinstance(pattern, PVar):
+            t = self.fresh()
+            bindings[pattern.name] = Scheme.mono(t)
+            return t
+        if isinstance(pattern, PLit):
+            return {"int": INT, "char": CHAR, "string": STRING}[pattern.kind]
+        if isinstance(pattern, PCon):
+            info = self.adts.constructor(pattern.name)
+            con_t = self.instantiate(info.scheme())
+            field_ts: List[Type] = []
+            t: Type = con_t
+            for _ in range(info.arity):
+                t = apply_subst(self.subst, t)
+                assert isinstance(t, TFun)
+                field_ts.append(t.arg)
+                t = t.result
+            if len(pattern.args) != info.arity:
+                raise TypeError_(
+                    f"constructor pattern {pattern.name} has "
+                    f"{len(pattern.args)} args, expected {info.arity}"
+                )
+            for sub, field_t in zip(pattern.args, field_ts):
+                sub_t = self.infer_pattern(sub, bindings)
+                self._unify(sub_t, field_t, f"pattern {pattern.name}")
+            return t
+        raise TypeError_(f"unknown pattern {pattern!r}")
+
+
+def infer_expr(
+    expr: Expr,
+    env: Optional[TypeEnv] = None,
+    adts: Optional[ADTEnv] = None,
+) -> Type:
+    """Infer the (solved) type of an expression."""
+    inf = Inferencer(adts or ADTEnv())
+    t = inf.infer(expr, dict(env) if env else {})
+    return apply_subst(inf.subst, t)
+
+
+def infer_program(
+    program: Program,
+    base_env: Optional[TypeEnv] = None,
+    adts: Optional[ADTEnv] = None,
+    check_signatures: bool = True,
+) -> TypeEnv:
+    """Infer types for every top-level binding of a program.
+
+    Bindings are split into strongly connected components of the call
+    graph and inferred dependency-first, generalizing after each
+    component (standard HM binding-group analysis — without it every
+    use site would pin every callee monomorphically).  Bindings with
+    declared signatures are available at their declared (polymorphic)
+    type everywhere, including inside their own component.
+
+    When ``check_signatures`` is set, each declared signature is
+    checked for *compatibility* with the inferred type (unification
+    after instantiation; full generality checking would need
+    skolemisation, which this class-less language does not warrant —
+    see DESIGN.md).
+    """
+    from repro.types.depgraph import dependency_sccs
+
+    if adts is None:
+        adts = ADTEnv.from_programs(program)
+    inf = Inferencer(adts)
+    env: TypeEnv = dict(base_env) if base_env else {}
+
+    sig_schemes: Dict[str, Scheme] = {}
+    for name, syn in program.type_sigs:
+        declared = adts.elaborate(syn)
+        sig_schemes[name] = Scheme(
+            tuple(sorted(free_type_vars(declared))), declared
+        )
+    bound_names = {name for name, _ in program.binds}
+    for name in sig_schemes:
+        if name not in bound_names:
+            raise TypeError_(f"signature for unbound {name!r}")
+    # Declared bindings are visible polymorphically everywhere.
+    env.update(
+        {n: s for n, s in sig_schemes.items() if n in bound_names}
+    )
+
+    for component in dependency_sccs(program.binds):
+        mono: Dict[str, TVar] = {}
+        inner = dict(env)
+        for name, _rhs in component:
+            if name not in sig_schemes:
+                mono[name] = inf.fresh()
+                inner[name] = Scheme.mono(mono[name])
+        inferred: Dict[str, Type] = {}
+        for name, rhs in component:
+            rhs_t = inf.infer(rhs, inner)
+            inferred[name] = rhs_t
+            if name in mono:
+                inf._unify(mono[name], rhs_t, f"binding {name!r}")
+            elif check_signatures:
+                inst_declared = inf.instantiate(sig_schemes[name])
+                try:
+                    unify(inst_declared, rhs_t, inf.subst)
+                except UnifyError as err:
+                    raise TypeError_(
+                        f"signature mismatch for {name!r}: declared "
+                        f"{sig_schemes[name].type}, inferred "
+                        f"{apply_subst(inf.subst, rhs_t)} ({err})"
+                    ) from None
+        for name, tv in mono.items():
+            env[name] = inf.generalize(env, tv)
+
+    return {
+        name: Scheme(s.vars, apply_subst(inf.subst, s.type))
+        for name, s in env.items()
+    }

@@ -1,0 +1,114 @@
+"""The exception-freedom (effect) analysis — the fixed-order baseline's
+gatekeeper (Section 6 / E6)."""
+
+import pytest
+
+from repro.analysis.effects import (
+    cannot_raise,
+    program_effect_env,
+    transformable_sites,
+)
+from repro.api import compile_expr, compile_program
+
+
+def safe(source, **kwargs):
+    return cannot_raise(compile_expr(source), **kwargs)
+
+
+class TestWhnfSafety:
+    def test_literals_safe(self):
+        assert safe("42")
+        assert safe('"text"')
+
+    def test_lambda_safe(self):
+        assert safe("\\x -> 1 `div` 0")
+
+    def test_constructors_safe(self):
+        # WHNF immediately; lazy fields may hide exceptions but that is
+        # the *consumer's* problem.
+        assert safe("Just (1 `div` 0)")
+
+    def test_arithmetic_unsafe(self):
+        # + may overflow: honest pessimism (the paper's point).
+        assert not safe("1 + 1")
+
+    def test_div_unsafe(self):
+        assert not safe("4 `div` 2")
+
+    def test_comparison_of_safe_args_safe(self):
+        assert not safe("a == b")  # unknown variables
+        assert safe("1 == 2")
+
+    def test_raise_unsafe(self):
+        assert not safe("raise Overflow")
+
+    def test_unknown_variable_unsafe(self):
+        assert not safe("x")
+
+    def test_assumed_safe_variable(self):
+        assert safe("x", assume_safe=frozenset(["x"]))
+
+    def test_unknown_call_unsafe(self):
+        # "pessimistic across module boundaries" (Section 2.3).
+        assert not safe("f 1")
+
+    def test_case_needs_exhaustive_alts(self):
+        assert not safe("case 1 of { 1 -> 2 }")
+        assert safe("case 1 of { 1 -> 2; _ -> 3 }")
+
+    def test_case_branches_checked(self):
+        assert not safe("case 1 of { 1 -> 2 `div` 0; _ -> 3 }")
+
+    def test_fix_unsafe(self):
+        assert not safe("fix (\\x -> x)")
+
+    def test_seq_checks_both(self):
+        assert safe("seq 1 2")
+        assert not safe("seq (1 `div` 1) 2")
+
+    def test_let_propagates_verdicts(self):
+        assert safe("let { v = 1 } in v")
+        assert not safe("let { v = 1 `div` 1 } in v")
+
+
+class TestProgramEnv:
+    def test_simple_bindings(self):
+        program = compile_program("one = 1\ntwo = one")
+        env = program_effect_env(program)
+        assert env["one"] and env["two"]
+
+    def test_arithmetic_binding_unsafe(self):
+        program = compile_program("n = 1 + 1")
+        assert not program_effect_env(program)["n"]
+
+    def test_promotion_through_dependencies(self):
+        program = compile_program("a = 1\nb = a\nc = b")
+        env = program_effect_env(program)
+        assert all(env.values())
+
+
+class TestReorderSites:
+    def test_sites_found(self):
+        sites = transformable_sites(compile_expr("(a + b) * (c + d)"))
+        prim_sites = [s for s in sites if s.kind == "prim"]
+        assert len(prim_sites) == 3
+
+    def test_arith_sites_blocked_under_fixed_order(self):
+        sites = transformable_sites(compile_expr("a + b"))
+        assert all(not s.safe_under_fixed_order for s in sites)
+
+    def test_safe_site_allowed(self):
+        sites = transformable_sites(compile_expr("1 == 2"))
+        (site,) = [s for s in sites if s.kind == "prim"]
+        assert site.safe_under_fixed_order
+
+    def test_imprecise_enables_everything_the_ratio(self):
+        # E6's shape: imprecise enables 100% of sites, the effect
+        # analysis a small fraction.
+        expr = compile_expr(
+            "(a + b) * (c `div` d) + (f x + (1 == 2 `div` 1))"
+        )
+        sites = transformable_sites(expr)
+        enabled = sum(1 for s in sites if s.safe_under_fixed_order)
+        assert len(sites) > 0
+        assert enabled < len(sites)

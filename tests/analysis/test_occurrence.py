@@ -1,0 +1,50 @@
+"""Occurrence analysis unit tests."""
+
+import pytest
+
+from repro.analysis.occurrence import occurrences, occurs_free
+from repro.lang.parser import parse_expr
+
+
+class TestOccurrences:
+    def test_simple(self):
+        counts = occurrences(parse_expr("x + x + y"))
+        assert counts["x"] == 2
+        assert counts["y"] == 1
+
+    def test_lambda_shadows(self):
+        counts = occurrences(parse_expr("x + (\\x -> x) 1"))
+        assert counts["x"] == 1
+
+    def test_case_pattern_shadows(self):
+        counts = occurrences(
+            parse_expr("case v of { Just x -> x + x; Nothing -> x }")
+        )
+        assert counts["x"] == 1
+        assert counts["v"] == 1
+
+    def test_let_shadows_rhs_and_body(self):
+        counts = occurrences(parse_expr("let { x = x + y } in x"))
+        assert "x" not in counts
+        assert counts["y"] == 1
+
+    def test_closed_expression(self):
+        assert not occurrences(parse_expr("(\\x -> x) 1"))
+
+    def test_constructor_and_prim_args(self):
+        counts = occurrences(parse_expr("Just (a + a)"))
+        assert counts["a"] == 2
+
+    def test_raise_and_fix(self):
+        counts = occurrences(parse_expr("raise e"))
+        assert counts["e"] == 1
+        counts = occurrences(parse_expr("fix f"))
+        assert counts["f"] == 1
+
+
+class TestOccursFree:
+    def test_positive(self):
+        assert occurs_free(parse_expr("x + 1"), "x")
+
+    def test_negative(self):
+        assert not occurs_free(parse_expr("\\x -> x"), "x")

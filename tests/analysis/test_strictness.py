@@ -1,0 +1,161 @@
+"""Strictness analysis: unit behaviour + soundness against the
+denotational semantics (if analysed strict, then substituting ⊥ for the
+variable yields an exceptional/bottom denotation containing the
+variable's exceptions)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.strictness import (
+    analyse_program,
+    function_signature,
+    strict_in,
+)
+from repro.api import compile_expr, compile_program
+from repro.core.denote import DenoteContext, denote
+from repro.core.domains import BOTTOM, Bad, Ok, Thunk
+from repro.core.excset import ExcSet, user_error
+from repro.lang.names import free_vars
+from repro.lang.parser import parse_expr
+
+from tests.genexpr import int_exprs
+
+
+def strict(source, var):
+    return strict_in(compile_expr(source), var)
+
+
+class TestBasicVerdicts:
+    def test_variable_strict_in_itself(self):
+        assert strict("x", "x")
+
+    def test_literal_not_strict(self):
+        assert not strict("42", "x")
+
+    def test_plus_strict_both(self):
+        assert strict("x + 1", "x")
+        assert strict("1 + x", "x")
+
+    def test_lambda_shields(self):
+        assert not strict("\\y -> x + y", "x")
+
+    def test_constructor_shields(self):
+        assert not strict("Just x", "x")
+        assert not strict("Cons x Nil", "x")
+
+    def test_case_scrutinee_strict(self):
+        assert strict("case x of { True -> 1; False -> 2 }", "x")
+
+    def test_case_all_branches(self):
+        assert strict(
+            "case p of { True -> x + 1; False -> x - 1 }", "x"
+        )
+
+    def test_case_some_branches_not_strict(self):
+        assert not strict(
+            "case p of { True -> x + 1; False -> 0 }", "x"
+        )
+
+    def test_shadowing_respected(self):
+        assert not strict("case p of { Just x -> x; Nothing -> 0 }", "x")
+
+    def test_seq_strict_in_both(self):
+        assert strict("seq x 1", "x")
+        assert strict("seq 1 x", "x")
+
+    def test_raise_strict_in_payload(self):
+        assert strict("raise x", "x")
+
+    def test_let_body_strict(self):
+        assert strict("let { v = 1 } in x + v", "x")
+
+    def test_let_transitive(self):
+        assert strict("let { v = x + 1 } in v * 2", "x")
+
+    def test_let_lazy_binding_not_strict(self):
+        assert not strict("let { v = x + 1 } in 2", "x")
+
+    def test_unknown_application_not_strict_in_arg(self):
+        assert not strict("f x", "x")
+
+    def test_unknown_application_strict_in_fn(self):
+        assert strict("f x", "f")
+
+
+class TestSignatures:
+    def test_simple_signature(self):
+        sig = function_signature(parse_expr("\\a b -> a + 1"), {})
+        assert sig == (True, False)
+
+    def test_non_function(self):
+        assert function_signature(parse_expr("42"), {}) is None
+
+    def test_program_analysis_recursive(self):
+        program = compile_program(
+            "sumTo n = if n == 0 then 0 else n + sumTo (n - 1)\n"
+            "lazyConst a b = a"
+        )
+        env = analyse_program(program)
+        assert env["sumTo"] == (True,)
+        assert env["lazyConst"] == (True, False)
+
+    def test_accumulator_strictness(self):
+        program = compile_program(
+            "go n acc = if n == 0 then acc else go (n - 1) (acc + n)"
+        )
+        env = analyse_program(program)
+        assert env["go"][0] is True
+
+    def test_mutual_recursion(self):
+        program = compile_program(
+            "evens n = if n == 0 then True else odds (n - 1)\n"
+            "odds n = if n == 0 then False else evens (n - 1)"
+        )
+        env = analyse_program(program)
+        assert env["evens"] == (True,)
+        assert env["odds"] == (True,)
+
+    def test_signatures_enable_call_site_verdicts(self):
+        program = compile_program("apply1 g = g 1\nuse v = v + 1")
+        env = analyse_program(program)
+        assert strict_in(parse_expr("use x"), "x", env)
+
+
+class TestSoundness:
+    """If the analysis says "strict in x", then the denotation with
+    x = Bad {probe} must be exceptional and contain the probe (this is
+    the semantic content of strictness under imprecise exceptions)."""
+
+    PROBE = user_error("strictness-probe")
+
+    def _check(self, expr):
+        for var in sorted(free_vars(expr)):
+            if not strict_in(expr, var):
+                continue
+            env = {
+                name: Thunk.ready(
+                    Bad(ExcSet.of(self.PROBE))
+                    if name == var
+                    else Ok(1)
+                )
+                for name in free_vars(expr)
+            }
+            value = denote(expr, env, DenoteContext(fuel=20_000))
+            assert isinstance(value, Bad), (
+                f"strict in {var} but {value} for {expr}"
+            )
+            assert self.PROBE in value.excs
+
+    @given(int_exprs(depth=4, env=("u1", "u2")))
+    @settings(max_examples=150, deadline=None)
+    def test_strict_verdicts_sound(self, expr):
+        self._check(expr)
+
+    def test_hand_picked(self):
+        for source in (
+            "x + 1",
+            "case x of { True -> 1; False -> 2 }",
+            "seq x 2",
+            "let { v = x } in v + 1",
+        ):
+            self._check(compile_expr(source))

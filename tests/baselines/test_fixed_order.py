@@ -1,0 +1,61 @@
+"""The fixed-evaluation-order baseline (Section 3.4, option 1)."""
+
+import pytest
+
+from repro.baselines.fixed_order import (
+    denote_fixed_order,
+    fixed_order_ctx,
+)
+from repro.core.domains import Bad, Ok
+from repro.lang.match import flatten_case_patterns
+from repro.lang.parser import parse_expr
+from tests.conftest import d
+
+
+def d_fixed(source, fuel=100_000):
+    return d(source, ctx=fixed_order_ctx(fuel))
+
+
+def names(value):
+    assert isinstance(value, Bad)
+    return {e.name for e in value.excs.finite_members()}
+
+
+class TestSingleExceptionSemantics:
+    def test_left_argument_wins(self):
+        value = d_fixed('(1 `div` 0) + error "Urk"')
+        assert names(value) == {"DivideByZero"}
+
+    def test_order_dependence_exposed(self):
+        a = d_fixed('(1 `div` 0) + error "Urk"')
+        b = d_fixed('error "Urk" + (1 `div` 0)')
+        assert names(a) != names(b)
+
+    def test_sets_stay_singletons(self):
+        value = d_fixed(
+            "(raise Overflow + raise DivideByZero) + raise PatternMatchFail"
+        )
+        assert len(names(value)) == 1
+
+    def test_normal_results_agree_with_imprecise(self):
+        for source in ("1 + 2", "sum [1, 2, 3]", "(\\x -> x) 9"):
+            assert d_fixed(source) == d(source)
+
+    def test_case_naive(self):
+        value = d_fixed(
+            "case raise DivideByZero of { True -> raise Overflow;"
+            " False -> 1 }"
+        )
+        assert names(value) == {"DivideByZero"}
+
+    def test_application_ignores_argument(self):
+        value = d_fixed("(raise Overflow) (1 `div` 0)")
+        assert names(value) == {"Overflow"}
+
+    def test_laziness_preserved(self):
+        # Fixing the order does not make the language strict.
+        assert d_fixed("(\\x -> 3) (1 `div` 0)") == Ok(3)
+
+    def test_denote_fixed_order_helper(self):
+        expr = flatten_case_patterns(parse_expr("1 + 1"))
+        assert denote_fixed_order(expr) == Ok(2)

@@ -1,0 +1,98 @@
+"""The non-deterministic baseline (Section 3.4, option 2): collecting
+semantics and the paper's β-failure counterexample."""
+
+import pytest
+
+from repro.api import compile_expr
+from repro.baselines.nondet import (
+    ChoiceStrategy,
+    collect_outcomes,
+    demonstrate_beta_failure,
+)
+from repro.prelude.loader import machine_env
+
+
+class TestChoiceStrategy:
+    def test_follows_choices(self):
+        strategy = ChoiceStrategy([0, 1])
+        assert strategy.order("+", 2) == (0, 1)
+        assert strategy.order("+", 2) == (1, 0)
+
+    def test_default_beyond_prefix(self):
+        strategy = ChoiceStrategy([])
+        assert strategy.order("+", 2) == (0, 1)
+        assert strategy.overflowed
+
+    def test_unary_not_a_choice_point(self):
+        strategy = ChoiceStrategy([])
+        strategy.order("negate", 1)
+        assert strategy.used == 0
+
+
+class TestCollectingSemantics:
+    def test_deterministic_program_single_outcome(self):
+        outcomes = collect_outcomes(compile_expr("1 + 2"))
+        assert outcomes == frozenset({("ok-int", 3)})
+
+    def test_two_exceptions_two_outcomes(self):
+        outcomes = collect_outcomes(
+            compile_expr(
+                '(1 `div` 0) + raise (UserError "Urk")'
+            )
+        )
+        assert outcomes == frozenset(
+            {
+                ("exc", "DivideByZero", None),
+                ("exc", "UserError", "Urk"),
+            }
+        )
+
+    def test_nested_choices_explored(self):
+        outcomes = collect_outcomes(
+            compile_expr(
+                "(raise Overflow + raise DivideByZero) + "
+                "raise PatternMatchFail"
+            )
+        )
+        assert ("exc", "Overflow", None) in outcomes
+        assert ("exc", "DivideByZero", None) in outcomes
+        assert ("exc", "PatternMatchFail", None) in outcomes
+
+    def test_with_prelude_env(self):
+        outcomes = collect_outcomes(
+            compile_expr("sum [1, 2, 3]"), env_builder=machine_env
+        )
+        assert outcomes == frozenset({("ok-int", 6)})
+
+    def test_outcome_set_is_the_denoted_set(self):
+        # Cross-check against the imprecise denotation: the collecting
+        # outcomes are exactly the finite members of the Bad set.
+        from repro.api import denote_source
+        from repro.core.domains import Bad
+
+        denoted = denote_source('(1 `div` 0) + error "Urk"')
+        assert isinstance(denoted, Bad)
+        names = {e.name for e in denoted.excs.finite_members()}
+        outcomes = collect_outcomes(
+            compile_expr('(1 `div` 0) + error "Urk"'),
+            env_builder=machine_env,
+        )
+        assert {o[1] for o in outcomes} == names
+
+
+class TestBetaFailure:
+    """Section 3.4: under source-level non-determinism, β is invalid —
+    "the non-deterministic + might (in principle) make a different
+    choice at its two occurrences"."""
+
+    def test_shared_always_equal(self):
+        demo = demonstrate_beta_failure()
+        assert demo.shared_outcomes == frozenset({("equal", True)})
+
+    def test_substituted_can_differ(self):
+        demo = demonstrate_beta_failure()
+        assert ("equal", False) in demo.substituted_outcomes
+
+    def test_beta_invalid_under_nondet(self):
+        demo = demonstrate_beta_failure()
+        assert not demo.beta_valid

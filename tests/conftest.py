@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    compile_expr,
+    denote_source,
+    observe_source,
+    run_io_source,
+)
+from repro.core.denote import DenoteContext, denote
+from repro.core.domains import Bad, Ok, SemVal
+from repro.core.excset import ExcSet
+from repro.machine.strategy import LeftToRight, RightToLeft, Shuffled
+from repro.prelude.loader import denote_env, machine_env, prelude_program
+
+
+@pytest.fixture(scope="session")
+def prelude():
+    return prelude_program()
+
+
+def d(source: str, fuel: int = 200_000, ctx: DenoteContext = None) -> SemVal:
+    """Denote a source expression with the prelude in scope."""
+    return denote_source(source, fuel=fuel, ctx=ctx)
+
+
+def excs_of(value: SemVal) -> ExcSet:
+    assert isinstance(value, Bad), f"expected Bad, got {value}"
+    return value.excs
+
+
+def exc_names(value: SemVal) -> frozenset:
+    return frozenset(e.name for e in excs_of(value).finite_members())
+
+
+def ok_value(value: SemVal):
+    assert isinstance(value, Ok), f"expected Ok, got {value}"
+    return value.value
+
+
+STRATEGIES = [LeftToRight(), RightToLeft(), Shuffled(1), Shuffled(7)]

@@ -1,0 +1,152 @@
+"""The exception-finding mode of Section 4.3 — "the slightly surprising
+rule" — versus the naive rule, and the laws it exists to validate."""
+
+import pytest
+
+from repro.baselines.fixed_order import naive_case_ctx
+from repro.core.denote import DenoteContext
+from repro.core.domains import BAD_EMPTY, BOTTOM, Bad, Ok
+from repro.core.excset import DIVIDE_BY_ZERO, ExcSet, OVERFLOW
+from repro.core.laws import PAIR_BATTERY, check_law
+from repro.lang.match import flatten_case_patterns
+from repro.lang.parser import parse_expr
+from tests.conftest import d, exc_names
+
+
+def d_naive(source: str, fuel: int = 50_000):
+    return d(source, ctx=naive_case_ctx(fuel))
+
+
+class TestNormalScrutinee:
+    def test_selects_matching_alternative(self):
+        assert d("case Just 5 of { Just x -> x; Nothing -> 0 }") == Ok(5)
+
+    def test_first_match_wins(self):
+        assert d("case 1 of { 1 -> 10; _ -> 20 }") == Ok(10)
+
+    def test_wildcard(self):
+        assert d("case 9 of { 1 -> 10; _ -> 20 }") == Ok(20)
+
+    def test_bindings_are_lazy(self):
+        value = d(
+            "case Just (1 `div` 0) of { Just x -> 3; Nothing -> 0 }"
+        )
+        assert value == Ok(3)
+
+
+class TestExceptionFindingMode:
+    def test_unions_scrutinee_and_branches(self):
+        value = d(
+            "case (raise DivideByZero) of "
+            "{ True -> raise Overflow; False -> 42 }"
+        )
+        assert exc_names(value) == {"DivideByZero", "Overflow"}
+
+    def test_branch_exceptions_explored_with_bad_empty(self):
+        # Pattern variables are bound to Bad {}: a branch returning the
+        # variable itself contributes nothing.
+        value = d(
+            "case (raise DivideByZero) of { Just x -> x; Nothing -> 1 }"
+        )
+        assert exc_names(value) == {"DivideByZero"}
+
+    def test_branch_using_variable_strictly_contributes_nothing(self):
+        # x + 1 with x = Bad {} is Bad ({} ∪ {}) = Bad {}.
+        value = d(
+            "case (raise DivideByZero) of "
+            "{ Just x -> x + 1; Nothing -> 2 }"
+        )
+        assert exc_names(value) == {"DivideByZero"}
+
+    def test_branch_raising_contributes(self):
+        value = d(
+            "case (raise DivideByZero) of "
+            "{ Just x -> raise Overflow; Nothing -> error \"n\" }"
+        )
+        assert exc_names(value) == {
+            "DivideByZero",
+            "Overflow",
+            "UserError",
+        }
+
+    def test_bottom_scrutinee_stays_bottom(self):
+        value = d(
+            "case (let { w = w + 1 } in w) of { True -> 1; False -> 2 }",
+            fuel=20_000,
+        )
+        assert value == BOTTOM
+
+    def test_diverging_branch_makes_bottom(self):
+        # A branch whose exploration diverges contributes ⊥'s set.
+        value = d(
+            "case (raise Overflow) of "
+            "{ True -> let { w = w + 1 } in w; False -> 1 }",
+            fuel=20_000,
+        )
+        assert value == BOTTOM
+
+
+class TestNaiveModeContrast:
+    def test_naive_returns_scrutinee_only(self):
+        value = d_naive(
+            "case (raise DivideByZero) of "
+            "{ True -> raise Overflow; False -> 42 }"
+        )
+        assert exc_names(value) == {"DivideByZero"}
+
+    def test_case_switch_law_validated_by_exception_finding(self):
+        lhs = flatten_case_patterns(
+            parse_expr(
+                "case x of { Tuple2 a b -> "
+                "case y of { Tuple2 p q -> a + p } }"
+            )
+        )
+        rhs = flatten_case_patterns(
+            parse_expr(
+                "case y of { Tuple2 p q -> "
+                "case x of { Tuple2 a b -> a + p } }"
+            )
+        )
+        batteries = {"x": PAIR_BATTERY, "y": PAIR_BATTERY}
+        imprecise = check_law(
+            lhs, rhs, name="case-switch", var_batteries=batteries
+        )
+        assert imprecise.verdict == "identity"
+
+    def test_case_switch_law_fails_under_naive_mode(self):
+        lhs = flatten_case_patterns(
+            parse_expr(
+                "case x of { Tuple2 a b -> "
+                "case y of { Tuple2 p q -> a + p } }"
+            )
+        )
+        rhs = flatten_case_patterns(
+            parse_expr(
+                "case y of { Tuple2 p q -> "
+                "case x of { Tuple2 a b -> a + p } }"
+            )
+        )
+        batteries = {"x": PAIR_BATTERY, "y": PAIR_BATTERY}
+        naive = check_law(
+            lhs,
+            rhs,
+            name="case-switch",
+            var_batteries=batteries,
+            ctx_factory=naive_case_ctx,
+        )
+        assert naive.verdict == "unsound"
+        # The counterexample is the paper's: both scrutinees
+        # exceptional, order determines which exception appears.
+        assert naive.counterexample is not None
+
+
+class TestBadEmptyValue:
+    """The "strange value Bad {}" (Section 4.1): not the denotation of
+    any term, but essential to case's semantics."""
+
+    def test_bad_empty_is_not_bottom(self):
+        assert not BAD_EMPTY.excs.is_bottom()
+
+    def test_bad_empty_is_top_of_exceptional_side(self):
+        assert Bad(ExcSet.of(DIVIDE_BY_ZERO)).excs.leq(BAD_EMPTY.excs)
+        assert BOTTOM.excs.leq(BAD_EMPTY.excs)

@@ -1,0 +1,257 @@
+"""The denotational combinator rules of Section 4.2, transcribed into
+tests one by one."""
+
+import pytest
+
+from repro.core.denote import DenoteContext, InternalError, denote_expr
+from repro.core.domains import BAD_EMPTY, BOTTOM, Bad, ConVal, FunVal, Ok
+from repro.core.excset import (
+    DIVIDE_BY_ZERO,
+    ExcSet,
+    OVERFLOW,
+    PATTERN_MATCH_FAIL,
+    user_error,
+)
+from repro.lang.ops import INT_MAX
+from tests.conftest import d, exc_names, excs_of, ok_value
+
+
+class TestPlusRule:
+    """[e1 + e2] = v1 ⊕ v2 | Bad (S[e1] ∪ S[e2])."""
+
+    def test_both_normal(self):
+        assert d("1 + 2") == Ok(3)
+
+    def test_left_exceptional(self):
+        assert exc_names(d("(1 `div` 0) + 2")) == {"DivideByZero"}
+
+    def test_right_exceptional(self):
+        assert exc_names(d("2 + (1 `div` 0)")) == {"DivideByZero"}
+
+    def test_both_exceptional_unions(self):
+        value = d('(1 `div` 0) + error "Urk"')
+        assert excs_of(value) == ExcSet.of(
+            DIVIDE_BY_ZERO, user_error("Urk")
+        )
+
+    def test_the_papers_example_is_order_independent(self):
+        assert excs_of(d('(1 `div` 0) + error "Urk"')) == excs_of(
+            d('error "Urk" + (1 `div` 0)')
+        )
+
+    def test_overflow_checked(self):
+        big = INT_MAX - 1
+        assert exc_names(d(f"{big} + {big}")) == {"Overflow"}
+
+    def test_loop_plus_error_is_bottom(self):
+        """loop + error "Urk" = ⊥ (the Section 4 opening example):
+        the union of all exceptions with a singleton is still all."""
+        value = d(
+            'let { loop = loop + 1 } in loop + error "Urk"', fuel=50_000
+        )
+        assert value == BOTTOM
+
+
+class TestRaiseRule:
+    def test_raise_normal_exception(self):
+        assert exc_names(d("raise Overflow")) == {"Overflow"}
+
+    def test_raise_exceptional_argument_propagates(self):
+        value = d("raise (head Nil)")
+        assert exc_names(value) == {"UserError"}
+
+    def test_error_defined_via_raise(self):
+        value = d('error "boom"')
+        assert excs_of(value) == ExcSet.of(user_error("boom"))
+
+    def test_user_error_message_preserved(self):
+        (exc,) = excs_of(d('error "specific"')).finite_members()
+        assert exc.arg == "specific"
+
+
+class TestApplicationRule:
+    def test_normal_function(self):
+        assert d("(\\x -> x + 1) 5") == Ok(6)
+
+    def test_lazy_argument_not_forced(self):
+        # β: (\x -> 3)(1/0) must be 3, NOT an exception (Section 4.2:
+        # "we must not union in the argument's exceptions if the
+        # function is a normal value, or else we would lose β").
+        assert d("(\\x -> 3) (1 `div` 0)") == Ok(3)
+
+    def test_exceptional_function_unions_argument(self):
+        # Bad s applied: union the argument's exceptions (Section 4.2
+        # "under some circumstances we might legitimately evaluate the
+        # argument first").
+        value = d("(raise Overflow) (1 `div` 0)")
+        assert exc_names(value) == {"Overflow", "DivideByZero"}
+
+    def test_exceptional_function_normal_argument(self):
+        value = d("(raise Overflow) 5")
+        assert exc_names(value) == {"Overflow"}
+
+
+class TestLambdaIsNormal:
+    def test_lambda_returning_bottom_is_not_bottom(self):
+        """λx.⊥ ≠ ⊥ (Section 4.2: "a lambda abstraction is a normal
+        value") — and it is implementable: getException can tell."""
+        value = d("\\x -> loopForever", fuel=10_000)
+        # The lambda itself is WHNF; the unbound body is never demanded.
+        assert isinstance(value, Ok)
+        assert isinstance(value.value, FunVal)
+
+    def test_seq_on_lambda_succeeds(self):
+        assert d("seq (\\x -> 1 `div` 0) 42") == Ok(42)
+
+
+class TestConstructorsNonStrict:
+    def test_constructor_with_exceptional_field_is_normal(self):
+        value = d("Just (1 `div` 0)")
+        assert isinstance(value, Ok)
+        assert isinstance(value.value, ConVal)
+
+    def test_field_exception_surfaces_on_demand(self):
+        value = d("case Just (1 `div` 0) of { Just x -> x + 1; Nothing -> 0 }")
+        assert exc_names(value) == {"DivideByZero"}
+
+    def test_deep_list_spine(self):
+        assert d("length [1 `div` 0, 2 `div` 0]") == Ok(2)
+
+
+class TestSeqRule:
+    def test_seq_forces_first(self):
+        assert exc_names(d("seq (1 `div` 0) 42")) == {"DivideByZero"}
+
+    def test_seq_normal_first(self):
+        assert d("seq 1 42") == Ok(42)
+
+    def test_seq_unions_continuation(self):
+        # seq a b = case a of _ -> b: exception-finding unions b.
+        value = d("seq (1 `div` 0) (raise Overflow)")
+        assert exc_names(value) == {"DivideByZero", "Overflow"}
+
+
+class TestFixRule:
+    def test_fix_constant(self):
+        assert d("fix (\\x -> 42)", fuel=10_000) == Ok(42)
+
+    def test_fix_diverging(self):
+        assert d("fix (\\x -> x)", fuel=10_000) == BOTTOM
+
+    def test_fix_productive(self):
+        value = d("head (fix (\\xs -> Cons 9 xs))", fuel=50_000)
+        assert value == Ok(9)
+
+    def test_fix_of_exceptional_value_is_bottom(self):
+        assert d("fix (raise Overflow)", fuel=10_000) == BOTTOM
+
+    def test_loop_is_bottom(self):
+        # The paper's loop: f True where f x = f (not x).
+        value = d(
+            "let { f = \\x -> f (not x) } in f True", fuel=20_000
+        )
+        assert value == BOTTOM
+
+
+class TestLetRule:
+    def test_simple_let(self):
+        assert d("let { x = 2 } in x + x") == Ok(4)
+
+    def test_mutual_recursion(self):
+        value = d(
+            "let { even = \\n -> if n == 0 then True else odd (n - 1);"
+            " odd = \\n -> if n == 0 then False else even (n - 1) }"
+            " in even 10",
+            fuel=50_000,
+        )
+        assert ok_value(value).name == "True"
+
+    def test_lazy_binding_unused_exception(self):
+        assert d("let { x = 1 `div` 0 } in 5") == Ok(5)
+
+    def test_knot_tying(self):
+        value = d(
+            "let { xs = Cons 1 xs } in head (tail (tail xs))",
+            fuel=50_000,
+        )
+        assert value == Ok(1)
+
+    def test_self_referential_scalar_is_bottom(self):
+        assert d("let { x = x + 1 } in x", fuel=10_000) == BOTTOM
+
+
+class TestPatternMatchFailure:
+    def test_no_matching_alternative(self):
+        value = d("case Nothing of { Just x -> x }")
+        assert exc_names(value) == {"PatternMatchFail"}
+
+    def test_head_of_empty_list(self):
+        # head Nil = error "head: empty list" in the prelude.
+        assert exc_names(d("head Nil")) == {"UserError"}
+
+    def test_zipwith_unequal_lists_head_ok(self):
+        # The paper's Section 3.2 example: exceptional value at the
+        # *end* of the list; the defined prefix is still usable.
+        assert d("head (zipWith (+) [1] [1, 2])") == Ok(2)
+
+    def test_zipwith_unequal_lists_traversal_is_bottom(self):
+        """Reproduction finding F-1 (EXPERIMENTS.md): traversing up to
+        the exceptional tail with a *recursive* function denotes ⊥, not
+        Bad {UserError}.  Exception-finding mode explores length's
+        Cons branch with the tail bound to Bad {}, which re-enters
+        length — the chain never leaves ⊥.  Sound (UserError ∈ ⊥'s
+        set, and the machine observes exactly UserError) but coarse."""
+        value = d("length (zipWith (+) [1] [1, 2])", fuel=60_000)
+        assert value == BOTTOM
+
+
+class TestPrimitives:
+    def test_div(self):
+        assert d("7 `div` 2") == Ok(3)
+
+    def test_mod(self):
+        assert d("7 `mod` 2") == Ok(1)
+
+    def test_div_by_zero(self):
+        assert exc_names(d("1 `div` 0")) == {"DivideByZero"}
+
+    def test_mod_by_zero(self):
+        assert exc_names(d("1 `mod` 0")) == {"DivideByZero"}
+
+    def test_comparison(self):
+        assert ok_value(d("1 < 2")).name == "True"
+        assert ok_value(d("2 <= 1")).name == "False"
+
+    def test_comparison_propagates_exceptions(self):
+        value = d("(1 `div` 0) < (raise Overflow)")
+        assert exc_names(value) == {"DivideByZero", "Overflow"}
+
+    def test_negate(self):
+        assert d("negate 5") == Ok(-5)
+
+    def test_string_ops(self):
+        assert d('strAppend "ab" "cd"') == Ok("abcd")
+        assert d('strLen "abc"') == Ok(3)
+        assert d("showInt 42") == Ok("42")
+
+    def test_char_ops(self):
+        assert d("ord 'A'") == Ok(65)
+        assert d("chr 66") == Ok("B")
+
+    def test_ill_typed_primitive_is_internal_error(self):
+        with pytest.raises(InternalError):
+            d("True + 1")
+
+
+class TestFuel:
+    def test_fuel_exhaustion_is_bottom(self):
+        value = d("sum (enumFromTo 1 1000000)", fuel=500)
+        assert value == BOTTOM
+
+    def test_enough_fuel_computes(self):
+        assert d("sum (enumFromTo 1 10)", fuel=100_000) == Ok(55)
+
+    def test_steps_counted(self):
+        ctx = DenoteContext(fuel=100_000)
+        d("1 + 2", ctx=ctx)
+        assert ctx.steps > 0

@@ -1,0 +1,113 @@
+"""Semantic domain unit tests: thunks, constructors, helpers."""
+
+import pytest
+
+from repro.core.domains import (
+    BAD_EMPTY,
+    BOTTOM,
+    Bad,
+    ConVal,
+    FunVal,
+    IOVal,
+    Ok,
+    Thunk,
+    exc_part,
+    from_bool,
+    is_bottom,
+    mk_bad,
+    ok_bool,
+    ok_unit,
+)
+from repro.core.excset import (
+    BOTTOM_SET,
+    DIVIDE_BY_ZERO,
+    EMPTY_SET,
+    ExcSet,
+)
+
+
+class TestThunk:
+    def test_memoised(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return Ok(5)
+
+        thunk = Thunk(compute)
+        assert thunk.force() == Ok(5)
+        assert thunk.force() == Ok(5)
+        assert len(calls) == 1
+
+    def test_ready(self):
+        thunk = Thunk.ready(Ok(9))
+        assert thunk.force() == Ok(9)
+
+    def test_reentrant_demand_is_bottom(self):
+        # A value defined strictly in terms of itself is ⊥.
+        holder = {}
+
+        def compute():
+            return holder["thunk"].force()
+
+        holder["thunk"] = Thunk(compute)
+        assert holder["thunk"].force() == BOTTOM
+
+    def test_lazy_until_forced(self):
+        thunk = Thunk(lambda: (_ for _ in ()).throw(AssertionError))
+        # Creating it runs nothing; only force() would explode.
+        assert thunk is not None
+
+
+class TestHelpers:
+    def test_exc_part(self):
+        assert exc_part(Ok(1)) == EMPTY_SET
+        assert exc_part(Bad(ExcSet.of(DIVIDE_BY_ZERO))) == ExcSet.of(
+            DIVIDE_BY_ZERO
+        )
+
+    def test_mk_bad_collapses_bottom(self):
+        assert mk_bad(BOTTOM_SET) is BOTTOM
+        assert mk_bad(ExcSet.of(DIVIDE_BY_ZERO)) == Bad(
+            ExcSet.of(DIVIDE_BY_ZERO)
+        )
+
+    def test_is_bottom(self):
+        assert is_bottom(BOTTOM)
+        assert not is_bottom(BAD_EMPTY)
+        assert not is_bottom(Ok(1))
+
+    def test_bool_helpers(self):
+        assert from_bool(ok_bool(True)) is True
+        assert from_bool(ok_bool(False)) is False
+        assert from_bool(Ok(3)) is None
+        assert from_bool(BOTTOM) is None
+
+    def test_ok_unit(self):
+        value = ok_unit()
+        assert isinstance(value.value, ConVal)
+        assert value.value.name == "Unit"
+
+
+class TestRendering:
+    def test_bad_str(self):
+        assert "DivideByZero" in str(Bad(ExcSet.of(DIVIDE_BY_ZERO)))
+
+    def test_bottom_str(self):
+        text = str(BOTTOM)
+        assert "E" in text and "NonTermination" in text
+
+    def test_ok_str(self):
+        assert str(Ok(3)) == "Ok 3"
+
+    def test_conval_str(self):
+        assert str(ConVal("True")) == "True"
+        assert "2 args" in str(
+            ConVal("Cons", (Thunk.ready(Ok(1)), Thunk.ready(Ok(2))))
+        )
+
+    def test_ioval_str(self):
+        assert str(IOVal("getException")) == "IO<getException>"
+
+    def test_funval_label(self):
+        assert str(FunVal(lambda t: Ok(1), label="id")) == "id"

@@ -1,0 +1,190 @@
+"""The exception-set lattice P(E)_⊥ (Section 4.1): representation and
+lattice laws, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.excset import (
+    ALL_EXCEPTIONS,
+    BOTTOM_SET,
+    CONTROL_C,
+    DIVIDE_BY_ZERO,
+    EMPTY_SET,
+    Exc,
+    ExcSet,
+    NON_TERMINATION,
+    OVERFLOW,
+    PATTERN_MATCH_FAIL,
+    TIMEOUT,
+    glb,
+    lub,
+    user_error,
+)
+
+_MEMBERS = [
+    DIVIDE_BY_ZERO,
+    OVERFLOW,
+    PATTERN_MATCH_FAIL,
+    user_error("a"),
+    user_error("b"),
+    NON_TERMINATION,
+]
+
+excsets = st.builds(
+    ExcSet,
+    st.frozensets(st.sampled_from(_MEMBERS), max_size=4),
+    st.booleans(),
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert EMPTY_SET.is_empty()
+        assert not EMPTY_SET.is_bottom()
+
+    def test_of(self):
+        s = ExcSet.of(DIVIDE_BY_ZERO, OVERFLOW)
+        assert DIVIDE_BY_ZERO in s and OVERFLOW in s
+        assert PATTERN_MATCH_FAIL not in s
+
+    def test_bottom_is_all_plus_nontermination(self):
+        assert BOTTOM_SET.is_bottom()
+        assert DIVIDE_BY_ZERO in BOTTOM_SET
+        assert user_error("anything") in BOTTOM_SET
+        assert NON_TERMINATION in BOTTOM_SET
+
+    def test_all_exceptions_lacks_nontermination(self):
+        assert not ALL_EXCEPTIONS.is_bottom()
+        assert NON_TERMINATION not in ALL_EXCEPTIONS
+        assert DIVIDE_BY_ZERO in ALL_EXCEPTIONS
+
+    def test_async_not_implied_by_all_synchronous(self):
+        # Asynchronous events are not members of E (Section 5.1).
+        assert TIMEOUT not in ALL_EXCEPTIONS
+        assert CONTROL_C not in BOTTOM_SET
+
+    def test_normalisation_drops_redundant_members(self):
+        s = ExcSet(frozenset([DIVIDE_BY_ZERO, NON_TERMINATION]), True)
+        assert s.members == frozenset([NON_TERMINATION])
+
+    def test_user_error_carries_message(self):
+        assert user_error("x") != user_error("y")
+        assert user_error("x") == user_error("x")
+
+
+class TestUnion:
+    def test_finite_union(self):
+        s = ExcSet.of(DIVIDE_BY_ZERO) | ExcSet.of(OVERFLOW)
+        assert s == ExcSet.of(DIVIDE_BY_ZERO, OVERFLOW)
+
+    def test_union_with_all(self):
+        s = ExcSet.of(DIVIDE_BY_ZERO) | ALL_EXCEPTIONS
+        assert s.all_synchronous
+        assert not s.is_bottom()
+
+    def test_union_with_bottom_is_bottom(self):
+        assert (ExcSet.of(OVERFLOW) | BOTTOM_SET).is_bottom()
+
+    @given(excsets, excsets)
+    @settings(max_examples=100, deadline=None)
+    def test_union_commutative(self, a, b):
+        assert a | b == b | a
+
+    @given(excsets, excsets, excsets)
+    @settings(max_examples=100, deadline=None)
+    def test_union_associative(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @given(excsets)
+    @settings(max_examples=50, deadline=None)
+    def test_union_idempotent(self, a):
+        assert a | a == a
+
+    @given(excsets)
+    @settings(max_examples=50, deadline=None)
+    def test_empty_is_identity(self, a):
+        assert a | EMPTY_SET == a
+
+
+class TestOrdering:
+    """S1 ⊑ S2 iff S1 ⊇ S2 — reverse inclusion (Section 4.1)."""
+
+    def test_bottom_least(self):
+        for s in (EMPTY_SET, ExcSet.of(OVERFLOW), ALL_EXCEPTIONS):
+            assert BOTTOM_SET.leq(s)
+
+    def test_empty_top(self):
+        for s in (BOTTOM_SET, ExcSet.of(OVERFLOW), ALL_EXCEPTIONS):
+            assert s.leq(EMPTY_SET)
+
+    def test_superset_is_below(self):
+        big = ExcSet.of(DIVIDE_BY_ZERO, OVERFLOW)
+        small = ExcSet.of(DIVIDE_BY_ZERO)
+        assert big.leq(small)
+        assert not small.leq(big)
+
+    def test_all_below_finite(self):
+        assert ALL_EXCEPTIONS.leq(ExcSet.of(DIVIDE_BY_ZERO))
+        assert not ExcSet.of(DIVIDE_BY_ZERO).leq(ALL_EXCEPTIONS)
+
+    @given(excsets)
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, a):
+        assert a.leq(a)
+
+    @given(excsets, excsets)
+    @settings(max_examples=100, deadline=None)
+    def test_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(excsets, excsets, excsets)
+    @settings(max_examples=100, deadline=None)
+    def test_transitive(self, a, b, c):
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(excsets, excsets)
+    @settings(max_examples=100, deadline=None)
+    def test_union_is_glb(self, a, b):
+        meet = glb(a, b)
+        assert meet.leq(a) and meet.leq(b)
+
+    @given(excsets, excsets)
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_is_lub(self, a, b):
+        join = lub(a, b)
+        assert a.leq(join) and b.leq(join)
+
+    @given(excsets, excsets, excsets)
+    @settings(max_examples=100, deadline=None)
+    def test_glb_universal(self, a, b, c):
+        # c ⊑ a and c ⊑ b  =>  c ⊑ glb(a,b)
+        if c.leq(a) and c.leq(b):
+            assert c.leq(glb(a, b))
+
+
+class TestWitness:
+    def test_witness_member(self):
+        s = ExcSet.of(OVERFLOW, DIVIDE_BY_ZERO)
+        assert s.witness() in s
+
+    def test_empty_has_no_witness(self):
+        assert EMPTY_SET.witness() is None
+
+    def test_all_synchronous_has_witness(self):
+        assert ALL_EXCEPTIONS.witness() is not None
+
+    def test_witness_deterministic(self):
+        s = ExcSet.of(OVERFLOW, DIVIDE_BY_ZERO, PATTERN_MATCH_FAIL)
+        assert s.witness() == s.witness()
+
+
+class TestDisplay:
+    def test_str_finite(self):
+        assert str(ExcSet.of(DIVIDE_BY_ZERO)) == "{DivideByZero}"
+
+    def test_str_bottom_mentions_e(self):
+        text = str(BOTTOM_SET)
+        assert "E" in text and "NonTermination" in text

@@ -1,0 +1,128 @@
+"""The Section 4.5 transformation laws, checked as the paper states
+them (E9), plus the law checker's own behaviour."""
+
+import pytest
+
+from repro.api import check_law_sources
+from repro.baselines.fixed_order import fixed_order_ctx
+from repro.core.laws import (
+    DEFAULT_BATTERY,
+    PAIR_BATTERY,
+    TOTAL_FUNCTION_BATTERY,
+    check_law,
+)
+from repro.lang.parser import parse_expr
+
+
+class TestPaperExamples:
+    def test_commutativity_of_plus(self):
+        report = check_law_sources("a + b", "b + a", name="plus-commute")
+        assert report.verdict == "identity"
+
+    def test_commutativity_fails_under_fixed_order(self):
+        report = check_law_sources(
+            "a + b", "b + a",
+            name="plus-commute-fixed",
+            ctx_factory=fixed_order_ctx,
+        )
+        assert report.verdict == "unsound"
+
+    def test_beta_reduction_valid(self):
+        report = check_law_sources(
+            "(\\x -> x + x) a", "a + a", name="beta"
+        )
+        assert report.holds
+
+    def test_beta_with_discarded_argument(self):
+        # (\x -> 3)(1/0) = 3: constructors/lambdas lazy.
+        report = check_law_sources("(\\x -> 3) a", "3", name="beta-k")
+        assert report.verdict == "identity"
+
+    def test_error_this_vs_error_that_not_equal(self):
+        """In pure Haskell error "This" = error "That" (both ⊥); in
+        the paper's semantics the law rightly fails (Section 4.5:
+        "our semantics correctly distinguishes some expressions that
+        Haskell currently identifies")."""
+        forward = check_law_sources(
+            'error "This"', 'error "That"', name="this-that"
+        )
+        # Neither refines the other: a genuine inequation.  The checker
+        # reports unsound for the forward direction.
+        assert forward.verdict == "unsound"
+
+    def test_error_same_message_equal(self):
+        report = check_law_sources(
+            'error "Same"', 'error "Same"', name="same-same"
+        )
+        assert report.verdict == "identity"
+
+    def test_app_of_case_refinement_paper_instantiation(self):
+        """lhs ⊑ rhs with the paper's f = g = \\v.1 (Section 4.5)."""
+        report = check_law_sources(
+            "(case e of { True -> f; False -> g }) x",
+            "case e of { True -> f x; False -> g x }",
+            name="app-of-case",
+            var_batteries={
+                "f": TOTAL_FUNCTION_BATTERY,
+                "g": TOTAL_FUNCTION_BATTERY,
+                "x": DEFAULT_BATTERY,
+            },
+        )
+        assert report.verdict == "refinement"
+
+    def test_case_switch_identity(self):
+        report = check_law_sources(
+            "case x of { Tuple2 a b -> case y of { Tuple2 p q -> a + p } }",
+            "case y of { Tuple2 p q -> case x of { Tuple2 a b -> a + p } }",
+            name="case-switch",
+            var_batteries={"x": PAIR_BATTERY, "y": PAIR_BATTERY},
+        )
+        assert report.verdict == "identity"
+
+    def test_full_laziness_let_floating(self):
+        report = check_law_sources(
+            "(let { v = a + b } in v + v) * c",
+            "let { v = a + b } in (v + v) * c",
+            name="let-float",
+        )
+        assert report.verdict == "identity"
+
+    def test_inlining_valid(self):
+        """let x = e in x == x-substituted: the rewrite the rejected
+        non-deterministic design cannot have (Section 3.4/3.5)."""
+        report = check_law_sources(
+            "let { x = a + b } in x * x",
+            "(a + b) * (a + b)",
+            name="inline",
+        )
+        assert report.verdict == "identity"
+
+
+class TestCheckerBehaviour:
+    def test_counterexample_reported(self):
+        report = check_law_sources("a", "b", name="absurd")
+        assert report.verdict == "unsound"
+        assert report.counterexample is not None
+        assert report.lhs_value is not None
+
+    def test_ill_typed_environments_skipped(self):
+        # Bool battery values fed to + are skipped, not crashes.
+        report = check_law_sources("a + 0", "a", name="plus-zero")
+        assert report.verdict == "identity"
+        assert report.environments_tested > 0
+
+    def test_closed_law(self):
+        report = check_law_sources("1 + 1", "2", name="arith")
+        assert report.verdict == "identity"
+        assert report.environments_tested == 1
+
+    def test_max_environments_respected(self):
+        report = check_law_sources(
+            "a + b + c", "c + b + a", name="big", max_environments=10
+        )
+        assert report.environments_tested <= 10
+
+    def test_str_rendering(self):
+        report = check_law_sources("a", "a", name="refl")
+        assert "refl" in str(report)
+        assert "identity" in str(report)

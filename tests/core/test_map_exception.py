@@ -1,0 +1,112 @@
+"""mapException (Section 5.4): pure, deterministic, maps the *set*."""
+
+import pytest
+
+from repro.core.domains import BOTTOM, Ok
+from repro.machine import LeftToRight, RightToLeft
+from repro.api import observe_source
+from repro.machine.observe import Exceptional
+from tests.conftest import d, exc_names
+
+
+class TestDenotational:
+    def test_normal_value_untouched(self):
+        assert d("mapException (\\e -> Overflow) 42") == Ok(42)
+
+    def test_maps_single_exception(self):
+        value = d("mapException (\\e -> Overflow) (1 `div` 0)")
+        assert exc_names(value) == {"Overflow"}
+
+    def test_papers_example_catch_all_to_usererror(self):
+        # mapException (\x -> UserError "Urk") e  (Section 5.4)
+        value = d(
+            'mapException (\\x -> UserError "Urk") (raise Overflow)'
+        )
+        assert exc_names(value) == {"UserError"}
+
+    def test_maps_each_member_of_the_set(self):
+        value = d(
+            "mapException (\\e -> case e of "
+            "{ DivideByZero -> Overflow; _ -> e }) "
+            '((1 `div` 0) + error "Urk")'
+        )
+        assert exc_names(value) == {"Overflow", "UserError"}
+
+    def test_identity_mapper_preserves_set(self):
+        value = d('mapException (\\e -> e) ((1 `div` 0) + error "Urk")')
+        assert exc_names(value) == {"DivideByZero", "UserError"}
+
+    def test_collapsing_mapper_merges(self):
+        value = d(
+            "mapException (\\e -> PatternMatchFail) "
+            '((1 `div` 0) + error "Urk")'
+        )
+        assert exc_names(value) == {"PatternMatchFail"}
+
+    def test_lazy_in_its_argument_structure(self):
+        # mapException only forces to WHNF; the Just survives.
+        value = d(
+            "case mapException (\\e -> Overflow) (Just (1 `div` 0)) of "
+            "{ Just x -> 1; Nothing -> 0 }"
+        )
+        assert value == Ok(1)
+
+    def test_bottom_maps_to_bottom(self):
+        value = d(
+            "mapException (\\e -> Overflow) (let { w = w + 1 } in w)",
+            fuel=20_000,
+        )
+        assert value == BOTTOM
+
+    def test_raising_mapper_contributes_its_exception(self):
+        value = d(
+            "mapException (\\e -> head Nil) (raise Overflow)"
+        )
+        assert exc_names(value) == {"UserError"}
+
+
+class TestOperational:
+    """The implementation applies the mapper to the sole representative
+    (Section 5.4: "from an implementation point of view, it applies the
+    function to the sole representative")."""
+
+    def test_representative_mapped_left(self):
+        out = observe_source(
+            "mapException (\\e -> case e of "
+            "{ DivideByZero -> Overflow; _ -> e }) "
+            '((1 `div` 0) + error "Urk")',
+            strategy=LeftToRight(),
+        )
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "Overflow"
+
+    def test_representative_mapped_right(self):
+        out = observe_source(
+            "mapException (\\e -> case e of "
+            "{ DivideByZero -> Overflow; _ -> e }) "
+            '((1 `div` 0) + error "Urk")',
+            strategy=RightToLeft(),
+        )
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "UserError"
+
+    def test_observed_is_member_of_denoted_mapped_set(self):
+        source = (
+            "mapException (\\e -> case e of "
+            "{ DivideByZero -> Overflow; _ -> PatternMatchFail }) "
+            '((1 `div` 0) + error "Urk")'
+        )
+        denoted = exc_names(d(source))
+        for strategy in (LeftToRight(), RightToLeft()):
+            out = observe_source(source, strategy=strategy)
+            assert isinstance(out, Exceptional)
+            assert out.exc.name in denoted
+
+    def test_pure_no_io_needed(self):
+        # mapException composes inside pure expressions.
+        out = observe_source(
+            "1 + mapException (\\e -> Overflow) 2"
+        )
+        from repro.machine.observe import Normal
+
+        assert isinstance(out, Normal)

@@ -1,0 +1,40 @@
+"""Fuel monotonicity (invariant 3 of DESIGN.md): more fuel can only
+increase information — the fuel-k denotation approximates the true one
+from below, like the paper's ascending chain for fix."""
+
+from hypothesis import given, settings
+
+from repro.core.denote import DenoteContext, denote
+from repro.core.ordering import refines
+from tests.genexpr import int_exprs
+
+
+def _denote_with_fuel(expr, fuel):
+    ctx = DenoteContext(fuel=fuel, max_depth=2_000)
+    return denote(expr, {}, ctx)
+
+
+class TestFuelMonotonicity:
+    @given(int_exprs(depth=4))
+    @settings(max_examples=150, deadline=None)
+    def test_more_fuel_refines(self, expr):
+        lo = _denote_with_fuel(expr, 60)
+        hi = _denote_with_fuel(expr, 5_000)
+        assert refines(lo, hi), f"{lo} not ⊑ {hi}"
+
+    @given(int_exprs(depth=3))
+    @settings(max_examples=100, deadline=None)
+    def test_fuel_chain(self, expr):
+        previous = None
+        for fuel in (10, 40, 200, 2_000):
+            current = _denote_with_fuel(expr, fuel)
+            if previous is not None:
+                assert refines(previous, current)
+            previous = current
+
+    @given(int_exprs(depth=3))
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, expr):
+        a = _denote_with_fuel(expr, 3_000)
+        b = _denote_with_fuel(expr, 3_000)
+        assert refines(a, b) and refines(b, a)

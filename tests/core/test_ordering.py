@@ -1,0 +1,87 @@
+"""The information order ⊑ on denotations (Sections 4.1/4.5)."""
+
+import pytest
+
+from repro.core.domains import (
+    BAD_EMPTY,
+    BOTTOM,
+    Bad,
+    ConVal,
+    FunVal,
+    Ok,
+    Thunk,
+)
+from repro.core.excset import DIVIDE_BY_ZERO, ExcSet, OVERFLOW, user_error
+from repro.core.ordering import refines, sem_equal
+
+
+class TestBadOrdering:
+    def test_bottom_below_everything(self):
+        for upper in (Ok(3), Bad(ExcSet.of(OVERFLOW)), BAD_EMPTY, BOTTOM):
+            assert refines(BOTTOM, upper)
+
+    def test_superset_below_subset(self):
+        big = Bad(ExcSet.of(DIVIDE_BY_ZERO, OVERFLOW))
+        small = Bad(ExcSet.of(DIVIDE_BY_ZERO))
+        assert refines(big, small)
+        assert not refines(small, big)
+
+    def test_non_bottom_bad_incomparable_with_ok(self):
+        bad = Bad(ExcSet.of(OVERFLOW))
+        assert not refines(bad, Ok(3))
+        assert not refines(Ok(3), bad)
+
+    def test_disjoint_bads_incomparable(self):
+        this = Bad(ExcSet.of(user_error("This")))
+        that = Bad(ExcSet.of(user_error("That")))
+        assert not refines(this, that)
+        assert not refines(that, this)
+
+
+class TestOkOrdering:
+    def test_equal_ints(self):
+        assert refines(Ok(3), Ok(3))
+        assert not refines(Ok(3), Ok(4))
+
+    def test_constructor_componentwise(self):
+        pair_lo = Ok(
+            ConVal("Tuple2", (Thunk.ready(BOTTOM), Thunk.ready(Ok(2))))
+        )
+        pair_hi = Ok(
+            ConVal("Tuple2", (Thunk.ready(Ok(1)), Thunk.ready(Ok(2))))
+        )
+        assert refines(pair_lo, pair_hi)
+        assert not refines(pair_hi, pair_lo)
+
+    def test_different_constructors_incomparable(self):
+        assert not refines(Ok(ConVal("True")), Ok(ConVal("False")))
+
+    def test_lambda_bottom_above_bottom(self):
+        # Ok (\x -> ⊥) is a normal value strictly above ⊥ (Section 4.2).
+        fun = Ok(FunVal(lambda t: BOTTOM))
+        assert refines(BOTTOM, fun)
+        assert not refines(fun, BOTTOM)
+
+    def test_functions_extensional(self):
+        f = Ok(FunVal(lambda t: Ok(1)))
+        g = Ok(FunVal(lambda t: Ok(1)))
+        h = Ok(FunVal(lambda t: Ok(2)))
+        assert refines(f, g) and refines(g, f)
+        assert not refines(f, h)
+
+    def test_function_pointwise_refinement(self):
+        lo = Ok(FunVal(lambda t: BOTTOM))
+        hi = Ok(FunVal(lambda t: Ok(1)))
+        assert refines(lo, hi)
+        assert not refines(hi, lo)
+
+
+class TestSemEqual:
+    def test_reflexive(self):
+        for v in (Ok(1), BOTTOM, BAD_EMPTY, Bad(ExcSet.of(OVERFLOW))):
+            assert sem_equal(v, v)
+
+    def test_not_symmetric_refinement(self):
+        big = Bad(ExcSet.of(DIVIDE_BY_ZERO, OVERFLOW))
+        small = Bad(ExcSet.of(DIVIDE_BY_ZERO))
+        assert not sem_equal(big, small)

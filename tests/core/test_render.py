@@ -1,0 +1,52 @@
+"""Deep rendering of denotations (repro.core.render)."""
+
+import pytest
+
+from repro.core.render import show_semval
+from tests.conftest import d
+
+
+class TestShowSemVal:
+    def test_int(self):
+        assert show_semval(d("42")) == "42"
+
+    def test_string(self):
+        assert show_semval(d('"hi"')) == "'hi'"
+
+    def test_list(self):
+        assert show_semval(d("[1, 2, 3]")) == "[1, 2, 3]"
+
+    def test_nested(self):
+        assert show_semval(d("Just (1, [2])")) == "(Just (1, [2]))"
+
+    def test_nullary_constructor(self):
+        assert show_semval(d("True")) == "True"
+
+    def test_bad(self):
+        text = show_semval(d("1 `div` 0"))
+        assert text.startswith("<Bad")
+        assert "DivideByZero" in text
+
+    def test_lurking_exception_in_element(self):
+        text = show_semval(d("[1, 2 `div` 0, 3]"))
+        assert text == "[1, <Bad {DivideByZero}>, 3]"
+
+    def test_exceptional_tail(self):
+        text = show_semval(d("zipWith (+) [1] [1, 2]"))
+        assert text.startswith("[2, <Bad")
+        assert "Unequal lists" in text
+
+    def test_infinite_list_truncated(self):
+        text = show_semval(
+            d("iterate (\\x -> x + 1) 0", fuel=500_000), depth=5
+        )
+        assert text.endswith(", ...]")
+
+    def test_function(self):
+        assert show_semval(d("\\x -> x")) == "<function>"
+
+    def test_io(self):
+        assert show_semval(d("getException 1")) == "<io:getException>"
+
+    def test_tuple(self):
+        assert show_semval(d("(1, 2, 3)")) == "(1, 2, 3)"

@@ -1,0 +1,106 @@
+"""Section 5.4: isException — both semantics, the proof-obligation
+design, and the executable unimplementability argument."""
+
+import pytest
+
+from repro.api import compile_expr
+from repro.core.denote import DenoteContext
+from repro.core.domains import BOTTOM, Bad, ConVal, Ok
+from repro.core.excset import DIVIDE_BY_ZERO, ExcSet
+from repro.core.unsafe import (
+    is_exception_optimistic,
+    is_exception_pessimistic,
+    observe_is_exception,
+    unsafe_is_exception,
+)
+from repro.machine.strategy import LeftToRight, RightToLeft
+
+# The paper's example: isException ((1/0) + loop).
+PAPER_EXAMPLE = compile_expr(
+    "(1 `div` 0) + (let { spin = \\n -> spin n } in spin 0)"
+)
+
+
+class TestPureSemantics:
+    def test_optimistic_on_bad(self):
+        value = is_exception_optimistic(Bad(ExcSet.of(DIVIDE_BY_ZERO)))
+        assert value == Ok(ConVal("True"))
+
+    def test_optimistic_on_bottom(self):
+        assert is_exception_optimistic(BOTTOM) == Ok(ConVal("True"))
+
+    def test_optimistic_on_ok(self):
+        assert is_exception_optimistic(Ok(3)) == Ok(ConVal("False"))
+
+    def test_pessimistic_on_bad(self):
+        value = is_exception_pessimistic(Bad(ExcSet.of(DIVIDE_BY_ZERO)))
+        assert value == Ok(ConVal("True"))
+
+    def test_pessimistic_on_bottom(self):
+        assert is_exception_pessimistic(BOTTOM) == BOTTOM
+
+    def test_semantics_agree_away_from_bottom(self):
+        for value in (Ok(1), Bad(ExcSet.of(DIVIDE_BY_ZERO))):
+            assert is_exception_optimistic(
+                value
+            ) == is_exception_pessimistic(value)
+
+
+class TestUnsafeDesign:
+    def test_fine_when_obligation_met(self):
+        expr = compile_expr("1 `div` 0")
+        assert unsafe_is_exception(expr) == Ok(ConVal("True"))
+        assert unsafe_is_exception(compile_expr("42")) == Ok(
+            ConVal("False")
+        )
+
+    def test_obligation_violated_gives_evaluation_dependent_junk(self):
+        # With a ⊥ argument the answer is whatever the (fuel-bounded)
+        # denotation happens to be — the point of the obligation.
+        value = unsafe_is_exception(
+            PAPER_EXAMPLE, ctx=DenoteContext(fuel=5_000)
+        )
+        # optimistic semantics on ⊥ says True — but see below: no
+        # implementation realises this on all orders.
+        assert value == Ok(ConVal("True"))
+
+
+class TestUnimplementability:
+    """"Two different implementations have delivered two different
+    values!" — the paper's exact demonstration."""
+
+    def test_left_to_right_says_true(self):
+        assert (
+            observe_is_exception(
+                PAPER_EXAMPLE, strategy=LeftToRight(), fuel=20_000
+            )
+            == "True"
+        )
+
+    def test_right_to_left_diverges(self):
+        assert (
+            observe_is_exception(
+                PAPER_EXAMPLE, strategy=RightToLeft(), fuel=20_000
+            )
+            == "diverged"
+        )
+
+    def test_neither_semantics_is_implemented_by_all_orders(self):
+        answers = {
+            observe_is_exception(
+                PAPER_EXAMPLE, strategy=s, fuel=20_000
+            )
+            for s in (LeftToRight(), RightToLeft())
+        }
+        # optimistic demands {True}; pessimistic demands {diverged};
+        # reality delivers both.
+        assert answers == {"True", "diverged"}
+
+    def test_normal_values_unproblematic(self):
+        for strategy in (LeftToRight(), RightToLeft()):
+            assert (
+                observe_is_exception(
+                    compile_expr("1 + 1"), strategy=strategy
+                )
+                == "False"
+            )

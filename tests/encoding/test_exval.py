@@ -1,0 +1,161 @@
+"""The explicit ExVal encoding (Section 2.1/2.2): adequacy on the
+encodable fragment, and the documented flaws — clutter, cost,
+increased strictness."""
+
+import pytest
+
+from repro.api import compile_expr, compile_program
+from repro.encoding import (
+    EncodeError,
+    encode_expr,
+    encode_program,
+    encoding_overhead,
+)
+from repro.lang.ast import expr_size
+from repro.machine import LeftToRight, Machine
+from repro.machine.eval import program_env
+from repro.machine.heap import ObjRaise
+from repro.machine.values import VCon, VInt
+from repro.prelude.loader import machine_env
+
+
+def run_encoded(source):
+    """Encode an expression and run it; decode OK/Bad."""
+    expr = encode_expr(compile_expr(source))
+    machine = Machine(strategy=LeftToRight())
+    env = machine_env(machine)
+    value = machine.eval(expr, env)
+    assert isinstance(value, VCon)
+    if value.name == "OK":
+        return ("ok", value.args[0].force(machine))
+    assert value.name == "Bad"
+    return ("bad", value.args[0].force(machine))
+
+
+def run_native(source):
+    machine = Machine(strategy=LeftToRight())
+    env = machine_env(machine)
+    try:
+        return ("ok", machine.eval(compile_expr(source), env))
+    except ObjRaise as err:
+        return ("bad", err.exc.name)
+
+
+class TestAdequacy:
+    """Encoded programs compute the same OK/Bad outcome as the native
+    machine under left-to-right order."""
+
+    CASES = [
+        "1 + 2 * 3",
+        "(\\x -> x + x) 4",
+        "let { v = 2 + 3 } in v * v",
+        "case 2 of { 1 -> 10; 2 -> 20; _ -> 0 }",
+        "1 `div` 0",
+        "raise Overflow",
+        "(1 `div` 0) + raise Overflow",
+        "seq 1 5",
+        "seq (raise Overflow) 5",
+        "case Just 3 of { Just v -> v; Nothing -> 0 }",
+        "let { f = \\n -> if n == 0 then 1 else n * f (n - 1) } in f 5",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_agrees_with_native(self, source):
+        kind_e, val_e = run_encoded(source)
+        kind_n, val_n = run_native(source)
+        assert kind_e == kind_n, source
+        if kind_e == "ok" and isinstance(val_n, VInt):
+            assert isinstance(val_e, VInt)
+            assert val_e.value == val_n.value
+        if kind_e == "bad":
+            assert isinstance(val_e, VCon)
+            assert val_e.name == val_n
+
+
+class TestIncreasedStrictness:
+    """Section 2.2, first bullet: "it is very easy to accidentally make
+    the program strict, by testing a function argument for errors when
+    it is passed instead of when it is used"."""
+
+    def test_discarded_exceptional_argument(self):
+        # Native laziness: 3.  Encoding: Bad DivideByZero.
+        assert run_native("(\\x -> 3) (1 `div` 0)") == (
+            "ok",
+            run_native("3")[1],
+        )
+        kind, val = run_encoded("(\\x -> 3) (1 `div` 0)")
+        assert kind == "bad"
+        assert val.name == "DivideByZero"
+
+    def test_strict_constructor_fields(self):
+        kind, _val = run_encoded("Just (1 `div` 0)")
+        assert kind == "bad"
+        assert run_native("Just (1 `div` 0)")[0] == "ok"
+
+
+class TestClutter:
+    """Section 2.2: "absolutely intolerable" clutter / code size."""
+
+    def test_size_blowup(self):
+        expr = compile_expr("(f x) + (g y)")
+        encoded = encode_expr(
+            expr, encoded_vars=frozenset(["f", "g", "x", "y"])
+        )
+        ratio = expr_size(encoded) / expr_size(expr)
+        assert ratio > 3.0
+
+    def test_program_overhead(self):
+        program = compile_program(
+            "f n = if n == 0 then 0 else n + f (n - 1)\n"
+            "main = f 10"
+        )
+        before, after, ratio = encoding_overhead(program)
+        assert before < after
+        assert ratio > 2.0
+
+
+class TestEncodedPrograms:
+    def test_whole_program(self):
+        program = compile_program(
+            "double n = n + n\nmain = double (double 3)"
+        )
+        encoded = encode_program(program)
+        machine = Machine()
+        env = program_env(encoded, machine, machine_env(machine))
+        value = env["main"].force(machine)
+        assert isinstance(value, VCon) and value.name == "OK"
+        assert value.args[0].force(machine) == VInt(12)
+
+    def test_exception_propagates_as_value(self):
+        program = compile_program(
+            "boom n = n `div` 0\nmain = boom 1 + 1"
+        )
+        encoded = encode_program(program)
+        machine = Machine()
+        env = program_env(encoded, machine, machine_env(machine))
+        value = env["main"].force(machine)
+        assert value.name == "Bad"
+
+    def test_no_machine_raises_during_encoded_run(self):
+        # The whole point: exceptions become ordinary values, so the
+        # machine's raise machinery is never exercised.
+        program = compile_program("main = (1 `div` 0) + 2")
+        encoded = encode_program(program)
+        machine = Machine()
+        env = program_env(encoded, machine, machine_env(machine))
+        env["main"].force(machine)
+        assert machine.stats.raises == 0
+
+
+class TestEncodableFragment:
+    def test_io_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_expr(compile_expr("getException 1"))
+
+    def test_fix_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_expr(compile_expr("fix (\\x -> x)"))
+
+    def test_map_exception_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_expr(compile_expr("mapException (\\e -> e) 1"))

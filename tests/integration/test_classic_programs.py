@@ -1,0 +1,161 @@
+"""Classic functional programs through the full pipeline — the
+"downstream user" test: the language must be pleasant enough to write
+real programs in, and they must typecheck and run."""
+
+import pytest
+
+from repro.api import run_io_program
+
+MERGESORT = """
+merge :: [Int] -> [Int] -> [Int]
+merge Nil ys = ys
+merge xs Nil = xs
+merge (x:xs) (y:ys)
+  | x <= y = x : merge xs (y:ys)
+  | otherwise = y : merge (x:xs) ys
+
+msort :: [Int] -> [Int]
+msort Nil = Nil
+msort (x:Nil) = x : Nil
+msort xs = merge (msort (fst halves)) (msort (snd halves))
+  where halves = splitAt (length xs `div` 2) xs
+
+main = putStr (showIntList (msort [5, 3, 8, 1, 9, 2, 7]))
+"""
+
+NQUEENS = """
+safe :: Int -> [Int] -> Int -> Bool
+safe q qs d = case qs of
+                Nil -> True
+                (x:xs) -> if x == q then False
+                          else if abs (x - q) == d then False
+                          else safe q xs (d + 1)
+
+queens :: Int -> [[Int]]
+queens n = go n
+  where
+    go k = if k == 0
+             then [Nil]
+             else concatMap expand (go (k - 1))
+    expand qs = map (\\q -> q : qs)
+                    (filter (\\q -> safe q qs 1) (enumFromTo 1 n))
+
+main = putStr (showInt (length (queens 6)))
+"""
+
+CHURCH = """
+type Church = (Int -> Int) -> Int -> Int
+
+czero :: (Int -> Int) -> Int -> Int
+czero f x = x
+
+csucc :: ((Int -> Int) -> Int -> Int) -> (Int -> Int) -> Int -> Int
+csucc n f x = f (n f x)
+
+cadd :: ((Int -> Int) -> Int -> Int)
+     -> ((Int -> Int) -> Int -> Int)
+     -> (Int -> Int) -> Int -> Int
+cadd m n f x = m f (n f x)
+
+cmul :: ((Int -> Int) -> Int -> Int)
+     -> ((Int -> Int) -> Int -> Int)
+     -> (Int -> Int) -> Int -> Int
+cmul m n f = m (n f)
+
+toInt :: ((Int -> Int) -> Int -> Int) -> Int
+toInt n = n (\\k -> k + 1) 0
+
+main = putStr (showInt (toInt
+  (cmul (csucc (csucc czero))
+        (cadd (csucc czero) (csucc (csucc czero))))))
+"""
+
+ACKERMANN = """
+ack :: Int -> Int -> Int
+ack m n
+  | m == 0 = n + 1
+  | n == 0 = ack (m - 1) 1
+  | otherwise = ack (m - 1) (ack m (n - 1))
+
+main = putStr (showInt (ack 2 3))
+"""
+
+HAMMING = """
+-- The classic corecursive Hamming stream: laziness torture test.
+merge3 :: [Int] -> [Int] -> [Int]
+merge3 (x:xs) (y:ys)
+  | x < y = x : merge3 xs (y:ys)
+  | x > y = y : merge3 (x:xs) ys
+  | otherwise = x : merge3 xs ys
+merge3 xs ys = error "finite hamming stream"
+
+hamming :: [Int]
+hamming = 1 : merge3 (map (\\n -> n * 2) hamming)
+                     (merge3 (map (\\n -> n * 3) hamming)
+                             (map (\\n -> n * 5) hamming))
+
+main = putStr (showIntList (take 12 hamming))
+"""
+
+COLLATZ = """
+collatzLen :: Int -> Int
+collatzLen n = go n 1
+  where go k acc
+          | k == 1 = acc
+          | even k = go (k `div` 2) (acc + 1)
+          | otherwise = go (3 * k + 1) (acc + 1)
+
+main = putStr (showInt (collatzLen 27))
+"""
+
+FOLD_TREE = """
+data Tree = Leaf | Node Tree Int Tree
+
+insert :: Int -> Tree -> Tree
+insert v Leaf = Node Leaf v Leaf
+insert v (Node l x r)
+  | v < x = Node (insert v l) x r
+  | otherwise = Node l x (insert v r)
+
+toList :: Tree -> [Int]
+toList Leaf = Nil
+toList (Node l x r) = append (toList l) (x : toList r)
+
+fromList :: [Int] -> Tree
+fromList = foldr insert Leaf
+
+main = putStr (showIntList (toList (fromList [4, 2, 7, 1, 9])))
+"""
+
+
+class TestClassicPrograms:
+    def test_mergesort(self):
+        result = run_io_program(MERGESORT, typecheck=True)
+        assert result.stdout == "[1, 2, 3, 5, 7, 8, 9]"
+
+    def test_nqueens(self):
+        result = run_io_program(
+            NQUEENS, typecheck=True, fuel=20_000_000
+        )
+        assert result.stdout == "4"  # 6-queens has 4 solutions
+
+    def test_church_numerals(self):
+        result = run_io_program(CHURCH, typecheck=True)
+        # 2 * (1 + 2) = 6
+        assert result.stdout == "6"
+
+    def test_ackermann(self):
+        result = run_io_program(ACKERMANN, typecheck=True)
+        assert result.stdout == "9"
+
+    def test_hamming_stream(self):
+        result = run_io_program(HAMMING, typecheck=True, fuel=5_000_000)
+        assert result.stdout == "[1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16]"
+
+    def test_collatz(self):
+        result = run_io_program(COLLATZ, typecheck=True)
+        assert result.stdout == "112"
+
+    def test_tree_sort(self):
+        result = run_io_program(FOLD_TREE, typecheck=True)
+        assert result.stdout == "[1, 2, 4, 7, 9]"

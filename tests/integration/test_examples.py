@@ -1,0 +1,74 @@
+"""Every example script must run cleanly and print its headline facts
+(they are part of the documented surface of the library)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda p: p.name
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def _run(script_name):
+    script = next(p for p in EXAMPLES if p.name == script_name)
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestHeadlineFacts:
+    def test_quickstart_shows_the_set_and_both_representatives(self):
+        out = _run("quickstart.py")
+        assert "Bad {DivideByZero, UserError 'Urk'}" in out
+        assert "DivideByZero" in out
+        assert "UserError 'Urk'" in out
+        assert "identity" in out
+
+    def test_transformation_table_shape(self):
+        out = _run("transformation_validity.py")
+        assert "unsound" in out  # baselines lose rules
+        assert "commute-prim-args" in out
+        assert "eta-reduce" in out
+
+    def test_calculator_recovers(self):
+        out = _run("calculator.py")
+        assert "!! DivideByZero" in out
+        assert "= 30" in out
+
+    def test_async_interception(self):
+        out = _run("async_interrupts.py")
+        assert "interrupted: ControlC" in out
+        assert "watchdog: Timeout" in out
+        assert "resumed" in out
+
+    def test_semantics_explorer_fictitious(self):
+        out = _run("semantics_explorer.py")
+        assert "permitted" in out
+        assert "~" in out  # fictitious-exception marker
+
+    def test_parser_combinators(self):
+        out = _run("parser_combinators.py")
+        assert "1 + 2 * 3 = 7" in out
+        assert "!! DivideByZero" in out
+        assert "parse error" in out

@@ -1,0 +1,92 @@
+"""Extended prelude functions and their interaction with exceptions."""
+
+import pytest
+
+from repro.core.domains import Ok
+from tests.conftest import d, exc_names, ok_value
+
+
+class TestListFunctions:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("sum (takeWhile (\\x -> x < 4) [1, 2, 3, 4, 1])", 6),
+            ("sum (dropWhile (\\x -> x < 4) [1, 2, 3, 4, 1])", 5),
+            ("fst (splitAt 2 [9, 8, 7])", None),
+            ("sum (fst (splitAt 2 [9, 8, 7]))", 17),
+            ("sum (snd (splitAt 2 [9, 8, 7]))", 7),
+            ("last [1, 2, 3]", 3),
+            ("sum (init [1, 2, 3])", 3),
+            ("sum (intersperse 0 [1, 2, 3])", 6),
+            ("length (intersperse 0 [1, 2, 3])", 5),
+            ("sum (zipWith3 (\\a b c -> a + b * c) [1,2] [3,4] [5,6])", 42),
+            ("sum (fst (unzip [(1, 9), (2, 8)]))", 3),
+            ("sum (snd (unzip [(1, 9), (2, 8)]))", 17),
+            ("length (nub [1, 2, 1, 3, 2])", 3),
+            ("gcdI 12 18", 6),
+            ("gcdI 7 13", 1),
+            ("signum (negate 4) + signum 0 + signum 9", 0),
+        ],
+    )
+    def test_value(self, source, expected):
+        if expected is None:
+            assert isinstance(d(source), Ok)
+        else:
+            assert d(source, fuel=400_000) == Ok(expected)
+
+    def test_predicates(self):
+        assert ok_value(d("even 4")).name == "True"
+        assert ok_value(d("odd 4")).name == "False"
+
+    def test_span(self):
+        assert d("sum (fst (span (\\x -> x < 3) [1,2,3,1]))") == Ok(3)
+        assert d("sum (snd (span (\\x -> x < 3) [1,2,3,1]))") == Ok(4)
+
+    def test_show_functions(self):
+        assert d('showBool True') == Ok("True")
+        assert d("showIntList [1, 2]") == Ok("[1, 2]")
+        assert d("showIntList Nil") == Ok("[]")
+
+    def test_errors(self):
+        assert exc_names(d("last Nil")) == {"UserError"}
+        assert exc_names(d("init Nil")) == {"UserError"}
+
+
+class TestLazinessInteraction:
+    def test_takewhile_on_infinite_list(self):
+        value = d(
+            "sum (takeWhile (\\x -> x < 5) (iterate (\\x -> x + 1) 1))",
+            fuel=400_000,
+        )
+        assert value == Ok(10)
+
+    def test_exception_beyond_take_cut_invisible(self):
+        # take does not force elements, so an exception past the cut
+        # never surfaces (unlike takeWhile, whose predicate forces).
+        assert d("sum (take 2 [1, 2, 3 `div` 0])") == Ok(3)
+
+    def test_takewhile_predicate_forces_elements(self):
+        # The predicate must evaluate the third element; the tail of
+        # takeWhile's result is exceptional, and sum's recursive
+        # traversal of an exceptional tail denotes ⊥ (finding F-1).
+        from repro.core.domains import BOTTOM
+
+        value = d(
+            "sum (takeWhile (\\x -> x < 3) [1, 2, 3 `div` 0, 4])",
+            fuel=60_000,
+        )
+        assert value == BOTTOM
+        # The machine, however, observes precisely DivideByZero — a
+        # member of ⊥'s set (soundness).
+        from repro.api import observe_source
+        from repro.machine import Exceptional
+
+        out = observe_source(
+            "sum (takeWhile (\\x -> x < 3) [1, 2, 3 `div` 0, 4])"
+        )
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "DivideByZero"
+
+    def test_last_skips_lurking_exceptions(self):
+        # last only forces the spine and the final element.
+        assert d("last [1 `div` 0, 2 `div` 0, 9]") == Ok(9)

@@ -1,0 +1,156 @@
+"""End-to-end programs exercising the prelude through the full
+pipeline (parse -> flatten -> typecheck -> machine/denotation)."""
+
+import pytest
+
+from repro.api import (
+    compile_program,
+    denote_source,
+    observe_source,
+    run_io_program,
+    typecheck_program,
+)
+from repro.core.domains import Ok
+from repro.machine import Exceptional, Normal
+from tests.conftest import d, exc_names, ok_value
+
+
+class TestPreludeFunctions:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("length [1, 2, 3]", 3),
+            ("sum (map (\\x -> x * 2) [1, 2, 3])", 12),
+            ("product [1, 2, 3, 4]", 24),
+            ("foldr (\\a b -> a + b) 0 [1, 2, 3]", 6),
+            ("foldl (\\a b -> a - b) 10 [1, 2, 3]", 4),
+            ("head (reverse [1, 2, 3])", 3),
+            ("sum (filter (\\x -> x > 2) [1, 2, 3, 4])", 7),
+            ("sum (take 3 (iterate (\\x -> x * 2) 1))", 7),
+            ("length (drop 2 [1, 2, 3, 4])", 2),
+            ("maximum [3, 1, 4, 1, 5]", 5),
+            ("minimum [3, 1, 4, 1, 5]", 1),
+            ("sum (append [1, 2] [3, 4])", 10),
+            ("length (replicate 5 'x')", 5),
+            ("sum (concat [[1], [2, 3], []])", 6),
+            ("sum (concatMap (\\x -> [x, x]) [1, 2])", 6),
+            ("abs (negate 7)", 7),
+            ("max 2 3 + min 2 3", 5),
+            ("fst (Tuple2 1 2) + snd (Tuple2 1 2)", 3),
+            ("fromMaybe 0 (Just 9)", 9),
+            ("fromMaybe 0 Nothing", 0),
+            ("maybe 0 (\\v -> v + 1) (Just 4)", 5),
+            ("sum (enumFromTo 1 100)", 5050),
+            ("length (zip [1, 2, 3] ['a', 'b', 'c'])", 3),
+        ],
+    )
+    def test_expression(self, source, expected):
+        assert d(source, fuel=500_000) == Ok(expected)
+
+    def test_lookup_alternative_return(self):
+        # The paper's "alternative return" example (Section 2),
+        # explicitly encoded with Maybe — "works beautifully".
+        source = (
+            "case lookup 2 [(1, 10), (2, 20)] of "
+            "{ Just v -> v; Nothing -> 0 }"
+        )
+        assert d(source) == Ok(20)
+
+    def test_bools(self):
+        assert ok_value(d("and True (or False True)")).name == "True"
+        assert ok_value(d("not True")).name == "False"
+        assert ok_value(d("all (\\x -> x > 0) [1, 2]")).name == "True"
+        assert ok_value(d("any (\\x -> x > 1) [1, 2]")).name == "True"
+        assert ok_value(d("elem 3 [1, 2, 3]")).name == "True"
+
+    def test_force_list_surfaces_exception(self):
+        # forceList seqs each element as the spine is consumed, so
+        # reaching the second cell forces the lurking exception.  (The
+        # set also contains head's own empty-list error: head applied
+        # to an exceptional list explores its Nil branch in
+        # exception-finding mode.)
+        value = d("head (tail (forceList [1, 2 `div` 0, 3]))")
+        assert "DivideByZero" in exc_names(value)
+        # The tail alone is precise:
+        assert exc_names(
+            d("tail (forceList [1, 2 `div` 0, 3])")
+        ) == {"DivideByZero"}
+
+    def test_force_list_on_machine(self):
+        out = observe_source(
+            "forceList [1, 2 `div` 0, 3]", deep=True
+        )
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "DivideByZero"
+
+    def test_machine_agrees(self):
+        out = observe_source("sum (enumFromTo 1 100)")
+        assert isinstance(out, Normal)
+        assert out.value.value == 5050
+
+
+class TestWholePrograms:
+    FACTORIAL = """
+factorial :: Int -> Int
+factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+main :: IO Unit
+main = putStr (showInt (factorial 10))
+"""
+
+    def test_factorial(self):
+        result = run_io_program(self.FACTORIAL, typecheck=True)
+        assert result.stdout == "3628800"
+
+    PRIMES = """
+sieve :: [Int] -> [Int]
+sieve (p:xs) = p : sieve (filter (\\x -> x `mod` p /= 0) xs)
+sieve Nil = Nil
+
+primes :: [Int]
+primes = sieve (enumFromTo 2 1000)
+
+main = putStr (showInt (sum (take 10 primes)))
+"""
+
+    def test_lazy_sieve(self):
+        result = run_io_program(self.PRIMES, typecheck=True)
+        # First 10 primes: 2+3+5+7+11+13+17+19+23+29 = 129
+        assert result.stdout == "129"
+
+    RECOVERY = """
+risky :: Int -> Int
+risky n = 100 `div` n
+
+main = do
+  r <- getException (risky 0)
+  case r of
+    OK v -> putStr (showInt v)
+    Bad e -> do
+      putStr "recovered: "
+      putStr (showException e)
+"""
+
+    def test_disaster_recovery(self):
+        # The paper's "disaster recovery" usage (Section 2).
+        result = run_io_program(self.RECOVERY, typecheck=True)
+        assert result.stdout == "recovered: DivideByZero"
+
+    def test_user_data_program(self):
+        source = """
+data Expr = Num Int | Add Expr Expr | Div Expr Expr
+
+evalE :: Expr -> Int
+evalE e = case e of
+            Num n -> n
+            Add a b -> evalE a + evalE b
+            Div a b -> evalE a `div` evalE b
+
+main = do
+  r <- getException (evalE (Div (Num 1) (Add (Num 2) (Num (negate 2)))))
+  case r of
+    OK v -> putStr (showInt v)
+    Bad e -> putStr (showException e)
+"""
+        result = run_io_program(source, typecheck=True)
+        assert result.stdout == "DivideByZero"

@@ -1,0 +1,185 @@
+"""Cross-cutting property tests over random programs."""
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.core.denote import DenoteContext, denote
+from repro.core.ordering import refines
+from repro.encoding import EncodeError, encode_expr
+from repro.lang.ast import expr_size
+from repro.machine import Machine
+from repro.machine.heap import MachineDiverged, ObjRaise
+from repro.machine.strategy import LeftToRight, Shuffled
+from repro.machine.values import VCon, VInt
+from repro.transform import O1, O2
+
+from tests.genexpr import int_exprs
+
+
+def _machine_outcome(expr, strategy=None, fuel=30_000):
+    machine = Machine(strategy=strategy or LeftToRight(), fuel=fuel)
+    try:
+        value = machine.eval(expr, {})
+        if isinstance(value, VInt):
+            return ("ok", value.value)
+        if isinstance(value, VCon):
+            return ("ok-con", value.name)
+        return ("ok-other", None)
+    except ObjRaise as err:
+        return ("exc", err.exc.name)
+    except (MachineDiverged, RecursionError):
+        return ("diverged", None)
+
+
+class TestMachineDeterminism:
+    @given(int_exprs(depth=4))
+    @settings(max_examples=100, deadline=None)
+    def test_fixed_strategy_deterministic(self, expr):
+        a = _machine_outcome(expr, Shuffled(9))
+        b = _machine_outcome(expr, Shuffled(9))
+        assert a == b
+
+
+class TestOptimiserRefinement:
+    """Pipeline output refines the input denotation on random closed
+    programs (invariant 4 of DESIGN.md)."""
+
+    @given(int_exprs(depth=4))
+    @settings(max_examples=80, deadline=None)
+    def test_o1_refines(self, expr):
+        optimised = O1.optimise(expr)
+        before = denote(expr, {}, DenoteContext(fuel=20_000))
+        after = denote(optimised, {}, DenoteContext(fuel=40_000))
+        assert refines(before, after), f"{before} vs {after}"
+
+    @given(int_exprs(depth=4))
+    @settings(max_examples=80, deadline=None)
+    def test_o2_preserves_normal_results(self, expr):
+        # On programs that compute a normal value, optimisation must
+        # preserve it exactly.
+        before = denote(expr, {}, DenoteContext(fuel=30_000))
+        from repro.core.domains import Ok
+
+        assume(isinstance(before, Ok))
+        optimised = O2.optimise(expr)
+        after = denote(optimised, {}, DenoteContext(fuel=60_000))
+        assert after == before
+
+
+class TestEncodingAdequacy:
+    """Invariant 6, stated honestly: the encoding is *strictly more
+    strict* than the native lazy semantics (Section 2.2's "increased
+    strictness" bullet), so full agreement is impossible.  What does
+    hold:
+
+    * encoded ``OK v``  ⟹  the native machine computes ``v`` too
+      (everything the encoding survived, laziness survives);
+    * native exception ⟹ the encoding yields ``Bad`` (it forces a
+      superset of what the native machine demands) — though possibly a
+      *different* member when the extra strictness meets a different
+      fault first.
+    """
+
+    @given(int_exprs(depth=4))
+    @settings(max_examples=80, deadline=None)
+    def test_encoded_ok_implies_native_ok(self, expr):
+        try:
+            encoded = encode_expr(expr)
+        except EncodeError:
+            assume(False)
+        machine = Machine(fuel=400_000)
+        try:
+            value = machine.eval(encoded, {})
+        except (MachineDiverged, RecursionError):
+            assume(False)
+        except ObjRaise as err:
+            # NonTermination from blackhole detection: divergence is
+            # the one failure the value encoding cannot capture.
+            assume(err.exc.name == "NonTermination")
+            assume(False)
+        assert isinstance(value, VCon), str(value)
+        assume(value.name == "OK")
+        payload = value.args[0].force(machine)
+        assume(isinstance(payload, VInt))
+        native = _machine_outcome(expr, fuel=400_000)
+        assume(native[0] != "diverged")
+        assert native == ("ok", payload.value)
+
+    @given(int_exprs(depth=4))
+    @settings(max_examples=80, deadline=None)
+    def test_native_exception_implies_encoded_bad(self, expr):
+        native = _machine_outcome(expr, fuel=40_000)
+        assume(native[0] == "exc")
+        assume(native[1] not in ("Overflow", "NonTermination"))
+        try:
+            encoded = encode_expr(expr)
+        except EncodeError:
+            assume(False)
+        machine = Machine(fuel=400_000)
+        try:
+            value = machine.eval(encoded, {})
+        except (MachineDiverged, RecursionError):
+            assume(False)
+        except ObjRaise as err:
+            assume(err.exc.name == "NonTermination")
+            assume(False)
+        assert isinstance(value, VCon)
+        assert value.name == "Bad", (
+            f"native raised {native[1]} but encoding returned OK"
+        )
+
+    @given(int_exprs(depth=3))
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_always_larger(self, expr):
+        try:
+            encoded = encode_expr(expr)
+        except EncodeError:
+            assume(False)
+        assert expr_size(encoded) >= expr_size(expr)
+
+
+class TestRoundTripThroughOptimiser:
+    @given(int_exprs(depth=3))
+    @settings(max_examples=60, deadline=None)
+    def test_pretty_optimised_reparses(self, expr):
+        from repro.lang.parser import parse_expr
+        from repro.lang.pretty import pretty
+
+        optimised = O2.optimise(expr)
+        printed = pretty(optimised)
+        parse_expr(printed)  # must not raise
+
+
+class TestOptimisedObservationSoundness:
+    """E5 generalised over random programs: run the O2-optimised
+    program on the machine under several strategies; every observation
+    must be a member of the ORIGINAL program's denoted set (or a
+    normal value equal to the original's)."""
+
+    @given(int_exprs(depth=4))
+    @settings(max_examples=80, deadline=None)
+    def test_optimised_observation_in_original_set(self, expr):
+        from repro.core.domains import Bad, Ok
+        from repro.core.excset import NON_TERMINATION
+
+        denoted = denote(expr, {}, DenoteContext(fuel=40_000))
+        optimised = O2.optimise(expr)
+        for seed in (1, 2):
+            outcome = _machine_outcome(
+                optimised, Shuffled(seed), fuel=40_000
+            )
+            if outcome[0] == "ok":
+                assert denoted == Ok(outcome[1]), (
+                    f"observed {outcome} but denoted {denoted}"
+                )
+            elif outcome[0] == "exc":
+                assert isinstance(denoted, Bad)
+                names = {
+                    e.name for e in denoted.excs.finite_members()
+                }
+                if denoted.excs.is_finite():
+                    assert outcome[1] in names
+                # infinite set: any synchronous exception permitted
+            else:  # diverged
+                assert isinstance(denoted, Bad)
+                assert NON_TERMINATION in denoted.excs

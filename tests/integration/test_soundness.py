@@ -1,0 +1,148 @@
+"""THE soundness property (DESIGN.md invariant 1), linking the two
+layers of the paper's semantics:
+
+    For any program e and ANY evaluation strategy:
+      * machine observes exception x  =>  [e] = Bad s with x ∈ s
+      * machine returns normal v      =>  [e] = Ok v' matching v
+      * machine diverges              =>  NonTermination ∈ s (i.e. ⊥)
+
+Checked over hand-written programs covering every language feature and
+over hypothesis-generated random programs.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.denote import DenoteContext, denote
+from repro.core.domains import Bad, ConVal, Ok
+from repro.core.excset import NON_TERMINATION
+from repro.machine import (
+    Diverged,
+    Exceptional,
+    Machine,
+    Normal,
+)
+from repro.machine.strategy import standard_strategies
+from repro.machine.values import VCon, VInt, VStr
+from repro.api import compile_expr
+from repro.prelude.loader import denote_env, machine_env
+
+from tests.genexpr import int_exprs
+
+HAND_WRITTEN = [
+    "1 + 2",
+    "(1 `div` 0) + 2",
+    '(1 `div` 0) + error "Urk"',
+    "(raise Overflow * raise DivideByZero) + raise PatternMatchFail",
+    "(\\x -> 3) (1 `div` 0)",
+    "(\\x -> x + x) (1 `div` 0)",
+    "seq (1 `div` 0) (raise Overflow)",
+    "case raise DivideByZero of { True -> raise Overflow; False -> 1 }",
+    "case Just (1 `div` 0) of { Just v -> 7; Nothing -> 8 }",
+    "case Just (1 `div` 0) of { Just v -> v; Nothing -> 8 }",
+    "head [1 `div` 0]",
+    "sum [1, 2, 3]",
+    "head (zipWith (+) [1] [1, 2])",
+    "let { v = raise Overflow } in 5",
+    "let { v = raise Overflow } in v + v",
+    "let { w = w + 1 } in w",
+    "mapException (\\e -> Overflow) (1 `div` 0)",
+    'mapException (\\e -> e) ((1 `div` 0) + error "Urk")',
+    "fix (\\x -> 42)",
+    "if (1 `div` 0) == 1 then raise Overflow else raise DivideByZero",
+]
+
+
+def _check_soundness(expr, denote_env_builder, machine_env_builder,
+                     fuel=60_000):
+    ctx = DenoteContext(fuel=fuel)
+    denoted = denote(expr, denote_env_builder(ctx), ctx)
+    for strategy in standard_strategies():
+        machine = Machine(strategy=strategy, fuel=fuel)
+        env = machine_env_builder(machine)
+        try:
+            value = machine.eval(expr, env)
+            outcome = Normal(value)
+        except Exception as err:  # noqa: BLE001 - classified below
+            from repro.machine.heap import MachineDiverged, ObjRaise
+
+            if isinstance(err, ObjRaise):
+                outcome = Exceptional(err.exc)
+            elif isinstance(err, (MachineDiverged, RecursionError)):
+                outcome = Diverged()
+            else:
+                raise
+        _assert_agrees(denoted, outcome, expr, strategy)
+
+
+def _assert_agrees(denoted, outcome, expr, strategy):
+    if isinstance(outcome, Normal):
+        assert isinstance(denoted, Ok), (
+            f"{strategy}: machine Normal but denotation {denoted}"
+        )
+        value = outcome.value
+        if isinstance(value, VInt):
+            assert denoted.value == value.value
+        elif isinstance(value, VStr):
+            assert denoted.value == value.value
+        elif isinstance(value, VCon):
+            assert isinstance(denoted.value, ConVal)
+            assert denoted.value.name == value.name
+    elif isinstance(outcome, Exceptional):
+        assert isinstance(denoted, Bad), (
+            f"{strategy}: observed {outcome.exc} but denotation {denoted}"
+        )
+        assert outcome.exc in denoted.excs, (
+            f"{strategy}: {outcome.exc} not in {denoted.excs}"
+        )
+    else:  # Diverged
+        # Fuel parity between the layers is not exact; divergence is
+        # only sound against ⊥ (which contains NonTermination) — or
+        # against a denotation that itself ran out of fuel.
+        assert isinstance(denoted, Bad), str(denoted)
+        assert NON_TERMINATION in denoted.excs
+
+
+class TestHandWritten:
+    @pytest.mark.parametrize("source", HAND_WRITTEN)
+    def test_soundness(self, source):
+        expr = compile_expr(source)
+        _check_soundness(expr, denote_env, machine_env)
+
+
+class TestRandomPrograms:
+    @given(int_exprs(depth=4))
+    @settings(max_examples=200, deadline=None)
+    def test_soundness_random(self, expr):
+        _check_soundness(
+            expr,
+            lambda ctx: {},
+            lambda machine: {},
+            fuel=20_000,
+        )
+
+    @given(int_exprs(depth=5))
+    @settings(max_examples=60, deadline=None)
+    def test_soundness_random_deeper(self, expr):
+        _check_soundness(
+            expr,
+            lambda ctx: {},
+            lambda machine: {},
+            fuel=30_000,
+        )
+
+
+class TestBlackholeSoundness:
+    def test_nontermination_report_is_sound(self):
+        # Blackhole detection reports NonTermination; the denotation of
+        # the knot is ⊥, whose set contains NonTermination.
+        expr = compile_expr("let { black = black + 1 } in black")
+        ctx = DenoteContext(fuel=20_000)
+        denoted = denote(expr, denote_env(ctx), ctx)
+        machine = Machine(detect_blackholes=True)
+        from repro.machine.heap import ObjRaise
+
+        with pytest.raises(ObjRaise) as err:
+            machine.eval(expr, machine_env(machine))
+        assert isinstance(denoted, Bad)
+        assert err.value.exc in denoted.excs

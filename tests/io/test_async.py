@@ -1,0 +1,108 @@
+"""Asynchronous exceptions (Section 5.1): interrupts, timeouts, and
+resumable thunks."""
+
+import pytest
+
+from repro.api import compile_expr, run_io_source
+from repro.core.excset import CONTROL_C, TIMEOUT
+from repro.io.events import (
+    EventPlan,
+    control_c_at,
+    heap_overflow_at,
+    stack_overflow_at,
+    timeout_after,
+)
+from repro.machine import Cell, Machine
+from repro.machine.heap import AsyncInterrupt
+from repro.machine.values import VInt
+from repro.prelude.loader import machine_env
+
+CATCH = (
+    "getException (sum (enumFromTo 1 5000)) >>= (\\r -> case r of "
+    "{ OK v -> putStr \"ok\"; Bad e -> putStr (showException e) })"
+)
+
+
+class TestEventPlans:
+    def test_timeout_plan(self):
+        plan = timeout_after(100)
+        assert plan.as_dict() == {100: TIMEOUT}
+
+    def test_control_c_plan(self):
+        plan = control_c_at(5)
+        assert plan.as_dict()[5] == CONTROL_C
+
+    def test_shifted(self):
+        plan = timeout_after(100).shifted(50)
+        assert 150 in plan.as_dict()
+
+    def test_resource_events(self):
+        assert stack_overflow_at(1).as_dict()[1].name == "StackOverflow"
+        assert heap_overflow_at(1).as_dict()[1].name == "HeapOverflow"
+
+
+class TestInterruptDelivery:
+    def test_getexception_catches_control_c(self):
+        # getException v --?x--> return (Bad x): the value (even a
+        # perfectly normal one) is discarded.
+        result = run_io_source(CATCH, events=control_c_at(500))
+        assert result.ok
+        assert result.stdout == "ControlC"
+
+    def test_uncaught_interrupt_aborts(self):
+        result = run_io_source(
+            "putStr (showInt (sum (enumFromTo 1 5000)))",
+            events=control_c_at(500),
+        )
+        assert result.status == "exception"
+        assert result.exc == CONTROL_C
+
+    def test_no_event_normal_result(self):
+        result = run_io_source(CATCH)
+        assert result.stdout == "ok"
+
+    def test_event_after_completion_ignored(self):
+        result = run_io_source(CATCH, events=control_c_at(10_000_000))
+        assert result.stdout == "ok"
+
+    def test_timeout_monitor(self):
+        # "if evaluation of my argument goes on for too long, I will
+        # terminate evaluation and return Bad Timeout".
+        result = run_io_source(
+            "getException (let { w = w + 0 } in "
+            "sum (iterate (\\x -> x) 1)) >>= (\\r -> case r of "
+            "{ OK v -> putStr \"ok\"; "
+            "Bad e -> putStr (showException e) })",
+            fuel=20_000,
+            timeout_as_exception=True,
+        )
+        assert result.ok
+        assert result.stdout == "Timeout"
+
+
+class TestResumableThunks:
+    """The "fascinating wrinkle" (Section 5.1): thunks abandoned by an
+    asynchronous exception must be overwritten with a resumable
+    continuation, not with ``raise ex``."""
+
+    def test_thunk_resumable_after_interrupt(self):
+        machine = Machine(event_plan={50: CONTROL_C})
+        env = machine_env(machine)
+        cell = Cell(compile_expr("sum (enumFromTo 1 100)"), env)
+        with pytest.raises(AsyncInterrupt):
+            cell.force(machine)
+        # The interrupt must NOT have poisoned the thunk: forcing again
+        # (no further events pending) completes normally.
+        value = cell.force(machine)
+        assert value == VInt(5050)
+
+    def test_sync_exception_still_poisons(self):
+        from repro.machine.heap import ObjRaise
+
+        machine = Machine()
+        env = machine_env(machine)
+        cell = Cell(compile_expr("1 `div` 0"), env)
+        with pytest.raises(ObjRaise):
+            cell.force(machine)
+        with pytest.raises(ObjRaise):
+            cell.force(machine)

@@ -1,0 +1,131 @@
+"""catchIO — the IO-level handler extension (not in the paper; the
+direction its Section 6 comparison points at).  The executor, the
+transition system and the denotational runner must agree."""
+
+import pytest
+
+from repro.api import denote_source, run_io_program, run_io_source
+from repro.io.transition import enumerate_outcomes, run_denotational
+from repro.machine import LeftToRight, RightToLeft
+
+
+class TestExecutor:
+    def test_catches_pure_exception_in_body(self):
+        result = run_io_source(
+            "catchIO (putStr (showInt (1 `div` 0))) "
+            "(\\e -> putStr (showException e))"
+        )
+        assert result.ok
+        assert result.stdout == "DivideByZero"
+
+    def test_catches_io_error(self):
+        result = run_io_source(
+            "catchIO (ioError Overflow) "
+            "(\\e -> putStr (showException e))"
+        )
+        assert result.stdout == "Overflow"
+
+    def test_no_exception_no_handler(self):
+        result = run_io_source(
+            "catchIO (putStr \"fine\") (\\e -> putStr \"handled\")"
+        )
+        assert result.stdout == "fine"
+
+    def test_output_before_failure_is_kept(self):
+        # IO already performed is not rolled back.
+        result = run_io_source(
+            "catchIO (putStr \"partial\" >> ioError Overflow) "
+            "(\\e -> putStr \"!\")"
+        )
+        assert result.stdout == "partial!"
+
+    def test_nested_catch_inner_wins(self):
+        result = run_io_source(
+            "catchIO (catchIO (ioError Overflow) "
+            "(\\e -> putStr \"inner\")) (\\e -> putStr \"outer\")"
+        )
+        assert result.stdout == "inner"
+
+    def test_handler_exception_escapes_to_outer(self):
+        result = run_io_source(
+            "catchIO (catchIO (ioError Overflow) "
+            "(\\e -> ioError DivideByZero)) "
+            "(\\e -> putStr (showException e))"
+        )
+        assert result.stdout == "DivideByZero"
+
+    def test_representative_is_strategy_dependent(self):
+        source = (
+            "catchIO (putStr (showInt ((1 `div` 0) + "
+            "raise Overflow))) (\\e -> putStr (showException e))"
+        )
+        left = run_io_source(source, strategy=LeftToRight())
+        right = run_io_source(source, strategy=RightToLeft())
+        assert left.stdout == "DivideByZero"
+        assert right.stdout == "Overflow"
+
+    def test_rethrow_after_cleanup(self):
+        # The bracket/finally pattern, written with catchIO.
+        result = run_io_source(
+            "catchIO (catchIO (ioError Overflow) "
+            "(\\e -> putStr \"cleanup\" >> ioError e)) "
+            "(\\e -> putStr (strAppend \"/\" (showException e)))"
+        )
+        assert result.stdout == "cleanup/Overflow"
+
+    def test_program_level(self):
+        source = """
+fragile :: Int -> IO Unit
+fragile n = putStr (showInt (100 `div` n))
+
+main = do
+  catchIO (fragile 0) (\\e -> putStr "saved")
+  putStr "+continued"
+"""
+        result = run_io_program(source, typecheck=True)
+        assert result.stdout == "saved+continued"
+
+
+class TestTransitionSystem:
+    def test_catch_branches_over_the_set(self):
+        results = enumerate_outcomes(
+            denote_source(
+                "catchIO (putStr (showInt ((1 `div` 0) + "
+                "raise Overflow))) (\\e -> case e of "
+                "{ DivideByZero -> putChar 'd'; _ -> putChar 'o' })"
+            )
+        )
+        traces = {"".join(r.trace) for r in results}
+        assert traces == {"!d", "!o"}
+
+    def test_no_uncaught_results_when_handled(self):
+        results = enumerate_outcomes(
+            denote_source(
+                "catchIO (ioError Overflow) (\\e -> returnIO 1)"
+            )
+        )
+        assert {r.kind for r in results} == {"ok"}
+
+    def test_denotational_runner_agrees(self):
+        io = denote_source(
+            "catchIO (putStr (showInt (1 `div` 0))) "
+            "(\\e -> putChar 'c')"
+        )
+        result = run_denotational(io)
+        assert result.kind == "ok"
+        assert result.trace == ("!c",)
+
+    def test_executor_outcomes_permitted(self):
+        source = (
+            "catchIO (putStr (showInt ((1 `div` 0) + "
+            "raise Overflow))) (\\e -> case e of "
+            "{ DivideByZero -> putChar 'd'; _ -> putChar 'o' })"
+        )
+        allowed = {
+            "".join(r.trace)
+            for r in enumerate_outcomes(denote_source(source))
+        }
+        for strategy in (LeftToRight(), RightToLeft()):
+            result = run_io_source(source, strategy=strategy)
+            trace = "".join(f"!{c}" for c in result.stdout)
+            assert trace in allowed

@@ -1,0 +1,80 @@
+"""IO program equivalence: trace-set comparison (built on §4.4)."""
+
+import pytest
+
+from repro.io.equivalence import compare_io_sources
+
+HANDLER = (
+    " >>= (\\r -> case r of { OK v -> putChar 'k'; "
+    "Bad e -> case e of { DivideByZero -> putChar 'd'; "
+    "_ -> putChar 'u' } })"
+)
+
+
+class TestEquivalence:
+    def test_reflexive(self):
+        report = compare_io_sources("putStr \"a\"", "putStr \"a\"")
+        assert report.equivalent
+
+    def test_commuted_arguments_equivalent(self):
+        # The IO-level face of commutativity: same exception set, same
+        # behaviour set.
+        report = compare_io_sources(
+            "getException ((1 `div` 0) + raise Overflow)" + HANDLER,
+            "getException (raise Overflow + (1 `div` 0))" + HANDLER,
+        )
+        assert report.equivalent
+
+    def test_different_output_not_equivalent(self):
+        report = compare_io_sources("putStr \"a\"", "putStr \"b\"")
+        assert not report.equivalent
+        assert not report.lhs_refines_rhs
+        assert not report.rhs_refines_lhs
+
+    def test_determinising_is_refinement(self):
+        # rhs can only raise one exception where lhs can raise two:
+        # rhs's behaviours are a subset — lhs ⊑ rhs.
+        report = compare_io_sources(
+            "getException ((1 `div` 0) + raise Overflow)" + HANDLER,
+            "getException (1 `div` 0)" + HANDLER,
+        )
+        assert not report.equivalent
+        assert report.lhs_refines_rhs
+        assert not report.rhs_refines_lhs
+
+    def test_beta_equivalent_at_io_level(self):
+        report = compare_io_sources(
+            "(\\x -> putStr x) \"hi\"",
+            "putStr \"hi\"",
+        )
+        assert report.equivalent
+
+    def test_io_reordering_not_equivalent(self):
+        # Unlike pure reordering, IO actions are sequenced: swapping
+        # putChars changes the trace.
+        report = compare_io_sources(
+            "putChar 'a' >> putChar 'b'",
+            "putChar 'b' >> putChar 'a'",
+        )
+        assert not report.equivalent
+
+    def test_catch_of_sound_body_equivalent_to_body(self):
+        report = compare_io_sources(
+            "catchIO (putStr \"x\") (\\e -> putStr \"h\")",
+            "putStr \"x\"",
+        )
+        assert report.equivalent
+
+    def test_stdin_sensitivity(self):
+        report = compare_io_sources(
+            "getChar >>= (\\c -> putChar c)",
+            "getChar >>= (\\c -> putChar c)",
+            stdin="q",
+        )
+        assert report.equivalent
+
+    def test_report_rendering(self):
+        report = compare_io_sources("putStr \"a\"", "putStr \"a\"")
+        assert "equivalent" in str(report)
+        report2 = compare_io_sources("putStr \"a\"", "putStr \"b\"")
+        assert "incomparable" in str(report2)

@@ -1,0 +1,192 @@
+"""The operational IO executor: performing programs, getException,
+uncaught exceptions (Sections 3.3, 3.5, 4.4)."""
+
+import pytest
+
+from repro.api import run_io_program, run_io_source
+from repro.machine import LeftToRight, RightToLeft
+
+
+class TestBasicIO:
+    def test_return(self):
+        result = run_io_source("returnIO 42")
+        assert result.ok
+        assert result.value.value == 42
+
+    def test_putstr(self):
+        result = run_io_source('putStr "hello"')
+        assert result.ok
+        assert result.stdout == "hello"
+
+    def test_putchar_sequence(self):
+        result = run_io_source(
+            "thenIO (putChar 'h') (putChar 'i')"
+        )
+        assert result.stdout == "hi"
+
+    def test_getchar_echo(self):
+        # The paper's complete example program (Section 3.5):
+        # main = getChar >>= \ch -> putChar ch >>= \_ -> return ()
+        result = run_io_source(
+            "getChar >>= (\\ch -> putChar ch >>= (\\u -> returnIO ()))",
+            stdin="x",
+        )
+        assert result.ok
+        assert result.stdout == "x"
+
+    def test_do_notation(self):
+        result = run_io_source(
+            "do { c <- getChar; putChar c; putChar c; returnIO () }",
+            stdin="z",
+        )
+        assert result.stdout == "zz"
+
+    def test_bind_is_lazy_until_performed(self):
+        # Evaluating an IO value has no side effects; only performing
+        # does (Section 3.5).
+        result = run_io_source(
+            "let { action = putStr \"once\" } in "
+            "seq action (returnIO 1)"
+        )
+        assert result.ok
+        assert result.stdout == ""
+
+    def test_mapM(self):
+        result = run_io_source(
+            "mapM_ (\\c -> putChar c) ['a', 'b', 'c']"
+        )
+        assert result.stdout == "abc"
+
+    def test_stdin_exhaustion(self):
+        result = run_io_source("getChar", stdin="")
+        assert result.status == "exception"
+
+
+class TestGetException:
+    def test_catches_exception(self):
+        result = run_io_source(
+            "getException (1 `div` 0) >>= (\\r -> case r of "
+            "{ OK v -> putStr \"ok\"; "
+            "Bad e -> putStr (showException e) })"
+        )
+        assert result.stdout == "DivideByZero"
+
+    def test_normal_value_wrapped_ok(self):
+        result = run_io_source(
+            "getException 42 >>= (\\r -> case r of "
+            "{ OK v -> returnIO v; Bad e -> returnIO 0 })"
+        )
+        assert result.ok
+        assert result.value.value == 42
+
+    def test_observed_exception_strategy_dependent(self):
+        source = (
+            "getException ((1 `div` 0) + error \"Urk\") >>= (\\r -> "
+            "case r of { OK v -> putStr \"ok\"; "
+            "Bad e -> putStr (showException e) })"
+        )
+        left = run_io_source(source, strategy=LeftToRight())
+        right = run_io_source(source, strategy=RightToLeft())
+        assert left.stdout == "DivideByZero"
+        assert right.stdout == "UserError Urk"
+
+    def test_catch_eval_handler(self):
+        result = run_io_source(
+            "catchEval (1 `div` 0) (\\e -> 99) >>= "
+            "(\\v -> returnIO v)"
+        )
+        assert result.ok
+        assert result.value.value == 99
+
+    def test_only_whnf_forced(self):
+        # getException forces to head normal form only (Section 3.3);
+        # an exception deeper inside survives the catch.
+        result = run_io_source(
+            "getException [1 `div` 0] >>= (\\r -> case r of "
+            "{ OK xs -> returnIO (length xs); Bad e -> returnIO 0 })"
+        )
+        assert result.ok
+        assert result.value.value == 1
+
+    def test_exceptions_propagate_out_of_io_values(self):
+        # An exception while *computing which action to run*.
+        result = run_io_source("head Nil")
+        assert result.status == "exception"
+        assert result.exc.name == "UserError"
+
+    def test_nested_getexception(self):
+        result = run_io_source(
+            "getException (1 `div` 0) >>= (\\r1 -> "
+            "getException (raise Overflow) >>= (\\r2 -> "
+            "case r1 of { Bad e1 -> case r2 of "
+            "{ Bad e2 -> putStr (strAppend (showException e1) "
+            "(showException e2)); OK v -> returnIO () }; "
+            "OK v -> returnIO () }))"
+        )
+        assert result.stdout == "DivideByZeroOverflow"
+
+
+class TestUncaught:
+    def test_uncaught_exception_reported(self):
+        # "the value returned might now be Bad x ... an uncaught
+        # exception, which the implementation should report"
+        # (Section 4.4).
+        result = run_io_source("putStr (showInt (1 `div` 0))")
+        assert result.status == "exception"
+        assert result.exc.name == "DivideByZero"
+
+    def test_io_error(self):
+        result = run_io_source("ioError Overflow")
+        assert result.status == "exception"
+        assert result.exc.name == "Overflow"
+
+    def test_divergence_reported(self):
+        result = run_io_source(
+            "returnIO (let { w = \\u -> w u } in w ()) >>= "
+            "(\\v -> seq v (returnIO 0))",
+            fuel=20_000,
+        )
+        assert result.status == "diverged"
+
+
+class TestPrograms:
+    def test_main_program(self):
+        source = """
+main :: IO Unit
+main = do
+  putStr "hello, "
+  putStr "world"
+  returnIO Unit
+"""
+        result = run_io_program(source)
+        assert result.stdout == "hello, world"
+
+    def test_program_with_helpers(self):
+        source = """
+shout :: String -> IO Unit
+shout s = do
+  putStr s
+  putStr "!"
+  returnIO Unit
+
+main = shout "hey"
+"""
+        result = run_io_program(source)
+        assert result.stdout == "hey!"
+
+    def test_alternate_entry(self):
+        source = "main = putStr \"a\"\nother = putStr \"b\""
+        result = run_io_program(source, entry="other")
+        assert result.stdout == "b"
+
+    def test_missing_entry(self):
+        with pytest.raises(KeyError):
+            run_io_program("main = returnIO 1", entry="nonexistent")
+
+    def test_typechecked_program(self):
+        source = """
+main :: IO Unit
+main = putLine "typed"
+"""
+        result = run_io_program(source, typecheck=True)
+        assert result.stdout == "typed\n"

@@ -1,0 +1,74 @@
+"""Choice oracles (Section 3.5's external consultant)."""
+
+import pytest
+
+from repro.core.excset import (
+    ALL_EXCEPTIONS,
+    BOTTOM_SET,
+    DIVIDE_BY_ZERO,
+    EMPTY_SET,
+    ExcSet,
+    NON_TERMINATION,
+    OVERFLOW,
+)
+from repro.io.oracle import FirstOracle, SeededOracle
+
+
+class TestFirstOracle:
+    def test_deterministic(self):
+        oracle = FirstOracle()
+        s = ExcSet.of(OVERFLOW, DIVIDE_BY_ZERO)
+        assert oracle.choose(s) == oracle.choose(s)
+
+    def test_member(self):
+        oracle = FirstOracle()
+        s = ExcSet.of(OVERFLOW, DIVIDE_BY_ZERO)
+        assert oracle.choose(s) in s
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            FirstOracle().choose(EMPTY_SET)
+
+    def test_never_diverges(self):
+        assert not FirstOracle().choose_divergence(BOTTOM_SET)
+
+
+class TestSeededOracle:
+    def test_reproducible(self):
+        s = ExcSet.of(OVERFLOW, DIVIDE_BY_ZERO)
+        picks_a = [SeededOracle(4).choose(s) for _ in range(5)]
+        picks_b = [SeededOracle(4).choose(s) for _ in range(5)]
+        assert picks_a == picks_b
+
+    def test_varies_across_calls(self):
+        s = ExcSet.of(OVERFLOW, DIVIDE_BY_ZERO)
+        oracle = SeededOracle(0)
+        picks = {oracle.choose(s) for _ in range(20)}
+        assert len(picks) == 2  # both members eventually chosen
+
+    def test_member_always(self):
+        s = ExcSet.of(OVERFLOW, DIVIDE_BY_ZERO)
+        oracle = SeededOracle(1)
+        for _ in range(20):
+            assert oracle.choose(s) in s
+
+    def test_infinite_set_fictitious_choice(self):
+        # Any synchronous exception is permitted from ⊥ (Section 5.3).
+        oracle = SeededOracle(2)
+        exc = oracle.choose(BOTTOM_SET)
+        assert exc in BOTTOM_SET or exc == DIVIDE_BY_ZERO
+
+    def test_divergence_probability_zero(self):
+        oracle = SeededOracle(0, diverge_probability=0.0)
+        assert not oracle.choose_divergence(BOTTOM_SET)
+
+    def test_divergence_probability_one(self):
+        oracle = SeededOracle(0, diverge_probability=1.0)
+        assert oracle.choose_divergence(BOTTOM_SET)
+
+    def test_divergence_needs_nontermination(self):
+        oracle = SeededOracle(0, diverge_probability=1.0)
+        assert not oracle.choose_divergence(ExcSet.of(OVERFLOW))
+        assert oracle.choose_divergence(
+            ExcSet.of(NON_TERMINATION, OVERFLOW)
+        )

@@ -1,0 +1,137 @@
+"""Guards and where clauses: parsing and semantics."""
+
+import pytest
+
+from repro.api import run_io_program
+from repro.core.domains import Ok
+from tests.conftest import d, exc_names
+
+
+class TestEquationGuards:
+    def test_basic_guards(self):
+        source = """
+classify n | n < 0 = 0 - 1
+           | n == 0 = 0
+           | otherwise = 1
+main = putStr (showInt (classify 7))
+"""
+        assert run_io_program(source).stdout == "1"
+
+    def test_guard_order(self):
+        source = """
+f n | n < 10 = 1
+    | n < 100 = 2
+    | otherwise = 3
+main = putStr (showInt (f 50))
+"""
+        assert run_io_program(source).stdout == "2"
+
+    def test_guard_falls_to_next_equation(self):
+        source = """
+g (Just n) | n > 0 = n
+g _ = 99
+main = putStr (showInt (g (Just 0) + g (Just 5)))
+"""
+        # Just 0 fails the guard -> next equation -> 99; Just 5 -> 5.
+        assert run_io_program(source).stdout == "104"
+
+    def test_all_guards_fail_is_pattern_match_failure(self):
+        source = """
+h n | n > 100 = n
+main = putStr (showInt (h 1))
+"""
+        result = run_io_program(source)
+        assert result.status == "exception"
+        assert result.exc.name == "PatternMatchFail"
+
+    def test_guards_see_pattern_bindings(self):
+        source = """
+pick (Tuple2 a b) | a > b = a
+                  | otherwise = b
+main = putStr (showInt (pick (Tuple2 3 9)))
+"""
+        assert run_io_program(source).stdout == "9"
+
+    def test_exceptional_guard_propagates(self):
+        value = d(
+            "let { f = \\n -> case n of "
+            "{ m | (1 `div` 0) == 0 -> 1; _ -> 2 } } in f 5"
+        )
+        assert "DivideByZero" in exc_names(value)
+
+
+class TestCaseGuards:
+    def test_guarded_alternative(self):
+        assert d(
+            "case 5 of { n | n < 3 -> 0 | n < 10 -> 1; _ -> 2 }"
+        ) == Ok(1)
+
+    def test_guard_failure_tries_next_alt(self):
+        assert d(
+            "case Just 0 of { Just n | n > 0 -> n; _ -> 42 }"
+        ) == Ok(42)
+
+    def test_mixed_guarded_and_plain(self):
+        assert d(
+            "case 7 of { 1 -> 10; n | even n -> 20; _ -> 30 }"
+        ) == Ok(30)
+        assert d(
+            "case 8 of { 1 -> 10; n | even n -> 20; _ -> 30 }"
+        ) == Ok(20)
+
+
+class TestWhere:
+    def test_simple_where(self):
+        source = """
+area r = pi3 * sq r
+  where
+    pi3 = 3
+    sq x = x * x
+main = putStr (showInt (area 10))
+"""
+        assert run_io_program(source).stdout == "300"
+
+    def test_where_scopes_over_guards(self):
+        source = """
+grade n | n >= cutoff = 1
+        | otherwise = 0
+  where cutoff = 60
+main = putStr (showInt (grade 75 + grade 40))
+"""
+        assert run_io_program(source).stdout == "1"
+
+    def test_where_sees_parameters(self):
+        source = """
+scaled x = double + 1
+  where double = x * 2
+main = putStr (showInt (scaled 5))
+"""
+        assert run_io_program(source).stdout == "11"
+
+    def test_where_bindings_recursive(self):
+        source = """
+run n = count n
+  where count k = if k == 0 then 0 else 1 + count (k - 1)
+main = putStr (showInt (run 7))
+"""
+        assert run_io_program(source).stdout == "7"
+
+    def test_where_with_multi_equation_helper(self):
+        source = """
+describe xs = code xs
+  where
+    code Nil = 0
+    code (y:ys) = 1 + code ys
+main = putStr (showInt (describe [1, 2, 3]))
+"""
+        assert run_io_program(source).stdout == "3"
+
+    def test_where_typechecks(self):
+        source = """
+norm :: Int -> Int
+norm x = shift (abs x)
+  where shift v = v + base
+        base = 100
+main = putStr (showInt (norm (negate 5)))
+"""
+        assert run_io_program(source, typecheck=True).stdout == "105"

@@ -1,0 +1,155 @@
+"""Lexer unit tests: tokens, literals, comments, layout."""
+
+import pytest
+
+from repro.lang.lexer import LexError, lex
+
+
+def kinds(source, top_level=False):
+    return [t.kind for t in lex(source, top_level=top_level)]
+
+
+def values(source, top_level=False):
+    return [t.value for t in lex(source, top_level=top_level)][:-1]
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        toks = lex("foo bar'")
+        assert toks[0].kind == "IDENT" and toks[0].value == "foo"
+        assert toks[1].kind == "IDENT" and toks[1].value == "bar'"
+
+    def test_conid(self):
+        toks = lex("Just Nothing")
+        assert [t.kind for t in toks[:2]] == ["CONID", "CONID"]
+
+    def test_keywords(self):
+        toks = lex("case of let in data raise fix")
+        real = [
+            t for t in toks[:-1]
+            if t.kind not in ("VLBRACE", "VRBRACE", "VSEMI")
+        ]
+        assert all(t.kind == "KEYWORD" for t in real)
+        assert len(real) == 7
+
+    def test_int_literal(self):
+        toks = lex("42 0 123456")
+        assert [t.value for t in toks[:3]] == [42, 0, 123456]
+
+    def test_operators(self):
+        assert values("+ - * == /= <= >= ++ >>= :") == [
+            "+", "-", "*", "==", "/=", "<=", ">=", "++", ">>=", ":",
+        ]
+
+    def test_backquoted_operator(self):
+        toks = lex("a `div` b")
+        assert toks[1].kind == "OP" and toks[1].value == "`div`"
+
+    def test_punctuation(self):
+        toks = lex("( ) [ ] , ; -> = | \\ ::")
+        assert all(t.kind == "PUNCT" for t in toks[:-1])
+
+    def test_arrow_vs_minus(self):
+        toks = lex("a -> b - c")
+        assert toks[1].kind == "PUNCT" and toks[1].value == "->"
+        assert toks[3].kind == "OP" and toks[3].value == "-"
+
+
+class TestLiterals:
+    def test_string_literal(self):
+        toks = lex('"hello world"')
+        assert toks[0].kind == "STRING" and toks[0].value == "hello world"
+
+    def test_string_escapes(self):
+        toks = lex(r'"a\nb\tc\\d\"e"')
+        assert toks[0].value == 'a\nb\tc\\d"e'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            lex('"oops')
+
+    def test_char_literal(self):
+        toks = lex("'x'")
+        assert toks[0].kind == "CHAR" and toks[0].value == "x"
+
+    def test_char_escape(self):
+        toks = lex(r"'\n'")
+        assert toks[0].value == "\n"
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            lex("'ab")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("1 -- comment\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 {- anything -} 2") == [1, 2]
+
+    def test_nested_block_comment(self):
+        assert values("1 {- a {- b -} c -} 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            lex("1 {- oops")
+
+
+class TestLayout:
+    def test_case_layout_inserts_braces(self):
+        source = "case x of\n  True -> 1\n  False -> 2"
+        ks = kinds(source)
+        assert "VLBRACE" in ks
+        assert "VSEMI" in ks
+
+    def test_explicit_braces_disable_layout(self):
+        source = "case x of { True -> 1; False -> 2 }"
+        ks = kinds(source)
+        assert "VLBRACE" not in ks
+        assert "VSEMI" not in ks
+
+    def test_let_in_closes_block(self):
+        source = "let\n  x = 1\n  y = 2\nin x"
+        toks = lex(source)
+        in_index = next(
+            i for i, t in enumerate(toks) if t.value == "in"
+        )
+        assert toks[in_index - 1].kind == "VRBRACE"
+
+    def test_top_level_semicolons(self):
+        source = "a = 1\nb = 2"
+        ks = kinds(source, top_level=True)
+        assert ks.count("VSEMI") == 1
+
+    def test_continuation_lines_do_not_split(self):
+        source = "a = 1 +\n      2\nb = 3"
+        ks = kinds(source, top_level=True)
+        assert ks.count("VSEMI") == 1
+
+    def test_positions_tracked(self):
+        toks = lex("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            lex("a \x01 b")
+
+    def test_in_only_closes_implicit_let(self):
+        # An explicit-brace let must not have `in` pop an enclosing
+        # (module) layout context — regression for the tree-fold
+        # workload.
+        source = "main = let { a = 1 } in a\nother = 2"
+        ks = [t.kind for t in lex(source, top_level=True)]
+        # exactly one top-level separator between the two declarations
+        assert ks.count("VSEMI") == 1
+        assert "VRBRACE" not in ks[:-2]  # no spurious closes mid-stream
+
+    def test_in_closes_layout_let_inside_explicit_case(self):
+        source = "case x of { A -> let\n    a = 1\n  in a; B -> 2 }"
+        toks = lex(source)
+        in_index = next(
+            i for i, t in enumerate(toks) if t.value == "in"
+        )
+        assert toks[in_index - 1].kind == "VRBRACE"

@@ -1,0 +1,184 @@
+"""Pattern-match compilation tests: nested patterns -> flat cases,
+with semantics preserved (checked against the denotational evaluator).
+"""
+
+from repro.core.denote import DenoteContext, denote_expr
+from repro.core.domains import Bad, Ok
+from repro.core.ordering import sem_equal
+from repro.lang.ast import Case, PCon, PVar, PWild
+from repro.lang.match import (
+    flatten_case_patterns,
+    sibling_map,
+)
+from repro.lang.parser import parse_expr
+
+
+def _is_flat_case(expr) -> bool:
+    if isinstance(expr, Case):
+        for alt in expr.alts:
+            if isinstance(alt.pattern, PCon):
+                if not all(
+                    isinstance(p, (PVar, PWild)) for p in alt.pattern.args
+                ):
+                    return False
+    return True
+
+
+def _all_cases_flat(expr) -> bool:
+    from repro.lang.ast import (
+        App,
+        Con,
+        Fix,
+        Lam,
+        Let,
+        PrimOp,
+        Raise,
+    )
+
+    if isinstance(expr, Case):
+        if not _is_flat_case(expr):
+            return False
+        return _all_cases_flat(expr.scrutinee) and all(
+            _all_cases_flat(alt.body) for alt in expr.alts
+        )
+    if isinstance(expr, Lam):
+        return _all_cases_flat(expr.body)
+    if isinstance(expr, App):
+        return _all_cases_flat(expr.fn) and _all_cases_flat(expr.arg)
+    if isinstance(expr, Con):
+        return all(_all_cases_flat(a) for a in expr.args)
+    if isinstance(expr, Raise):
+        return _all_cases_flat(expr.exc)
+    if isinstance(expr, PrimOp):
+        return all(_all_cases_flat(a) for a in expr.args)
+    if isinstance(expr, Fix):
+        return _all_cases_flat(expr.fn)
+    if isinstance(expr, Let):
+        return all(_all_cases_flat(r) for _n, r in expr.binds) and (
+            _all_cases_flat(expr.body)
+        )
+    return True
+
+
+def _check(source: str, expected):
+    """Flatten and denote; compare against expectation."""
+    expr = flatten_case_patterns(parse_expr(source))
+    assert _all_cases_flat(expr), f"still nested: {expr}"
+    value = denote_expr(expr, fuel=50_000)
+    if isinstance(expected, int):
+        assert value == Ok(expected), f"{source}: {value}"
+    else:
+        assert isinstance(value, Bad)
+        names = {e.name for e in value.excs.finite_members()}
+        assert expected in names, f"{source}: {value}"
+
+
+class TestFlatCasesUntouched:
+    def test_flat_case_unchanged(self):
+        expr = parse_expr("case xs of { Cons y ys -> y; Nil -> 0 }")
+        assert flatten_case_patterns(expr) == expr
+
+    def test_literal_patterns_unchanged(self):
+        expr = parse_expr("case n of { 0 -> 1; _ -> 2 }")
+        assert flatten_case_patterns(expr) == expr
+
+
+class TestNestedPatterns:
+    def test_nested_constructor(self):
+        _check(
+            "case Just (Just 5) of { Just (Just y) -> y; _ -> 0 }", 5
+        )
+
+    def test_nested_falls_through(self):
+        _check(
+            "case Just Nothing of { Just (Just y) -> y; _ -> 7 }", 7
+        )
+
+    def test_deeply_nested(self):
+        _check(
+            "case Cons (Tuple2 1 2) Nil of "
+            "{ Cons (Tuple2 a b) Nil -> a + b; _ -> 0 }",
+            3,
+        )
+
+    def test_list_pattern(self):
+        _check("case [1, 2] of { [a, b] -> a * 10 + b; _ -> 0 }", 12)
+
+    def test_match_failure_raises(self):
+        _check(
+            "case Cons 1 (Cons 2 (Cons 3 Nil)) of { [a, b] -> a }",
+            "PatternMatchFail",
+        )
+
+    def test_literal_inside_constructor(self):
+        _check("case Just 3 of { Just 3 -> 1; Just _ -> 2; _ -> 0 }", 1)
+        _check("case Just 4 of { Just 3 -> 1; Just _ -> 2; _ -> 0 }", 2)
+
+    def test_sequential_first_match_wins(self):
+        _check(
+            "case Tuple2 1 2 of "
+            "{ Tuple2 1 b -> b; Tuple2 a b -> a + b; _ -> 0 }",
+            2,
+        )
+
+    def test_fallthrough_between_constructor_groups(self):
+        _check(
+            "case Cons 9 Nil of "
+            "{ Nil -> 0; Cons (Just y) t -> y; _ -> 42 }",
+            42,
+        )
+
+
+class TestExhaustivenessHandling:
+    def test_exhaustive_bool_gets_no_default(self):
+        expr = flatten_case_patterns(
+            parse_expr(
+                "case p of { Tuple2 (True) b -> 1; Tuple2 (False) b -> 2 }"
+            )
+        )
+        # The inner Bool case must not grow a spurious default
+        # alternative: exception-finding mode explores every
+        # alternative, and a default would inject PatternMatchFail.
+        value = denote_expr(
+            flatten_case_patterns(
+                parse_expr(
+                    "case Tuple2 (raise DivideByZero) 0 of "
+                    "{ Tuple2 (True) b -> 1; Tuple2 (False) b -> 2 }"
+                )
+            ),
+            fuel=50_000,
+        )
+        assert isinstance(value, Bad)
+        names = {e.name for e in value.excs.finite_members()}
+        assert names == {"DivideByZero"}
+
+    def test_sibling_map_includes_user_decls(self):
+        from repro.lang.parser import parse_program
+
+        program = parse_program("data RGB = R | G | B\nx = R")
+        siblings = sibling_map(program)
+        assert siblings["R"] == {"R", "G", "B"}
+
+
+class TestSemanticsPreserved:
+    CASES = [
+        "case Just (Tuple2 1 2) of { Just (Tuple2 a b) -> a - b; "
+        "Nothing -> 0 }",
+        "case Cons 1 (Cons 2 Nil) of { (a : b : t) -> a + b; _ -> 0 }",
+        "case Tuple2 (Just 1) (Just 2) of "
+        "{ Tuple2 (Just a) (Just b) -> a + b; _ -> 0 }",
+        "case Tuple2 1 (raise Overflow) of { Tuple2 a b -> a }",
+    ]
+
+    def test_machine_agrees_with_denotation(self):
+        from repro.machine import Machine, Normal, observe
+        from repro.machine.values import VInt
+
+        for source in self.CASES:
+            expr = flatten_case_patterns(parse_expr(source))
+            denoted = denote_expr(expr, fuel=50_000)
+            outcome = observe(expr, machine=Machine())
+            if isinstance(denoted, Ok):
+                assert isinstance(outcome, Normal)
+                assert isinstance(outcome.value, VInt)
+                assert outcome.value.value == denoted.value

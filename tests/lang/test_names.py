@@ -1,0 +1,149 @@
+"""Name handling: free variables, substitution, alpha-equivalence."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.ast import App, Case, Lam, Let, Lit, PrimOp, Var
+from repro.lang.names import (
+    NameSupply,
+    alpha_equivalent,
+    bound_vars,
+    free_vars,
+    substitute,
+)
+from repro.lang.parser import parse_expr
+
+from tests.genexpr import int_exprs
+
+
+class TestFreeVars:
+    def test_variable(self):
+        assert free_vars(Var("x")) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_vars(parse_expr("\\x -> x + y")) == {"y"}
+
+    def test_let_binds_recursively(self):
+        assert free_vars(parse_expr("let { x = x + y } in x")) == {"y"}
+
+    def test_case_pattern_binds(self):
+        expr = parse_expr("case xs of { Cons y ys -> y + z; Nil -> z }")
+        assert free_vars(expr) == {"xs", "z"}
+
+    def test_literal_closed(self):
+        assert free_vars(Lit(1, "int")) == frozenset()
+
+
+class TestBoundVars:
+    def test_lambda(self):
+        assert "x" in bound_vars(parse_expr("\\x -> 1"))
+
+    def test_pattern(self):
+        expr = parse_expr("case v of { Cons a b -> 1; Nil -> 2 }")
+        assert {"a", "b"} <= bound_vars(expr)
+
+
+class TestSubstitute:
+    def test_simple(self):
+        expr = substitute(Var("x"), {"x": Lit(1, "int")})
+        assert expr == Lit(1, "int")
+
+    def test_shadowed_not_substituted(self):
+        expr = substitute(
+            parse_expr("\\x -> x + y"), {"x": Lit(9, "int")}
+        )
+        assert expr == parse_expr("\\x -> x + y")
+
+    def test_capture_avoided_in_lambda(self):
+        # substituting y := x into \x -> y must rename the binder
+        expr = substitute(parse_expr("\\x -> y"), {"y": Var("x")})
+        assert isinstance(expr, Lam)
+        assert expr.var != "x"
+        assert expr.body == Var("x")
+
+    def test_capture_avoided_in_case(self):
+        expr = substitute(
+            parse_expr("case v of { Cons a b -> y; Nil -> 0 }"),
+            {"y": Var("a")},
+        )
+        assert isinstance(expr, Case)
+        pat_vars = expr.alts[0].pattern.args
+        assert all(pv.name != "a" for pv in pat_vars)
+        assert expr.alts[0].body == Var("a")
+
+    def test_capture_avoided_in_let(self):
+        expr = substitute(
+            parse_expr("let { x = 1 } in y"), {"y": Var("x")}
+        )
+        assert isinstance(expr, Let)
+        assert expr.binds[0][0] != "x"
+        assert expr.body == Var("x")
+
+    def test_simultaneous(self):
+        expr = substitute(
+            parse_expr("x + y"), {"x": Var("y"), "y": Var("x")}
+        )
+        assert expr == parse_expr("y + x")
+
+    def test_empty_mapping_is_noop(self):
+        expr = parse_expr("\\x -> x + y")
+        assert substitute(expr, {}) is expr
+
+    @given(int_exprs(depth=3))
+    @settings(max_examples=50, deadline=None)
+    def test_substituting_fresh_var_preserves_free_vars(self, expr):
+        fv = free_vars(expr)
+        result = substitute(expr, {"zz_unused": Lit(0, "int")})
+        assert free_vars(result) == fv - {"zz_unused"}
+
+
+class TestAlphaEquivalence:
+    def test_identical(self):
+        expr = parse_expr("\\x -> x + 1")
+        assert alpha_equivalent(expr, expr)
+
+    def test_renamed_lambda(self):
+        assert alpha_equivalent(
+            parse_expr("\\x -> x"), parse_expr("\\y -> y")
+        )
+
+    def test_free_variables_matter(self):
+        assert not alpha_equivalent(Var("x"), Var("y"))
+
+    def test_renamed_case_pattern(self):
+        assert alpha_equivalent(
+            parse_expr("case v of { Cons a b -> a; Nil -> 0 }"),
+            parse_expr("case v of { Cons p q -> p; Nil -> 0 }"),
+        )
+
+    def test_renamed_let(self):
+        assert alpha_equivalent(
+            parse_expr("let { x = 1 } in x + z"),
+            parse_expr("let { w = 1 } in w + z"),
+        )
+
+    def test_structure_matters(self):
+        assert not alpha_equivalent(
+            parse_expr("\\x -> x"), parse_expr("\\x -> x + 1")
+        )
+
+    def test_binder_mixups_rejected(self):
+        assert not alpha_equivalent(
+            parse_expr("\\x -> \\y -> x"),
+            parse_expr("\\x -> \\y -> y"),
+        )
+
+
+class TestNameSupply:
+    def test_fresh_names_distinct(self):
+        supply = NameSupply()
+        names = {supply.fresh() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_avoids_seeded(self):
+        supply = NameSupply(avoid=["v_0", "v_1"])
+        assert supply.fresh() not in ("v_0", "v_1")
+
+    def test_prefix_respected(self):
+        supply = NameSupply()
+        assert supply.fresh("tmp").startswith("tmp")

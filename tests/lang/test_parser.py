@@ -1,0 +1,309 @@
+"""Parser unit tests: core forms, sugar, programs, errors."""
+
+import pytest
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PCon,
+    PLit,
+    PrimOp,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+)
+from repro.lang.parser import ParseError, parse_expr, parse_program
+
+
+class TestAtoms:
+    def test_variable(self):
+        assert parse_expr("x") == Var("x")
+
+    def test_int(self):
+        assert parse_expr("42") == Lit(42, "int")
+
+    def test_negative_int_literal_folded(self):
+        assert parse_expr("-5") == Lit(-5, "int")
+
+    def test_negate_of_variable(self):
+        assert parse_expr("-x") == PrimOp("negate", (Var("x"),))
+
+    def test_string(self):
+        assert parse_expr('"hi"') == Lit("hi", "string")
+
+    def test_char(self):
+        assert parse_expr("'c'") == Lit("c", "char")
+
+    def test_unit(self):
+        assert parse_expr("()") == Con("Unit", (), 0)
+
+    def test_parenthesised(self):
+        assert parse_expr("(x)") == Var("x")
+
+
+class TestOperators:
+    def test_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr == PrimOp(
+            "+",
+            (Lit(1, "int"), PrimOp("*", (Lit(2, "int"), Lit(3, "int")))),
+        )
+
+    def test_left_associativity(self):
+        expr = parse_expr("1 - 2 - 3")
+        assert expr == PrimOp(
+            "-",
+            (PrimOp("-", (Lit(1, "int"), Lit(2, "int"))), Lit(3, "int")),
+        )
+
+    def test_cons_right_associative(self):
+        expr = parse_expr("1 : 2 : Nil")
+        assert isinstance(expr, Con) and expr.name == "Cons"
+        assert isinstance(expr.args[1], Con) and expr.args[1].name == "Cons"
+
+    def test_comparison(self):
+        assert parse_expr("a <= b") == PrimOp("<=", (Var("a"), Var("b")))
+
+    def test_backquoted_div(self):
+        assert parse_expr("a `div` b") == PrimOp("div", (Var("a"), Var("b")))
+
+    def test_operator_section(self):
+        section = parse_expr("(+)")
+        assert isinstance(section, Lam)
+        body = section.body
+        assert isinstance(body, Lam)
+        assert isinstance(body.body, PrimOp) and body.body.op == "+"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("a @@ b")
+
+
+class TestLambdasAndApplication:
+    def test_lambda_single(self):
+        assert parse_expr("\\x -> x") == Lam("x", Var("x"))
+
+    def test_lambda_curried(self):
+        expr = parse_expr("\\x y -> x")
+        assert expr == Lam("x", Lam("y", Var("x")))
+
+    def test_application_left_assoc(self):
+        expr = parse_expr("f a b")
+        assert expr == App(App(Var("f"), Var("a")), Var("b"))
+
+    def test_trailing_lambda_argument(self):
+        expr = parse_expr("f \\x -> x")
+        assert isinstance(expr, App)
+        assert isinstance(expr.arg, Lam)
+
+    def test_lambda_with_pattern(self):
+        expr = parse_expr("\\(Tuple2 a b) -> a")
+        assert isinstance(expr, Lam)
+        assert isinstance(expr.body, Case)
+
+
+class TestSugar:
+    def test_if_desugars_to_case(self):
+        expr = parse_expr("if c then 1 else 2")
+        assert isinstance(expr, Case)
+        assert expr.alts[0].pattern == PCon("True")
+        assert expr.alts[1].pattern == PCon("False")
+
+    def test_list_literal(self):
+        expr = parse_expr("[1, 2]")
+        assert isinstance(expr, Con) and expr.name == "Cons"
+        tail = expr.args[1]
+        assert isinstance(tail, Con) and tail.name == "Cons"
+        assert tail.args[1] == Con("Nil", (), 0)
+
+    def test_empty_list(self):
+        assert parse_expr("[]") == Con("Nil", (), 0)
+
+    def test_tuple(self):
+        expr = parse_expr("(1, 2)")
+        assert expr == Con("Tuple2", (Lit(1, "int"), Lit(2, "int")), 2)
+
+    def test_triple(self):
+        expr = parse_expr("(1, 2, 3)")
+        assert isinstance(expr, Con) and expr.name == "Tuple3"
+
+    def test_do_notation(self):
+        expr = parse_expr("do { x <- getChar; putChar x }")
+        assert isinstance(expr, PrimOp) and expr.op == "bindIO"
+        assert isinstance(expr.args[1], Lam)
+        assert expr.args[1].var == "x"
+
+    def test_do_with_let(self):
+        expr = parse_expr("do { let y = 1; returnIO y }")
+        assert isinstance(expr, Let)
+
+    def test_do_requires_final_expr(self):
+        with pytest.raises(ParseError):
+            parse_expr("do { x <- getChar }")
+
+
+class TestCoreForms:
+    def test_raise(self):
+        assert parse_expr("raise DivideByZero") == Raise(
+            Con("DivideByZero", (), 0)
+        )
+
+    def test_fix(self):
+        expr = parse_expr("fix f")
+        assert expr == Fix(Var("f"))
+
+    def test_let_single(self):
+        expr = parse_expr("let { x = 1 } in x")
+        assert expr == Let((("x", Lit(1, "int")),), Var("x"))
+
+    def test_let_multiple(self):
+        expr = parse_expr("let { x = 1; y = x } in y")
+        assert isinstance(expr, Let) and len(expr.binds) == 2
+
+    def test_let_function_clause(self):
+        expr = parse_expr("let { f x = x + 1 } in f 3")
+        assert isinstance(expr, Let)
+        assert isinstance(expr.binds[0][1], Lam)
+
+    def test_case_with_patterns(self):
+        expr = parse_expr("case xs of { Cons y ys -> y; Nil -> 0 }")
+        assert isinstance(expr, Case)
+        assert expr.alts[0].pattern == PCon("Cons", (PVar("y"), PVar("ys")))
+        assert expr.alts[1].pattern == PCon("Nil")
+
+    def test_case_literal_pattern(self):
+        expr = parse_expr("case n of { 0 -> 1; _ -> 2 }")
+        assert expr.alts[0].pattern == PLit(0, "int")
+        assert isinstance(expr.alts[1].pattern, PWild)
+
+    def test_case_cons_pattern_sugar(self):
+        expr = parse_expr("case xs of { (y:ys) -> y; Nil -> 0 }")
+        assert expr.alts[0].pattern == PCon("Cons", (PVar("y"), PVar("ys")))
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("case x of { }")
+
+
+class TestConstructorSaturation:
+    def test_saturated_constructor(self):
+        expr = parse_expr("Just 1")
+        assert expr == Con("Just", (Lit(1, "int"),), 1)
+
+    def test_unapplied_constructor_eta_expands(self):
+        expr = parse_expr("Just")
+        assert isinstance(expr, Lam)
+        assert isinstance(expr.body, Con) and expr.body.name == "Just"
+
+    def test_partially_applied_cons(self):
+        expr = parse_expr("Cons 1")
+        assert isinstance(expr, Lam)
+        inner = expr.body
+        assert isinstance(inner, Con) and len(inner.args) == 2
+
+    def test_oversaturated_constructor_is_application(self):
+        # OK has arity 1; the extra argument applies the result.
+        expr = parse_expr("OK (\\x -> x) 3")
+        assert isinstance(expr, App)
+        assert isinstance(expr.fn, Con) and expr.fn.name == "OK"
+
+    def test_unknown_constructor_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("Frob 1")
+
+
+class TestPrimitiveParsing:
+    def test_saturated_prim(self):
+        assert parse_expr("seq a b") == PrimOp("seq", (Var("a"), Var("b")))
+
+    def test_undersaturated_prim_eta_expands(self):
+        expr = parse_expr("seq a")
+        assert isinstance(expr, App)
+
+    def test_oversaturated_prim(self):
+        # getException e >>= continuation-style extra arg
+        expr = parse_expr("mapException f x")
+        assert expr == PrimOp("mapException", (Var("f"), Var("x")))
+
+
+class TestPrograms:
+    def test_simple_program(self):
+        program = parse_program("x = 1\ny = x")
+        assert [name for name, _ in program.binds] == ["x", "y"]
+
+    def test_multi_equation_function(self):
+        program = parse_program(
+            "f Nil = 0\nf (Cons x xs) = 1"
+        )
+        (name, rhs), = program.binds
+        assert name == "f"
+        assert isinstance(rhs, Lam)
+        assert isinstance(rhs.body, Case)
+        assert len(rhs.body.alts) == 2
+
+    def test_mixed_arity_equations_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("f x = 1\nf x y = 2")
+
+    def test_duplicate_nullary_binding_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("x = 1\nx = 2")
+
+    def test_data_declaration(self):
+        program = parse_program(
+            "data Color = Red | Green | Blue\nc = Red"
+        )
+        (decl,) = program.data_decls
+        assert decl.name == "Color"
+        assert [c for c, _ in decl.constructors] == [
+            "Red",
+            "Green",
+            "Blue",
+        ]
+
+    def test_data_with_fields_and_params(self):
+        program = parse_program("data Box a = Box a Int\nmk x = Box x 1")
+        (decl,) = program.data_decls
+        assert decl.params == ("a",)
+        assert len(decl.constructors[0][1]) == 2
+
+    def test_type_signature_parsed(self):
+        program = parse_program("f :: Int -> Int\nf x = x")
+        assert program.type_sigs[0][0] == "f"
+
+    def test_own_data_constructors_usable(self):
+        program = parse_program(
+            "data Pair = MkPair Int Int\np = MkPair 1 2"
+        )
+        rhs = dict(program.binds)["p"]
+        assert isinstance(rhs, Con) and len(rhs.args) == 2
+
+    def test_layout_program(self):
+        source = """
+f x = case x of
+        True -> 1
+        False -> 2
+
+g = f True
+"""
+        program = parse_program(source)
+        assert [n for n, _ in program.binds] == ["f", "g"]
+
+    def test_multi_arg_pattern_equations_use_tuple_match(self):
+        program = parse_program(
+            "f Nil Nil = 0\nf xs ys = 1"
+        )
+        (_, rhs), = program.binds
+        assert isinstance(rhs, Lam)
+        assert isinstance(rhs.body, Lam)
+        case = rhs.body.body
+        assert isinstance(case, Case)
+        scrut = case.scrutinee
+        assert isinstance(scrut, Con) and scrut.name == "Tuple2"

@@ -1,0 +1,56 @@
+"""Whole-program pretty-printing: data declarations and modules
+round-trip through the parser."""
+
+import pytest
+
+from repro.lang.names import alpha_equivalent
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_data_decl, pretty_program
+
+SOURCES = [
+    "x = 1\ny = x + 1",
+    "data Color = Red | Green | Blue\npick = Red",
+    "data Box a = Box a Int\nmk v = Box v 1",
+    "data Tree a = Leaf | Node (Tree a) a (Tree a)\nempty = Leaf",
+    "f Nil = 0\nf (Cons x xs) = 1 + f xs",
+    "apply2 g v = g (g v)",
+]
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_roundtrip(self, source):
+        program = parse_program(source)
+        printed = pretty_program(program)
+        reparsed = parse_program(printed)
+        assert len(reparsed.binds) == len(program.binds)
+        for (name_a, rhs_a), (name_b, rhs_b) in zip(
+            program.binds, reparsed.binds
+        ):
+            assert name_a == name_b
+            assert alpha_equivalent(rhs_a, rhs_b), printed
+        assert reparsed.data_decls == program.data_decls
+
+
+class TestDataDeclRendering:
+    def test_enum(self):
+        program = parse_program("data RGB = R | G | B\nx = R")
+        assert (
+            pretty_data_decl(program.data_decls[0])
+            == "data RGB = R | G | B"
+        )
+
+    def test_fields_and_params(self):
+        program = parse_program("data P a b = P a b\nx = 1")
+        assert (
+            pretty_data_decl(program.data_decls[0])
+            == "data P a b = P a b"
+        )
+
+    def test_nested_field_type(self):
+        program = parse_program(
+            "data T = T (List Int) (Int -> Int)\nx = 1"
+        )
+        text = pretty_data_decl(program.data_decls[0])
+        assert "(List Int)" in text
+        assert "(Int -> Int)" in text

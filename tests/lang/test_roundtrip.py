@@ -1,0 +1,68 @@
+"""Pretty-printer round-trip: ``parse(pretty(e))`` is alpha-equivalent
+to ``e`` (invariant 5 of DESIGN.md)."""
+
+from hypothesis import given, settings
+
+from repro.lang.names import alpha_equivalent
+from repro.lang.parser import parse_expr
+from repro.lang.pretty import pretty
+
+from tests.genexpr import int_exprs
+
+HAND_WRITTEN = [
+    "x",
+    "42",
+    "-7",
+    '"a string"',
+    "'c'",
+    "\\x -> x + 1",
+    "\\f x -> f (f x)",
+    "f a b c",
+    "1 + 2 * 3 - 4",
+    "1 - (2 - 3)",
+    "a `div` b `mod` c",
+    "a == b",
+    "Cons 1 (Cons 2 Nil)",
+    "Just (Just 3)",
+    "(1, (2, 3))",
+    "case xs of { Cons y ys -> y; Nil -> 0 }",
+    "case n of { 0 -> 1; _ -> n * 2 }",
+    "let { x = 1; y = x + 1 } in y",
+    "let { f = \\x -> f x } in f 1",
+    "raise DivideByZero",
+    "raise (UserError \"boom\")",
+    "fix (\\f -> f)",
+    "seq a b",
+    "mapException (\\e -> e) x",
+    "getException (1 `div` 0)",
+    "if a then b else c",
+    "(case c of { True -> f; False -> g }) x",
+]
+
+
+class TestHandWrittenRoundTrip:
+    def test_all_cases(self):
+        for source in HAND_WRITTEN:
+            expr = parse_expr(source)
+            reparsed = parse_expr(pretty(expr))
+            assert alpha_equivalent(expr, reparsed), (
+                f"round-trip failed for {source!r}: "
+                f"pretty = {pretty(expr)!r}"
+            )
+
+
+class TestPropertyRoundTrip:
+    @given(int_exprs(depth=4))
+    @settings(max_examples=200, deadline=None)
+    def test_parse_pretty_roundtrip(self, expr):
+        printed = pretty(expr)
+        reparsed = parse_expr(printed)
+        assert alpha_equivalent(expr, reparsed), printed
+
+    @given(int_exprs(depth=3))
+    @settings(max_examples=100, deadline=None)
+    def test_pretty_is_stable(self, expr):
+        """pretty . parse . pretty == pretty (idempotent rendering)."""
+        once = pretty(expr)
+        twice = pretty(parse_expr(once))
+        assert once == twice

@@ -1,0 +1,158 @@
+"""Operational machine: basic evaluation, laziness, sharing."""
+
+import pytest
+
+from repro.api import compile_expr, observe_source
+from repro.machine import (
+    Diverged,
+    Exceptional,
+    LeftToRight,
+    Machine,
+    Normal,
+    observe,
+)
+from repro.machine.eval import MachineError
+from repro.machine.values import VCon, VFun, VInt, VStr
+from repro.prelude.loader import machine_env
+
+
+def run(source, **kwargs):
+    return observe_source(source, **kwargs)
+
+
+def normal_int(outcome):
+    assert isinstance(outcome, Normal), str(outcome)
+    assert isinstance(outcome.value, VInt)
+    return outcome.value.value
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert normal_int(run("1 + 2 * 3")) == 7
+
+    def test_application(self):
+        assert normal_int(run("(\\x y -> x - y) 10 4")) == 6
+
+    def test_string(self):
+        out = run('strAppend "ab" "cd"')
+        assert isinstance(out, Normal)
+        assert out.value == VStr("abcd")
+
+    def test_conditional(self):
+        assert normal_int(run("if 1 < 2 then 10 else 20")) == 10
+
+    def test_prelude_functions(self):
+        assert normal_int(run("sum (map (\\x -> x * x) [1, 2, 3])")) == 14
+
+    def test_constructor_value(self):
+        out = run("Just 5")
+        assert isinstance(out, Normal)
+        assert isinstance(out.value, VCon)
+        assert out.value.name == "Just"
+
+    def test_lambda_value(self):
+        out = run("\\x -> x")
+        assert isinstance(out.value, VFun)
+
+
+class TestLaziness:
+    def test_unused_exceptional_argument(self):
+        assert normal_int(run("(\\x -> 3) (1 `div` 0)")) == 3
+
+    def test_unused_diverging_argument(self):
+        assert normal_int(
+            run("const 4 (let { w = \\u -> w u } in w ())", fuel=100_000)
+        ) == 4
+
+    def test_infinite_list_take(self):
+        out = run("sum (take 5 (iterate (\\x -> x + 1) 1))")
+        assert normal_int(out) == 15
+
+    def test_exception_hides_in_structure(self):
+        # Section 3.2: exceptional values lurk inside lazy structures.
+        assert normal_int(run("length [1 `div` 0, 2]")) == 2
+
+    def test_deep_forcing_finds_it(self):
+        out = run("[1 `div` 0, 2]", deep=True)
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "DivideByZero"
+
+    def test_sharing_memoises(self):
+        machine = Machine()
+        env = machine_env(machine)
+        expr = compile_expr("let { x = sum (enumFromTo 1 100) } in x + x")
+        value = machine.eval(expr, env)
+        assert isinstance(value, VInt) and value.value == 10100
+        # Rough sharing check: the sum must only have been computed
+        # once.  200 additions would roughly double prim_ops.
+        assert machine.stats.prim_ops < 350
+
+
+class TestExceptions:
+    def test_raise_propagates(self):
+        out = run("1 + (2 * raise Overflow)")
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "Overflow"
+
+    def test_pattern_match_failure(self):
+        out = run("case Nothing of { Just x -> x }")
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "PatternMatchFail"
+
+    def test_error_function(self):
+        out = run('error "boom"')
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "UserError"
+        assert out.exc.arg == "boom"
+
+    def test_exception_in_case_scrutinee(self):
+        out = run("case (1 `div` 0) of { 1 -> 2; _ -> 3 }")
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "DivideByZero"
+
+    def test_seq_forces(self):
+        out = run("seq (1 `div` 0) 42")
+        assert isinstance(out, Exceptional)
+
+
+class TestDivergence:
+    def test_fuel_exhaustion(self):
+        out = run("let { f = \\x -> f (not x) } in f True", fuel=10_000)
+        assert isinstance(out, Diverged)
+
+    def test_fix_identity_detected_or_diverges(self):
+        out = run("fix (\\x -> x)", fuel=10_000)
+        # fix (\x->x) re-enters its own knot cell: the blackhole
+        # detector reports NonTermination.
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "NonTermination"
+
+
+class TestStats:
+    def test_counters_move(self):
+        machine = Machine()
+        env = machine_env(machine)
+        machine.eval(compile_expr("sum [1, 2, 3]"), env)
+        stats = machine.stats
+        assert stats.steps > 0
+        assert stats.allocations > 0
+        assert stats.prim_ops > 0
+        assert stats.thunks_forced > 0
+
+    def test_snapshot_is_copy(self):
+        machine = Machine()
+        snap = machine.stats.snapshot()
+        machine.stats.steps += 5
+        assert snap.steps != machine.stats.steps
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(MachineError):
+            machine = Machine()
+            machine.eval(compile_expr("nonexistent"), {})
+
+    def test_apply_non_function(self):
+        with pytest.raises(MachineError):
+            machine = Machine()
+            machine.eval(compile_expr("1 2"), {})

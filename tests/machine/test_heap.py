@@ -1,0 +1,114 @@
+"""Heap cell behaviour: the Section 3.3 implementation details —
+memoisation, blackholing, and overwriting abandoned thunks with
+``raise ex``."""
+
+import pytest
+
+from repro.api import compile_expr
+from repro.core.excset import DIVIDE_BY_ZERO, NON_TERMINATION, OVERFLOW
+from repro.machine import Cell, Machine, MachineDiverged, ObjRaise
+from repro.machine.values import VInt
+from repro.prelude.loader import machine_env
+
+
+class TestMemoisation:
+    def test_forced_once(self):
+        machine = Machine()
+        cell = Cell(compile_expr("1 + 1"), {})
+        assert cell.force(machine) == VInt(2)
+        steps_after_first = machine.stats.steps
+        assert cell.force(machine) == VInt(2)
+        assert machine.stats.steps == steps_after_first
+
+    def test_ready_cell(self):
+        machine = Machine()
+        cell = Cell.ready(VInt(9))
+        assert cell.force(machine) == VInt(9)
+        assert machine.stats.steps == 0
+
+
+class TestRaiseOverwriting:
+    """Section 3.3: "we must be careful to overwrite each thunk that is
+    under evaluation with (raise ex).  That way, if the thunk is
+    evaluated again, the same exception will be raised again."
+    """
+
+    def test_reraise_same_exception(self):
+        machine = Machine()
+        cell = Cell(compile_expr("1 `div` 0"), {})
+        with pytest.raises(ObjRaise) as first:
+            cell.force(machine)
+        with pytest.raises(ObjRaise) as second:
+            cell.force(machine)
+        assert first.value.exc == second.value.exc == DIVIDE_BY_ZERO
+
+    def test_reraise_costs_nothing(self):
+        machine = Machine()
+        cell = Cell(compile_expr("1 `div` 0"), {})
+        with pytest.raises(ObjRaise):
+            cell.force(machine)
+        steps = machine.stats.steps
+        with pytest.raises(ObjRaise):
+            cell.force(machine)
+        assert machine.stats.steps == steps
+
+    def test_raising_cell_constructor(self):
+        machine = Machine()
+        cell = Cell.raising(OVERFLOW)
+        with pytest.raises(ObjRaise) as err:
+            cell.force(machine)
+        assert err.value.exc == OVERFLOW
+
+    def test_shared_thunk_raises_consistently(self):
+        # Both consumers of a shared exceptional thunk see the *same*
+        # exception, even under a strategy that would pick differently
+        # on re-evaluation — this is why β-expansion is the dangerous
+        # direction for the non-deterministic baseline.
+        machine = Machine()
+        env = machine_env(machine)
+        expr = compile_expr(
+            'let { x = (1 `div` 0) + error "Urk" } in Tuple2 x x'
+        )
+        pair = machine.eval(expr, env)
+        seen = []
+        for sub in pair.args:
+            try:
+                sub.force(machine)
+            except ObjRaise as err:
+                seen.append(err.exc)
+        assert len(seen) == 2
+        assert seen[0] == seen[1]
+
+
+class TestBlackholes:
+    """Section 5.2: black = black + 1 is "readily detected as a
+    so-called black hole"; getException is then permitted to report
+    NonTermination."""
+
+    def test_detected_as_nontermination(self):
+        machine = Machine(detect_blackholes=True)
+        cell = Cell(
+            compile_expr("let { black = black + 1 } in black"), {}
+        )
+        with pytest.raises(ObjRaise) as err:
+            cell.force(machine)
+        assert err.value.exc == NON_TERMINATION
+
+    def test_detection_is_optional(self):
+        # "permitted, but not required" — with detection off, the
+        # machine just runs out of fuel.
+        machine = Machine(detect_blackholes=False, fuel=5_000)
+        cell = Cell(
+            compile_expr("let { black = black + 1 } in black"), {}
+        )
+        with pytest.raises(MachineDiverged):
+            cell.force(machine)
+
+    def test_productive_knot_is_not_a_blackhole(self):
+        machine = Machine()
+        env = machine_env(machine)
+        value = machine.eval(
+            compile_expr("head (let { xs = Cons 7 xs } in tail xs)"),
+            env,
+        )
+        assert value == VInt(7)

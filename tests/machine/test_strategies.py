@@ -1,0 +1,81 @@
+"""Evaluation strategies: the imprecision made visible (Section 3.5 /
+E5): different orders observe different members of the denoted set."""
+
+import pytest
+
+from repro.api import denote_source, observe_source
+from repro.core.domains import Bad
+from repro.machine import Exceptional, LeftToRight, Normal, RightToLeft, Shuffled
+from repro.machine.strategy import standard_strategies
+
+PAPER_EXPR = '(1 `div` 0) + error "Urk"'
+
+
+class TestOrders:
+    def test_left_to_right(self):
+        assert LeftToRight().order("+", 2) == (0, 1)
+
+    def test_right_to_left(self):
+        assert RightToLeft().order("+", 2) == (1, 0)
+
+    def test_shuffled_deterministic_per_seed(self):
+        a = [Shuffled(3).order("+", 2) for _ in range(5)]
+        b = [Shuffled(3).order("+", 2) for _ in range(5)]
+        assert a == b
+
+    def test_shuffled_is_permutation(self):
+        strategy = Shuffled(11)
+        for n in (2, 3, 4):
+            order = strategy.order("op", n)
+            assert sorted(order) == list(range(n))
+
+
+class TestImprecisionObservable:
+    def test_different_strategies_different_exceptions(self):
+        left = observe_source(PAPER_EXPR, strategy=LeftToRight())
+        right = observe_source(PAPER_EXPR, strategy=RightToLeft())
+        assert isinstance(left, Exceptional)
+        assert isinstance(right, Exceptional)
+        assert left.exc.name == "DivideByZero"
+        assert right.exc.name == "UserError"
+
+    def test_every_observation_in_denoted_set(self):
+        denoted = denote_source(PAPER_EXPR)
+        assert isinstance(denoted, Bad)
+        for strategy in standard_strategies():
+            out = observe_source(PAPER_EXPR, strategy=strategy)
+            assert isinstance(out, Exceptional)
+            assert out.exc in denoted.excs, (
+                f"{strategy}: {out.exc} not in {denoted.excs}"
+            )
+
+    def test_same_strategy_reproducible(self):
+        # "Successive runs of a program, using the same compiler
+        # optimisation level, will in practice give the same
+        # behaviour" (Section 3.5).
+        outs = [
+            observe_source(PAPER_EXPR, strategy=Shuffled(5)).exc
+            for _ in range(3)
+        ]
+        assert len(set(outs)) == 1
+
+    def test_normal_results_strategy_independent(self):
+        for strategy in standard_strategies():
+            out = observe_source(
+                "sum (enumFromTo 1 20)", strategy=strategy
+            )
+            assert isinstance(out, Normal)
+            assert out.value.value == 210
+
+    def test_three_way_choice(self):
+        source = "(1 `div` 0) + (raise Overflow + error \"c\")"
+        denoted = denote_source(source)
+        observed = {
+            observe_source(source, strategy=s).exc.name
+            for s in standard_strategies()
+        }
+        # At least two different representatives observed...
+        assert len(observed) >= 2
+        # ... and all of them denoted.
+        names = {e.name for e in denoted.excs.finite_members()}
+        assert observed <= names

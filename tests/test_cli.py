@@ -1,0 +1,201 @@
+"""CLI tests: every subcommand through main()."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDenote:
+    def test_simple(self, capsys):
+        code, out, _err = run_cli(capsys, "denote", "1 + 2")
+        assert code == 0
+        assert out.strip() == "Ok 3"
+
+    def test_exception_set(self, capsys):
+        _code, out, _ = run_cli(
+            capsys, "denote", '(1 `div` 0) + error "Urk"'
+        )
+        assert "DivideByZero" in out and "Urk" in out
+
+    def test_fixed_order_semantics(self, capsys):
+        _code, out, _ = run_cli(
+            capsys,
+            "denote",
+            '(1 `div` 0) + error "Urk"',
+            "--semantics",
+            "fixed-order",
+        )
+        assert "DivideByZero" in out and "Urk" not in out
+
+
+class TestEval:
+    def test_normal(self, capsys):
+        code, out, _ = run_cli(capsys, "eval", "sum [1, 2, 3]")
+        assert code == 0
+        assert out.strip() == "6"
+
+    def test_strategy_changes_exception(self, capsys):
+        _c, left, _ = run_cli(
+            capsys, "eval", '(1 `div` 0) + error "Urk"'
+        )
+        _c, right, _ = run_cli(
+            capsys,
+            "eval",
+            '(1 `div` 0) + error "Urk"',
+            "--strategy",
+            "right-to-left",
+        )
+        assert "DivideByZero" in left
+        assert "Urk" in right
+
+    def test_shuffled_strategy(self, capsys):
+        code, _out, _ = run_cli(
+            capsys, "eval", "1 + 1", "--strategy", "shuffled:3"
+        )
+        assert code == 0
+
+    def test_unknown_strategy(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "eval", "1", "--strategy", "nope")
+
+    def test_lazy_structure_rendering(self, capsys):
+        _c, out, _ = run_cli(capsys, "eval", "[1 `div` 0, 2]")
+        assert "<raise DivideByZero>" in out
+
+
+class TestLaw:
+    def test_identity_exit_zero(self, capsys):
+        code, out, _ = run_cli(capsys, "law", "a + b", "b + a")
+        assert code == 0
+        assert "identity" in out
+
+    def test_unsound_exit_one(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "law", "a + b", "b + a", "--semantics", "fixed-order"
+        )
+        assert code == 1
+        assert "unsound" in out
+
+    def test_function_vars(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "law",
+            "(\\x -> f x) a",
+            "f a",
+            "--functions",
+            "f",
+        )
+        assert code == 0
+        assert "identity" in out
+
+
+class TestTrace:
+    def test_enumerates(self, capsys):
+        _c, out, _ = run_cli(
+            capsys,
+            "trace",
+            "getException (1 `div` 0) >>= (\\r -> returnIO r)",
+        )
+        assert "ok" in out
+
+    def test_branching(self, capsys):
+        _c, out, _ = run_cli(
+            capsys,
+            "trace",
+            "getException ((1 `div` 0) + raise Overflow) >>= "
+            "(\\r -> case r of { OK v -> putChar 'k'; "
+            "Bad e -> case e of { DivideByZero -> putChar 'd'; "
+            "_ -> putChar 'o' } })",
+        )
+        assert "!d" in out and "!o" in out
+
+
+class TestOptimise:
+    def test_beta(self, capsys):
+        _c, out, _ = run_cli(
+            capsys, "optimise", "(\\x -> x + 1) 2", "--level", "O1"
+        )
+        assert out.strip() == "2 + 1"
+
+    def test_o0_echo(self, capsys):
+        _c, out, _ = run_cli(
+            capsys, "optimise", "a + b", "--level", "O0"
+        )
+        assert out.strip() == "a + b"
+
+
+class TestFileCommands:
+    def test_run_program(self, capsys, tmp_path):
+        script = tmp_path / "hello.hs"
+        script.write_text('main = putStr "hi"\n')
+        code, out, _ = run_cli(capsys, "run", str(script))
+        assert code == 0
+        assert out == "hi"
+
+    def test_run_uncaught_exit_code(self, capsys, tmp_path):
+        script = tmp_path / "boom.hs"
+        script.write_text("main = putStr (showInt (1 `div` 0))\n")
+        code, _out, err = run_cli(capsys, "run", str(script))
+        assert code == 1
+        assert "DivideByZero" in err
+
+    def test_run_with_stdin(self, capsys, tmp_path):
+        script = tmp_path / "echo.hs"
+        script.write_text(
+            "main = getChar >>= (\\c -> putChar c)\n"
+        )
+        code, out, _ = run_cli(
+            capsys, "run", str(script), "--stdin", "z"
+        )
+        assert out == "z"
+
+    def test_typecheck_file(self, capsys, tmp_path):
+        script = tmp_path / "mod.hs"
+        script.write_text("double x = x + x\n")
+        code, out, _ = run_cli(capsys, "typecheck", str(script))
+        assert code == 0
+        assert "double :: Int -> Int" in out
+
+
+class TestDenoteDeep:
+    def test_deep_rendering(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "denote", "[1, 2 `div` 0, 3]", "--deep"
+        )
+        assert code == 0
+        assert out.strip() == "[1, <Bad {DivideByZero}>, 3]"
+
+    def test_shallow_default(self, capsys):
+        _c, out, _ = run_cli(capsys, "denote", "[1, 2]")
+        assert "Cons" in out
+
+
+class TestLawTypedConvention:
+    def test_case_switch_via_cli(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "law",
+            "case x of { Tuple2 a b -> "
+            "case y of { Tuple2 s t -> a + s } }",
+            "case y of { Tuple2 s t -> "
+            "case x of { Tuple2 a b -> a + s } }",
+        )
+        assert code == 0
+        assert "identity" in out
+
+    def test_plain_disables_convention(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "law",
+            "case x of { Tuple2 a b -> a }",
+            "case x of { Tuple2 a b -> a }",
+            "--plain",
+        )
+        # Reflexive, so still identity even with scalar x.
+        assert code == 0

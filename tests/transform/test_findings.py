@@ -1,0 +1,111 @@
+"""Reproduction findings that go *beyond* the paper's text.
+
+The paper conjectures (Section 4.5) that "optimising transformations
+are either identities or refinements" and backs the app-of-case example
+with the instantiation f = g = \\v.1.  Our verifier, quantifying over a
+battery that also contains ⊥-bodied functions, finds that the
+conjecture needs a caveat: with g = \\v.⊥ the same rewrite *decreases*
+information.  This file pins the finding down precisely (F-2 in
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core.denote import DenoteContext, denote
+from repro.core.domains import BOTTOM, Bad, FunVal, Ok, Thunk
+from repro.core.excset import ExcSet, user_error
+from repro.core.ordering import refines
+from repro.lang.match import flatten_case_patterns
+from repro.lang.parser import parse_expr
+
+LHS_SRC = "(case e of { True -> f; False -> g }) x"
+RHS_SRC = "case e of { True -> f x; False -> g x }"
+
+
+def _denote_with(env_values):
+    lhs = flatten_case_patterns(parse_expr(LHS_SRC))
+    rhs = flatten_case_patterns(parse_expr(RHS_SRC))
+    env = {k: Thunk.ready(v) for k, v in env_values.items()}
+    lv = denote(lhs, dict(env), DenoteContext(fuel=10_000))
+    rv = denote(rhs, dict(env), DenoteContext(fuel=10_000))
+    return lv, rv
+
+
+class TestAppOfCaseFinding:
+    def test_paper_instantiation_is_refinement(self):
+        """e = raise E, x = raise X, f = g = \\v.1 gives
+        lhs = Bad {E, X} and rhs = Bad {E} — the paper's numbers."""
+        e = Bad(ExcSet.of(user_error("E")))
+        x = Bad(ExcSet.of(user_error("X")))
+        fun = Ok(FunVal(lambda t: Ok(1), label="\\v -> 1"))
+        lhs, rhs = _denote_with({"e": e, "x": x, "f": fun, "g": fun})
+        assert lhs == Bad(ExcSet.of(user_error("E"), user_error("X")))
+        assert rhs == Bad(ExcSet.of(user_error("E")))
+        assert refines(lhs, rhs)
+        assert not refines(rhs, lhs)
+
+    def test_bottom_bodied_function_reverses_the_refinement(self):
+        """F-2: with g = \\v.⊥ the rewrite *loses* information:
+        lhs = Bad {E} but rhs = ⊥ (exploring the False branch applies
+        g, whose body is ⊥, in exception-finding mode)."""
+        e = Bad(ExcSet.of(user_error("E")))
+        x = Ok(0)
+        f = Ok(FunVal(lambda t: Ok(3), label="\\_ -> 3"))
+        g = Ok(FunVal(lambda t: BOTTOM, label="\\_ -> bottom"))
+        lhs, rhs = _denote_with({"e": e, "x": x, "f": f, "g": g})
+        assert lhs == Bad(ExcSet.of(user_error("E")))
+        assert rhs == BOTTOM
+        # The rewrite direction lhs -> rhs is NOT a refinement here:
+        assert not refines(lhs, rhs)
+        # ... in fact it goes strictly the other way:
+        assert refines(rhs, lhs)
+
+    def test_exception_returning_function_also_reverses(self):
+        """F-2 continued: g x = Bad {F} also breaks the refinement —
+        the rhs explores the application and gains F, so
+        rhs = Bad {E, F} ⊑ lhs = Bad {E}."""
+        e = Bad(ExcSet.of(user_error("E")))
+        f = Ok(FunVal(lambda t: Bad(ExcSet.of(user_error("F")))))
+        lhs, rhs = _denote_with({"e": e, "x": Ok(0), "f": f, "g": f})
+        assert lhs == Bad(ExcSet.of(user_error("E")))
+        assert rhs == Bad(ExcSet.of(user_error("E"), user_error("F")))
+        assert not refines(lhs, rhs)
+        assert refines(rhs, lhs)
+
+    def test_conjecture_caveat_documented(self):
+        """The caveat: the rewrite is a refinement whenever the branch
+        bodies applied to the argument yield *normal* values (as in the
+        paper's own instantiation, f = g = \\v.1)."""
+        e = Bad(ExcSet.of(user_error("E")))
+        for result in (Ok(1), Ok(42)):
+            f = Ok(FunVal(lambda t, r=result: r))
+            lhs, rhs = _denote_with(
+                {"e": e, "x": Bad(ExcSet.of(user_error("X"))), "f": f,
+                 "g": f}
+            )
+            assert refines(lhs, rhs)
+
+    def test_either_direction_operationally_sound(self):
+        """Despite the denotational wobble, every machine observation
+        of either side is a member of *both* sides' exception sets —
+        the rewrite never misleads an implementation."""
+        from repro.api import compile_expr
+        from repro.machine import Exceptional, Machine, observe
+        from repro.machine.strategy import standard_strategies
+
+        lhs = compile_expr(
+            "(case raise (UserError \"E\") of "
+            "{ True -> \\v -> 1; False -> \\v -> 1 }) "
+            "(raise (UserError \"X\"))"
+        )
+        rhs = compile_expr(
+            "case raise (UserError \"E\") of "
+            "{ True -> (\\v -> 1) (raise (UserError \"X\")); "
+            "False -> (\\v -> 1) (raise (UserError \"X\")) }"
+        )
+        for expr in (lhs, rhs):
+            for strategy in standard_strategies():
+                machine = Machine(strategy=strategy)
+                out = observe(expr, machine=machine)
+                assert isinstance(out, Exceptional)
+                assert out.exc == user_error("E")

@@ -1,0 +1,101 @@
+"""The -fno-pedantic-bottoms flag (Section 5.3 footnote): laws that
+hold only under a no-⊥ proof obligation."""
+
+import pytest
+
+from repro.api import check_law_sources
+from repro.core.laws import BOOL_BATTERY
+from repro.lang.names import NameSupply
+from repro.lang.parser import parse_expr
+from repro.transform.pedantic import (
+    NO_BOTTOM_BATTERY,
+    CollapseIdenticalAlts,
+    DropSeqOnNonBottom,
+)
+
+
+def fire(rule, source):
+    expr = parse_expr(source)
+    return rule.try_rewrite(expr, NameSupply())
+
+
+class TestRewriting:
+    def test_collapse_fires_on_identical_bodies(self):
+        result = fire(
+            CollapseIdenticalAlts(),
+            "case v of { True -> a + 1; False -> a + 1 }",
+        )
+        assert result == parse_expr("a + 1")
+
+    def test_collapse_requires_identical_bodies(self):
+        assert (
+            fire(
+                CollapseIdenticalAlts(),
+                "case v of { True -> 1; False -> 2 }",
+            )
+            is None
+        )
+
+    def test_collapse_respects_pattern_bindings(self):
+        assert (
+            fire(
+                CollapseIdenticalAlts(),
+                "case v of { Just y -> y; Nothing -> y }",
+            )
+            is None
+        )
+
+    def test_drop_seq_fires(self):
+        assert fire(DropSeqOnNonBottom(), "seq a b") == parse_expr("b")
+
+
+class TestProofObligation:
+    """The paper's law: unsound in general, identity once the
+    obligation (no sub-expression is ⊥/exceptional) is discharged."""
+
+    LHS = "case v of { True -> e; False -> e }"
+    RHS = "e"
+
+    def test_unsound_with_pedantic_bottoms(self):
+        report = check_law_sources(
+            self.LHS,
+            self.RHS,
+            name="collapse-pedantic",
+            var_batteries={"v": BOOL_BATTERY},
+        )
+        assert report.verdict == "unsound"
+        # The counterexample drops the scrutinee's exception.
+        assert report.counterexample is not None
+
+    def test_identity_with_obligation_discharged(self):
+        from repro.core.domains import ConVal, Ok
+
+        normal_bools = (Ok(ConVal("True")), Ok(ConVal("False")))
+        report = check_law_sources(
+            self.LHS,
+            self.RHS,
+            name="collapse-no-pedantic",
+            var_batteries={
+                "v": normal_bools,
+                "e": NO_BOTTOM_BATTERY,
+            },
+        )
+        assert report.verdict == "identity"
+
+    def test_drop_seq_unsound_generally(self):
+        report = check_law_sources(
+            "seq a b", "b", name="drop-seq-pedantic"
+        )
+        assert report.verdict == "unsound"
+
+    def test_drop_seq_identity_under_obligation(self):
+        report = check_law_sources(
+            "seq a b",
+            "b",
+            name="drop-seq-no-pedantic",
+            var_batteries={
+                "a": NO_BOTTOM_BATTERY,
+                "b": NO_BOTTOM_BATTERY,
+            },
+        )
+        assert report.verdict == "identity"

@@ -1,0 +1,128 @@
+"""Optimisation pipelines: meaning-preservation and the E5 effect
+(different levels may observe different members of the denoted set)."""
+
+import pytest
+
+from repro.analysis.strictness import analyse_program
+from repro.api import compile_expr, compile_program, denote_source
+from repro.core.denote import DenoteContext, denote
+from repro.core.domains import Bad, Ok
+from repro.core.ordering import refines
+from repro.lang.ast import expr_size
+from repro.machine import Machine, Exceptional, observe
+from repro.prelude.loader import denote_env, machine_env
+from repro.transform import O0, O1, O2, OptLevel, pipeline_for
+from repro.transform.pipeline import O2_commuted, O2_strict
+
+SOURCES = [
+    "(\\x -> x + x) (a * 2)",
+    "let { v = a + b } in v * v",
+    "case Just a of { Just v -> v + 1; Nothing -> 0 }",
+    "(case p of { True -> f; False -> g }) (a + 1)",
+    "case (case p of { True -> q; False -> r }) of "
+    "{ True -> 1; False -> 2 }",
+    "seq (a + b) (b + a)",
+]
+
+
+def _denote(expr, fuel=100_000):
+    ctx = DenoteContext(fuel=fuel)
+    env = denote_env(ctx)
+    return denote(expr, env, ctx)
+
+
+class TestMeaningPreservation:
+    @pytest.mark.parametrize("level", [O1, O2], ids=lambda lv: lv.name)
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_optimised_refines_original(self, level, source):
+        from repro.core.laws import (
+            BOOL_BATTERY,
+            DEFAULT_BATTERY,
+            TOTAL_FUNCTION_BATTERY,
+            check_law,
+        )
+
+        expr = compile_expr(source)
+        optimised = level.optimise(expr)
+        report = check_law(
+            expr,
+            optimised,
+            name=f"{level.name}:{source}",
+            var_batteries={
+                "f": TOTAL_FUNCTION_BATTERY,
+                "g": TOTAL_FUNCTION_BATTERY,
+                "p": BOOL_BATTERY,
+                "q": BOOL_BATTERY,
+                "r": BOOL_BATTERY,
+            },
+            max_environments=400,
+        )
+        assert report.holds, str(report)
+
+    def test_o0_is_identity_function(self):
+        expr = compile_expr(SOURCES[0])
+        assert O0.optimise(expr) == expr
+
+    def test_optimisation_shrinks_redexes(self):
+        expr = compile_expr("(\\x -> x + x) 3")
+        optimised = O2.optimise(expr)
+        assert expr_size(optimised) < expr_size(expr)
+
+
+class TestObservableImprecision:
+    """E5's mechanism: a commuting optimiser changes which exception
+    the machine meets first; all observations stay in the denoted set."""
+
+    SOURCE = '(1 `div` 0) + error "Urk"'
+
+    def test_commuted_pipeline_changes_observation(self):
+        base_expr = compile_expr(self.SOURCE)
+        commuted = O2_commuted().optimise(base_expr)
+
+        machine_a = Machine()
+        out_a = observe(
+            base_expr, env=machine_env(machine_a), machine=machine_a
+        )
+        machine_b = Machine()
+        out_b = observe(
+            commuted, env=machine_env(machine_b), machine=machine_b
+        )
+        assert isinstance(out_a, Exceptional)
+        assert isinstance(out_b, Exceptional)
+        assert out_a.exc != out_b.exc
+
+    def test_all_levels_within_denoted_set(self):
+        denoted = denote_source(self.SOURCE)
+        assert isinstance(denoted, Bad)
+        for level in (O0, O1, O2, O2_commuted()):
+            expr = level.optimise(compile_expr(self.SOURCE))
+            machine = Machine()
+            out = observe(expr, env=machine_env(machine), machine=machine)
+            assert isinstance(out, Exceptional)
+            assert out.exc in denoted.excs, f"{level}: {out.exc}"
+
+
+class TestStrictPipeline:
+    def test_strictness_level_runs(self):
+        program = compile_program(
+            "addUp n acc = if n == 0 then acc else addUp (n - 1) (acc + n)\n"
+            "main = addUp 10 0"
+        )
+        strict_env = analyse_program(program)
+        level = O2_strict(strict_env)
+        optimised = level.optimise_program(program)
+        machine = Machine()
+        from repro.machine.eval import program_env
+
+        env = program_env(optimised, machine, machine_env(machine))
+        assert env["main"].force(machine).value == 55
+
+
+class TestPipelineFactory:
+    def test_known_names(self):
+        for name in ("O0", "O1", "O2", "O2+strict", "O2+commute"):
+            assert isinstance(pipeline_for(name), OptLevel)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            pipeline_for("O9")

@@ -1,0 +1,248 @@
+"""Individual rewrite rules: syntactic behaviour."""
+
+import pytest
+
+from repro.api import compile_expr
+from repro.lang.ast import App, Case, Lam, Let, Lit, PrimOp, Var
+from repro.lang.names import NameSupply, alpha_equivalent, free_vars
+from repro.lang.parser import parse_expr
+from repro.transform import (
+    AppOfCase,
+    BetaReduce,
+    BetaToLet,
+    CaseOfCase,
+    CaseOfKnownCon,
+    CaseSwitch,
+    CommonSubexpression,
+    CommutePrimArgs,
+    DeadAltRemoval,
+    DeadLetElimination,
+    EtaReduce,
+    InlineLet,
+    LetFloatFromApp,
+    LetFloatFromCase,
+    rewrite_bottom_up,
+    rewrite_everywhere,
+    rewrite_fixpoint,
+)
+
+
+def fire(rule, source):
+    expr = compile_expr(source)
+    return rule.try_rewrite(expr, NameSupply(avoid=free_vars(expr)))
+
+
+class TestBetaReduce:
+    def test_fires_on_redex(self):
+        result = fire(BetaReduce(), "(\\x -> x + x) a")
+        assert alpha_equivalent(result, parse_expr("a + a"))
+
+    def test_no_fire_on_non_redex(self):
+        assert fire(BetaReduce(), "f a") is None
+
+    def test_capture_avoiding(self):
+        result = fire(BetaReduce(), "(\\x -> \\y -> x) y")
+        assert isinstance(result, Lam)
+        assert result.var != "y"
+        assert result.body == Var("y")
+
+
+class TestBetaToLet:
+    def test_produces_let(self):
+        result = fire(BetaToLet(), "(\\x -> x + x) (a * b)")
+        assert isinstance(result, Let)
+        assert result.binds[0][0] == "x"
+
+    def test_renames_when_arg_mentions_binder(self):
+        result = fire(BetaToLet(), "(\\x -> x + 1) (x * 2)")
+        assert isinstance(result, Let)
+        assert result.binds[0][0] != "x"
+
+
+class TestEtaReduce:
+    def test_fires(self):
+        assert fire(EtaReduce(), "\\x -> f x") == Var("f")
+
+    def test_no_fire_when_var_used_in_fn(self):
+        assert fire(EtaReduce(), "\\x -> x x") is None
+
+    def test_marked_unsound(self):
+        assert EtaReduce.expected == "unsound"
+
+
+class TestCaseRules:
+    def test_case_of_known_con(self):
+        result = fire(
+            CaseOfKnownCon(),
+            "case Just 3 of { Just x -> x + 1; Nothing -> 0 }",
+        )
+        assert alpha_equivalent(result, parse_expr("3 + 1"))
+
+    def test_case_of_known_con_skips_mismatches(self):
+        result = fire(
+            CaseOfKnownCon(),
+            "case Nothing of { Just x -> x; Nothing -> 9 }",
+        )
+        assert result == Lit(9, "int")
+
+    def test_case_of_known_literal(self):
+        result = fire(
+            CaseOfKnownCon(), "case 2 of { 1 -> 10; 2 -> 20; _ -> 0 }"
+        )
+        assert result == Lit(20, "int")
+
+    def test_case_of_case_fires(self):
+        result = fire(
+            CaseOfCase(),
+            "case (case a of { True -> b; False -> c }) of "
+            "{ True -> d; False -> e }",
+        )
+        assert isinstance(result, Case)
+        assert result.scrutinee == Var("a")
+        inner = result.alts[0].body
+        assert isinstance(inner, Case)
+
+    def test_app_of_case_fires(self):
+        result = fire(
+            AppOfCase(),
+            "(case c of { True -> f; False -> g }) a",
+        )
+        assert isinstance(result, Case)
+        assert isinstance(result.alts[0].body, App)
+
+    def test_case_switch_fires(self):
+        result = fire(
+            CaseSwitch(),
+            "case x of { Tuple2 a b -> "
+            "case y of { Tuple2 p q -> a + p } }",
+        )
+        assert isinstance(result, Case)
+        assert result.scrutinee == Var("y")
+
+    def test_case_switch_respects_dependency(self):
+        # Inner scrutinee bound by the outer pattern: must not fire.
+        assert (
+            fire(
+                CaseSwitch(),
+                "case x of { Tuple2 a b -> "
+                "case a of { Tuple2 p q -> p } }",
+            )
+            is None
+        )
+
+    def test_dead_alt_removal(self):
+        result = fire(
+            DeadAltRemoval(),
+            "case a of { _ -> 1; True -> 2 }",
+        )
+        assert isinstance(result, Case)
+        assert len(result.alts) == 1
+
+
+class TestLetRules:
+    def test_dead_let(self):
+        result = fire(DeadLetElimination(), "let { u = a } in 42")
+        assert result == Lit(42, "int")
+
+    def test_dead_let_keeps_used(self):
+        assert fire(DeadLetElimination(), "let { u = a } in u") is None
+
+    def test_partial_removal(self):
+        result = fire(
+            DeadLetElimination(), "let { u = a; v = b } in v"
+        )
+        assert isinstance(result, Let)
+        assert len(result.binds) == 1
+
+    def test_let_float_from_app(self):
+        result = fire(
+            LetFloatFromApp(), "(let { v = a } in f v) b"
+        )
+        assert isinstance(result, Let)
+        assert isinstance(result.body, App)
+
+    def test_let_float_from_app_no_capture(self):
+        assert (
+            fire(LetFloatFromApp(), "(let { v = a } in f v) v") is None
+        )
+
+    def test_let_float_from_case(self):
+        result = fire(
+            LetFloatFromCase(),
+            "case (let { v = a } in v) of { True -> 1; False -> 2 }",
+        )
+        assert isinstance(result, Let)
+        assert isinstance(result.body, Case)
+
+
+class TestInline:
+    def test_inline_single_use(self):
+        result = fire(InlineLet(), "let { v = a + b } in v * 2")
+        assert alpha_equivalent(result, parse_expr("(a + b) * 2"))
+
+    def test_no_inline_expensive_multi_use(self):
+        assert fire(InlineLet(), "let { v = f a } in v + v") is None
+
+    def test_inline_cheap_multi_use(self):
+        result = fire(InlineLet(), "let { v = a } in v + v")
+        assert alpha_equivalent(result, parse_expr("a + a"))
+
+    def test_aggressive_inlines_anything(self):
+        result = fire(
+            InlineLet(aggressive=True), "let { v = f a } in v + v"
+        )
+        assert alpha_equivalent(result, parse_expr("f a + f a"))
+
+    def test_recursive_binding_not_inlined(self):
+        assert fire(InlineLet(), "let { v = v + 1 } in v") is None
+
+
+class TestCommute:
+    def test_commutes_plus(self):
+        result = fire(CommutePrimArgs(), "a + b")
+        assert result == PrimOp("+", (Var("b"), Var("a")))
+
+    def test_does_not_commute_minus(self):
+        assert fire(CommutePrimArgs(), "a - b") is None
+
+    def test_commutes_only_requested_ops(self):
+        rule = CommutePrimArgs(ops=frozenset(["*"]))
+        assert fire(rule, "a + b") is None
+        assert fire(rule, "a * b") is not None
+
+
+class TestCSE:
+    def test_shares_repeated_subexpression(self):
+        result = fire(CommonSubexpression(), "(a + b) * (a + b)")
+        assert isinstance(result, Let)
+        (name, rhs), = result.binds
+        assert alpha_equivalent(rhs, parse_expr("a + b"))
+
+    def test_no_fire_without_repetition(self):
+        assert fire(CommonSubexpression(), "(a + b) * (c + d)") is None
+
+
+class TestDrivers:
+    def test_bottom_up_counts(self):
+        expr = compile_expr("(\\x -> x) ((\\y -> y) 1)")
+        result, count = rewrite_bottom_up(expr, BetaReduce())
+        assert count == 2
+        assert result == Lit(1, "int")
+
+    def test_fixpoint_reaches_normal_form(self):
+        expr = compile_expr(
+            "let { v = 1 } in (\\x -> x + v) 2"
+        )
+        result, fired = rewrite_fixpoint(
+            expr, [BetaReduce(), InlineLet(), DeadLetElimination()]
+        )
+        assert fired >= 2
+        assert alpha_equivalent(result, parse_expr("2 + 1"))
+
+    def test_fixpoint_bounded(self):
+        # Commute ping-pongs forever; the round budget must stop it.
+        expr = compile_expr("a + b")
+        result, _fired = rewrite_fixpoint(
+            expr, [CommutePrimArgs()], max_rounds=5
+        )
+        assert isinstance(result, PrimOp)

@@ -1,0 +1,133 @@
+"""The verifier: rule classification under the three semantics (E3)."""
+
+import pytest
+
+from repro.baselines.fixed_order import fixed_order_ctx, naive_case_ctx
+from repro.transform import (
+    AppOfCase,
+    BetaReduce,
+    BetaToLet,
+    CaseOfCase,
+    CaseOfKnownCon,
+    CaseSwitch,
+    CommonSubexpression,
+    CommutePrimArgs,
+    DeadAltRemoval,
+    DeadLetElimination,
+    EtaReduce,
+    InlineLet,
+    LetFloatFromApp,
+    LetFloatFromCase,
+    classify_transformation,
+)
+
+ALL_RULES = [
+    BetaReduce(),
+    BetaToLet(),
+    CaseOfKnownCon(),
+    CaseOfCase(),
+    AppOfCase(),
+    CaseSwitch(),
+    DeadAltRemoval(),
+    DeadLetElimination(),
+    LetFloatFromApp(),
+    LetFloatFromCase(),
+    InlineLet(aggressive=True),
+    CommonSubexpression(),
+    CommutePrimArgs(),
+]
+
+
+class TestImpreciseSemantics:
+    """Every optimising rule is an identity or a refinement — the
+    paper's conjecture (Section 4.5), verified on the corpus."""
+
+    @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.name)
+    def test_rule_is_legitimate(self, rule):
+        report = classify_transformation(rule)
+        assert report.firings > 0, f"{rule.name}: corpus never fires it"
+        assert report.valid, str(report)
+
+    @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.name)
+    def test_verdict_matches_expectation(self, rule):
+        report = classify_transformation(rule)
+        if rule.expected == "identity":
+            assert report.worst == "identity", str(report)
+        else:
+            assert report.worst in ("identity", "refinement"), str(report)
+
+    def test_eta_reduce_rejected(self):
+        # The one deliberately-unsound rule: λx.fx -> f loses the
+        # normal-value-ness of the lambda (Section 4.2).
+        report = classify_transformation(EtaReduce())
+        assert report.firings > 0
+        assert not report.valid
+        assert report.counterexamples
+
+
+class TestFixedOrderSemantics:
+    """Under the ML/FL baseline the reordering rules break (E3)."""
+
+    def test_commute_unsound(self):
+        report = classify_transformation(
+            CommutePrimArgs(),
+            ctx_factory=fixed_order_ctx,
+            semantics_name="fixed-order",
+        )
+        assert not report.valid
+        assert report.unsound > 0
+
+    def test_case_switch_unsound(self):
+        report = classify_transformation(
+            CaseSwitch(),
+            ctx_factory=fixed_order_ctx,
+            semantics_name="fixed-order",
+        )
+        assert not report.valid
+
+    def test_beta_still_valid(self):
+        # β does not reorder anything; it survives even the baseline.
+        report = classify_transformation(
+            BetaReduce(), ctx_factory=fixed_order_ctx
+        )
+        assert report.valid
+
+    def test_dead_let_still_valid(self):
+        report = classify_transformation(
+            DeadLetElimination(), ctx_factory=fixed_order_ctx
+        )
+        assert report.valid
+
+
+class TestNaiveCaseSemantics:
+    """E7: without exception-finding mode, case-switching dies."""
+
+    def test_case_switch_needs_exception_finding(self):
+        naive = classify_transformation(
+            CaseSwitch(),
+            ctx_factory=naive_case_ctx,
+            semantics_name="naive-case",
+        )
+        assert not naive.valid
+        imprecise = classify_transformation(CaseSwitch())
+        assert imprecise.valid
+
+    def test_commute_survives_naive_case(self):
+        # The naive case rule breaks case laws, not primitive laws.
+        report = classify_transformation(
+            CommutePrimArgs(), ctx_factory=naive_case_ctx
+        )
+        assert report.valid
+
+
+class TestReportAccounting:
+    def test_counts_add_up(self):
+        report = classify_transformation(CommutePrimArgs())
+        assert (
+            report.identities + report.refinements + report.unsound
+            == report.firings
+        )
+
+    def test_str_contains_name(self):
+        report = classify_transformation(BetaReduce())
+        assert "beta-reduce" in str(report)

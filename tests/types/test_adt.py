@@ -1,0 +1,82 @@
+"""ADT environment: declarations, elaboration, error cases."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.syntax_types import STCon, STFun, STVar
+from repro.types.adt import ADTEnv, ADTError
+from repro.types.types import INT, TCon, TFun, TVar
+
+
+def env_for(source):
+    return ADTEnv.from_programs(parse_program(source))
+
+
+class TestDeclarations:
+    def test_constructor_info(self):
+        env = env_for("data Box a = Box a Int\nx = 1")
+        info = env.constructor("Box")
+        assert info.type_name == "Box"
+        assert info.params == ("a",)
+        assert info.arity == 2
+        assert info.fields == (TVar("a"), INT)
+
+    def test_result_type(self):
+        env = env_for("data Pair a b = MkP a b\nx = 1")
+        info = env.constructor("MkP")
+        assert info.result_type() == TCon(
+            "Pair", (TVar("a"), TVar("b"))
+        )
+
+    def test_scheme(self):
+        env = env_for("data W = MkW Int\nx = 1")
+        scheme = env.constructor("MkW").scheme()
+        assert str(scheme.type) == "Int -> W"
+
+    def test_unknown_constructor(self):
+        env = ADTEnv()
+        with pytest.raises(ADTError):
+            env.constructor("Nope")
+
+    def test_recursive_declaration(self):
+        env = env_for("data T = L | N T T\nx = 1")
+        info = env.constructor("N")
+        assert info.fields == (TCon("T"), TCon("T"))
+
+
+class TestRedeclaration:
+    def test_identical_redeclaration_tolerated(self):
+        env = env_for("data B = Yes | No\nx = 1")
+        env.add_decl(parse_program("data B = Yes | No\nx = 1").data_decls[0])
+        assert env.constructor("Yes").type_name == "B"
+
+    def test_different_arity_rejected(self):
+        env = env_for("data B = Yes | No\nx = 1")
+        with pytest.raises(ADTError):
+            env.add_decl(
+                parse_program("data B a = Yes | No\nx = 1").data_decls[0]
+            )
+
+    def test_different_fields_rejected(self):
+        env = env_for("data B = Yes | No\nx = 1")
+        with pytest.raises(ADTError):
+            env.add_decl(
+                parse_program("data C = Yes Int\nx = 1").data_decls[0]
+            )
+
+
+class TestElaboration:
+    def test_var(self):
+        assert ADTEnv().elaborate(STVar("a")) == TVar("a")
+
+    def test_fun(self):
+        t = ADTEnv().elaborate(STFun(STCon("Int"), STVar("a")))
+        assert t == TFun(INT, TVar("a"))
+
+    def test_applied_con(self):
+        t = ADTEnv().elaborate(STCon("List", (STCon("Int"),)))
+        assert t == TCon("List", (INT,))
+
+    def test_bad_input(self):
+        with pytest.raises(ADTError):
+            ADTEnv().elaborate("not a type")

@@ -1,0 +1,61 @@
+"""Binding-group dependency analysis (SCC) tests."""
+
+from repro.lang.parser import parse_expr
+from repro.types.depgraph import dependency_sccs
+
+
+def sccs(bind_sources):
+    binds = [(name, parse_expr(src)) for name, src in bind_sources]
+    return [
+        [name for name, _ in component]
+        for component in dependency_sccs(binds)
+    ]
+
+
+class TestSCCs:
+    def test_independent_bindings(self):
+        result = sccs([("a", "1"), ("b", "2")])
+        assert sorted(map(tuple, result)) == [("a",), ("b",)]
+
+    def test_dependency_ordered(self):
+        result = sccs([("user", "helper 1"), ("helper", "\\x -> x")])
+        assert result.index(["helper"]) < result.index(["user"])
+
+    def test_self_recursion_single_component(self):
+        result = sccs([("f", "\\x -> f x")])
+        assert result == [["f"]]
+
+    def test_mutual_recursion_grouped(self):
+        result = sccs(
+            [("evens", "\\n -> odds n"), ("odds", "\\n -> evens n")]
+        )
+        assert len(result) == 1
+        assert sorted(result[0]) == ["evens", "odds"]
+
+    def test_mixed(self):
+        result = sccs(
+            [
+                ("top", "f 1 + g 2"),
+                ("f", "\\x -> g x"),
+                ("g", "\\x -> f x"),
+                ("leaf", "42"),
+            ]
+        )
+        fg = next(c for c in result if len(c) == 2)
+        assert sorted(fg) == ["f", "g"]
+        assert result.index(fg) < result.index(["top"])
+
+    def test_shadowing_not_a_dependency(self):
+        # `f` binds its own x; using global-looking names under a
+        # lambda that shadows them creates no edge.
+        result = sccs([("x", "1"), ("f", "\\x -> x")])
+        assert ["f"] in result and ["x"] in result
+
+    def test_long_chain(self):
+        binds = [("b0", "1")] + [
+            (f"b{i}", f"b{i-1} + 1") for i in range(1, 30)
+        ]
+        result = sccs(binds)
+        positions = {c[0]: i for i, c in enumerate(result)}
+        for i in range(1, 30):
+            assert positions[f"b{i-1}"] < positions[f"b{i}"]

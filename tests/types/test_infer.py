@@ -1,0 +1,173 @@
+"""Hindley–Milner inference: the paper's typing rules and standard HM
+behaviour."""
+
+import pytest
+
+from repro.api import compile_expr, compile_program, typecheck_program
+from repro.types import TypeError_, infer_expr
+from repro.types.adt import ADTEnv
+from repro.types.infer import infer_program
+from repro.types.types import INT, STRING, TCon, TFun, TVar
+from repro.prelude.loader import prelude_program
+
+
+@pytest.fixture(scope="module")
+def adts():
+    return ADTEnv.from_programs(prelude_program())
+
+
+def infer(source, adts):
+    return infer_expr(compile_expr(source), adts=adts)
+
+
+class TestBasicInference:
+    def test_int_literal(self, adts):
+        assert infer("42", adts) == INT
+
+    def test_string_literal(self, adts):
+        assert infer('"s"', adts) == STRING
+
+    def test_arithmetic(self, adts):
+        assert infer("1 + 2 * 3", adts) == INT
+
+    def test_identity_function(self, adts):
+        t = infer("\\x -> x", adts)
+        assert isinstance(t, TFun)
+        assert t.arg == t.result
+
+    def test_application(self, adts):
+        assert infer("(\\x -> x + 1) 2", adts) == INT
+
+    def test_conditional(self, adts):
+        assert infer("if 1 < 2 then 3 else 4", adts) == INT
+
+    def test_list(self, adts):
+        t = infer("[1, 2, 3]", adts)
+        assert t == TCon("List", (INT,))
+
+    def test_tuple(self, adts):
+        t = infer("(1, \"s\")", adts)
+        assert t == TCon("Tuple2", (INT, STRING))
+
+    def test_case(self, adts):
+        t = infer(
+            "case Just 1 of { Just v -> v; Nothing -> 0 }", adts
+        )
+        assert t == INT
+
+    def test_let_polymorphism(self, adts):
+        t = infer(
+            "let { ident = \\x -> x } in "
+            "(ident 1, ident \"s\")",
+            adts,
+        )
+        assert t == TCon("Tuple2", (INT, STRING))
+
+
+class TestPaperTypingRules:
+    def test_raise_is_polymorphic(self, adts):
+        # raise :: Exception -> a — usable at Int here.
+        assert infer("1 + raise Overflow", adts) == INT
+
+    def test_raise_requires_exception(self, adts):
+        with pytest.raises(TypeError_):
+            infer("raise 42", adts)
+
+    def test_get_exception_in_io(self, adts):
+        t = infer("getException (1 + 1)", adts)
+        assert t == TCon("IO", (TCon("ExVal", (INT,)),))
+
+    def test_map_exception_pure(self, adts):
+        t = infer("mapException (\\e -> Overflow) 42", adts)
+        assert t == INT
+
+    def test_map_exception_mapper_type(self, adts):
+        with pytest.raises(TypeError_):
+            infer("mapException (\\e -> 1) 42", adts)
+
+    def test_bind_types(self, adts):
+        t = infer(
+            "getChar >>= (\\c -> putChar c)", adts
+        )
+        assert t == TCon("IO", (TCon("Unit"),))
+
+    def test_seq_polymorphic(self, adts):
+        assert infer("seq 1 \"x\"", adts) == STRING
+
+
+class TestErrors:
+    def test_unbound_variable(self, adts):
+        with pytest.raises(TypeError_):
+            infer("nonexistent", adts)
+
+    def test_type_mismatch(self, adts):
+        with pytest.raises(TypeError_):
+            infer("1 + \"s\"", adts)
+
+    def test_occurs_check(self, adts):
+        with pytest.raises(TypeError_):
+            infer("\\x -> x x", adts)
+
+    def test_branch_mismatch(self, adts):
+        with pytest.raises(TypeError_):
+            infer("if 1 < 2 then 3 else \"s\"", adts)
+
+    def test_constructor_arity_in_pattern(self, adts):
+        with pytest.raises(TypeError_):
+            infer("case Just 1 of { Just -> 0 }", adts)
+
+
+class TestPrograms:
+    def test_program_inference(self):
+        env = typecheck_program(
+            compile_program(
+                "double x = x + x\nquad x = double (double x)"
+            )
+        )
+        assert str(env["quad"].type) == "Int -> Int"
+
+    def test_polymorphic_function_generalized(self):
+        env = typecheck_program(
+            compile_program("mine xs = map (\\x -> x) xs")
+        )
+        assert env["mine"].vars  # generalized
+
+    def test_signature_checked(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(
+                compile_program("f :: Int -> Int\nf x = \"oops\"")
+            )
+
+    def test_signature_for_unbound(self):
+        with pytest.raises(TypeError_):
+            typecheck_program(compile_program("g :: Int -> Int\nf x = x"))
+
+    def test_user_data_types(self):
+        env = typecheck_program(
+            compile_program(
+                "data Shape = Circle Int | Square Int\n"
+                "area s = case s of { Circle r -> r * r * 3;"
+                " Square w -> w * w }"
+            )
+        )
+        assert str(env["area"].type) == "Shape -> Int"
+
+    def test_recursive_data_type(self):
+        env = typecheck_program(
+            compile_program(
+                "data Tree = Leaf Int | Node Tree Tree\n"
+                "total t = case t of { Leaf n -> n;"
+                " Node l r -> total l + total r }"
+            )
+        )
+        assert str(env["total"].type) == "Tree -> Int"
+
+    def test_prelude_types(self):
+        from repro.api import prelude_type_env
+
+        env, _adts = prelude_type_env()
+        assert str(env["map"]) == "forall a b. (a -> b) -> [a] -> [b]"
+        assert str(env["error"]) == "forall a. String -> a"
+        assert (
+            str(env["tryEval"]) == "forall a. a -> IO (ExVal a)"
+        )

@@ -1,0 +1,85 @@
+"""Unification and substitution unit tests."""
+
+import pytest
+
+from repro.types.types import (
+    INT,
+    STRING,
+    Scheme,
+    TCon,
+    TFun,
+    TVar,
+    free_type_vars,
+    fun,
+)
+from repro.types.unify import UnifyError, apply_subst, unify
+
+
+class TestUnify:
+    def test_var_binds(self):
+        subst = {}
+        unify(TVar("a"), INT, subst)
+        assert apply_subst(subst, TVar("a")) == INT
+
+    def test_symmetric(self):
+        subst = {}
+        unify(INT, TVar("a"), subst)
+        assert apply_subst(subst, TVar("a")) == INT
+
+    def test_same_var(self):
+        subst = {}
+        unify(TVar("a"), TVar("a"), subst)
+        assert subst == {}
+
+    def test_constructor_args(self):
+        subst = {}
+        unify(
+            TCon("List", (TVar("a"),)), TCon("List", (INT,)), subst
+        )
+        assert apply_subst(subst, TVar("a")) == INT
+
+    def test_function_types(self):
+        subst = {}
+        unify(TFun(TVar("a"), TVar("b")), fun(INT, STRING), subst)
+        assert apply_subst(subst, TVar("a")) == INT
+        assert apply_subst(subst, TVar("b")) == STRING
+
+    def test_mismatch(self):
+        with pytest.raises(UnifyError):
+            unify(INT, STRING, {})
+
+    def test_arity_mismatch(self):
+        with pytest.raises(UnifyError):
+            unify(TCon("List", (INT,)), TCon("List", ()), {})
+
+    def test_occurs_check(self):
+        with pytest.raises(UnifyError):
+            unify(TVar("a"), TFun(TVar("a"), INT), {})
+
+    def test_transitive_chains(self):
+        subst = {}
+        unify(TVar("a"), TVar("b"), subst)
+        unify(TVar("b"), INT, subst)
+        assert apply_subst(subst, TVar("a")) == INT
+
+    def test_con_vs_fun(self):
+        with pytest.raises(UnifyError):
+            unify(INT, TFun(INT, INT), {})
+
+
+class TestHelpers:
+    def test_free_type_vars(self):
+        t = fun(TVar("a"), TCon("List", (TVar("b"),)), INT)
+        assert free_type_vars(t) == {"a", "b"}
+
+    def test_scheme_free_vars(self):
+        scheme = Scheme(("a",), fun(TVar("a"), TVar("b")))
+        assert scheme.free_vars() == {"b"}
+
+    def test_type_rendering(self):
+        assert str(fun(INT, INT)) == "Int -> Int"
+        assert str(TCon("List", (INT,))) == "[Int]"
+        assert str(TCon("Tuple2", (INT, STRING))) == "(Int, String)"
+        assert (
+            str(TFun(TFun(INT, INT), INT)) == "(Int -> Int) -> Int"
+        )
