@@ -7,15 +7,21 @@ Regenerates the comparison rows: for each workload,
 reporting code size (AST nodes), machine steps, allocations, and
 wall-clock time.  The *shape* the paper predicts: the encoding loses on
 every axis, by a substantial factor.
+
+Step and allocation counts are read from the observability layer (a
+counting sink attached to the machine) — the same contract
+``repro profile`` reports through — and each measured row is recorded
+for ``BENCH_E2.json``.
 """
 
 import pytest
 
-from benchmarks.conftest import WORKLOADS, run_on_machine
+from benchmarks.conftest import WORKLOADS, bench_record, run_on_machine
 from repro.api import compile_expr
 from repro.encoding import encode_expr
 from repro.lang.ast import expr_size
 from repro.machine import Machine
+from repro.obs import ALLOC, STEP, CountingSink
 from repro.prelude.loader import machine_env
 
 # Expression-shaped, prelude-free workloads (the encodable fragment).
@@ -41,16 +47,21 @@ ENCODABLE = {
 }
 
 
-def _native(expr):
-    machine = Machine()
+def _measure(expr):
+    """Evaluate ``expr`` (prelude-free) with a counting sink; the sink
+    is the measurement interface."""
+    sink = CountingSink()
+    machine = Machine(sink=sink)
     machine.eval(expr, {})
-    return machine
+    return sink
+
+
+def _native(expr):
+    return _measure(expr)
 
 
 def _encoded(expr):
-    machine = Machine()
-    machine.eval(expr, {})
-    return machine
+    return _measure(expr)
 
 
 @pytest.fixture(params=sorted(ENCODABLE), ids=sorted(ENCODABLE))
@@ -64,6 +75,14 @@ class TestEncodingCosts:
         expr = compile_expr(ENCODABLE[name])
         encoded = encode_expr(expr)
         ratio = expr_size(encoded) / expr_size(expr)
+        bench_record(
+            "E2",
+            workload=name,
+            axis="code-size",
+            native=expr_size(expr),
+            encoded=expr_size(encoded),
+            ratio=round(ratio, 2),
+        )
         assert ratio > 2.0, f"{name}: size ratio only {ratio:.2f}"
 
     @pytest.mark.parametrize("name", sorted(ENCODABLE))
@@ -72,7 +91,15 @@ class TestEncodingCosts:
         encoded = encode_expr(expr)
         native = _native(expr)
         enc = _encoded(encoded)
-        ratio = enc.stats.steps / native.stats.steps
+        ratio = enc.count(STEP) / native.count(STEP)
+        bench_record(
+            "E2",
+            workload=name,
+            axis="steps",
+            native=native.count(STEP),
+            encoded=enc.count(STEP),
+            ratio=round(ratio, 2),
+        )
         assert ratio > 1.4, f"{name}: step ratio only {ratio:.2f}"
 
     @pytest.mark.parametrize("name", sorted(ENCODABLE))
@@ -81,7 +108,14 @@ class TestEncodingCosts:
         encoded = encode_expr(expr)
         native = _native(expr)
         enc = _encoded(encoded)
-        assert enc.stats.allocations > native.stats.allocations
+        bench_record(
+            "E2",
+            workload=name,
+            axis="allocations",
+            native=native.count(ALLOC),
+            encoded=enc.count(ALLOC),
+        )
+        assert enc.count(ALLOC) > native.count(ALLOC)
 
     @pytest.mark.parametrize("name", sorted(ENCODABLE))
     def test_same_answer(self, name):

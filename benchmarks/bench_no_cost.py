@@ -7,6 +7,13 @@ pure workload must not change the workload's step count, and its
 wall-clock cost must be within noise.  Contrast with the explicit
 encoding (E2), where every call site pays.
 
+Step counts are read from the observability layer (``step`` events
+into a counting sink) rather than from ``Machine.stats`` — the sink
+is the measurement contract, and E1's numbers double as a check that
+the tracing decoration reports exactly what the machine does.  The
+companion claim "tracing is free when *off*" is E1b
+(``bench_trace_overhead.py``).
+
 Regenerates: the efficiency claim's two rows —
   (a) bare workload        vs  (b) getException-guarded workload
 with identical machine step counts.
@@ -14,12 +21,18 @@ with identical machine step counts.
 
 import pytest
 
-from benchmarks.conftest import WORKLOADS, compile_workload, run_on_machine
+from benchmarks.conftest import (
+    WORKLOADS,
+    bench_record,
+    compile_workload,
+    run_on_machine,
+    run_with_sink,
+)
 from repro.api import compile_expr
 from repro.io.run import IOExecutor
 from repro.lang.ast import Program
 from repro.machine import Cell, Machine
-from repro.machine.eval import program_env
+from repro.obs import STEP, CountingSink
 from repro.prelude.loader import machine_env
 
 # The handler is pure overhead: it wraps the WHOLE workload once.
@@ -29,20 +42,29 @@ GUARDED_TEMPLATE = (
 
 
 def _run_bare(compiled):
-    value, machine = run_on_machine(compiled)
-    return machine.stats.steps
+    _value, _machine, sink = run_with_sink(compiled)
+    return sink.count(STEP)
+
+
+def _guarded_steps(body: str) -> int:
+    """Steps of the getException-guarded form, via the sink API."""
+    expr = compile_expr(GUARDED_TEMPLATE.format(body=body))
+    sink = CountingSink()
+    machine = Machine()
+    env = machine_env(machine)
+    machine.reset_stats()
+    machine.attach_sink(sink)
+    executor = IOExecutor(machine=machine)
+    result = executor.run_cell(Cell(expr, env))
+    assert result.ok
+    return sink.count(STEP)
 
 
 def _run_guarded(name):
     body = WORKLOADS[name]
     if "Leaf" in body:
         pytest.skip("guarded variant uses expression workloads only")
-    expr = compile_expr(GUARDED_TEMPLATE.format(body=body))
-    machine = Machine()
-    executor = IOExecutor(machine=machine)
-    result = executor.run_cell(Cell(expr, machine_env(machine)))
-    assert result.ok
-    return machine.stats.steps
+    return _guarded_steps(body)
 
 
 class TestStepParity:
@@ -57,34 +79,38 @@ class TestStepParity:
         bare = _run_bare(compile_workload(name))
         guarded = _run_guarded(name)
         overhead = guarded - bare
+        bench_record(
+            "E1",
+            workload=name,
+            bare_steps=bare,
+            guarded_steps=guarded,
+            overhead=overhead,
+        )
         assert 0 <= overhead <= 25, (
             f"{name}: guard overhead {overhead} steps is not constant"
         )
 
     def test_overhead_independent_of_workload_size(self):
-        small = compile_expr(
-            "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } "
-            "in go 50"
-        )
-        big = compile_expr(
-            "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } "
-            "in go 800"
-        )
+        go = "let { go = \\n -> if n == 0 then 0 else n + go (n - 1) } in "
         overheads = []
-        for body, label in ((small, "go 50"), (big, "go 800")):
-            bare_steps = _run_bare(body)
-            machine = Machine()
-            guarded = compile_expr(
-                GUARDED_TEMPLATE.format(
-                    body="let { go = \\n -> if n == 0 then 0 "
-                    "else n + go (n - 1) } in "
-                    + label
-                )
-            )
-            executor = IOExecutor(machine=machine)
-            executor.run_cell(Cell(guarded, machine_env(machine)))
-            overheads.append(machine.stats.steps - bare_steps)
+        for label in ("go 50", "go 800"):
+            bare = _run_bare(compile_expr(go + label))
+            guarded = _guarded_steps(go + label)
+            overheads.append(guarded - bare)
+        bench_record(
+            "E1",
+            workload="go 50 vs go 800",
+            overhead_small=overheads[0],
+            overhead_big=overheads[1],
+        )
         assert overheads[0] == overheads[1]
+
+    def test_sink_counts_agree_with_machine_stats(self):
+        """The decoration is faithful: the sink-reported step count is
+        the machine's own counter, for every workload."""
+        for name in sorted(WORKLOADS):
+            _value, machine, sink = run_with_sink(compile_workload(name))
+            assert sink.count(STEP) == machine.stats.steps
 
 
 @pytest.mark.benchmark(group="E1-no-cost")

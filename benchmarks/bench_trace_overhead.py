@@ -1,0 +1,110 @@
+"""E1b — tracing is free when off (the observability analogue of E1).
+
+E1 reproduces the paper's "exceptions are free when unused" claim
+(§2.3/§3.3).  The observability layer (docs/OBSERVABILITY.md) makes
+the same pay-as-you-go promise about itself: a machine with no sink —
+or the null sink, which is classified as not-live and compiles to the
+same single boolean guard — executes the *identical* step sequence as
+the seed machine.  The acceptance bar is overhead ≤ 1% machine steps;
+the design delivers exactly 0 (the counters are untouched by the
+decoration), which these tests assert as equality, workload by
+workload.
+
+Also asserted: a *live* counting sink still does not perturb the
+semantics or the counters (decorations observe, never interfere) and
+reports exactly the machine's own numbers.
+
+Regenerates: the BENCH_E1b rows — per workload, steps without a sink,
+with the null sink, and with a counting sink attached.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    WORKLOADS,
+    bench_record,
+    compile_workload,
+    run_on_machine,
+    run_with_sink,
+)
+from repro.machine import Machine
+from repro.machine.eval import program_env
+from repro.lang.ast import Program
+from repro.obs import ALLOC, FORCE, NULL_SINK, RAISE, STEP, CountingSink
+from repro.prelude.loader import machine_env
+
+
+def _steps(compiled, sink=None):
+    machine = Machine(sink=sink)
+    if isinstance(compiled, Program):
+        env = program_env(compiled, machine, machine_env(machine))
+        env["main"].force(machine)
+    else:
+        machine.eval(compiled, machine_env(machine))
+    return machine.stats.steps
+
+
+class TestTracingIsFreeWhenOff:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_null_sink_step_parity(self, name):
+        """No sink vs null sink: identical step counts (0% overhead,
+        within the ≤ 1% acceptance bar by construction)."""
+        compiled = compile_workload(name)
+        bare = _steps(compiled)
+        null = _steps(compiled, sink=NULL_SINK)
+        bench_record(
+            "E1b",
+            workload=name,
+            bare_steps=bare,
+            null_sink_steps=null,
+            overhead_pct=round(100.0 * (null - bare) / bare, 4),
+        )
+        assert null == bare
+
+    def test_null_sink_is_not_live(self):
+        machine = Machine(sink=NULL_SINK)
+        assert machine._tracing is False
+        machine.attach_sink(None)
+        assert machine._tracing is False
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_counting_sink_does_not_perturb(self, name):
+        """A live sink observes; it must not change what it observes."""
+        compiled = compile_workload(name)
+        bare = _steps(compiled)
+        counted = _steps(compiled, sink=CountingSink())
+        assert counted == bare
+
+
+class TestSinkFaithfulness:
+    """The counting sink reports exactly the machine's own counters —
+    the 'decoration does not lie' half of the contract."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_counts_match_stats(self, name):
+        _value, machine, sink = run_with_sink(compile_workload(name))
+        stats = machine.stats
+        assert sink.count(STEP) == stats.steps
+        assert sink.count(ALLOC) == stats.allocations
+        assert sink.count(FORCE) == stats.thunks_forced
+        assert sink.count(RAISE) == stats.raises
+
+
+@pytest.mark.benchmark(group="E1b-trace-overhead")
+def test_bench_no_sink(benchmark, workload):
+    compiled = compile_workload(workload)
+    benchmark(lambda: run_on_machine(compiled))
+
+
+@pytest.mark.benchmark(group="E1b-trace-overhead")
+def test_bench_null_sink(benchmark, workload):
+    compiled = compile_workload(workload)
+    benchmark(lambda: run_on_machine(compiled, Machine(sink=NULL_SINK)))
+
+
+@pytest.mark.benchmark(group="E1b-trace-overhead")
+def test_bench_counting_sink(benchmark, workload):
+    compiled = compile_workload(workload)
+    benchmark(
+        lambda: run_on_machine(compiled, Machine(sink=CountingSink()))
+    )

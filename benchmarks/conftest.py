@@ -5,15 +5,29 @@ its *claims* (experiment index in DESIGN.md, results recorded in
 EXPERIMENTS.md).  Workloads are small programs in the object language,
 chosen so each benchmark finishes in well under a second while still
 exercising the relevant machinery thousands of times.
+
+Counts are read through the observability layer (a
+:class:`repro.obs.CountingSink` attached to the machine) rather than
+by reaching into ``Machine.stats`` — the benches consume the same
+metrics contract external tooling does (docs/OBSERVABILITY.md).  Each
+claim-shape test records its measured row with :func:`bench_record`;
+when ``REPRO_BENCH_DIR`` is set the session writes one
+``BENCH_<experiment>.json`` file per experiment, the machine-readable
+companions to the EXPERIMENTS.md tables.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
 
 import pytest
 
 from repro.api import compile_expr, compile_program
 from repro.machine import Machine
 from repro.machine.eval import program_env
+from repro.obs import CountingSink
 from repro.prelude.loader import machine_env
 
 # Pure (exception-free in practice) workloads for E1/E2/E4.
@@ -62,6 +76,58 @@ def run_on_machine(compiled, machine=None):
     else:
         value = machine.eval(compiled, machine_env(machine))
     return value, machine
+
+
+def run_with_sink(compiled, strategy=None, fuel: int = 2_000_000):
+    """Evaluate a compiled workload on a machine with a counting sink
+    attached; returns (value, machine, sink).
+
+    The prelude environment is built first and the counters reset, so
+    the sink's ``step``/``alloc`` counts cover the workload alone —
+    the same scoping ``repro profile`` uses.
+    """
+    from repro.lang.ast import Program
+
+    sink = CountingSink()
+    machine = Machine(strategy=strategy, fuel=fuel)
+    base = machine_env(machine)
+    if isinstance(compiled, Program):
+        env = program_env(compiled, machine, base)
+        machine.reset_stats()
+        machine.attach_sink(sink)
+        value = env["main"].force(machine)
+    else:
+        machine.reset_stats()
+        machine.attach_sink(sink)
+        value = machine.eval(compiled, base)
+    return value, machine, sink
+
+
+# -- BENCH_*.json records ----------------------------------------------
+
+_BENCH_RECORDS: Dict[str, List[dict]] = {}
+
+
+def bench_record(experiment: str, **row) -> None:
+    """Record one measured row for ``BENCH_<experiment>.json``."""
+    _BENCH_RECORDS.setdefault(experiment, []).append(row)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    if not out_dir or not _BENCH_RECORDS:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    for experiment, rows in sorted(_BENCH_RECORDS.items()):
+        path = os.path.join(out_dir, f"BENCH_{experiment}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"experiment": experiment, "rows": rows},
+                fh,
+                indent=2,
+                default=str,
+            )
+            fh.write("\n")
 
 
 @pytest.fixture(params=sorted(WORKLOADS), ids=sorted(WORKLOADS))

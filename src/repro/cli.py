@@ -7,6 +7,7 @@ eval EXPR       evaluate an expression on the lazy machine
 denote EXPR     print the denotation (the exception *set*)
 law LHS RHS     classify a law: identity / refinement / unsound
 trace EXPR      enumerate every behaviour the §4.4 LTS permits
+profile EXPR    run under the tracing/metrics layer (docs/OBSERVABILITY.md)
 optimise EXPR   run an optimisation level and pretty-print the result
 typecheck FILE  infer and print the types of a module's bindings
 
@@ -16,6 +17,7 @@ Examples
     python -m repro eval   '(1 `div` 0) + error "Urk"' --strategy right-to-left
     python -m repro law    'a + b' 'b + a' --semantics fixed-order
     python -m repro run    examples/hello.hs --stdin "x"
+    python -m repro profile 'sum [1, 2, 3]' --trace out.jsonl --format json
 """
 
 from __future__ import annotations
@@ -130,6 +132,41 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--stdin", default="")
     tr.add_argument("--fuel", type=int, default=100_000)
 
+    pro = sub.add_parser(
+        "profile",
+        help="evaluate with the observability layer attached",
+        description=(
+            "Run EXPR under a counting trace sink with per-phase "
+            "timers, on the lazy machine, the denotational evaluator, "
+            "or both.  The event taxonomy and overhead guarantee are "
+            "documented in docs/OBSERVABILITY.md."
+        ),
+    )
+    pro.add_argument("expr")
+    pro.add_argument("--strategy", default="left-to-right")
+    pro.add_argument("--fuel", type=int, default=2_000_000)
+    pro.add_argument(
+        "--denote-fuel",
+        type=int,
+        default=200_000,
+        help="fuel for the denotational layer (--layer denote/both)",
+    )
+    pro.add_argument(
+        "--layer",
+        default="machine",
+        choices=["machine", "denote", "both"],
+    )
+    pro.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.jsonl",
+        help="stream every event to a JSON Lines file",
+    )
+    pro.add_argument(
+        "--format", default="table", choices=["table", "json"]
+    )
+    pro.add_argument("--deep", action="store_true")
+
     opt = sub.add_parser("optimise", help="apply an optimisation level")
     opt.add_argument("expr")
     opt.add_argument("--level", default="O2")
@@ -241,6 +278,36 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import sys
+
+    from repro.obs.profile import profile_source
+
+    if args.trace is not None:
+        try:
+            open(args.trace, "w", encoding="utf-8").close()
+        except OSError as err:
+            print(
+                f"error: cannot open trace file {args.trace}: {err}",
+                file=sys.stderr,
+            )
+            return 1
+    report = profile_source(
+        args.expr,
+        strategy=_strategy(args.strategy),
+        fuel=args.fuel,
+        denote_fuel=args.denote_fuel,
+        layer=args.layer,
+        trace=args.trace,
+        deep=args.deep,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_table())
+    return 0
+
+
 def _cmd_optimise(args) -> int:
     from repro.transform.pipeline import pipeline_for
 
@@ -268,6 +335,7 @@ _COMMANDS = {
     "denote": _cmd_denote,
     "law": _cmd_law,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "optimise": _cmd_optimise,
     "typecheck": _cmd_typecheck,
 }

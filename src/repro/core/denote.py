@@ -82,6 +82,8 @@ from repro.lang.ast import (
     Var,
 )
 from repro.lang.ops import INT_MAX, INT_MIN
+from repro.obs.events import CASE_EXCEPTION_MODE_ENTER, EXCSET_JOIN
+from repro.obs.sinks import TraceSink, is_live
 
 Env = Dict[str, Thunk]
 
@@ -108,6 +110,12 @@ class DenoteContext:
     denotation is ⊥ — see EXPERIMENTS.md F-1), and the Python stack
     must be protected.  Exceeding the depth returns ⊥, the same
     sound-from-below approximation fuel exhaustion uses.
+
+    ``sink`` is the observability decoration: when live it receives
+    ``excset-join`` events (with the resulting set's width, feeding the
+    set-width histogram) and ``case-exception-mode-enter`` events
+    (Section 4.3).  It must never influence the computed denotation —
+    tracing a decoration, not an effect.
     """
 
     fuel: int = 200_000
@@ -117,11 +125,22 @@ class DenoteContext:
     steps: int = 0
     max_depth: int = 25_000
     depth: int = 0
+    sink: Optional[TraceSink] = None
 
     def __post_init__(self) -> None:
         # Creating a context is the universal entry point to the
         # evaluator, so claim Python stack headroom here.
         ensure_recursion_headroom()
+        self._tracing = is_live(self.sink)
+
+    def emit_join(self, site: str, excs: ExcSet) -> None:
+        """Report one exception-set union (guard with ``_tracing``)."""
+        self.sink.emit(
+            EXCSET_JOIN,
+            site=site,
+            width=len(excs.members),
+            infinite=excs.all_synchronous,
+        )
 
     def tick(self) -> bool:
         """Consume one unit of fuel; False when exhausted."""
@@ -175,7 +194,10 @@ def _denote(expr: Expr, env: Env, ctx: DenoteContext) -> SemVal:
             if not ctx.app_unions_arg:
                 return fn_val
             arg_val = denote(expr.arg, env, ctx)
-            return mk_bad(fn_val.excs | exc_part(arg_val))
+            joined = fn_val.excs | exc_part(arg_val)
+            if ctx._tracing:
+                ctx.emit_join("app", joined)
+            return mk_bad(joined)
         if isinstance(fn_val, Ok) and isinstance(fn_val.value, FunVal):
             arg_expr = expr.arg
             return fn_val.value.apply(
@@ -272,6 +294,8 @@ def _denote_case(expr: Case, env: Env, ctx: DenoteContext) -> SemVal:
         return scrut
     # Exception-finding mode (Section 4.3): explore every alternative
     # with pattern variables bound to Bad {} and union the results.
+    if ctx._tracing:
+        ctx.sink.emit(CASE_EXCEPTION_MODE_ENTER, alts=len(expr.alts))
     result = scrut.excs
     for alt in expr.alts:
         inner = dict(env)
@@ -279,6 +303,8 @@ def _denote_case(expr: Case, env: Env, ctx: DenoteContext) -> SemVal:
             inner[name] = Thunk.ready(BAD_EMPTY)
         branch = denote(alt.body, inner, ctx)
         result = result | exc_part(branch)
+    if ctx._tracing:
+        ctx.emit_join("case", result)
     return mk_bad(result)
 
 
@@ -380,6 +406,8 @@ def _force_args(
             saw_bad = True
             combined = combined | v.excs
     if saw_bad:
+        if ctx._tracing:
+            ctx.emit_join("prim", combined)
         return values, mk_bad(combined)
     return values, None
 
@@ -457,7 +485,10 @@ def _denote_prim(expr: PrimOp, env: Env, ctx: DenoteContext) -> SemVal:
         if ctx.case_mode == "naive":
             return first
         rest = denote(expr.args[1], env, ctx)
-        return mk_bad(first.excs | exc_part(rest))
+        joined = first.excs | exc_part(rest)
+        if ctx._tracing:
+            ctx.emit_join("seq", joined)
+        return mk_bad(joined)
 
     if op == "mapException":
         return _denote_map_exception(expr, env, ctx)

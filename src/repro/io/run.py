@@ -32,6 +32,7 @@ from repro.machine.heap import (
     ObjRaise,
 )
 from repro.machine.values import VCon, VFun, VInt, VIO, VStr, Value
+from repro.obs.events import IO_ACTION
 
 
 class IORunError(Exception):
@@ -80,6 +81,11 @@ class IOExecutor:
         forcing is reported as ``Bad Timeout`` (the Section 5.1
         external monitoring system); when False the divergence is
         genuine.
+    sink:
+        Optional trace sink; forwarded to a machine the executor
+        creates, or attached to the one passed in.  The executor
+        additionally emits one ``io-action`` event per performed
+        action.
     """
 
     def __init__(
@@ -88,11 +94,15 @@ class IOExecutor:
         stdin: str = "",
         timeout_as_exception: bool = False,
         events: Optional[EventPlan] = None,
+        sink=None,
     ) -> None:
         if machine is None:
             machine = Machine(
-                event_plan=events.as_dict() if events else None
+                event_plan=events.as_dict() if events else None,
+                sink=sink,
             )
+        elif sink is not None:
+            machine.attach_sink(sink)
         self.machine = machine
         self.stdin = list(stdin)
         self.stdout: List[str] = []
@@ -131,6 +141,8 @@ class IOExecutor:
             if not isinstance(action, VIO):
                 raise IORunError(f"performed a non-IO value: {action}")
             tag = action.tag
+            if machine._tracing:
+                machine.sink.emit(IO_ACTION, tag=tag)
             if tag == "return":
                 return action.payload[0].force(machine)
             if tag == "bind":

@@ -22,7 +22,7 @@ from repro.machine.strategy import (
     Shuffled,
     Strategy,
 )
-from repro.machine.eval import Machine, MachineStats
+from repro.machine.eval import Machine, MachineStats, StatsSnapshot
 from repro.machine.observe import (
     Diverged,
     Exceptional,
@@ -46,6 +46,7 @@ __all__ = [
     "Outcome",
     "RightToLeft",
     "Shuffled",
+    "StatsSnapshot",
     "Strategy",
     "VCon",
     "VFun",

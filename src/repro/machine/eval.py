@@ -51,6 +51,14 @@ from repro.machine.heap import (
 )
 from repro.machine.strategy import LeftToRight, Strategy
 from repro.machine.values import VCon, VFun, VInt, VIO, VStr, Value
+from repro.obs.events import (
+    ALLOC,
+    ASYNC_INTERRUPT,
+    FUEL_GRANT,
+    RAISE,
+    STEP,
+)
+from repro.obs.sinks import TraceSink, is_live
 
 Env = Dict[str, Cell]
 
@@ -62,13 +70,24 @@ def _ensure_recursion_headroom() -> None:
         sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
 
 
-@dataclass
-class MachineStats:
-    """Operation counters, the measurement substrate for E1/E2/E4.
+_STAT_FIELDS = (
+    "steps",
+    "allocations",
+    "thunks_forced",
+    "raises",
+    "prim_ops",
+    "force_depth",
+    "max_force_depth",
+)
 
-    ``max_force_depth`` is the deepest chain of nested thunk forcings —
-    the machine analogue of stack build-up from long chains of lazy
-    accumulators, which strictness-driven call-by-value flattens (E4).
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable point-in-time copy of :class:`MachineStats`.
+
+    Benchmarks and the profiler hold snapshots, never the live
+    (mutating) counters, so a recorded row cannot drift if the machine
+    keeps running.
     """
 
     steps: int = 0
@@ -79,8 +98,35 @@ class MachineStats:
     force_depth: int = 0
     max_force_depth: int = 0
 
-    def snapshot(self) -> "MachineStats":
-        return MachineStats(
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
+
+
+@dataclass
+class MachineStats:
+    """Operation counters, the measurement substrate for E1/E2/E4.
+
+    ``max_force_depth`` is the deepest chain of nested thunk forcings —
+    the machine analogue of stack build-up from long chains of lazy
+    accumulators, which strictness-driven call-by-value flattens (E4).
+
+    Lifecycle: counters belong to one observation.  A fresh machine
+    starts at zero; reusing a machine across observations goes through
+    :meth:`Machine.reset_stats` (which also rebases the fuel budget and
+    pending async events, so only the *counters* restart).  Consumers
+    that need a stable record take :meth:`snapshot`.
+    """
+
+    steps: int = 0
+    allocations: int = 0
+    thunks_forced: int = 0
+    raises: int = 0
+    prim_ops: int = 0
+    force_depth: int = 0
+    max_force_depth: int = 0
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
             self.steps,
             self.allocations,
             self.thunks_forced,
@@ -89,6 +135,9 @@ class MachineStats:
             self.force_depth,
             self.max_force_depth,
         )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
 
 
 class MachineError(Exception):
@@ -112,6 +161,13 @@ class Machine:
         Optional mapping step-number -> asynchronous :class:`Exc`
         (Section 5.1): when the step counter passes such a step the
         event is raised as an :class:`AsyncInterrupt`.
+    sink:
+        Optional :class:`repro.obs.sinks.TraceSink` receiving
+        structured events (the observability decoration).  ``None``
+        and the null sink are equivalent: emission sites compile to a
+        single pre-computed boolean test, so untraced runs execute the
+        same instruction sequence as a sink-less machine ("tracing is
+        free when off" — benchmarks/bench_trace_overhead.py).
     """
 
     def __init__(
@@ -120,6 +176,7 @@ class Machine:
         fuel: int = 2_000_000,
         detect_blackholes: bool = True,
         event_plan: Optional[Dict[int, Exc]] = None,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         _ensure_recursion_headroom()
         self.strategy = strategy or LeftToRight()
@@ -127,13 +184,49 @@ class Machine:
         self.detect_blackholes = detect_blackholes
         self.stats = MachineStats()
         self._events = sorted(event_plan.items()) if event_plan else []
+        self.sink = sink
+        self._tracing = is_live(sink)
+
+    # -- observability ----------------------------------------------------
+
+    def attach_sink(self, sink: Optional[TraceSink]) -> None:
+        """Attach (or detach, with None/null) a trace sink."""
+        self.sink = sink
+        self._tracing = is_live(sink)
+
+    def reset_stats(self) -> StatsSnapshot:
+        """Start a fresh observation on this machine: zero the
+        counters, returning a snapshot of the old ones.
+
+        The *semantic* state is rebased, not reset: the remaining fuel
+        budget and the pending async event plan are expressed relative
+        to the new step counter, so a ``grant_fuel`` allowance or a
+        scheduled interrupt survives the reset unchanged.  (Fuel is an
+        absolute step threshold — see :meth:`grant_fuel` — so without
+        rebasing, a reset would silently inflate the budget.)
+        """
+        old = self.stats.snapshot()
+        consumed = old.steps
+        self.fuel -= consumed
+        if self._events:
+            self._events = [
+                (max(1, at - consumed), exc) for at, exc in self._events
+            ]
+        self.stats = MachineStats()
+        return old
 
     # -- stepping -------------------------------------------------------
 
     def _tick(self) -> None:
         self.stats.steps += 1
+        if self._tracing:
+            self.sink.emit(STEP, n=self.stats.steps)
         if self._events and self.stats.steps >= self._events[0][0]:
             _step, exc = self._events.pop(0)
+            if self._tracing:
+                self.sink.emit(
+                    ASYNC_INTERRUPT, exc=exc.name, at=self.stats.steps
+                )
             raise AsyncInterrupt(exc)
         if self.stats.steps > self.fuel:
             raise MachineDiverged(
@@ -142,6 +235,8 @@ class Machine:
 
     def alloc(self, expr: Expr, env: Env) -> Cell:
         self.stats.allocations += 1
+        if self._tracing:
+            self.sink.emit(ALLOC, kind="thunk")
         return Cell(expr, env)
 
     def grant_fuel(self, extra: int) -> None:
@@ -149,6 +244,8 @@ class Machine:
         monitor after aborting a too-long evaluation, so the program's
         continuation gets a fresh allowance."""
         self.fuel = self.stats.steps + extra
+        if self._tracing:
+            self.sink.emit(FUEL_GRANT, extra=extra, budget=self.fuel)
 
     # -- evaluation -------------------------------------------------------
 
@@ -178,6 +275,8 @@ class Machine:
                 continue  # tail-call into the body
             if isinstance(expr, Con):
                 self.stats.allocations += 1
+                if self._tracing:
+                    self.sink.emit(ALLOC, kind="con")
                 return VCon(
                     expr.name,
                     tuple(self.alloc(a, env) for a in expr.args),
@@ -192,6 +291,8 @@ class Machine:
                         break
                 if matched is None:
                     self.stats.raises += 1
+                    if self._tracing:
+                        self.sink.emit(RAISE, exc=PATTERN_MATCH_FAIL.name)
                     raise ObjRaise(PATTERN_MATCH_FAIL)
                 body, bindings = matched
                 if bindings:
@@ -202,7 +303,10 @@ class Machine:
             if isinstance(expr, Raise):
                 value = self.eval(expr.exc, env)
                 self.stats.raises += 1
-                raise ObjRaise(self.exc_of_value(value))
+                exc = self.exc_of_value(value)
+                if self._tracing:
+                    self.sink.emit(RAISE, exc=exc.name)
+                raise ObjRaise(exc)
             if isinstance(expr, PrimOp):
                 return self._prim(expr, env)
             if isinstance(expr, Fix):

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.excset import Exc, NON_TERMINATION
+from repro.obs.events import BLACKHOLE_ENTER, FORCE
 
 if TYPE_CHECKING:
     from repro.machine.eval import Machine
@@ -98,6 +99,10 @@ class Cell:
         if state == _BLACKHOLE:
             # Re-entering a thunk under evaluation: a loop.  Section 5.2
             # permits (but does not require) reporting NonTermination.
+            if machine._tracing:
+                machine.sink.emit(
+                    BLACKHOLE_ENTER, reported=machine.detect_blackholes
+                )
             if machine.detect_blackholes:
                 raise ObjRaise(NON_TERMINATION)
             raise MachineDiverged("re-entered a black hole")
@@ -108,6 +113,8 @@ class Cell:
         stats.force_depth += 1
         if stats.force_depth > stats.max_force_depth:
             stats.max_force_depth = stats.force_depth
+        if machine._tracing:
+            machine.sink.emit(FORCE, depth=stats.force_depth)
         try:
             value = machine.eval(expr, env)
         except ObjRaise as err:

@@ -27,6 +27,7 @@ from repro.machine.eval import Env, Machine, program_env
 from repro.machine.heap import AsyncInterrupt, Cell, MachineDiverged, ObjRaise
 from repro.machine.strategy import Strategy
 from repro.machine.values import VCon, VFun, VInt, VIO, VStr, Value
+from repro.obs.sinks import TraceSink, is_live
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,29 @@ class Diverged:
 Outcome = Union[Normal, Exceptional, Diverged]
 
 
+def _prepare_machine(
+    machine: Optional[Machine],
+    strategy: Optional[Strategy],
+    fuel: int,
+    sink: Optional[TraceSink],
+    reset_stats: bool,
+) -> Machine:
+    """Shared observation setup: build or recycle a machine.
+
+    Stats lifecycle is explicit (reset-per-observe): a recycled
+    machine's counters are zeroed so every observation reports its own
+    cost, while the remaining fuel budget and pending async events are
+    rebased, not forgotten (see :meth:`Machine.reset_stats`).
+    """
+    if machine is None:
+        return Machine(strategy=strategy, fuel=fuel, sink=sink)
+    if reset_stats:
+        machine.reset_stats()
+    if is_live(sink):
+        machine.attach_sink(sink)
+    return machine
+
+
 def observe(
     expr: Expr,
     env: Optional[Env] = None,
@@ -61,11 +85,12 @@ def observe(
     strategy: Optional[Strategy] = None,
     fuel: int = 2_000_000,
     deep: bool = False,
+    sink: Optional[TraceSink] = None,
+    reset_stats: bool = True,
 ) -> Outcome:
     """Run ``expr`` to WHNF (or, with ``deep=True``, to full normal
     form) and classify the outcome."""
-    if machine is None:
-        machine = Machine(strategy=strategy, fuel=fuel)
+    machine = _prepare_machine(machine, strategy, fuel, sink, reset_stats)
     try:
         value = machine.eval(expr, dict(env) if env else {})
         if deep:
@@ -87,9 +112,10 @@ def observe_program(
     fuel: int = 2_000_000,
     base: Optional[Env] = None,
     deep: bool = False,
+    sink: Optional[TraceSink] = None,
+    reset_stats: bool = True,
 ) -> Outcome:
-    if machine is None:
-        machine = Machine(strategy=strategy, fuel=fuel)
+    machine = _prepare_machine(machine, strategy, fuel, sink, reset_stats)
     env = program_env(program, machine, base)
     cell = env.get(entry)
     if cell is None:

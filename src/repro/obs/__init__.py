@@ -1,0 +1,88 @@
+"""Observability: structured tracing and metrics for both semantic layers.
+
+The paper's central implementation claim (Section 3.3, reproduced by
+E1) is that the exception machinery is *pay-as-you-go*: programs that
+never raise pay nothing.  This package extends that discipline to
+measurement itself — "tracing is free when off".  A :class:`TraceSink`
+is a *decoration* on the evaluators (in the sense of Dumas et al.'s
+decorated proofs for computational effects): it observes events but
+must never perturb the pure semantics, and with the default null sink
+the evaluators execute exactly the seed instruction sequence (asserted
+by ``benchmarks/bench_trace_overhead.py``).
+
+Layout
+------
+``repro.obs.events``
+    The event taxonomy: names, layers and payload fields (the
+    metrics/tracing *contract*, documented in docs/OBSERVABILITY.md).
+``repro.obs.sinks``
+    The :class:`TraceSink` protocol and the four stock sinks: null,
+    counting, JSONL-streaming and in-memory ring buffer (plus a tee).
+``repro.obs.timers``
+    Wall-clock per-phase timers that report through a sink.
+``repro.obs.profile``
+    The ``repro profile`` engine: run an expression under a counting
+    sink on either (or both) semantic layers and render a report.
+    Imported lazily by the CLI — not re-exported here, to keep
+    ``repro.obs`` importable from the evaluators without cycles.
+"""
+
+from repro.obs.events import (
+    ALLOC,
+    ASYNC_INTERRUPT,
+    BLACKHOLE_ENTER,
+    CASE_EXCEPTION_MODE_ENTER,
+    DENOTE_EVENTS,
+    EVENT_TAXONOMY,
+    EXCSET_JOIN,
+    FORCE,
+    FUEL_GRANT,
+    IO_ACTION,
+    MACHINE_EVENTS,
+    PHASE_END,
+    PHASE_START,
+    RAISE,
+    STEP,
+    EventSpec,
+)
+from repro.obs.sinks import (
+    NULL_SINK,
+    CountingSink,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TeeSink,
+    TraceSink,
+    is_live,
+    read_trace,
+)
+from repro.obs.timers import PhaseTimer
+
+__all__ = [
+    "ALLOC",
+    "ASYNC_INTERRUPT",
+    "BLACKHOLE_ENTER",
+    "CASE_EXCEPTION_MODE_ENTER",
+    "CountingSink",
+    "DENOTE_EVENTS",
+    "EVENT_TAXONOMY",
+    "EXCSET_JOIN",
+    "EventSpec",
+    "FORCE",
+    "FUEL_GRANT",
+    "IO_ACTION",
+    "JsonlSink",
+    "MACHINE_EVENTS",
+    "NULL_SINK",
+    "NullSink",
+    "PHASE_END",
+    "PHASE_START",
+    "PhaseTimer",
+    "RAISE",
+    "RingBufferSink",
+    "STEP",
+    "TeeSink",
+    "TraceSink",
+    "is_live",
+    "read_trace",
+]

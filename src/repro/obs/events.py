@@ -1,0 +1,139 @@
+"""The event taxonomy — the stable names of the tracing contract.
+
+Every event the evaluators can emit is declared here, with the layer
+it originates from and the payload fields it carries.  Consumers
+(sinks, the profiler, external tooling reading a ``--trace`` JSONL
+file) key off these names; they are part of the public contract
+documented in docs/OBSERVABILITY.md and must only grow, never change
+meaning.
+
+This module must stay dependency-free: it is imported by the hot
+evaluator modules (``repro.machine.eval``, ``repro.machine.heap``,
+``repro.core.denote``) and by ``repro.obs.sinks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+# -- machine layer -----------------------------------------------------
+
+#: One machine step (one ``Machine._tick``).  Payload: ``n`` (the step
+#: counter after the tick).
+STEP = "step"
+
+#: One heap-cell allocation.  Payload: ``kind`` — ``"thunk"`` for a
+#: lazily allocated argument/binding cell, ``"con"`` for a constructor
+#: skeleton.
+ALLOC = "alloc"
+
+#: A thunk entered for evaluation (cache misses only — a memoised
+#: re-read emits nothing, exactly as it costs nothing).  Payload:
+#: ``depth`` (the nesting depth of in-flight forces, after entry).
+FORCE = "force"
+
+#: A thunk under evaluation was re-entered (Section 5.2's detectable
+#: bottom).  Payload: ``reported`` — True when the machine converts it
+#: to ``NonTermination``, False when it diverges genuinely.
+BLACKHOLE_ENTER = "blackhole-enter"
+
+#: ``raise`` trimmed the stack (an explicit ``raise`` or a pattern
+#: match failure).  Payload: ``exc`` (the exception's name).
+RAISE = "raise"
+
+#: An asynchronous event (Section 5.1) fired from the event plan.
+#: Payload: ``exc``, ``at`` (the step it was delivered on).
+ASYNC_INTERRUPT = "async-interrupt"
+
+#: The Section 5.1 timeout monitor granted fresh fuel.  Payload:
+#: ``extra`` (steps granted), ``budget`` (the new absolute budget).
+FUEL_GRANT = "fuel-grant"
+
+#: The IO executor performed one action.  Payload: ``tag`` (the action
+#: constructor: ``return``, ``bind``, ``getException``, ...).
+IO_ACTION = "io-action"
+
+# -- denotational layer ------------------------------------------------
+
+#: Two exception sets were unioned (the Section 4.2/4.3 ``∪``).
+#: Payload: ``site`` (``prim`` | ``app`` | ``seq`` | ``case``),
+#: ``width`` (finite member count of the result), ``infinite`` (True
+#: when the result contains all synchronous exceptions).  Counting
+#: sinks build the set-width histogram from ``width``.
+EXCSET_JOIN = "excset-join"
+
+#: ``case`` met an exceptional scrutinee and entered exception-finding
+#: mode (Section 4.3).  Payload: ``alts`` (alternatives explored).
+CASE_EXCEPTION_MODE_ENTER = "case-exception-mode-enter"
+
+# -- timers ------------------------------------------------------------
+
+#: A named wall-clock phase opened / closed.  Payload: ``phase``;
+#: ``phase-end`` adds ``seconds``.
+PHASE_START = "phase-start"
+PHASE_END = "phase-end"
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One row of the taxonomy: an event name, its source layer, and
+    the payload fields it is contracted to carry."""
+
+    name: str
+    layer: str  # "machine" | "denote" | "io" | "timer"
+    fields: Tuple[str, ...]
+    description: str
+
+
+EVENT_TAXONOMY: Mapping[str, EventSpec] = {
+    spec.name: spec
+    for spec in (
+        EventSpec(STEP, "machine", ("n",), "one evaluator step"),
+        EventSpec(ALLOC, "machine", ("kind",), "one heap-cell allocation"),
+        EventSpec(FORCE, "machine", ("depth",), "thunk entered (cache miss)"),
+        EventSpec(
+            BLACKHOLE_ENTER,
+            "machine",
+            ("reported",),
+            "thunk re-entered while under evaluation (§5.2)",
+        ),
+        EventSpec(RAISE, "machine", ("exc",), "raise trimmed the stack"),
+        EventSpec(
+            ASYNC_INTERRUPT,
+            "machine",
+            ("exc", "at"),
+            "asynchronous event delivered (§5.1)",
+        ),
+        EventSpec(
+            FUEL_GRANT,
+            "machine",
+            ("extra", "budget"),
+            "timeout monitor granted fresh fuel (§5.1)",
+        ),
+        EventSpec(IO_ACTION, "io", ("tag",), "executor performed an action"),
+        EventSpec(
+            EXCSET_JOIN,
+            "denote",
+            ("site", "width", "infinite"),
+            "exception sets unioned (§4.2/§4.3)",
+        ),
+        EventSpec(
+            CASE_EXCEPTION_MODE_ENTER,
+            "denote",
+            ("alts",),
+            "case entered exception-finding mode (§4.3)",
+        ),
+        EventSpec(PHASE_START, "timer", ("phase",), "wall-clock phase opened"),
+        EventSpec(
+            PHASE_END, "timer", ("phase", "seconds"), "wall-clock phase closed"
+        ),
+    )
+}
+
+MACHINE_EVENTS = tuple(
+    name for name, spec in EVENT_TAXONOMY.items() if spec.layer == "machine"
+)
+DENOTE_EVENTS = tuple(
+    name for name, spec in EVENT_TAXONOMY.items() if spec.layer == "denote"
+)

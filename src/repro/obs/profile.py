@@ -1,0 +1,189 @@
+"""The ``repro profile`` engine.
+
+Runs an expression under a counting sink — on the lazy machine, the
+denotational evaluator, or both — with per-phase wall-clock timers,
+and renders the result as a table or JSON.  An optional JSONL sink
+streams the full event sequence for offline analysis.
+
+Measurement discipline: the prelude environment is built *before* the
+sink is attached and stats are reset, so the report covers the
+expression's own cost, not setup; and the outcome is rendered (which
+may force further structure) only *after* counters are snapshotted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs.events import (
+    CASE_EXCEPTION_MODE_ENTER,
+    EXCSET_JOIN,
+)
+from repro.obs.sinks import CountingSink, JsonlSink, TeeSink, TraceSink
+
+LAYERS = ("machine", "denote", "both")
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiling run measured."""
+
+    source: str
+    layer: str
+    outcome: Optional[str] = None  # machine observation, rendered
+    denotation: Optional[str] = None  # denoted SemVal, rendered
+    machine_stats: Optional[Dict[str, int]] = None
+    denote_stats: Optional[Dict[str, int]] = None
+    events: Dict[str, int] = field(default_factory=dict)
+    set_width_histogram: Dict[int, int] = field(default_factory=dict)
+    phases: Dict[str, float] = field(default_factory=dict)
+    trace_path: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "source": self.source,
+            "layer": self.layer,
+            "events": dict(sorted(self.events.items())),
+            "phases": {k: round(v, 6) for k, v in self.phases.items()},
+        }
+        if self.outcome is not None:
+            data["outcome"] = self.outcome
+        if self.machine_stats is not None:
+            data["machine_stats"] = self.machine_stats
+        if self.denotation is not None:
+            data["denotation"] = self.denotation
+        if self.denote_stats is not None:
+            data["denote_stats"] = self.denote_stats
+        if self.set_width_histogram:
+            data["set_width_histogram"] = {
+                str(w): n
+                for w, n in sorted(self.set_width_histogram.items())
+            }
+        if self.trace_path is not None:
+            data["trace_path"] = self.trace_path
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2)
+
+    def to_table(self) -> str:
+        lines = [f"profile  {self.source}", f"layer    {self.layer}"]
+
+        def section(title: str, rows: Dict[str, Any]) -> None:
+            if not rows:
+                return
+            lines.append("")
+            lines.append(title)
+            width = max(len(str(k)) for k in rows)
+            for key, value in rows.items():
+                if isinstance(value, float):
+                    value = f"{value:.6f}"
+                lines.append(f"  {str(key):<{width}}  {value}")
+
+        if self.outcome is not None:
+            lines.append(f"outcome  {self.outcome}")
+        if self.denotation is not None:
+            lines.append(f"denotes  {self.denotation}")
+        if self.machine_stats:
+            section("machine stats", self.machine_stats)
+        if self.denote_stats:
+            section("denotational stats", self.denote_stats)
+        section("events", dict(sorted(self.events.items())))
+        if self.set_width_histogram:
+            section(
+                "set-width histogram (excset-join)",
+                {
+                    f"width {w}": n
+                    for w, n in sorted(self.set_width_histogram.items())
+                },
+            )
+        section("phases (seconds)", self.phases)
+        if self.trace_path is not None:
+            lines.append("")
+            lines.append(f"trace written to {self.trace_path}")
+        return "\n".join(lines)
+
+
+def profile_source(
+    source: str,
+    strategy=None,
+    fuel: int = 2_000_000,
+    denote_fuel: int = 200_000,
+    layer: str = "machine",
+    trace: Optional[str] = None,
+    deep: bool = False,
+) -> ProfileReport:
+    """Profile ``source`` (prelude in scope) on the requested layer(s)."""
+    # Imports are local: repro.obs must stay importable from the
+    # evaluator modules without a cycle through the high-level API.
+    from repro.api import compile_expr
+    from repro.core.denote import DenoteContext, denote
+    from repro.machine.eval import Machine
+    from repro.machine.observe import Normal, observe, show_value
+    from repro.obs.timers import PhaseTimer
+    from repro.prelude.loader import denote_env, machine_env
+
+    if layer not in LAYERS:
+        raise ValueError(f"unknown layer {layer!r} (choose from {LAYERS})")
+
+    counting = CountingSink()
+    jsonl: Optional[JsonlSink] = None
+    sink: TraceSink = counting
+    if trace is not None:
+        jsonl = JsonlSink(trace)
+        sink = TeeSink(counting, jsonl)
+
+    report = ProfileReport(source=source, layer=layer, trace_path=trace)
+    timer = PhaseTimer(sink)
+    try:
+        with timer.phase("parse"):
+            expr = compile_expr(source)
+
+        if layer in ("machine", "both"):
+            machine = Machine(strategy=strategy, fuel=fuel)
+            with timer.phase("prelude-env"):
+                env = machine_env(machine)
+            # Attaching the sink *after* env construction (and letting
+            # observe() reset the counters) scopes the measurement to
+            # the expression itself.
+            with timer.phase("machine-eval"):
+                outcome = observe(
+                    expr, env=env, machine=machine, deep=deep, sink=sink
+                )
+            report.machine_stats = machine.stats.snapshot().as_dict()
+            report.events = dict(counting.counts)
+            # Rendering may force further structure, so it happens only
+            # after the counters are snapshotted; detach the sink so
+            # the extra forcing stays out of the event stream too.
+            machine.attach_sink(None)
+            if isinstance(outcome, Normal):
+                report.outcome = show_value(outcome.value, machine)
+            else:
+                report.outcome = str(outcome)
+
+        if layer in ("denote", "both"):
+            ctx = DenoteContext(fuel=denote_fuel, sink=sink)
+            with timer.phase("denote-prelude-env"):
+                denv = denote_env(ctx)
+            with timer.phase("denote-eval"):
+                value = denote(expr, denv, ctx)
+            report.denote_stats = {
+                "steps": ctx.steps,
+                "excset_joins": counting.count(EXCSET_JOIN),
+                "case_exception_mode_enters": counting.count(
+                    CASE_EXCEPTION_MODE_ENTER
+                ),
+            }
+            report.denotation = str(value)
+
+        report.events = dict(counting.counts)
+        report.set_width_histogram = dict(
+            counting.width_histograms.get(EXCSET_JOIN, {})
+        )
+        report.phases = timer.as_dict()
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    return report

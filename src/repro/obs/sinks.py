@@ -1,0 +1,199 @@
+"""Trace sinks: where evaluator events go.
+
+The :class:`TraceSink` protocol has one hot method, ``emit``, taking
+the event name positionally and the payload as keyword fields — no
+event object is allocated unless a sink chooses to build one, so a
+counting sink costs one dict update per event.
+
+The pay-as-you-go contract: the evaluators hold an ``is_live`` sink or
+``None``; with no live sink they skip the emission branch entirely, so
+the untraced instruction sequence is byte-for-byte the seed's.  The
+null sink is deliberately classified as *not live* — attaching it is
+exactly equivalent to attaching nothing, which makes "tracing is free
+when off" a structural property rather than a measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive evaluator events.
+
+    ``emit`` must not raise and must not observe or mutate evaluator
+    state — sinks are decorations, the semantics may not depend on
+    them.  ``close`` flushes/releases resources; it is idempotent.
+    """
+
+    def emit(self, name: str, **fields: Any) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class NullSink:
+    """The default sink: discards everything.
+
+    Attaching it is equivalent to attaching no sink at all
+    (:func:`is_live` returns False for it), so its overhead is not
+    merely small but structurally zero.
+    """
+
+    def emit(self, name: str, **fields: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+def is_live(sink: Optional["TraceSink"]) -> bool:
+    """True when ``sink`` should actually receive events.
+
+    The evaluators consult this once, at construction/attachment time,
+    and compile the answer into a single boolean guard on the hot path.
+    """
+    return sink is not None and not isinstance(sink, NullSink)
+
+
+class CountingSink:
+    """Count events by name; histogram any ``width`` payloads.
+
+    This is the metrics workhorse: the benchmark suite reads machine
+    step/allocation counts from here (instead of reaching into
+    ``Machine.stats``), and the denotational set-width histogram the
+    profiler reports is ``width_histograms["excset-join"]``.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.width_histograms: Dict[str, Dict[int, int]] = {}
+
+    def emit(self, name: str, **fields: Any) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+        width = fields.get("width")
+        if width is not None:
+            hist = self.width_histograms.setdefault(name, {})
+            hist[width] = hist.get(width, 0) + 1
+
+    def close(self) -> None:
+        pass
+
+    def count(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self.counts.items()))
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory.
+
+    The flight-recorder sink: cheap enough to leave attached during a
+    long run, then inspected after something interesting happened.
+    Each record is a plain dict ``{"event": name, **fields}``.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._buffer: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+
+    def emit(self, name: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {"event": name}
+        record.update(fields)
+        self._buffer.append(record)
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink:
+    """Stream events as JSON Lines, one object per event.
+
+    Records carry a monotonically increasing ``seq`` so a trace can be
+    re-ordered/merged downstream; all other keys are the payload
+    fields.  Non-JSON payload values are stringified rather than
+    rejected — a sink must never raise into the evaluator.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self._seq = 0
+        self._closed = False
+
+    def emit(self, name: str, **fields: Any) -> None:
+        if self._closed:
+            return
+        self._seq += 1
+        record: Dict[str, Any] = {"seq": self._seq, "event": name}
+        record.update(fields)
+        self._fh.write(json.dumps(record, default=str) + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into a list of event records."""
+    records: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class TeeSink:
+    """Fan one event stream out to several sinks (e.g. counting for
+    the report *and* JSONL for ``--trace``)."""
+
+    def __init__(self, *sinks: "TraceSink") -> None:
+        self.sinks = tuple(s for s in sinks if is_live(s))
+
+    def emit(self, name: str, **fields: Any) -> None:
+        for sink in self.sinks:
+            sink.emit(name, **fields)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

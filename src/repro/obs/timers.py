@@ -1,0 +1,46 @@
+"""Per-phase wall-clock timers.
+
+A :class:`PhaseTimer` accumulates elapsed seconds per named phase and
+(optionally) reports ``phase-start``/``phase-end`` events through a
+sink, so a JSONL trace interleaves timing boundaries with the machine
+events that occurred inside them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.obs.events import PHASE_END, PHASE_START
+from repro.obs.sinks import TraceSink, is_live
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timer keyed by phase name.
+
+    Re-entering a phase name accumulates (it does not overwrite), so a
+    phase run in a loop reports its total.  Timing uses
+    ``time.perf_counter`` — monotonic, unaffected by wall-clock jumps.
+    """
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.durations: Dict[str, float] = {}
+        self._sink = sink if is_live(sink) else None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        sink = self._sink
+        if sink is not None:
+            sink.emit(PHASE_START, phase=name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+            if sink is not None:
+                sink.emit(PHASE_END, phase=name, seconds=elapsed)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.durations)

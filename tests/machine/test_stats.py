@@ -1,0 +1,191 @@
+"""MachineStats lifecycle + the machine half of the tracing contract.
+
+Covers the observability guarantees docs/OBSERVABILITY.md promises:
+snapshots are immutable records; stats lifecycle is explicit
+(reset-per-observe, with fuel and the async event plan rebased rather
+than forgotten); the null sink is structurally free; a JSONL trace
+round-trips.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import compile_expr
+from repro.core.excset import CONTROL_C
+from repro.machine import Machine, MachineStats, StatsSnapshot
+from repro.machine.heap import AsyncInterrupt
+from repro.machine.observe import Exceptional, Normal, observe
+from repro.obs import (
+    EVENT_TAXONOMY,
+    NULL_SINK,
+    STEP,
+    CountingSink,
+    JsonlSink,
+    read_trace,
+)
+from repro.prelude.loader import machine_env
+
+
+def _eval(machine: Machine, source: str):
+    return machine.eval(compile_expr(source), machine_env(machine))
+
+
+class TestSnapshot:
+    def test_snapshot_is_frozen(self):
+        snap = Machine().stats.snapshot()
+        assert isinstance(snap, StatsSnapshot)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snap.steps = 99
+
+    def test_snapshot_is_independent_of_live_counters(self):
+        machine = Machine()
+        _eval(machine, "1 + 2")
+        snap = machine.stats.snapshot()
+        before = snap.steps
+        _eval(machine, "sum [1, 2, 3]")
+        assert snap.steps == before
+        assert machine.stats.steps > before
+
+    def test_as_dict_mirrors_fields(self):
+        machine = Machine()
+        _eval(machine, "1 + 2")
+        live = machine.stats.as_dict()
+        snap = machine.stats.snapshot().as_dict()
+        assert live == snap
+        assert set(live) == {
+            "steps",
+            "allocations",
+            "thunks_forced",
+            "raises",
+            "prim_ops",
+            "force_depth",
+            "max_force_depth",
+        }
+
+
+class TestResetStats:
+    def test_counters_zeroed_and_old_snapshot_returned(self):
+        machine = Machine()
+        _eval(machine, "sum [1, 2, 3]")
+        steps = machine.stats.steps
+        assert steps > 0
+        old = machine.reset_stats()
+        assert old.steps == steps
+        assert machine.stats.steps == 0
+        assert machine.stats.allocations == 0
+
+    def test_remaining_fuel_is_rebased_not_refilled(self):
+        machine = Machine(fuel=1_000)
+        _eval(machine, "1 + 2")
+        consumed = machine.stats.steps
+        machine.reset_stats()
+        # The budget left is exactly what was left before the reset.
+        assert machine.fuel == 1_000 - consumed
+        assert machine.stats.steps == 0
+
+    def test_grant_fuel_allowance_survives_reset(self):
+        machine = Machine(fuel=1_000)
+        _eval(machine, "1 + 2")
+        machine.grant_fuel(500)  # fuel := steps + 500
+        machine.reset_stats()
+        assert machine.fuel == 500
+
+    def test_event_plan_is_rebased(self):
+        # An interrupt scheduled 20 steps into the run must still fire
+        # ~20 steps in after a reset consumed some of the countdown.
+        machine = Machine(event_plan={20: CONTROL_C})
+        _eval(machine, "1 + 2")
+        consumed = machine.stats.steps
+        assert 0 < consumed < 20
+        machine.reset_stats()
+        with pytest.raises(AsyncInterrupt):
+            _eval(
+                machine,
+                "let { go = \\n -> if n == 0 then 0 "
+                "else n + go (n - 1) } in go 400",
+            )
+        assert machine.stats.steps == 20 - consumed
+
+
+class TestResetPerObserve:
+    def test_recycled_machine_reports_per_observation_cost(self):
+        machine = Machine()
+        expr = compile_expr("1 + 2")
+        first = observe(expr, machine=machine)
+        steps_once = machine.stats.steps
+        second = observe(expr, machine=machine)
+        assert isinstance(first, Normal) and isinstance(second, Normal)
+        assert machine.stats.steps == steps_once  # not accumulated
+
+    def test_reset_can_be_opted_out(self):
+        machine = Machine()
+        expr = compile_expr("1 + 2")
+        observe(expr, machine=machine)
+        steps_once = machine.stats.steps
+        observe(expr, machine=machine, reset_stats=False)
+        assert machine.stats.steps == 2 * steps_once
+
+
+class TestNullSinkZeroOverhead:
+    SOURCES = (
+        "sum [1, 2, 3]",
+        "let { fib = \\n -> if n < 2 then n "
+        "else fib (n - 1) + fib (n - 2) } in fib 10",
+        "case (1 `div` 0) of { 1 -> 2; _ -> 3 }",
+    )
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_step_counts_identical_with_and_without_sink(self, source):
+        bare = Machine()
+        try:
+            _eval(bare, source)
+        except Exception:
+            pass
+        nulled = Machine(sink=NULL_SINK)
+        try:
+            _eval(nulled, source)
+        except Exception:
+            pass
+        assert bare.stats.as_dict() == nulled.stats.as_dict()
+
+    def test_counting_sink_counts_equal_stats(self):
+        sink = CountingSink()
+        machine = Machine(sink=sink)
+        _eval(machine, "sum [1, 2, 3]")
+        assert sink.count(STEP) == machine.stats.steps
+
+
+class TestJsonlRoundTrip:
+    def test_trace_round_trips(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        machine = Machine(sink=sink)
+        _eval(machine, "sum [1, 2, 3]")
+        sink.close()
+        records = read_trace(path)
+        assert records, "trace must not be empty"
+        # seq is monotonically increasing from 1.
+        assert [r["seq"] for r in records] == list(
+            range(1, len(records) + 1)
+        )
+        # Every event name is in the published taxonomy.
+        assert {r["event"] for r in records} <= set(EVENT_TAXONOMY)
+        # The step events are exactly the machine's step counter.
+        steps = [r for r in records if r["event"] == "step"]
+        assert len(steps) == machine.stats.steps
+        assert steps[-1]["n"] == machine.stats.steps
+
+    def test_exceptional_run_traces_the_raise(self, tmp_path):
+        path = str(tmp_path / "raise.jsonl")
+        with JsonlSink(path) as sink:
+            machine = Machine(sink=sink)
+            out = observe(
+                compile_expr("raise Overflow"),
+                env=machine_env(machine),
+                machine=machine,
+                reset_stats=False,
+            )
+        assert isinstance(out, Exceptional)
+        events = [r["event"] for r in read_trace(path)]
+        assert "raise" in events

@@ -1,0 +1,184 @@
+"""Unit tests for the sink zoo, the event taxonomy and the timers."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    DENOTE_EVENTS,
+    EVENT_TAXONOMY,
+    EXCSET_JOIN,
+    MACHINE_EVENTS,
+    NULL_SINK,
+    PHASE_END,
+    PHASE_START,
+    STEP,
+    CountingSink,
+    JsonlSink,
+    NullSink,
+    PhaseTimer,
+    RingBufferSink,
+    TeeSink,
+    TraceSink,
+    is_live,
+    read_trace,
+)
+
+
+class TestLiveness:
+    def test_none_and_null_are_not_live(self):
+        assert not is_live(None)
+        assert not is_live(NULL_SINK)
+        assert not is_live(NullSink())
+
+    def test_real_sinks_are_live(self):
+        assert is_live(CountingSink())
+        assert is_live(RingBufferSink(4))
+
+    def test_sinks_satisfy_the_protocol(self):
+        for sink in (
+            NullSink(),
+            CountingSink(),
+            RingBufferSink(4),
+            TeeSink(CountingSink()),
+        ):
+            assert isinstance(sink, TraceSink)
+
+
+class TestCountingSink:
+    def test_counts_by_name(self):
+        sink = CountingSink()
+        sink.emit(STEP, n=1)
+        sink.emit(STEP, n=2)
+        sink.emit("alloc", kind="thunk")
+        assert sink.count(STEP) == 2
+        assert sink.count("alloc") == 1
+        assert sink.count("never") == 0
+        assert sink.as_dict() == {"alloc": 1, STEP: 2}
+
+    def test_width_histogram(self):
+        sink = CountingSink()
+        for width in (1, 2, 2, 3):
+            sink.emit(EXCSET_JOIN, site="prim", width=width, infinite=False)
+        assert sink.width_histograms[EXCSET_JOIN] == {1: 1, 2: 2, 3: 1}
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        for n in range(10):
+            sink.emit(STEP, n=n)
+        assert len(sink) == 3
+        assert [r["n"] for r in sink.events] == [7, 8, 9]
+        assert all(r["event"] == STEP for r in sink.events)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJsonlSink:
+    def test_writes_to_file_like(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit(STEP, n=1)
+        sink.emit("raise", exc="Overflow")
+        sink.close()
+        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert lines == [
+            {"seq": 1, "event": STEP, "n": 1},
+            {"seq": 2, "event": "raise", "exc": "Overflow"},
+        ]
+
+    def test_round_trips_through_a_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit(STEP, n=1)
+        assert read_trace(path) == [{"seq": 1, "event": STEP, "n": 1}]
+
+    def test_close_is_idempotent_and_silences_emit(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        sink.emit(STEP, n=1)
+        sink.close()
+        sink.close()
+        sink.emit(STEP, n=2)  # dropped, not an error
+        assert len(read_trace(path)) == 1
+
+    def test_non_json_payloads_are_stringified(self):
+        buf = io.StringIO()
+        JsonlSink(buf).emit("weird", value=object())
+        assert "weird" in buf.getvalue()
+
+
+class TestTeeSink:
+    def test_fans_out(self):
+        a, b = CountingSink(), CountingSink()
+        tee = TeeSink(a, b)
+        tee.emit(STEP, n=1)
+        assert a.count(STEP) == b.count(STEP) == 1
+
+    def test_drops_dead_members(self):
+        a = CountingSink()
+        tee = TeeSink(NULL_SINK, a, None)  # type: ignore[arg-type]
+        assert tee.sinks == (a,)
+
+
+class TestTaxonomy:
+    def test_layer_partitions(self):
+        assert set(MACHINE_EVENTS).isdisjoint(DENOTE_EVENTS)
+        for name, spec in EVENT_TAXONOMY.items():
+            assert spec.name == name
+            assert spec.layer in ("machine", "denote", "io", "timer")
+            assert spec.fields
+            assert spec.description
+
+    def test_core_events_present(self):
+        for name in (
+            "step",
+            "alloc",
+            "force",
+            "blackhole-enter",
+            "raise",
+            "async-interrupt",
+            "fuel-grant",
+            "io-action",
+            "excset-join",
+            "case-exception-mode-enter",
+        ):
+            assert name in EVENT_TAXONOMY
+
+
+class TestPhaseTimer:
+    def test_accumulates_durations(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            pass
+        first = timer.durations["work"]
+        with timer.phase("work"):
+            pass
+        assert timer.durations["work"] >= first
+        assert set(timer.as_dict()) == {"work"}
+
+    def test_emits_phase_events(self):
+        sink = CountingSink()
+        timer = PhaseTimer(sink)
+        with timer.phase("a"):
+            with timer.phase("b"):
+                pass
+        assert sink.count(PHASE_START) == 2
+        assert sink.count(PHASE_END) == 2
+
+    def test_null_sink_receives_nothing(self):
+        timer = PhaseTimer(NULL_SINK)
+        with timer.phase("a"):
+            pass
+        assert timer._sink is None
+
+    def test_records_duration_even_when_body_raises(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("bad"):
+                raise RuntimeError("boom")
+        assert "bad" in timer.durations

@@ -176,6 +176,69 @@ class TestDenoteDeep:
         assert "Cons" in out
 
 
+class TestProfile:
+    def test_table_default(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "sum [1, 2, 3]")
+        assert code == 0
+        assert "outcome  6" in out
+        assert "machine stats" in out
+        assert "steps" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "profile", "1 + 2", "--format", "json"
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["outcome"] == "3"
+        assert data["machine_stats"]["steps"] == data["events"]["step"]
+
+    def test_denote_layer(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "profile",
+            "(1 `div` 0) + raise Overflow",
+            "--layer",
+            "denote",
+        )
+        assert code == 0
+        assert "DivideByZero" in out
+        assert "set-width histogram" in out
+
+    def test_both_layers(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "1 + 2", "--layer", "both"
+        )
+        assert code == 0
+        assert "machine stats" in out
+        assert "denotational stats" in out
+
+    def test_trace_file(self, capsys, tmp_path):
+        from repro.obs import read_trace
+
+        path = str(tmp_path / "out.jsonl")
+        code, out, _ = run_cli(
+            capsys, "profile", "1 + 2", "--trace", path
+        )
+        assert code == 0
+        assert path in out
+        records = read_trace(path)
+        assert any(r["event"] == "step" for r in records)
+
+    def test_strategy_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "profile",
+            '(1 `div` 0) + error "Urk"',
+            "--strategy",
+            "right-to-left",
+        )
+        assert code == 0
+        assert "Urk" in out
+
+
 class TestLawTypedConvention:
     def test_case_switch_via_cli(self, capsys):
         code, out, _ = run_cli(
