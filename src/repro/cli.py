@@ -10,6 +10,7 @@ trace EXPR      enumerate every behaviour the §4.4 LTS permits
 profile EXPR    run under the tracing/metrics layer (docs/OBSERVABILITY.md)
 optimise EXPR   run an optimisation level and pretty-print the result
 typecheck FILE  infer and print the types of a module's bindings
+fuzz            differential fuzzing: cross-evaluator oracle + shrinker
 
 Examples
 --------
@@ -18,6 +19,8 @@ Examples
     python -m repro law    'a + b' 'b + a' --semantics fixed-order
     python -m repro run    examples/hello.hs --stdin "x"
     python -m repro profile 'sum [1, 2, 3]' --trace out.jsonl --format json
+    python -m repro fuzz   --iterations 500 --seed 0 --format json
+    python -m repro fuzz   --replay tests/fuzz/corpus/regressions.jsonl
 """
 
 from __future__ import annotations
@@ -173,6 +176,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
     tc = sub.add_parser("typecheck", help="infer a module's types")
     tc.add_argument("file")
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across all evaluators",
+        description=(
+            "Generate seeded random programs and run each through the "
+            "denotational reference, the lazy machine under every "
+            "strategy, the ExVal encoding, and the fixed-order "
+            "baseline, classifying every lane as agree / refinement / "
+            "divergence (docs/FUZZING.md).  Genuine divergences are "
+            "shrunk and the exit status is non-zero.  With --replay, "
+            "re-run a corpus instead and check the recorded verdicts."
+        ),
+    )
+    fz.add_argument("--iterations", type=int, default=None,
+                    help="number of cases (default 200 unless --seconds)")
+    fz.add_argument("--seconds", type=float, default=None,
+                    help="wall-clock budget; combines with --iterations")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="base seed; case i uses seed+i")
+    fz.add_argument("--replay", metavar="CORPUS.jsonl", default=None,
+                    help="replay a corpus instead of generating")
+    fz.add_argument("--save", metavar="CORPUS.jsonl", default=None,
+                    help="append shrunk divergences to this corpus")
+    fz.add_argument("--max-depth", type=int, default=5)
+    fz.add_argument("--io-fraction", type=float, default=0.25)
+    fz.add_argument("--no-fix", action="store_true",
+                    help="disable Fix/recursion arms")
+    fz.add_argument("--no-io", action="store_true",
+                    help="pure programs only")
+    fz.add_argument("--no-strings", action="store_true",
+                    help="disable string literals and primitives")
+    fz.add_argument("--no-prelude", action="store_true",
+                    help="disable prelude-calling arms")
+    fz.add_argument("--no-catch", action="store_true",
+                    help="disable catchIO wrapping in IO programs")
+    fz.add_argument("--no-shrink", action="store_true",
+                    help="report divergences unshrunk")
+    fz.add_argument("--max-findings", type=int, default=10,
+                    help="stop after this many divergences")
+    fz.add_argument(
+        "--format", default="table", choices=["table", "json"]
+    )
     return parser
 
 
@@ -329,6 +375,96 @@ def _cmd_typecheck(args) -> int:
     return 0
 
 
+def _fuzz_table(summary_dict: dict) -> str:
+    lines = []
+    lines.append(
+        f"fuzz: {summary_dict['iterations']} cases, seed "
+        f"{summary_dict['seed']}, {summary_dict['elapsed_seconds']}s"
+    )
+    verdicts = summary_dict["verdicts"]
+    lines.append(
+        "verdicts: "
+        + ", ".join(f"{k}={v}" for k, v in verdicts.items())
+    )
+    machine = summary_dict["machine"]
+    lines.append(
+        f"machine: steps={machine['steps']} raises={machine['raises']} "
+        f"allocs={machine['allocs']}"
+    )
+    for lane, counts in summary_dict["lanes"].items():
+        lines.append(
+            f"  {lane}: "
+            + ", ".join(f"{k}={v}" for k, v in counts.items())
+        )
+    for finding in summary_dict["findings"]:
+        lines.append(
+            f"DIVERGENCE (seed {finding['seed']}, "
+            f"{finding['original_size']} -> {finding['shrunk_size']} "
+            f"nodes): {finding['shrunk_source']}"
+        )
+    if summary_dict.get("corpus_added"):
+        lines.append(f"corpus: {summary_dict['corpus_added']} new entries")
+    return "\n".join(lines)
+
+
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz.corpus import replay_corpus
+    from repro.fuzz.engine import run_fuzz
+    from repro.fuzz.gen import GenConfig
+
+    if args.replay is not None:
+        results = replay_corpus(args.replay)
+        payload = {
+            "corpus": args.replay,
+            "entries": len(results),
+            "mismatches": [
+                r.to_dict() for r in results if not r.matches
+            ],
+        }
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"replayed {payload['entries']} entries from "
+                f"{args.replay}: "
+                f"{len(payload['mismatches'])} mismatches"
+            )
+            for mismatch in payload["mismatches"]:
+                print(
+                    f"  MISMATCH {mismatch['id']}: expected "
+                    f"{mismatch['expected']}, observed "
+                    f"{mismatch['observed']}: {mismatch['source']}"
+                )
+        return 1 if payload["mismatches"] else 0
+
+    gen_config = GenConfig(
+        max_depth=args.max_depth,
+        io_fraction=0.0 if args.no_io else args.io_fraction,
+        allow_fix=not args.no_fix,
+        allow_strings=not args.no_strings,
+        allow_prelude=not args.no_prelude,
+        allow_io=not args.no_io,
+        allow_catch=not args.no_catch,
+    )
+    summary = run_fuzz(
+        iterations=args.iterations,
+        seconds=args.seconds,
+        seed=args.seed,
+        gen_config=gen_config,
+        save_path=args.save,
+        shrink_findings=not args.no_shrink,
+        max_findings=args.max_findings,
+    )
+    payload = summary.to_dict()
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_fuzz_table(payload))
+    return 1 if summary.divergences else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "eval": _cmd_eval,
@@ -338,6 +474,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "optimise": _cmd_optimise,
     "typecheck": _cmd_typecheck,
+    "fuzz": _cmd_fuzz,
 }
 
 

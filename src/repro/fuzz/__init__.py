@@ -1,0 +1,78 @@
+"""Differential fuzzing: mechanically hunting for disagreements.
+
+The paper's central claim (Section 4.5) is that the imprecise
+semantics validates a whole algebra of transformations that any
+fixed-order semantics breaks.  This package checks the claim the
+brute-force way: a seeded program generator (:mod:`repro.fuzz.gen`)
+feeds a multi-way differential oracle (:mod:`repro.fuzz.oracle`) that
+runs every program through the denotational semantics, the lazy
+machine under several strategies, the explicit ``ExVal`` encoding and
+the fixed-order baseline, classifying each pairwise outcome on the
+lattice *agree* / *legal refinement* / *genuine divergence*.  Any
+genuine divergence is minimised by a delta-debugging shrinker
+(:mod:`repro.fuzz.shrink`) and persisted to a JSONL regression corpus
+(:mod:`repro.fuzz.corpus`).  The whole loop is driven by
+:mod:`repro.fuzz.engine` and exposed as ``python -m repro fuzz``.
+
+The package is deliberately independent of pytest so it can run as a
+long-lived workload; the Hypothesis strategies the property tests use
+are re-exported lazily from :mod:`repro.fuzz.gen` (one generator, two
+front ends).  See docs/FUZZING.md for the oracle lattice and a worked
+triage session.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    append_entries,
+    dedup_id,
+    load_corpus,
+    replay_corpus,
+    replay_entry,
+    write_corpus,
+)
+from repro.fuzz.engine import FuzzSummary, run_fuzz
+from repro.fuzz.gen import FuzzCase, GenConfig, generate_case
+from repro.fuzz.oracle import (
+    AGREE,
+    DIVERGENCE,
+    Comparison,
+    Observation,
+    OracleConfig,
+    OracleReport,
+    REFINEMENT,
+    SKIPPED,
+    classify_transform_pair,
+    divergence_predicate,
+    run_oracle,
+    transform_divergence_predicate,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "AGREE",
+    "Comparison",
+    "CorpusEntry",
+    "DIVERGENCE",
+    "FuzzCase",
+    "FuzzSummary",
+    "GenConfig",
+    "Observation",
+    "OracleConfig",
+    "OracleReport",
+    "REFINEMENT",
+    "SKIPPED",
+    "ShrinkResult",
+    "append_entries",
+    "classify_transform_pair",
+    "dedup_id",
+    "divergence_predicate",
+    "generate_case",
+    "load_corpus",
+    "replay_corpus",
+    "replay_entry",
+    "run_fuzz",
+    "run_oracle",
+    "shrink",
+    "transform_divergence_predicate",
+    "write_corpus",
+]

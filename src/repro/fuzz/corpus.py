@@ -1,0 +1,184 @@
+"""JSONL corpus persistence: dedup-by-shrunk-form and replay.
+
+Every genuine divergence the engine finds is shrunk first and then
+recorded as one JSON object per line.  The entry id is a hash of the
+*shrunk* pretty-printed source, so re-discoveries of the same minimal
+witness deduplicate across runs regardless of the seed that found
+them.  Replaying a corpus re-parses each source, re-runs the full
+oracle, and checks that the recorded verdict still holds — the
+regression test in ``tests/fuzz/test_corpus_replay.py`` runs the
+checked-in corpus on every CI build.
+
+The format is append-friendly and diff-friendly::
+
+    {"id": "9be9cbe0c96ae0b3", "source": "...", "kind": "pure",
+     "stdin": "", "seed": 17, "verdict": "divergence",
+     "lane": "machine:shuffled(seed=1)", "reason": "..."}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List, Optional
+
+from repro.fuzz.gen import FuzzCase
+from repro.fuzz.oracle import OracleConfig, OracleReport, run_oracle
+
+
+def dedup_id(source: str) -> str:
+    """Stable id of a (shrunk) source form."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One persisted finding (or planted regression seed)."""
+
+    id: str
+    source: str
+    kind: str  # "pure" | "io"
+    stdin: str
+    seed: int
+    verdict: str  # the oracle verdict replay must reproduce
+    lane: str  # worst lane when recorded
+    reason: str  # human classification note
+
+    @staticmethod
+    def from_report(report: OracleReport) -> "CorpusEntry":
+        worst = report.worst_comparison
+        return CorpusEntry(
+            id=dedup_id(report.case.source),
+            source=report.case.source,
+            kind=report.case.kind,
+            stdin=report.case.stdin,
+            seed=report.case.seed,
+            verdict=report.verdict,
+            lane=worst.lane if worst else "",
+            reason=worst.reason if worst else "",
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @staticmethod
+    def from_json(line: str) -> "CorpusEntry":
+        raw = json.loads(line)
+        return CorpusEntry(
+            id=raw["id"],
+            source=raw["source"],
+            kind=raw.get("kind", "pure"),
+            stdin=raw.get("stdin", ""),
+            seed=int(raw.get("seed", 0)),
+            verdict=raw["verdict"],
+            lane=raw.get("lane", ""),
+            reason=raw.get("reason", ""),
+        )
+
+
+def load_corpus(path: str) -> List[CorpusEntry]:
+    entries: List[CorpusEntry] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            entries.append(CorpusEntry.from_json(line))
+    return entries
+
+
+def write_corpus(path: str, entries: Iterable[CorpusEntry]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(entry.to_json() + "\n")
+
+
+def append_entries(
+    path: str, entries: Iterable[CorpusEntry]
+) -> List[CorpusEntry]:
+    """Append entries not already present (dedup by id); returns the
+    ones actually written."""
+    try:
+        existing = {entry.id for entry in load_corpus(path)}
+    except FileNotFoundError:
+        existing = set()
+    added: List[CorpusEntry] = []
+    with open(path, "a", encoding="utf-8") as handle:
+        for entry in entries:
+            if entry.id in existing:
+                continue
+            handle.write(entry.to_json() + "\n")
+            existing.add(entry.id)
+            added.append(entry)
+    return added
+
+
+# -- replay --------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-running one corpus entry."""
+
+    entry: CorpusEntry
+    report: Optional[OracleReport]
+    error: str = ""
+
+    @property
+    def matches(self) -> bool:
+        return (
+            self.report is not None
+            and self.report.verdict == self.entry.verdict
+        )
+
+    def to_dict(self) -> dict:
+        out = {
+            "id": self.entry.id,
+            "source": self.entry.source,
+            "expected": self.entry.verdict,
+            "observed": self.report.verdict if self.report else None,
+            "matches": self.matches,
+        }
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+def case_of_entry(entry: CorpusEntry) -> FuzzCase:
+    """Recompile an entry's source into a runnable case."""
+    from repro.api import compile_expr
+
+    expr = compile_expr(entry.source)
+    return FuzzCase(
+        seed=entry.seed,
+        kind=entry.kind,
+        expr=expr,
+        source=entry.source,
+        stdin=entry.stdin,
+    )
+
+
+def replay_entry(
+    entry: CorpusEntry,
+    config: Optional[OracleConfig] = None,
+    sink=None,
+) -> ReplayResult:
+    """Re-run one entry's oracle and compare against the recorded
+    verdict."""
+    try:
+        case = case_of_entry(entry)
+    except Exception as err:  # noqa: BLE001 — stale syntax is a finding
+        return ReplayResult(entry, None, error=f"compile failed: {err}")
+    report = run_oracle(case, config, sink)
+    return ReplayResult(entry, report)
+
+
+def replay_corpus(
+    path: str,
+    config: Optional[OracleConfig] = None,
+    sink=None,
+) -> List[ReplayResult]:
+    return [
+        replay_entry(entry, config, sink) for entry in load_corpus(path)
+    ]

@@ -1,0 +1,186 @@
+"""The fuzz loop: generate → oracle → (shrink → persist) → summarise.
+
+Budgeted by iteration count or wall-clock seconds, seeded for exact
+reproducibility, and wired through the observability layer: one
+:class:`~repro.obs.sinks.CountingSink` is attached to every machine
+and denotational context the oracle builds, so a fuzz run reports
+machine steps, raises and allocations for free (the same counters
+``python -m repro profile`` reports — docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fuzz.corpus import CorpusEntry, append_entries
+from repro.fuzz.gen import FuzzCase, GenConfig, generate_case
+from repro.fuzz.oracle import (
+    DIVERGENCE,
+    OracleConfig,
+    OracleReport,
+    divergence_predicate,
+    run_oracle,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink
+from repro.lang.ast import expr_size
+from repro.lang.pretty import pretty
+from repro.obs.events import ALLOC, RAISE, STEP
+from repro.obs.sinks import CountingSink
+
+
+@dataclass
+class Finding:
+    """One genuine divergence, before and after shrinking."""
+
+    original: OracleReport
+    shrunk: OracleReport
+    shrink_result: ShrinkResult
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.original.case.seed,
+            "original_source": self.original.case.source,
+            "original_size": self.shrink_result.original_size,
+            "shrunk_source": self.shrunk.case.source,
+            "shrunk_size": self.shrink_result.final_size,
+            "shrink_attempts": self.shrink_result.attempts,
+            "report": self.shrunk.to_dict(),
+        }
+
+
+@dataclass
+class FuzzSummary:
+    """Aggregated outcome of one fuzz run."""
+
+    seed: int
+    iterations: int = 0
+    elapsed: float = 0.0
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    lane_verdicts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+    machine_steps: int = 0
+    machine_raises: int = 0
+    machine_allocs: int = 0
+    corpus_added: int = 0
+
+    @property
+    def divergences(self) -> int:
+        return self.verdicts.get(DIVERGENCE, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "lanes": {
+                lane: dict(sorted(counts.items()))
+                for lane, counts in sorted(self.lane_verdicts.items())
+            },
+            "machine": {
+                "steps": self.machine_steps,
+                "raises": self.machine_raises,
+                "allocs": self.machine_allocs,
+            },
+            "corpus_added": self.corpus_added,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def run_fuzz(
+    iterations: Optional[int] = None,
+    seconds: Optional[float] = None,
+    seed: int = 0,
+    gen_config: Optional[GenConfig] = None,
+    oracle_config: Optional[OracleConfig] = None,
+    save_path: Optional[str] = None,
+    shrink_findings: bool = True,
+    max_findings: int = 10,
+) -> FuzzSummary:
+    """Run the differential loop until the budget is spent.
+
+    ``iterations`` and ``seconds`` may be combined; whichever runs out
+    first stops the loop (default: 200 iterations).  Case ``i`` uses
+    generator seed ``seed + i``, so any individual case can be
+    regenerated without re-running the loop.  After ``max_findings``
+    divergences the run stops early — a broken build would otherwise
+    spend its whole budget shrinking.
+    """
+    if iterations is None and seconds is None:
+        iterations = 200
+    if gen_config is None:
+        gen_config = GenConfig()
+    if oracle_config is None:
+        oracle_config = OracleConfig()
+    sink = CountingSink()
+    summary = FuzzSummary(seed=seed)
+    started = time.monotonic()
+    index = 0
+    while True:
+        if iterations is not None and index >= iterations:
+            break
+        if seconds is not None and time.monotonic() - started >= seconds:
+            break
+        if len(summary.findings) >= max_findings:
+            break
+        case = generate_case(seed + index, gen_config)
+        report = run_oracle(case, oracle_config, sink=sink)
+        _tally(summary, report)
+        if report.verdict == DIVERGENCE:
+            summary.findings.append(
+                _handle_divergence(
+                    case, report, oracle_config, shrink_findings
+                )
+            )
+        index += 1
+    summary.iterations = index
+    summary.elapsed = time.monotonic() - started
+    summary.machine_steps = sink.count(STEP)
+    summary.machine_raises = sink.count(RAISE)
+    summary.machine_allocs = sink.count(ALLOC)
+    if save_path and summary.findings:
+        added = append_entries(
+            save_path,
+            [
+                CorpusEntry.from_report(finding.shrunk)
+                for finding in summary.findings
+            ],
+        )
+        summary.corpus_added = len(added)
+    return summary
+
+
+def _tally(summary: FuzzSummary, report: OracleReport) -> None:
+    summary.verdicts[report.verdict] = (
+        summary.verdicts.get(report.verdict, 0) + 1
+    )
+    for comparison in report.comparisons:
+        lane = summary.lane_verdicts.setdefault(comparison.lane, {})
+        lane[comparison.verdict] = lane.get(comparison.verdict, 0) + 1
+
+
+def _handle_divergence(
+    case: FuzzCase,
+    report: OracleReport,
+    oracle_config: OracleConfig,
+    shrink_findings: bool,
+) -> Finding:
+    """Minimise a divergent case (the shrink predicate re-runs the
+    full oracle, so the witness keeps disagreeing for the same
+    reason-class it was found with)."""
+    if not shrink_findings:
+        identity = ShrinkResult(
+            expr=case.expr,
+            original_size=expr_size(case.expr),
+            final_size=expr_size(case.expr),
+            accepted=0,
+            attempts=0,
+        )
+        return Finding(report, report, identity)
+    predicate = divergence_predicate(case, oracle_config)
+    result = shrink(case.expr, predicate)
+    shrunk_case = case.with_expr(result.expr, pretty(result.expr))
+    shrunk_report = run_oracle(shrunk_case, oracle_config)
+    return Finding(report, shrunk_report, result)

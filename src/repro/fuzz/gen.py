@@ -1,0 +1,506 @@
+"""Seeded, reproducible program generation over the full AST surface.
+
+Two front ends share one grammar:
+
+* :func:`generate_case` — a pure ``random.Random`` generator used by
+  the standalone fuzz engine.  Deterministic for a fixed seed (tested
+  in ``tests/fuzz/test_gen.py``), no Hypothesis dependency, so
+  ``python -m repro fuzz`` can run as a long-lived workload.
+* The Hypothesis strategies (``int_exprs``, ``bool_exprs``,
+  ``io_exprs``) used by the property tests — defined in
+  :mod:`repro.fuzz.hyp` and re-exported lazily from here (PEP 562), so
+  importing the fuzz engine never pulls Hypothesis in.
+
+The generated space covers what ``tests/genexpr.py`` historically
+omitted: ``Fix``-based recursion, string literals and string
+primitives, ``UserError`` payloads, prelude calls, and IO programs
+with ``catchIO``/``getException``.  Every program is closed relative
+to the prelude environment and well-typed by construction.
+
+One deliberate constraint: generated exception *handlers* (``catchIO``
+handlers, ``getException`` consumers, ``mapException`` functions) are
+exception-agnostic — they may force the exception value but never
+branch on its identity.  Different strategies legitimately observe
+different members of a denoted exception set (Section 3.5), so a
+handler that printed the member's name would make cross-strategy
+stdout incomparable and every such program a false positive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PCon,
+    PrimOp,
+    PVar,
+    PWild,
+    Raise,
+    Var,
+    app_chain,
+)
+
+#: Nullary exception constructors the generator raises directly.
+EXC_CONS: Tuple[str, ...] = ("DivideByZero", "Overflow", "PatternMatchFail")
+
+#: Messages for ``UserError`` payloads (small pool keeps dedup useful).
+USER_ERROR_MESSAGES: Tuple[str, ...] = ("Urk", "boom", "fuzz")
+
+#: String literals fed to string primitives and ``putStr``.
+STRING_POOL: Tuple[str, ...] = ("", "a", "ok", "fuzz")
+
+
+def raise_con(name: str) -> Expr:
+    """``raise C`` for a nullary exception constructor."""
+    return Raise(Con(name, (), 0))
+
+
+def raise_user_error(message: str) -> Expr:
+    """``raise (UserError "message")``."""
+    return Raise(Con("UserError", (Lit(message, "string"),), 1))
+
+
+def if_bool(cond: Expr, then_e: Expr, else_e: Expr) -> Expr:
+    """``if cond then then_e else else_e`` in flattened-case form."""
+    return Case(
+        cond,
+        (Alt(PCon("True"), then_e), Alt(PCon("False"), else_e)),
+    )
+
+
+def bounded_countdown(
+    fn_name: str, var: str, base: Expr, step: Expr, start: int
+) -> Expr:
+    """A guaranteed-terminating ``Fix`` shape::
+
+        fix (\\fn -> \\var -> if var <= 0 then base
+                              else step + fn (var - 1)) start
+
+    ``base`` and ``step`` may themselves raise or diverge; the
+    recursion itself is bounded by ``start``.
+    """
+    body = if_bool(
+        PrimOp("<=", (Var(var), Lit(0, "int"))),
+        base,
+        PrimOp(
+            "+",
+            (
+                step,
+                App(Var(fn_name), PrimOp("-", (Var(var), Lit(1, "int")))),
+            ),
+        ),
+    )
+    return App(Fix(Lam(fn_name, Lam(var, body))), Lit(start, "int"))
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size and feature knobs for the generator.
+
+    ``io_fraction`` of cases are IO programs (performed through the
+    executor and compared across strategies); the rest are pure
+    ``Int``-typed expressions compared against the denotational
+    reference.  Feature flags gate the corresponding grammar arms so a
+    run can be narrowed when triaging.
+    """
+
+    max_depth: int = 5
+    io_fraction: float = 0.25
+    allow_fix: bool = True
+    allow_strings: bool = True
+    allow_prelude: bool = True
+    allow_io: bool = True
+    allow_catch: bool = True
+    stdin: str = "ab"
+
+    def pure_only(self) -> "GenConfig":
+        return replace(self, allow_io=False, io_fraction=0.0)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated program plus everything needed to reproduce it."""
+
+    seed: int
+    kind: str  # "pure" | "io"
+    expr: Expr
+    source: str
+    stdin: str = ""
+
+    def with_expr(self, expr: Expr, source: str) -> "FuzzCase":
+        return FuzzCase(self.seed, self.kind, expr, source, self.stdin)
+
+
+class _Gen:
+    """The random-walk grammar.  All choices go through ``self.rng``
+    so a seed pins the whole program."""
+
+    def __init__(self, rng: random.Random, config: GenConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self._fresh = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    # -- leaves ---------------------------------------------------------
+
+    def int_leaf(self, env: Tuple[str, ...]) -> Expr:
+        roll = self.rng.randrange(10)
+        if env and roll < 3:
+            return Var(self.rng.choice(env))
+        if roll < 7:
+            return Lit(self.rng.randint(-20, 20), "int")
+        if roll == 7 and self.config.allow_strings:
+            return raise_user_error(self.rng.choice(USER_ERROR_MESSAGES))
+        if roll == 8 and self.config.allow_strings:
+            return PrimOp("strLen", (self.string_expr(0),))
+        return raise_con(self.rng.choice(EXC_CONS))
+
+    def string_expr(self, depth: int) -> Expr:
+        if depth <= 0 or self.rng.random() < 0.5:
+            return Lit(self.rng.choice(STRING_POOL), "string")
+        roll = self.rng.randrange(3)
+        if roll == 0:
+            return PrimOp(
+                "strAppend",
+                (self.string_expr(depth - 1), self.string_expr(depth - 1)),
+            )
+        if roll == 1:
+            return PrimOp("showInt", (self.int_expr(depth - 1, ()),))
+        return raise_con(self.rng.choice(EXC_CONS))
+
+    # -- Int-typed expressions ------------------------------------------
+
+    def int_expr(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        if depth <= 0:
+            return self.int_leaf(env)
+        arms = [
+            self._arm_arith,
+            self._arm_let,
+            self._arm_beta,
+            self._arm_case_bool,
+            self._arm_case_pair,
+            self._arm_case_maybe,
+            self._arm_case_list,
+            self._arm_seq,
+            self._arm_leafish,
+        ]
+        if self.config.allow_fix:
+            arms.append(self._arm_fix)
+        if self.config.allow_prelude:
+            arms.append(self._arm_prelude)
+        if self.config.allow_strings:
+            arms.append(self._arm_map_exception)
+        return self.rng.choice(arms)(depth, env)
+
+    def _arm_leafish(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        return self.int_leaf(env)
+
+    def _arm_arith(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        op = self.rng.choice(("+", "-", "*", "div", "mod"))
+        return PrimOp(
+            op,
+            (self.int_expr(depth - 1, env), self.int_expr(depth - 1, env)),
+        )
+
+    def _arm_let(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        name = self.fresh("v")
+        rhs = self.int_expr(depth - 1, env)
+        body = self.int_expr(depth - 1, env + (name,))
+        return Let(((name, rhs),), body)
+
+    def _arm_beta(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        name = self.fresh("x")
+        body = self.int_expr(depth - 1, env + (name,))
+        arg = self.int_expr(depth - 1, env)
+        return App(Lam(name, body), arg)
+
+    def _arm_case_bool(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        return if_bool(
+            self.bool_expr(depth - 1, env),
+            self.int_expr(depth - 1, env),
+            self.int_expr(depth - 1, env),
+        )
+
+    def _arm_case_pair(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        a, b = self.fresh("a"), self.fresh("b")
+        scrut = Con(
+            "Tuple2",
+            (self.int_expr(depth - 1, env), self.int_expr(depth - 1, env)),
+            2,
+        )
+        body = self.int_expr(depth - 1, env + (a, b))
+        return Case(
+            scrut, (Alt(PCon("Tuple2", (PVar(a), PVar(b))), body),)
+        )
+
+    def _arm_case_maybe(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        v = self.fresh("m")
+        if self.rng.random() < 0.5:
+            scrut = Con("Just", (self.int_expr(depth - 1, env),), 1)
+        else:
+            scrut = Con("Nothing", (), 0)
+        just_body = self.int_expr(depth - 1, env + (v,))
+        alts = [Alt(PCon("Just", (PVar(v),)), just_body)]
+        # Occasionally omit the Nothing alternative so pattern-match
+        # failure (a built-in cause of failure, Section 2) is exercised.
+        if self.rng.random() < 0.8:
+            alts.append(
+                Alt(PCon("Nothing"), self.int_expr(depth - 1, env))
+            )
+        return Case(scrut, tuple(alts))
+
+    def _arm_case_list(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        h, t = self.fresh("h"), self.fresh("t")
+        scrut = self.list_expr(depth - 1, env)
+        alts = (
+            Alt(PCon("Nil"), self.int_expr(depth - 1, env)),
+            Alt(
+                PCon("Cons", (PVar(h), PVar(t))),
+                self.int_expr(depth - 1, env + (h,)),
+            ),
+        )
+        return Case(scrut, alts)
+
+    def _arm_seq(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        return PrimOp(
+            "seq",
+            (self.int_expr(depth - 1, env), self.int_expr(depth - 1, env)),
+        )
+
+    def _arm_fix(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        if self.rng.random() < 0.15:
+            # The tight knot: denotationally ⊥, operationally a loop
+            # (or a detectable blackhole).
+            name = self.fresh("loop")
+            return Let(
+                ((name, PrimOp("+", (Var(name), Lit(1, "int")))),),
+                Var(name),
+            )
+        return bounded_countdown(
+            self.fresh("f"),
+            self.fresh("n"),
+            base=self.int_expr(depth - 2 if depth > 1 else 0, env),
+            step=self.int_expr(depth - 2 if depth > 1 else 0, env),
+            start=self.rng.randint(0, 6),
+        )
+
+    def _arm_prelude(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        roll = self.rng.randrange(4)
+        if roll == 0:
+            return App(Var("head"), self.list_expr(depth - 1, env))
+        if roll == 1:
+            return App(Var("sum"), self.list_expr(depth - 1, env))
+        if roll == 2:
+            return app_chain(
+                Var("const"),
+                self.int_expr(depth - 1, env),
+                self.int_expr(depth - 1, env),
+            )
+        return App(Var("id"), self.int_expr(depth - 1, env))
+
+    def _arm_map_exception(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        e = self.fresh("e")
+        # Exception-agnostic mappers only (see module docstring).
+        handler = self.rng.choice(
+            (
+                Lam(e, Var(e)),
+                Lam(e, Con("Overflow", (), 0)),
+                Lam(
+                    e,
+                    Con(
+                        "UserError",
+                        (Lit(self.rng.choice(USER_ERROR_MESSAGES),
+                              "string"),),
+                        1,
+                    ),
+                ),
+            )
+        )
+        return PrimOp(
+            "mapException", (handler, self.int_expr(depth - 1, env))
+        )
+
+    def list_expr(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        items = self.rng.randrange(4)
+        out: Expr = Con("Nil", (), 0)
+        for _ in range(items):
+            head = self.int_expr(max(depth - 1, 0), env)
+            out = Con("Cons", (head, out), 2)
+        return out
+
+    def bool_expr(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        roll = self.rng.randrange(4)
+        if depth <= 0 or roll == 0:
+            return Con(self.rng.choice(("True", "False")), (), 0)
+        if roll == 1:
+            return raise_con(self.rng.choice(EXC_CONS))
+        op = self.rng.choice(("==", "<", "<=", ">", ">="))
+        return PrimOp(
+            op,
+            (self.int_expr(depth - 1, env), self.int_expr(depth - 1, env)),
+        )
+
+    # -- IO-typed expressions -------------------------------------------
+
+    def io_expr(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        if depth <= 0:
+            return self.io_leaf(env)
+        arms = [
+            self._io_arm_bind,
+            self._io_arm_putstr,
+            self._io_arm_get_exception,
+            self._io_arm_leafish,
+        ]
+        if self.config.allow_catch:
+            arms.append(self._io_arm_catch)
+        return self.rng.choice(arms)(depth, env)
+
+    def io_leaf(self, env: Tuple[str, ...]) -> Expr:
+        roll = self.rng.randrange(4)
+        if roll == 0:
+            return PrimOp("returnIO", (self.int_leaf(env),))
+        if roll == 1:
+            return PrimOp("putStr", (Lit(self.rng.choice(STRING_POOL),
+                                          "string"),))
+        if roll == 2:
+            return PrimOp(
+                "ioError", (Con(self.rng.choice(EXC_CONS), (), 0),)
+            )
+        return PrimOp("returnIO", (Lit(self.rng.randint(-9, 9), "int"),))
+
+    def _io_arm_leafish(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        return self.io_leaf(env)
+
+    def _io_arm_bind(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        first = self.io_expr(depth - 1, env)
+        v = self.fresh("r")
+        rest = self.io_expr(depth - 1, env)
+        if self.rng.random() < 0.4:
+            # Force the delivered value before continuing (``seq`` on a
+            # Unit/Int/String is always well-typed).
+            rest = PrimOp("seq", (Var(v), rest))
+        return PrimOp("bindIO", (first, Lam(v, rest)))
+
+    def _io_arm_putstr(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        payload = self.rng.randrange(3)
+        if payload == 0:
+            text: Expr = Lit(self.rng.choice(STRING_POOL), "string")
+        elif payload == 1:
+            text = PrimOp("showInt", (self.int_expr(depth - 1, env),))
+        else:
+            text = self.string_expr(depth - 1)
+        return PrimOp("putStr", (text,))
+
+    def _io_arm_get_exception(
+        self, depth: int, env: Tuple[str, ...]
+    ) -> Expr:
+        v, err, r = self.fresh("v"), self.fresh("err"), self.fresh("r")
+        probe = self.int_expr(depth - 1, env)
+        # Exception-agnostic consumer: print the OK payload, a constant
+        # on Bad (never the member's name — see module docstring).
+        consumer = Lam(
+            r,
+            Case(
+                Var(r),
+                (
+                    Alt(
+                        PCon("OK", (PVar(v),)),
+                        PrimOp("putStr", (PrimOp("showInt", (Var(v),)),)),
+                    ),
+                    Alt(
+                        PCon("Bad", (PVar(err),)),
+                        PrimOp(
+                            "seq",
+                            (
+                                Var(err),
+                                PrimOp("putStr", (Lit("caught", "string"),)),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        return PrimOp(
+            "bindIO", (PrimOp("getException", (probe,)), consumer)
+        )
+
+    def _io_arm_catch(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        e = self.fresh("exc")
+        body = self.io_expr(depth - 1, env)
+        handler_roll = self.rng.randrange(3)
+        if handler_roll == 0:
+            handler: Expr = Lam(
+                e, PrimOp("putStr", (Lit("handled", "string"),))
+            )
+        elif handler_roll == 1:
+            handler = Lam(e, PrimOp("returnIO", (Lit(0, "int"),)))
+        else:
+            handler = Lam(
+                e,
+                PrimOp(
+                    "seq",
+                    (Var(e), PrimOp("returnIO", (Lit(1, "int"),))),
+                ),
+            )
+        return PrimOp("catchIO", (body, handler))
+
+
+def generate_expr(
+    rng: random.Random, config: GenConfig, kind: str
+) -> Expr:
+    """One expression of the requested kind (``"pure"`` or ``"io"``)."""
+    gen = _Gen(rng, config)
+    if kind == "io":
+        return gen.io_expr(config.max_depth, ())
+    return gen.int_expr(config.max_depth, ())
+
+
+def generate_case(
+    seed: int, config: Optional[GenConfig] = None
+) -> FuzzCase:
+    """The program for ``seed`` — deterministic, side-effect free."""
+    from repro.lang.pretty import pretty
+
+    if config is None:
+        config = GenConfig()
+    rng = random.Random(seed)
+    is_io = config.allow_io and rng.random() < config.io_fraction
+    kind = "io" if is_io else "pure"
+    expr = generate_expr(rng, config, kind)
+    return FuzzCase(
+        seed=seed,
+        kind=kind,
+        expr=expr,
+        source=pretty(expr),
+        stdin=config.stdin if is_io else "",
+    )
+
+
+_HYPOTHESIS_NAMES = ("int_exprs", "bool_exprs", "io_exprs", "string_exprs")
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the Hypothesis strategies (PEP 562).
+
+    ``from repro.fuzz.gen import int_exprs`` works wherever Hypothesis
+    is installed, while the standalone engine never imports it.
+    """
+    if name in _HYPOTHESIS_NAMES:
+        from repro.fuzz import hyp
+
+        return getattr(hyp, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,230 @@
+"""Hypothesis strategies over the widened generator grammar.
+
+Historically ``tests/genexpr.py`` held these; they now live beside the
+standalone fuzz generator so there is exactly one grammar to maintain
+(``tests/genexpr.py`` re-exports from :mod:`repro.fuzz.gen`).  Compared
+with the historical strategies the space is wider: ``Fix``-based
+bounded recursion, ``UserError`` payloads carrying string literals,
+string primitives (``strLen``/``strAppend``/``showInt``) producing
+``Int`` sub-terms, and IO programs wrapped in ``catchIO``.
+
+Generated terms remain closed and well-typed-by-construction *without*
+the prelude in scope — the soundness and transformation properties
+evaluate them against empty environments — so exceptions are built
+from raw ``Raise``/constructor nodes, never via prelude ``error``.
+
+This module is the only place in ``repro.fuzz`` that imports
+Hypothesis; the engine proper stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fuzz.gen import (
+    EXC_CONS,
+    STRING_POOL,
+    USER_ERROR_MESSAGES,
+    bounded_countdown,
+    if_bool,
+    raise_con,
+    raise_user_error,
+)
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Lam,
+    Let,
+    Lit,
+    PCon,
+    PrimOp,
+    PVar,
+    Raise,
+    Var,
+)
+
+
+@st.composite
+def string_exprs(draw, depth: int = 2):
+    """A String-typed expression (literal, append, show, or a raise)."""
+    if depth <= 0:
+        return Lit(draw(st.sampled_from(STRING_POOL)), "string")
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if choice == 0:
+        return Lit(draw(st.sampled_from(STRING_POOL)), "string")
+    if choice == 1:
+        left = draw(string_exprs(depth=depth - 1))
+        right = draw(string_exprs(depth=depth - 1))
+        return PrimOp("strAppend", (left, right))
+    if choice == 2:
+        return PrimOp("showInt", (draw(int_exprs(depth=depth - 1)),))
+    return draw(st.sampled_from(EXC_CONS).map(raise_con))
+
+
+@st.composite
+def int_exprs(draw, depth: int = 4, env: tuple = ()):
+    """An Int-typed expression; ``env`` lists Int variables in scope."""
+    if depth <= 0:
+        leaves = [
+            st.integers(min_value=-20, max_value=20).map(
+                lambda n: Lit(n, "int")
+            )
+        ]
+        if env:
+            leaves.append(st.sampled_from(env).map(Var))
+        leaves.append(st.sampled_from(EXC_CONS).map(raise_con))
+        leaves.append(
+            st.sampled_from(USER_ERROR_MESSAGES).map(raise_user_error)
+        )
+        return draw(st.one_of(*leaves))
+    choice = draw(st.integers(min_value=0, max_value=11))
+    if choice <= 2:
+        return draw(int_exprs(depth=0, env=env))
+    if choice == 3:
+        op = draw(st.sampled_from(["+", "-", "*", "div"]))
+        left = draw(int_exprs(depth=depth - 1, env=env))
+        right = draw(int_exprs(depth=depth - 1, env=env))
+        return PrimOp(op, (left, right))
+    if choice == 4:
+        # let binding
+        name = f"v{draw(st.integers(min_value=0, max_value=3))}_{depth}"
+        rhs = draw(int_exprs(depth=depth - 1, env=env))
+        body = draw(int_exprs(depth=depth - 1, env=env + (name,)))
+        return Let(((name, rhs),), body)
+    if choice == 5:
+        # beta redex
+        name = f"x{depth}"
+        body = draw(int_exprs(depth=depth - 1, env=env + (name,)))
+        arg = draw(int_exprs(depth=depth - 1, env=env))
+        return App(Lam(name, body), arg)
+    if choice == 6:
+        # case on Bool
+        cond = draw(bool_exprs(depth=depth - 1, env=env))
+        then_e = draw(int_exprs(depth=depth - 1, env=env))
+        else_e = draw(int_exprs(depth=depth - 1, env=env))
+        return if_bool(cond, then_e, else_e)
+    if choice == 7:
+        # case on a pair
+        name_a = f"a{depth}"
+        name_b = f"b{depth}"
+        fst = draw(int_exprs(depth=depth - 1, env=env))
+        snd = draw(int_exprs(depth=depth - 1, env=env))
+        body = draw(
+            int_exprs(depth=depth - 1, env=env + (name_a, name_b))
+        )
+        return Case(
+            Con("Tuple2", (fst, snd), 2),
+            (Alt(PCon("Tuple2", (PVar(name_a), PVar(name_b))), body),),
+        )
+    if choice == 8:
+        # seq
+        first = draw(int_exprs(depth=depth - 1, env=env))
+        second = draw(int_exprs(depth=depth - 1, env=env))
+        return PrimOp("seq", (first, second))
+    if choice == 9:
+        # Fix: a bounded countdown whose base/step may themselves fail,
+        # or (rarely) the tight diverging knot.
+        if draw(st.booleans()):
+            base = draw(int_exprs(depth=0, env=env))
+            step = draw(int_exprs(depth=0, env=env))
+            start = draw(st.integers(min_value=0, max_value=4))
+            return bounded_countdown(
+                f"f{depth}", f"n{depth}", base, step, start
+            )
+        return Let(
+            (("loop_v", PrimOp("+", (Var("loop_v"), Lit(1, "int")))),),
+            Var("loop_v"),
+        )
+    if choice == 10:
+        # a string-derived Int
+        return PrimOp("strLen", (draw(string_exprs(depth=depth - 1)),))
+    return draw(int_exprs(depth=depth - 1, env=env))
+
+
+@st.composite
+def bool_exprs(draw, depth: int = 2, env: tuple = ()):
+    choice = draw(st.integers(min_value=0, max_value=3))
+    if depth <= 0 or choice == 0:
+        return Con(draw(st.sampled_from(["True", "False"])), (), 0)
+    if choice == 1:
+        return draw(st.sampled_from(EXC_CONS).map(raise_con))
+    op = draw(st.sampled_from(["==", "<", "<="]))
+    left = draw(int_exprs(depth=depth - 1, env=env))
+    right = draw(int_exprs(depth=depth - 1, env=env))
+    return PrimOp(op, (left, right))
+
+
+@st.composite
+def io_exprs(draw, depth: int = 3):
+    """An ``IO``-typed program, possibly wrapped in ``catchIO``.
+
+    Handlers are exception-agnostic (they may ``seq`` the exception
+    value, never branch on it) so observations stay comparable across
+    strategies — the same constraint the standalone generator obeys.
+    """
+    if depth <= 0:
+        leaf = draw(st.integers(min_value=0, max_value=2))
+        if leaf == 0:
+            return PrimOp(
+                "returnIO",
+                (Lit(draw(st.integers(min_value=-9, max_value=9)),
+                     "int"),),
+            )
+        if leaf == 1:
+            return PrimOp(
+                "putStr", (Lit(draw(st.sampled_from(STRING_POOL)),
+                               "string"),)
+            )
+        return PrimOp(
+            "ioError", (Con(draw(st.sampled_from(EXC_CONS)), (), 0),)
+        )
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:
+        return draw(io_exprs(depth=0))
+    if choice == 1:
+        first = draw(io_exprs(depth=depth - 1))
+        rest = draw(io_exprs(depth=depth - 1))
+        var = f"r{depth}"
+        return PrimOp("bindIO", (first, Lam(var, rest)))
+    if choice == 2:
+        return PrimOp(
+            "putStr",
+            (PrimOp("showInt", (draw(int_exprs(depth=depth - 1)),)),),
+        )
+    if choice == 3:
+        probe = draw(int_exprs(depth=depth - 1))
+        var, err = f"v{depth}", f"e{depth}"
+        consumer = Lam(
+            var,
+            Case(
+                Var(var),
+                (
+                    Alt(
+                        PCon("OK", (PVar(var + "k"),)),
+                        PrimOp(
+                            "putStr",
+                            (PrimOp("showInt", (Var(var + "k"),)),),
+                        ),
+                    ),
+                    Alt(
+                        PCon("Bad", (PVar(err),)),
+                        PrimOp("putStr", (Lit("caught", "string"),)),
+                    ),
+                ),
+            ),
+        )
+        return PrimOp(
+            "bindIO", (PrimOp("getException", (probe,)), consumer)
+        )
+    body = draw(io_exprs(depth=depth - 1))
+    handler_kind = draw(st.integers(min_value=0, max_value=1))
+    if handler_kind == 0:
+        handler: Expr = Lam(
+            "exc", PrimOp("putStr", (Lit("handled", "string"),))
+        )
+    else:
+        handler = Lam("exc", PrimOp("returnIO", (Lit(0, "int"),)))
+    return PrimOp("catchIO", (body, handler))

@@ -1,0 +1,251 @@
+"""Delta-debugging shrinker: minimise a program preserving a predicate.
+
+Given an expression on which some disagreement predicate holds (for
+the engine: "the oracle still reports a genuine divergence"), the
+shrinker greedily tries smaller candidate replacements at every
+position until no candidate anywhere is accepted — the classic ddmin
+loop specialised to ASTs.
+
+Candidates at a node, most aggressive first:
+
+* minimal leaves (``0``, ``1``, ``True``, ``False``,
+  ``raise DivideByZero``) — type-wrong replacements are harmless
+  because the predicate wrapper treats any evaluator error as "does
+  not reproduce";
+* the node's own sub-expressions (hoisting a child over its parent);
+* structural reductions: drop a ``case`` alternative, drop a ``let``
+  binding, shorten a string literal, strip a ``Raise`` payload to a
+  bare constructor.
+
+The walk is deterministic (preorder positions, candidates ordered by
+AST size), so a given divergence always shrinks to the same witness —
+which is what makes corpus dedup-by-shrunk-form work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import (
+    Alt,
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    Lit,
+    PrimOp,
+    Raise,
+    Var,
+    expr_size,
+)
+
+Path = Tuple[int, ...]
+
+
+# -- generic AST access --------------------------------------------------
+
+
+def children(expr: Expr) -> List[Expr]:
+    """Direct sub-expressions, in a stable order."""
+    if isinstance(expr, Lam):
+        return [expr.body]
+    if isinstance(expr, App):
+        return [expr.fn, expr.arg]
+    if isinstance(expr, Con):
+        return list(expr.args)
+    if isinstance(expr, Case):
+        return [expr.scrutinee] + [alt.body for alt in expr.alts]
+    if isinstance(expr, Raise):
+        return [expr.exc]
+    if isinstance(expr, PrimOp):
+        return list(expr.args)
+    if isinstance(expr, Fix):
+        return [expr.fn]
+    if isinstance(expr, Let):
+        return [rhs for _n, rhs in expr.binds] + [expr.body]
+    return []
+
+
+def with_children(expr: Expr, new: Sequence[Expr]) -> Expr:
+    """Rebuild ``expr`` with replaced sub-expressions (same shape)."""
+    if isinstance(expr, Lam):
+        return Lam(expr.var, new[0])
+    if isinstance(expr, App):
+        return App(new[0], new[1])
+    if isinstance(expr, Con):
+        return Con(expr.name, tuple(new), expr.arity)
+    if isinstance(expr, Case):
+        alts = tuple(
+            Alt(alt.pattern, body)
+            for alt, body in zip(expr.alts, new[1:])
+        )
+        return Case(new[0], alts)
+    if isinstance(expr, Raise):
+        return Raise(new[0])
+    if isinstance(expr, PrimOp):
+        return PrimOp(expr.op, tuple(new))
+    if isinstance(expr, Fix):
+        return Fix(new[0])
+    if isinstance(expr, Let):
+        binds = tuple(
+            (name, rhs)
+            for (name, _old), rhs in zip(expr.binds, new[:-1])
+        )
+        return Let(binds, new[-1])
+    return expr
+
+
+def subexpr_at(expr: Expr, path: Path) -> Expr:
+    for index in path:
+        expr = children(expr)[index]
+    return expr
+
+
+def replace_at(expr: Expr, path: Path, new: Expr) -> Expr:
+    if not path:
+        return new
+    kids = children(expr)
+    kids[path[0]] = replace_at(kids[path[0]], path[1:], new)
+    return with_children(expr, kids)
+
+
+def preorder_paths(expr: Expr) -> Iterator[Path]:
+    """Every position in the tree, root first."""
+
+    def go(e: Expr, path: Path) -> Iterator[Path]:
+        yield path
+        for index, child in enumerate(children(e)):
+            yield from go(child, path + (index,))
+
+    return go(expr, ())
+
+
+# -- candidate generation ------------------------------------------------
+
+_MINIMAL_LEAVES: Tuple[Expr, ...] = (
+    Lit(0, "int"),
+    Lit(1, "int"),
+    Con("True", (), 0),
+    Con("False", (), 0),
+    Raise(Con("DivideByZero", (), 0)),
+)
+
+
+def _structural_candidates(expr: Expr) -> List[Expr]:
+    out: List[Expr] = []
+    if isinstance(expr, Case) and len(expr.alts) > 1:
+        for drop in range(len(expr.alts)):
+            alts = expr.alts[:drop] + expr.alts[drop + 1:]
+            out.append(Case(expr.scrutinee, alts))
+    if isinstance(expr, Let) and len(expr.binds) > 1:
+        for drop in range(len(expr.binds)):
+            binds = expr.binds[:drop] + expr.binds[drop + 1:]
+            out.append(Let(binds, expr.body))
+    if isinstance(expr, Lit) and expr.kind == "string" and expr.value:
+        out.append(Lit("", "string"))
+        if len(expr.value) > 1:
+            out.append(Lit(expr.value[0], "string"))
+    if isinstance(expr, Raise) and not isinstance(
+        expr.exc, Con
+    ):
+        out.append(Raise(Con("DivideByZero", (), 0)))
+    if (
+        isinstance(expr, Raise)
+        and isinstance(expr.exc, Con)
+        and expr.exc.args
+    ):
+        out.append(Raise(Con("DivideByZero", (), 0)))
+    return out
+
+
+def candidates(expr: Expr) -> List[Expr]:
+    """Strictly smaller replacements for ``expr``, smallest first."""
+    size = expr_size(expr)
+    seen = set()
+    out: List[Expr] = []
+    pool: List[Expr] = []
+    pool.extend(_MINIMAL_LEAVES)
+    pool.extend(children(expr))
+    pool.extend(_structural_candidates(expr))
+    for candidate in pool:
+        if candidate == expr or expr_size(candidate) >= size:
+            continue
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        out.append(candidate)
+    out.sort(key=expr_size)
+    return out
+
+
+# -- the shrink loop -----------------------------------------------------
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised expression plus loop accounting."""
+
+    expr: Expr
+    original_size: int
+    final_size: int
+    accepted: int
+    attempts: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.final_size < self.original_size
+
+
+def shrink(
+    expr: Expr,
+    predicate: Callable[[Expr], bool],
+    max_attempts: int = 5_000,
+) -> ShrinkResult:
+    """Greedy fixpoint minimisation of ``expr`` under ``predicate``.
+
+    The predicate is wrapped: any Python exception it raises (a
+    type-wrong candidate crashing an evaluator, a free variable, ...)
+    counts as "predicate does not hold", so candidate generation never
+    needs to be type-aware.  The input expression is assumed to
+    satisfy the predicate; the result always does.
+    """
+
+    def holds(candidate: Expr) -> bool:
+        try:
+            return bool(predicate(candidate))
+        except Exception:  # noqa: BLE001 — any crash = not a repro
+            return False
+
+    original_size = expr_size(expr)
+    attempts = 0
+    accepted = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for path in preorder_paths(expr):
+            if attempts >= max_attempts:
+                break
+            node = subexpr_at(expr, path)
+            for candidate in candidates(node):
+                if attempts >= max_attempts:
+                    break
+                attempts += 1
+                trial = replace_at(expr, path, candidate)
+                if holds(trial):
+                    expr = trial
+                    accepted += 1
+                    improved = True
+                    break
+            if improved:
+                break
+    return ShrinkResult(
+        expr=expr,
+        original_size=original_size,
+        final_size=expr_size(expr),
+        accepted=accepted,
+        attempts=attempts,
+    )

@@ -1,0 +1,131 @@
+"""Corpus persistence: JSONL roundtrip, dedup-by-shrunk-form, and the
+checked-in regression corpus replayed through the full oracle."""
+
+import os
+
+from repro.api import compile_expr
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    append_entries,
+    dedup_id,
+    load_corpus,
+    replay_corpus,
+    replay_entry,
+    write_corpus,
+)
+from repro.fuzz.engine import run_fuzz
+from repro.fuzz.gen import FuzzCase
+from repro.fuzz.oracle import run_oracle
+from repro.lang.pretty import pretty
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus",
+                      "regressions.jsonl")
+
+
+def entry_for(source: str, kind: str = "pure") -> CorpusEntry:
+    expr = compile_expr(source)
+    case = FuzzCase(seed=0, kind=kind, expr=expr, source=pretty(expr))
+    return CorpusEntry.from_report(run_oracle(case))
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        entry = entry_for("1 + 2")
+        assert CorpusEntry.from_json(entry.to_json()) == entry
+
+    def test_dedup_id_is_stable(self):
+        assert dedup_id("1 + 2") == dedup_id("1 + 2")
+        assert dedup_id("1 + 2") != dedup_id("2 + 1")
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        entries = [entry_for("1 + 2"), entry_for("seq 1 2")]
+        write_corpus(path, entries)
+        assert load_corpus(path) == entries
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        entry = entry_for("1 + 2")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("# a comment\n\n")
+            handle.write(entry.to_json() + "\n")
+        assert load_corpus(path) == [entry]
+
+    def test_append_dedups_by_id(self, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        entry = entry_for("1 + 2")
+        other = entry_for("seq 1 2")
+        assert append_entries(path, [entry]) == [entry]
+        assert append_entries(path, [entry, other]) == [other]
+        assert load_corpus(path) == [entry, other]
+
+
+class TestReplay:
+    def test_entry_replays_to_recorded_verdict(self):
+        entry = entry_for('(1 `div` 0) + (raise (UserError "Urk"))')
+        assert entry.verdict == "refinement"
+        result = replay_entry(entry)
+        assert result.matches
+
+    def test_stale_verdict_detected(self):
+        good = entry_for("1 + 2")
+        stale = CorpusEntry(
+            id=good.id, source=good.source, kind=good.kind,
+            stdin=good.stdin, seed=good.seed, verdict="divergence",
+            lane=good.lane, reason="planted stale verdict",
+        )
+        result = replay_entry(stale)
+        assert not result.matches
+        assert result.to_dict()["expected"] == "divergence"
+        assert result.to_dict()["observed"] == "agree"
+
+    def test_unparseable_source_reported_not_raised(self):
+        broken = CorpusEntry(
+            id="deadbeef00000000", source="let { = }", kind="pure",
+            stdin="", seed=0, verdict="agree", lane="", reason="",
+        )
+        result = replay_entry(broken)
+        assert not result.matches
+        assert "compile failed" in result.error
+
+
+class TestCheckedInCorpus:
+    """The regression corpus ships with the repo; every entry must
+    reproduce its recorded verdict on every build."""
+
+    def test_corpus_exists_and_is_nonempty(self):
+        entries = load_corpus(CORPUS)
+        assert len(entries) >= 8
+
+    def test_corpus_replays_clean(self):
+        results = replay_corpus(CORPUS)
+        mismatches = [r.to_dict() for r in results if not r.matches]
+        assert mismatches == []
+
+    def test_corpus_covers_both_kinds(self):
+        kinds = {entry.kind for entry in load_corpus(CORPUS)}
+        assert kinds == {"pure", "io"}
+
+    def test_corpus_ids_match_sources(self):
+        for entry in load_corpus(CORPUS):
+            assert entry.id == dedup_id(entry.source)
+
+
+class TestEngine:
+    def test_short_run_is_clean_and_deterministic(self):
+        a = run_fuzz(iterations=30, seed=0)
+        b = run_fuzz(iterations=30, seed=0)
+        assert a.divergences == 0
+        assert a.verdicts == b.verdicts
+
+    def test_summary_reports_machine_counters(self):
+        summary = run_fuzz(iterations=20, seed=1)
+        assert summary.machine_steps > 0
+        assert summary.machine_allocs > 0
+        data = summary.to_dict()
+        assert data["machine"]["steps"] == summary.machine_steps
+
+    def test_seconds_budget_stops_the_loop(self):
+        summary = run_fuzz(seconds=0.2, seed=0)
+        assert summary.iterations > 0
+        assert summary.elapsed < 5.0

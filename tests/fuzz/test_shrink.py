@@ -1,0 +1,141 @@
+"""The delta-debugging shrinker: minimality, predicate preservation,
+crash tolerance, and the planted-unsound-transform acceptance case."""
+
+from repro.api import compile_expr
+from repro.baselines.fixed_order import fixed_order_ctx
+from repro.fuzz.shrink import (
+    candidates,
+    children,
+    preorder_paths,
+    replace_at,
+    shrink,
+    subexpr_at,
+    with_children,
+)
+from repro.fuzz.oracle import transform_divergence_predicate
+from repro.lang.ast import Con, Expr, Lit, Raise, expr_size
+from repro.lang.pretty import pretty
+from repro.transform.pedantic import CollapseIdenticalAlts, DropSeqOnNonBottom
+
+
+def contains_divide_by_zero(expr: Expr) -> bool:
+    if isinstance(expr, Raise) and expr.exc == Con("DivideByZero", (), 0):
+        return True
+    return any(contains_divide_by_zero(child) for child in children(expr))
+
+
+BIG = (
+    "let { a = 1 + 2 } in "
+    "case a == 3 of { True -> (\\w -> w * 2) "
+    "((raise DivideByZero) + a); False -> 0 }"
+)
+
+
+class TestAstAccess:
+    def test_paths_cover_every_node(self):
+        expr = compile_expr("(1 + 2) * 3")
+        assert len(list(preorder_paths(expr))) == expr_size(expr)
+
+    def test_subexpr_replace_roundtrip(self):
+        expr = compile_expr("(1 + 2) * 3")
+        for path in preorder_paths(expr):
+            node = subexpr_at(expr, path)
+            assert replace_at(expr, path, node) == expr
+
+    def test_with_children_identity(self):
+        for src in ("1 + 2", "\\w -> w", "case p of { True -> 1; "
+                    "False -> 2 }", "let { v = 1 } in v"):
+            expr = compile_expr(src)
+            assert with_children(expr, children(expr)) == expr
+
+    def test_candidates_strictly_smaller(self):
+        expr = compile_expr(BIG)
+        for candidate in candidates(expr):
+            assert expr_size(candidate) < expr_size(expr)
+
+
+class TestShrinkLoop:
+    def test_minimises_to_the_leaf(self):
+        """A 'contains raise DivideByZero' predicate must shrink any
+        witness to the bare raise (size 2)."""
+        expr = compile_expr(BIG)
+        assert contains_divide_by_zero(expr)
+        result = shrink(expr, contains_divide_by_zero)
+        assert result.final_size == 2
+        assert pretty(result.expr) == "raise DivideByZero"
+        assert result.reduced
+
+    def test_result_preserves_predicate(self):
+        expr = compile_expr(BIG)
+        result = shrink(expr, contains_divide_by_zero)
+        assert contains_divide_by_zero(result.expr)
+
+    def test_already_minimal_input_is_kept(self):
+        expr = compile_expr("raise DivideByZero")
+        result = shrink(expr, contains_divide_by_zero)
+        assert result.expr == expr
+        assert not result.reduced
+
+    def test_crashing_predicate_counts_as_no_repro(self):
+        """Type-wrong candidates may crash an evaluator mid-predicate;
+        the wrapper must treat that as 'not a repro', not abort."""
+
+        def brittle(expr: Expr) -> bool:
+            if isinstance(expr, Lit):
+                raise RuntimeError("evaluator fell over")
+            return contains_divide_by_zero(expr)
+
+        expr = compile_expr("(raise DivideByZero) + 1")
+        result = shrink(expr, brittle)
+        assert contains_divide_by_zero(result.expr)
+
+    def test_attempt_budget_respected(self):
+        expr = compile_expr(BIG)
+        result = shrink(expr, contains_divide_by_zero, max_attempts=3)
+        assert result.attempts <= 3
+
+
+class TestPlantedUnsoundTransform:
+    """The acceptance criterion: an unsound rewrite planted in a large
+    program is caught by the differential predicate and shrunk to a
+    witness of at most 8 AST nodes."""
+
+    def test_drop_seq_caught_and_shrunk(self):
+        predicate = transform_divergence_predicate(DropSeqOnNonBottom())
+        expr = compile_expr(
+            "let { a = 4 * 2 } in "
+            "(seq (raise DivideByZero) (a + 1)) * "
+            "(case a < 9 of { True -> 1; False -> 2 })"
+        )
+        assert predicate(expr), "the planted unsoundness must reproduce"
+        result = shrink(expr, predicate)
+        assert predicate(result.expr)
+        assert result.final_size <= 8, pretty(result.expr)
+
+    def test_collapse_alts_caught_and_shrunk(self):
+        """The -fno-pedantic-bottoms rule (§5.3): collapsing identical
+        alternatives drops the scrutinee's exceptions."""
+        predicate = transform_divergence_predicate(CollapseIdenticalAlts())
+        expr = compile_expr(
+            "1 + (case raise Overflow of { True -> 2 + 3; "
+            "False -> 2 + 3 })"
+        )
+        assert predicate(expr)
+        result = shrink(expr, predicate)
+        assert predicate(result.expr)
+        assert result.final_size <= 8, pretty(result.expr)
+
+    def test_sound_under_fixed_order_is_a_different_story(self):
+        """CommutePrimArgs-style reorderings only diverge under the
+        fixed-order semantics; the predicate is parameterised by the
+        context factory to reproduce the paper's comparison."""
+        from repro.fuzz.oracle import classify_transform_pair
+
+        before = compile_expr("(1 `div` 0) + (raise Overflow)")
+        after = compile_expr("(raise Overflow) + (1 `div` 0)")
+        assert (
+            classify_transform_pair(
+                before, after, ctx_factory=fixed_order_ctx
+            )
+            == "divergence"
+        )

@@ -1,115 +1,20 @@
 """Hypothesis strategies generating random well-formed expressions.
 
-Generated terms are closed, well-typed-by-construction at type ``Int``
-(with Bool/pair sub-terms where the shape needs them), and may raise
-``DivideByZero``, ``Overflow``, ``UserError`` or diverge — exactly the
-space the soundness and transformation properties quantify over.
+The strategies now live in :mod:`repro.fuzz.hyp` beside the standalone
+fuzz generator (one grammar to maintain — see docs/FUZZING.md); this
+module re-exports them so existing property tests keep their imports.
+The space is wider than it historically was: ``Fix``-based bounded
+recursion, string literals and primitives, ``UserError`` payloads, and
+``catchIO``-wrapped IO programs.
 """
 
 from __future__ import annotations
 
-from hypothesis import strategies as st
-
-from repro.lang.ast import (
-    Alt,
-    App,
-    Case,
-    Con,
-    Expr,
-    Lam,
-    Let,
-    Lit,
-    PCon,
-    PrimOp,
-    PVar,
-    PWild,
-    Raise,
-    Var,
+from repro.fuzz.gen import (  # noqa: F401 — re-exports
+    bool_exprs,
+    int_exprs,
+    io_exprs,
+    string_exprs,
 )
 
-_EXC_CONS = ("DivideByZero", "Overflow", "PatternMatchFail")
-
-
-def _raise_expr(name: str) -> Expr:
-    return Raise(Con(name, (), 0))
-
-
-@st.composite
-def int_exprs(draw, depth: int = 4, env: tuple = ()):
-    """An Int-typed expression; ``env`` lists Int variables in scope."""
-    if depth <= 0:
-        leaves = [st.integers(min_value=-20, max_value=20).map(
-            lambda n: Lit(n, "int")
-        )]
-        if env:
-            leaves.append(st.sampled_from(env).map(Var))
-        leaves.append(st.sampled_from(_EXC_CONS).map(_raise_expr))
-        return draw(st.one_of(*leaves))
-    choice = draw(st.integers(min_value=0, max_value=9))
-    if choice <= 2:
-        return draw(int_exprs(depth=0, env=env))
-    if choice == 3:
-        op = draw(st.sampled_from(["+", "-", "*", "div"]))
-        left = draw(int_exprs(depth=depth - 1, env=env))
-        right = draw(int_exprs(depth=depth - 1, env=env))
-        return PrimOp(op, (left, right))
-    if choice == 4:
-        # let binding
-        name = f"v{draw(st.integers(min_value=0, max_value=3))}_{depth}"
-        rhs = draw(int_exprs(depth=depth - 1, env=env))
-        body = draw(int_exprs(depth=depth - 1, env=env + (name,)))
-        return Let(((name, rhs),), body)
-    if choice == 5:
-        # beta redex
-        name = f"x{depth}"
-        body = draw(int_exprs(depth=depth - 1, env=env + (name,)))
-        arg = draw(int_exprs(depth=depth - 1, env=env))
-        return App(Lam(name, body), arg)
-    if choice == 6:
-        # case on Bool
-        cond = draw(bool_exprs(depth=depth - 1, env=env))
-        then_e = draw(int_exprs(depth=depth - 1, env=env))
-        else_e = draw(int_exprs(depth=depth - 1, env=env))
-        return Case(
-            cond,
-            (Alt(PCon("True"), then_e), Alt(PCon("False"), else_e)),
-        )
-    if choice == 7:
-        # case on a pair
-        name_a = f"a{depth}"
-        name_b = f"b{depth}"
-        fst = draw(int_exprs(depth=depth - 1, env=env))
-        snd = draw(int_exprs(depth=depth - 1, env=env))
-        body = draw(
-            int_exprs(depth=depth - 1, env=env + (name_a, name_b))
-        )
-        return Case(
-            Con("Tuple2", (fst, snd), 2),
-            (Alt(PCon("Tuple2", (PVar(name_a), PVar(name_b))), body),),
-        )
-    if choice == 8:
-        # seq
-        first = draw(int_exprs(depth=depth - 1, env=env))
-        second = draw(int_exprs(depth=depth - 1, env=env))
-        return PrimOp("seq", (first, second))
-    # possible divergence: a tight self-recursive let, guarded so that
-    # most generated programs still terminate
-    if draw(st.booleans()):
-        return Let(
-            (("loop_v", PrimOp("+", (Var("loop_v"), Lit(1, "int")))),),
-            Var("loop_v"),
-        )
-    return draw(int_exprs(depth=depth - 1, env=env))
-
-
-@st.composite
-def bool_exprs(draw, depth: int = 2, env: tuple = ()):
-    choice = draw(st.integers(min_value=0, max_value=3))
-    if depth <= 0 or choice == 0:
-        return Con(draw(st.sampled_from(["True", "False"])), (), 0)
-    if choice == 1:
-        return draw(st.sampled_from(_EXC_CONS).map(_raise_expr))
-    op = draw(st.sampled_from(["==", "<", "<="]))
-    left = draw(int_exprs(depth=depth - 1, env=env))
-    right = draw(int_exprs(depth=depth - 1, env=env))
-    return PrimOp(op, (left, right))
+__all__ = ["int_exprs", "bool_exprs", "io_exprs", "string_exprs"]

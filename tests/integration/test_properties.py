@@ -17,18 +17,23 @@ from tests.genexpr import int_exprs
 
 
 def _machine_outcome(expr, strategy=None, fuel=30_000):
-    machine = Machine(strategy=strategy or LeftToRight(), fuel=fuel)
+    """(kind, detail, strategy_seed) — the seed rides along so a
+    failing example names the exact Shuffled order that produced it
+    (without it, shuffled-strategy failures were unreproducible)."""
+    strategy = strategy or LeftToRight()
+    seed = getattr(strategy, "seed", None)
+    machine = Machine(strategy=strategy, fuel=fuel)
     try:
         value = machine.eval(expr, {})
         if isinstance(value, VInt):
-            return ("ok", value.value)
+            return ("ok", value.value, seed)
         if isinstance(value, VCon):
-            return ("ok-con", value.name)
-        return ("ok-other", None)
+            return ("ok-con", value.name, seed)
+        return ("ok-other", None, seed)
     except ObjRaise as err:
-        return ("exc", err.exc.name)
+        return ("exc", err.exc.name, seed)
     except (MachineDiverged, RecursionError):
-        return ("diverged", None)
+        return ("diverged", None, seed)
 
 
 class TestMachineDeterminism:
@@ -37,7 +42,7 @@ class TestMachineDeterminism:
     def test_fixed_strategy_deterministic(self, expr):
         a = _machine_outcome(expr, Shuffled(9))
         b = _machine_outcome(expr, Shuffled(9))
-        assert a == b
+        assert a == b, f"Shuffled(seed=9) not deterministic: {a} vs {b}"
 
 
 class TestOptimiserRefinement:
@@ -103,7 +108,7 @@ class TestEncodingAdequacy:
         assume(isinstance(payload, VInt))
         native = _machine_outcome(expr, fuel=400_000)
         assume(native[0] != "diverged")
-        assert native == ("ok", payload.value)
+        assert native[:2] == ("ok", payload.value), str(native)
 
     @given(int_exprs(depth=4))
     @settings(max_examples=80, deadline=None)
@@ -168,18 +173,29 @@ class TestOptimisedObservationSoundness:
             outcome = _machine_outcome(
                 optimised, Shuffled(seed), fuel=40_000
             )
+            # outcome[2] is the Shuffled seed: quote it in every
+            # failure so the exact evaluation order is re-runnable.
+            where = f"under Shuffled(seed={outcome[2]})"
             if outcome[0] == "ok":
                 assert denoted == Ok(outcome[1]), (
-                    f"observed {outcome} but denoted {denoted}"
+                    f"observed {outcome} {where} but denoted {denoted}"
                 )
             elif outcome[0] == "exc":
-                assert isinstance(denoted, Bad)
+                assert isinstance(denoted, Bad), (
+                    f"observed {outcome} {where} but denoted {denoted}"
+                )
                 names = {
                     e.name for e in denoted.excs.finite_members()
                 }
                 if denoted.excs.is_finite():
-                    assert outcome[1] in names
+                    assert outcome[1] in names, (
+                        f"raised {outcome[1]} {where}, set {names}"
+                    )
                 # infinite set: any synchronous exception permitted
             else:  # diverged
-                assert isinstance(denoted, Bad)
-                assert NON_TERMINATION in denoted.excs
+                assert isinstance(denoted, Bad), (
+                    f"diverged {where} but denoted {denoted}"
+                )
+                assert NON_TERMINATION in denoted.excs, (
+                    f"diverged {where} but NonTermination not denoted"
+                )

@@ -262,3 +262,35 @@ class TestLawTypedConvention:
         )
         # Reflexive, so still identity even with scalar x.
         assert code == 0
+
+
+class TestFuzz:
+    def test_bounded_run_json(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "fuzz", "--iterations", "25", "--seed", "0",
+            "--format", "json",
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["iterations"] == 25
+        assert data["findings"] == []
+        assert data["machine"]["steps"] > 0
+        assert set(data["verdicts"]) <= {"agree", "refinement"}
+
+    def test_table_format(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "fuzz", "--iterations", "10", "--seed", "4",
+        )
+        assert code == 0
+        assert "verdicts:" in out
+        assert "machine:" in out
+
+    def test_replay_corpus(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "fuzz", "--replay",
+            "tests/fuzz/corpus/regressions.jsonl",
+        )
+        assert code == 0
+        assert "0 mismatches" in out
