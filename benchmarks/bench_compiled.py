@@ -1,0 +1,162 @@
+"""E13 — the compile-to-closures backend is ≥2× the AST walker.
+
+The tentpole claim of docs/PERFORMANCE.md: lowering the flattened AST
+once into slot-addressed Python closures (pruned captures, tuple
+frames, baked-in global cells, an explicit work-loop for tails) makes
+the lazy machine at least twice as fast on allocation- and
+application-heavy workloads, while remaining *observationally
+identical* — same outcomes, same counters, same trace streams.
+
+Three measurements per workload, each on a fresh machine:
+
+* wall time on the AST backend (best of ``_REPS``);
+* wall time on the compiled backend (best of ``_REPS``);
+* the full ``MachineStats`` snapshot on both, asserted equal — the
+  counter contract is a hard CI gate, the speedup target is recorded
+  and guarded with a CI-safe floor (machines in CI are noisy; the
+  ≥2× numbers are reproduced in EXPERIMENTS.md on quiet hardware).
+
+Workloads are the E1 shapes scaled up ~one order of magnitude so the
+per-run compile cost (the compiled backend pays it on first force) is
+amortised the way a real client would see it.
+
+Regenerates: the BENCH_E13 rows.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_record, run_on_machine
+from repro.api import compile_expr, compile_program
+from repro.machine import BACKENDS, Machine
+from repro.machine.eval import program_env
+from repro.lang.ast import Program
+from repro.obs import NULL_SINK
+from repro.prelude.loader import machine_env
+
+# Scaled-up E1 shapes: heavy enough that wall-clock dominates noise,
+# still well under a second per run on the AST walker.
+E13_WORKLOADS = {
+    "fib": (
+        "let { fib = \\n -> if n < 2 then n "
+        "else fib (n - 1) + fib (n - 2) } in fib 17"
+    ),
+    "list-pipeline": (
+        "sum (map (\\x -> x * x) (filter (\\x -> x `mod` 2 == 0) "
+        "(enumFromTo 1 1600)))"
+    ),
+    "tree-fold": (
+        "let { build = \\n -> if n == 0 then Leaf 1 "
+        "else Node (build (n - 1)) (build (n - 1)) ; "
+        "total = \\t -> case t of { Leaf v -> v; "
+        "Node l r -> total l + total r } } in total (build 9)"
+    ),
+}
+
+TREE_DECLS = "data Tree = Leaf Int | Node Tree Tree\n"
+
+# Best-of-N wall time: the minimum is the standard low-noise estimator
+# for a deterministic computation.
+_REPS = 3
+
+# The CI gate is deliberately below the ≥2× claim: shared runners
+# gyrate by tens of percent, and a perf bar that flakes gets deleted.
+# The claim itself is recorded in the BENCH_E13 rows and EXPERIMENTS.md.
+_CI_SPEEDUP_FLOOR = 1.3
+
+
+def _compile(name: str):
+    source = E13_WORKLOADS[name]
+    if "Leaf" in source:
+        return compile_program(TREE_DECLS + "main = " + source)
+    return compile_expr(source)
+
+
+def _run_once(compiled, backend: str):
+    """One fresh-machine run; returns (seconds, stats_dict, value)."""
+    machine = Machine(backend=backend)
+    if isinstance(compiled, Program):
+        env = program_env(compiled, machine, machine_env(machine))
+        start = time.perf_counter()
+        value = env["main"].force(machine)
+        elapsed = time.perf_counter() - start
+    else:
+        env = machine_env(machine)
+        start = time.perf_counter()
+        value = machine.eval(compiled, env)
+        elapsed = time.perf_counter() - start
+    return elapsed, machine.stats.snapshot().as_dict(), value
+
+
+def _best_of(compiled, backend: str):
+    best, stats, value = _run_once(compiled, backend)
+    for _ in range(_REPS - 1):
+        elapsed, again, _v = _run_once(compiled, backend)
+        assert again == stats  # deterministic: every rep, same counters
+        best = min(best, elapsed)
+    return best, stats, value
+
+
+class TestCompiledSpeedup:
+    @pytest.mark.parametrize("name", sorted(E13_WORKLOADS))
+    def test_speedup_and_counter_parity(self, name):
+        compiled = _compile(name)
+        ast_time, ast_stats, ast_value = _best_of(compiled, "ast")
+        c_time, c_stats, c_value = _best_of(compiled, "compiled")
+
+        # The counter contract: not "close", *equal* — every step,
+        # allocation, force, raise, prim-op, and the force-depth
+        # high-water mark.
+        assert c_stats == ast_stats
+
+        # Both backends land on the same WHNF (ints here).
+        assert str(ast_value) == str(c_value)
+
+        speedup = ast_time / c_time if c_time > 0 else float("inf")
+        bench_record(
+            "E13",
+            workload=name,
+            ast_seconds=round(ast_time, 6),
+            compiled_seconds=round(c_time, 6),
+            speedup=round(speedup, 2),
+            steps=ast_stats["steps"],
+            allocations=ast_stats["allocations"],
+            thunks_forced=ast_stats["thunks_forced"],
+            target="≥2× (CI floor 1.3×)",
+        )
+        assert speedup >= _CI_SPEEDUP_FLOOR, (
+            f"{name}: compiled backend only {speedup:.2f}× faster "
+            f"(ast {ast_time:.4f}s vs compiled {c_time:.4f}s)"
+        )
+
+
+class TestCompiledTracingIsFreeWhenOff:
+    """E1b extended to the compiled backend: no sink and the null sink
+    run the identical step sequence — the tick fast path is one
+    attribute load and one branch on both backends."""
+
+    @pytest.mark.parametrize("name", sorted(E13_WORKLOADS))
+    def test_null_sink_step_parity(self, name):
+        compiled = _compile(name)
+        _t, bare, _v = _run_once(compiled, "compiled")
+        machine = Machine(backend="compiled", sink=NULL_SINK)
+        assert machine._tracing is False
+        if isinstance(compiled, Program):
+            env = program_env(compiled, machine, machine_env(machine))
+            env["main"].force(machine)
+        else:
+            machine.eval(compiled, machine_env(machine))
+        assert machine.stats.snapshot().as_dict() == bare
+
+
+@pytest.mark.benchmark(group="E13-compiled-backend")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_backends(benchmark, backend, workload):
+    """pytest-benchmark timings for both backends over the shared E1
+    workload set (the E13 set is sized for one-shot wall-clock runs;
+    these rows give the calibrated per-op comparison)."""
+    from benchmarks.conftest import compile_workload
+
+    compiled = compile_workload(workload)
+    benchmark(lambda: run_on_machine(compiled, backend=backend))

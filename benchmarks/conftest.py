@@ -64,12 +64,12 @@ def compile_workload(name: str):
     return compile_expr(source)
 
 
-def run_on_machine(compiled, machine=None):
+def run_on_machine(compiled, machine=None, backend="ast"):
     """Evaluate a compiled workload; returns (value, machine)."""
     from repro.lang.ast import Expr, Program
 
     if machine is None:
-        machine = Machine()
+        machine = Machine(backend=backend)
     if isinstance(compiled, Program):
         env = program_env(compiled, machine, machine_env(machine))
         value = env["main"].force(machine)
@@ -78,7 +78,7 @@ def run_on_machine(compiled, machine=None):
     return value, machine
 
 
-def run_with_sink(compiled, strategy=None, fuel: int = 2_000_000):
+def run_with_sink(compiled, strategy=None, fuel: int = 2_000_000, backend="ast"):
     """Evaluate a compiled workload on a machine with a counting sink
     attached; returns (value, machine, sink).
 
@@ -89,7 +89,7 @@ def run_with_sink(compiled, strategy=None, fuel: int = 2_000_000):
     from repro.lang.ast import Program
 
     sink = CountingSink()
-    machine = Machine(strategy=strategy, fuel=fuel)
+    machine = Machine(strategy=strategy, fuel=fuel, backend=backend)
     base = machine_env(machine)
     if isinstance(compiled, Program):
         env = program_env(compiled, machine, base)

@@ -88,10 +88,15 @@ def observe_source(
     strategy: Optional[Strategy] = None,
     fuel: int = 2_000_000,
     deep: bool = False,
+    backend: str = "ast",
 ) -> Outcome:
-    """Run an expression on the operational machine, prelude in scope."""
+    """Run an expression on the operational machine, prelude in scope.
+
+    ``backend="compiled"`` selects the compile-to-closures evaluator
+    (docs/PERFORMANCE.md); observations are identical, only speed
+    differs."""
     expr = compile_expr(source)
-    machine = Machine(strategy=strategy, fuel=fuel)
+    machine = Machine(strategy=strategy, fuel=fuel, backend=backend)
     env = machine_env(machine)
     return observe(expr, env=env, machine=machine, deep=deep)
 
@@ -103,6 +108,7 @@ def run_io_source(
     fuel: int = 2_000_000,
     timeout_as_exception: bool = False,
     events: Optional[EventPlan] = None,
+    backend: str = "ast",
 ) -> IOResult:
     """Perform an ``IO`` expression, prelude in scope."""
     expr = compile_expr(source)
@@ -110,6 +116,7 @@ def run_io_source(
         strategy=strategy,
         fuel=fuel,
         event_plan=events.as_dict() if events else None,
+        backend=backend,
     )
     env = machine_env(machine)
     executor = IOExecutor(
@@ -129,6 +136,7 @@ def run_io_program(
     timeout_as_exception: bool = False,
     events: Optional[EventPlan] = None,
     typecheck: bool = False,
+    backend: str = "ast",
 ) -> IOResult:
     """Compile a module and perform its ``main`` (or another entry)."""
     program = compile_program(source, typecheck=typecheck)
@@ -136,6 +144,7 @@ def run_io_program(
         strategy=strategy,
         fuel=fuel,
         event_plan=events.as_dict() if events else None,
+        backend=backend,
     )
     env = machine_program_env(program, machine, machine_env(machine))
     executor = IOExecutor(

@@ -83,12 +83,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strategy", default="left-to-right")
     run.add_argument("--fuel", type=int, default=2_000_000)
     run.add_argument("--typecheck", action="store_true")
+    run.add_argument(
+        "--backend",
+        default="ast",
+        choices=["ast", "compiled"],
+        help="machine backend (docs/PERFORMANCE.md)",
+    )
 
     ev = sub.add_parser("eval", help="evaluate on the lazy machine")
     ev.add_argument("expr")
     ev.add_argument("--strategy", default="left-to-right")
     ev.add_argument("--fuel", type=int, default=2_000_000)
     ev.add_argument("--deep", action="store_true")
+    ev.add_argument(
+        "--backend",
+        default="ast",
+        choices=["ast", "compiled"],
+        help="machine backend (docs/PERFORMANCE.md)",
+    )
 
     de = sub.add_parser("denote", help="print the denotation")
     de.add_argument("expr")
@@ -169,6 +181,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", default="table", choices=["table", "json"]
     )
     pro.add_argument("--deep", action="store_true")
+    pro.add_argument(
+        "--backend",
+        default="ast",
+        choices=["ast", "compiled"],
+        help="machine backend (docs/PERFORMANCE.md)",
+    )
 
     opt = sub.add_parser("optimise", help="apply an optimisation level")
     opt.add_argument("expr")
@@ -232,6 +250,7 @@ def _cmd_run(args) -> int:
         strategy=_strategy(args.strategy),
         fuel=args.fuel,
         typecheck=args.typecheck,
+        backend=args.backend,
     )
     sys.stdout.write(result.stdout)
     if result.status == "exception":
@@ -249,13 +268,18 @@ def _cmd_eval(args) -> int:
         strategy=_strategy(args.strategy),
         fuel=args.fuel,
         deep=args.deep,
+        backend=args.backend,
     )
     from repro.machine import Machine, Normal
     from repro.machine.observe import show_value
 
     if isinstance(outcome, Normal):
         # Re-run to render with a machine in hand (outputs lazily).
-        machine = Machine(strategy=_strategy(args.strategy), fuel=args.fuel)
+        machine = Machine(
+            strategy=_strategy(args.strategy),
+            fuel=args.fuel,
+            backend=args.backend,
+        )
         from repro.prelude.loader import machine_env
 
         value = machine.eval(
@@ -346,6 +370,7 @@ def _cmd_profile(args) -> int:
         layer=args.layer,
         trace=args.trace,
         deep=args.deep,
+        backend=args.backend,
     )
     if args.format == "json":
         print(report.to_json())

@@ -6,12 +6,16 @@ lane's outcome is compared against a *reference*:
 * pure programs — the imprecise denotational semantics (Section 4) is
   the reference; lanes are the lazy machine under every standard
   strategy plus a per-case ``Shuffled`` with a recorded seed, the
-  explicit ``ExVal`` encoding (Section 2), and the fixed-order
-  baseline (Sections 3.4/6);
+  explicit ``ExVal`` encoding (Section 2), the fixed-order baseline
+  (Sections 3.4/6), and the compile-to-closures backend
+  (docs/PERFORMANCE.md) under the default strategy — classified
+  against the denotation exactly like the AST machine, so any
+  behavioural drift in the compiler surfaces as a divergence here;
 * IO programs — the left-to-right executor run is the reference and
   the other strategies are the lanes (the denotational reference for
   IO is the Section 4.4 LTS, already property-tested in
-  ``tests/io/test_transition.py``).
+  ``tests/io/test_transition.py``), plus the compiled backend under
+  the reference strategy.
 
 Each comparison lands on a three-point lattice:
 
@@ -177,6 +181,7 @@ class OracleConfig:
     exval_fuel: int = 600_000
     io_fuel: int = 400_000
     extra_shuffled: bool = True
+    compiled_lane: bool = True
 
     def strategies(self, seed: int) -> Sequence[Strategy]:
         base = list(standard_strategies())
@@ -217,9 +222,10 @@ def _value_observation(lane: str, value: Value,
 
 def _machine_observation(
     expr: Expr, strategy: Strategy, fuel: int, sink,
-    lane: Optional[str] = None,
+    lane: Optional[str] = None, backend: str = "ast",
 ) -> Observation:
-    machine = Machine(strategy=strategy, fuel=fuel, sink=sink)
+    machine = Machine(strategy=strategy, fuel=fuel, sink=sink,
+                      backend=backend)
     env = machine_env(machine)
     if lane is None:
         lane = f"machine:{strategy.name}"
@@ -472,9 +478,10 @@ def _classify_fixed_lane(
 
 def _io_observation(
     case: FuzzCase, strategy: Strategy, fuel: int, sink,
-    lane: Optional[str] = None,
+    lane: Optional[str] = None, backend: str = "ast",
 ) -> Observation:
-    machine = Machine(strategy=strategy, fuel=fuel, sink=sink)
+    machine = Machine(strategy=strategy, fuel=fuel, sink=sink,
+                      backend=backend)
     env = machine_env(machine)
     if lane is None:
         lane = f"io:{strategy.name}"
@@ -580,6 +587,15 @@ def _run_pure_oracle(
             case.expr, strategy, config.machine_fuel, sink, lane
         )
         comparisons.append(_classify_machine_lane(denoted, obs))
+    if config.compiled_lane:
+        # The compiled backend runs under the *default* strategy, so it
+        # must land on the same verdict as the machine:left-to-right
+        # lane above — the differential check on the compiler itself.
+        obs = _machine_observation(
+            case.expr, strategies[0], config.machine_fuel, sink,
+            "machine:compiled", backend="compiled",
+        )
+        comparisons.append(_classify_machine_lane(denoted, obs))
     comparisons.append(
         _classify_exval_lane(case.expr, denoted, config, sink)
     )
@@ -600,6 +616,15 @@ def _run_io_oracle(
         if config.extra_shuffled and index == len(strategies) - 1:
             lane = "io:shuffled(per-case)"
         obs = _io_observation(case, strategy, config.io_fuel, sink, lane)
+        comparisons.append(_classify_io_lane(reference, obs))
+    if config.compiled_lane:
+        # Same strategy as the reference run, different evaluator: any
+        # disagreement (beyond §3.5's exception-choice refinement) is a
+        # compiler bug, not a strategy effect.
+        obs = _io_observation(
+            case, strategies[0], config.io_fuel, sink, "io:compiled",
+            backend="compiled",
+        )
         comparisons.append(_classify_io_lane(reference, obs))
     return OracleReport(case, reference, comparisons)
 

@@ -217,9 +217,7 @@ class Scheduler:
             k = frame.payload.force(self.machine)
             if not isinstance(k, VFun):
                 raise ConcurrencyError(">>= continuation not a function")
-            env = dict(k.env)
-            env[k.var] = cell
-            thread.action = Cell(k.body, env)
+            thread.action = self.machine.bind_cell(k, cell)
             return "runnable"
         try:
             value = cell.force(self.machine)
@@ -237,11 +235,9 @@ class Scheduler:
             handler = frame.payload.force(self.machine)
             if not isinstance(handler, VFun):
                 raise ConcurrencyError("catch handler not a function")
-            env = dict(handler.env)
-            env[handler.var] = Cell.ready(
-                self.machine.value_of_exc(exc)
+            thread.action = self.machine.bind_cell(
+                handler, Cell.ready(self.machine.value_of_exc(exc))
             )
-            thread.action = Cell(handler.body, env)
             return "runnable"
         return self._die(thread, exc)
 
@@ -394,13 +390,14 @@ def run_concurrent_source(
     max_actions: int = 100_000,
     strategy=None,
     timeout_as_exception: bool = False,
+    backend: str = "ast",
 ) -> ConcurrentResult:
     """Compile an IO expression (prelude in scope) and run it under the
     round-robin scheduler."""
     from repro.api import compile_expr
     from repro.prelude.loader import machine_env
 
-    machine = Machine(strategy=strategy, fuel=fuel)
+    machine = Machine(strategy=strategy, fuel=fuel, backend=backend)
     scheduler = Scheduler(
         machine=machine,
         stdin=stdin,
@@ -420,6 +417,7 @@ def run_concurrent_program(
     fuel: int = 2_000_000,
     max_actions: int = 100_000,
     typecheck: bool = False,
+    backend: str = "ast",
 ) -> ConcurrentResult:
     """Compile a module and run its entry point concurrently."""
     from repro.api import compile_program
@@ -427,7 +425,7 @@ def run_concurrent_program(
     from repro.prelude.loader import machine_env
 
     program = compile_program(source, typecheck=typecheck)
-    machine = Machine(fuel=fuel)
+    machine = Machine(fuel=fuel, backend=backend)
     scheduler = Scheduler(
         machine=machine,
         stdin=stdin,

@@ -151,9 +151,7 @@ class IOExecutor:
                 k = k_cell.force(machine)
                 if not isinstance(k, VFun):
                     raise IORunError(">>= continuation is not a function")
-                env = dict(k.env)
-                env[k.var] = Cell.ready(result)
-                cell = Cell(k.body, env)
+                cell = machine.bind_cell(k, Cell.ready(result))
                 continue
             if tag == "getChar":
                 if not self.stdin:
@@ -190,11 +188,9 @@ class IOExecutor:
                         raise IORunError(
                             "catchIO handler is not a function"
                         ) from None
-                    env = dict(handler.env)
-                    env[handler.var] = Cell.ready(
-                        machine.value_of_exc(err.exc)
+                    cell = machine.bind_cell(
+                        handler, Cell.ready(machine.value_of_exc(err.exc))
                     )
-                    cell = Cell(handler.body, env)
                     continue
             raise IORunError(f"unknown IO action {tag!r}")
 

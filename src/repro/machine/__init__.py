@@ -22,7 +22,9 @@ from repro.machine.strategy import (
     Shuffled,
     Strategy,
 )
-from repro.machine.eval import Machine, MachineStats, StatsSnapshot
+from repro.machine.eval import BACKENDS, Machine, MachineStats, StatsSnapshot
+from repro.machine.compile import CompiledMachine
+from repro.machine.frames import CClosure
 from repro.machine.observe import (
     Diverged,
     Exceptional,
@@ -34,7 +36,10 @@ from repro.machine.observe import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CClosure",
     "Cell",
+    "CompiledMachine",
     "Diverged",
     "Exceptional",
     "LeftToRight",

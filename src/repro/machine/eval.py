@@ -12,6 +12,7 @@ that does not raise never touches any of the exception machinery.
 from __future__ import annotations
 
 import sys
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -62,12 +63,31 @@ from repro.obs.sinks import TraceSink, is_live
 
 Env = Dict[str, Cell]
 
+BACKENDS = ("ast", "compiled")
+
 _MIN_RECURSION_LIMIT = 200_000
 
 
 def _ensure_recursion_headroom() -> None:
     if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
         sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+
+# Lazy IO constructors: primop name -> VIO tag.  Shared with the
+# compiled backend (repro.machine.compile) so the two stay in lockstep.
+_IO_TAGS = {
+    "returnIO": "return",
+    "bindIO": "bind",
+    "putChar": "putChar",
+    "putStr": "putStr",
+    "getException": "getException",
+    "ioError": "ioError",
+    "catchIO": "catch",
+    "forkIO": "fork",
+    "newMVar": "newMVar",
+    "takeMVar": "takeMVar",
+    "putMVar": "putMVar",
+}
 
 
 _STAT_FIELDS = (
@@ -168,7 +188,21 @@ class Machine:
         single pre-computed boolean test, so untraced runs execute the
         same instruction sequence as a sink-less machine ("tracing is
         free when off" — benchmarks/bench_trace_overhead.py).
+    backend:
+        ``"ast"`` (default) walks the AST directly; ``"compiled"``
+        lowers each expression once to a tree of Python closures over
+        slot-addressed frames (repro.machine.compile) before running
+        it.  Both backends satisfy the same observation contract —
+        identical outcomes, counters and trace events
+        (docs/PERFORMANCE.md, tests/machine/test_backends.py).
     """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Machine and kwargs.get("backend", "ast") == "compiled":
+            from repro.machine.compile import CompiledMachine
+
+            return super().__new__(CompiledMachine)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -177,13 +211,24 @@ class Machine:
         detect_blackholes: bool = True,
         event_plan: Optional[Dict[int, Exc]] = None,
         sink: Optional[TraceSink] = None,
+        *,
+        backend: str = "ast",
     ) -> None:
-        _ensure_recursion_headroom()
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.backend = backend
+        if backend == "ast":
+            # The compiled backend runs tails in an explicit work-loop
+            # and needs no extra Python stack; only the tree-walker
+            # recurses per spine node.
+            _ensure_recursion_headroom()
         self.strategy = strategy or LeftToRight()
         self.fuel = fuel
         self.detect_blackholes = detect_blackholes
         self.stats = MachineStats()
-        self._events = sorted(event_plan.items()) if event_plan else []
+        self._events = deque(sorted(event_plan.items())) if event_plan else deque()
         self.sink = sink
         self._tracing = is_live(sink)
 
@@ -209,20 +254,30 @@ class Machine:
         consumed = old.steps
         self.fuel -= consumed
         if self._events:
-            self._events = [
+            self._events = deque(
                 (max(1, at - consumed), exc) for at, exc in self._events
-            ]
+            )
         self.stats = MachineStats()
         return old
 
     # -- stepping -------------------------------------------------------
 
     def _tick(self) -> None:
+        # Hot path: one increment and one (usually false) test.  The
+        # compiled backend inlines this exact sequence per node, so the
+        # two backends count steps identically.
         self.stats.steps += 1
+        if self._tracing or self._events or self.stats.steps > self.fuel:
+            self._tick_slow()
+
+    def _tick_slow(self) -> None:
+        """The rare-path half of a step: trace emission, async event
+        delivery and fuel exhaustion.  ``stats.steps`` has already been
+        incremented by the caller."""
         if self._tracing:
             self.sink.emit(STEP, n=self.stats.steps)
         if self._events and self.stats.steps >= self._events[0][0]:
-            _step, exc = self._events.pop(0)
+            _step, exc = self._events.popleft()
             if self._tracing:
                 self.sink.emit(
                     ASYNC_INTERRUPT, exc=exc.name, at=self.stats.steps
@@ -246,6 +301,16 @@ class Machine:
         self.fuel = self.stats.steps + extra
         if self._tracing:
             self.sink.emit(FUEL_GRANT, extra=extra, budget=self.fuel)
+
+    def bind_cell(self, fn: VFun, arg_cell: Cell) -> Cell:
+        """A cell that, when forced, runs ``fn``'s body with
+        ``arg_cell`` bound to its parameter — the backend-neutral
+        application primitive.  The IO executor and the concurrency
+        scheduler apply continuations through this instead of poking
+        closure internals, so they work unchanged on both backends."""
+        env = dict(fn.env)
+        env[fn.var] = arg_cell
+        return Cell(fn.body, env)
 
     # -- evaluation -------------------------------------------------------
 
@@ -394,32 +459,8 @@ class Machine:
         self.stats.prim_ops += 1
 
         # Lazy IO constructors.
-        if op in (
-            "returnIO",
-            "bindIO",
-            "putChar",
-            "putStr",
-            "getException",
-            "ioError",
-            "catchIO",
-            "forkIO",
-            "newMVar",
-            "takeMVar",
-            "putMVar",
-        ):
-            tag = {
-                "returnIO": "return",
-                "bindIO": "bind",
-                "putChar": "putChar",
-                "putStr": "putStr",
-                "getException": "getException",
-                "ioError": "ioError",
-                "catchIO": "catch",
-                "forkIO": "fork",
-                "newMVar": "newMVar",
-                "takeMVar": "takeMVar",
-                "putMVar": "putMVar",
-            }[op]
+        tag = _IO_TAGS.get(op)
+        if tag is not None:
             return VIO(tag, tuple(self.alloc(a, env) for a in expr.args))
         if op == "getChar":
             return VIO("getChar")

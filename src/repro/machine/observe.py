@@ -61,6 +61,7 @@ def _prepare_machine(
     fuel: int,
     sink: Optional[TraceSink],
     reset_stats: bool,
+    backend: str = "ast",
 ) -> Machine:
     """Shared observation setup: build or recycle a machine.
 
@@ -70,7 +71,7 @@ def _prepare_machine(
     rebased, not forgotten (see :meth:`Machine.reset_stats`).
     """
     if machine is None:
-        return Machine(strategy=strategy, fuel=fuel, sink=sink)
+        return Machine(strategy=strategy, fuel=fuel, sink=sink, backend=backend)
     if reset_stats:
         machine.reset_stats()
     if is_live(sink):
@@ -87,12 +88,19 @@ def observe(
     deep: bool = False,
     sink: Optional[TraceSink] = None,
     reset_stats: bool = True,
+    backend: str = "ast",
 ) -> Outcome:
     """Run ``expr`` to WHNF (or, with ``deep=True``, to full normal
-    form) and classify the outcome."""
-    machine = _prepare_machine(machine, strategy, fuel, sink, reset_stats)
+    form) and classify the outcome.  ``backend`` selects the evaluator
+    when no ``machine`` is passed (docs/PERFORMANCE.md)."""
+    machine = _prepare_machine(
+        machine, strategy, fuel, sink, reset_stats, backend
+    )
     try:
-        value = machine.eval(expr, dict(env) if env else {})
+        # The evaluator never mutates the caller's env dict (App/Let
+        # copy-on-extend; the compiled backend only reads it), so no
+        # defensive copy is needed here.
+        value = machine.eval(expr, env if env is not None else {})
         if deep:
             value = deep_force(value, machine)
         return Normal(value)
@@ -114,8 +122,11 @@ def observe_program(
     deep: bool = False,
     sink: Optional[TraceSink] = None,
     reset_stats: bool = True,
+    backend: str = "ast",
 ) -> Outcome:
-    machine = _prepare_machine(machine, strategy, fuel, sink, reset_stats)
+    machine = _prepare_machine(
+        machine, strategy, fuel, sink, reset_stats, backend
+    )
     env = program_env(program, machine, base)
     cell = env.get(entry)
     if cell is None:

@@ -16,9 +16,17 @@ from typing import Sequence, Tuple
 
 
 class Strategy:
-    """Decides the evaluation order of strict primitive arguments."""
+    """Decides the evaluation order of strict primitive arguments.
+
+    ``stateless`` declares that :meth:`order` is a pure function of
+    ``(op, n)``; the compiled backend (repro.machine.compile) then
+    bakes the permutation in at compile time instead of consulting the
+    strategy per execution.  Stateful strategies (Shuffled) must leave
+    it False so their per-call RNG stream matches the AST backend's.
+    """
 
     name = "abstract"
+    stateless = False
 
     def order(self, op: str, n: int) -> Tuple[int, ...]:
         raise NotImplementedError
@@ -31,6 +39,7 @@ class LeftToRight(Strategy):
     """The 'obvious' sequential order (what a naive compiler emits)."""
 
     name = "left-to-right"
+    stateless = True
 
     def order(self, op: str, n: int) -> Tuple[int, ...]:
         return tuple(range(n))
@@ -41,6 +50,7 @@ class RightToLeft(Strategy):
     onto a stack right-to-left and evaluates as it pushes)."""
 
     name = "right-to-left"
+    stateless = True
 
     def order(self, op: str, n: int) -> Tuple[int, ...]:
         return tuple(reversed(range(n)))

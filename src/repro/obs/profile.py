@@ -114,8 +114,12 @@ def profile_source(
     layer: str = "machine",
     trace: Optional[str] = None,
     deep: bool = False,
+    backend: str = "ast",
 ) -> ProfileReport:
-    """Profile ``source`` (prelude in scope) on the requested layer(s)."""
+    """Profile ``source`` (prelude in scope) on the requested layer(s).
+
+    ``backend`` selects the machine evaluator (ast or compiled); both
+    emit the same counters and events (docs/PERFORMANCE.md)."""
     # Imports are local: repro.obs must stay importable from the
     # evaluator modules without a cycle through the high-level API.
     from repro.api import compile_expr
@@ -142,7 +146,7 @@ def profile_source(
             expr = compile_expr(source)
 
         if layer in ("machine", "both"):
-            machine = Machine(strategy=strategy, fuel=fuel)
+            machine = Machine(strategy=strategy, fuel=fuel, backend=backend)
             with timer.phase("prelude-env"):
                 env = machine_env(machine)
             # Attaching the sink *after* env construction (and letting

@@ -1,0 +1,338 @@
+"""Backend parity: the compiled evaluator against the AST walker.
+
+Every test here runs under both ``backend="ast"`` and
+``backend="compiled"`` (or runs both and compares).  The contract
+(docs/PERFORMANCE.md): identical outcomes, identical counters,
+identical strategy-ordered exception choices, identical async
+delivery points — the backends must be observationally
+indistinguishable, only wall-clock differs.
+"""
+
+import pytest
+
+from repro.api import compile_expr, compile_program, run_io_source
+from repro.core.excset import CONTROL_C, NON_TERMINATION, Exc
+from repro.machine import (
+    BACKENDS,
+    CompiledMachine,
+    Diverged,
+    Exceptional,
+    LeftToRight,
+    Machine,
+    Normal,
+    RightToLeft,
+    Shuffled,
+    observe,
+    observe_program,
+)
+from repro.machine.heap import Cell, ObjRaise
+from repro.machine.values import VCon, VFun, VInt
+from repro.prelude.loader import machine_env
+
+BOTH = pytest.mark.parametrize("backend", BACKENDS)
+
+
+def run(source, backend, **kwargs):
+    machine = Machine(backend=backend, **kwargs)
+    env = machine_env(machine)
+    return observe(compile_expr(source), env=env, machine=machine), machine
+
+
+def normal_int(outcome):
+    assert isinstance(outcome, Normal), str(outcome)
+    assert isinstance(outcome.value, VInt)
+    return outcome.value.value
+
+
+class TestDispatch:
+    def test_backend_selects_subclass(self):
+        assert type(Machine(backend="compiled")) is CompiledMachine
+        assert type(Machine(backend="ast")) is Machine
+        assert type(Machine()) is Machine
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(backend="jit")
+
+    def test_backend_attribute(self):
+        assert Machine(backend="compiled").backend == "compiled"
+        assert Machine().backend == "ast"
+
+
+class TestShadowing:
+    @BOTH
+    def test_lambda_shadows_lambda(self, backend):
+        out, _ = run("(\\x -> (\\x -> x + 1) 10 + x) 100", backend)
+        assert normal_int(out) == 111
+
+    @BOTH
+    def test_let_shadows_lambda(self, backend):
+        out, _ = run("(\\x -> let { x = 5 } in x * x) 3", backend)
+        assert normal_int(out) == 25
+
+    @BOTH
+    def test_case_pattern_shadows(self, backend):
+        src = "(\\x -> case Just 7 of { Just x -> x + x }) 1"
+        out, _ = run(src, backend)
+        assert normal_int(out) == 14
+
+    @BOTH
+    def test_local_shadows_prelude_global(self, backend):
+        # `head` is a prelude binding resolved through a global cell in
+        # the compiled backend; a local binder must still win.
+        out, _ = run("let { head = \\x -> 42 } in head [1, 2]", backend)
+        assert normal_int(out) == 42
+
+    @BOTH
+    def test_inner_shadow_does_not_leak(self, backend):
+        out, _ = run(
+            "let { y = 1 } in (let { y = 2 } in y) + y", backend
+        )
+        assert normal_int(out) == 3
+
+
+class TestRecursionAndKnots:
+    @BOTH
+    def test_recursive_let(self, backend):
+        src = ("let { fac = \\n -> if n < 1 then 1 else n * fac (n - 1) }"
+               " in fac 6")
+        out, _ = run(src, backend)
+        assert normal_int(out) == 720
+
+    @BOTH
+    def test_mutual_recursion(self, backend):
+        src = ("let { even = \\n -> if n == 0 then True else odd (n - 1)"
+               "    ; odd  = \\n -> if n == 0 then False else even (n - 1) }"
+               " in even 10")
+        out, _ = run(src, backend)
+        assert isinstance(out, Normal)
+        assert isinstance(out.value, VCon)
+        assert out.value.name == "True"
+
+    @BOTH
+    def test_fix_knot(self, backend):
+        src = ("fix (\\rec -> \\n -> if n < 1 then 0 else n + rec (n - 1))"
+               " 10")
+        out, _ = run(src, backend)
+        assert normal_int(out) == 55
+
+    @BOTH
+    def test_infinite_structure_knot(self, backend):
+        # The let cell refers to itself *as data*: the frame must be
+        # tied before the thunk is forced.
+        src = "let { xs = Cons 1 xs } in head (tail (tail xs))"
+        out, _ = run(src, backend)
+        assert normal_int(out) == 1
+
+    @BOTH
+    def test_program_level_recursion(self, backend):
+        program = compile_program(
+            "main = go 100\n"
+            "go n = if n < 1 then 0 else n + go (n - 1)\n"
+        )
+        out = observe_program(program, backend=backend)
+        assert normal_int(out) == 5050
+
+
+class TestClosureCapture:
+    @BOTH
+    def test_capture_survives_binder_scope(self, backend):
+        # The closure escapes the let that bound `secret`; a pruned
+        # capture must have copied the slot, not a frame pointer that
+        # later evaluation could repurpose.
+        src = ("(let { secret = 41 } in \\x -> x + secret) 1")
+        out, _ = run(src, backend)
+        assert normal_int(out) == 42
+
+    @BOTH
+    def test_nested_capture_chain(self, backend):
+        src = ("((\\a -> \\b -> \\c -> a * 100 + b * 10 + c) 1 2 3)")
+        out, _ = run(src, backend)
+        assert normal_int(out) == 123
+
+    @BOTH
+    def test_captured_thunk_is_shared(self, backend):
+        # Forcing through two different closures must hit one cell.
+        src = ("let { x = 2 + 3; f = \\u -> x + u; g = \\u -> x * u }"
+               " in f 1 + g 1")
+        out, machine = run(src, backend)
+        assert normal_int(out) == 11
+
+    @BOTH
+    def test_returned_function_value(self, backend):
+        out, machine = run("const (\\x -> x + 1) 0", backend)
+        assert isinstance(out, Normal)
+        fn = out.value
+        assert isinstance(fn, VFun)
+        # Apply it through the backend-neutral primitive.
+        cell = machine.bind_cell(fn, Cell.ready(VInt(9)))
+        assert cell.force(machine) == VInt(10)
+
+
+class TestBlackholes:
+    @BOTH
+    def test_detected_blackhole_is_non_termination(self, backend):
+        out, _ = run("let { x = x + 1 } in x", backend)
+        assert isinstance(out, Exceptional)
+        assert out.exc == NON_TERMINATION
+
+    @BOTH
+    def test_undetected_blackhole_diverges(self, backend):
+        out, _ = run(
+            "let { x = x + 1 } in x", backend, detect_blackholes=False
+        )
+        assert isinstance(out, Diverged)
+
+    @BOTH
+    def test_fuel_exhaustion(self, backend):
+        out, _ = run(
+            "let { w = \\u -> w u } in w ()", backend, fuel=10_000
+        )
+        assert isinstance(out, Diverged)
+
+
+class TestCounterParity:
+    PROGRAMS = [
+        "sum (map (\\x -> x * x) (enumFromTo 1 50))",
+        "length [1 `div` 0, 2, error \"c\"]",
+        "let { fib = \\n -> if n < 2 then n "
+        "else fib (n - 1) + fib (n - 2) } in fib 12",
+        "foldr (\\x acc -> x + acc) 0 (take 20 (iterate (\\x -> x + 1) 1))",
+        "case [1, 2, 3] of { Cons h t -> h + length t; Nil -> 0 }",
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_stats_identical(self, source):
+        snapshots = {}
+        for backend in BACKENDS:
+            out, machine = run(source, backend)
+            assert isinstance(out, Normal)
+            snapshots[backend] = machine.stats.snapshot().as_dict()
+        assert snapshots["ast"] == snapshots["compiled"]
+
+    def test_stats_identical_on_exception(self):
+        snapshots = {}
+        for backend in BACKENDS:
+            out, machine = run("1 + (2 `div` 0)", backend)
+            assert isinstance(out, Exceptional)
+            snapshots[backend] = machine.stats.snapshot().as_dict()
+        assert snapshots["ast"] == snapshots["compiled"]
+
+
+class TestStrategyParity:
+    TWO_FAULTS = "(1 `div` 0) + error \"boom\""
+
+    @pytest.mark.parametrize(
+        "strategy, expected",
+        [(LeftToRight(), "DivideByZero"), (RightToLeft(), "UserError")],
+    )
+    def test_ordered_strategies_pick_same_exception(
+        self, strategy, expected
+    ):
+        for backend in BACKENDS:
+            machine = Machine(strategy=strategy, backend=backend)
+            env = machine_env(machine)
+            out = observe(
+                compile_expr(self.TWO_FAULTS), env=env, machine=machine
+            )
+            assert isinstance(out, Exceptional)
+            assert out.exc.name == expected, backend
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 11])
+    def test_shuffled_rng_stream_parity(self, seed):
+        # Shuffled consults its RNG per prim-op execution; both
+        # backends must draw in the same order and land on the same
+        # representative exception.
+        picks = {}
+        for backend in BACKENDS:
+            machine = Machine(strategy=Shuffled(seed), backend=backend)
+            env = machine_env(machine)
+            out = observe(
+                compile_expr(self.TWO_FAULTS), env=env, machine=machine
+            )
+            assert isinstance(out, Exceptional)
+            picks[backend] = out.exc
+        assert picks["ast"] == picks["compiled"]
+
+
+class TestAsyncParity:
+    @BOTH
+    def test_event_plan_interrupts(self, backend):
+        machine = Machine(event_plan={50: CONTROL_C}, backend=backend)
+        env = machine_env(machine)
+        out = observe(
+            compile_expr("let { w = \\u -> w u } in w ()"),
+            env=env, machine=machine,
+        )
+        assert isinstance(out, Exceptional)
+        assert out.exc == CONTROL_C
+
+    def test_delivery_step_parity(self):
+        # The interrupt must land at the same step count on both
+        # backends — the tick contract, not just the final outcome.
+        steps = {}
+        for backend in BACKENDS:
+            machine = Machine(event_plan={75: CONTROL_C}, backend=backend)
+            env = machine_env(machine)
+            out = observe(
+                compile_expr("let { w = \\u -> w u } in w ()"),
+                env=env, machine=machine,
+            )
+            assert isinstance(out, Exceptional)
+            steps[backend] = machine.stats.steps
+        assert steps["ast"] == steps["compiled"]
+
+
+class TestRaiseMemoisation:
+    @BOTH
+    def test_cell_overwritten_with_raise(self, backend):
+        machine = Machine(backend=backend)
+        env = machine_env(machine)
+        cell = Cell(compile_expr("1 `div` 0"), env)
+        with pytest.raises(ObjRaise) as first:
+            cell.force(machine)
+        raises_after_first = machine.stats.raises
+        with pytest.raises(ObjRaise) as second:
+            cell.force(machine)
+        assert first.value.exc == second.value.exc
+        # The overwrite (Section 3.3) means no re-evaluation: the raise
+        # counter must not move on the second force.
+        assert machine.stats.raises == raises_after_first
+
+
+class TestIOParity:
+    @BOTH
+    def test_put_str_sequencing(self, backend):
+        result = run_io_source('putStr "a" >> putStr "b"', backend=backend)
+        assert result.ok
+        assert result.stdout == "ab"
+
+    @BOTH
+    def test_catch_io(self, backend):
+        src = ('catchIO (ioError (UserError "boom")) '
+               '(\\e -> putStr "caught")')
+        result = run_io_source(src, backend=backend)
+        assert result.ok
+        assert result.stdout == "caught"
+
+    @BOTH
+    def test_get_exception(self, backend):
+        src = ("getException (1 `div` 0) >>= (\\r -> "
+               "case r of { OK v -> putStr \"ok\"; "
+               "Bad e -> putStr \"bad\" })")
+        result = run_io_source(src, backend=backend)
+        assert result.ok
+        assert result.stdout == "bad"
+
+    @BOTH
+    def test_map_exception(self, backend):
+        machine = Machine(backend=backend)
+        env = machine_env(machine)
+        out = observe(
+            compile_expr(
+                'mapException (\\e -> UserError "renamed") (1 `div` 0)'
+            ),
+            env=env, machine=machine,
+        )
+        assert isinstance(out, Exceptional)
+        assert out.exc.name == "UserError"
