@@ -27,15 +27,18 @@ from benchmarks.conftest import (
     run_on_machine,
     run_with_sink,
 )
-from repro.machine import Machine
+from repro.machine import BACKENDS, Machine
 from repro.machine.eval import program_env
 from repro.lang.ast import Program
 from repro.obs import ALLOC, FORCE, NULL_SINK, RAISE, STEP, CountingSink
+from repro.obs.provenance import ProvenanceRecorder
 from repro.prelude.loader import machine_env
 
 
-def _steps(compiled, sink=None):
-    machine = Machine(sink=sink)
+def _steps(compiled, sink=None, backend="ast", provenance=False):
+    machine = Machine(sink=sink, backend=backend)
+    if provenance:
+        machine.attach_provenance(ProvenanceRecorder())
     if isinstance(compiled, Program):
         env = program_env(compiled, machine, machine_env(machine))
         env["main"].force(machine)
@@ -74,6 +77,55 @@ class TestTracingIsFreeWhenOff:
         bare = _steps(compiled)
         counted = _steps(compiled, sink=CountingSink())
         assert counted == bare
+
+
+class TestProvenanceIsFreeWhenOff:
+    """The provenance/attribution extension (docs/OBSERVABILITY.md,
+    'Provenance & attribution') inherits the E1b contract on BOTH
+    machine backends: with no recorder attached — the default — the
+    step sequence is the seed's, exactly; and even with a recorder the
+    counters are untouched (records are metadata, not cost)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_provenance_off_step_parity(self, name, backend):
+        compiled = compile_workload(name)
+        bare = _steps(compiled, backend=backend)
+        null = _steps(compiled, sink=NULL_SINK, backend=backend)
+        bench_record(
+            "E1b",
+            workload=name,
+            backend=backend,
+            axis="provenance-off",
+            bare_steps=bare,
+            null_sink_steps=null,
+            overhead_pct=round(100.0 * (null - bare) / bare, 4),
+        )
+        assert null == bare
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_recorder_does_not_perturb_counters(self, name, backend):
+        compiled = compile_workload(name)
+        bare = _steps(compiled, backend=backend)
+        recorded = _steps(compiled, backend=backend, provenance=True)
+        assert recorded == bare
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_span_profiler_does_not_perturb_counters(self, name, backend):
+        from repro.obs import SpanProfiler
+
+        compiled = compile_workload(name)
+        bare = _steps(compiled, backend=backend)
+        profiled = _steps(
+            compiled, sink=SpanProfiler(), backend=backend
+        )
+        assert profiled == bare
+
+    def test_provenance_off_by_default(self):
+        for backend in BACKENDS:
+            assert Machine(backend=backend)._prov is None
 
 
 class TestSinkFaithfulness:

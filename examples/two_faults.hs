@@ -1,0 +1,4 @@
+-- Two faults, one denotation: the observed member is a scheduling
+-- accident.  `python -m repro explain examples/two_faults.hs` prints
+-- the raise site and force chain for each member of the set.
+main = (1 `div` 0) + error "boom"

@@ -8,6 +8,8 @@ denote EXPR     print the denotation (the exception *set*)
 law LHS RHS     classify a law: identity / refinement / unsound
 trace EXPR      enumerate every behaviour the §4.4 LTS permits
 profile EXPR    run under the tracing/metrics layer (docs/OBSERVABILITY.md)
+explain FILE    provenance: where each member of the exception set comes from
+bench           re-run the claim benchmarks and diff against the seeds
 optimise EXPR   run an optimisation level and pretty-print the result
 typecheck FILE  infer and print the types of a module's bindings
 fuzz            differential fuzzing: cross-evaluator oracle + shrinker
@@ -19,6 +21,9 @@ Examples
     python -m repro law    'a + b' 'b + a' --semantics fixed-order
     python -m repro run    examples/hello.hs --stdin "x"
     python -m repro profile 'sum [1, 2, 3]' --trace out.jsonl --format json
+    python -m repro profile 'fib 12' --flame out.folded --backend compiled
+    python -m repro explain examples/two_faults.hs
+    python -m repro bench  --experiments E1b,E13
     python -m repro fuzz   --iterations 500 --seed 0 --format json
     python -m repro fuzz   --replay tests/fuzz/corpus/regressions.jsonl
 """
@@ -26,6 +31,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -186,6 +192,88 @@ def _build_parser() -> argparse.ArgumentParser:
         default="ast",
         choices=["ast", "compiled"],
         help="machine backend (docs/PERFORMANCE.md)",
+    )
+    pro.add_argument(
+        "--attribution",
+        action="store_true",
+        help="aggregate machine cost per source span",
+    )
+    pro.add_argument(
+        "--flame",
+        default=None,
+        metavar="OUT.folded",
+        help="write folded stacks (steps per span stack) for "
+        "flamegraph viewers; implies --attribution",
+    )
+
+    ex = sub.add_parser(
+        "explain",
+        help="provenance for every member of an exception set",
+        description=(
+            "Denote FILE to its full exception set, then observe it "
+            "under several strategies with provenance recording on.  "
+            "Prints, per member, the raise site (source span), an "
+            "abbreviated force chain, and the strategy that surfaced "
+            "it; members no sampled strategy surfaced are listed with "
+            "their denotational introduction site instead "
+            "(docs/OBSERVABILITY.md, 'Provenance & attribution')."
+        ),
+    )
+    ex.add_argument("file", help="file containing an expression or module")
+    ex.add_argument("--entry", default="main",
+                    help="entry binding when FILE is a module")
+    ex.add_argument("--fuel", type=int, default=2_000_000)
+    ex.add_argument("--denote-fuel", type=int, default=200_000)
+    ex.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        help="number of shuffled strategies to sample besides "
+        "left-to-right and right-to-left",
+    )
+    ex.add_argument(
+        "--backend",
+        default="ast",
+        choices=["ast", "compiled"],
+        help="machine backend (docs/PERFORMANCE.md)",
+    )
+
+    be = sub.add_parser(
+        "bench",
+        help="re-run claim benchmarks, diff against checked-in seeds",
+        description=(
+            "Run the E1/E1b/E2/E13 benchmark files into a fresh "
+            "records directory, compare the BENCH_*.json rows against "
+            "benchmarks/records/, and exit 1 when a deterministic "
+            "metric regressed by more than 20%% (wall-clock fields "
+            "are reported but not gated)."
+        ),
+    )
+    be.add_argument(
+        "--experiments",
+        default="",
+        help="comma-separated subset (e.g. E1b,E13); default all",
+    )
+    be.add_argument(
+        "--seed-dir",
+        default=None,
+        help="seed records directory (default benchmarks/records)",
+    )
+    be.add_argument(
+        "--records",
+        default=None,
+        metavar="DIR",
+        help="compare an existing records directory instead of "
+        "re-running the benchmarks",
+    )
+    be.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh the seed records from this run instead of "
+        "comparing",
+    )
+    be.add_argument(
+        "--format", default="table", choices=["table", "json"]
     )
 
     opt = sub.add_parser("optimise", help="apply an optimisation level")
@@ -371,12 +459,103 @@ def _cmd_profile(args) -> int:
         trace=args.trace,
         deep=args.deep,
         backend=args.backend,
+        attribution=args.attribution,
+        flame=args.flame,
     )
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.to_table())
     return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.explain import explain_source
+
+    with open(args.file) as handle:
+        source = handle.read()
+    report = explain_source(
+        source,
+        entry=args.entry,
+        fuel=args.fuel,
+        denote_fuel=args.denote_fuel,
+        shuffle_seeds=args.seeds,
+        backend=args.backend,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import shutil
+    import tempfile
+
+    from repro.benchcompare import (
+        DEFAULT_SEED_DIR,
+        compare_records,
+        load_records,
+        run_benchmarks,
+    )
+
+    experiments = [
+        e.strip() for e in args.experiments.split(",") if e.strip()
+    ] or None
+    seed_dir = args.seed_dir or DEFAULT_SEED_DIR
+
+    scratch: Optional[str] = None
+    try:
+        if args.records is not None:
+            fresh_dir = args.records
+        else:
+            scratch = tempfile.mkdtemp(prefix="repro-bench-")
+            status = run_benchmarks(scratch, experiments)
+            if status != 0:
+                print(
+                    f"error: benchmark run failed (pytest exit {status})",
+                    file=sys.stderr,
+                )
+                return status
+            fresh_dir = scratch
+        fresh = load_records(fresh_dir)
+        if not fresh:
+            print(
+                f"error: no BENCH_*.json records in {fresh_dir}",
+                file=sys.stderr,
+            )
+            return 1
+
+        if args.update:
+            os.makedirs(seed_dir, exist_ok=True)
+            for name in sorted(os.listdir(fresh_dir)):
+                if name.startswith("BENCH_") and name.endswith(".json"):
+                    shutil.copyfile(
+                        os.path.join(fresh_dir, name),
+                        os.path.join(seed_dir, name),
+                    )
+                    print(f"updated {os.path.join(seed_dir, name)}")
+            return 0
+
+        seed = load_records(seed_dir)
+        if experiments is not None:
+            seed = {k: v for k, v in seed.items() if k in experiments}
+            fresh = {k: v for k, v in fresh.items() if k in experiments}
+        if not seed:
+            print(
+                f"error: no seed records in {seed_dir} "
+                "(run `repro bench --update` to create them)",
+                file=sys.stderr,
+            )
+            return 1
+        comparison = compare_records(seed, fresh)
+        if args.format == "json":
+            print(json.dumps(comparison.as_dict(), indent=2))
+        else:
+            print(comparison.table())
+        return 0 if comparison.ok else 1
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
 
 
 def _cmd_optimise(args) -> int:
@@ -497,6 +676,8 @@ _COMMANDS = {
     "law": _cmd_law,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "explain": _cmd_explain,
+    "bench": _cmd_bench,
     "optimise": _cmd_optimise,
     "typecheck": _cmd_typecheck,
     "fuzz": _cmd_fuzz,

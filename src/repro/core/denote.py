@@ -116,6 +116,14 @@ class DenoteContext:
     set-width histogram) and ``case-exception-mode-enter`` events
     (Section 4.3).  It must never influence the computed denotation —
     tracing a decoration, not an effect.
+
+    ``provenance`` is an optional
+    :class:`repro.obs.provenance.ExcOrigins` table: when attached,
+    each Exc-introduction site notes the source span that created the
+    member, so ``repro explain`` can show where every member of the
+    *full* denoted set comes from.  Like the sink it is pure metadata —
+    one ``is not None`` check per introduction site, nothing on the
+    propagation paths.
     """
 
     fuel: int = 200_000
@@ -126,6 +134,7 @@ class DenoteContext:
     max_depth: int = 25_000
     depth: int = 0
     sink: Optional[TraceSink] = None
+    provenance: Optional[object] = None
 
     def __post_init__(self) -> None:
         # Creating a context is the universal entry point to the
@@ -287,6 +296,8 @@ def _denote_case(expr: Case, env: Env, ctx: DenoteContext) -> SemVal:
                 else:
                     inner = env
                 return denote(alt.body, inner, ctx)
+        if ctx.provenance is not None:
+            ctx.provenance.note(PATTERN_MATCH_FAIL, expr.span)
         return Bad(ExcSet.of(PATTERN_MATCH_FAIL))
     # Exceptional scrutinee.
     assert isinstance(scrut, Bad)
@@ -322,7 +333,9 @@ def _flat_pattern_vars(pattern: Pattern) -> Tuple[str, ...]:
 # raise
 
 
-def exc_from_conval(value: SemVal, ctx: DenoteContext) -> SemVal:
+def exc_from_conval(
+    value: SemVal, ctx: DenoteContext, span=None
+) -> SemVal:
     """Convert an ``Exception``-typed denotation into a ``Bad``.
 
     ``raise``'s rule (Section 4.2): an exceptional argument propagates
@@ -330,7 +343,11 @@ def exc_from_conval(value: SemVal, ctx: DenoteContext) -> SemVal:
     ``Bad {C}``.  We force ``UserError``'s message eagerly (the paper
     "neglects the String argument to UserError"; forcing keeps the
     exception printable and is the choice GHC later made for
-    ``ErrorCall``)."""
+    ``ErrorCall``).
+
+    ``span`` is the introducing expression's source span: only fresh
+    conversions (``C -> Bad {C}``) note an origin — the propagation
+    path introduces nothing."""
     if isinstance(value, Bad):
         return value
     assert isinstance(value, Ok)
@@ -342,7 +359,10 @@ def exc_from_conval(value: SemVal, ctx: DenoteContext) -> SemVal:
         if isinstance(msg_val, Bad):
             return msg_val
         assert isinstance(msg_val, Ok)
-        return Bad(ExcSet.of(user_error(str(msg_val.value))))
+        exc = user_error(str(msg_val.value))
+        if ctx.provenance is not None:
+            ctx.provenance.note(exc, span)
+        return Bad(ExcSet.of(exc))
     synchronous = con.name not in (
         "NonTermination",
         "ControlC",
@@ -350,11 +370,14 @@ def exc_from_conval(value: SemVal, ctx: DenoteContext) -> SemVal:
         "StackOverflow",
         "HeapOverflow",
     )
-    return Bad(ExcSet.of(Exc(con.name, synchronous=synchronous)))
+    exc = Exc(con.name, synchronous=synchronous)
+    if ctx.provenance is not None:
+        ctx.provenance.note(exc, span)
+    return Bad(ExcSet.of(exc))
 
 
 def _denote_raise(expr: Raise, env: Env, ctx: DenoteContext) -> SemVal:
-    return exc_from_conval(denote(expr.exc, env, ctx), ctx)
+    return exc_from_conval(denote(expr.exc, env, ctx), ctx, expr.span)
 
 
 def conval_from_exc(exc: Exc) -> ConVal:
@@ -503,7 +526,10 @@ def _denote_prim(expr: PrimOp, env: Env, ctx: DenoteContext) -> SemVal:
         a, b = unwrapped
         if not isinstance(a, int) or not isinstance(b, int):
             raise InternalError(f"{op} applied to non-integers")
-        return _arith(op, a, b)
+        result = _arith(op, a, b)
+        if ctx.provenance is not None and isinstance(result, Bad):
+            ctx.provenance.note_set(result.excs, expr.span)
+        return result
     if op in ("uadd", "usub", "umul", "udiv", "umod"):
         a, b = unwrapped
         if not isinstance(a, int) or not isinstance(b, int):
@@ -528,6 +554,8 @@ def _denote_prim(expr: PrimOp, env: Env, ctx: DenoteContext) -> SemVal:
         if not isinstance(a, int):
             raise InternalError("negate applied to a non-integer")
         if not (INT_MIN < -a < INT_MAX):
+            if ctx.provenance is not None:
+                ctx.provenance.note(OVERFLOW, expr.span)
             return Bad(ExcSet.of(OVERFLOW))
         return Ok(-a)
     if op in _COMPARE:
@@ -552,6 +580,8 @@ def _denote_prim(expr: PrimOp, env: Env, ctx: DenoteContext) -> SemVal:
         code = unwrapped[0]
         assert isinstance(code, int)
         if not (0 <= code < 0x110000):
+            if ctx.provenance is not None:
+                ctx.provenance.note(OVERFLOW, expr.span)
             return Bad(ExcSet.of(OVERFLOW))
         return Ok(chr(code))
     raise InternalError(f"unknown primitive {op!r}")
@@ -590,7 +620,7 @@ def _denote_map_exception(
     mapped = EMPTY_SET
     for member in excs.finite_members():
         image = fun.apply(Thunk.ready(Ok(conval_from_exc(member))))
-        image_exc = exc_from_conval(image, ctx)
+        image_exc = exc_from_conval(image, ctx, expr.span)
         assert isinstance(image_exc, Bad)
         mapped = mapped | image_exc.excs
     return mk_bad(mapped)

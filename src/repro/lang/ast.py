@@ -29,6 +29,58 @@ from typing import Optional, Tuple, Union
 LitValue = Union[int, str, bool]
 
 
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region, ``line:col`` to ``end_line:end_col``.
+
+    Lines and columns are 1-based, as the lexer reports them.  Spans
+    are *metadata*: every AST node carries an optional span in a
+    ``compare=False`` field, so structural equality, hashing and all
+    oracle verdicts are exactly what they were before spans existed
+    (see docs/OBSERVABILITY.md, "Provenance & attribution").
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+
+    def __str__(self) -> str:
+        if self.line == self.end_line:
+            return f"{self.line}:{self.col}-{self.end_col}"
+        return f"{self.line}:{self.col}-{self.end_line}:{self.end_col}"
+
+
+def with_span(node, span: Optional["Span"]):
+    """Stamp ``span`` onto a freshly built node (first stamp wins).
+
+    Nodes are frozen dataclasses whose ``span`` field is excluded from
+    comparison and hashing, so stamping never changes identity-relevant
+    state; ``object.__setattr__`` is the sanctioned escape hatch.
+    Never call this on a node shared between expressions.
+    """
+    if span is not None and node.span is None:
+        object.__setattr__(node, "span", span)
+    return node
+
+
+def copy_span(node, template):
+    """Propagate ``template``'s span onto a rebuilt node, if it has one
+    and the new node does not.  Used by the passes that reconstruct the
+    tree (saturation, pattern flattening, substitution) so provenance
+    survives desugaring."""
+    if node is not template:
+        span = template.span
+        if span is not None and node.span is None:
+            object.__setattr__(node, "span", span)
+    return node
+
+
+def span_of(node) -> Optional["Span"]:
+    """The source span of an AST node (or code object), if known."""
+    return getattr(node, "span", None)
+
+
 class Expr:
     """Base class for all expression nodes."""
 
@@ -40,6 +92,7 @@ class Var(Expr):
     """A variable occurrence, e.g. ``x``."""
 
     name: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return f"Var({self.name!r})"
@@ -57,6 +110,7 @@ class Lit(Expr):
 
     value: LitValue
     kind: str = "int"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.kind not in ("int", "char", "string"):
@@ -75,6 +129,7 @@ class Lam(Expr):
 
     var: str
     body: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -83,6 +138,7 @@ class App(Expr):
 
     fn: Expr
     arg: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -99,6 +155,7 @@ class Con(Expr):
     name: str
     args: Tuple[Expr, ...] = ()
     arity: int = 0
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 class Pattern:
@@ -112,11 +169,14 @@ class PVar(Pattern):
     """A variable pattern, binds the scrutinee component."""
 
     name: str
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class PWild(Pattern):
     """The wildcard pattern ``_``."""
+
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -125,6 +185,7 @@ class PLit(Pattern):
 
     value: LitValue
     kind: str = "int"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -133,6 +194,7 @@ class PCon(Pattern):
 
     name: str
     args: Tuple[Pattern, ...] = ()
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -141,6 +203,7 @@ class Alt:
 
     pattern: Pattern
     body: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -154,6 +217,7 @@ class Case(Expr):
 
     scrutinee: Expr
     alts: Tuple[Alt, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -162,6 +226,7 @@ class Raise(Expr):
     of any type (Section 3.1)."""
 
     exc: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -177,6 +242,7 @@ class PrimOp(Expr):
 
     op: str
     args: Tuple[Expr, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -184,6 +250,7 @@ class Fix(Expr):
     """``fix e`` — the least fixed point of ``e`` (Section 4.2)."""
 
     fn: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -198,6 +265,7 @@ class Let(Expr):
 
     binds: Tuple[Tuple[str, Expr], ...]
     body: Expr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,7 @@ from repro.lang.ast import (
     PWild,
     Raise,
     Var,
+    copy_span,
 )
 from repro.lang.names import NameSupply, bound_vars, free_vars, substitute
 from repro.lang.parser import BUILTIN_CON_ARITY
@@ -91,7 +92,12 @@ def _is_flat(pattern: Pattern) -> bool:
     return False
 
 
-_FAIL = Raise(Con("PatternMatchFail", (), 0))
+def _fail() -> Expr:
+    # A fresh node per use: fall-through raises may later be stamped
+    # with the span of the case they belong to, so they must never be
+    # shared between expressions (let alone globally).
+    return Raise(Con("PatternMatchFail", (), 0))
+
 
 _Row = Tuple[List[Pattern], Expr]
 
@@ -115,7 +121,7 @@ class _MatchCompiler:
             var = self.supply.fresh("scrut")
             wrap = lambda e, v=var, s=scrut: Let(((v, s),), e)  # noqa: E731
         rows: List[_Row] = [([alt.pattern], alt.body) for alt in alts]
-        return wrap(self.match([var], rows, _FAIL))
+        return wrap(self.match([var], rows, _fail()))
 
     def match(
         self, vars_: List[str], rows: List[_Row], default: Expr
@@ -242,6 +248,12 @@ def flatten_case_patterns(
 
 
 def _flatten(expr: Expr, compiler: _MatchCompiler) -> Expr:
+    # Flattening rebuilds the tree; each rebuilt node inherits the span
+    # of the node it replaces so raise provenance survives desugaring.
+    return copy_span(_flatten_node(expr, compiler), expr)
+
+
+def _flatten_node(expr: Expr, compiler: _MatchCompiler) -> Expr:
     if isinstance(expr, (Var, Lit)):
         return expr
     if isinstance(expr, Lam):
@@ -257,7 +269,7 @@ def _flatten(expr: Expr, compiler: _MatchCompiler) -> Expr:
     if isinstance(expr, Case):
         scrut = _flatten(expr.scrutinee, compiler)
         alts = tuple(
-            Alt(alt.pattern, _flatten(alt.body, compiler))
+            copy_span(Alt(alt.pattern, _flatten(alt.body, compiler)), alt)
             for alt in expr.alts
         )
         if all(_is_flat(alt.pattern) for alt in alts):

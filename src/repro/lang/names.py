@@ -27,6 +27,7 @@ from repro.lang.ast import (
     PVar,
     Raise,
     Var,
+    copy_span,
     pattern_vars,
 )
 
@@ -157,6 +158,17 @@ def substitute(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
 
 
 def _subst(
+    expr: Expr,
+    mapping: Dict[str, Expr],
+    capture_risk: Set[str],
+    supply: NameSupply,
+) -> Expr:
+    # Rebuilt nodes keep the span of the node they replace; replacements
+    # that already carry a span keep their own.
+    return copy_span(_subst_node(expr, mapping, capture_risk, supply), expr)
+
+
+def _subst_node(
     expr: Expr,
     mapping: Dict[str, Expr],
     capture_risk: Set[str],

@@ -43,10 +43,13 @@ from repro.lang.ast import (
     PVar,
     PWild,
     Raise,
+    Span,
     Var,
     app_chain,
+    copy_span,
     lam_chain,
     pattern_vars,
+    with_span,
 )
 from repro.lang.lexer import lex
 from repro.lang.names import NameSupply, free_vars
@@ -525,7 +528,10 @@ class _Parser:
         ):
             return Case(
                 scrut,
-                tuple(Alt(pat, guards[0][1]) for pat, guards in raw),
+                tuple(
+                    with_span(Alt(pat, guards[0][1]), pat.span)
+                    for pat, guards in raw
+                ),
             )
         # Guarded alternatives: bind the scrutinee once and compile a
         # fall-through chain (a guard failure tries the NEXT alt).
@@ -849,6 +855,63 @@ class _Parser:
         raise ParseError("expected a pattern", ts.peek())
 
 
+# ----------------------------------------------------------------------
+# Source-span stamping
+#
+# Rather than thread positions through every production by hand, the
+# node-producing parser methods are wrapped: each records the token at
+# which it started and, if the node it returns has no span yet, stamps
+# the region up to the last consumed token.  Inner productions run
+# first, so a node keeps the *tightest* span that describes it; outer
+# wrappers only stamp nodes that inner calls built fresh (operator
+# applications, sugar expansions).  Spans live in compare=False fields,
+# so this changes no equality, hashing, or oracle behaviour.
+
+
+def _token_end_col(tok: Token) -> int:
+    width = len(str(tok.value))
+    if tok.kind in ("STRING", "CHAR"):
+        width += 2  # the surrounding quotes
+    return tok.col + max(width, 1)
+
+
+def _spanned(method):
+    def wrapper(self, *args, **kwargs):
+        ts = self.ts
+        start_pos = ts.pos
+        start = ts.peek()
+        node = method(self, *args, **kwargs)
+        if node.span is None:
+            end_idx = ts.pos - 1
+            end = ts.tokens[end_idx] if end_idx >= start_pos else start
+            object.__setattr__(
+                node,
+                "span",
+                Span(start.line, start.col, end.line, _token_end_col(end)),
+            )
+        return node
+
+    wrapper.__name__ = method.__name__
+    wrapper.__qualname__ = method.__qualname__
+    return wrapper
+
+
+for _name in (
+    "parse_expr",
+    "_op_expr",
+    "_operand",
+    "_atom",
+    "_let_expr",
+    "_case_expr",
+    "_do_expr",
+    "_pattern",
+    "_bpattern",
+    "_apattern",
+):
+    setattr(_Parser, _name, _spanned(getattr(_Parser, _name)))
+del _name
+
+
 def _prim_reference(name: str) -> Expr:
     """Eta-expand a primitive used in non-applied position."""
     info = PRIM_TABLE[name]
@@ -905,6 +968,14 @@ def _lookup_arity(name: str, arities: Dict[str, int]) -> int:
 
 
 def _saturate(expr: Expr, arities: Dict[str, int], supply: NameSupply) -> Expr:
+    # Saturation rebuilds nodes; keep each rebuilt node anchored to the
+    # source region of the node it replaces.
+    return copy_span(_saturate_node(expr, arities, supply), expr)
+
+
+def _saturate_node(
+    expr: Expr, arities: Dict[str, int], supply: NameSupply
+) -> Expr:
     if isinstance(expr, (Var, Lit)):
         return expr
     if isinstance(expr, App):
@@ -956,7 +1027,10 @@ def _saturate(expr: Expr, arities: Dict[str, int], supply: NameSupply) -> Expr:
         return Case(
             _saturate(expr.scrutinee, arities, supply),
             tuple(
-                Alt(alt.pattern, _saturate(alt.body, arities, supply))
+                copy_span(
+                    Alt(alt.pattern, _saturate(alt.body, arities, supply)),
+                    alt,
+                )
                 for alt in expr.alts
             ),
         )

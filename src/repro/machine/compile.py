@@ -224,6 +224,16 @@ class _Compiler:
         return names, tuple(scope[n] for n in names)
 
     def compile(self, expr: Expr, scope: Dict[str, int]) -> Code:
+        code = self._compile_node(expr, scope)
+        # Generated code objects carry their AST node's source span as
+        # a function attribute: `Cell.force` reads `expr.span` off the
+        # cell's payload for FORCE events and provenance chains, and
+        # the payload here is the code object, not the AST node.  This
+        # is what makes span attribution backend-invariant.
+        code.span = expr.span
+        return code
+
+    def _compile_node(self, expr: Expr, scope: Dict[str, int]) -> Code:
         if isinstance(expr, Var):
             return self._compile_var(expr.name, scope)
         if isinstance(expr, Lit):
@@ -419,6 +429,7 @@ class _Compiler:
         alt_codes = tuple(
             self._compile_alt(alt, scope) for alt in expr.alts
         )
+        span = expr.span
 
         def case_code(m, f):
             st = m.stats
@@ -435,8 +446,11 @@ class _Compiler:
                     return res
             st.raises += 1
             if m._tracing:
-                m.sink.emit(RAISE, exc=PATTERN_MATCH_FAIL.name)
-            raise ObjRaise(PATTERN_MATCH_FAIL)
+                m.sink.emit(RAISE, exc=PATTERN_MATCH_FAIL.name, span=span)
+            err = ObjRaise(PATTERN_MATCH_FAIL)
+            if m._prov is not None:
+                m._prov.annotate(err, span, st)
+            raise err
 
         return case_code
 
@@ -540,6 +554,7 @@ class _Compiler:
 
     def _compile_raise(self, expr: Raise, scope: Dict[str, int]) -> Code:
         exc_code = self.compile(expr.exc, scope)
+        span = expr.span
 
         def raise_code(m, f):
             st = m.stats
@@ -550,8 +565,11 @@ class _Compiler:
             st.raises += 1
             exc = m.exc_of_value(value)
             if m._tracing:
-                m.sink.emit(RAISE, exc=exc.name)
-            raise ObjRaise(exc)
+                m.sink.emit(RAISE, exc=exc.name, span=span)
+            err = ObjRaise(exc)
+            if m._prov is not None:
+                m._prov.annotate(err, span, st)
+            raise err
 
         return raise_code
 
@@ -665,6 +683,8 @@ class _Compiler:
             fn_code = self.compile(expr.args[0], scope)
             arg_code = self.compile(expr.args[1], scope)
 
+            map_span = expr.span
+
             def map_exc_code(m, f):
                 st = m.stats
                 st.steps += 1
@@ -684,7 +704,10 @@ class _Compiler:
                         fn.code,
                         (Cell.ready(m.value_of_exc(err.exc)),) + fn.captures,
                     )
-                    raise ObjRaise(m.exc_of_value(mapped)) from None
+                    new_err = ObjRaise(m.exc_of_value(mapped))
+                    if m._prov is not None:
+                        m._prov.annotate(new_err, map_span, st)
+                    raise new_err from None
 
             return map_exc_code
 
@@ -696,6 +719,13 @@ class _Compiler:
         arg_codes = tuple(self.compile(a, scope) for a in expr.args)
         n = len(arg_codes)
         apply2 = _APPLY2.get(op) if n == 2 else None
+        prim_span = expr.span
+        # Provenance: primitive-raised exceptions (div-by-zero,
+        # overflow) originate as bare ObjRaise in the appliers; when a
+        # recorder is attached they get this PrimOp's span.  The
+        # try/except is free on the no-raise path (3.11 zero-cost
+        # exception tables), and the handler guards on the same
+        # precomputed `m._prov` the interpreter uses.
         if self.strategy.stateless:
             order = self.strategy.order(op, n)
             if apply2 is not None and order == (0, 1):
@@ -707,15 +737,20 @@ class _Compiler:
                     if m._tracing or m._events or st.steps > m.fuel:
                         m._tick_slow()
                     st.prim_ops += 1
-                    a = c0(m, f)
-                    while a.__class__ is tuple:
-                        c, fr = a
-                        a = c(m, fr)
-                    b = c1(m, f)
-                    while b.__class__ is tuple:
-                        c, fr = b
-                        b = c(m, fr)
-                    return apply2(a, b)
+                    try:
+                        a = c0(m, f)
+                        while a.__class__ is tuple:
+                            c, fr = a
+                            a = c(m, fr)
+                        b = c1(m, f)
+                        while b.__class__ is tuple:
+                            c, fr = b
+                            b = c(m, fr)
+                        return apply2(a, b)
+                    except ObjRaise as err:
+                        if m._prov is not None:
+                            m._prov.annotate(err, prim_span, m.stats)
+                        raise
 
                 return strict_lr
             if apply2 is not None and order == (1, 0):
@@ -727,15 +762,20 @@ class _Compiler:
                     if m._tracing or m._events or st.steps > m.fuel:
                         m._tick_slow()
                     st.prim_ops += 1
-                    b = c1(m, f)
-                    while b.__class__ is tuple:
-                        c, fr = b
-                        b = c(m, fr)
-                    a = c0(m, f)
-                    while a.__class__ is tuple:
-                        c, fr = a
-                        a = c(m, fr)
-                    return apply2(a, b)
+                    try:
+                        b = c1(m, f)
+                        while b.__class__ is tuple:
+                            c, fr = b
+                            b = c(m, fr)
+                        a = c0(m, f)
+                        while a.__class__ is tuple:
+                            c, fr = a
+                            a = c(m, fr)
+                        return apply2(a, b)
+                    except ObjRaise as err:
+                        if m._prov is not None:
+                            m._prov.annotate(err, prim_span, m.stats)
+                        raise
 
                 return strict_rl
 
@@ -745,10 +785,15 @@ class _Compiler:
                 if m._tracing or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.prim_ops += 1
-                values = [None] * n
-                for i in order:
-                    values[i] = _run(m, arg_codes[i], f)
-                return m._apply_prim(op, values)
+                try:
+                    values = [None] * n
+                    for i in order:
+                        values[i] = _run(m, arg_codes[i], f)
+                    return m._apply_prim(op, values)
+                except ObjRaise as err:
+                    if m._prov is not None:
+                        m._prov.annotate(err, prim_span, m.stats)
+                    raise
 
             return strict_static
 
@@ -758,10 +803,15 @@ class _Compiler:
             if m._tracing or m._events or st.steps > m.fuel:
                 m._tick_slow()
             st.prim_ops += 1
-            values = [None] * n
-            for i in m.strategy.order(op, n):
-                values[i] = _run(m, arg_codes[i], f)
-            return m._apply_prim(op, values)
+            try:
+                values = [None] * n
+                for i in m.strategy.order(op, n):
+                    values[i] = _run(m, arg_codes[i], f)
+                return m._apply_prim(op, values)
+            except ObjRaise as err:
+                if m._prov is not None:
+                    m._prov.annotate(err, prim_span, m.stats)
+                raise
 
         return strict_dynamic
 

@@ -231,6 +231,7 @@ class Machine:
         self._events = deque(sorted(event_plan.items())) if event_plan else deque()
         self.sink = sink
         self._tracing = is_live(sink)
+        self._prov = None
 
     # -- observability ----------------------------------------------------
 
@@ -238,6 +239,15 @@ class Machine:
         """Attach (or detach, with None/null) a trace sink."""
         self.sink = sink
         self._tracing = is_live(sink)
+
+    def attach_provenance(self, recorder) -> None:
+        """Attach (or detach, with None) a raise-provenance recorder
+        (:class:`repro.obs.provenance.ProvenanceRecorder`).
+
+        Same discipline as :meth:`attach_sink`: the raising sites guard
+        on one precomputed attribute (``self._prov``), so a machine
+        without a recorder runs the seed's instruction sequence."""
+        self._prov = recorder
 
     def reset_stats(self) -> StatsSnapshot:
         """Start a fresh observation on this machine: zero the
@@ -282,7 +292,12 @@ class Machine:
                 self.sink.emit(
                     ASYNC_INTERRUPT, exc=exc.name, at=self.stats.steps
                 )
-            raise AsyncInterrupt(exc)
+            err = AsyncInterrupt(exc)
+            if self._prov is not None:
+                # Async events have no raise *site*; the force chain
+                # still records where evaluation was interrupted.
+                self._prov.annotate(err, None, self.stats)
+            raise err
         if self.stats.steps > self.fuel:
             raise MachineDiverged(
                 f"fuel exhausted after {self.stats.steps} steps"
@@ -357,8 +372,15 @@ class Machine:
                 if matched is None:
                     self.stats.raises += 1
                     if self._tracing:
-                        self.sink.emit(RAISE, exc=PATTERN_MATCH_FAIL.name)
-                    raise ObjRaise(PATTERN_MATCH_FAIL)
+                        self.sink.emit(
+                            RAISE,
+                            exc=PATTERN_MATCH_FAIL.name,
+                            span=expr.span,
+                        )
+                    err = ObjRaise(PATTERN_MATCH_FAIL)
+                    if self._prov is not None:
+                        self._prov.annotate(err, expr.span, self.stats)
+                    raise err
                 body, bindings = matched
                 if bindings:
                     env = dict(env)
@@ -370,8 +392,11 @@ class Machine:
                 self.stats.raises += 1
                 exc = self.exc_of_value(value)
                 if self._tracing:
-                    self.sink.emit(RAISE, exc=exc.name)
-                raise ObjRaise(exc)
+                    self.sink.emit(RAISE, exc=exc.name, span=expr.span)
+                err = ObjRaise(exc)
+                if self._prov is not None:
+                    self._prov.annotate(err, expr.span, self.stats)
+                raise err
             if isinstance(expr, PrimOp):
                 return self._prim(expr, env)
             if isinstance(expr, Fix):
@@ -481,9 +506,21 @@ class Machine:
         # representative of the denoted set (Section 3.5).
         n = len(expr.args)
         values: List[Optional[Value]] = [None] * n
-        for idx in self.strategy.order(op, n):
-            values[idx] = self.eval(expr.args[idx], env)
-        return self._apply_prim(op, values)
+        if self._prov is None:
+            for idx in self.strategy.order(op, n):
+                values[idx] = self.eval(expr.args[idx], env)
+            return self._apply_prim(op, values)
+        # Recording path: primitive-raised exceptions (div-by-zero,
+        # overflow) originate as bare ObjRaise in _apply_prim/_arith —
+        # annotate them with this PrimOp's span.  Exceptions already
+        # annotated at a tighter site pass through unchanged.
+        try:
+            for idx in self.strategy.order(op, n):
+                values[idx] = self.eval(expr.args[idx], env)
+            return self._apply_prim(op, values)
+        except ObjRaise as err:
+            self._prov.annotate(err, expr.span, self.stats)
+            raise
 
     def _map_exception(self, expr: PrimOp, env: Env) -> Value:
         """``mapException f e``: force ``e``; apply ``f`` to the sole
@@ -499,7 +536,12 @@ class Machine:
             inner = dict(fn.env)
             inner[fn.var] = Cell.ready(self.value_of_exc(err.exc))
             mapped = self.eval(fn.body, inner)
-            raise ObjRaise(self.exc_of_value(mapped)) from None
+            new_err = ObjRaise(self.exc_of_value(mapped))
+            if self._prov is not None:
+                # The image exception is a *new* member: its site is
+                # the mapException application itself.
+                self._prov.annotate(new_err, expr.span, self.stats)
+            raise new_err from None
 
     def _apply_prim(self, op: str, values: List[Optional[Value]]) -> Value:
         if op in ("+", "-", "*", "div", "mod"):

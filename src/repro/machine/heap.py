@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.excset import Exc, NON_TERMINATION
-from repro.obs.events import BLACKHOLE_ENTER, FORCE
+from repro.obs.events import BLACKHOLE_ENTER, FORCE, FORCE_END
 
 if TYPE_CHECKING:
     from repro.machine.eval import Machine
@@ -23,7 +23,16 @@ if TYPE_CHECKING:
 
 
 class ObjRaise(Exception):
-    """An object-language exception in flight (the stack trim)."""
+    """An object-language exception in flight (the stack trim).
+
+    ``provenance`` is observability metadata (a
+    :class:`repro.obs.provenance.RaiseProvenance`), attached only when
+    a recorder is active; the class-level default keeps the common
+    constructor free of an extra store.  It travels with the Python
+    exception, never with the semantic :class:`Exc` value.
+    """
+
+    provenance = None
 
     def __init__(self, exc: Exc) -> None:
         super().__init__(str(exc))
@@ -39,6 +48,8 @@ class AsyncInterrupt(Exception):
     in-flight thunks to their unevaluated state, so evaluation can be
     retried later — the behavioural content of resumability.
     """
+
+    provenance = None
 
     def __init__(self, exc: Exc) -> None:
         super().__init__(str(exc))
@@ -95,7 +106,14 @@ class Cell:
             return self.value
         if state == _RAISE:
             assert self.exc is not None
-            raise ObjRaise(self.exc)
+            err = ObjRaise(self.exc)
+            # A raising cell's `value` slot is unused; it smuggles the
+            # original raise's provenance so a memoised re-raise still
+            # explains itself (re-evaluation never happens, §3.3, so
+            # the original record IS this raise's provenance).
+            if self.value is not None:
+                err.provenance = self.value
+            raise err
         if state == _BLACKHOLE:
             # Re-entering a thunk under evaluation: a loop.  Section 5.2
             # permits (but does not require) reporting NonTermination.
@@ -104,7 +122,12 @@ class Cell:
                     BLACKHOLE_ENTER, reported=machine.detect_blackholes
                 )
             if machine.detect_blackholes:
-                raise ObjRaise(NON_TERMINATION)
+                err = ObjRaise(NON_TERMINATION)
+                if machine._prov is not None:
+                    machine._prov.annotate(
+                        err, getattr(self.expr, "span", None), machine.stats
+                    )
+                raise err
             raise MachineDiverged("re-entered a black hole")
         expr, env = self.expr, self.env
         self.state = _BLACKHOLE
@@ -113,8 +136,15 @@ class Cell:
         stats.force_depth += 1
         if stats.force_depth > stats.max_force_depth:
             stats.max_force_depth = stats.force_depth
+        prov = machine._prov
         if machine._tracing:
-            machine.sink.emit(FORCE, depth=stats.force_depth)
+            machine.sink.emit(
+                FORCE,
+                depth=stats.force_depth,
+                span=getattr(expr, "span", None),
+            )
+        if prov is not None:
+            prov.stack.append(getattr(expr, "span", None))
         try:
             value = machine.eval(expr, env)
         except ObjRaise as err:
@@ -123,6 +153,7 @@ class Cell:
             self.exc = err.exc
             self.expr = None
             self.env = None
+            self.value = err.provenance
             raise
         except AsyncInterrupt:
             # Resumable continuation (Section 5.1): restore the thunk.
@@ -136,6 +167,10 @@ class Cell:
             self.env = env
             raise
         finally:
+            if prov is not None:
+                prov.stack.pop()
+            if machine._tracing:
+                machine.sink.emit(FORCE_END, depth=stats.force_depth)
             stats.force_depth -= 1
         self.state = _VALUE
         self.value = value

@@ -18,7 +18,7 @@ machine-generated programs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.core.excset import Exc
@@ -40,7 +40,19 @@ class Normal:
 
 @dataclass(frozen=True)
 class Exceptional:
+    """The machine hit ``exc`` first (the observed set member).
+
+    ``provenance`` is the raise's journey
+    (:class:`repro.obs.provenance.RaiseProvenance`), recorded only
+    under ``observe(..., provenance=True)``.  It is ``compare=False``:
+    two outcomes observing the same member are equal whether or not
+    either carries provenance, so oracle verdicts never see it.
+    """
+
     exc: Exc
+    provenance: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __str__(self) -> str:
         return f"Exceptional({self.exc})"
@@ -89,13 +101,23 @@ def observe(
     sink: Optional[TraceSink] = None,
     reset_stats: bool = True,
     backend: str = "ast",
+    provenance: bool = False,
 ) -> Outcome:
     """Run ``expr`` to WHNF (or, with ``deep=True``, to full normal
     form) and classify the outcome.  ``backend`` selects the evaluator
-    when no ``machine`` is passed (docs/PERFORMANCE.md)."""
+    when no ``machine`` is passed (docs/PERFORMANCE.md).
+
+    ``provenance=True`` attaches a raise-provenance recorder for this
+    observation (detached afterwards): an ``Exceptional`` outcome then
+    carries where its member was raised and the force chain that got
+    there (docs/OBSERVABILITY.md, "Provenance & attribution")."""
     machine = _prepare_machine(
         machine, strategy, fuel, sink, reset_stats, backend
     )
+    if provenance:
+        from repro.obs.provenance import ProvenanceRecorder
+
+        machine.attach_provenance(ProvenanceRecorder())
     try:
         # The evaluator never mutates the caller's env dict (App/Let
         # copy-on-extend; the compiled backend only reads it), so no
@@ -105,11 +127,14 @@ def observe(
             value = deep_force(value, machine)
         return Normal(value)
     except ObjRaise as err:
-        return Exceptional(err.exc)
+        return Exceptional(err.exc, provenance=err.provenance)
     except AsyncInterrupt as err:
-        return Exceptional(err.exc)
+        return Exceptional(err.exc, provenance=err.provenance)
     except MachineDiverged:
         return Diverged()
+    finally:
+        if provenance:
+            machine.attach_provenance(None)
 
 
 def observe_program(
@@ -123,10 +148,15 @@ def observe_program(
     sink: Optional[TraceSink] = None,
     reset_stats: bool = True,
     backend: str = "ast",
+    provenance: bool = False,
 ) -> Outcome:
     machine = _prepare_machine(
         machine, strategy, fuel, sink, reset_stats, backend
     )
+    if provenance:
+        from repro.obs.provenance import ProvenanceRecorder
+
+        machine.attach_provenance(ProvenanceRecorder())
     env = program_env(program, machine, base)
     cell = env.get(entry)
     if cell is None:
@@ -137,11 +167,14 @@ def observe_program(
             value = deep_force(value, machine)
         return Normal(value)
     except ObjRaise as err:
-        return Exceptional(err.exc)
+        return Exceptional(err.exc, provenance=err.provenance)
     except AsyncInterrupt as err:
-        return Exceptional(err.exc)
+        return Exceptional(err.exc, provenance=err.provenance)
     except MachineDiverged:
         return Diverged()
+    finally:
+        if provenance:
+            machine.attach_provenance(None)
 
 
 def deep_force(value: Value, machine: Machine) -> Value:

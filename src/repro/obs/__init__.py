@@ -20,6 +20,13 @@ Layout
     counting, JSONL-streaming and in-memory ring buffer (plus a tee).
 ``repro.obs.timers``
     Wall-clock per-phase timers that report through a sink.
+``repro.obs.provenance``
+    Raise provenance: per-member records of where an exception entered
+    the set (raise-site span, force chain, scheduling indices), carried
+    alongside — never inside — the semantic values.
+``repro.obs.attribution``
+    Span-level cost attribution: a sink charging steps/allocs/raises
+    to source spans, with folded-stack (flamegraph) output.
 ``repro.obs.profile``
     The ``repro profile`` engine: run an expression under a counting
     sink on either (or both) semantic layers and render a report.
@@ -27,6 +34,7 @@ Layout
     ``repro.obs`` importable from the evaluators without cycles.
 """
 
+from repro.obs.attribution import SpanProfiler
 from repro.obs.events import (
     ALLOC,
     ASYNC_INTERRUPT,
@@ -36,6 +44,7 @@ from repro.obs.events import (
     EVENT_TAXONOMY,
     EXCSET_JOIN,
     FORCE,
+    FORCE_END,
     FUEL_GRANT,
     IO_ACTION,
     MACHINE_EVENTS,
@@ -44,6 +53,12 @@ from repro.obs.events import (
     RAISE,
     STEP,
     EventSpec,
+)
+from repro.obs.provenance import (
+    ExcOrigins,
+    ProvenanceRecorder,
+    RaiseProvenance,
+    format_provenance,
 )
 from repro.obs.sinks import (
     NULL_SINK,
@@ -68,7 +83,9 @@ __all__ = [
     "EVENT_TAXONOMY",
     "EXCSET_JOIN",
     "EventSpec",
+    "ExcOrigins",
     "FORCE",
+    "FORCE_END",
     "FUEL_GRANT",
     "IO_ACTION",
     "JsonlSink",
@@ -78,11 +95,15 @@ __all__ = [
     "PHASE_END",
     "PHASE_START",
     "PhaseTimer",
+    "ProvenanceRecorder",
     "RAISE",
+    "RaiseProvenance",
     "RingBufferSink",
     "STEP",
+    "SpanProfiler",
     "TeeSink",
     "TraceSink",
+    "format_provenance",
     "is_live",
     "read_trace",
 ]

@@ -1,0 +1,123 @@
+"""Span-level cost attribution: who is paying for what.
+
+A :class:`SpanProfiler` is an ordinary :class:`~repro.obs.sinks.TraceSink`
+— attach it like any other — that reconstructs the machine's *force
+stack* from the paired ``force``/``force-end`` events (each carrying
+the forced expression's source span) and charges every ``step``,
+``alloc`` and ``raise`` to the span on top of that stack.  Work done
+outside any thunk (the initial demand on the root expression) is
+charged to the synthetic root frame ``<top>``.
+
+Because it is driven purely by the event stream, and the two machine
+backends emit byte-identical streams (docs/PERFORMANCE.md), attribution
+is automatically backend-independent — the parity tests in
+``tests/machine/test_backends.py`` lock this in.
+
+Two outputs:
+
+* ``totals`` — per-span aggregates (steps/allocs/forces/raises), the
+  table ``repro profile`` prints;
+* ``folded`` — steps per *stack of spans*, in the folded-stacks format
+  Brendan Gregg's ``flamegraph.pl`` (and every compatible viewer)
+  consumes: one line per distinct stack, frames separated by ``;``,
+  the sample count (here: machine steps) last.  ``repro profile
+  --flame out.folded`` writes it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.events import ALLOC, FORCE, FORCE_END, RAISE, STEP
+
+#: The synthetic frame charged for work outside any in-flight force.
+ROOT = "<top>"
+
+#: The frame label for a forced expression that carries no source span
+#: (synthesised nodes, prelude internals compiled before spans existed).
+NO_SPAN = "<no-span>"
+
+_COUNTER_KEYS = ("steps", "allocs", "forces", "raises")
+
+
+class SpanProfiler:
+    """Aggregate machine cost per source span (a trace sink).
+
+    ``totals`` maps a span label (``str(Span)``, or :data:`NO_SPAN`,
+    or :data:`ROOT`) to its counter dict; ``folded`` maps a stack of
+    labels — root first — to the number of machine steps sampled with
+    exactly that stack in flight.
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, Dict[str, int]] = {}
+        self.folded: Dict[Tuple[str, ...], int] = {}
+        self._stack: List[str] = []
+
+    # -- sink protocol --------------------------------------------------
+
+    def emit(self, name: str, **fields: Any) -> None:
+        if name == STEP:
+            stack = self._stack
+            label = stack[-1] if stack else ROOT
+            self._bump(label, "steps")
+            key = (ROOT, *stack)
+            self.folded[key] = self.folded.get(key, 0) + 1
+        elif name == FORCE:
+            span = fields.get("span")
+            label = str(span) if span is not None else NO_SPAN
+            self._stack.append(label)
+            self._bump(label, "forces")
+        elif name == FORCE_END:
+            if self._stack:
+                self._stack.pop()
+        elif name == ALLOC:
+            stack = self._stack
+            self._bump(stack[-1] if stack else ROOT, "allocs")
+        elif name == RAISE:
+            # A raise is charged to its own site when known; otherwise
+            # to the frame it unwound from.
+            span = fields.get("span")
+            if span is not None:
+                label = str(span)
+            else:
+                label = self._stack[-1] if self._stack else ROOT
+            self._bump(label, "raises")
+
+    def close(self) -> None:
+        pass
+
+    # -- outputs --------------------------------------------------------
+
+    def _bump(self, label: str, key: str) -> None:
+        counters = self.totals.get(label)
+        if counters is None:
+            counters = dict.fromkeys(_COUNTER_KEYS, 0)
+            self.totals[label] = counters
+        counters[key] += 1
+
+    def folded_lines(self) -> List[str]:
+        """The folded-stacks rendering, deterministically ordered."""
+        return [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.folded.items())
+        ]
+
+    def table_rows(self) -> List[Tuple[str, Dict[str, int]]]:
+        """Per-span totals, hottest (most steps) first; ties break on
+        the label so output is deterministic."""
+        return sorted(
+            self.totals.items(), key=lambda kv: (-kv[1]["steps"], kv[0])
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "totals": {
+                label: dict(counters)
+                for label, counters in sorted(self.totals.items())
+            },
+            "folded": {
+                ";".join(stack): count
+                for stack, count in sorted(self.folded.items())
+            },
+        }

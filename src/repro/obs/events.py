@@ -30,8 +30,16 @@ ALLOC = "alloc"
 
 #: A thunk entered for evaluation (cache misses only — a memoised
 #: re-read emits nothing, exactly as it costs nothing).  Payload:
-#: ``depth`` (the nesting depth of in-flight forces, after entry).
+#: ``depth`` (the nesting depth of in-flight forces, after entry),
+#: ``span`` (the source span of the thunk's expression, or None).
 FORCE = "force"
+
+#: The matching exit for :data:`FORCE`: the thunk's evaluation finished
+#: (value, memoised raise, or unwound exception).  Emitted in a
+#: ``finally``, so every ``force`` has exactly one ``force-end``; span
+#: attribution uses the pair to maintain its force stack.  Payload:
+#: ``depth`` (the nesting depth being exited).
+FORCE_END = "force-end"
 
 #: A thunk under evaluation was re-entered (Section 5.2's detectable
 #: bottom).  Payload: ``reported`` — True when the machine converts it
@@ -39,7 +47,8 @@ FORCE = "force"
 BLACKHOLE_ENTER = "blackhole-enter"
 
 #: ``raise`` trimmed the stack (an explicit ``raise`` or a pattern
-#: match failure).  Payload: ``exc`` (the exception's name).
+#: match failure).  Payload: ``exc`` (the exception's name), ``span``
+#: (the raise site's source span, or None when unknown).
 RAISE = "raise"
 
 #: An asynchronous event (Section 5.1) fired from the event plan.
@@ -91,14 +100,27 @@ EVENT_TAXONOMY: Mapping[str, EventSpec] = {
     for spec in (
         EventSpec(STEP, "machine", ("n",), "one evaluator step"),
         EventSpec(ALLOC, "machine", ("kind",), "one heap-cell allocation"),
-        EventSpec(FORCE, "machine", ("depth",), "thunk entered (cache miss)"),
+        EventSpec(
+            FORCE,
+            "machine",
+            ("depth", "span"),
+            "thunk entered (cache miss)",
+        ),
+        EventSpec(
+            FORCE_END,
+            "machine",
+            ("depth",),
+            "thunk evaluation finished (value or raise)",
+        ),
         EventSpec(
             BLACKHOLE_ENTER,
             "machine",
             ("reported",),
             "thunk re-entered while under evaluation (§5.2)",
         ),
-        EventSpec(RAISE, "machine", ("exc",), "raise trimmed the stack"),
+        EventSpec(
+            RAISE, "machine", ("exc", "span"), "raise trimmed the stack"
+        ),
         EventSpec(
             ASYNC_INTERRUPT,
             "machine",

@@ -17,6 +17,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.obs.attribution import SpanProfiler
 from repro.obs.events import (
     CASE_EXCEPTION_MODE_ENTER,
     EXCSET_JOIN,
@@ -25,6 +26,10 @@ from repro.obs.sinks import CountingSink, JsonlSink, TeeSink, TraceSink
 
 LAYERS = ("machine", "denote", "both")
 
+#: How many spans the table rendering shows before eliding; the JSON
+#: form and the folded-stack file always carry everything.
+_TABLE_SPAN_LIMIT = 15
+
 
 @dataclass
 class ProfileReport:
@@ -32,6 +37,7 @@ class ProfileReport:
 
     source: str
     layer: str
+    backend: str = "ast"  # which machine evaluator produced the numbers
     outcome: Optional[str] = None  # machine observation, rendered
     denotation: Optional[str] = None  # denoted SemVal, rendered
     machine_stats: Optional[Dict[str, int]] = None
@@ -40,11 +46,14 @@ class ProfileReport:
     set_width_histogram: Dict[int, int] = field(default_factory=dict)
     phases: Dict[str, float] = field(default_factory=dict)
     trace_path: Optional[str] = None
+    span_totals: Optional[Dict[str, Dict[str, int]]] = None
+    flame_path: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
             "source": self.source,
             "layer": self.layer,
+            "backend": self.backend,
             "events": dict(sorted(self.events.items())),
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
         }
@@ -63,13 +72,24 @@ class ProfileReport:
             }
         if self.trace_path is not None:
             data["trace_path"] = self.trace_path
+        if self.span_totals is not None:
+            data["span_totals"] = {
+                label: dict(counters)
+                for label, counters in sorted(self.span_totals.items())
+            }
+        if self.flame_path is not None:
+            data["flame_path"] = self.flame_path
         return data
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2)
 
     def to_table(self) -> str:
-        lines = [f"profile  {self.source}", f"layer    {self.layer}"]
+        lines = [
+            f"profile  {self.source}",
+            f"layer    {self.layer}",
+            f"backend  {self.backend}",
+        ]
 
         def section(title: str, rows: Dict[str, Any]) -> None:
             if not rows:
@@ -99,10 +119,32 @@ class ProfileReport:
                     for w, n in sorted(self.set_width_histogram.items())
                 },
             )
+        if self.span_totals:
+            hottest = sorted(
+                self.span_totals.items(),
+                key=lambda kv: (-kv[1]["steps"], kv[0]),
+            )
+            rows = {
+                label: (
+                    f"steps={c['steps']} allocs={c['allocs']} "
+                    f"forces={c['forces']} raises={c['raises']}"
+                )
+                for label, c in hottest[:_TABLE_SPAN_LIMIT]
+            }
+            section("span attribution (hottest first)", rows)
+            elided = len(hottest) - _TABLE_SPAN_LIMIT
+            if elided > 0:
+                lines.append(
+                    f"  ... {elided} more spans (use --format json "
+                    "for all)"
+                )
         section("phases (seconds)", self.phases)
         if self.trace_path is not None:
             lines.append("")
             lines.append(f"trace written to {self.trace_path}")
+        if self.flame_path is not None:
+            lines.append("")
+            lines.append(f"folded stacks written to {self.flame_path}")
         return "\n".join(lines)
 
 
@@ -115,11 +157,18 @@ def profile_source(
     trace: Optional[str] = None,
     deep: bool = False,
     backend: str = "ast",
+    attribution: bool = False,
+    flame: Optional[str] = None,
 ) -> ProfileReport:
     """Profile ``source`` (prelude in scope) on the requested layer(s).
 
     ``backend`` selects the machine evaluator (ast or compiled); both
-    emit the same counters and events (docs/PERFORMANCE.md)."""
+    emit the same counters and events (docs/PERFORMANCE.md).
+
+    ``attribution=True`` additionally aggregates machine cost per
+    source span (a :class:`SpanProfiler` joins the sink tee);
+    ``flame=PATH`` implies it and writes the folded-stacks file that
+    flamegraph viewers consume."""
     # Imports are local: repro.obs must stay importable from the
     # evaluator modules without a cycle through the high-level API.
     from repro.api import compile_expr
@@ -134,12 +183,21 @@ def profile_source(
 
     counting = CountingSink()
     jsonl: Optional[JsonlSink] = None
-    sink: TraceSink = counting
+    spans: Optional[SpanProfiler] = None
+    members: list = [counting]
     if trace is not None:
         jsonl = JsonlSink(trace)
-        sink = TeeSink(counting, jsonl)
+        members.append(jsonl)
+    if attribution or flame is not None:
+        spans = SpanProfiler()
+        members.append(spans)
+    sink: TraceSink = (
+        counting if len(members) == 1 else TeeSink(*members)
+    )
 
-    report = ProfileReport(source=source, layer=layer, trace_path=trace)
+    report = ProfileReport(
+        source=source, layer=layer, backend=backend, trace_path=trace
+    )
     timer = PhaseTimer(sink)
     try:
         with timer.phase("parse"):
@@ -187,6 +245,16 @@ def profile_source(
             counting.width_histograms.get(EXCSET_JOIN, {})
         )
         report.phases = timer.as_dict()
+        if spans is not None:
+            report.span_totals = {
+                label: dict(counters)
+                for label, counters in spans.totals.items()
+            }
+            if flame is not None:
+                with open(flame, "w", encoding="utf-8") as fh:
+                    for line in spans.folded_lines():
+                        fh.write(line + "\n")
+                report.flame_path = flame
     finally:
         if jsonl is not None:
             jsonl.close()

@@ -1,0 +1,178 @@
+"""Raise provenance: *where* each member of an exception set came from.
+
+The paper's semantics deliberately forgets raise sites: an exceptional
+value denotes a *set* of exceptions, and which member ``observe``
+reports is a scheduling accident (§3, §4.4).  That forgetting is the
+right semantics — but a terrible debugging experience.  This module
+records, purely as observability metadata, the journey of each raise:
+
+* the **source span** of the raise site (threaded from lexer tokens
+  through the parser, flattener and closure lowering);
+* the **force chain** — the spans of the thunks being forced when the
+  raise fired, i.e. an abbreviated lazy "stack trace";
+* the **force depth** and the **decision index** (how many strategy-
+  ordered primitive evaluations had happened), which together identify
+  the scheduling decision that made this member the observed one.
+
+The record travels *alongside* the semantic value — on the Python
+exception object (``ObjRaise.provenance``) and in a ``compare=False``
+field of ``Exceptional`` — never inside it.  ``Exc`` and ``ExcSet``
+equality, the ordering lattice, and every oracle verdict are untouched
+(tests/machine/test_provenance.py locks this in).
+
+Cost contract (docs/OBSERVABILITY.md): recording is off by default and
+gated on one precomputed ``machine._prov is None`` check per site —
+the same pay-as-you-go discipline as the trace sinks (E1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: How many innermost force-chain entries a record keeps.  Provenance
+#: is a debugging aid, not a full stack dump; the innermost frames are
+#: the ones that identify the raise.
+CHAIN_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class RaiseProvenance:
+    """The recorded journey of one raise.
+
+    ``exc_name`` names the exception (``Exc.name``); ``span`` is the
+    raise site's source span (None when the raising expression was
+    synthesised without one); ``chain`` holds the spans of the
+    enclosing in-flight forces, innermost last, truncated to
+    :data:`CHAIN_LIMIT`; ``force_depth`` and ``decision_index`` place
+    the raise in the machine's schedule (nesting depth of forces, and
+    the prim-op counter at raise time — the strategy's "decision
+    clock").
+    """
+
+    exc_name: str
+    span: Optional[object] = None
+    chain: Tuple[object, ...] = ()
+    force_depth: int = 0
+    decision_index: int = 0
+
+    def describe(self) -> str:
+        """One human line: ``DivideByZero raised at 1:2-11``."""
+        site = str(self.span) if self.span is not None else "<unknown>"
+        return f"{self.exc_name} raised at {site}"
+
+    def describe_chain(self) -> List[str]:
+        """The abbreviated force chain, outermost first, one line per
+        frame (empty when the raise happened outside any force)."""
+        return [f"forced from {span}" for span in self.chain]
+
+
+class ProvenanceRecorder:
+    """Collects :class:`RaiseProvenance` records during one machine run.
+
+    The machine holds at most one recorder (``attach_provenance``); the
+    raising sites consult ``machine._prov`` — a single attribute read
+    against None — so a machine without a recorder pays nothing beyond
+    that check, and the fast paths don't even do that (the E1b
+    contract).
+
+    ``stack`` mirrors the spans of in-flight forces (pushed/popped by
+    ``Cell.force``); ``records`` accumulates every record built, most
+    recent last, for post-run inspection.
+    """
+
+    __slots__ = ("stack", "records")
+
+    def __init__(self) -> None:
+        self.stack: List[object] = []
+        self.records: List[RaiseProvenance] = []
+
+    def make(self, exc, span, stats) -> RaiseProvenance:
+        """Build (and retain) a record for ``exc`` raised at ``span``."""
+        record = RaiseProvenance(
+            exc_name=exc.name,
+            span=span,
+            chain=tuple(s for s in self.stack[-CHAIN_LIMIT:] if s is not None),
+            force_depth=stats.force_depth,
+            decision_index=stats.prim_ops,
+        )
+        self.records.append(record)
+        return record
+
+    def annotate(self, err, span, stats):
+        """Attach provenance to an in-flight ``ObjRaise``-style error,
+        unless one is already attached (the innermost site wins)."""
+        if err.provenance is None:
+            err.provenance = self.make(err.exc, span, stats)
+        return err
+
+
+class ExcOrigins:
+    """Denote-side origin table: which source span *introduced* each
+    member of a denoted exception set.
+
+    The denotational evaluator computes the whole set at once, so there
+    is no single "raise in flight" to annotate; instead each
+    Exc-introduction site (``raise``, checked arithmetic, pattern-match
+    failure, ``mapException`` images) notes the member it creates.  The
+    first site to introduce a member wins — later *propagation* of the
+    same member through unions never rebinds it, matching the
+    machine-side innermost-wins rule.
+
+    Attach one to ``DenoteContext.provenance``; origins never influence
+    the computed denotation (the table is keyed by the semantic ``Exc``
+    values but lives entirely outside them).
+    """
+
+    __slots__ = ("origins",)
+
+    def __init__(self) -> None:
+        self.origins = {}
+
+    def note(self, exc, span) -> None:
+        """Record ``span`` as the introduction site of ``exc`` (first
+        introduction wins; spanless sites record nothing)."""
+        if span is not None and exc not in self.origins:
+            self.origins[exc] = span
+
+    def note_set(self, excs, span) -> None:
+        """Note every explicit member of an :class:`ExcSet` (infinite
+        tails have no per-member origin to record)."""
+        if span is not None:
+            for exc in excs.finite_members():
+                if exc not in self.origins:
+                    self.origins[exc] = span
+
+    def origin_of(self, exc):
+        """The recorded introduction span, or None."""
+        return self.origins.get(exc)
+
+    def describe(self, exc) -> str:
+        """One human line: ``Overflow introduced at 2:3-9``."""
+        span = self.origins.get(exc)
+        site = str(span) if span is not None else "<unknown>"
+        return f"{exc.name} introduced at {site}"
+
+
+def format_provenance(
+    exc, record: Optional[RaiseProvenance], indent: str = "  "
+) -> List[str]:
+    """Render one observed member with its provenance as text lines.
+
+    Used by ``repro explain``; tolerates a missing record (exceptions
+    can enter a set through paths that carry no provenance, e.g. a
+    memoised raise from a pre-provenance run).  The head line uses
+    ``str(exc)`` so ``UserError``'s message is shown, where the record
+    itself only keeps the constructor name.
+    """
+    if record is None:
+        return [f"{exc}: <no provenance recorded>"]
+    site = str(record.span) if record.span is not None else "<unknown>"
+    lines = [f"{exc} raised at {site}"]
+    chain = record.describe_chain()
+    lines.extend(indent + entry for entry in chain)
+    lines.append(
+        f"{indent}(force depth {record.force_depth}, "
+        f"decision index {record.decision_index})"
+    )
+    return lines

@@ -65,8 +65,16 @@ def is_live(sink: Optional["TraceSink"]) -> bool:
 
     The evaluators consult this once, at construction/attachment time,
     and compile the answer into a single boolean guard on the hot path.
+    A :class:`TeeSink` whose members were all dropped as not-live is
+    itself not live — fanning out to nobody is attaching nothing, so
+    it must cost nothing (the same structural-zero rule as the null
+    sink).
     """
-    return sink is not None and not isinstance(sink, NullSink)
+    if sink is None or isinstance(sink, NullSink):
+        return False
+    if isinstance(sink, TeeSink) and not sink.sinks:
+        return False
+    return True
 
 
 class CountingSink:

@@ -1,0 +1,124 @@
+"""Source spans: stamped by the parser, preserved by every rewrite,
+invisible to equality.
+
+The provenance layer (docs/OBSERVABILITY.md, "Provenance &
+attribution") depends on three properties tested here:
+
+1. the parser stamps every node it produces with a tight span;
+2. saturation, pattern flattening and substitution copy spans onto the
+   nodes they rebuild;
+3. spans are metadata — ``compare=False`` — so expression equality,
+   hashing (exprs are dict keys in the transform layer) and the
+   pretty-printer are untouched.
+"""
+
+from repro.api import compile_expr
+from repro.lang.ast import (
+    Case,
+    Con,
+    Lam,
+    Lit,
+    PrimOp,
+    Raise,
+    Span,
+    span_of,
+    with_span,
+)
+from repro.lang.parser import parse_expr
+
+
+class TestSpanBasics:
+    def test_span_renders_single_line(self):
+        assert str(Span(1, 2, 1, 11)) == "1:2-11"
+
+    def test_span_renders_multi_line(self):
+        assert str(Span(1, 2, 3, 4)) == "1:2-3:4"
+
+    def test_with_span_first_stamp_wins(self):
+        node = Lit(1)
+        with_span(node, Span(1, 1, 1, 2))
+        with_span(node, Span(9, 9, 9, 10))
+        assert span_of(node) == Span(1, 1, 1, 2)
+
+    def test_spans_do_not_affect_equality_or_hash(self):
+        a = with_span(PrimOp("+", (Lit(1), Lit(2))), Span(1, 1, 1, 6))
+        b = PrimOp("+", (Lit(1), Lit(2)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert {a: "x"}[b] == "x"
+
+    def test_spans_stay_out_of_repr(self):
+        a = with_span(Lit(1), Span(1, 1, 1, 2))
+        assert "Span" not in repr(a)
+
+
+class TestParserStamping:
+    def test_whole_expression_span(self):
+        expr = parse_expr("1 + 2")
+        assert span_of(expr) == Span(1, 1, 1, 6)
+
+    def test_operand_spans_are_tight(self):
+        expr = parse_expr("(1 `div` 0) + foo")
+        # The right operand `foo` spans its own token only.
+        assert isinstance(expr, PrimOp)
+        assert span_of(expr.args[1]) == Span(1, 15, 1, 18)
+
+    def test_parenthesised_subexpression(self):
+        expr = parse_expr("(1 `div` 0) + foo")
+        left = expr.args[0]
+        assert span_of(left) == Span(1, 2, 1, 11)
+
+    def test_multiline_spans(self):
+        expr = parse_expr("1 +\n  2")
+        assert span_of(expr) == Span(1, 1, 2, 4)
+
+    def test_case_alternatives_carry_spans(self):
+        expr = parse_expr(
+            "case b of { True -> 1; False -> 2 }",
+            con_arities={"True": 0, "False": 0},
+        )
+        assert isinstance(expr, Case)
+        for alt in expr.alts:
+            assert span_of(alt) is not None
+            assert span_of(alt.body) is not None
+
+    def test_patterns_carry_spans(self):
+        expr = parse_expr(
+            "case x of { Just y -> y }", con_arities={"Just": 1}
+        )
+        assert isinstance(expr, Case)
+        assert span_of(expr.alts[0].pattern) is not None
+
+    def test_lambda_and_let(self):
+        expr = parse_expr("let { f = \\x -> x + 1 } in f 3")
+        assert span_of(expr) is not None
+        (name, rhs), = expr.binds
+        assert name == "f"
+        assert isinstance(rhs, Lam)
+        assert span_of(rhs) is not None
+
+
+class TestRewritePreservation:
+    def test_compile_expr_keeps_spans(self):
+        # Through parse -> saturate -> flatten.
+        expr = compile_expr("(1 `div` 0) + error \"boom\"")
+        assert isinstance(expr, PrimOp)
+        assert span_of(expr.args[0]) == Span(1, 2, 1, 11)
+
+    def test_flattened_case_keeps_alt_spans(self):
+        expr = compile_expr(
+            "case xs of { Cons y ys -> y; Nil -> 0 }"
+        )
+        assert isinstance(expr, Case)
+        for alt in expr.alts:
+            assert span_of(alt.body) is not None
+
+    def test_saturated_constructor_keeps_span(self):
+        expr = compile_expr("Just 1")
+        assert isinstance(expr, Con)
+        assert span_of(expr) == Span(1, 1, 1, 7)
+
+    def test_raise_site_span_survives_compilation(self):
+        expr = compile_expr("raise DivideByZero")
+        assert isinstance(expr, Raise)
+        assert span_of(expr) == Span(1, 1, 1, 19)

@@ -77,3 +77,56 @@ class TestRendering:
     def test_report_is_plain_dataclass(self):
         report = ProfileReport(source="x", layer="machine")
         assert report.as_dict()["source"] == "x"
+
+
+class TestCompiledBackendProfile:
+    """``repro profile --backend compiled``: the report names its
+    backend and reports exactly the AST walker's numbers."""
+
+    SOURCE = (
+        "let { fib = \\n -> if n < 2 then n "
+        "else fib (n - 1) + fib (n - 2) } in fib 9"
+    )
+
+    def test_report_names_its_backend(self):
+        ast = profile_source(self.SOURCE, backend="ast")
+        compiled = profile_source(self.SOURCE, backend="compiled")
+        assert ast.backend == "ast"
+        assert compiled.backend == "compiled"
+        assert "backend  compiled" in compiled.to_table()
+        assert compiled.as_dict()["backend"] == "compiled"
+
+    def test_counters_match_ast_exactly(self):
+        ast = profile_source(self.SOURCE, backend="ast")
+        compiled = profile_source(self.SOURCE, backend="compiled")
+        assert ast.machine_stats == compiled.machine_stats
+        assert ast.events == compiled.events
+        assert ast.outcome == compiled.outcome
+
+    def test_attribution_matches_ast_exactly(self):
+        ast = profile_source(
+            self.SOURCE, backend="ast", attribution=True
+        )
+        compiled = profile_source(
+            self.SOURCE, backend="compiled", attribution=True
+        )
+        assert ast.span_totals == compiled.span_totals
+        assert ast.span_totals  # attribution actually ran
+
+    def test_flame_output_identical(self, tmp_path):
+        paths = {}
+        for backend in ("ast", "compiled"):
+            path = tmp_path / f"{backend}.folded"
+            report = profile_source(
+                self.SOURCE, backend=backend, flame=str(path)
+            )
+            assert report.flame_path == str(path)
+            paths[backend] = path.read_text()
+        assert paths["ast"] == paths["compiled"]
+        assert paths["ast"].strip(), "folded output is empty"
+
+    def test_attribution_off_by_default(self):
+        report = profile_source(self.SOURCE)
+        assert report.span_totals is None
+        assert report.flame_path is None
+        assert "span attribution" not in report.to_table()

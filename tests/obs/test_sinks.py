@@ -182,3 +182,101 @@ class TestPhaseTimer:
             with timer.phase("bad"):
                 raise RuntimeError("boom")
         assert "bad" in timer.durations
+
+
+class TestTeeLiveness:
+    """An all-dead tee is itself dead — fanning out to nobody must
+    cost nothing (the same structural-zero rule as the null sink)."""
+
+    def test_empty_tee_is_not_live(self):
+        assert not is_live(TeeSink())
+
+    def test_tee_of_only_dead_members_is_not_live(self):
+        assert not is_live(TeeSink(NullSink(), NULL_SINK))
+
+    def test_tee_with_one_live_member_is_live(self):
+        assert is_live(TeeSink(NullSink(), CountingSink()))
+
+    def test_dead_members_dropped_at_construction(self):
+        live = CountingSink()
+        tee = TeeSink(NullSink(), live, NULL_SINK)
+        assert tee.sinks == (live,)
+
+    def test_attach_sink_treats_dead_tee_as_nothing(self):
+        from repro.machine import Machine
+
+        machine = Machine()
+        machine.attach_sink(TeeSink(NullSink()))
+        assert machine._tracing is False
+        machine.attach_sink(TeeSink(CountingSink()))
+        assert machine._tracing is True
+
+    def test_dead_tee_does_not_perturb_machine(self):
+        from repro.api import compile_expr
+        from repro.machine import Machine
+        from repro.prelude.loader import machine_env
+
+        expr = compile_expr("sum [1, 2, 3]")
+        bare = Machine()
+        bare.eval(expr, machine_env(bare))
+        teed = Machine(sink=TeeSink(NullSink()))
+        teed.eval(expr, machine_env(teed))
+        assert bare.stats.steps == teed.stats.steps
+
+
+class TestRingBufferWrapAround:
+    def test_wrap_around_keeps_exactly_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for n in range(10):
+            sink.emit(STEP, n=n)
+        assert len(sink) == 3
+        assert [r["n"] for r in sink.events] == [7, 8, 9]
+
+    def test_below_capacity_keeps_everything(self):
+        sink = RingBufferSink(capacity=8)
+        for n in range(5):
+            sink.emit(STEP, n=n)
+        assert len(sink) == 5
+
+    def test_wrap_around_preserves_event_names(self):
+        sink = RingBufferSink(capacity=2)
+        sink.emit("alloc", kind="thunk")
+        sink.emit(STEP, n=1)
+        sink.emit("force", depth=1, span=None)
+        assert [r["event"] for r in sink.events] == [STEP, "force"]
+
+
+class TestWidthHistograms:
+    def test_histograms_are_keyed_by_event_name(self):
+        sink = CountingSink()
+        sink.emit(EXCSET_JOIN, site="prim", width=2, infinite=False)
+        sink.emit(EXCSET_JOIN, site="case", width=2, infinite=False)
+        sink.emit(EXCSET_JOIN, site="prim", width=3, infinite=False)
+        sink.emit("other-join", width=2)
+        assert sink.width_histograms[EXCSET_JOIN] == {2: 2, 3: 1}
+        assert sink.width_histograms["other-join"] == {2: 1}
+
+    def test_events_without_width_do_not_histogram(self):
+        sink = CountingSink()
+        sink.emit(STEP, n=1)
+        assert sink.width_histograms == {}
+
+
+class TestJsonlCloseEdgeCases:
+    def test_double_close_of_owned_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit(STEP, n=1)
+        sink.close()
+        sink.close()  # idempotent: second close is a no-op
+        sink.emit(STEP, n=2)  # silently dropped after close
+        assert len(read_trace(str(path))) == 1
+
+    def test_close_flushes_but_keeps_borrowed_handle_open(self):
+        handle = io.StringIO()
+        sink = JsonlSink(handle)
+        sink.emit(STEP, n=1)
+        sink.close()
+        sink.close()
+        assert not handle.closed
+        assert json.loads(handle.getvalue())["n"] == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the ``repro bench`` comparison engine."""
+
+import json
+
+from repro.benchcompare import (
+    DEFAULT_SEED_DIR,
+    EXPERIMENT_SOURCES,
+    compare_records,
+    load_records,
+)
+
+
+def _write(dir_path, experiment, rows):
+    path = dir_path / f"BENCH_{experiment}.json"
+    path.write_text(
+        json.dumps({"experiment": experiment, "rows": rows})
+    )
+
+
+class TestLoadRecords:
+    def test_loads_bench_files(self, tmp_path):
+        _write(tmp_path, "E1", [{"workload": "fib", "steps": 10}])
+        _write(tmp_path, "E2", [{"workload": "fib", "ratio": 2.0}])
+        (tmp_path / "unrelated.json").write_text("{}")
+        records = load_records(str(tmp_path))
+        assert set(records) == {"E1", "E2"}
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_records(str(tmp_path / "nope")) == {}
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        rows = {"E1": [{"workload": "fib", "steps": 100}]}
+        comparison = compare_records(rows, rows)
+        assert comparison.ok
+        assert not comparison.regressions
+        assert comparison.deltas[0].pct == 0.0
+
+    def test_regression_over_threshold_fails(self):
+        seed = {"E1": [{"workload": "fib", "steps": 100}]}
+        fresh = {"E1": [{"workload": "fib", "steps": 121}]}
+        comparison = compare_records(seed, fresh)
+        assert not comparison.ok
+        (delta,) = comparison.regressions
+        assert delta.metric == "steps"
+        assert delta.pct == 21.0
+
+    def test_within_threshold_passes(self):
+        seed = {"E1": [{"workload": "fib", "steps": 100}]}
+        fresh = {"E1": [{"workload": "fib", "steps": 119}]}
+        assert compare_records(seed, fresh).ok
+
+    def test_improvement_is_not_a_regression(self):
+        seed = {"E1": [{"workload": "fib", "steps": 100}]}
+        fresh = {"E1": [{"workload": "fib", "steps": 50}]}
+        assert compare_records(seed, fresh).ok
+
+    def test_wallclock_fields_never_gate(self):
+        seed = {
+            "E13": [
+                {"workload": "fib", "ast_seconds": 0.01, "speedup": 3.0}
+            ]
+        }
+        fresh = {
+            "E13": [
+                {"workload": "fib", "ast_seconds": 9.99, "speedup": 0.1}
+            ]
+        }
+        comparison = compare_records(seed, fresh)
+        assert comparison.ok
+        assert all(not d.gated for d in comparison.deltas)
+        assert "(not gated)" in comparison.table()
+
+    def test_zero_seed_turning_nonzero_is_infinite_regression(self):
+        seed = {"E1b": [{"workload": "fib", "overhead_pct": 0.0}]}
+        fresh = {"E1b": [{"workload": "fib", "overhead_pct": 0.5}]}
+        comparison = compare_records(seed, fresh)
+        assert not comparison.ok
+
+    def test_rows_matched_by_string_fields(self):
+        seed = {
+            "E2": [
+                {"workload": "fib", "axis": "steps", "native": 10},
+                {"workload": "fib", "axis": "code-size", "native": 5},
+            ]
+        }
+        fresh = {
+            "E2": [
+                {"workload": "fib", "axis": "code-size", "native": 5},
+                {"workload": "fib", "axis": "steps", "native": 10},
+            ]
+        }
+        assert compare_records(seed, fresh).ok
+
+    def test_missing_fresh_row_is_a_problem(self):
+        seed = {"E1": [{"workload": "fib", "steps": 10}]}
+        fresh = {"E1": []}
+        comparison = compare_records(seed, fresh)
+        assert not comparison.ok
+        assert any("missing" in p for p in comparison.problems)
+
+    def test_missing_experiment_is_a_problem(self):
+        comparison = compare_records(
+            {"E1": [{"workload": "fib", "steps": 10}]}, {}
+        )
+        assert not comparison.ok
+
+    def test_unseeded_experiment_is_a_problem(self):
+        comparison = compare_records(
+            {}, {"E99": [{"workload": "fib", "steps": 10}]}
+        )
+        assert not comparison.ok
+        assert any("E99" in p for p in comparison.problems)
+
+    def test_as_dict_is_json_serialisable(self):
+        seed = {"E1": [{"workload": "fib", "steps": 100}]}
+        fresh = {"E1": [{"workload": "fib", "steps": 130}]}
+        payload = json.loads(
+            json.dumps(compare_records(seed, fresh).as_dict())
+        )
+        assert payload["ok"] is False
+        assert payload["regressions"][0]["metric"] == "steps"
+
+
+class TestCheckedInSeeds:
+    """The seed records shipped in benchmarks/records/ stay coherent."""
+
+    def test_seeds_exist_for_every_gated_experiment(self):
+        records = load_records(DEFAULT_SEED_DIR)
+        assert set(records) == set(EXPERIMENT_SOURCES)
+
+    def test_seed_overhead_rows_are_zero(self):
+        records = load_records(DEFAULT_SEED_DIR)
+        for row in records["E1b"]:
+            assert row["overhead_pct"] == 0.0

@@ -294,3 +294,134 @@ class TestFuzz:
         )
         assert code == 0
         assert "0 mismatches" in out
+
+
+class TestExplain:
+    def test_distinct_raise_sites_per_member(self, capsys, tmp_path):
+        script = tmp_path / "two.hs"
+        script.write_text('main = (1 `div` 0) + error "boom"\n')
+        code, out, _ = run_cli(capsys, "explain", str(script))
+        assert code == 0
+        # Each member prints its own raise site, and they differ.
+        assert "DivideByZero raised at 1:9-18" in out
+        assert "UserError 'boom' raised at" in out
+        sites = {
+            line.rsplit("raised at ", 1)[1].split()[0]
+            for line in out.splitlines()
+            if "raised at" in line
+        }
+        assert len(sites) == 2
+        assert "observed:" in out
+
+    def test_expression_entry(self, capsys, tmp_path):
+        script = tmp_path / "expr.hs"
+        script.write_text("main = sum [1, 2 `div` 0, 3]\n")
+        code, out, _ = run_cli(capsys, "explain", str(script))
+        assert code == 0
+        assert "DivideByZero" in out
+
+    def test_normal_value_reported(self, capsys, tmp_path):
+        script = tmp_path / "ok.hs"
+        script.write_text("main = 1 + 2\n")
+        code, out, _ = run_cli(capsys, "explain", str(script))
+        assert code == 0
+        assert "no exception observed" in out
+
+    def test_compiled_backend(self, capsys, tmp_path):
+        script = tmp_path / "two.hs"
+        script.write_text('main = (1 `div` 0) + error "boom"\n')
+        code, out, _ = run_cli(
+            capsys, "explain", str(script), "--backend", "compiled"
+        )
+        assert code == 0
+        assert "DivideByZero" in out
+
+
+class TestProfileAttribution:
+    def test_attribution_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "sum [1, 2, 3]", "--attribution"
+        )
+        assert code == 0
+        assert "span attribution" in out
+
+    def test_flame_writes_folded_stacks(self, capsys, tmp_path):
+        path = str(tmp_path / "out.folded")
+        code, out, _ = run_cli(
+            capsys, "profile", "sum [1, 2, 3]", "--flame", path
+        )
+        assert code == 0
+        assert path in out
+        lines = (tmp_path / "out.folded").read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack.startswith("<top>")
+            assert int(count) > 0
+
+    def test_compiled_backend_named_in_report(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "1 + 2", "--backend", "compiled"
+        )
+        assert code == 0
+        assert "backend  compiled" in out
+
+
+class TestBench:
+    def test_compare_checked_in_seeds_against_themselves(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bench", "--records", "benchmarks/records"
+        )
+        assert code == 0
+        assert "0 regression(s)" in out
+
+    def test_regression_exits_one(self, capsys, tmp_path):
+        import json as _json
+
+        seed = _json.loads(
+            open("benchmarks/records/BENCH_E1.json").read()
+        )
+        for row in seed["rows"]:
+            for key, value in row.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    row[key] = value * 10 + 1
+        (tmp_path / "BENCH_E1.json").write_text(_json.dumps(seed))
+        code, out, _ = run_cli(
+            capsys,
+            "bench",
+            "--experiments",
+            "E1",
+            "--records",
+            str(tmp_path),
+        )
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_missing_seed_errors(self, capsys, tmp_path, monkeypatch):
+        code, _out, err = run_cli(
+            capsys,
+            "bench",
+            "--records",
+            "benchmarks/records",
+            "--seed-dir",
+            str(tmp_path),
+        )
+        assert code == 1
+        assert "--update" in err
+
+    def test_json_format(self, capsys):
+        import json as _json
+
+        code, out, _ = run_cli(
+            capsys,
+            "bench",
+            "--records",
+            "benchmarks/records",
+            "--format",
+            "json",
+        )
+        assert code == 0
+        data = _json.loads(out)
+        assert data["ok"] is True
