@@ -240,29 +240,8 @@ def compare_records(
     return comparison
 
 
-def run_benchmarks(
-    out_dir: str,
-    experiments: Optional[List[str]] = None,
-    repo_root: str = ".",
-) -> int:
-    """Run the claim benchmarks, recording into ``out_dir``.
-
-    Timing plugins are disabled (``--benchmark-disable``): the gate is
-    about the claim-shape assertions and the deterministic counters,
-    exactly as the CI perf-smoke job runs them.  Returns pytest's exit
-    status.
-    """
-    chosen = experiments or sorted(EXPERIMENT_SOURCES)
-    unknown = [e for e in chosen if e not in EXPERIMENT_SOURCES]
-    if unknown:
-        raise ValueError(
-            f"unknown experiment(s) {unknown}; "
-            f"choose from {sorted(EXPERIMENT_SOURCES)}"
-        )
-    files = [EXPERIMENT_SOURCES[e] for e in chosen]
-    env = dict(os.environ)
-    env["REPRO_BENCH_DIR"] = os.path.abspath(out_dir)
-    command = [
+def _pytest_command(files: List[str]) -> List[str]:
+    return [
         sys.executable,
         "-m",
         "pytest",
@@ -272,5 +251,71 @@ def run_benchmarks(
         "no:cacheprovider",
         *files,
     ]
-    completed = subprocess.run(command, cwd=repo_root, env=env)
-    return completed.returncode
+
+
+def run_benchmarks(
+    out_dir: str,
+    experiments: Optional[List[str]] = None,
+    repo_root: str = ".",
+    jobs: int = 1,
+) -> int:
+    """Run the claim benchmarks, recording into ``out_dir``.
+
+    Timing plugins are disabled (``--benchmark-disable``): the gate is
+    about the claim-shape assertions and the deterministic counters,
+    exactly as the CI perf-smoke job runs them.  Returns pytest's exit
+    status (the worst one, when running in parallel).
+
+    ``jobs`` > 1 runs up to that many experiments concurrently, one
+    pytest subprocess per benchmark file (``jobs=0`` means one worker
+    per experiment).  This is safe because each file records a
+    distinct ``BENCH_<experiment>.json`` into the shared ``out_dir``,
+    and correct because the counters being recorded are deterministic
+    per process — a parallel run must produce byte-identical records
+    to a serial one.  Worker output is buffered and replayed in
+    experiment order, so the console transcript is deterministic too.
+    """
+    chosen = experiments or sorted(EXPERIMENT_SOURCES)
+    unknown = [e for e in chosen if e not in EXPERIMENT_SOURCES]
+    if unknown:
+        raise ValueError(
+            f"unknown experiment(s) {unknown}; "
+            f"choose from {sorted(EXPERIMENT_SOURCES)}"
+        )
+    env = dict(os.environ)
+    env["REPRO_BENCH_DIR"] = os.path.abspath(out_dir)
+
+    if jobs == 0:
+        jobs = len(chosen)
+    if jobs <= 1 or len(chosen) <= 1:
+        completed = subprocess.run(
+            _pytest_command([EXPERIMENT_SOURCES[e] for e in chosen]),
+            cwd=repo_root,
+            env=env,
+        )
+        return completed.returncode
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    def run_one(experiment: str) -> "subprocess.CompletedProcess[bytes]":
+        return subprocess.run(
+            _pytest_command([EXPERIMENT_SOURCES[experiment]]),
+            cwd=repo_root,
+            env=env,
+            capture_output=True,
+        )
+
+    with ThreadPoolExecutor(max_workers=min(jobs, len(chosen))) as pool:
+        completed_runs = list(pool.map(run_one, chosen))
+
+    status = 0
+    for experiment, completed in zip(chosen, completed_runs):
+        sys.stdout.write(f"[{experiment}] ")
+        sys.stdout.flush()
+        sys.stdout.buffer.write(completed.stdout)
+        sys.stdout.flush()
+        if completed.returncode != 0:
+            sys.stderr.buffer.write(completed.stderr)
+            sys.stderr.flush()
+            status = max(status, completed.returncode)
+    return status

@@ -1,0 +1,54 @@
+"""Chaos engineering for the evaluators (Section 5.1, weaponised).
+
+The paper's treatment of asynchronous exceptions is an invariant in
+disguise: an interrupt may arrive at *any* step, and whenever it does,
+the observation must either be the uninterrupted outcome (evaluation
+won the race) or an exceptional outcome carrying the injected
+exception — never a corrupted value, never a hang, never a different
+exception invented by the implementation.  This package turns that
+invariant into an executable harness:
+
+``repro.chaos.faults``
+    Deterministic fault plans: seeded schedules of interrupts,
+    allocation failures and artificial latency, consulted by the
+    machine at step boundaries (``Machine.attach_fault_plan``) and
+    delivered through the same ``AsyncInterrupt`` path as the
+    Section 5.1 event plan.
+
+``repro.chaos.explore``
+    The interrupt-schedule explorer behind ``repro chaos``: evaluate a
+    program once uninterrupted, then once per delivery point with an
+    interrupt scheduled exactly there, asserting the soundness
+    property at every point — on both backends.  A planted-unsound
+    harness (``--self-test``) proves the checker can actually fail.
+"""
+
+from repro.chaos.faults import (
+    ALLOC_FAIL,
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    INTERRUPT,
+    InjectedFault,
+    LATENCY,
+)
+from repro.chaos.explore import (
+    SweepReport,
+    SweepViolation,
+    self_test,
+    sweep_source,
+)
+
+__all__ = [
+    "ALLOC_FAIL",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "INTERRUPT",
+    "InjectedFault",
+    "LATENCY",
+    "SweepReport",
+    "SweepViolation",
+    "self_test",
+    "sweep_source",
+]

@@ -1,0 +1,259 @@
+"""The interrupt-schedule explorer: Section 5.1 soundness, exhaustively.
+
+The paper's asynchronous-exception story makes a strong claim look
+casual: "the act of evaluating [an expression] can be interrupted by
+an asynchronous exception" — at *any* moment — and the semantics stays
+sound.  Concretely, for a pure evaluation that takes ``N`` steps
+uninterrupted, scheduling an interrupt at step ``k`` must yield
+
+* the uninterrupted outcome (evaluation finished before the interrupt
+  could be delivered — only possible for ``k > N``), or
+* an exceptional outcome whose observed member *is* the injected
+  exception (pure evaluation has no ``catchIO``, so the interrupt
+  cannot be converted into anything else).
+
+Anything else — a different exception, a corrupted value, a hang — is
+an implementation bug, exactly the class of bug partial-application of
+interrupt masking causes in real runtimes.  :func:`sweep_source` runs
+the whole schedule: a fresh machine per delivery point ``k`` in
+``[1, N]`` (optionally limited or evenly sampled), on either backend,
+and reports every violation.
+
+Because a checker that can never fail proves nothing, the explorer
+ships a planted-unsound harness: :func:`self_test` wraps observation
+so that one delivery point lies about its outcome, and asserts the
+sweep flags exactly that point.  ``repro chaos --self-test`` runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.excset import ASYNC_EXCEPTIONS, CONTROL_C, Exc, user_error
+from repro.machine.eval import Machine
+from repro.machine.observe import (
+    Diverged,
+    Exceptional,
+    Normal,
+    Outcome,
+    observe,
+    show_value,
+)
+
+#: Name -> exception, for the CLI's ``--exc`` flag.
+ASYNC_BY_NAME = {exc.name: exc for exc in ASYNC_EXCEPTIONS}
+
+
+@dataclass(frozen=True)
+class SweepViolation:
+    """One unsound delivery point: the step the interrupt was scheduled
+    at, what outcomes would have been sound, and what was observed."""
+
+    step: int
+    expected: str
+    observed: str
+
+
+@dataclass
+class SweepReport:
+    """The result of one interrupt-schedule sweep on one backend."""
+
+    source: str
+    backend: str
+    exc: str
+    baseline: str
+    baseline_steps: int
+    points_checked: int
+    violations: List[SweepViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "backend": self.backend,
+            "exc": self.exc,
+            "baseline": self.baseline,
+            "baseline_steps": self.baseline_steps,
+            "points_checked": self.points_checked,
+            "ok": self.ok,
+            "violations": [
+                {
+                    "step": v.step,
+                    "expected": v.expected,
+                    "observed": v.observed,
+                }
+                for v in self.violations
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos sweep [{self.backend}]: {self.source}",
+            f"  baseline: {self.baseline} in {self.baseline_steps} steps",
+            f"  injected {self.exc} at {self.points_checked} delivery "
+            f"points: "
+            + ("SOUND" if self.ok else f"{len(self.violations)} VIOLATIONS"),
+        ]
+        for v in self.violations[:20]:
+            lines.append(
+                f"    step {v.step}: expected {v.expected}, "
+                f"observed {v.observed}"
+            )
+        if len(self.violations) > 20:
+            lines.append(
+                f"    ... and {len(self.violations) - 20} more"
+            )
+        return "\n".join(lines)
+
+
+def _render_outcome(outcome: Outcome, machine: Machine) -> str:
+    """A stable textual form for cross-run comparison (outcomes from
+    different machines hold different heap cells, so structural
+    equality is useless here)."""
+    if isinstance(outcome, Normal):
+        try:
+            return f"Normal({show_value(outcome.value, machine)})"
+        except Exception:  # rendering forces; a lurking raise is fine
+            return "Normal(<unrenderable>)"
+    return str(outcome)
+
+
+def _run_once(
+    expr,
+    backend: str,
+    fuel: int,
+    event_plan: Optional[dict] = None,
+) -> Tuple[Outcome, Machine]:
+    from repro.prelude.loader import machine_env
+
+    machine = Machine(fuel=fuel, event_plan=event_plan, backend=backend)
+    env = machine_env(machine)
+    return observe(expr, env=env, machine=machine), machine
+
+
+def delivery_points(
+    total_steps: int,
+    limit: Optional[int] = None,
+    sample: Optional[int] = None,
+) -> List[int]:
+    """Which steps to schedule the interrupt at.  Default: every step
+    in ``[1, total_steps]``.  ``limit`` keeps only the first ``limit``
+    points; ``sample`` instead picks that many evenly spaced points
+    (always including step 1 and the final step — the edge cases)."""
+    if total_steps <= 0:
+        return []
+    if sample is not None and 0 < sample < total_steps:
+        if sample == 1:
+            return [1]
+        stride = (total_steps - 1) / (sample - 1)
+        points = {round(1 + i * stride) for i in range(sample)}
+        points.add(1)
+        points.add(total_steps)
+        return sorted(points)
+    points_range = range(1, total_steps + 1)
+    if limit is not None:
+        return list(points_range[:limit])
+    return list(points_range)
+
+
+def sweep_source(
+    source: str,
+    exc: Exc = CONTROL_C,
+    backend: str = "ast",
+    fuel: int = 2_000_000,
+    limit: Optional[int] = None,
+    sample: Optional[int] = None,
+    harness: Optional[Callable[[int, Outcome], Outcome]] = None,
+) -> SweepReport:
+    """Sweep an interrupt over every delivery point of ``source``.
+
+    ``harness`` post-processes each interrupted observation before the
+    soundness check — the hook the planted-unsound self-test uses to
+    simulate a broken evaluator.  Production sweeps leave it None.
+    """
+    from repro.api import compile_expr
+
+    expr = compile_expr(source)
+    base_outcome, base_machine = _run_once(expr, backend, fuel)
+    baseline_steps = base_machine.stats.steps
+    baseline = _render_outcome(base_outcome, base_machine)
+
+    expected = f"{baseline} or Exceptional({exc.name})"
+    report = SweepReport(
+        source=source,
+        backend=backend,
+        exc=exc.name,
+        baseline=baseline,
+        baseline_steps=baseline_steps,
+        points_checked=0,
+    )
+    for k in delivery_points(baseline_steps, limit=limit, sample=sample):
+        outcome, machine = _run_once(
+            expr, backend, fuel, event_plan={k: exc}
+        )
+        if harness is not None:
+            outcome = harness(k, outcome)
+        report.points_checked += 1
+        if isinstance(outcome, Exceptional) and outcome.exc == exc:
+            continue
+        observed = _render_outcome(outcome, machine)
+        if observed == baseline:
+            # Evaluation beat the interrupt to the finish line — sound,
+            # though for k <= N it cannot happen on a deterministic
+            # machine (the sweep would catch a backend that lets it).
+            continue
+        report.violations.append(
+            SweepViolation(step=k, expected=expected, observed=observed)
+        )
+    return report
+
+
+# -- the planted-unsound self-test -------------------------------------
+
+#: The obviously-wrong outcome the plant reports: a synchronous user
+#: exception no pure interrupt sweep could legitimately observe.
+_PLANT_EXC = user_error("chaos-plant")
+
+
+def plant_unsound(at_step: int) -> Callable[[int, Outcome], Outcome]:
+    """A harness that lies at exactly one delivery point, simulating an
+    evaluator that mangles an interrupt into a different exception."""
+
+    def harness(step: int, outcome: Outcome) -> Outcome:
+        if step == at_step:
+            return Exceptional(_PLANT_EXC)
+        return outcome
+
+    return harness
+
+
+def self_test(
+    backend: str = "ast",
+    source: str = "1 + 2 * 3",
+    fuel: int = 2_000_000,
+) -> Tuple[bool, SweepReport]:
+    """Prove the checker can fail: sweep a small program with a plant
+    at the middle delivery point and require the sweep to flag exactly
+    that point (and nothing else).  Returns ``(passed, report)`` where
+    ``passed`` means the plant *was* caught."""
+    from repro.api import compile_expr
+
+    expr = compile_expr(source)
+    _, machine = _run_once(expr, backend, fuel)
+    plant_at = max(1, machine.stats.steps // 2)
+    report = sweep_source(
+        source,
+        backend=backend,
+        fuel=fuel,
+        harness=plant_unsound(plant_at),
+    )
+    caught = (
+        len(report.violations) == 1
+        and report.violations[0].step == plant_at
+        and "chaos-plant" in report.violations[0].observed
+    )
+    return caught, report

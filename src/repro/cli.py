@@ -13,6 +13,8 @@ bench           re-run the claim benchmarks and diff against the seeds
 optimise EXPR   run an optimisation level and pretty-print the result
 typecheck FILE  infer and print the types of a module's bindings
 fuzz            differential fuzzing: cross-evaluator oracle + shrinker
+chaos EXPR      interrupt-schedule explorer: §5.1 soundness at every step
+serve           resilient evaluate-as-a-service HTTP daemon
 
 Examples
 --------
@@ -26,6 +28,8 @@ Examples
     python -m repro bench  --experiments E1b,E13
     python -m repro fuzz   --iterations 500 --seed 0 --format json
     python -m repro fuzz   --replay tests/fuzz/corpus/regressions.jsonl
+    python -m repro chaos  'fib 10' --backend both --sample 100
+    python -m repro serve  --port 8080 --max-concurrency 4
 """
 
 from __future__ import annotations
@@ -273,6 +277,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "comparing",
     )
     be.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments in parallel, one pytest "
+        "subprocess each (0 = one worker per experiment); records "
+        "and gate verdict are identical to a serial run",
+    )
+    be.add_argument(
         "--format", default="table", choices=["table", "json"]
     )
 
@@ -325,6 +338,87 @@ def _build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--format", default="table", choices=["table", "json"]
     )
+
+    ch = sub.add_parser(
+        "chaos",
+        help="interrupt-schedule explorer (§5.1 soundness)",
+        description=(
+            "Evaluate EXPR once uninterrupted, then once per delivery "
+            "point with an asynchronous exception scheduled exactly "
+            "there, asserting that every interrupted run observes "
+            "either the uninterrupted outcome or the injected "
+            "exception (docs/ROBUSTNESS.md).  --self-test instead "
+            "runs the sweep against a deliberately unsound harness "
+            "and requires the checker to catch it."
+        ),
+    )
+    ch.add_argument("expr", nargs="?", default=None,
+                    help="expression to sweep (or use --file)")
+    ch.add_argument("--file", default=None,
+                    help="read the expression from a file")
+    ch.add_argument(
+        "--exc",
+        default="ControlC",
+        choices=["ControlC", "Timeout", "StackOverflow", "HeapOverflow"],
+        help="the asynchronous exception to inject",
+    )
+    ch.add_argument(
+        "--backend",
+        default="both",
+        choices=["ast", "compiled", "both"],
+    )
+    ch.add_argument("--fuel", type=int, default=2_000_000)
+    ch.add_argument("--limit", type=int, default=None,
+                    help="check only the first N delivery points")
+    ch.add_argument("--sample", type=int, default=None,
+                    help="check N evenly spaced delivery points instead "
+                    "of all of them")
+    ch.add_argument("--self-test", action="store_true",
+                    help="verify the checker catches a planted-unsound "
+                    "harness")
+    ch.add_argument(
+        "--format", default="table", choices=["table", "json"]
+    )
+
+    sv = sub.add_parser(
+        "serve",
+        help="resilient evaluate-as-a-service HTTP daemon",
+        description=(
+            "Serve POST /eval (evaluate an expression under a "
+            "per-request resource governor) and GET /healthz (service "
+            "metrics) on a stdlib-only threaded HTTP server.  Every "
+            "request gets a fresh machine; deadlines and allocation "
+            "caps are delivered as the paper's Section 5.1 fictitious "
+            "exceptions (docs/ROBUSTNESS.md)."
+        ),
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8080)
+    sv.add_argument("--backend", default="ast",
+                    choices=["ast", "compiled"])
+    sv.add_argument("--max-steps", type=int, default=2_000_000,
+                    help="per-request step fuel")
+    sv.add_argument("--max-allocations", type=int, default=1_000_000,
+                    help="per-request allocation cap")
+    sv.add_argument("--deadline", type=float, default=5.0,
+                    help="per-request wall-clock deadline (seconds)")
+    sv.add_argument("--max-concurrency", type=int, default=4,
+                    help="requests evaluated concurrently")
+    sv.add_argument("--queue-depth", type=int, default=16,
+                    help="admission queue length beyond the "
+                    "concurrency limit")
+    sv.add_argument("--retries", type=int, default=0,
+                    help="retry budget for transiently failed "
+                    "evaluations")
+    sv.add_argument("--breaker-threshold", type=int, default=5,
+                    help="consecutive failures before the circuit "
+                    "breaker opens")
+    sv.add_argument("--breaker-reset", type=float, default=1.0,
+                    help="seconds the breaker stays open before "
+                    "half-opening")
+    sv.add_argument("--fault-seed", type=int, default=None,
+                    help="attach a seeded chaos fault plan to every "
+                    "request (testing)")
     return parser
 
 
@@ -509,7 +603,7 @@ def _cmd_bench(args) -> int:
             fresh_dir = args.records
         else:
             scratch = tempfile.mkdtemp(prefix="repro-bench-")
-            status = run_benchmarks(scratch, experiments)
+            status = run_benchmarks(scratch, experiments, jobs=args.jobs)
             if status != 0:
                 print(
                     f"error: benchmark run failed (pytest exit {status})",
@@ -669,6 +763,84 @@ def _cmd_fuzz(args) -> int:
     return 1 if summary.divergences else 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos.explore import ASYNC_BY_NAME, self_test, sweep_source
+
+    backends = (
+        ["ast", "compiled"] if args.backend == "both" else [args.backend]
+    )
+
+    if args.self_test:
+        all_caught = True
+        payload = []
+        for backend in backends:
+            caught, report = self_test(backend=backend)
+            all_caught = all_caught and caught
+            payload.append(
+                {"backend": backend, "caught": caught,
+                 "report": report.as_dict()}
+            )
+            if args.format != "json":
+                verdict = "caught" if caught else "MISSED"
+                print(
+                    f"self-test [{backend}]: planted-unsound harness "
+                    f"{verdict}"
+                )
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+        return 0 if all_caught else 1
+
+    if args.file is not None:
+        with open(args.file) as handle:
+            source = handle.read().strip()
+    elif args.expr is not None:
+        source = args.expr
+    else:
+        print("error: provide an expression or --file", file=sys.stderr)
+        return 2
+
+    exc = ASYNC_BY_NAME[args.exc]
+    ok = True
+    payload = []
+    for backend in backends:
+        report = sweep_source(
+            source,
+            exc=exc,
+            backend=backend,
+            fuel=args.fuel,
+            limit=args.limit,
+            sample=args.sample,
+        )
+        ok = ok and report.ok
+        payload.append(report.as_dict())
+        if args.format != "json":
+            print(report.render())
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    return 0 if ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.http import serve_forever
+
+    return serve_forever(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        max_steps=args.max_steps,
+        max_allocations=args.max_allocations,
+        deadline=args.deadline,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        fault_seed=args.fault_seed,
+    )
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "eval": _cmd_eval,
@@ -681,6 +853,8 @@ _COMMANDS = {
     "optimise": _cmd_optimise,
     "typecheck": _cmd_typecheck,
     "fuzz": _cmd_fuzz,
+    "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
 }
 
 

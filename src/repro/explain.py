@@ -18,10 +18,11 @@ Members the sampled strategies never surfaced are still listed — with
 their denotational introduction site — so the output covers the whole
 set, not just the schedules we happened to run.
 
-Spans are unit-local: an exception introduced inside prelude code
-(e.g. ``error``'s ``raise`` in the prelude source) carries a
-prelude-local span; the force chain disambiguates, showing the user
-spans that demanded it.
+Spans carry their compilation unit (:class:`repro.lang.ast.Span.unit`):
+an exception introduced inside prelude code (e.g. ``error``'s ``raise``
+in the prelude source) prints as ``prelude:23:13-20``, and the source
+registry (:mod:`repro.lang.units`) lets the report quote the prelude
+line itself alongside the user spans that demanded it.
 """
 
 from __future__ import annotations

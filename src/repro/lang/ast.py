@@ -38,17 +38,32 @@ class Span:
     ``compare=False`` field, so structural equality, hashing and all
     oracle verdicts are exactly what they were before spans existed
     (see docs/OBSERVABILITY.md, "Provenance & attribution").
+
+    ``unit`` names the compilation unit the coordinates refer to
+    (``"prelude"`` for prelude code; ``None`` for the user's own
+    input).  It renders as a prefix — ``prelude:23:13-20`` — so a
+    provenance chain mixing user and prelude frames is unambiguous,
+    and :mod:`repro.lang.units` can resolve the actual source text.
+    Like the coordinates' ``compare=False`` hosting fields, ``unit``
+    never participates in node equality; two spans with the same
+    coordinates compare equal regardless of unit, so nothing
+    identity-relevant changed when units were introduced.
     """
 
     line: int
     col: int
     end_line: int
     end_col: int
+    unit: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
+        prefix = f"{self.unit}:" if self.unit is not None else ""
         if self.line == self.end_line:
-            return f"{self.line}:{self.col}-{self.end_col}"
-        return f"{self.line}:{self.col}-{self.end_line}:{self.end_col}"
+            return f"{prefix}{self.line}:{self.col}-{self.end_col}"
+        return (
+            f"{prefix}{self.line}:{self.col}"
+            f"-{self.end_line}:{self.end_col}"
+        )
 
 
 def with_span(node, span: Optional["Span"]):

@@ -140,9 +140,15 @@ class _TokenStream:
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token]) -> None:
+    def __init__(
+        self, tokens: List[Token], unit: Optional[str] = None
+    ) -> None:
         self.ts = _TokenStream(tokens)
         self.supply = NameSupply()
+        # Compilation unit stamped into every span this parse builds
+        # (None for user input; "prelude" for the prelude, etc.) —
+        # see repro.lang.units.
+        self.unit = unit
 
     # ------------------------------------------------------------------
     # Programs
@@ -887,7 +893,13 @@ def _spanned(method):
             object.__setattr__(
                 node,
                 "span",
-                Span(start.line, start.col, end.line, _token_end_col(end)),
+                Span(
+                    start.line,
+                    start.col,
+                    end.line,
+                    _token_end_col(end),
+                    unit=self.unit,
+                ),
             )
         return node
 
@@ -1059,11 +1071,14 @@ def _saturate_node(
 
 
 def parse_expr(
-    source: str, con_arities: Optional[Dict[str, int]] = None
+    source: str,
+    con_arities: Optional[Dict[str, int]] = None,
+    unit: Optional[str] = None,
 ) -> Expr:
-    """Parse a single expression."""
+    """Parse a single expression.  ``unit`` names the compilation unit
+    stamped into spans (see :mod:`repro.lang.units`)."""
     tokens = lex(source, top_level=False)
-    parser = _Parser(tokens)
+    parser = _Parser(tokens, unit=unit)
     expr = parser.parse_expr()
     tok = parser.ts.peek()
     while tok.kind in ("VRBRACE", "VSEMI"):
@@ -1078,11 +1093,15 @@ def parse_expr(
 
 
 def parse_program(
-    source: str, con_arities: Optional[Dict[str, int]] = None
+    source: str,
+    con_arities: Optional[Dict[str, int]] = None,
+    unit: Optional[str] = None,
 ) -> Program:
-    """Parse a module: data declarations + top-level bindings."""
+    """Parse a module: data declarations + top-level bindings.
+    ``unit`` names the compilation unit stamped into spans (see
+    :mod:`repro.lang.units`)."""
     tokens = lex(source, top_level=True)
-    parser = _Parser(tokens)
+    parser = _Parser(tokens, unit=unit)
     program = parser.parse_program()
     arities = dict(BUILTIN_CON_ARITY)
     if con_arities:

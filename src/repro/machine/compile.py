@@ -31,8 +31,10 @@ re-implementations), the same strategy-ordered strict primitives
 stateless ones are baked at compile time), the same fuel/async-event
 ticks, and the same ``MachineStats`` counters and ``TraceSink`` event
 stream node for node.  "Tracing is free when off" survives: every
-generated code object guards emission with the machine's single
-pre-computed ``_tracing`` boolean, just like the interpreter.
+generated code object gates its slow path on the machine's single
+pre-computed ``_slow`` boolean (tracing, governor or fault plan
+attached) and guards emission with ``_tracing``, just like the
+interpreter.
 
 ``tests/machine/test_backends.py`` pins outcome + counter parity and
 ``benchmarks/bench_compiled.py`` (E13) records the speedup.
@@ -67,7 +69,7 @@ from repro.machine.eval import Machine, MachineError, _IO_TAGS
 from repro.machine.frames import CClosure
 from repro.machine.heap import Cell, ObjRaise
 from repro.machine.values import VCon, VInt, VIO, VStr, Value
-from repro.obs.events import ALLOC, RAISE
+from repro.obs.events import ALLOC, PRIM_RAISE, RAISE
 
 # A code object: called with (machine, frame), returns either a Value
 # or a (code, frame) continuation for the work-loop to enter.
@@ -245,7 +247,7 @@ class _Compiler:
             def lit_code(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 return value
 
@@ -277,7 +279,7 @@ class _Compiler:
             def local_code(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 cell = f[idx]
                 if cell.state == 2:
@@ -291,7 +293,7 @@ class _Compiler:
             def global_code(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 if cell.state == 2:
                     return cell.value
@@ -302,7 +304,7 @@ class _Compiler:
         def unbound_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             raise MachineError(f"unbound variable {name!r}")
 
@@ -321,7 +323,7 @@ class _Compiler:
             def lam_code0(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 return closure
 
@@ -331,7 +333,7 @@ class _Compiler:
         def lam_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             return CClosure(var, body_code, capture(f))
 
@@ -344,7 +346,7 @@ class _Compiler:
         def app_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             fn = fn_code(m, f)
             while fn.__class__ is tuple:
@@ -368,7 +370,7 @@ class _Compiler:
             def con_code0(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.allocations += 1
                 if m._tracing:
@@ -384,7 +386,7 @@ class _Compiler:
             def con_code1(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.allocations += 2
                 if m._tracing:
@@ -399,7 +401,7 @@ class _Compiler:
             def con_code2(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.allocations += 3
                 if m._tracing:
@@ -413,7 +415,7 @@ class _Compiler:
         def con_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             st.allocations += 1 + n_args
             if m._tracing:
@@ -434,7 +436,7 @@ class _Compiler:
         def case_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             scrut = scrut_code(m, f)
             while scrut.__class__ is tuple:
@@ -559,7 +561,7 @@ class _Compiler:
         def raise_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             value = _run(m, exc_code, f)
             st.raises += 1
@@ -579,7 +581,7 @@ class _Compiler:
         def fix_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             fn = _run(m, fn_code, f)
             if fn.__class__ is not CClosure:
@@ -616,7 +618,7 @@ class _Compiler:
         def let_code(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             st.allocations += n_binds
             if m._tracing:
@@ -641,7 +643,7 @@ class _Compiler:
             def io_code(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.prim_ops += 1
                 st.allocations += len(arg_codes)
@@ -657,7 +659,7 @@ class _Compiler:
             def nullary_io_code(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.prim_ops += 1
                 return VIO(vio_tag)
@@ -671,7 +673,7 @@ class _Compiler:
             def seq_code(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.prim_ops += 1
                 _run(m, first_code, f)
@@ -688,7 +690,7 @@ class _Compiler:
             def map_exc_code(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.prim_ops += 1
                 try:
@@ -720,12 +722,16 @@ class _Compiler:
         n = len(arg_codes)
         apply2 = _APPLY2.get(op) if n == 2 else None
         prim_span = expr.span
-        # Provenance: primitive-raised exceptions (div-by-zero,
-        # overflow) originate as bare ObjRaise in the appliers; when a
-        # recorder is attached they get this PrimOp's span.  The
-        # try/except is free on the no-raise path (3.11 zero-cost
-        # exception tables), and the handler guards on the same
-        # precomputed `m._prov` the interpreter uses.
+        # Provenance and tracing: exceptions *propagating* out of
+        # argument evaluation keep their tighter annotation and emit no
+        # event here (the inner raise already did); exceptions
+        # *originated* by the application itself (div-by-zero, overflow
+        # from ⊕) get this PrimOp's span and — under a live sink — the
+        # distinct `prim-raise` event, mirroring the interpreter
+        # byte-for-byte.  The try/excepts are free on the no-raise path
+        # (3.11 zero-cost exception tables), and the handlers guard on
+        # the same precomputed `m._prov`/`m._tracing` the interpreter
+        # uses.
         if self.strategy.stateless:
             order = self.strategy.order(op, n)
             if apply2 is not None and order == (0, 1):
@@ -734,7 +740,7 @@ class _Compiler:
                 def strict_lr(m, f):
                     st = m.stats
                     st.steps += 1
-                    if m._tracing or m._events or st.steps > m.fuel:
+                    if m._slow or m._events or st.steps > m.fuel:
                         m._tick_slow()
                     st.prim_ops += 1
                     try:
@@ -746,8 +752,19 @@ class _Compiler:
                         while b.__class__ is tuple:
                             c, fr = b
                             b = c(m, fr)
+                    except ObjRaise as err:
+                        if m._prov is not None:
+                            m._prov.annotate(err, prim_span, m.stats)
+                        raise
+                    try:
                         return apply2(a, b)
                     except ObjRaise as err:
+                        if m._tracing:
+                            m.sink.emit(
+                                PRIM_RAISE,
+                                exc=err.exc.name,
+                                span=prim_span,
+                            )
                         if m._prov is not None:
                             m._prov.annotate(err, prim_span, m.stats)
                         raise
@@ -759,7 +776,7 @@ class _Compiler:
                 def strict_rl(m, f):
                     st = m.stats
                     st.steps += 1
-                    if m._tracing or m._events or st.steps > m.fuel:
+                    if m._slow or m._events or st.steps > m.fuel:
                         m._tick_slow()
                     st.prim_ops += 1
                     try:
@@ -771,8 +788,19 @@ class _Compiler:
                         while a.__class__ is tuple:
                             c, fr = a
                             a = c(m, fr)
+                    except ObjRaise as err:
+                        if m._prov is not None:
+                            m._prov.annotate(err, prim_span, m.stats)
+                        raise
+                    try:
                         return apply2(a, b)
                     except ObjRaise as err:
+                        if m._tracing:
+                            m.sink.emit(
+                                PRIM_RAISE,
+                                exc=err.exc.name,
+                                span=prim_span,
+                            )
                         if m._prov is not None:
                             m._prov.annotate(err, prim_span, m.stats)
                         raise
@@ -782,15 +810,24 @@ class _Compiler:
             def strict_static(m, f):
                 st = m.stats
                 st.steps += 1
-                if m._tracing or m._events or st.steps > m.fuel:
+                if m._slow or m._events or st.steps > m.fuel:
                     m._tick_slow()
                 st.prim_ops += 1
+                values = [None] * n
                 try:
-                    values = [None] * n
                     for i in order:
                         values[i] = _run(m, arg_codes[i], f)
+                except ObjRaise as err:
+                    if m._prov is not None:
+                        m._prov.annotate(err, prim_span, m.stats)
+                    raise
+                try:
                     return m._apply_prim(op, values)
                 except ObjRaise as err:
+                    if m._tracing:
+                        m.sink.emit(
+                            PRIM_RAISE, exc=err.exc.name, span=prim_span
+                        )
                     if m._prov is not None:
                         m._prov.annotate(err, prim_span, m.stats)
                     raise
@@ -800,15 +837,24 @@ class _Compiler:
         def strict_dynamic(m, f):
             st = m.stats
             st.steps += 1
-            if m._tracing or m._events or st.steps > m.fuel:
+            if m._slow or m._events or st.steps > m.fuel:
                 m._tick_slow()
             st.prim_ops += 1
+            values = [None] * n
             try:
-                values = [None] * n
                 for i in m.strategy.order(op, n):
                     values[i] = _run(m, arg_codes[i], f)
+            except ObjRaise as err:
+                if m._prov is not None:
+                    m._prov.annotate(err, prim_span, m.stats)
+                raise
+            try:
                 return m._apply_prim(op, values)
             except ObjRaise as err:
+                if m._tracing:
+                    m.sink.emit(
+                        PRIM_RAISE, exc=err.exc.name, span=prim_span
+                    )
                 if m._prov is not None:
                     m._prov.annotate(err, prim_span, m.stats)
                 raise

@@ -56,6 +56,7 @@ from repro.obs.events import (
     ALLOC,
     ASYNC_INTERRUPT,
     FUEL_GRANT,
+    PRIM_RAISE,
     RAISE,
     STEP,
 )
@@ -232,6 +233,14 @@ class Machine:
         self.sink = sink
         self._tracing = is_live(sink)
         self._prov = None
+        self._governor = None
+        self._fault = None
+        # Combined slow-path switch: True when *any* per-step consumer
+        # (trace sink, resource governor, fault plan) is attached.  The
+        # hot tick tests this one boolean, so a bare machine pays the
+        # seed's exact instruction sequence — attaching a governor costs
+        # nothing more than attaching a sink did.
+        self._slow = self._tracing
 
     # -- observability ----------------------------------------------------
 
@@ -239,6 +248,36 @@ class Machine:
         """Attach (or detach, with None/null) a trace sink."""
         self.sink = sink
         self._tracing = is_live(sink)
+        self._recompute_slow()
+
+    def attach_governor(self, governor) -> None:
+        """Attach (or detach, with None) a per-request resource governor
+        (:class:`repro.serve.governor.ResourceGovernor`-shaped: any
+        object with ``poll(machine) -> Optional[Exc]``).
+
+        The governor is consulted on the slow half of each tick; a
+        non-None result is delivered as a Section 5.1 asynchronous
+        interrupt (``Timeout``/``HeapOverflow`` are *fictitious
+        exceptions* in the paper's sense — outcomes of the observation,
+        not members computed by the semantics)."""
+        self._governor = governor
+        self._recompute_slow()
+
+    def attach_fault_plan(self, plan) -> None:
+        """Attach (or detach, with None) a chaos fault plan
+        (:class:`repro.chaos.faults.FaultPlan`-shaped: any object with
+        ``on_step(machine) -> Optional[Exc]``).  Consulted at step
+        boundaries, exactly like the Section 5.1 event plan — injected
+        faults are asynchronous interrupts, never silent corruption."""
+        self._fault = plan
+        self._recompute_slow()
+
+    def _recompute_slow(self) -> None:
+        self._slow = bool(
+            self._tracing
+            or self._governor is not None
+            or self._fault is not None
+        )
 
     def attach_provenance(self, recorder) -> None:
         """Attach (or detach, with None) a raise-provenance recorder
@@ -277,31 +316,48 @@ class Machine:
         # compiled backend inlines this exact sequence per node, so the
         # two backends count steps identically.
         self.stats.steps += 1
-        if self._tracing or self._events or self.stats.steps > self.fuel:
+        if self._slow or self._events or self.stats.steps > self.fuel:
             self._tick_slow()
 
     def _tick_slow(self) -> None:
         """The rare-path half of a step: trace emission, async event
-        delivery and fuel exhaustion.  ``stats.steps`` has already been
-        incremented by the caller."""
+        delivery, fault injection, governor polling and fuel
+        exhaustion.  ``stats.steps`` has already been incremented by
+        the caller."""
         if self._tracing:
             self.sink.emit(STEP, n=self.stats.steps)
         if self._events and self.stats.steps >= self._events[0][0]:
             _step, exc = self._events.popleft()
-            if self._tracing:
-                self.sink.emit(
-                    ASYNC_INTERRUPT, exc=exc.name, at=self.stats.steps
-                )
-            err = AsyncInterrupt(exc)
-            if self._prov is not None:
-                # Async events have no raise *site*; the force chain
-                # still records where evaluation was interrupted.
-                self._prov.annotate(err, None, self.stats)
-            raise err
+            self._interrupt(exc)
+        if self._fault is not None:
+            exc = self._fault.on_step(self)
+            if exc is not None:
+                self._interrupt(exc)
+        if self._governor is not None:
+            exc = self._governor.poll(self)
+            if exc is not None:
+                self._interrupt(exc)
         if self.stats.steps > self.fuel:
             raise MachineDiverged(
                 f"fuel exhausted after {self.stats.steps} steps"
             )
+
+    def _interrupt(self, exc: Exc) -> None:
+        """Deliver ``exc`` as a Section 5.1 asynchronous interrupt at
+        the current step — the single delivery path shared by the event
+        plan, the fault injector and the resource governor, so all
+        three are observationally indistinguishable from a real
+        asynchronous signal."""
+        if self._tracing:
+            self.sink.emit(
+                ASYNC_INTERRUPT, exc=exc.name, at=self.stats.steps
+            )
+        err = AsyncInterrupt(exc)
+        if self._prov is not None:
+            # Async events have no raise *site*; the force chain
+            # still records where evaluation was interrupted.
+            self._prov.annotate(err, None, self.stats)
+        raise err
 
     def alloc(self, expr: Expr, env: Env) -> Cell:
         self.stats.allocations += 1
@@ -506,20 +562,34 @@ class Machine:
         # representative of the denoted set (Section 3.5).
         n = len(expr.args)
         values: List[Optional[Value]] = [None] * n
-        if self._prov is None:
+        if self._prov is None and not self._tracing:
             for idx in self.strategy.order(op, n):
                 values[idx] = self.eval(expr.args[idx], env)
             return self._apply_prim(op, values)
-        # Recording path: primitive-raised exceptions (div-by-zero,
-        # overflow) originate as bare ObjRaise in _apply_prim/_arith —
-        # annotate them with this PrimOp's span.  Exceptions already
-        # annotated at a tighter site pass through unchanged.
+        # Recording/tracing path.  Two raise origins are distinguished:
+        # an exception *propagating* out of argument evaluation (its
+        # provenance already annotated at a tighter site; no event —
+        # the inner raise already emitted one), versus one *originated*
+        # by the application itself (div-by-zero, overflow from ⊕) —
+        # those are annotated with this PrimOp's span and emit the
+        # distinct `prim-raise` event, never `raise` (the latter stays
+        # in lockstep with stats.raises).
         try:
             for idx in self.strategy.order(op, n):
                 values[idx] = self.eval(expr.args[idx], env)
+        except ObjRaise as err:
+            if self._prov is not None:
+                self._prov.annotate(err, expr.span, self.stats)
+            raise
+        try:
             return self._apply_prim(op, values)
         except ObjRaise as err:
-            self._prov.annotate(err, expr.span, self.stats)
+            if self._tracing:
+                self.sink.emit(
+                    PRIM_RAISE, exc=err.exc.name, span=expr.span
+                )
+            if self._prov is not None:
+                self._prov.annotate(err, expr.span, self.stats)
             raise
 
     def _map_exception(self, expr: PrimOp, env: Env) -> Value:

@@ -50,6 +50,7 @@ from repro.obs.events import (
     MACHINE_EVENTS,
     PHASE_END,
     PHASE_START,
+    PRIM_RAISE,
     RAISE,
     STEP,
     EventSpec,
@@ -94,6 +95,7 @@ __all__ = [
     "NullSink",
     "PHASE_END",
     "PHASE_START",
+    "PRIM_RAISE",
     "PhaseTimer",
     "ProvenanceRecorder",
     "RAISE",

@@ -4,7 +4,8 @@ A :class:`SpanProfiler` is an ordinary :class:`~repro.obs.sinks.TraceSink`
 — attach it like any other — that reconstructs the machine's *force
 stack* from the paired ``force``/``force-end`` events (each carrying
 the forced expression's source span) and charges every ``step``,
-``alloc`` and ``raise`` to the span on top of that stack.  Work done
+``alloc``, ``raise`` and ``prim-raise`` to the span on top of that
+stack (raises with a known site are charged there).  Work done
 outside any thunk (the initial demand on the root expression) is
 charged to the synthetic root frame ``<top>``.
 
@@ -28,7 +29,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
-from repro.obs.events import ALLOC, FORCE, FORCE_END, RAISE, STEP
+from repro.obs.events import (
+    ALLOC,
+    FORCE,
+    FORCE_END,
+    PRIM_RAISE,
+    RAISE,
+    STEP,
+)
 
 #: The synthetic frame charged for work outside any in-flight force.
 ROOT = "<top>"
@@ -74,9 +82,13 @@ class SpanProfiler:
         elif name == ALLOC:
             stack = self._stack
             self._bump(stack[-1] if stack else ROOT, "allocs")
-        elif name == RAISE:
+        elif name == RAISE or name == PRIM_RAISE:
             # A raise is charged to its own site when known; otherwise
-            # to the frame it unwound from.
+            # to the frame it unwound from.  Primitive-originated
+            # exceptions (div-by-zero, overflow — the `prim-raise`
+            # event) carry the primitive application's span, so the
+            # checked ``⊕`` that actually failed gets the charge, not
+            # whichever thunk happened to be forcing it.
             span = fields.get("span")
             if span is not None:
                 label = str(span)

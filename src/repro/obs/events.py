@@ -51,6 +51,17 @@ BLACKHOLE_ENTER = "blackhole-enter"
 #: (the raise site's source span, or None when unknown).
 RAISE = "raise"
 
+#: A strict primitive's *application* raised (``DivideByZero``,
+#: ``Overflow`` from ``⊕`` — Section 3.1's checked arithmetic).  These
+#: exceptions have no ``raise`` expression, so they get their own
+#: event rather than overloading :data:`RAISE` (whose meaning — an
+#: explicit ``raise`` or pattern-match failure, in lockstep with
+#: ``stats.raises`` — is part of the contract and must not drift).
+#: Exceptions merely *propagating* through a primitive's argument
+#: evaluation emit nothing here.  Payload: ``exc`` (the exception's
+#: name), ``span`` (the primitive application's source span, or None).
+PRIM_RAISE = "prim-raise"
+
 #: An asynchronous event (Section 5.1) fired from the event plan.
 #: Payload: ``exc``, ``at`` (the step it was delivered on).
 ASYNC_INTERRUPT = "async-interrupt"
@@ -120,6 +131,12 @@ EVENT_TAXONOMY: Mapping[str, EventSpec] = {
         ),
         EventSpec(
             RAISE, "machine", ("exc", "span"), "raise trimmed the stack"
+        ),
+        EventSpec(
+            PRIM_RAISE,
+            "machine",
+            ("exc", "span"),
+            "a strict primitive's application raised (§3.1 checked ⊕)",
         ),
         EventSpec(
             ASYNC_INTERRUPT,

@@ -169,6 +169,16 @@ def format_provenance(
         return [f"{exc}: <no provenance recorded>"]
     site = str(record.span) if record.span is not None else "<unknown>"
     lines = [f"{exc} raised at {site}"]
+    if record.span is not None:
+        # Cross-unit sites (e.g. the prelude's `error`) quote the line
+        # they point at, resolved through the unit source registry.
+        from repro.lang.units import source_line
+
+        text = source_line(
+            getattr(record.span, "unit", None), record.span.line
+        )
+        if text is not None:
+            lines.append(f"{indent}| {text.strip()}")
     chain = record.describe_chain()
     lines.extend(indent + entry for entry in chain)
     lines.append(

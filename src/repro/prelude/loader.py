@@ -16,15 +16,23 @@ from repro.core.denote import program_env as _denote_program_env
 from repro.lang.ast import Program
 from repro.lang.match import flatten_program
 from repro.lang.parser import BUILTIN_CON_ARITY, parse_program
+from repro.lang.units import register_unit
 from repro.machine.eval import Machine
 from repro.machine.eval import program_env as _machine_program_env
 from repro.prelude.source import PRELUDE_SOURCE
+
+#: The compilation-unit name stamped into prelude spans, so a
+#: prelude-introduced raise explains itself as ``prelude:23:13``
+#: rather than a bare unit-local region (repro.lang.units).
+PRELUDE_UNIT = "prelude"
+
+register_unit(PRELUDE_UNIT, PRELUDE_SOURCE)
 
 
 @lru_cache(maxsize=None)
 def prelude_program() -> Program:
     """The parsed, flattened prelude (cached)."""
-    return flatten_program(parse_program(PRELUDE_SOURCE))
+    return flatten_program(parse_program(PRELUDE_SOURCE, unit=PRELUDE_UNIT))
 
 
 @lru_cache(maxsize=None)

@@ -1,0 +1,144 @@
+"""Per-request resource limits as Section 5.1 fictitious exceptions.
+
+"An external monitoring system might observe that the evaluation of
+[an expression] had gone on for a long time, and attempt to abort the
+computation" — the paper's Timeout story, and the whole design of this
+module.  A :class:`ResourceGovernor` polices one evaluation: it is
+consulted by ``Machine._tick_slow`` once per step (attach with
+``Machine.attach_governor``) and, when a limit is breached, answers
+with the matching asynchronous exception —
+
+* ``Timeout`` for the step budget or the wall-clock deadline,
+* ``HeapOverflow`` for the allocation cap —
+
+which the machine delivers through the ordinary ``AsyncInterrupt``
+path.  Nothing here is a new mechanism: a governed evaluation is
+observationally identical to one interrupted by the Section 5.1 event
+plan, so all the soundness guarantees (and the chaos sweep that checks
+them) carry over for free.
+
+Two deliberate choices:
+
+* **Step-boundary enforcement.**  The allocation cap is checked
+  against ``stats.allocations`` at step boundaries rather than inside
+  the allocator, because the compiled backend inlines allocation; a
+  step-boundary check is deterministic and identical on both backends
+  (off by at most the few allocations a single step performs).
+* **One-shot delivery.**  Each limit trips at most once per
+  evaluation, like a signal.  A handler that catches the exception
+  (``catchIO``) gets to run its recovery un-hounded — graceful
+  degradation — while the machine's own fuel remains the hard
+  backstop against a handler that never terminates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.excset import Exc, HEAP_OVERFLOW, TIMEOUT
+
+#: How many steps between wall-clock reads.  Reading a monotonic clock
+#: every step would dominate governed runtime; every 64th step bounds
+#: deadline-detection latency to tens of microseconds of machine work.
+DEADLINE_STRIDE = 64
+
+
+@dataclass(frozen=True)
+class GovernorLimits:
+    """The per-request budget.  ``None`` disables a limit."""
+
+    max_steps: Optional[int] = None
+    max_allocations: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TripRecord:
+    """What the governor did: which limit (``"steps"`` |
+    ``"allocations"`` | ``"deadline"``), the exception delivered, and
+    the machine state at delivery."""
+
+    reason: str
+    exc: str
+    step: int
+    allocations: int
+    elapsed_seconds: float
+
+
+class ResourceGovernor:
+    """Polices one evaluation against a :class:`GovernorLimits`.
+
+    ``clock`` is injectable (monotonic seconds) so deadline behaviour
+    is testable without real waiting.  Call :meth:`start` immediately
+    before evaluation begins; the machine calls :meth:`poll` once per
+    step thereafter.  ``trips`` records every limit that fired.
+    """
+
+    def __init__(
+        self,
+        limits: GovernorLimits,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.limits = limits
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self._steps_armed = limits.max_steps is not None
+        self._allocs_armed = limits.max_allocations is not None
+        self._deadline_armed = limits.deadline_seconds is not None
+        self.trips: List[TripRecord] = []
+
+    def start(self) -> None:
+        """Open the wall-clock window (idempotent)."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+
+    @property
+    def tripped(self) -> bool:
+        return bool(self.trips)
+
+    @property
+    def trip(self) -> Optional[TripRecord]:
+        """The first limit that fired, or None."""
+        return self.trips[0] if self.trips else None
+
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def _fire(self, reason: str, exc: Exc, stats) -> Exc:
+        self.trips.append(
+            TripRecord(
+                reason=reason,
+                exc=exc.name,
+                step=stats.steps,
+                allocations=stats.allocations,
+                elapsed_seconds=self.elapsed(),
+            )
+        )
+        return exc
+
+    def poll(self, machine) -> Optional[Exc]:
+        """The machine-facing hook: the exception to deliver now, or
+        None.  Each limit is one-shot (disarmed after firing)."""
+        stats = machine.stats
+        if self._steps_armed and stats.steps > self.limits.max_steps:
+            self._steps_armed = False
+            return self._fire("steps", TIMEOUT, stats)
+        if self._allocs_armed and (
+            stats.allocations > self.limits.max_allocations
+        ):
+            self._allocs_armed = False
+            return self._fire("allocations", HEAP_OVERFLOW, stats)
+        if self._deadline_armed and stats.steps % DEADLINE_STRIDE == 0:
+            if self._started_at is None:
+                self.start()
+            elif (
+                self._clock() - self._started_at
+                > self.limits.deadline_seconds
+            ):
+                self._deadline_armed = False
+                return self._fire("deadline", TIMEOUT, stats)
+        return None

@@ -1,0 +1,181 @@
+"""The stdlib-only HTTP front end for the evaluation service.
+
+Endpoints
+---------
+``POST /eval``
+    Body: ``{"expr": "<source>", "stdin": "<optional>"}``.  Response:
+    one of the structured statuses documented in
+    :mod:`repro.serve.service` (and docs/ROBUSTNESS.md).  Rejections
+    carry a ``Retry-After`` header.
+``GET /healthz``
+    Service metrics: request counts by status, breaker state and
+    transition history, aggregated trace-event totals, governor trips.
+
+The server is a ``ThreadingHTTPServer``: one Python thread per
+connection, with the service's own admission/concurrency bounds doing
+the real resource control (threads beyond ``max_concurrency`` park in
+the bounded queue or are rejected instantly).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.serve.service import EvalService, ServiceConfig
+
+#: Largest request body accepted, in bytes — nobody needs a megabyte
+#: of expression, and an unbounded read is a memory-exhaustion vector.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The service does its own structured accounting; per-request
+    # access-log lines on stderr are just noise in tests and CI.
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> EvalService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _respond(
+        self,
+        status: int,
+        body: dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:.3f}")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/healthz":
+            self._respond(200, self.service.health())
+            return
+        self._respond(
+            404, {"status": "error", "reason": "not-found"}
+        )
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/eval":
+            self._respond(
+                404, {"status": "error", "reason": "not-found"}
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            # Drain what the client is still sending (bounded — the
+            # declared length is untrusted) so the response isn't a
+            # broken pipe on their side, then close the connection.
+            remaining = min(length, 8 * MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            self._respond(
+                413,
+                {
+                    "status": "error",
+                    "reason": "body-too-large",
+                    "message": f"body exceeds {MAX_BODY_BYTES} bytes",
+                },
+            )
+            return
+        if length <= 0:
+            self._respond(
+                400,
+                {
+                    "status": "error",
+                    "reason": "bad-request",
+                    "message": "missing body",
+                },
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._respond(
+                400,
+                {
+                    "status": "error",
+                    "reason": "bad-json",
+                    "message": "body is not valid JSON",
+                },
+            )
+            return
+        status, body, retry_after = self.service.handle(payload)
+        self._respond(status, body, retry_after)
+
+
+def make_server(
+    host: str, port: int, service: EvalService
+) -> ThreadingHTTPServer:
+    """Bind (port 0 picks a free one — tests use this) and attach the
+    service; the caller drives ``serve_forever``/``shutdown``."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    backend: str = "ast",
+    max_steps: int = 2_000_000,
+    max_allocations: int = 1_000_000,
+    deadline: float = 5.0,
+    max_concurrency: int = 4,
+    queue_depth: int = 16,
+    retries: int = 0,
+    breaker_threshold: int = 5,
+    breaker_reset: float = 1.0,
+    fault_seed: Optional[int] = None,
+) -> int:
+    """The ``repro serve`` entry point: run until interrupted."""
+    config = ServiceConfig(
+        backend=backend,
+        max_steps=max_steps,
+        max_allocations=max_allocations,
+        deadline_seconds=deadline,
+        max_concurrency=max_concurrency,
+        queue_depth=queue_depth,
+        retries=retries,
+        breaker_threshold=breaker_threshold,
+        breaker_reset_seconds=breaker_reset,
+        fault_seed=fault_seed,
+    )
+    service = EvalService(config)
+    server = make_server(host, port, service)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"(backend={backend}, concurrency={max_concurrency}, "
+        f"queue={queue_depth})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,188 @@
+"""Resilience primitives: retry with backoff, and a circuit breaker.
+
+Both are deliberately boring, stdlib-only implementations of the
+standard patterns — what is *not* boring is what counts as a failure
+here.  An ``Exceptional`` outcome is a **success** for resilience
+purposes: the semantics delivered a well-defined member of the
+denoted exception set, and retrying it would be semantically
+pointless (the machine is deterministic).  Only *environmental*
+outcomes — deadline trips, injected faults, queue pressure — are
+transient, and those are exactly the Section 5.1 asynchronous
+exceptions, which "perhaps will not recur (at all) if the same
+program is run again".  The paper's taxonomy is the retry policy.
+
+Determinism: backoff jitter comes from a seeded ``random.Random``, so
+a test (or an incident replay) sees the same delay sequence every
+time; the sleep function is injectable so nothing in the suite
+actually waits.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded full jitter.
+
+    ``attempts`` is the total number of tries (1 = no retries).  The
+    delay before retry ``n`` (1-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * multiplier**(n-1))]`` — AWS-style
+    full jitter, but reproducible because the RNG is seeded.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self.delays_taken: List[float] = []
+
+    def backoff(self, retry_number: int) -> float:
+        """The (jittered) delay before 1-based retry ``retry_number``."""
+        ceiling = min(
+            self.max_delay,
+            self.base_delay * (self.multiplier ** (retry_number - 1)),
+        )
+        return self._rng.uniform(0.0, ceiling)
+
+    def run(
+        self,
+        attempt: Callable[[int], object],
+        retryable: Callable[[object], bool],
+    ) -> Tuple[object, int]:
+        """Call ``attempt(i)`` (1-based) up to ``attempts`` times,
+        backing off between tries while ``retryable(result)`` holds.
+        Returns ``(final_result, attempts_used)`` — the last result is
+        returned as-is when the budget runs out (the caller reports a
+        structured failure; nothing is raised from here)."""
+        result = attempt(1)
+        for i in range(2, self.attempts + 1):
+            if not retryable(result):
+                return result, i - 1
+            delay = self.backoff(i - 1)
+            self.delays_taken.append(delay)
+            if delay > 0:
+                self._sleep(delay)
+            result = attempt(i)
+        return result, self.attempts if self.attempts > 1 else 1
+
+
+class CircuitBreaker:
+    """Classic three-state breaker guarding the evaluation pool.
+
+    * **closed** — requests flow; ``threshold`` *consecutive* failures
+      open it.
+    * **open** — requests are rejected instantly with a Retry-After
+      hint, until ``reset_seconds`` have passed.
+    * **half-open** — one probe request is admitted; its success
+      closes the breaker, its failure re-opens it (and restarts the
+      clock).
+
+    Thread-safe; the clock is injectable for tests.  ``transitions``
+    records every state change as ``(state, at_seconds)`` so the soak
+    test can assert the breaker actually opened *and* closed.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.transitions: List[Tuple[str, float]] = []
+        self.fast_rejections = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions.append((state, self._clock()))
+
+    def allow(self) -> Tuple[bool, float]:
+        """May a request proceed?  Returns ``(allowed, retry_after)``;
+        ``retry_after`` is the seconds a rejected caller should wait."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True, 0.0
+            now = self._clock()
+            if self._state == OPEN:
+                remaining = self.reset_seconds - (now - self._opened_at)
+                if remaining > 0:
+                    self.fast_rejections += 1
+                    return False, max(remaining, 0.001)
+                self._transition(HALF_OPEN)
+                self._probe_in_flight = True
+                return True, 0.0
+            # half-open: exactly one probe at a time.
+            if self._probe_in_flight:
+                self.fast_rejections += 1
+                return False, max(self.reset_seconds, 0.001)
+            self._probe_in_flight = True
+            return True, 0.0
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "fast_rejections": self.fast_rejections,
+                "transitions": [
+                    {"state": s, "at": round(t, 6)}
+                    for s, t in self.transitions
+                ],
+            }

@@ -1,0 +1,467 @@
+"""The evaluation service: per-request isolation, structured outcomes.
+
+Every request gets a **fresh machine** (no shared heap, no shared
+counters — isolation is the whole point of the paper's per-evaluation
+semantics), a fresh :class:`~repro.serve.governor.ResourceGovernor`,
+and optionally a fresh seeded fault plan (chaos mode).  The outcome is
+shaped into one of four structured statuses:
+
+``value``
+    Evaluation reached WHNF (for ``IO`` expressions: the action was
+    performed; ``stdout`` rides along).
+``exceptional``
+    The machine observed a member of the denoted exception set — a
+    *successful* evaluation in the resilience sense: deterministic,
+    semantically meaningful, pointless to retry.
+``resource-exhausted``
+    A governor limit fired (Section 5.1 fictitious exceptions:
+    ``Timeout`` for steps/deadline, ``HeapOverflow`` for the
+    allocation cap) or fuel ran out.  Deadline trips are transient and
+    retried under the backoff policy; step/allocation trips are
+    deterministic and are not.
+``rejected``
+    The request never reached a machine: admission queue full, or the
+    circuit breaker is open (fast rejection with Retry-After).
+
+Concurrency is bounded twice: ``max_concurrency`` machines evaluate at
+once, and at most ``queue_depth`` further requests wait; beyond that,
+admission fails instantly — a service that queues unboundedly is a
+service that falls over late instead of degrading early.
+
+Metrics reuse the PR-1 observability layer verbatim: each request's
+machine carries a :class:`~repro.obs.sinks.CountingSink`, and the
+per-request counts are merged into service totals for ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.machine.eval import Machine
+from repro.machine.heap import AsyncInterrupt, Cell, MachineDiverged, ObjRaise
+from repro.machine.observe import (
+    Diverged,
+    Exceptional,
+    Normal,
+    show_value,
+)
+from repro.machine.values import VIO
+from repro.obs.sinks import CountingSink
+from repro.serve.governor import GovernorLimits, ResourceGovernor
+from repro.serve.retry import CircuitBreaker, RetryPolicy
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide knobs; per-request limits live in the governor."""
+
+    backend: str = "ast"
+    max_steps: Optional[int] = 2_000_000
+    max_allocations: Optional[int] = 1_000_000
+    deadline_seconds: Optional[float] = 5.0
+    max_concurrency: int = 4
+    queue_depth: int = 16
+    retries: int = 0
+    retry_base_delay: float = 0.02
+    retry_seed: int = 0
+    breaker_threshold: int = 5
+    breaker_reset_seconds: float = 1.0
+    fault_seed: Optional[int] = None
+    fault_horizon: int = 2_000
+    collect_events: bool = True
+
+    def backstop_fuel(self) -> int:
+        """The machine's own fuel — the hard stop behind the governor
+        (a catch handler runs past a one-shot trip, but not forever)."""
+        if self.max_steps is None:
+            return 8_000_000
+        return max(self.max_steps * 4, self.max_steps + 1_000)
+
+
+@dataclass
+class _Attempt:
+    """One evaluation attempt, before response shaping."""
+
+    kind: str  # value | exceptional | resource-exhausted
+    value: Optional[str] = None
+    stdout: Optional[str] = None
+    exc: Optional[str] = None
+    synchronous: Optional[bool] = None
+    reason: Optional[str] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+    trip: Optional[dict] = None
+    faults_injected: List[dict] = field(default_factory=list)
+
+
+class EvalService:
+    """The thread-safe core behind ``repro serve`` (and the tests,
+    which drive it without HTTP).  ``clock`` and ``sleep`` are
+    injectable so resilience behaviour is testable without waiting.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        self._sleep = sleep
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            reset_seconds=self.config.breaker_reset_seconds,
+            clock=clock,
+        )
+        self._running = threading.Semaphore(self.config.max_concurrency)
+        self._admission = threading.Semaphore(
+            self.config.max_concurrency + self.config.queue_depth
+        )
+        self._lock = threading.Lock()
+        self._request_counter = 0
+        self._in_flight = 0
+        self.requests_by_status: Dict[str, int] = {}
+        self.event_totals: Dict[str, int] = {}
+        self.trip_totals: Dict[str, int] = {}
+        self.faults_injected = 0
+        self.retries_performed = 0
+        self._started_at = clock()
+
+    # -- request handling -----------------------------------------------
+
+    def handle(
+        self, payload: Any
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """Serve one request.  Returns ``(http_status, body,
+        retry_after)`` — the HTTP front end turns ``retry_after`` into
+        a ``Retry-After`` header; library callers read it from the body.
+        """
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("expr"), str
+        ):
+            return (
+                400,
+                {
+                    "status": "error",
+                    "reason": "bad-request",
+                    "message": 'body must be JSON {"expr": "<source>"}',
+                },
+                None,
+            )
+        expr_source = payload["expr"]
+        stdin = payload.get("stdin", "")
+        if not isinstance(stdin, str):
+            stdin = ""
+
+        if not self._admission.acquire(blocking=False):
+            retry_after = max(
+                (self.config.deadline_seconds or 1.0) / 2, 0.05
+            )
+            body = {
+                "status": "rejected",
+                "reason": "queue-full",
+                "retry_after": round(retry_after, 3),
+            }
+            self._count_status("rejected")
+            return 429, body, retry_after
+        try:
+            allowed, retry_after = self.breaker.allow()
+            if not allowed:
+                body = {
+                    "status": "rejected",
+                    "reason": "circuit-open",
+                    "retry_after": round(retry_after, 3),
+                }
+                self._count_status("rejected")
+                return 503, body, retry_after
+
+            with self._lock:
+                self._request_counter += 1
+                request_id = self._request_counter
+
+            try:
+                expr = self._compile(expr_source)
+            except Exception as err:
+                # A parse/flatten error is the *client's* failure, not
+                # the pool's — it must not open the breaker.
+                self.breaker.record_success()
+                self._count_status("error")
+                return (
+                    400,
+                    {
+                        "status": "error",
+                        "reason": "parse-error",
+                        "message": str(err),
+                    },
+                    None,
+                )
+
+            self._running.acquire()
+            with self._lock:
+                self._in_flight += 1
+            try:
+                attempt_result, attempts = self._with_retries(
+                    expr, stdin, request_id
+                )
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                self._running.release()
+
+            body = self._shape(attempt_result, attempts)
+            self._absorb(attempt_result, attempts)
+            if attempt_result.kind == "resource-exhausted":
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+            return 200, body, body.get("retry_after")
+        finally:
+            self._admission.release()
+
+    # -- evaluation -----------------------------------------------------
+
+    @staticmethod
+    def _compile(source: str):
+        from repro.api import compile_expr
+
+        return compile_expr(source)
+
+    def _with_retries(
+        self, expr, stdin: str, request_id: int
+    ) -> Tuple[_Attempt, int]:
+        attempts_budget = max(1, self.config.retries + 1)
+        policy = RetryPolicy(
+            attempts=attempts_budget,
+            base_delay=self.config.retry_base_delay,
+            seed=self.config.retry_seed + request_id,
+            sleep=self._sleep,
+        )
+        result, attempts = policy.run(
+            lambda i: self._attempt(expr, stdin, request_id, i),
+            self._retryable,
+        )
+        return result, attempts
+
+    @staticmethod
+    def _retryable(result: _Attempt) -> bool:
+        # Transient = environmental: a wall-clock deadline trip, or an
+        # asynchronous exception injected by the fault plan.  A value,
+        # a synchronous exception, and deterministic step/allocation
+        # exhaustion all recur identically on a deterministic machine.
+        if result.kind == "resource-exhausted":
+            return result.reason == "deadline"
+        if result.kind == "exceptional":
+            return result.synchronous is False
+        return False
+
+    def _attempt(
+        self, expr, stdin: str, request_id: int, attempt_number: int
+    ) -> _Attempt:
+        from repro.prelude.loader import machine_env
+
+        config = self.config
+        machine = Machine(
+            fuel=config.backstop_fuel(), backend=config.backend
+        )
+        sink = CountingSink() if config.collect_events else None
+        if sink is not None:
+            machine.attach_sink(sink)
+        governor = ResourceGovernor(
+            GovernorLimits(
+                max_steps=config.max_steps,
+                max_allocations=config.max_allocations,
+                deadline_seconds=config.deadline_seconds,
+            ),
+            clock=self._clock,
+        )
+        fault = None
+        if config.fault_seed is not None:
+            from repro.chaos.faults import FaultPlan
+
+            fault = FaultPlan.seeded(
+                config.fault_seed + request_id * 31 + attempt_number,
+                horizon=config.fault_horizon,
+                interrupts=1,
+                latencies=1,
+                sleep=self._sleep,
+            )
+            machine.attach_fault_plan(fault)
+        machine.attach_governor(governor)
+        governor.start()
+
+        env = machine_env(machine)
+        outcome = self._observe(expr, env, machine, stdin)
+        return self._classify(outcome, machine, governor, fault, sink)
+
+    def _observe(self, expr, env, machine, stdin: str):
+        """Evaluate; perform ``IO`` values through the executor (so
+        ``catchIO`` can catch governor-injected interrupts — graceful
+        degradation).  Returns an Outcome or an IOResult."""
+        from repro.io.run import IOExecutor
+
+        try:
+            value = machine.eval(expr, env)
+        except (ObjRaise, AsyncInterrupt) as err:
+            return Exceptional(err.exc)
+        except MachineDiverged:
+            return Diverged()
+        if isinstance(value, VIO):
+            executor = IOExecutor(machine=machine, stdin=stdin)
+            return executor.run_cell(Cell.ready(value))
+        return Normal(value)
+
+    def _classify(
+        self, outcome, machine, governor, fault, sink
+    ) -> _Attempt:
+        result = _Attempt(kind="value")
+        result.stats = machine.stats.as_dict()
+        if sink is not None:
+            result.events = sink.as_dict()
+        if fault is not None:
+            result.faults_injected = [
+                {"kind": rec.kind, "step": rec.step, "exc": rec.exc}
+                for rec in fault.injected
+            ]
+        trip = governor.trip
+        if trip is not None:
+            result.trip = {
+                "reason": trip.reason,
+                "exc": trip.exc,
+                "step": trip.step,
+                "allocations": trip.allocations,
+                "elapsed_seconds": round(trip.elapsed_seconds, 6),
+            }
+
+        # IOResult from the executor path.
+        if hasattr(outcome, "status") and hasattr(outcome, "stdout"):
+            if outcome.status == "ok":
+                result.kind = "value"
+                result.value = self._render(outcome.value, machine)
+                result.stdout = outcome.stdout
+                return result
+            if outcome.status == "diverged":
+                result.kind = "resource-exhausted"
+                result.reason = "fuel"
+                return result
+            outcome = Exceptional(outcome.exc)
+
+        if isinstance(outcome, Diverged):
+            result.kind = "resource-exhausted"
+            result.reason = "fuel"
+            return result
+        if isinstance(outcome, Exceptional):
+            exc = outcome.exc
+            tripped_names = {t.exc for t in governor.trips}
+            if exc.name in tripped_names:
+                result.kind = "resource-exhausted"
+                result.reason = governor.trip.reason
+                result.exc = exc.name
+                return result
+            result.kind = "exceptional"
+            result.exc = exc.name
+            result.synchronous = exc.synchronous
+            return result
+        # Normal — render, tolerating an interrupt during forcing of
+        # lazy structure (the governor is one-shot but the fault plan
+        # may still have pending faults).
+        try:
+            result.value = self._render(outcome.value, machine)
+        except AsyncInterrupt as err:
+            result.kind = "exceptional"
+            result.exc = err.exc.name
+            result.synchronous = False
+        return result
+
+    @staticmethod
+    def _render(value, machine) -> str:
+        if value is None:
+            return "()"
+        return show_value(value, machine)
+
+    # -- response shaping and metrics -----------------------------------
+
+    def _shape(self, result: _Attempt, attempts: int) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "status": result.kind,
+            "attempts": attempts,
+            "stats": result.stats,
+        }
+        if result.kind == "value":
+            body["value"] = result.value
+            if result.stdout:
+                body["stdout"] = result.stdout
+        elif result.kind == "exceptional":
+            body["exc"] = result.exc
+            body["synchronous"] = result.synchronous
+        elif result.kind == "resource-exhausted":
+            body["reason"] = result.reason
+            if result.exc is not None:
+                body["exc"] = result.exc
+            if result.reason == "deadline":
+                body["retry_after"] = round(
+                    (self.config.deadline_seconds or 1.0) / 2, 3
+                )
+        if result.trip is not None:
+            body["trip"] = result.trip
+        if result.faults_injected:
+            body["faults_injected"] = result.faults_injected
+        if result.events:
+            body["events"] = result.events
+        return body
+
+    def _count_status(self, status: str) -> None:
+        with self._lock:
+            self.requests_by_status[status] = (
+                self.requests_by_status.get(status, 0) + 1
+            )
+
+    def _absorb(self, result: _Attempt, attempts: int) -> None:
+        self._count_status(result.kind)
+        with self._lock:
+            for name, count in result.events.items():
+                self.event_totals[name] = (
+                    self.event_totals.get(name, 0) + count
+                )
+            if result.trip is not None:
+                reason = result.trip["reason"]
+                self.trip_totals[reason] = (
+                    self.trip_totals.get(reason, 0) + 1
+                )
+            self.faults_injected += len(result.faults_injected)
+            self.retries_performed += attempts - 1
+
+    # -- health ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        with self._lock:
+            requests = dict(sorted(self.requests_by_status.items()))
+            events = dict(sorted(self.event_totals.items()))
+            trips = dict(sorted(self.trip_totals.items()))
+            in_flight = self._in_flight
+            total = self._request_counter
+            faults = self.faults_injected
+            retries = self.retries_performed
+        return {
+            "status": "ok",
+            "backend": self.config.backend,
+            "uptime_seconds": round(self._clock() - self._started_at, 3),
+            "requests_total": total,
+            "requests": requests,
+            "in_flight": in_flight,
+            "breaker": self.breaker.as_dict(),
+            "events": events,
+            "governor_trips": trips,
+            "faults_injected": faults,
+            "retries_performed": retries,
+            "limits": {
+                "max_steps": self.config.max_steps,
+                "max_allocations": self.config.max_allocations,
+                "deadline_seconds": self.config.deadline_seconds,
+                "max_concurrency": self.config.max_concurrency,
+                "queue_depth": self.config.queue_depth,
+            },
+        }

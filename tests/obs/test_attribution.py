@@ -4,10 +4,13 @@ from repro.api import compile_expr
 from repro.lang.ast import Span
 from repro.machine import Machine
 from repro.machine.observe import observe
+import pytest
+
 from repro.obs import (
     ALLOC,
     FORCE,
     FORCE_END,
+    PRIM_RAISE,
     RAISE,
     STEP,
     SpanProfiler,
@@ -70,6 +73,24 @@ class TestStackMachine:
         profiler = SpanProfiler()
         profiler.emit(FORCE, depth=1, span=Span(1, 1, 1, 5))
         profiler.emit(RAISE, exc="NonTermination", span=None)
+        profiler.emit(FORCE_END, depth=1)
+        assert profiler.totals["1:1-5"]["raises"] == 1
+
+    def test_prim_raise_charged_to_the_primitive_span(self):
+        # `prim-raise` (DivideByZero/Overflow from a checked ⊕) carries
+        # the primitive application's span and is charged there, not to
+        # the enclosing force frame.
+        profiler = SpanProfiler()
+        profiler.emit(FORCE, depth=1, span=Span(1, 1, 1, 5))
+        profiler.emit(PRIM_RAISE, exc="DivideByZero", span=Span(2, 1, 2, 8))
+        profiler.emit(FORCE_END, depth=1)
+        assert profiler.totals["2:1-8"]["raises"] == 1
+        assert profiler.totals["1:1-5"]["raises"] == 0
+
+    def test_spanless_prim_raise_charges_enclosing_frame(self):
+        profiler = SpanProfiler()
+        profiler.emit(FORCE, depth=1, span=Span(1, 1, 1, 5))
+        profiler.emit(PRIM_RAISE, exc="Overflow", span=None)
         profiler.emit(FORCE_END, depth=1)
         assert profiler.totals["1:1-5"]["raises"] == 1
 
@@ -143,6 +164,38 @@ class TestEndToEnd:
             c["steps"] for c in profiler.totals.values()
         )
         assert total_steps == machine.stats.steps
+
+    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    def test_prim_raise_attribution_end_to_end(self, backend):
+        # A division by zero has no `raise` expression; the distinct
+        # prim-raise event lets the profiler charge it to the `div`
+        # application's span — identically on both backends.
+        expr = compile_expr("let { f = \\x -> x `div` 0 } in f 3 + 2")
+        profiler = SpanProfiler()
+        machine = Machine(backend=backend)
+        outcome = observe(
+            expr, env=machine_env(machine), machine=machine, sink=profiler
+        )
+        assert outcome.exc.name == "DivideByZero"
+        # The div site (1:17-26) gets the charge; stats.raises stays 0
+        # (prim-raise is deliberately not in lockstep with it).
+        assert profiler.totals["1:17-26"]["raises"] == 1
+        assert machine.stats.raises == 0
+
+    def test_prim_raise_and_raise_streams_agree_across_backends(self):
+        expr = compile_expr("(1 `div` 0) + raise Overflow")
+        streams = {}
+        for backend in ("ast", "compiled"):
+            profiler = SpanProfiler()
+            machine = Machine(backend=backend)
+            observe(
+                expr,
+                env=machine_env(machine),
+                machine=machine,
+                sink=profiler,
+            )
+            streams[backend] = profiler.as_dict()
+        assert streams["ast"] == streams["compiled"]
 
     def test_attribution_does_not_perturb_counters(self):
         expr = compile_expr("sum [1, 2, 3]")

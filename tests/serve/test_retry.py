@@ -1,0 +1,171 @@
+"""Unit tests for the resilience primitives (repro.serve.retry)."""
+
+import pytest
+
+from repro.serve.retry import (
+    CLOSED,
+    CircuitBreaker,
+    HALF_OPEN,
+    OPEN,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_single_attempt_never_sleeps(self):
+        sleeps = []
+        policy = RetryPolicy(attempts=1, sleep=sleeps.append)
+        result, attempts = policy.run(
+            lambda i: f"try-{i}", retryable=lambda r: True
+        )
+        assert result == "try-1"
+        assert attempts == 1
+        assert sleeps == []
+
+    def test_stops_early_on_non_retryable(self):
+        calls = []
+        policy = RetryPolicy(attempts=5, sleep=lambda s: None)
+        result, attempts = policy.run(
+            lambda i: calls.append(i) or "ok",
+            retryable=lambda r: False,
+        )
+        assert calls == [1]
+        assert attempts == 1
+
+    def test_exhausts_budget_when_always_retryable(self):
+        calls = []
+        policy = RetryPolicy(attempts=3, sleep=lambda s: None)
+        result, attempts = policy.run(
+            lambda i: calls.append(i) or "fail",
+            retryable=lambda r: True,
+        )
+        assert calls == [1, 2, 3]
+        assert attempts == 3
+        assert result == "fail"
+
+    def test_backoff_is_seeded_and_deterministic(self):
+        a = RetryPolicy(attempts=4, seed=42, sleep=lambda s: None)
+        b = RetryPolicy(attempts=4, seed=42, sleep=lambda s: None)
+        assert [a.backoff(n) for n in (1, 2, 3)] == [
+            b.backoff(n) for n in (1, 2, 3)
+        ]
+        c = RetryPolicy(attempts=4, seed=43, sleep=lambda s: None)
+        assert [a.backoff(n) for n in (1, 2, 3)] != [
+            c.backoff(n) for n in (1, 2, 3)
+        ]
+
+    def test_backoff_respects_the_ceiling(self):
+        policy = RetryPolicy(
+            attempts=10,
+            base_delay=0.1,
+            multiplier=10.0,
+            max_delay=0.5,
+            seed=0,
+            sleep=lambda s: None,
+        )
+        for n in range(1, 8):
+            assert 0.0 <= policy.backoff(n) <= 0.5
+
+    def test_delays_taken_are_recorded(self):
+        policy = RetryPolicy(attempts=3, seed=1, sleep=lambda s: None)
+        policy.run(lambda i: "fail", retryable=lambda r: True)
+        assert len(policy.delays_taken) == 2
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, reset=10.0):
+        clock = FakeClock()
+        return CircuitBreaker(
+            threshold=threshold, reset_seconds=reset, clock=clock
+        ), clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self._breaker()
+        assert breaker.state == CLOSED
+        allowed, retry_after = breaker.allow()
+        assert allowed
+        assert retry_after == 0.0
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self._breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_breaker_fast_rejects_with_retry_after(self):
+        breaker, clock = self._breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        allowed, retry_after = breaker.allow()
+        assert not allowed
+        assert retry_after == pytest.approx(10.0)
+        clock.advance(4.0)
+        allowed, retry_after = breaker.allow()
+        assert not allowed
+        assert retry_after == pytest.approx(6.0)
+        assert breaker.fast_rejections == 2
+
+    def test_half_opens_after_reset_and_closes_on_success(self):
+        breaker, clock = self._breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.5)
+        allowed, _ = breaker.allow()
+        assert allowed
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        states = [s for s, _ in breaker.transitions]
+        assert states == [OPEN, HALF_OPEN, CLOSED]
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self._breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.5)
+        assert breaker.allow()[0]
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # The clock restarted: still rejecting.
+        assert not breaker.allow()[0]
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self._breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.5)
+        assert breaker.allow()[0]  # the probe
+        allowed, retry_after = breaker.allow()  # a second caller
+        assert not allowed
+        assert retry_after > 0
+
+    def test_as_dict_reports_state_and_transitions(self):
+        breaker, clock = self._breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        data = breaker.as_dict()
+        assert data["state"] == OPEN
+        assert data["transitions"][0]["state"] == OPEN
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

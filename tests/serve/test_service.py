@@ -1,0 +1,334 @@
+"""EvalService behaviour: response schemas, admission control, the
+circuit breaker's full open/probe/close cycle, and retry exhaustion —
+all deterministic (injected clocks, no real sleeping)."""
+
+import pytest
+
+from repro.serve import EvalService, ServiceConfig
+
+LOOP = "let { loop = \\x -> loop x } in loop 1"
+FIB = (
+    "let { fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) } "
+    "in fib 10"
+)
+
+#: Per-status required keys; every response must stay inside
+#: ``required | optional`` (the ISSUE's "all responses in schema").
+SCHEMAS = {
+    "value": (
+        {"status", "attempts", "stats", "value"},
+        {"stdout", "events", "trip", "faults_injected"},
+    ),
+    "exceptional": (
+        {"status", "attempts", "stats", "exc", "synchronous"},
+        {"events", "trip", "faults_injected"},
+    ),
+    "resource-exhausted": (
+        {"status", "attempts", "stats", "reason"},
+        {"exc", "retry_after", "trip", "events", "faults_injected"},
+    ),
+    "rejected": ({"status", "reason", "retry_after"}, set()),
+    "error": ({"status", "reason", "message"}, set()),
+}
+
+
+def assert_in_schema(body):
+    status = body.get("status")
+    assert status in SCHEMAS, f"unknown status {status!r}"
+    required, optional = SCHEMAS[status]
+    keys = set(body)
+    missing = required - keys
+    extra = keys - required - optional
+    assert not missing, f"{status}: missing {missing}"
+    assert not extra, f"{status}: unexpected {extra}"
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class SteppingClock:
+    def __init__(self, per_read: float = 0.001) -> None:
+        self.now = 0.0
+        self.per_read = per_read
+
+    def __call__(self) -> float:
+        self.now += self.per_read
+        return self.now
+
+
+def _service(clock=None, **overrides):
+    config = ServiceConfig(**overrides)
+    return EvalService(
+        config,
+        clock=clock if clock is not None else FakeClock(),
+        sleep=lambda s: None,
+    )
+
+
+class TestSchemas:
+    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    def test_value(self, backend):
+        service = _service(backend=backend)
+        status, body, _ = service.handle({"expr": "1 + 2 * 3"})
+        assert status == 200
+        assert body["status"] == "value"
+        assert body["value"] == "7"
+        assert body["attempts"] == 1
+        assert body["stats"]["steps"] > 0
+        assert_in_schema(body)
+
+    def test_io_value_carries_stdout(self):
+        service = _service()
+        status, body, _ = service.handle({"expr": 'putStr "hi"'})
+        assert status == 200
+        assert body["status"] == "value"
+        assert body["stdout"] == "hi"
+        assert_in_schema(body)
+
+    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    def test_exceptional(self, backend):
+        service = _service(backend=backend)
+        status, body, _ = service.handle({"expr": "1 `div` 0"})
+        assert status == 200
+        assert body["status"] == "exceptional"
+        assert body["exc"] == "DivideByZero"
+        assert body["synchronous"] is True
+        assert_in_schema(body)
+
+    def test_resource_exhausted_steps(self):
+        service = _service(max_steps=1_000, deadline_seconds=None)
+        status, body, _ = service.handle({"expr": LOOP})
+        assert status == 200
+        assert body["status"] == "resource-exhausted"
+        assert body["reason"] == "steps"
+        assert body["exc"] == "Timeout"
+        assert body["trip"]["reason"] == "steps"
+        assert_in_schema(body)
+
+    def test_resource_exhausted_allocations(self):
+        service = _service(
+            max_allocations=100, deadline_seconds=None, max_steps=None
+        )
+        status, body, _ = service.handle({"expr": LOOP})
+        assert status == 200
+        assert body["reason"] == "allocations"
+        assert body["exc"] == "HeapOverflow"
+        assert_in_schema(body)
+
+    def test_parse_error_is_a_400(self):
+        service = _service()
+        status, body, _ = service.handle({"expr": "let { = "})
+        assert status == 400
+        assert body["status"] == "error"
+        assert body["reason"] == "parse-error"
+        assert_in_schema(body)
+
+    def test_malformed_payload_is_a_400(self):
+        service = _service()
+        for payload in (None, [], {}, {"expr": 42}):
+            status, body, _ = service.handle(payload)
+            assert status == 400
+            assert body["reason"] == "bad-request"
+            assert_in_schema(body)
+
+    def test_events_ride_along_when_collected(self):
+        service = _service(collect_events=True)
+        _, body, _ = service.handle({"expr": FIB})
+        assert body["events"]["step"] == body["stats"]["steps"]
+
+    def test_events_absent_when_disabled(self):
+        service = _service(collect_events=False)
+        _, body, _ = service.handle({"expr": FIB})
+        assert "events" not in body
+
+
+class TestIsolation:
+    def test_requests_do_not_share_machine_state(self):
+        service = _service()
+        _, first, _ = service.handle({"expr": FIB})
+        _, second, _ = service.handle({"expr": FIB})
+        assert first["stats"] == second["stats"]
+        assert first["value"] == second["value"]
+
+    def test_exceptional_request_does_not_poison_the_next(self):
+        service = _service()
+        service.handle({"expr": "1 `div` 0"})
+        _, body, _ = service.handle({"expr": "2 + 2"})
+        assert body["status"] == "value"
+        assert body["value"] == "4"
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_429(self):
+        service = _service(max_concurrency=1, queue_depth=0)
+        # Fill every admission slot (concurrency + queue) by hand —
+        # equivalent to a request occupying the machine.
+        assert service._admission.acquire(blocking=False)
+        status, body, retry_after = service.handle({"expr": "1 + 1"})
+        assert status == 429
+        assert body["status"] == "rejected"
+        assert body["reason"] == "queue-full"
+        assert retry_after > 0
+        assert_in_schema(body)
+        service._admission.release()
+        # Capacity restored: the next request evaluates.
+        status, body, _ = service.handle({"expr": "1 + 1"})
+        assert status == 200
+        assert body["value"] == "2"
+
+    def test_rejections_are_counted(self):
+        service = _service(max_concurrency=1, queue_depth=0)
+        assert service._admission.acquire(blocking=False)
+        service.handle({"expr": "1"})
+        service._admission.release()
+        assert service.requests_by_status["rejected"] == 1
+
+
+class TestCircuitBreaker:
+    def test_full_open_probe_close_cycle(self):
+        clock = FakeClock()
+        service = _service(
+            clock=clock,
+            max_steps=1_000,
+            deadline_seconds=None,
+            breaker_threshold=2,
+            breaker_reset_seconds=5.0,
+        )
+        # Two deterministic resource-exhausted failures open it.
+        for _ in range(2):
+            status, body, _ = service.handle({"expr": LOOP})
+            assert status == 200
+            assert body["status"] == "resource-exhausted"
+        assert service.breaker.state == "open"
+
+        # Open: fast rejection with Retry-After.
+        status, body, retry_after = service.handle({"expr": "1 + 1"})
+        assert status == 503
+        assert body["reason"] == "circuit-open"
+        assert retry_after == pytest.approx(5.0)
+        assert_in_schema(body)
+
+        # After the reset window a probe is admitted; success closes.
+        clock.advance(5.5)
+        status, body, _ = service.handle({"expr": "1 + 1"})
+        assert status == 200
+        assert body["value"] == "2"
+        assert service.breaker.state == "closed"
+        states = [s for s, _ in service.breaker.transitions]
+        assert states == ["open", "half-open", "closed"]
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        service = _service(
+            clock=clock,
+            max_steps=1_000,
+            deadline_seconds=None,
+            breaker_threshold=1,
+            breaker_reset_seconds=5.0,
+        )
+        service.handle({"expr": LOOP})
+        assert service.breaker.state == "open"
+        clock.advance(5.5)
+        service.handle({"expr": LOOP})  # the probe also exhausts
+        assert service.breaker.state == "open"
+
+    def test_exceptional_outcomes_do_not_open_the_breaker(self):
+        service = _service(breaker_threshold=1)
+        for _ in range(3):
+            status, body, _ = service.handle({"expr": "1 `div` 0"})
+            assert status == 200
+            assert body["status"] == "exceptional"
+        assert service.breaker.state == "closed"
+
+    def test_parse_errors_do_not_open_the_breaker(self):
+        service = _service(breaker_threshold=1)
+        for _ in range(3):
+            service.handle({"expr": "let { = "})
+        assert service.breaker.state == "closed"
+
+
+class TestRetries:
+    def test_deadline_trips_are_retried_to_exhaustion(self):
+        # Every read of the clock creeps forward, so each attempt blows
+        # its deadline deterministically; the policy retries the
+        # transient failure until the budget runs out and the service
+        # reports a structured failure with the attempt count.
+        service = _service(
+            clock=SteppingClock(per_read=0.01),
+            deadline_seconds=0.05,
+            max_steps=None,
+            max_allocations=None,
+            retries=2,
+        )
+        status, body, retry_after = service.handle({"expr": LOOP})
+        assert status == 200
+        assert body["status"] == "resource-exhausted"
+        assert body["reason"] == "deadline"
+        assert body["attempts"] == 3
+        assert body["retry_after"] > 0
+        assert retry_after == body["retry_after"]
+        assert_in_schema(body)
+        assert service.retries_performed == 2
+
+    def test_deterministic_outcomes_are_never_retried(self):
+        service = _service(
+            max_steps=1_000, deadline_seconds=None, retries=3
+        )
+        _, body, _ = service.handle({"expr": LOOP})
+        assert body["reason"] == "steps"
+        assert body["attempts"] == 1
+        _, body, _ = service.handle({"expr": "1 `div` 0"})
+        assert body["attempts"] == 1
+
+
+class TestChaosMode:
+    def test_seeded_faults_are_injected_and_reported(self):
+        service = _service(
+            fault_seed=1234, fault_horizon=500, retries=0
+        )
+        saw_injection = False
+        for n in range(12):
+            status, body, _ = service.handle({"expr": FIB})
+            assert status == 200
+            assert_in_schema(body)
+            if body.get("faults_injected"):
+                saw_injection = True
+        assert saw_injection
+        assert service.faults_injected > 0
+
+    def test_same_seed_same_faults(self):
+        bodies = []
+        for _ in range(2):
+            service = _service(fault_seed=99, fault_horizon=500)
+            _, body, _ = service.handle({"expr": FIB})
+            bodies.append(body)
+        assert bodies[0] == bodies[1]
+
+
+class TestHealth:
+    def test_health_reports_counters_and_limits(self):
+        service = _service(max_steps=1_000, deadline_seconds=None)
+        service.handle({"expr": "1 + 1"})
+        service.handle({"expr": "1 `div` 0"})
+        service.handle({"expr": LOOP})
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["requests_total"] == 3
+        assert health["requests"] == {
+            "exceptional": 1,
+            "resource-exhausted": 1,
+            "value": 1,
+        }
+        assert health["governor_trips"] == {"steps": 1}
+        assert health["in_flight"] == 0
+        assert health["events"]["step"] > 0
+        assert health["limits"]["max_steps"] == 1_000
+        assert "breaker" in health

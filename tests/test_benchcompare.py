@@ -134,3 +134,51 @@ class TestCheckedInSeeds:
         records = load_records(DEFAULT_SEED_DIR)
         for row in records["E1b"]:
             assert row["overhead_pct"] == 0.0
+
+
+class TestParallelRuns:
+    """``--jobs`` must be a pure speed knob: a parallel run writes
+    byte-identical records to a serial one (the determinism gate for
+    the parallelised ``repro bench``)."""
+
+    def test_parallel_records_match_serial_exactly(self, tmp_path):
+        # Wall-clock fields differ between *any* two runs (that is why
+        # the gate never looks at them); every deterministic metric
+        # must agree to the digit, and the row/file structure must be
+        # identical.
+        from repro.benchcompare import _is_wallclock, run_benchmarks
+
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        experiments = ["E1", "E13"]
+        assert run_benchmarks(str(serial), experiments, jobs=1) == 0
+        assert run_benchmarks(str(parallel), experiments, jobs=0) == 0
+        serial_files = sorted(p.name for p in serial.iterdir())
+        parallel_files = sorted(p.name for p in parallel.iterdir())
+        assert serial_files == parallel_files
+        assert serial_files == ["BENCH_E1.json", "BENCH_E13.json"]
+
+        def deterministic(directory):
+            return {
+                experiment: [
+                    {
+                        k: v
+                        for k, v in row.items()
+                        if not _is_wallclock(k)
+                    }
+                    for row in rows
+                ]
+                for experiment, rows in load_records(
+                    str(directory)
+                ).items()
+            }
+
+        assert deterministic(serial) == deterministic(parallel)
+
+    def test_unknown_experiment_rejected_before_spawning(self, tmp_path):
+        import pytest
+
+        from repro.benchcompare import run_benchmarks
+
+        with pytest.raises(ValueError):
+            run_benchmarks(str(tmp_path), ["E99"], jobs=4)
