@@ -1,0 +1,155 @@
+"""E16 — the warm serving path: snapshot forks + the program cache.
+
+The tentpole claim of docs/SERVING.md: serving a repeat program from
+the warm path (fork an immutable prelude snapshot, reuse the cached
+front-end artifacts) is an order of magnitude faster than the cold
+construction (rebuild and re-freeze the prelude heap, re-parse the
+source, re-compile on the compiled backend) — while the response
+bodies stay **byte-identical**.  Both halves are measured here:
+
+* per-request p50 latency against a warm (``warm=True``) and a cold
+  (``warm=False``) :class:`~repro.serve.service.EvalService`, same
+  repeat-program workload, same limits;
+* a field-for-field comparison of the warm and cold response bodies —
+  outcome, rendered value, the full machine-counter block, the
+  trace-event totals.  ``divergences`` is recorded as a deterministic
+  metric, so the gate fails if it ever leaves zero.
+
+The wall-clock fields (``*_seconds``, ``speedup``) are reported, not
+gated; the CI assertion uses a floor far under the recorded numbers
+because shared runners gyrate.  The ≥10× claim itself lives in the
+BENCH_E16 rows and EXPERIMENTS.md, on the setup-dominated workloads
+where the warm path's savings are the whole request; ``sumsq`` is the
+eval-heavy control whose speedup is bounded by evaluation cost.
+
+Regenerates: the BENCH_E16 rows.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_record
+from repro.serve import EvalService, ServiceConfig
+
+#: Repeat-program workloads.  ``arith``/``zipwith`` are dominated by
+#: per-request setup (the warm path's target); ``sumsq`` spends its
+#: time in evaluation, bounding what any serving-layer cache can save.
+E16_WORKLOADS = {
+    "arith": "1 + 2 * 3 - 4",
+    "zipwith": (
+        "sum (zipWith (\\a b -> a * b) "
+        "(enumFromTo 1 8) (enumFromTo 1 8))"
+    ),
+    "sumsq": "sum (map (\\x -> x * x) (enumFromTo 1 50))",
+}
+
+#: Workloads the ≥10× compiled-backend claim is made (and gated) on.
+_HEADLINE = ("arith", "zipwith")
+
+_WARM_REQUESTS = 15
+_COLD_REQUESTS = 7
+
+#: CI floor for the headline compiled rows — far below the recorded
+#: ≥10×, far above noise (a flaking perf bar gets deleted).
+_CI_SPEEDUP_FLOOR = 3.0
+
+
+def _service(backend: str, warm: bool) -> EvalService:
+    return EvalService(
+        ServiceConfig(backend=backend, warm=warm, retries=0)
+    )
+
+
+def _p50(service: EvalService, source: str, requests: int) -> float:
+    times = []
+    for _ in range(requests):
+        start = time.perf_counter()
+        status, body, _retry = service.handle({"expr": source})
+        times.append(time.perf_counter() - start)
+        assert status == 200, body
+    return statistics.median(times)
+
+
+class TestWarmServeSpeedup:
+    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    @pytest.mark.parametrize("name", sorted(E16_WORKLOADS))
+    def test_p50_speedup_and_body_parity(self, backend, name):
+        source = E16_WORKLOADS[name]
+        warm = _service(backend, warm=True)
+        cold = _service(backend, warm=False)
+
+        # Parity first (also primes the warm cache/snapshot, so the
+        # timed loop below measures the steady state a repeat-program
+        # client sees): warm and cold must produce byte-identical
+        # bodies — same outcome, counters, event totals.
+        _, warm_body, _ = warm.handle({"expr": source})
+        _, cold_body, _ = cold.handle({"expr": source})
+        divergences = 0 if warm_body == cold_body else 1
+        assert divergences == 0, (warm_body, cold_body)
+
+        warm_p50 = _p50(warm, source, _WARM_REQUESTS)
+        cold_p50 = _p50(cold, source, _COLD_REQUESTS)
+        speedup = (
+            cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+        )
+
+        headline = backend == "compiled" and name in _HEADLINE
+        bench_record(
+            "E16",
+            workload=name,
+            backend=backend,
+            warm_p50_seconds=round(warm_p50, 6),
+            cold_p50_seconds=round(cold_p50, 6),
+            speedup=round(speedup, 1),
+            divergences=divergences,
+            steps=warm_body["stats"]["steps"],
+            cache_hits=warm.health()["cache"]["hits"],
+            target="≥10× (compiled, setup-dominated)"
+            if headline
+            else "reported",
+        )
+
+        # The warm path must never lose, anywhere; the headline rows
+        # must clear the CI floor.
+        assert speedup > 1.0, (
+            f"{name}/{backend}: warm p50 {warm_p50:.6f}s not faster "
+            f"than cold {cold_p50:.6f}s"
+        )
+        if headline:
+            assert speedup >= _CI_SPEEDUP_FLOOR, (
+                f"{name}/{backend}: warm path only {speedup:.1f}× "
+                f"(warm {warm_p50:.6f}s vs cold {cold_p50:.6f}s)"
+            )
+
+    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    def test_batch_amortises_admission(self, backend):
+        """One batch of N repeat programs vs N single requests: the
+        batch pays admission/breaker once and walks the cache N times.
+        Recorded, not gated — the two paths do the same evaluation
+        work, so the difference is protocol overhead only."""
+        source = E16_WORKLOADS["arith"]
+        service = _service(backend, warm=True)
+        service.handle({"expr": source})  # prime
+
+        start = time.perf_counter()
+        for _ in range(16):
+            service.handle({"expr": source})
+        singles = time.perf_counter() - start
+
+        start = time.perf_counter()
+        status, body, _ = service.handle({"programs": [source] * 16})
+        batch = time.perf_counter() - start
+        assert status == 200 and body["count"] == 16
+
+        bench_record(
+            "E16",
+            workload="batch-vs-singles",
+            backend=backend,
+            singles_seconds=round(singles, 6),
+            batch_seconds=round(batch, 6),
+            speedup=round(singles / batch, 2) if batch > 0 else 0.0,
+            divergences=0,
+            target="reported",
+        )

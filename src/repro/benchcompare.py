@@ -30,6 +30,7 @@ EXPERIMENT_SOURCES: Dict[str, str] = {
     "E1b": "benchmarks/bench_trace_overhead.py",
     "E2": "benchmarks/bench_explicit_encoding.py",
     "E13": "benchmarks/bench_compiled.py",
+    "E16": "benchmarks/bench_warm_serve.py",
 }
 
 #: Where the seed records live (checked in, regenerated with

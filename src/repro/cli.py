@@ -331,6 +331,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="disable prelude-calling arms")
     fz.add_argument("--no-catch", action="store_true",
                     help="disable catchIO wrapping in IO programs")
+    fz.add_argument("--no-warm-lane", action="store_true",
+                    help="disable the warm-fork parity lane (the "
+                    "snapshot fork vs cold start differential, "
+                    "docs/SERVING.md)")
     fz.add_argument("--no-shrink", action="store_true",
                     help="report divergences unshrunk")
     fz.add_argument("--max-findings", type=int, default=10,
@@ -384,41 +388,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve",
         help="resilient evaluate-as-a-service HTTP daemon",
         description=(
-            "Serve POST /eval (evaluate an expression under a "
-            "per-request resource governor) and GET /healthz (service "
-            "metrics) on a stdlib-only threaded HTTP server.  Every "
-            "request gets a fresh machine; deadlines and allocation "
-            "caps are delivered as the paper's Section 5.1 fictitious "
-            "exceptions (docs/ROBUSTNESS.md)."
+            "Serve POST /eval (evaluate an expression — or a "
+            '{"programs": [...]} batch — under a per-request resource '
+            "governor) and GET /healthz (service metrics) on a "
+            "stdlib-only threaded HTTP server.  By default requests "
+            "fork a warm prelude snapshot and repeat programs are "
+            "served from a content-addressed compile cache "
+            "(docs/SERVING.md); deadlines and allocation caps are "
+            "delivered as the paper's Section 5.1 fictitious "
+            "exceptions (docs/ROBUSTNESS.md).  Flags and response "
+            "fields are generated from repro.serve.schema — the same "
+            "source of truth as the documentation."
         ),
     )
-    sv.add_argument("--host", default="127.0.0.1")
-    sv.add_argument("--port", type=int, default=8080)
-    sv.add_argument("--backend", default="ast",
-                    choices=["ast", "compiled"])
-    sv.add_argument("--max-steps", type=int, default=2_000_000,
-                    help="per-request step fuel")
-    sv.add_argument("--max-allocations", type=int, default=1_000_000,
-                    help="per-request allocation cap")
-    sv.add_argument("--deadline", type=float, default=5.0,
-                    help="per-request wall-clock deadline (seconds)")
-    sv.add_argument("--max-concurrency", type=int, default=4,
-                    help="requests evaluated concurrently")
-    sv.add_argument("--queue-depth", type=int, default=16,
-                    help="admission queue length beyond the "
-                    "concurrency limit")
-    sv.add_argument("--retries", type=int, default=0,
-                    help="retry budget for transiently failed "
-                    "evaluations")
-    sv.add_argument("--breaker-threshold", type=int, default=5,
-                    help="consecutive failures before the circuit "
-                    "breaker opens")
-    sv.add_argument("--breaker-reset", type=float, default=1.0,
-                    help="seconds the breaker stays open before "
-                    "half-opening")
-    sv.add_argument("--fault-seed", type=int, default=None,
-                    help="attach a seeded chaos fault plan to every "
-                    "request (testing)")
+    # One source of truth for the flag surface: repro.serve.schema
+    # (the sync test pins --help against the docs tables).
+    from repro.serve.schema import add_serve_flags
+
+    add_serve_flags(sv)
     return parser
 
 
@@ -711,6 +698,7 @@ def _cmd_fuzz(args) -> int:
     from repro.fuzz.corpus import replay_corpus
     from repro.fuzz.engine import run_fuzz
     from repro.fuzz.gen import GenConfig
+    from repro.fuzz.oracle import OracleConfig
 
     if args.replay is not None:
         results = replay_corpus(args.replay)
@@ -751,6 +739,7 @@ def _cmd_fuzz(args) -> int:
         seconds=args.seconds,
         seed=args.seed,
         gen_config=gen_config,
+        oracle_config=OracleConfig(warm_lane=not args.no_warm_lane),
         save_path=args.save,
         shrink_findings=not args.no_shrink,
         max_findings=args.max_findings,
@@ -838,6 +827,9 @@ def _cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         fault_seed=args.fault_seed,
+        warm=args.warm,
+        cache_capacity=args.cache_capacity,
+        max_batch=args.max_batch,
     )
 
 

@@ -182,6 +182,7 @@ class OracleConfig:
     io_fuel: int = 400_000
     extra_shuffled: bool = True
     compiled_lane: bool = True
+    warm_lane: bool = True
 
     def strategies(self, seed: int) -> Sequence[Strategy]:
         base = list(standard_strategies())
@@ -238,6 +239,79 @@ def _machine_observation(
     except (MachineDiverged, RecursionError):
         return Observation(lane, "diverged", seed=seed)
     return _value_observation(lane, value, seed)
+
+
+def _warm_lane_observation(maker, lane: str, expr: Expr, fuel: int):
+    """Run ``expr`` on a machine built by ``maker`` (snapshot.fork or
+    snapshot.cold_start) with a private counting sink; returns the
+    observation plus the counter block and trace-event totals."""
+    from repro.obs.sinks import CountingSink
+
+    machine, env = maker(fuel=fuel)
+    counting = CountingSink()
+    machine.attach_sink(counting)
+    try:
+        value = machine.eval(expr, env)
+        obs = _value_observation(lane, value, None)
+    except (ObjRaise, AsyncInterrupt) as err:
+        obs = Observation(lane, "exc", str(err.exc), exc=err.exc)
+    except (MachineDiverged, RecursionError):
+        obs = Observation(lane, "diverged")
+    return obs, machine.stats.as_dict(), counting.as_dict()
+
+
+def _classify_warm_lane(
+    expr: Expr, config: OracleConfig, backend: str
+) -> Comparison:
+    """The serving layer's parity contract as a fuzz lane: a machine
+    forked from the shared prelude snapshot must be *byte-identical*
+    to a cold-built one — same outcome, same counter block, same
+    trace-event totals — on every generated program
+    (docs/SERVING.md).  Unlike the semantic lanes, any difference at
+    all is a divergence: no refinement contract licenses the warm path
+    changing even one counter."""
+    from repro.machine.snapshot import shared_snapshot
+
+    lane = f"machine:warm-fork[{backend}]"
+    snapshot = shared_snapshot(backend=backend)
+    warm = _warm_lane_observation(
+        snapshot.fork, lane, expr, config.machine_fuel
+    )
+    cold = _warm_lane_observation(
+        snapshot.cold_start, lane, expr, config.machine_fuel
+    )
+    (w_obs, w_stats, w_events) = warm
+    (c_obs, c_stats, c_events) = cold
+    if (w_obs.kind, w_obs.detail) != (c_obs.kind, c_obs.detail):
+        return Comparison(
+            lane,
+            DIVERGENCE,
+            f"fork observed {w_obs.kind}:{w_obs.detail} but cold "
+            f"start observed {c_obs.kind}:{c_obs.detail}",
+            w_obs,
+        )
+    if w_stats != c_stats:
+        return Comparison(
+            lane,
+            DIVERGENCE,
+            f"counter mismatch: fork {w_stats} vs cold {c_stats}",
+            w_obs,
+        )
+    if w_events != c_events:
+        return Comparison(
+            lane,
+            DIVERGENCE,
+            f"trace-event mismatch: fork {w_events} vs cold "
+            f"{c_events}",
+            w_obs,
+        )
+    return Comparison(
+        lane,
+        AGREE,
+        "fork and cold start byte-identical "
+        "(outcome, counters, events)",
+        w_obs,
+    )
 
 
 def _semval_matches(denoted_value: object, obs: Observation) -> bool:
@@ -596,6 +670,17 @@ def _run_pure_oracle(
             "machine:compiled", backend="compiled",
         )
         comparisons.append(_classify_machine_lane(denoted, obs))
+    if config.warm_lane:
+        # The warm serving path's parity contract, checked as its own
+        # differential: fork-vs-cold must be byte-identical, not just
+        # semantically equivalent.
+        comparisons.append(
+            _classify_warm_lane(case.expr, config, "ast")
+        )
+        if config.compiled_lane:
+            comparisons.append(
+                _classify_warm_lane(case.expr, config, "compiled")
+            )
     comparisons.append(
         _classify_exval_lane(case.expr, denoted, config, sink)
     )

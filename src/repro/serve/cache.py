@@ -1,0 +1,183 @@
+"""The content-addressed program cache behind the warm path.
+
+A served program's front-end work — parse, pattern-flatten, optionally
+typecheck, and (on the compiled backend) lower to closures — is a pure
+function of the *source text*, the *backend* and the *strategy*.  The
+cache therefore keys entries by ``sha256(source) × backend ×
+strategy`` and stores the derived artifacts:
+
+* the flattened AST (``expr``) — or, for unparseable source, the
+  parse error itself (negative caching: a client retrying a bad
+  program in a loop should not re-run the parser either);
+* the compiled closure tree (``code``), built lazily on first use
+  against the :class:`~repro.machine.snapshot.PreludeSnapshot`'s
+  frozen environment — the generated code bakes those shared cells in,
+  which is exactly why it can be reused by every fork (the cells are
+  immutable and machine-independent; the running machine is a call
+  argument, not a capture);
+* the type-check verdict (``typecheck()``), also lazy — most clients
+  do not ask for it, and inference is the most expensive front-end
+  stage.
+
+Invalidation is structural: content addressing means an edited source
+*is* a different key, so stale artifacts are never served — the old
+entry simply ages out of the LRU bound.  ``invalidate`` exists for
+explicit eviction (operational hygiene, tested), and ``clear`` drops
+everything.  All operations are thread-safe under one lock; the lazy
+``code``/``typecheck`` stages are double-checked so concurrent misses
+compile once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+
+class CachedProgram:
+    """One cache entry: source-derived artifacts, computed at most once."""
+
+    __slots__ = (
+        "key",
+        "source",
+        "expr",
+        "error",
+        "_code",
+        "_verdict",
+        "_lock",
+    )
+
+    def __init__(self, key, source: str, expr, error) -> None:
+        self.key = key
+        self.source = source
+        self.expr = expr
+        self.error = error  # parse/flatten failure message, or None
+        self._code = None
+        self._verdict: Optional[Tuple[str, str]] = None
+        self._lock = threading.Lock()
+
+    def code(self, glob, strategy):
+        """The compiled closure tree, lowered once against ``glob``
+        (the snapshot's frozen environment)."""
+        if self._code is None:
+            from repro.machine.compile import compile_top
+
+            with self._lock:
+                if self._code is None:
+                    self._code = compile_top(self.expr, glob, strategy)
+        return self._code
+
+    def typecheck(self) -> Tuple[str, str]:
+        """``("ok", type)`` or ``("type-error", message)``, memoised."""
+        if self._verdict is None:
+            with self._lock:
+                if self._verdict is None:
+                    self._verdict = self._infer()
+        return self._verdict
+
+    def _infer(self) -> Tuple[str, str]:
+        from repro.api import prelude_type_env
+        from repro.types.infer import TypeError_, infer_expr
+
+        try:
+            env, adts = prelude_type_env()
+            t = infer_expr(self.expr, env, adts)
+        except TypeError_ as err:
+            return ("type-error", str(err))
+        return ("ok", str(t))
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class ProgramCache:
+    """A bounded, thread-safe LRU of :class:`CachedProgram` entries."""
+
+    def __init__(
+        self, backend: str, strategy_key: str, capacity: int = 256
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.backend = backend
+        self.strategy_key = strategy_key
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, CachedProgram]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def key_for(self, source: str) -> tuple:
+        return (source_digest(source), self.backend, self.strategy_key)
+
+    def lookup(self, source: str) -> CachedProgram:
+        """The entry for ``source``, front end run on first sight."""
+        key = self.key_for(source)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+        # Parse outside the lock: front-end work must not serialize
+        # unrelated requests.  A concurrent duplicate miss is benign —
+        # last writer wins and both entries are equivalent.
+        entry = self._build(key, source)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    @staticmethod
+    def _build(key: tuple, source: str) -> CachedProgram:
+        from repro.api import compile_expr
+
+        try:
+            expr = compile_expr(source)
+        except Exception as err:
+            return CachedProgram(key, source, None, str(err))
+        return CachedProgram(key, source, expr, None)
+
+    def invalidate(self, source: str) -> bool:
+        """Drop the entry for ``source``; True if one was cached."""
+        key = self.key_for(source)
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> int:
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self.invalidations += n
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, source: str) -> bool:
+        with self._lock:
+            return self.key_for(source) in self._entries
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

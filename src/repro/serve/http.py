@@ -3,13 +3,16 @@
 Endpoints
 ---------
 ``POST /eval``
-    Body: ``{"expr": "<source>", "stdin": "<optional>"}``.  Response:
-    one of the structured statuses documented in
-    :mod:`repro.serve.service` (and docs/ROBUSTNESS.md).  Rejections
-    carry a ``Retry-After`` header.
+    Body: ``{"expr": "<source>", "stdin": "<optional>", "typecheck":
+    <optional bool>}`` for one program, or ``{"programs": [...]}`` for
+    a batch evaluated under a single admission ticket.  Response: one
+    of the structured statuses defined in :mod:`repro.serve.schema`
+    (rendered into docs/ROBUSTNESS.md; lifecycle in docs/SERVING.md).
+    Rejections carry a ``Retry-After`` header.
 ``GET /healthz``
     Service metrics: request counts by status, breaker state and
-    transition history, aggregated trace-event totals, governor trips.
+    transition history, aggregated trace-event totals, governor trips,
+    program-cache hit/miss/eviction counters and batch totals.
 
 The server is a ``ThreadingHTTPServer``: one Python thread per
 connection, with the service's own admission/concurrency bounds doing
@@ -148,6 +151,9 @@ def serve_forever(
     breaker_threshold: int = 5,
     breaker_reset: float = 1.0,
     fault_seed: Optional[int] = None,
+    warm: bool = True,
+    cache_capacity: int = 256,
+    max_batch: int = 32,
 ) -> int:
     """The ``repro serve`` entry point: run until interrupted."""
     config = ServiceConfig(
@@ -161,14 +167,18 @@ def serve_forever(
         breaker_threshold=breaker_threshold,
         breaker_reset_seconds=breaker_reset,
         fault_seed=fault_seed,
+        warm=warm,
+        cache_capacity=cache_capacity,
+        max_batch=max_batch,
     )
     service = EvalService(config)
     server = make_server(host, port, service)
     bound_host, bound_port = server.server_address[:2]
     print(
         f"repro serve: listening on http://{bound_host}:{bound_port} "
-        f"(backend={backend}, concurrency={max_concurrency}, "
-        f"queue={queue_depth})",
+        f"(backend={backend}, "
+        f"{'warm' if warm else 'cold'} path, "
+        f"concurrency={max_concurrency}, queue={queue_depth})",
         file=sys.stderr,
         flush=True,
     )

@@ -1,0 +1,336 @@
+"""The serve API, described once.
+
+PR 5 shipped three descriptions of the same surface — the shaping code
+in :mod:`repro.serve.service`, the ``repro serve --help`` text, and
+the tables in ``docs/ROBUSTNESS.md`` — and they drifted.  This module
+is now the single source of truth:
+
+* :data:`RESPONSE_SCHEMAS` — per-status required/optional response
+  fields with one-line descriptions.  The service's tests assert every
+  produced body stays inside its schema, and the schema-sync test
+  (tests/serve/test_schema.py) asserts the rendered markdown below is
+  byte-identical to the block between the ``serve-schema`` markers in
+  ``docs/ROBUSTNESS.md``.
+* :data:`SERVE_FLAGS` — the ``repro serve`` flag table.  The CLI
+  builds its argparse options from these specs, so ``--help`` cannot
+  drift either.
+
+Regenerate the docs block after editing this file::
+
+    PYTHONPATH=src python -m repro.serve.schema --write
+    PYTHONPATH=src python -m repro.serve.schema --check   # CI mode
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple
+
+# -- response schema ----------------------------------------------------
+
+#: status -> (required {field: description}, optional {field: description})
+RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
+    "value": (
+        {
+            "status": "`\"value\"` — WHNF reached (IO: action performed)",
+            "attempts": "evaluation attempts consumed (>= 1)",
+            "stats": "machine counter block (steps, allocations, ...)",
+            "value": "rendered result",
+        },
+        {
+            "stdout": "output written by the IO action, when non-empty",
+            "events": "per-request trace-event totals (when collected)",
+            "trip": "governor trip record, if a one-shot limit fired",
+            "faults_injected": "chaos-mode fault records, when any fired",
+        },
+    ),
+    "exceptional": (
+        {
+            "status": "`\"exceptional\"` — a member of the denoted set",
+            "attempts": "evaluation attempts consumed (>= 1)",
+            "stats": "machine counter block",
+            "exc": "the observed exception (one set member, §3.5)",
+            "synchronous": "false for §5.1 asynchronous members",
+        },
+        {
+            "events": "per-request trace-event totals (when collected)",
+            "trip": "governor trip record, if a one-shot limit fired",
+            "faults_injected": "chaos-mode fault records, when any fired",
+        },
+    ),
+    "resource-exhausted": (
+        {
+            "status": "`\"resource-exhausted\"` — a governor limit or fuel",
+            "attempts": "evaluation attempts consumed (>= 1)",
+            "stats": "machine counter block",
+            "reason": "`steps` | `allocations` | `deadline` | `fuel`",
+        },
+        {
+            "exc": "the delivered fictitious exception "
+            "(`Timeout`/`HeapOverflow`)",
+            "retry_after": "suggested client backoff (deadline trips only)",
+            "trip": "governor trip record",
+            "events": "per-request trace-event totals (when collected)",
+            "faults_injected": "chaos-mode fault records, when any fired",
+        },
+    ),
+    "rejected": (
+        {
+            "status": "`\"rejected\"` — never reached a machine",
+            "reason": "`queue-full` (429) | `circuit-open` (503)",
+            "retry_after": "seconds to wait (also the Retry-After header)",
+        },
+        {},
+    ),
+    "error": (
+        {
+            "status": "`\"error\"` — the request itself is at fault",
+            "reason": "`bad-request` | `bad-json` | `body-too-large` | "
+            "`parse-error` | `type-error` | `batch-too-large` | "
+            "`not-found`",
+            "message": "human-readable detail",
+        },
+        {},
+    ),
+    "batch": (
+        {
+            "status": "`\"batch\"` — a `{\"programs\": [...]}` request",
+            "count": "number of programs evaluated",
+            "results": "per-program response bodies, in request order, "
+            "each one of the statuses above",
+        },
+        {},
+    ),
+}
+
+#: HTTP status codes per response status (rejected varies by reason).
+HTTP_STATUS = {
+    "value": "200",
+    "exceptional": "200",
+    "resource-exhausted": "200",
+    "batch": "200",
+    "rejected": "429 / 503",
+    "error": "400 / 404 / 413",
+}
+
+
+def schema_sets(status: str) -> Tuple[Set[str], Set[str]]:
+    """(required, optional) field-name sets — the test-suite view."""
+    required, optional = RESPONSE_SCHEMAS[status]
+    return set(required), set(optional)
+
+
+# -- serve flags --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlagSpec:
+    """One ``repro serve`` option, argparse- and docs-renderable."""
+
+    flag: str
+    help: str
+    type: Optional[type] = None
+    default: object = None
+    choices: Optional[Tuple[str, ...]] = None
+    action: Optional[str] = None  # e.g. "store_false" switches
+    dest: Optional[str] = None
+    kwargs: dict = field(default_factory=dict)
+
+    def add_to(self, parser) -> None:
+        kwargs = dict(self.kwargs)
+        if self.action is not None:
+            kwargs["action"] = self.action
+        else:
+            kwargs["type"] = self.type
+        if self.choices is not None:
+            kwargs["choices"] = list(self.choices)
+        if self.dest is not None:
+            kwargs["dest"] = self.dest
+        parser.add_argument(
+            self.flag, default=self.default, help=self.help, **kwargs
+        )
+
+    def default_text(self) -> str:
+        if self.action in ("store_true", "store_false"):
+            return "on" if self.default else "off"
+        return "—" if self.default is None else str(self.default)
+
+
+SERVE_FLAGS: Tuple[FlagSpec, ...] = (
+    FlagSpec("--host", "interface to bind", str, "127.0.0.1"),
+    FlagSpec("--port", "port to bind (0 picks a free one)", int, 8080),
+    FlagSpec(
+        "--backend",
+        "evaluator backend for every request",
+        str,
+        "ast",
+        choices=("ast", "compiled"),
+    ),
+    FlagSpec("--max-steps", "per-request step budget", int, 2_000_000),
+    FlagSpec(
+        "--max-allocations", "per-request allocation cap", int, 1_000_000
+    ),
+    FlagSpec(
+        "--deadline",
+        "per-request wall-clock deadline (seconds)",
+        float,
+        5.0,
+    ),
+    FlagSpec(
+        "--max-concurrency", "requests evaluated concurrently", int, 4
+    ),
+    FlagSpec(
+        "--queue-depth",
+        "admission queue length beyond the concurrency limit",
+        int,
+        16,
+    ),
+    FlagSpec(
+        "--retries",
+        "retry budget for transiently failed evaluations",
+        int,
+        0,
+    ),
+    FlagSpec(
+        "--breaker-threshold",
+        "consecutive failures before the circuit breaker opens",
+        int,
+        5,
+    ),
+    FlagSpec(
+        "--breaker-reset",
+        "seconds the breaker stays open before half-opening",
+        float,
+        1.0,
+    ),
+    FlagSpec(
+        "--fault-seed",
+        "attach a seeded chaos fault plan to every request (testing)",
+        int,
+        None,
+    ),
+    FlagSpec(
+        "--no-warm",
+        "disable the warm path: rebuild the prelude per request "
+        "instead of forking the shared snapshot (docs/SERVING.md)",
+        default=True,
+        action="store_false",
+        dest="warm",
+    ),
+    FlagSpec(
+        "--cache-capacity",
+        "LRU bound on the content-addressed program cache",
+        int,
+        256,
+    ),
+    FlagSpec(
+        "--max-batch",
+        "largest accepted {\"programs\": [...]} batch",
+        int,
+        32,
+    ),
+)
+
+
+def add_serve_flags(parser) -> None:
+    """Install every serve flag on an argparse parser."""
+    for spec in SERVE_FLAGS:
+        spec.add_to(parser)
+
+
+# -- markdown rendering -------------------------------------------------
+
+MARKER_START = "<!-- serve-schema:start (generated by repro.serve.schema; do not edit by hand) -->"
+MARKER_END = "<!-- serve-schema:end -->"
+
+DOCS_PATH = Path(__file__).resolve().parents[3] / "docs" / "ROBUSTNESS.md"
+
+
+def _cell(text: str) -> str:
+    """Escape a description for use inside a markdown table cell."""
+    return text.replace("|", "\\|")
+
+
+def render_markdown() -> str:
+    """The generated docs block: response schema + flag table."""
+    lines = [MARKER_START, ""]
+    lines.append("#### Response schema (generated)")
+    lines.append("")
+    for status, (required, optional) in RESPONSE_SCHEMAS.items():
+        lines.append(
+            f"**`{status}`** — HTTP {HTTP_STATUS[status]}"
+        )
+        lines.append("")
+        lines.append("| field | | description |")
+        lines.append("|---|---|---|")
+        for name, desc in required.items():
+            lines.append(f"| `{name}` | required | {_cell(desc)} |")
+        for name, desc in optional.items():
+            lines.append(f"| `{name}` | optional | {_cell(desc)} |")
+        lines.append("")
+    lines.append("#### `repro serve` flags (generated)")
+    lines.append("")
+    lines.append("| flag | default | meaning |")
+    lines.append("|---|---|---|")
+    for spec in SERVE_FLAGS:
+        lines.append(
+            f"| `{spec.flag}` | {spec.default_text()} | "
+            f"{_cell(spec.help)} |"
+        )
+    lines.append("")
+    lines.append(MARKER_END)
+    return "\n".join(lines)
+
+
+def extract_block(text: str) -> Optional[str]:
+    """The current generated block inside ``text``, markers included."""
+    pattern = re.compile(
+        re.escape(MARKER_START) + r".*?" + re.escape(MARKER_END),
+        re.DOTALL,
+    )
+    match = pattern.search(text)
+    return match.group(0) if match else None
+
+
+def sync_docs(path: Path = DOCS_PATH, write: bool = False) -> bool:
+    """True when the docs block matches :func:`render_markdown`.
+
+    With ``write=True``, splice the freshly rendered block in place of
+    the stale one first.
+    """
+    text = path.read_text()
+    current = extract_block(text)
+    rendered = render_markdown()
+    if current == rendered:
+        return True
+    if write and current is not None:
+        path.write_text(text.replace(current, rendered))
+        return True
+    return False
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="sync the generated serve-schema block in "
+        "docs/ROBUSTNESS.md"
+    )
+    parser.add_argument("--write", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    args = parser.parse_args(argv)
+    if args.write:
+        ok = sync_docs(write=True)
+        print("docs/ROBUSTNESS.md serve-schema block updated"
+              if ok else "markers not found")
+        return 0 if ok else 1
+    ok = sync_docs(write=False)
+    print("serve-schema block in sync" if ok
+          else "serve-schema block STALE — run with --write")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,26 @@
 """The evaluation service: per-request isolation, structured outcomes.
 
-Every request gets a **fresh machine** (no shared heap, no shared
-counters — isolation is the whole point of the paper's per-evaluation
-semantics), a fresh :class:`~repro.serve.governor.ResourceGovernor`,
-and optionally a fresh seeded fault plan (chaos mode).  The outcome is
-shaped into one of four structured statuses:
+Every request gets a **fresh machine** (no shared heap *writes*, no
+shared counters — isolation is the whole point of the paper's
+per-evaluation semantics), a fresh
+:class:`~repro.serve.governor.ResourceGovernor`, and optionally a
+fresh seeded fault plan (chaos mode).
+
+Two request paths share one observable contract (docs/SERVING.md):
+
+* **warm** (default): the machine is *forked* from a
+  :class:`~repro.machine.snapshot.PreludeSnapshot` — a fully memoised,
+  therefore immutable, prelude heap built once at service start — and
+  the front end (parse, flatten, typecheck, compile) is served from a
+  content-addressed :class:`~repro.serve.cache.ProgramCache`, so a
+  repeat program goes straight to evaluation;
+* **cold** (``warm=False``): PR 5's original construction — prelude
+  cells rebuilt and the source re-parsed per request — kept as the
+  benchmark baseline (E16) and escape hatch.
+
+The outcome is shaped into one of the structured statuses below
+(:mod:`repro.serve.schema` is the single source of truth for their
+fields):
 
 ``value``
     Evaluation reached WHNF (for ``IO`` expressions: the action was
@@ -40,7 +56,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.machine.eval import Machine
 from repro.machine.heap import AsyncInterrupt, Cell, MachineDiverged, ObjRaise
 from repro.machine.observe import (
     Diverged,
@@ -48,8 +63,14 @@ from repro.machine.observe import (
     Normal,
     show_value,
 )
+from repro.machine.snapshot import (
+    PreludeSnapshot,
+    shared_snapshot,
+    warm_machine,
+)
 from repro.machine.values import VIO
 from repro.obs.sinks import CountingSink
+from repro.serve.cache import CachedProgram, ProgramCache
 from repro.serve.governor import GovernorLimits, ResourceGovernor
 from repro.serve.retry import CircuitBreaker, RetryPolicy
 
@@ -72,6 +93,9 @@ class ServiceConfig:
     fault_seed: Optional[int] = None
     fault_horizon: int = 2_000
     collect_events: bool = True
+    warm: bool = True
+    cache_capacity: int = 256
+    max_batch: int = 32
 
     def backstop_fuel(self) -> int:
         """The machine's own fuel — the hard stop behind the governor
@@ -129,6 +153,20 @@ class EvalService:
         self.trip_totals: Dict[str, int] = {}
         self.faults_injected = 0
         self.retries_performed = 0
+        self.batches_total = 0
+        self.batch_programs_total = 0
+        # Warm path: one immutable prelude snapshot (shared process-
+        # wide per backend — it is read-only by construction) plus a
+        # per-service content-addressed artifact cache.
+        self.snapshot: Optional[PreludeSnapshot] = None
+        self.cache: Optional[ProgramCache] = None
+        if self.config.warm:
+            self.snapshot = shared_snapshot(backend=self.config.backend)
+            self.cache = ProgramCache(
+                backend=self.config.backend,
+                strategy_key=self.snapshot.strategy_key(),
+                capacity=self.config.cache_capacity,
+            )
         self._started_at = clock()
 
     # -- request handling -----------------------------------------------
@@ -139,35 +177,26 @@ class EvalService:
         """Serve one request.  Returns ``(http_status, body,
         retry_after)`` — the HTTP front end turns ``retry_after`` into
         a ``Retry-After`` header; library callers read it from the body.
+
+        Two payload shapes: ``{"expr": "<source>"}`` evaluates one
+        program; ``{"programs": [...]}`` evaluates a batch under a
+        single admission ticket (items are source strings or
+        ``{"expr": ..., "stdin": ..., "typecheck": ...}`` objects).
         """
+        if isinstance(payload, dict) and "programs" in payload:
+            return self._handle_batch(payload)
         if not isinstance(payload, dict) or not isinstance(
             payload.get("expr"), str
         ):
-            return (
-                400,
-                {
-                    "status": "error",
-                    "reason": "bad-request",
-                    "message": 'body must be JSON {"expr": "<source>"}',
-                },
-                None,
+            return self._bad_request(
+                'body must be JSON {"expr": "<source>"} or '
+                '{"programs": [...]}'
             )
-        expr_source = payload["expr"]
-        stdin = payload.get("stdin", "")
-        if not isinstance(stdin, str):
-            stdin = ""
+        request = self._normalize(payload)
 
-        if not self._admission.acquire(blocking=False):
-            retry_after = max(
-                (self.config.deadline_seconds or 1.0) / 2, 0.05
-            )
-            body = {
-                "status": "rejected",
-                "reason": "queue-full",
-                "retry_after": round(retry_after, 3),
-            }
-            self._count_status("rejected")
-            return 429, body, retry_after
+        admitted, rejection = self._admit()
+        if not admitted:
+            return rejection
         try:
             allowed, retry_after = self.breaker.allow()
             if not allowed:
@@ -178,60 +207,183 @@ class EvalService:
                 }
                 self._count_status("rejected")
                 return 503, body, retry_after
+            return self._serve_program(request)
+        finally:
+            self._admission.release()
 
+    def _handle_batch(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """N programs, one admission ticket: the queue slot, the
+        breaker consultation and (on the warm path) the snapshot/cache
+        lookups are paid once per batch, while every program keeps its
+        own machine, governor, fault plan and structured response."""
+        programs = payload.get("programs")
+        if not isinstance(programs, list) or not programs:
+            return self._bad_request(
+                '"programs" must be a non-empty JSON array'
+            )
+        if len(programs) > self.config.max_batch:
+            return (
+                400,
+                {
+                    "status": "error",
+                    "reason": "batch-too-large",
+                    "message": f"batch of {len(programs)} exceeds "
+                    f"max_batch={self.config.max_batch}",
+                },
+                None,
+            )
+        requests = []
+        for item in programs:
+            if isinstance(item, str):
+                item = {"expr": item}
+            if not isinstance(item, dict) or not isinstance(
+                item.get("expr"), str
+            ):
+                return self._bad_request(
+                    "batch items must be source strings or "
+                    '{"expr": "<source>"} objects'
+                )
+            requests.append(self._normalize(item))
+
+        admitted, rejection = self._admit()
+        if not admitted:
+            return rejection
+        try:
+            allowed, retry_after = self.breaker.allow()
+            if not allowed:
+                body = {
+                    "status": "rejected",
+                    "reason": "circuit-open",
+                    "retry_after": round(retry_after, 3),
+                }
+                self._count_status("rejected")
+                return 503, body, retry_after
+            results = [
+                self._serve_program(request)[1] for request in requests
+            ]
             with self._lock:
-                self._request_counter += 1
-                request_id = self._request_counter
+                self.batches_total += 1
+                self.batch_programs_total += len(results)
+            body = {
+                "status": "batch",
+                "count": len(results),
+                "results": results,
+            }
+            return 200, body, None
+        finally:
+            self._admission.release()
 
-            try:
-                expr = self._compile(expr_source)
-            except Exception as err:
-                # A parse/flatten error is the *client's* failure, not
-                # the pool's — it must not open the breaker.
+    @staticmethod
+    def _normalize(payload: Dict[str, Any]) -> Dict[str, Any]:
+        stdin = payload.get("stdin", "")
+        return {
+            "expr": payload["expr"],
+            "stdin": stdin if isinstance(stdin, str) else "",
+            "typecheck": bool(payload.get("typecheck", False)),
+        }
+
+    def _admit(self):
+        if self._admission.acquire(blocking=False):
+            return True, None
+        retry_after = max(
+            (self.config.deadline_seconds or 1.0) / 2, 0.05
+        )
+        body = {
+            "status": "rejected",
+            "reason": "queue-full",
+            "retry_after": round(retry_after, 3),
+        }
+        self._count_status("rejected")
+        return False, (429, body, retry_after)
+
+    @staticmethod
+    def _bad_request(
+        message: str,
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        return (
+            400,
+            {
+                "status": "error",
+                "reason": "bad-request",
+                "message": message,
+            },
+            None,
+        )
+
+    def _serve_program(
+        self, request: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """Front end, evaluation, shaping and accounting for one
+        program — admission and breaker gating already done."""
+        with self._lock:
+            self._request_counter += 1
+            request_id = self._request_counter
+
+        entry = self._front_end(request["expr"])
+        if entry.error is not None:
+            # A parse/flatten error is the *client's* failure, not the
+            # pool's — it must not open the breaker.
+            self.breaker.record_success()
+            self._count_status("error")
+            return (
+                400,
+                {
+                    "status": "error",
+                    "reason": "parse-error",
+                    "message": entry.error,
+                },
+                None,
+            )
+        if request["typecheck"]:
+            verdict, detail = entry.typecheck()
+            if verdict != "ok":
                 self.breaker.record_success()
                 self._count_status("error")
                 return (
                     400,
                     {
                         "status": "error",
-                        "reason": "parse-error",
-                        "message": str(err),
+                        "reason": "type-error",
+                        "message": detail,
                     },
                     None,
                 )
 
-            self._running.acquire()
-            with self._lock:
-                self._in_flight += 1
-            try:
-                attempt_result, attempts = self._with_retries(
-                    expr, stdin, request_id
-                )
-            finally:
-                with self._lock:
-                    self._in_flight -= 1
-                self._running.release()
-
-            body = self._shape(attempt_result, attempts)
-            self._absorb(attempt_result, attempts)
-            if attempt_result.kind == "resource-exhausted":
-                self.breaker.record_failure()
-            else:
-                self.breaker.record_success()
-            return 200, body, body.get("retry_after")
+        self._running.acquire()
+        with self._lock:
+            self._in_flight += 1
+        try:
+            attempt_result, attempts = self._with_retries(
+                entry, request["stdin"], request_id
+            )
         finally:
-            self._admission.release()
+            with self._lock:
+                self._in_flight -= 1
+            self._running.release()
+
+        body = self._shape(attempt_result, attempts)
+        self._absorb(attempt_result, attempts)
+        if attempt_result.kind == "resource-exhausted":
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        return 200, body, body.get("retry_after")
 
     # -- evaluation -----------------------------------------------------
 
-    @staticmethod
-    def _compile(source: str):
-        from repro.api import compile_expr
-
-        return compile_expr(source)
+    def _front_end(self, source: str) -> CachedProgram:
+        """Parse/flatten ``source`` into a :class:`CachedProgram` —
+        through the content-addressed cache on the warm path, as a
+        transient throwaway on the cold one (so both paths speak the
+        same artifact language, but only warm skips repeat work)."""
+        if self.cache is not None:
+            return self.cache.lookup(source)
+        return ProgramCache._build(("transient",), source)
 
     def _with_retries(
-        self, expr, stdin: str, request_id: int
+        self, entry: CachedProgram, stdin: str, request_id: int
     ) -> Tuple[_Attempt, int]:
         attempts_budget = max(1, self.config.retries + 1)
         policy = RetryPolicy(
@@ -241,7 +393,7 @@ class EvalService:
             sleep=self._sleep,
         )
         result, attempts = policy.run(
-            lambda i: self._attempt(expr, stdin, request_id, i),
+            lambda i: self._attempt(entry, stdin, request_id, i),
             self._retryable,
         )
         return result, attempts
@@ -259,14 +411,28 @@ class EvalService:
         return False
 
     def _attempt(
-        self, expr, stdin: str, request_id: int, attempt_number: int
+        self,
+        entry: CachedProgram,
+        stdin: str,
+        request_id: int,
+        attempt_number: int,
     ) -> _Attempt:
-        from repro.prelude.loader import machine_env
-
         config = self.config
-        machine = Machine(
-            fuel=config.backstop_fuel(), backend=config.backend
-        )
+        if self.snapshot is not None:
+            # Warm: an O(1) fork sharing the frozen prelude heap.  The
+            # fork carries no instrumentation; sink/governor/fault are
+            # attached below, exactly as on the cold path, so both
+            # paths instrument the same evaluation window.
+            machine, env = self.snapshot.fork(fuel=config.backstop_fuel())
+        else:
+            # Cold: rebuild the entire prelude heap and drive it to
+            # the same fully-memoised state a fork starts from
+            # (snapshot.warm_machine), so warm and cold responses are
+            # byte-identical — same outcome, same counters, same event
+            # totals — and only latency distinguishes the paths.
+            machine, env = warm_machine(
+                backend=config.backend, fuel=config.backstop_fuel()
+            )
         sink = CountingSink() if config.collect_events else None
         if sink is not None:
             machine.attach_sink(sink)
@@ -293,8 +459,13 @@ class EvalService:
         machine.attach_governor(governor)
         governor.start()
 
-        env = machine_env(machine)
-        outcome = self._observe(expr, env, machine, stdin)
+        program: Any = entry.expr
+        if self.snapshot is not None and config.backend == "compiled":
+            # The cached closure tree bakes the snapshot's (immutable)
+            # cells in and takes the running machine as an argument,
+            # so one compilation serves every fork.
+            program, env = entry.code(self.snapshot.env, machine.strategy), ()
+        outcome = self._observe(program, env, machine, stdin)
         return self._classify(outcome, machine, governor, fault, sink)
 
     def _observe(self, expr, env, machine, stdin: str):
@@ -445,9 +616,16 @@ class EvalService:
             total = self._request_counter
             faults = self.faults_injected
             retries = self.retries_performed
+            batches = {
+                "total": self.batches_total,
+                "programs": self.batch_programs_total,
+            }
         return {
             "status": "ok",
             "backend": self.config.backend,
+            "warm": self.config.warm,
+            "cache": self.cache.stats() if self.cache else None,
+            "batches": batches,
             "uptime_seconds": round(self._clock() - self._started_at, 3),
             "requests_total": total,
             "requests": requests,

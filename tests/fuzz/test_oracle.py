@@ -46,7 +46,11 @@ class TestPureLattice:
         assert all(
             v == REFINEMENT
             for lane, v in verdicts.items()
+            # Semantic lanes only: the warm-fork lanes compare fork vs
+            # cold start (not machine vs denotation), and both paths
+            # observing the same member is their AGREE.
             if lane.startswith("machine:")
+            and not lane.startswith("machine:warm-fork")
         )
 
     def test_single_member_set_agrees(self):
@@ -194,3 +198,37 @@ class TestConfig:
         before any machine lane does."""
         config = OracleConfig()
         assert config.machine_fuel > 4 * config.denote_fuel
+
+
+class TestWarmLane:
+    """The warm-fork parity lane: snapshot fork vs cold start must be
+    byte-identical (outcome, counters, trace events) on every case —
+    the serving layer's contract (docs/SERVING.md), fuzzed."""
+
+    def test_warm_lane_runs_on_both_backends_by_default(self):
+        report = run_oracle(case_of("sum (enumFromTo 1 5)"))
+        verdicts = lane_verdicts(report)
+        assert verdicts["machine:warm-fork[ast]"] == AGREE
+        assert verdicts["machine:warm-fork[compiled]"] == AGREE
+
+    def test_warm_lane_agrees_on_raises_and_imprecision(self):
+        for source in (
+            "head Nil",
+            "1 `div` 0",
+            '(1 `div` 0) + (raise (UserError "Urk"))',
+        ):
+            verdicts = lane_verdicts(run_oracle(case_of(source)))
+            assert verdicts["machine:warm-fork[ast]"] == AGREE, source
+
+    def test_warm_lane_can_be_disabled(self):
+        config = OracleConfig(warm_lane=False)
+        verdicts = lane_verdicts(run_oracle(case_of("1 + 2"), config))
+        assert not any(
+            lane.startswith("machine:warm-fork") for lane in verdicts
+        )
+
+    def test_warm_lane_follows_compiled_lane_flag(self):
+        config = OracleConfig(compiled_lane=False)
+        verdicts = lane_verdicts(run_oracle(case_of("1 + 2"), config))
+        assert "machine:warm-fork[ast]" in verdicts
+        assert "machine:warm-fork[compiled]" not in verdicts

@@ -97,6 +97,41 @@ class TestEval:
         assert body["reason"] == "parse-error"
 
 
+class TestBatch:
+    def test_batch_round_trip(self, server):
+        status, body, _ = _post(
+            server,
+            "/eval",
+            {"programs": ["1 + 1", "head Nil", 'putLine "x"']},
+        )
+        assert status == 200
+        assert body["status"] == "batch"
+        assert body["count"] == 3
+        assert [r["status"] for r in body["results"]] == [
+            "value",
+            "exceptional",
+            "value",
+        ]
+        assert body["results"][2]["stdout"] == "x\n"
+
+    def test_batch_health_counters(self, server):
+        _post(server, "/eval", {"programs": ["1", "2"]})
+        _, health = _get(server, "/healthz")
+        assert health["batches"]["total"] == 1
+        assert health["batches"]["programs"] == 2
+        assert health["cache"]["misses"] >= 2
+
+    def test_oversized_batch_is_a_400(self, server):
+        programs = ["1 + 1"] * (
+            server.service.config.max_batch + 1
+        )
+        status, body, _ = _post(
+            server, "/eval", {"programs": programs}
+        )
+        assert status == 400
+        assert body["reason"] == "batch-too-large"
+
+
 class TestRouting:
     def test_healthz(self, server):
         _post(server, "/eval", {"expr": "1 + 1"})

@@ -1,0 +1,95 @@
+"""One description of the serve API (repro.serve.schema) — and proof
+that every projection of it stays in sync: the generated block in
+docs/ROBUSTNESS.md, the ``repro serve --help`` text, and the schema's
+own internal consistency."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.serve.schema import (
+    DOCS_PATH,
+    HTTP_STATUS,
+    RESPONSE_SCHEMAS,
+    SERVE_FLAGS,
+    extract_block,
+    render_markdown,
+    schema_sets,
+    sync_docs,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestDocsSync:
+    def test_docs_block_matches_rendered_schema(self):
+        """docs/ROBUSTNESS.md carries the generated block verbatim —
+        editing the schema without running ``--write`` fails here."""
+        text = DOCS_PATH.read_text()
+        block = extract_block(text)
+        assert block is not None, "serve-schema markers missing"
+        assert block == render_markdown(), (
+            "stale serve-schema block — regenerate with "
+            "PYTHONPATH=src python -m repro.serve.schema --write"
+        )
+
+    def test_sync_docs_check_mode_agrees(self):
+        assert sync_docs(write=False) is True
+
+    def test_cli_check_exits_zero_when_in_sync(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.serve.schema", "--check"],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": ""},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestHelpSync:
+    def test_serve_help_renders_every_flag(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--help"],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": ""},
+        )
+        assert proc.returncode == 0
+        for spec in SERVE_FLAGS:
+            assert spec.flag in proc.stdout, spec.flag
+            # argparse wraps help text; the first few words survive
+            # wrapping and are enough to pin the description's source.
+            head = " ".join(spec.help.split()[:3])
+            assert head in proc.stdout.replace("\n", " ").replace(
+                "  ", " "
+            ) or spec.help.split()[0] in proc.stdout, spec.flag
+
+
+class TestSchemaShape:
+    def test_every_status_has_an_http_mapping(self):
+        assert set(RESPONSE_SCHEMAS) == set(HTTP_STATUS)
+
+    def test_required_and_optional_are_disjoint(self):
+        for status in RESPONSE_SCHEMAS:
+            required, optional = schema_sets(status)
+            assert not required & optional, status
+
+    def test_status_field_is_always_required(self):
+        for status in RESPONSE_SCHEMAS:
+            required, _ = schema_sets(status)
+            assert "status" in required, status
+
+    def test_flags_are_unique(self):
+        flags = [spec.flag for spec in SERVE_FLAGS]
+        assert len(flags) == len(set(flags))
+
+    def test_rendered_block_escapes_table_pipes(self):
+        """Descriptions may contain ``|``; the renderer must escape
+        them so the markdown tables do not silently gain columns."""
+        for line in render_markdown().splitlines():
+            if not line.startswith("|"):
+                continue
+            unescaped = line.replace("\\|", "").count("|")
+            assert unescaped == 4, line

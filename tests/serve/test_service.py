@@ -5,6 +5,7 @@ all deterministic (injected clocks, no real sleeping)."""
 import pytest
 
 from repro.serve import EvalService, ServiceConfig
+from repro.serve.schema import RESPONSE_SCHEMAS, schema_sets
 
 LOOP = "let { loop = \\x -> loop x } in loop 1"
 FIB = (
@@ -12,35 +13,22 @@ FIB = (
     "in fib 10"
 )
 
-#: Per-status required keys; every response must stay inside
-#: ``required | optional`` (the ISSUE's "all responses in schema").
-SCHEMAS = {
-    "value": (
-        {"status", "attempts", "stats", "value"},
-        {"stdout", "events", "trip", "faults_injected"},
-    ),
-    "exceptional": (
-        {"status", "attempts", "stats", "exc", "synchronous"},
-        {"events", "trip", "faults_injected"},
-    ),
-    "resource-exhausted": (
-        {"status", "attempts", "stats", "reason"},
-        {"exc", "retry_after", "trip", "events", "faults_injected"},
-    ),
-    "rejected": ({"status", "reason", "retry_after"}, set()),
-    "error": ({"status", "reason", "message"}, set()),
-}
-
 
 def assert_in_schema(body):
+    """Every produced body must stay inside ``required | optional`` of
+    its status — with the field sets read from repro.serve.schema, the
+    same source of truth that renders docs/ROBUSTNESS.md and --help."""
     status = body.get("status")
-    assert status in SCHEMAS, f"unknown status {status!r}"
-    required, optional = SCHEMAS[status]
+    assert status in RESPONSE_SCHEMAS, f"unknown status {status!r}"
+    required, optional = schema_sets(status)
     keys = set(body)
     missing = required - keys
     extra = keys - required - optional
     assert not missing, f"{status}: missing {missing}"
     assert not extra, f"{status}: unexpected {extra}"
+    if status == "batch":
+        for item in body["results"]:
+            assert_in_schema(item)
 
 
 class FakeClock:
@@ -311,6 +299,137 @@ class TestChaosMode:
             _, body, _ = service.handle({"expr": FIB})
             bodies.append(body)
         assert bodies[0] == bodies[1]
+
+
+class TestBatch:
+    def test_batch_of_sources_evaluates_in_order(self):
+        service = _service()
+        status, body, retry_after = service.handle(
+            {"programs": ["1 + 1", "1 `div` 0", "head Nil"]}
+        )
+        assert status == 200
+        assert retry_after is None
+        assert body["status"] == "batch"
+        assert body["count"] == 3
+        assert [r["status"] for r in body["results"]] == [
+            "value",
+            "exceptional",
+            "exceptional",
+        ]
+        assert body["results"][0]["value"] == "2"
+        assert_in_schema(body)
+
+    def test_batch_items_may_be_request_objects(self):
+        service = _service()
+        _, body, _ = service.handle(
+            {
+                "programs": [
+                    {"expr": 'putStr "a"', "stdin": ""},
+                    {"expr": '1 + "x"', "typecheck": True},
+                ]
+            }
+        )
+        assert body["results"][0]["stdout"] == "a"
+        assert body["results"][1]["reason"] == "type-error"
+        assert_in_schema(body)
+
+    def test_each_program_gets_its_own_governor(self):
+        """A resource-exhausted program must not poison the rest of
+        its batch — limits are per program, not per batch."""
+        service = _service(max_steps=1_000, deadline_seconds=None)
+        _, body, _ = service.handle({"programs": [LOOP, "2 + 2", LOOP]})
+        assert [r["status"] for r in body["results"]] == [
+            "resource-exhausted",
+            "value",
+            "resource-exhausted",
+        ]
+        assert body["results"][1]["value"] == "4"
+
+    def test_oversized_batch_is_rejected(self):
+        service = _service(max_batch=2)
+        status, body, _ = service.handle({"programs": ["1", "2", "3"]})
+        assert status == 400
+        assert body["reason"] == "batch-too-large"
+        assert_in_schema(body)
+
+    def test_malformed_batches_are_400s(self):
+        service = _service()
+        for programs in ([], "1 + 1", [42], [{"expr": 7}]):
+            status, body, _ = service.handle({"programs": programs})
+            assert status == 400
+            assert body["reason"] == "bad-request"
+            assert_in_schema(body)
+
+    def test_batch_counters(self):
+        service = _service()
+        service.handle({"programs": ["1", "2"]})
+        service.handle({"programs": ["3"]})
+        health = service.health()
+        assert health["batches"] == {"total": 2, "programs": 3}
+
+    def test_open_breaker_rejects_whole_batch(self):
+        service = _service(
+            max_steps=1_000, deadline_seconds=None, breaker_threshold=1
+        )
+        service.handle({"expr": LOOP})
+        assert service.breaker.state == "open"
+        status, body, _ = service.handle({"programs": ["1 + 1"]})
+        assert status == 503
+        assert body["reason"] == "circuit-open"
+
+
+class TestWarmPath:
+    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    def test_warm_and_cold_responses_are_byte_identical(self, backend):
+        """The parity contract at the service level: only latency may
+        distinguish the paths (docs/SERVING.md's soundness argument)."""
+        warm = _service(backend=backend, warm=True)
+        cold = _service(backend=backend, warm=False)
+        for expr in (
+            "sum (map (\\x -> x * x) (enumFromTo 1 10))",
+            "1 `div` 0",
+            "(1 `div` 0) + head Nil",
+            'putStr "hello"',
+        ):
+            warm_status, warm_body, _ = warm.handle({"expr": expr})
+            cold_status, cold_body, _ = cold.handle({"expr": expr})
+            assert warm_status == cold_status
+            assert warm_body == cold_body, expr
+
+    def test_repeat_programs_hit_the_cache(self):
+        service = _service()
+        for _ in range(5):
+            service.handle({"expr": FIB})
+        cache = service.health()["cache"]
+        assert cache["misses"] == 1
+        assert cache["hits"] == 4
+        assert cache["entries"] == 1
+
+    def test_cold_service_has_no_cache(self):
+        service = _service(warm=False)
+        service.handle({"expr": "1 + 1"})
+        health = service.health()
+        assert health["warm"] is False
+        assert health["cache"] is None
+
+    def test_typecheck_gate_accepts_well_typed_programs(self):
+        service = _service()
+        status, body, _ = service.handle(
+            {"expr": "1 + 2", "typecheck": True}
+        )
+        assert status == 200
+        assert body["status"] == "value"
+
+    def test_typecheck_gate_rejects_ill_typed_programs(self):
+        service = _service()
+        status, body, _ = service.handle(
+            {"expr": '1 + "two"', "typecheck": True}
+        )
+        assert status == 400
+        assert body["reason"] == "type-error"
+        assert body["message"]
+        assert_in_schema(body)
+        assert service.breaker.state == "closed"
 
 
 class TestHealth:

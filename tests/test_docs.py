@@ -1,0 +1,60 @@
+"""Documentation hygiene: every relative markdown link must resolve,
+and the README's documentation index must cover docs/.
+
+Grew out of the docs sweep for the warm-path PR: cross-references
+between README, EXPERIMENTS and the docs/ pages kept drifting as
+pages were added.  This pins them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Narrative markdown only — not the per-PR scratch files.
+DOC_FILES = sorted(
+    p
+    for p in list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+    if p.name not in {"ISSUE.md", "SNIPPETS.md", "PAPERS.md"}
+)
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def relative_links(path: Path) -> list[str]:
+    """All non-URL, non-anchor markdown link targets in a file."""
+    out = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        out.append(target.split("#", 1)[0])
+    return out
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(doc: Path) -> None:
+    for target in relative_links(doc):
+        resolved = (doc.parent / target).resolve()
+        assert resolved.exists(), (
+            f"{doc.relative_to(REPO)} links to {target!r}, "
+            f"which does not exist at {resolved}"
+        )
+
+
+def test_readme_indexes_every_docs_page() -> None:
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for page in sorted((REPO / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, (
+            f"README.md documentation index is missing docs/{page.name}"
+        )
+
+
+def test_experiments_links_are_markdown_linked_docs() -> None:
+    """Each docs/ page named in an EXPERIMENTS.md headline must exist."""
+    text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for name in re.findall(r"docs/([A-Z]+\.md)", text):
+        assert (REPO / "docs" / name).exists(), f"docs/{name} missing"
