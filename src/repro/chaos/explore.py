@@ -19,10 +19,21 @@ the whole schedule: a fresh machine per delivery point ``k`` in
 ``[1, N]`` (optionally limited or evenly sampled), on either backend,
 and reports every violation.
 
+The same sweep shape generalises to the other two fault axes a
+hostile environment has (:mod:`repro.chaos.faults`): **allocation
+failure** — sweep the ``HeapOverflow`` threshold over every allocation
+count the baseline performs; sound outcomes are the baseline or
+``Exceptional(HeapOverflow)`` — and **latency** — sweep an inert
+stall over every step; the only sound outcome is the baseline itself,
+*and* the stall must demonstrably have fired (a latency fault that
+silently vanishes is a scheduler bug).  :func:`sweep_axis` dispatches
+on the axis name; ``repro chaos --sweep alloc|latency|all`` runs them.
+
 Because a checker that can never fail proves nothing, the explorer
 ships a planted-unsound harness: :func:`self_test` wraps observation
 so that one delivery point lies about its outcome, and asserts the
-sweep flags exactly that point.  ``repro chaos --self-test`` runs it.
+sweep flags exactly that point — on every axis.  ``repro chaos
+--self-test`` runs it.
 """
 
 from __future__ import annotations
@@ -30,7 +41,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from repro.core.excset import ASYNC_EXCEPTIONS, CONTROL_C, Exc, user_error
+from repro.chaos.faults import ALLOC_FAIL, LATENCY, Fault, FaultPlan
+from repro.core.excset import (
+    ASYNC_EXCEPTIONS,
+    CONTROL_C,
+    Exc,
+    HEAP_OVERFLOW,
+    user_error,
+)
 from repro.machine.eval import Machine
 from repro.machine.observe import (
     Diverged,
@@ -44,20 +62,32 @@ from repro.machine.observe import (
 #: Name -> exception, for the CLI's ``--exc`` flag.
 ASYNC_BY_NAME = {exc.name: exc for exc in ASYNC_EXCEPTIONS}
 
+#: The fault axes a sweep can walk (``repro chaos --sweep``).
+SWEEP_AXES = ("interrupt", "alloc", "latency")
+
 
 @dataclass(frozen=True)
 class SweepViolation:
-    """One unsound delivery point: the step the interrupt was scheduled
-    at, what outcomes would have been sound, and what was observed."""
+    """One unsound fault point: where the fault was scheduled (a step
+    for interrupt/latency, an allocation threshold for alloc), what
+    outcomes would have been sound, and what was observed."""
 
     step: int
     expected: str
     observed: str
 
 
+#: Axis -> the unit its sweep points are measured in.
+_POINT_UNITS = {
+    "interrupt": "delivery points",
+    "alloc": "alloc thresholds",
+    "latency": "stall points",
+}
+
+
 @dataclass
 class SweepReport:
-    """The result of one interrupt-schedule sweep on one backend."""
+    """The result of one fault sweep on one backend and axis."""
 
     source: str
     backend: str
@@ -65,6 +95,7 @@ class SweepReport:
     baseline: str
     baseline_steps: int
     points_checked: int
+    axis: str = "interrupt"
     violations: List[SweepViolation] = field(default_factory=list)
 
     @property
@@ -75,6 +106,7 @@ class SweepReport:
         return {
             "source": self.source,
             "backend": self.backend,
+            "axis": self.axis,
             "exc": self.exc,
             "baseline": self.baseline,
             "baseline_steps": self.baseline_steps,
@@ -91,11 +123,12 @@ class SweepReport:
         }
 
     def render(self) -> str:
+        units = _POINT_UNITS.get(self.axis, "points")
+        injected = self.exc if self.exc else "latency stalls"
         lines = [
-            f"chaos sweep [{self.backend}]: {self.source}",
+            f"chaos sweep [{self.axis}/{self.backend}]: {self.source}",
             f"  baseline: {self.baseline} in {self.baseline_steps} steps",
-            f"  injected {self.exc} at {self.points_checked} delivery "
-            f"points: "
+            f"  injected {injected} at {self.points_checked} {units}: "
             + ("SOUND" if self.ok else f"{len(self.violations)} VIOLATIONS"),
         ]
         for v in self.violations[:20]:
@@ -127,10 +160,13 @@ def _run_once(
     backend: str,
     fuel: int,
     event_plan: Optional[dict] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[Outcome, Machine]:
     from repro.prelude.loader import machine_env
 
     machine = Machine(fuel=fuel, event_plan=event_plan, backend=backend)
+    if fault_plan is not None:
+        machine.attach_fault_plan(fault_plan)
     env = machine_env(machine)
     return observe(expr, env=env, machine=machine), machine
 
@@ -212,6 +248,151 @@ def sweep_source(
     return report
 
 
+def sweep_alloc_source(
+    source: str,
+    backend: str = "ast",
+    fuel: int = 2_000_000,
+    limit: Optional[int] = None,
+    sample: Optional[int] = None,
+    harness: Optional[Callable[[int, Outcome], Outcome]] = None,
+) -> SweepReport:
+    """Sweep the allocation-failure threshold over ``[1, A]`` where
+    ``A`` is the baseline run's allocation count.
+
+    At each threshold ``a`` the heap refuses service once ``a`` cells
+    are live-allocated (checked at step boundaries, so both backends
+    see it identically — :mod:`repro.chaos.faults`).  Sound outcomes:
+    ``Exceptional(HeapOverflow)`` — the fault won — or the baseline —
+    evaluation finished before a step boundary noticed the exhausted
+    heap.  Anything else means resource exhaustion corrupted an
+    unrelated part of the evaluation.
+    """
+    from repro.api import compile_expr
+
+    expr = compile_expr(source)
+    base_outcome, base_machine = _run_once(expr, backend, fuel)
+    baseline = _render_outcome(base_outcome, base_machine)
+    baseline_allocs = base_machine.stats.allocations
+
+    expected = f"{baseline} or Exceptional({HEAP_OVERFLOW.name})"
+    report = SweepReport(
+        source=source,
+        backend=backend,
+        axis="alloc",
+        exc=HEAP_OVERFLOW.name,
+        baseline=baseline,
+        baseline_steps=base_machine.stats.steps,
+        points_checked=0,
+    )
+    for a in delivery_points(baseline_allocs, limit=limit, sample=sample):
+        plan = FaultPlan((Fault(ALLOC_FAIL, step=1, allocations=a),))
+        outcome, machine = _run_once(
+            expr, backend, fuel, fault_plan=plan
+        )
+        if harness is not None:
+            outcome = harness(a, outcome)
+        report.points_checked += 1
+        if isinstance(outcome, Exceptional) and outcome.exc == HEAP_OVERFLOW:
+            continue
+        observed = _render_outcome(outcome, machine)
+        if observed == baseline:
+            continue
+        report.violations.append(
+            SweepViolation(step=a, expected=expected, observed=observed)
+        )
+    return report
+
+
+def sweep_latency_source(
+    source: str,
+    backend: str = "ast",
+    fuel: int = 2_000_000,
+    limit: Optional[int] = None,
+    sample: Optional[int] = None,
+    harness: Optional[Callable[[int, Outcome], Outcome]] = None,
+    seconds: float = 0.0,
+) -> SweepReport:
+    """Sweep an inert stall over every step of the baseline run.
+
+    Latency is the axis where *nothing* is allowed to change: the only
+    sound outcome is the baseline, exactly, and the plan must record
+    that the stall actually fired (``k ≤ N`` guarantees a step
+    boundary reaches it).  ``seconds`` defaults to 0.0 — the schedule
+    machinery is exercised without wall-clock cost; production soak
+    lanes may pass a real stall to shake out deadline governors.
+    """
+    from repro.api import compile_expr
+
+    expr = compile_expr(source)
+    base_outcome, base_machine = _run_once(expr, backend, fuel)
+    baseline = _render_outcome(base_outcome, base_machine)
+    baseline_steps = base_machine.stats.steps
+
+    expected = f"{baseline} with the stall recorded"
+    report = SweepReport(
+        source=source,
+        backend=backend,
+        axis="latency",
+        exc="",
+        baseline=baseline,
+        baseline_steps=baseline_steps,
+        points_checked=0,
+    )
+    for k in delivery_points(baseline_steps, limit=limit, sample=sample):
+        # A 0.0-second stall never calls the clock (faults.py), so the
+        # default sweep costs nothing beyond the re-runs themselves.
+        plan = FaultPlan((Fault(LATENCY, step=k, seconds=seconds),))
+        outcome, machine = _run_once(
+            expr, backend, fuel, fault_plan=plan
+        )
+        if harness is not None:
+            outcome = harness(k, outcome)
+        report.points_checked += 1
+        observed = _render_outcome(outcome, machine)
+        fired = any(rec.kind == LATENCY for rec in plan.injected)
+        if observed == baseline and fired:
+            continue
+        if not fired:
+            observed = f"{observed} (stall at step {k} never fired)"
+        report.violations.append(
+            SweepViolation(step=k, expected=expected, observed=observed)
+        )
+    return report
+
+
+def sweep_axis(
+    axis: str,
+    source: str,
+    exc: Exc = CONTROL_C,
+    backend: str = "ast",
+    fuel: int = 2_000_000,
+    limit: Optional[int] = None,
+    sample: Optional[int] = None,
+    harness: Optional[Callable[[int, Outcome], Outcome]] = None,
+) -> SweepReport:
+    """Dispatch one sweep by axis name (``exc`` only applies to the
+    interrupt axis; alloc always delivers ``HeapOverflow`` and latency
+    delivers nothing)."""
+    if axis == "interrupt":
+        return sweep_source(
+            source, exc=exc, backend=backend, fuel=fuel,
+            limit=limit, sample=sample, harness=harness,
+        )
+    if axis == "alloc":
+        return sweep_alloc_source(
+            source, backend=backend, fuel=fuel,
+            limit=limit, sample=sample, harness=harness,
+        )
+    if axis == "latency":
+        return sweep_latency_source(
+            source, backend=backend, fuel=fuel,
+            limit=limit, sample=sample, harness=harness,
+        )
+    raise ValueError(
+        f"unknown sweep axis {axis!r}; expected one of {SWEEP_AXES}"
+    )
+
+
 # -- the planted-unsound self-test -------------------------------------
 
 #: The obviously-wrong outcome the plant reports: a synchronous user
@@ -231,21 +412,41 @@ def plant_unsound(at_step: int) -> Callable[[int, Outcome], Outcome]:
     return harness
 
 
+#: Per-axis default self-test programs.  The interrupt and latency
+#: axes sweep steps, which any arithmetic has; the alloc axis sweeps
+#: allocation thresholds, so its program must actually allocate.
+_SELF_TEST_SOURCES = {
+    "interrupt": "1 + 2 * 3",
+    "alloc": "let { x = 1 + 2 ; y = x + x } in y * y",
+    "latency": "1 + 2 * 3",
+}
+
+
 def self_test(
     backend: str = "ast",
-    source: str = "1 + 2 * 3",
+    source: Optional[str] = None,
     fuel: int = 2_000_000,
+    axis: str = "interrupt",
 ) -> Tuple[bool, SweepReport]:
     """Prove the checker can fail: sweep a small program with a plant
-    at the middle delivery point and require the sweep to flag exactly
-    that point (and nothing else).  Returns ``(passed, report)`` where
+    at the middle sweep point and require the sweep to flag exactly
+    that point (and nothing else).  Works on every fault axis — the
+    plant substitutes an outcome no axis could soundly observe (a
+    synchronous user exception).  Returns ``(passed, report)`` where
     ``passed`` means the plant *was* caught."""
     from repro.api import compile_expr
 
+    if source is None:
+        source = _SELF_TEST_SOURCES.get(axis, "1 + 2 * 3")
     expr = compile_expr(source)
     _, machine = _run_once(expr, backend, fuel)
-    plant_at = max(1, machine.stats.steps // 2)
-    report = sweep_source(
+    if axis == "alloc":
+        horizon = machine.stats.allocations
+    else:
+        horizon = machine.stats.steps
+    plant_at = max(1, horizon // 2)
+    report = sweep_axis(
+        axis,
         source,
         backend=backend,
         fuel=fuel,

@@ -339,6 +339,18 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="report divergences unshrunk")
     fz.add_argument("--max-findings", type=int, default=10,
                     help="stop after this many divergences")
+    fz.add_argument("--jobs", type=int, default=1,
+                    help="shard across N worker processes with "
+                    "deterministic per-shard case indices "
+                    "(docs/FUZZING.md)")
+    fz.add_argument("--guided", action="store_true",
+                    help="coverage-guided generation: retarget the "
+                    "generator weights from feature-map deficits")
+    fz.add_argument("--retarget-every", type=int, default=25,
+                    help="guided mode: recompute weights every N "
+                    "iterations per shard")
+    fz.add_argument("--no-probe", action="store_true",
+                    help="skip the per-case interrupt probe")
     fz.add_argument(
         "--format", default="table", choices=["table", "json"]
     )
@@ -379,7 +391,15 @@ def _build_parser() -> argparse.ArgumentParser:
                     "of all of them")
     ch.add_argument("--self-test", action="store_true",
                     help="verify the checker catches a planted-unsound "
-                    "harness")
+                    "harness (on every selected --sweep axis)")
+    ch.add_argument(
+        "--sweep",
+        default="interrupt",
+        choices=["interrupt", "alloc", "latency", "all"],
+        help="which fault axis to sweep: interrupt delivery steps, "
+        "alloc-fail thresholds, latency-stall placements, or all "
+        "three (docs/ROBUSTNESS.md)",
+    )
     ch.add_argument(
         "--format", default="table", choices=["table", "json"]
     )
@@ -662,9 +682,15 @@ def _cmd_typecheck(args) -> int:
 
 def _fuzz_table(summary_dict: dict) -> str:
     lines = []
+    shards = (
+        f", {summary_dict['jobs']} shards" if "jobs" in summary_dict
+        else ""
+    )
+    guided = " (guided)" if summary_dict.get("guided") else ""
     lines.append(
         f"fuzz: {summary_dict['iterations']} cases, seed "
-        f"{summary_dict['seed']}, {summary_dict['elapsed_seconds']}s"
+        f"{summary_dict['seed']}{shards}{guided}, "
+        f"{summary_dict['elapsed_seconds']}s"
     )
     verdicts = summary_dict["verdicts"]
     lines.append(
@@ -681,6 +707,15 @@ def _fuzz_table(summary_dict: dict) -> str:
             f"  {lane}: "
             + ", ".join(f"{k}={v}" for k, v in counts.items())
         )
+    coverage = summary_dict.get("coverage")
+    if coverage and coverage.get("iterations"):
+        total = coverage["iterations"]
+        lines.append(f"coverage ({total} iterations):")
+        for name, hits in coverage["hits"].items():
+            rate = hits / total if total else 0.0
+            lines.append(f"  {name}: {hits} ({rate:.1%})")
+    for violation in summary_dict.get("probe_violations", []):
+        lines.append(f"PROBE VIOLATION: {violation}")
     for finding in summary_dict["findings"]:
         lines.append(
             f"DIVERGENCE (seed {finding['seed']}, "
@@ -734,6 +769,34 @@ def _cmd_fuzz(args) -> int:
         allow_io=not args.no_io,
         allow_catch=not args.no_catch,
     )
+    if args.jobs > 1:
+        from repro.fuzz.fleet import run_fleet
+
+        if args.iterations is None:
+            print(
+                "error: --jobs requires --iterations (sharding is "
+                "index-based)",
+                file=sys.stderr,
+            )
+            return 2
+        fleet = run_fleet(
+            jobs=args.jobs,
+            iterations=args.iterations,
+            seed=args.seed,
+            guided=args.guided,
+            shrink=not args.no_shrink,
+            max_findings=args.max_findings,
+            probe=not args.no_probe,
+            gen_config=gen_config,
+            oracle_config={"warm_lane": not args.no_warm_lane},
+            save_path=args.save,
+        )
+        payload = fleet.to_dict()
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+        else:
+            print(_fuzz_table(payload))
+        return 0 if fleet.ok else 1
     summary = run_fuzz(
         iterations=args.iterations,
         seconds=args.seconds,
@@ -743,40 +806,50 @@ def _cmd_fuzz(args) -> int:
         save_path=args.save,
         shrink_findings=not args.no_shrink,
         max_findings=args.max_findings,
+        guided=args.guided,
+        retarget_every=args.retarget_every,
+        probe=not args.no_probe,
     )
     payload = summary.to_dict()
     if args.format == "json":
         print(json.dumps(payload, indent=2))
     else:
         print(_fuzz_table(payload))
-    return 1 if summary.divergences else 0
+    return 1 if summary.divergences or summary.probe_violations else 0
 
 
 def _cmd_chaos(args) -> int:
     import json
 
-    from repro.chaos.explore import ASYNC_BY_NAME, self_test, sweep_source
+    from repro.chaos.explore import (
+        ASYNC_BY_NAME,
+        SWEEP_AXES,
+        self_test,
+        sweep_axis,
+    )
 
     backends = (
         ["ast", "compiled"] if args.backend == "both" else [args.backend]
     )
+    axes = list(SWEEP_AXES) if args.sweep == "all" else [args.sweep]
 
     if args.self_test:
         all_caught = True
         payload = []
         for backend in backends:
-            caught, report = self_test(backend=backend)
-            all_caught = all_caught and caught
-            payload.append(
-                {"backend": backend, "caught": caught,
-                 "report": report.as_dict()}
-            )
-            if args.format != "json":
-                verdict = "caught" if caught else "MISSED"
-                print(
-                    f"self-test [{backend}]: planted-unsound harness "
-                    f"{verdict}"
+            for axis in axes:
+                caught, report = self_test(backend=backend, axis=axis)
+                all_caught = all_caught and caught
+                payload.append(
+                    {"backend": backend, "axis": axis, "caught": caught,
+                     "report": report.as_dict()}
                 )
+                if args.format != "json":
+                    verdict = "caught" if caught else "MISSED"
+                    print(
+                        f"self-test [{axis}/{backend}]: planted-unsound "
+                        f"harness {verdict}"
+                    )
         if args.format == "json":
             print(json.dumps(payload, indent=2))
         return 0 if all_caught else 1
@@ -794,18 +867,20 @@ def _cmd_chaos(args) -> int:
     ok = True
     payload = []
     for backend in backends:
-        report = sweep_source(
-            source,
-            exc=exc,
-            backend=backend,
-            fuel=args.fuel,
-            limit=args.limit,
-            sample=args.sample,
-        )
-        ok = ok and report.ok
-        payload.append(report.as_dict())
-        if args.format != "json":
-            print(report.render())
+        for axis in axes:
+            report = sweep_axis(
+                axis,
+                source,
+                exc=exc,
+                backend=backend,
+                fuel=args.fuel,
+                limit=args.limit,
+                sample=args.sample,
+            )
+            ok = ok and report.ok
+            payload.append(report.as_dict())
+            if args.format != "json":
+                print(report.render())
     if args.format == "json":
         print(json.dumps(payload, indent=2))
     return 0 if ok else 1

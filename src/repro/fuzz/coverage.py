@@ -1,0 +1,491 @@
+"""The feature map: what one fuzz iteration *exercised*, and how to
+steer the generator toward what it didn't.
+
+The paper's semantics is relational, so plain line coverage says
+nothing useful about a differential fuzzer — two runs through the same
+code can exercise entirely different *semantic* territory (a memoised
+re-raise vs a first raise, an interrupt landing inside a force vs
+between forces).  This module defines the territory explicitly: a
+small, fixed table of **features** over
+
+* the oracle verdict of the iteration (agree / refinement /
+  divergence / skipped),
+* the trace-event mix a per-case :class:`~repro.obs.sinks.CountingSink`
+  observed (blackhole entry, memoised re-raise §3.3, checked-⊕ raise,
+  exception-finding ``case`` mode §4.3),
+* structural shapes of the generated program (``catchIO``,
+  catch-inside-catch, ``mapException``, recursive knots, incomplete
+  ``case`` alternatives), and
+* an **interrupt probe**: a cheap re-run with an asynchronous
+  exception scheduled at a small fixed step, recording whether the
+  interrupt landed at all and whether it landed *during a force* — the
+  Section 5.1 resumability path the uniform generator rarely holds
+  open long enough to hit.
+
+A :class:`CoverageMap` counts, per feature, how many iterations set
+it.  :func:`weights_from_coverage` turns the rare features (hit rate
+below a threshold) into :class:`~repro.fuzz.gen.GenWeights` knob
+settings via each feature's declared ``targets`` — the deficit
+feedback loop ``repro fuzz --guided`` runs every few iterations.
+
+Everything here is deterministic: no clocks, no fresh randomness.
+Given the same iterations in the same order, the map and the derived
+weights are identical — the property the fleet's shard-determinism
+tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.excset import CONTROL_C
+from repro.lang.ast import (
+    App,
+    Case,
+    Con,
+    Expr,
+    Fix,
+    Lam,
+    Let,
+    PCon,
+    PLit,
+    PrimOp,
+    Raise,
+    Var,
+)
+from repro.obs.events import (
+    ASYNC_INTERRUPT,
+    BLACKHOLE_ENTER,
+    CASE_EXCEPTION_MODE_ENTER,
+    FORCE,
+    FORCE_END,
+    MEMO_RERAISE,
+    PRIM_RAISE,
+    RAISE,
+)
+
+#: Default hit-rate below which a feature counts as deficient.
+DEFICIT_THRESHOLD = 0.05
+
+#: Steps the interrupt probe schedules ``ControlC`` at.  Small on
+#: purpose: delivery halts evaluation, so each probe run costs at most
+#: this many machine steps.  Two points — one early, one later — so
+#: both shallow and deep force stacks get a chance to be interrupted.
+PROBE_STEPS: Tuple[int, ...] = (7, 49)
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One row of the feature map.
+
+    ``targets`` is the steering table: ``(knob, value)`` pairs applied
+    by :func:`weights_from_coverage` when this feature is deficient.
+    A knob is either a scalar :class:`~repro.fuzz.gen.GenWeights`
+    field name (``knot_bias``, ``omit_nothing``, ``nested_catch``,
+    ``shared_memo``, ``io_bias``) or ``arm:<name>`` for a grammar-arm
+    weight.  Values are merged by ``max`` so several deficits can pull
+    the same knob without fighting.
+    """
+
+    name: str
+    kind: str  # "verdict" | "event" | "struct" | "probe" | "lane"
+    description: str
+    targets: Tuple[Tuple[str, float], ...] = ()
+
+
+_F = FeatureSpec
+
+FEATURES: Dict[str, FeatureSpec] = {
+    spec.name: spec
+    for spec in (
+        # -- oracle verdicts (never steered: they are outcomes) --------
+        _F("verdict:agree", "verdict", "all lanes agreed exactly"),
+        _F("verdict:refinement", "verdict",
+           "some lane exercised the §4.5 refinement order"),
+        _F("verdict:divergence", "verdict",
+           "some lane broke the soundness contract"),
+        _F("verdict:skipped", "verdict", "some lane could not run"),
+        # -- trace-event mix ------------------------------------------
+        _F("event:raise", "event", "an explicit raise trimmed the stack"),
+        _F("event:prim-raise", "event",
+           "a checked primitive (§3.1 ⊕) raised",
+           targets=(("arm:arith", 2.0),)),
+        _F("event:blackhole", "event",
+           "a thunk under evaluation was re-entered (§5.2)",
+           targets=(("knot_bias", 0.5), ("arm:fix", 3.0))),
+        _F("event:memo-reraise", "event",
+           "a raise-overwritten cell re-delivered its exception (§3.3)",
+           targets=(("shared_memo", 1.0), ("io_bias", 0.7))),
+        _F("event:case-exception-mode", "event",
+           "case entered exception-finding mode (§4.3)",
+           targets=(("arm:case_maybe", 2.0), ("arm:case_list", 2.0))),
+        # -- structural shapes ----------------------------------------
+        _F("struct:catch", "struct", "program contains catchIO",
+           targets=(("arm:catch", 2.0), ("io_bias", 0.7))),
+        _F("struct:catch-in-catch", "struct",
+           "a catchIO nested inside another catchIO (the rare handler "
+           "shape sequential-disjunction papers study)",
+           targets=(("nested_catch", 0.6), ("arm:catch", 3.0),
+                    ("io_bias", 0.7))),
+        _F("struct:map-exception", "struct",
+           "program contains mapException (§3.5)",
+           targets=(("arm:map_exception", 2.0),)),
+        _F("struct:knot", "struct",
+           "recursive knot: fix, or a let binding referring to its own "
+           "binding group",
+           targets=(("knot_bias", 0.5), ("arm:fix", 2.0),
+                    ("arm:let", 1.5))),
+        _F("struct:incomplete-case", "struct",
+           "a case whose alternatives provably miss a constructor "
+           "(PatternMatchFail reachable, §2)",
+           targets=(("omit_nothing", 0.6), ("arm:case_maybe", 2.0))),
+        # -- interrupt probe ------------------------------------------
+        _F("probe:interrupt", "probe",
+           "the probe's ControlC landed before evaluation finished",
+           targets=(("arm:fix", 1.5), ("arm:let", 1.5))),
+        _F("probe:interrupt-during-force", "probe",
+           "the probe's ControlC landed inside an in-flight force "
+           "(§5.1 resumable-continuation path)",
+           targets=(("knot_bias", 0.4), ("arm:fix", 2.0),
+                    ("arm:seq", 1.5))),
+        # -- lane disagreement classes --------------------------------
+        _F("lane:warm-fork-disagree", "lane",
+           "a warm-fork lane differed from cold start (serving parity "
+           "contract violated — always a finding)"),
+    )
+}
+
+#: Feature names in declaration order (the stable report order).
+FEATURE_NAMES: Tuple[str, ...] = tuple(FEATURES)
+
+_EVENT_FEATURES: Tuple[Tuple[str, str], ...] = (
+    (RAISE, "event:raise"),
+    (PRIM_RAISE, "event:prim-raise"),
+    (BLACKHOLE_ENTER, "event:blackhole"),
+    (MEMO_RERAISE, "event:memo-reraise"),
+    (CASE_EXCEPTION_MODE_ENTER, "event:case-exception-mode"),
+)
+
+#: Constructor universes of the prelude data types the generator uses;
+#: a case over one of these whose PCon alternatives cover a *strict
+#: subset* (and has no catch-all) can raise PatternMatchFail.
+_CON_UNIVERSE: Dict[str, frozenset] = {}
+for _cons in (
+    frozenset({"True", "False"}),
+    frozenset({"Just", "Nothing"}),
+    frozenset({"Cons", "Nil"}),
+    frozenset({"Tuple2"}),
+    frozenset({"OK", "Bad"}),
+):
+    for _name in _cons:
+        _CON_UNIVERSE[_name] = _cons
+
+
+# -- structural features --------------------------------------------------
+
+
+def _children(expr: Expr) -> List[Expr]:
+    if isinstance(expr, Lam):
+        return [expr.body]
+    if isinstance(expr, App):
+        return [expr.fn, expr.arg]
+    if isinstance(expr, Con):
+        return list(expr.args)
+    if isinstance(expr, Case):
+        return [expr.scrutinee] + [alt.body for alt in expr.alts]
+    if isinstance(expr, Raise):
+        return [expr.exc]
+    if isinstance(expr, PrimOp):
+        return list(expr.args)
+    if isinstance(expr, Fix):
+        return [expr.fn]
+    if isinstance(expr, Let):
+        return [rhs for _, rhs in expr.binds] + [expr.body]
+    return []
+
+
+def _mentions(expr: Expr, names: Set[str]) -> bool:
+    """Does any ``Var`` in ``expr`` refer to one of ``names``?  (No
+    shadowing analysis: the generator's names are globally fresh, and
+    for hand-written programs a shadowed false positive merely counts
+    a knot that isn't one — coverage stays a heuristic, never an
+    oracle.)"""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var) and node.name in names:
+            return True
+        stack.extend(_children(node))
+    return False
+
+
+def _case_incomplete(case: Case) -> bool:
+    cons: Set[str] = set()
+    literal_alts = 0
+    for alt in case.alts:
+        pattern = alt.pattern
+        if isinstance(pattern, PCon):
+            cons.add(pattern.name)
+        elif isinstance(pattern, PLit):
+            literal_alts += 1
+        else:
+            return False  # PVar / PWild catch-all: complete
+    if literal_alts and not cons:
+        return True  # literal universes are infinite
+    if not cons:
+        return False
+    universe = _CON_UNIVERSE.get(next(iter(cons)))
+    if universe is None:
+        return False
+    return cons < universe
+
+
+def structural_features(expr: Expr) -> Set[str]:
+    """The ``struct:*`` features of one program, by a single AST walk.
+    ``catch_depth`` tracks enclosing ``catchIO`` nodes so nesting is
+    detected wherever it occurs (body or handler)."""
+    found: Set[str] = set()
+    stack: List[Tuple[Expr, int]] = [(expr, 0)]
+    while stack:
+        node, catch_depth = stack.pop()
+        child_depth = catch_depth
+        if isinstance(node, PrimOp):
+            if node.op == "catchIO":
+                found.add("struct:catch")
+                if catch_depth > 0:
+                    found.add("struct:catch-in-catch")
+                child_depth = catch_depth + 1
+            elif node.op == "mapException":
+                found.add("struct:map-exception")
+        elif isinstance(node, Fix):
+            found.add("struct:knot")
+        elif isinstance(node, Let):
+            bound = {name for name, _ in node.binds}
+            if any(_mentions(rhs, bound) for _, rhs in node.binds):
+                found.add("struct:knot")
+        elif isinstance(node, Case):
+            if _case_incomplete(node):
+                found.add("struct:incomplete-case")
+        for child in _children(node):
+            stack.append((child, child_depth))
+    return found
+
+
+# -- the interrupt probe --------------------------------------------------
+
+
+@dataclass
+class ProbeResult:
+    """What the interrupt probe observed for one case."""
+
+    delivered: bool = False
+    during_force: bool = False
+    violations: List[str] = field(default_factory=list)
+
+    def features(self) -> Set[str]:
+        found: Set[str] = set()
+        if self.delivered:
+            found.add("probe:interrupt")
+        if self.during_force:
+            found.add("probe:interrupt-during-force")
+        return found
+
+
+class _ProbeSink:
+    """Count force depth and capture it at the interrupt's delivery.
+
+    ``FORCE_END`` runs in a ``finally`` *after* the interrupt unwinds
+    through it, so the depth at delivery is exactly
+    ``#force − #force-end`` at the moment ``async-interrupt`` fires.
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.interrupted = False
+        self.depth_at_interrupt = 0
+
+    def emit(self, name: str, **fields) -> None:
+        if name == FORCE:
+            self.depth += 1
+        elif name == FORCE_END:
+            self.depth -= 1
+        elif name == ASYNC_INTERRUPT:
+            self.interrupted = True
+            self.depth_at_interrupt = self.depth
+
+    def close(self) -> None:
+        pass
+
+
+def interrupt_probe(
+    expr: Expr,
+    fuel: int = 200_000,
+    steps: Tuple[int, ...] = PROBE_STEPS,
+    backend: str = "ast",
+) -> ProbeResult:
+    """Re-run ``expr`` once per probe step with ``ControlC`` scheduled
+    there, recording delivery, force-depth at delivery, and any
+    soundness violation (a delivered interrupt whose outcome is not
+    the interrupt itself — pure evaluation has no handler to convert
+    it, exactly the chaos explorer's invariant at two fixed points).
+    Cheap by construction: delivery halts the machine, so each run
+    costs at most ``max(steps)`` ticks plus environment setup.
+    """
+    from repro.machine.eval import Machine
+    from repro.machine.observe import Exceptional, observe
+    from repro.prelude.loader import machine_env
+
+    result = ProbeResult()
+    for k in steps:
+        sink = _ProbeSink()
+        machine = Machine(
+            fuel=fuel, event_plan={k: CONTROL_C}, sink=sink,
+            backend=backend,
+        )
+        env = machine_env(machine)
+        try:
+            outcome = observe(expr, env=env, machine=machine)
+        except RecursionError:
+            continue
+        if not sink.interrupted:
+            continue  # evaluation finished before step k
+        result.delivered = True
+        if sink.depth_at_interrupt > 0:
+            result.during_force = True
+        if not (
+            isinstance(outcome, Exceptional)
+            and outcome.exc == CONTROL_C
+        ):
+            result.violations.append(
+                f"step {k}: interrupt delivered but observed {outcome}"
+            )
+    return result
+
+
+# -- feature extraction ---------------------------------------------------
+
+
+def extract_features(
+    report,
+    counts: Optional[Dict[str, int]] = None,
+    probe: Optional[ProbeResult] = None,
+) -> Set[str]:
+    """All features one iteration set: the oracle ``report``'s verdict
+    and lane classes, the per-case sink ``counts`` (event deltas for
+    this case only), the program's structure, and the probe result."""
+    found: Set[str] = {f"verdict:{report.verdict}"}
+    if counts:
+        for event, feature in _EVENT_FEATURES:
+            if counts.get(event, 0) > 0:
+                found.add(feature)
+    found |= structural_features(report.case.expr)
+    for comparison in report.comparisons:
+        if (comparison.lane.startswith("machine:warm-fork")
+                and comparison.verdict != "agree"):
+            found.add("lane:warm-fork-disagree")
+    if probe is not None:
+        found |= probe.features()
+    return found
+
+
+# -- the coverage map -----------------------------------------------------
+
+
+class CoverageMap:
+    """Per-feature hit counts over a run (or a merged fleet)."""
+
+    def __init__(self) -> None:
+        self.hits: Dict[str, int] = {name: 0 for name in FEATURE_NAMES}
+        self.iterations = 0
+
+    def record(self, features: Iterable[str]) -> None:
+        self.iterations += 1
+        for feature in features:
+            if feature in self.hits:
+                self.hits[feature] += 1
+
+    def merge(self, other: "CoverageMap") -> None:
+        self.iterations += other.iterations
+        for name, count in other.hits.items():
+            self.hits[name] = self.hits.get(name, 0) + count
+
+    def rate(self, name: str) -> float:
+        if self.iterations == 0:
+            return 0.0
+        return self.hits.get(name, 0) / self.iterations
+
+    def deficits(
+        self, threshold: float = DEFICIT_THRESHOLD
+    ) -> List[str]:
+        """Steerable features hit by fewer than ``threshold`` of
+        iterations, in declaration order."""
+        return [
+            name
+            for name in FEATURE_NAMES
+            if FEATURES[name].targets and self.rate(name) < threshold
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "hits": {name: self.hits.get(name, 0)
+                     for name in FEATURE_NAMES},
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "CoverageMap":
+        cov = CoverageMap()
+        cov.iterations = int(raw.get("iterations", 0))
+        for name, count in raw.get("hits", {}).items():
+            cov.hits[name] = int(count)
+        return cov
+
+
+# -- deficit feedback -----------------------------------------------------
+
+_SCALAR_KNOBS = (
+    "knot_bias", "omit_nothing", "nested_catch", "shared_memo",
+    "io_bias",
+)
+
+
+def weights_from_coverage(
+    coverage: CoverageMap,
+    base=None,
+    threshold: float = DEFICIT_THRESHOLD,
+):
+    """Fold the coverage deficits into a :class:`GenWeights`.
+
+    Starting from ``base`` (default: the stream-compatible defaults),
+    every deficient feature's targets are applied; scalar knobs and
+    arm weights both merge by ``max``, so the result is independent of
+    deficit order.  With no deficits the result *is* ``base`` — guided
+    mode on a saturated map generates exactly the uniform stream.
+    """
+    from repro.fuzz.gen import GenWeights
+
+    if base is None:
+        base = GenWeights()
+    scalars: Dict[str, Optional[float]] = {
+        knob: getattr(base, knob) for knob in _SCALAR_KNOBS
+    }
+    arms: Dict[str, float] = dict(base.arms)
+    for name in coverage.deficits(threshold):
+        for knob, value in FEATURES[name].targets:
+            if knob.startswith("arm:"):
+                arm = knob[4:]
+                arms[arm] = max(arms.get(arm, 1.0), value)
+            else:
+                current = scalars.get(knob)
+                scalars[knob] = value if current is None else max(
+                    current, value
+                )
+    return GenWeights(
+        arms=tuple(sorted(arms.items())),
+        knot_bias=scalars["knot_bias"],
+        omit_nothing=scalars["omit_nothing"],
+        nested_catch=scalars["nested_catch"],
+        shared_memo=scalars["shared_memo"],
+        io_bias=scalars["io_bias"],
+    )

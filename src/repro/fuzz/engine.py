@@ -11,13 +11,20 @@ machine steps, raises and allocations for free (the same counters
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.fuzz.corpus import CorpusEntry, append_entries
+from repro.fuzz.coverage import (
+    CoverageMap,
+    extract_features,
+    interrupt_probe,
+    weights_from_coverage,
+)
 from repro.fuzz.gen import FuzzCase, GenConfig, generate_case
 from repro.fuzz.oracle import (
     DIVERGENCE,
+    Comparison,
     OracleConfig,
     OracleReport,
     divergence_predicate,
@@ -57,6 +64,7 @@ class FuzzSummary:
     seed: int
     iterations: int = 0
     elapsed: float = 0.0
+    guided: bool = False
     verdicts: Dict[str, int] = field(default_factory=dict)
     lane_verdicts: Dict[str, Dict[str, int]] = field(default_factory=dict)
     findings: List[Finding] = field(default_factory=list)
@@ -64,6 +72,8 @@ class FuzzSummary:
     machine_raises: int = 0
     machine_allocs: int = 0
     corpus_added: int = 0
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    probe_violations: List[str] = field(default_factory=list)
 
     @property
     def divergences(self) -> int:
@@ -74,6 +84,7 @@ class FuzzSummary:
             "seed": self.seed,
             "iterations": self.iterations,
             "elapsed_seconds": round(self.elapsed, 3),
+            "guided": self.guided,
             "verdicts": dict(sorted(self.verdicts.items())),
             "lanes": {
                 lane: dict(sorted(counts.items()))
@@ -85,6 +96,8 @@ class FuzzSummary:
                 "allocs": self.machine_allocs,
             },
             "corpus_added": self.corpus_added,
+            "coverage": self.coverage.as_dict(),
+            "probe_violations": list(self.probe_violations),
             "findings": [finding.to_dict() for finding in self.findings],
         }
 
@@ -98,6 +111,11 @@ def run_fuzz(
     save_path: Optional[str] = None,
     shrink_findings: bool = True,
     max_findings: int = 10,
+    guided: bool = False,
+    retarget_every: int = 25,
+    probe: bool = True,
+    indices: Optional[Sequence[int]] = None,
+    plant_divergence_every: Optional[int] = None,
 ) -> FuzzSummary:
     """Run the differential loop until the budget is spent.
 
@@ -107,35 +125,88 @@ def run_fuzz(
     regenerated without re-running the loop.  After ``max_findings``
     divergences the run stops early — a broken build would otherwise
     spend its whole budget shrinking.
+
+    Every iteration feeds the feature map (docs/FUZZING.md): a
+    per-case counting sink is diffed into the coverage record, the
+    program is walked for structural features, and (unless ``probe``
+    is off) the interrupt probe re-runs the case with ``ControlC``
+    scheduled at two small fixed steps.  With ``guided`` on, the
+    generator weights are recomputed from coverage deficits every
+    ``retarget_every`` iterations — deterministic for a fixed seed and
+    iteration sequence, since the map itself is.
+
+    ``indices`` runs exactly those case indices (case ``j`` still uses
+    generator seed ``seed + j``) — the fleet's sharding hook: shard
+    ``i`` of ``J`` takes indices ``i, i+J, i+2J, ...`` so the *union*
+    of case seeds is independent of the shard count.
+
+    ``plant_divergence_every`` appends a synthetic divergent
+    comparison to every ``n``-th case's report (by absolute index, so
+    shards plant identically).  Like the chaos explorer's planted
+    plant, it exists so merge/dedup plumbing can be tested on a build
+    whose real divergence count is — as it should be — zero.
     """
     if iterations is None and seconds is None:
-        iterations = 200
+        iterations = len(indices) if indices is not None else 200
     if gen_config is None:
         gen_config = GenConfig()
     if oracle_config is None:
         oracle_config = OracleConfig()
+    base_weights = gen_config.weights
     sink = CountingSink()
-    summary = FuzzSummary(seed=seed)
+    summary = FuzzSummary(seed=seed, guided=guided)
+    coverage = summary.coverage
     started = time.monotonic()
-    index = 0
+    pos = 0
     while True:
-        if iterations is not None and index >= iterations:
+        if indices is not None and pos >= len(indices):
+            break
+        if iterations is not None and pos >= iterations:
             break
         if seconds is not None and time.monotonic() - started >= seconds:
             break
         if len(summary.findings) >= max_findings:
             break
+        if guided and pos and pos % retarget_every == 0:
+            gen_config = replace(
+                gen_config,
+                weights=weights_from_coverage(coverage, base_weights),
+            )
+        index = indices[pos] if indices is not None else pos
         case = generate_case(seed + index, gen_config)
-        report = run_oracle(case, oracle_config, sink=sink)
+        case_sink = CountingSink()
+        report = run_oracle(case, oracle_config, sink=case_sink)
+        if plant_divergence_every and (
+            index % plant_divergence_every == plant_divergence_every - 1
+        ):
+            report.comparisons.append(
+                Comparison(
+                    "plant",
+                    DIVERGENCE,
+                    "planted divergence (fleet merge self-test)",
+                    report.reference,
+                )
+            )
+        probe_result = interrupt_probe(case.expr) if probe else None
+        coverage.record(
+            extract_features(report, case_sink.counts, probe_result)
+        )
+        if probe_result is not None and probe_result.violations:
+            summary.probe_violations.extend(
+                f"seed {case.seed}: {violation}"
+                for violation in probe_result.violations
+            )
         _tally(summary, report)
+        for event, count in case_sink.counts.items():
+            sink.counts[event] = sink.counts.get(event, 0) + count
         if report.verdict == DIVERGENCE:
             summary.findings.append(
                 _handle_divergence(
                     case, report, oracle_config, shrink_findings
                 )
             )
-        index += 1
-    summary.iterations = index
+        pos += 1
+    summary.iterations = pos
     summary.elapsed = time.monotonic() - started
     summary.machine_steps = sink.count(STEP)
     summary.machine_raises = sink.count(RAISE)

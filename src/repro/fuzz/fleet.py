@@ -1,0 +1,325 @@
+"""Fleet-scale fuzzing: shard the differential loop across worker
+processes, deterministically.
+
+The sharding scheme is chosen so determinism is a *theorem*, not a
+hope:
+
+* the master seed and a case **index** fully determine a case — case
+  ``j`` always uses generator seed ``master + j``, exactly as the
+  single-process loop does;
+* shard ``i`` of ``J`` runs the round-robin index slice
+  ``i, i+J, i+2J, ...`` — so the **union** of indices (and therefore
+  the set of generated cases) is independent of ``J``;
+* merging is pure bookkeeping: verdict and lane counts sum, coverage
+  maps add, findings sort by case seed, and the corpus deduplicates
+  by shrunk form and sorts by id.
+
+Consequences the tests in ``tests/fuzz/test_fleet.py`` pin: the same
+master seed with the same ``--jobs`` produces a byte-identical merged
+corpus and verdict table; *different* ``--jobs`` still produce the
+identical dedup-by-shrunk-form corpus set (unguided — guided runs
+retarget per shard, so their case streams legitimately depend on the
+shard count, while remaining deterministic for a fixed
+``(seed, jobs)``).
+
+Workers are plain subprocesses speaking JSON — spec on stdin, report
+on stdout (``python -m repro.fuzz.fleet``) — the same pattern
+``repro bench --jobs`` uses, so a crash in one shard is an error
+report, not a lost evening.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fuzz.corpus import CorpusEntry, append_entries
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.engine import FuzzSummary, run_fuzz
+from repro.fuzz.gen import GenConfig
+from repro.fuzz.oracle import DIVERGENCE, OracleConfig
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs, JSON-serialisable."""
+
+    shard: int
+    jobs: int
+    seed: int
+    iterations: int
+    guided: bool = False
+    shrink: bool = True
+    max_findings: int = 10
+    probe: bool = True
+    plant_divergence_every: Optional[int] = None
+    gen: Optional[dict] = None  # GenConfig.as_dict(), None = defaults
+    oracle: Optional[dict] = None  # OracleConfig fields, None = defaults
+
+    def indices(self) -> List[int]:
+        """This shard's round-robin slice of ``[0, iterations)``."""
+        return list(range(self.shard, self.iterations, self.jobs))
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(raw: dict) -> "ShardSpec":
+        return ShardSpec(
+            shard=int(raw["shard"]),
+            jobs=int(raw["jobs"]),
+            seed=int(raw["seed"]),
+            iterations=int(raw["iterations"]),
+            guided=bool(raw.get("guided", False)),
+            shrink=bool(raw.get("shrink", True)),
+            max_findings=int(raw.get("max_findings", 10)),
+            probe=bool(raw.get("probe", True)),
+            plant_divergence_every=raw.get("plant_divergence_every"),
+            gen=raw.get("gen"),
+            oracle=raw.get("oracle"),
+        )
+
+
+def run_shard(spec: ShardSpec) -> FuzzSummary:
+    """One shard's loop, in-process."""
+    gen_config = (
+        GenConfig.from_dict(spec.gen) if spec.gen else GenConfig()
+    )
+    oracle_config = (
+        OracleConfig(**spec.oracle) if spec.oracle else OracleConfig()
+    )
+    return run_fuzz(
+        seed=spec.seed,
+        gen_config=gen_config,
+        oracle_config=oracle_config,
+        shrink_findings=spec.shrink,
+        max_findings=spec.max_findings,
+        guided=spec.guided,
+        probe=spec.probe,
+        indices=spec.indices(),
+        plant_divergence_every=spec.plant_divergence_every,
+    )
+
+
+def shard_report(spec: ShardSpec) -> dict:
+    """The worker's JSON payload: the summary plus the shard's corpus
+    entries (built from the shrunk findings, so the merge deduplicates
+    by shrunk form exactly as single-process ``--save`` does)."""
+    summary = run_shard(spec)
+    return {
+        "shard": spec.shard,
+        "summary": summary.to_dict(),
+        "corpus": [
+            asdict(CorpusEntry.from_report(finding.shrunk))
+            for finding in summary.findings
+        ],
+    }
+
+
+@dataclass
+class FleetReport:
+    """The merged outcome of one fleet run."""
+
+    seed: int
+    jobs: int
+    iterations: int = 0
+    guided: bool = False
+    elapsed: float = 0.0
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    lane_verdicts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    machine_steps: int = 0
+    machine_raises: int = 0
+    machine_allocs: int = 0
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    probe_violations: List[str] = field(default_factory=list)
+    findings: List[dict] = field(default_factory=list)
+    corpus: List[CorpusEntry] = field(default_factory=list)
+    corpus_added: int = 0
+    shard_elapsed: List[float] = field(default_factory=list)
+
+    @property
+    def divergences(self) -> int:
+        return self.verdicts.get(DIVERGENCE, 0)
+
+    @property
+    def ok(self) -> bool:
+        return self.divergences == 0 and not self.probe_violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "iterations": self.iterations,
+            "guided": self.guided,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "shard_elapsed_seconds": [
+                round(t, 3) for t in self.shard_elapsed
+            ],
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "lanes": {
+                lane: dict(sorted(counts.items()))
+                for lane, counts in sorted(self.lane_verdicts.items())
+            },
+            "machine": {
+                "steps": self.machine_steps,
+                "raises": self.machine_raises,
+                "allocs": self.machine_allocs,
+            },
+            "coverage": self.coverage.as_dict(),
+            "probe_violations": list(self.probe_violations),
+            "corpus": [asdict(entry) for entry in self.corpus],
+            "corpus_added": self.corpus_added,
+            "findings": self.findings,
+            "ok": self.ok,
+        }
+
+
+def _merge_shard(report: FleetReport, payload: dict) -> None:
+    summary = payload["summary"]
+    report.iterations += summary["iterations"]
+    report.shard_elapsed.append(summary["elapsed_seconds"])
+    for verdict, count in summary["verdicts"].items():
+        report.verdicts[verdict] = (
+            report.verdicts.get(verdict, 0) + count
+        )
+    for lane, counts in summary["lanes"].items():
+        merged = report.lane_verdicts.setdefault(lane, {})
+        for verdict, count in counts.items():
+            merged[verdict] = merged.get(verdict, 0) + count
+    machine = summary["machine"]
+    report.machine_steps += machine["steps"]
+    report.machine_raises += machine["raises"]
+    report.machine_allocs += machine["allocs"]
+    report.coverage.merge(CoverageMap.from_dict(summary["coverage"]))
+    report.probe_violations.extend(summary["probe_violations"])
+    report.findings.extend(summary["findings"])
+    for raw in payload["corpus"]:
+        report.corpus.append(CorpusEntry(**raw))
+
+
+def _finalise(report: FleetReport, save_path: Optional[str]) -> None:
+    """Deterministic ordering, then optional corpus persistence."""
+    report.findings.sort(key=lambda f: f["seed"])
+    unique: Dict[str, CorpusEntry] = {}
+    for entry in report.corpus:
+        unique.setdefault(entry.id, entry)
+    report.corpus = [unique[i] for i in sorted(unique)]
+    if save_path and report.corpus:
+        report.corpus_added = len(
+            append_entries(save_path, report.corpus)
+        )
+
+
+def _worker_env() -> dict:
+    """The child's environment: inherit, but make sure the ``repro``
+    package the parent imported is on the child's path (the CLI may
+    have been launched from anywhere)."""
+    import repro
+
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(repro.__file__))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def run_fleet(
+    jobs: int,
+    iterations: int,
+    seed: int = 0,
+    guided: bool = False,
+    shrink: bool = True,
+    max_findings: int = 10,
+    probe: bool = True,
+    plant_divergence_every: Optional[int] = None,
+    gen_config: Optional[GenConfig] = None,
+    oracle_config: Optional[dict] = None,
+    save_path: Optional[str] = None,
+    in_process: bool = False,
+) -> FleetReport:
+    """Shard ``iterations`` cases over ``jobs`` workers and merge.
+
+    ``in_process`` runs the shards sequentially in this interpreter —
+    bit-identical to the subprocess fleet (the tests rely on that),
+    just without the parallelism.
+    """
+    import time
+
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    specs = [
+        ShardSpec(
+            shard=shard,
+            jobs=jobs,
+            seed=seed,
+            iterations=iterations,
+            guided=guided,
+            shrink=shrink,
+            max_findings=max_findings,
+            probe=probe,
+            plant_divergence_every=plant_divergence_every,
+            gen=gen_config.as_dict() if gen_config else None,
+            oracle=oracle_config,
+        )
+        for shard in range(jobs)
+    ]
+    report = FleetReport(seed=seed, jobs=jobs, guided=guided)
+    started = time.monotonic()
+    if in_process or jobs == 1:
+        payloads = [shard_report(spec) for spec in specs]
+    else:
+        payloads = _spawn_workers(specs)
+    for payload in payloads:
+        _merge_shard(report, payload)
+    report.elapsed = time.monotonic() - started
+    _finalise(report, save_path)
+    return report
+
+
+def _spawn_workers(specs: List[ShardSpec]) -> List[dict]:
+    """One subprocess per shard (the ``repro bench --jobs`` pattern:
+    a thread pool of blocking ``subprocess.run`` calls), results
+    returned in shard order regardless of completion order."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    env = _worker_env()
+
+    def run_one(spec: ShardSpec) -> dict:
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.fuzz.fleet"],
+            input=json.dumps(spec.as_dict()).encode("utf-8"),
+            capture_output=True,
+            env=env,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"fuzz shard {spec.shard}/{spec.jobs} failed "
+                f"(exit {completed.returncode}):\n"
+                + completed.stderr.decode("utf-8", "replace")
+            )
+        return json.loads(completed.stdout.decode("utf-8"))
+
+    with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+        return list(pool.map(run_one, specs))
+
+
+def _worker_main() -> int:
+    """``python -m repro.fuzz.fleet``: spec JSON on stdin, report JSON
+    on stdout.  Everything else (tracebacks included) goes to stderr,
+    so a crash surfaces as the parent's RuntimeError."""
+    spec = ShardSpec.from_dict(json.load(sys.stdin))
+    payload = shard_report(spec)
+    json.dump(payload, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_worker_main())

@@ -104,6 +104,80 @@ def bounded_countdown(
     return App(Fix(Lam(fn_name, Lam(var, body))), Lit(start, "int"))
 
 
+#: Default probability that the ``Fix`` arm emits the tight knot.
+KNOT_BIAS_DEFAULT = 0.15
+
+#: Default probability that a ``case`` over Maybe omits its ``Nothing``
+#: alternative (pattern-match failure, Section 2).
+OMIT_NOTHING_DEFAULT = 0.2
+
+
+@dataclass(frozen=True)
+class GenWeights:
+    """Bias knobs for coverage-guided generation (docs/FUZZING.md).
+
+    The *default* instance is stream-compatible with the historical
+    generator: every knob at its default makes the generator consume
+    its ``random.Random`` exactly as it always has, so a seed pins the
+    same program whether or not guidance is wired in.  Non-default
+    knobs change the choice distribution (and hence the stream) — that
+    is the point of guided mode.
+
+    ``arms`` maps grammar-arm names to weight multipliers (absent
+    means 1.0); the scalar knobs steer specific rare shapes:
+
+    * ``knot_bias`` — probability the ``fix`` arm emits the tight
+      knot (blackhole / detectable ⊥);
+    * ``omit_nothing`` — probability a Maybe ``case`` drops its
+      ``Nothing`` alternative (``PatternMatchFail``);
+    * ``nested_catch`` — probability a ``catchIO`` body is itself
+      another ``catchIO`` (catch-inside-catch);
+    * ``shared_memo`` — weight of the shared-memoised-raise IO arm
+      (a let-bound raising cell probed twice, so the second force is
+      a §3.3 memoised re-raise) — the arm only exists when > 0;
+    * ``io_bias`` — overrides ``GenConfig.io_fraction`` when set, so
+      guidance can steer toward (or away from) IO cases.
+    """
+
+    arms: Tuple[Tuple[str, float], ...] = ()
+    knot_bias: float = KNOT_BIAS_DEFAULT
+    omit_nothing: float = OMIT_NOTHING_DEFAULT
+    nested_catch: float = 0.0
+    shared_memo: float = 0.0
+    io_bias: Optional[float] = None
+
+    def arm_weight(self, name: str) -> float:
+        for arm, weight in self.arms:
+            if arm == name:
+                return weight
+        return 1.0
+
+    @property
+    def is_default(self) -> bool:
+        return self == GenWeights()
+
+    def as_dict(self) -> dict:
+        return {
+            "arms": {name: weight for name, weight in self.arms},
+            "knot_bias": self.knot_bias,
+            "omit_nothing": self.omit_nothing,
+            "nested_catch": self.nested_catch,
+            "shared_memo": self.shared_memo,
+            "io_bias": self.io_bias,
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "GenWeights":
+        return GenWeights(
+            arms=tuple(sorted(raw.get("arms", {}).items())),
+            knot_bias=raw.get("knot_bias", KNOT_BIAS_DEFAULT),
+            omit_nothing=raw.get("omit_nothing", OMIT_NOTHING_DEFAULT),
+            nested_catch=raw.get("nested_catch", 0.0),
+            shared_memo=raw.get("shared_memo", 0.0),
+            io_bias=raw.get("io_bias"),
+        )
+
+
 @dataclass(frozen=True)
 class GenConfig:
     """Size and feature knobs for the generator.
@@ -112,7 +186,9 @@ class GenConfig:
     executor and compared across strategies); the rest are pure
     ``Int``-typed expressions compared against the denotational
     reference.  Feature flags gate the corresponding grammar arms so a
-    run can be narrowed when triaging.
+    run can be narrowed when triaging.  ``weights`` biases the grammar
+    for coverage-guided runs; the default is stream-compatible with
+    the unweighted generator (see :class:`GenWeights`).
     """
 
     max_depth: int = 5
@@ -123,9 +199,37 @@ class GenConfig:
     allow_io: bool = True
     allow_catch: bool = True
     stdin: str = "ab"
+    weights: GenWeights = GenWeights()
 
     def pure_only(self) -> "GenConfig":
         return replace(self, allow_io=False, io_fraction=0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "io_fraction": self.io_fraction,
+            "allow_fix": self.allow_fix,
+            "allow_strings": self.allow_strings,
+            "allow_prelude": self.allow_prelude,
+            "allow_io": self.allow_io,
+            "allow_catch": self.allow_catch,
+            "stdin": self.stdin,
+            "weights": self.weights.as_dict(),
+        }
+
+    @staticmethod
+    def from_dict(raw: dict) -> "GenConfig":
+        return GenConfig(
+            max_depth=raw.get("max_depth", 5),
+            io_fraction=raw.get("io_fraction", 0.25),
+            allow_fix=raw.get("allow_fix", True),
+            allow_strings=raw.get("allow_strings", True),
+            allow_prelude=raw.get("allow_prelude", True),
+            allow_io=raw.get("allow_io", True),
+            allow_catch=raw.get("allow_catch", True),
+            stdin=raw.get("stdin", "ab"),
+            weights=GenWeights.from_dict(raw.get("weights", {})),
+        )
 
 
 @dataclass(frozen=True)
@@ -149,11 +253,29 @@ class _Gen:
     def __init__(self, rng: random.Random, config: GenConfig) -> None:
         self.rng = rng
         self.config = config
+        self.weights = config.weights
+        self._arm_weights = dict(self.weights.arms)
         self._fresh = 0
 
     def fresh(self, prefix: str) -> str:
         self._fresh += 1
         return f"{prefix}{self._fresh}"
+
+    def _pick(self, arms):
+        """Choose one ``(name, fn)`` arm.  Unweighted runs use
+        ``rng.choice`` — the historical single-``randrange`` stream —
+        so default-weight generation is bit-identical to the
+        pre-guidance generator; weighted runs draw once via
+        ``rng.choices``."""
+        if not self._arm_weights:
+            return self.rng.choice(arms)[1]
+        weights = [
+            max(self._arm_weights.get(name, 1.0), 0.0)
+            for name, _ in arms
+        ]
+        if not any(weights):
+            return self.rng.choice(arms)[1]
+        return self.rng.choices(arms, weights=weights, k=1)[0][1]
 
     # -- leaves ---------------------------------------------------------
 
@@ -188,23 +310,23 @@ class _Gen:
         if depth <= 0:
             return self.int_leaf(env)
         arms = [
-            self._arm_arith,
-            self._arm_let,
-            self._arm_beta,
-            self._arm_case_bool,
-            self._arm_case_pair,
-            self._arm_case_maybe,
-            self._arm_case_list,
-            self._arm_seq,
-            self._arm_leafish,
+            ("arith", self._arm_arith),
+            ("let", self._arm_let),
+            ("beta", self._arm_beta),
+            ("case_bool", self._arm_case_bool),
+            ("case_pair", self._arm_case_pair),
+            ("case_maybe", self._arm_case_maybe),
+            ("case_list", self._arm_case_list),
+            ("seq", self._arm_seq),
+            ("leaf", self._arm_leafish),
         ]
         if self.config.allow_fix:
-            arms.append(self._arm_fix)
+            arms.append(("fix", self._arm_fix))
         if self.config.allow_prelude:
-            arms.append(self._arm_prelude)
+            arms.append(("prelude", self._arm_prelude))
         if self.config.allow_strings:
-            arms.append(self._arm_map_exception)
-        return self.rng.choice(arms)(depth, env)
+            arms.append(("map_exception", self._arm_map_exception))
+        return self._pick(arms)(depth, env)
 
     def _arm_leafish(self, depth: int, env: Tuple[str, ...]) -> Expr:
         return self.int_leaf(env)
@@ -257,7 +379,7 @@ class _Gen:
         alts = [Alt(PCon("Just", (PVar(v),)), just_body)]
         # Occasionally omit the Nothing alternative so pattern-match
         # failure (a built-in cause of failure, Section 2) is exercised.
-        if self.rng.random() < 0.8:
+        if self.rng.random() < 1.0 - self.weights.omit_nothing:
             alts.append(
                 Alt(PCon("Nothing"), self.int_expr(depth - 1, env))
             )
@@ -282,7 +404,7 @@ class _Gen:
         )
 
     def _arm_fix(self, depth: int, env: Tuple[str, ...]) -> Expr:
-        if self.rng.random() < 0.15:
+        if self.rng.random() < self.weights.knot_bias:
             # The tight knot: denotationally ⊥, operationally a loop
             # (or a detectable blackhole).
             name = self.fresh("loop")
@@ -360,14 +482,16 @@ class _Gen:
         if depth <= 0:
             return self.io_leaf(env)
         arms = [
-            self._io_arm_bind,
-            self._io_arm_putstr,
-            self._io_arm_get_exception,
-            self._io_arm_leafish,
+            ("bind", self._io_arm_bind),
+            ("putstr", self._io_arm_putstr),
+            ("get_exception", self._io_arm_get_exception),
+            ("io_leaf", self._io_arm_leafish),
         ]
         if self.config.allow_catch:
-            arms.append(self._io_arm_catch)
-        return self.rng.choice(arms)(depth, env)
+            arms.append(("catch", self._io_arm_catch))
+        if self.weights.shared_memo > 0:
+            arms.append(("shared_memo", self._io_arm_shared_memo))
+        return self._pick(arms)(depth, env)
 
     def io_leaf(self, env: Tuple[str, ...]) -> Expr:
         roll = self.rng.randrange(4)
@@ -438,9 +562,70 @@ class _Gen:
             "bindIO", (PrimOp("getException", (probe,)), consumer)
         )
 
+    def _io_arm_shared_memo(self, depth: int, env: Tuple[str, ...]) -> Expr:
+        """A §3.3 memoised re-raise, by construction: one let-bound
+        raising cell probed by two consecutive ``getException``s.  The
+        first probe forces the cell (the raise is memoised into it);
+        the second forces it again and the machine re-delivers the
+        recorded exception without re-evaluation — the ``memo-reraise``
+        event the coverage map hunts.  Both probes are
+        exception-agnostic (module docstring), so every strategy
+        prints the same output."""
+        v, r1 = self.fresh("v"), self.fresh("r")
+        if self.rng.random() < 0.5:
+            rhs: Expr = raise_con(self.rng.choice(EXC_CONS))
+        else:
+            rhs = raise_user_error(self.rng.choice(USER_ERROR_MESSAGES))
+        if self.rng.random() < 0.5:
+            # Let the raising cell sit under a little arithmetic so the
+            # force chain is non-trivial.
+            rhs = PrimOp("+", (rhs, Lit(self.rng.randint(-5, 5), "int")))
+        first = PrimOp("getException", (Var(v),))
+        second = PrimOp(
+            "bindIO",
+            (
+                PrimOp("getException", (Var(v),)),
+                self._agnostic_exval_consumer(),
+            ),
+        )
+        return Let(
+            ((v, rhs),),
+            PrimOp("bindIO", (first, Lam(r1, second))),
+        )
+
+    def _agnostic_exval_consumer(self) -> Expr:
+        """An exception-agnostic ``ExVal`` consumer (see
+        :meth:`_io_arm_get_exception` and the module docstring)."""
+        v, err = self.fresh("v"), self.fresh("err")
+        return Lam(
+            v,
+            Case(
+                Var(v),
+                (
+                    Alt(
+                        PCon("OK", (PVar(err),)),
+                        PrimOp("putStr", (PrimOp("showInt", (Var(err),)),)),
+                    ),
+                    Alt(
+                        PCon("Bad", (PWild(),)),
+                        PrimOp("putStr", (Lit("caught", "string"),)),
+                    ),
+                ),
+            ),
+        )
+
     def _io_arm_catch(self, depth: int, env: Tuple[str, ...]) -> Expr:
         e = self.fresh("exc")
-        body = self.io_expr(depth - 1, env)
+        if (
+            self.weights.nested_catch > 0
+            and depth > 1
+            and self.rng.random() < self.weights.nested_catch
+        ):
+            # Catch-inside-catch: the rare handler shape sequential
+            # disjunction desugars to (Kwon & Kang, PAPERS.md).
+            body = self._io_arm_catch(depth - 1, env)
+        else:
+            body = self.io_expr(depth - 1, env)
         handler_roll = self.rng.randrange(3)
         if handler_roll == 0:
             handler: Expr = Lam(
@@ -478,7 +663,10 @@ def generate_case(
     if config is None:
         config = GenConfig()
     rng = random.Random(seed)
-    is_io = config.allow_io and rng.random() < config.io_fraction
+    io_fraction = config.io_fraction
+    if config.weights.io_bias is not None:
+        io_fraction = config.weights.io_bias
+    is_io = config.allow_io and rng.random() < io_fraction
     kind = "io" if is_io else "pure"
     expr = generate_expr(rng, config, kind)
     return FuzzCase(

@@ -524,7 +524,10 @@ def _classify_fixed_lane(
     lane = "fixed-order"
     ctx = fixed_order_ctx(config.denote_fuel)
     if sink is not None:
+        # Re-derive the tracing flag: it was compiled from the sink in
+        # __post_init__, before this sink existed.
         ctx.sink = sink
+        ctx.__post_init__()
     fixed = _safe_denote(expr, denote_env(ctx), ctx)
     obs = Observation(lane, "denote", str(fixed))
     if is_bottom(fixed) and not is_bottom(denoted):
@@ -644,9 +647,10 @@ def run_oracle(
 def _run_pure_oracle(
     case: FuzzCase, config: OracleConfig, sink
 ) -> OracleReport:
-    ctx = DenoteContext(fuel=config.denote_fuel)
-    if sink is not None:
-        ctx.sink = sink
+    # The sink must go through the constructor: ``_tracing`` is
+    # computed in ``__post_init__``, so assigning ``ctx.sink`` after
+    # the fact would silently drop every denote-layer event.
+    ctx = DenoteContext(fuel=config.denote_fuel, sink=sink)
     denoted = _safe_denote(case.expr, denote_env(ctx), ctx)
     reference = Observation("denote", "denote", str(denoted))
     comparisons: List[Comparison] = []

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.excset import Exc, NON_TERMINATION
-from repro.obs.events import BLACKHOLE_ENTER, FORCE, FORCE_END
+from repro.obs.events import BLACKHOLE_ENTER, FORCE, FORCE_END, MEMO_RERAISE
 
 if TYPE_CHECKING:
     from repro.machine.eval import Machine
@@ -106,6 +106,8 @@ class Cell:
             return self.value
         if state == _RAISE:
             assert self.exc is not None
+            if machine._tracing:
+                machine.sink.emit(MEMO_RERAISE, exc=self.exc.name)
             err = ObjRaise(self.exc)
             # A raising cell's `value` slot is unused; it smuggles the
             # original raise's provenance so a memoised re-raise still

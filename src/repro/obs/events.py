@@ -51,6 +51,15 @@ BLACKHOLE_ENTER = "blackhole-enter"
 #: (the raise site's source span, or None when unknown).
 RAISE = "raise"
 
+#: A cell previously overwritten with ``raise ex`` (Section 3.3) was
+#: forced again and re-delivered its memoised exception without
+#: re-evaluation ("which is as it should be").  Distinct from
+#: :data:`RAISE` — no stack is trimmed by new evaluation and
+#: ``stats.raises`` does not move — so the coverage-guided fuzzer can
+#: target the memoised re-raise path specifically (docs/FUZZING.md).
+#: Payload: ``exc`` (the exception's name).
+MEMO_RERAISE = "memo-reraise"
+
 #: A strict primitive's *application* raised (``DivideByZero``,
 #: ``Overflow`` from ``⊕`` — Section 3.1's checked arithmetic).  These
 #: exceptions have no ``raise`` expression, so they get their own
@@ -131,6 +140,12 @@ EVENT_TAXONOMY: Mapping[str, EventSpec] = {
         ),
         EventSpec(
             RAISE, "machine", ("exc", "span"), "raise trimmed the stack"
+        ),
+        EventSpec(
+            MEMO_RERAISE,
+            "machine",
+            ("exc",),
+            "a raise-overwritten cell re-delivered its exception (§3.3)",
         ),
         EventSpec(
             PRIM_RAISE,

@@ -1,0 +1,143 @@
+"""Fleet sharding: determinism, jobs-invariance of the merged corpus,
+the subprocess worker protocol, and planted-divergence merge plumbing.
+
+The expensive subprocess paths run tiny budgets; the determinism
+properties run in-process, which ``run_fleet`` guarantees is
+bit-identical to the subprocess fleet (same ``run_shard`` code path,
+same merge)."""
+
+import json
+
+from repro.fuzz.fleet import (
+    FleetReport,
+    ShardSpec,
+    run_fleet,
+    shard_report,
+)
+
+
+def stable_dict(report: FleetReport) -> dict:
+    """Everything except wall-clock fields — the byte-identical part
+    of the contract."""
+    d = report.to_dict()
+    d.pop("elapsed_seconds")
+    d.pop("shard_elapsed_seconds")
+    return d
+
+
+class TestSharding:
+    def test_round_robin_partitions_the_index_space(self):
+        jobs, iterations = 3, 20
+        slices = [
+            ShardSpec(
+                shard=s, jobs=jobs, seed=0, iterations=iterations
+            ).indices()
+            for s in range(jobs)
+        ]
+        merged = sorted(i for chunk in slices for i in chunk)
+        assert merged == list(range(iterations))
+
+    def test_shard_runs_only_its_indices(self):
+        spec = ShardSpec(
+            shard=1, jobs=4, seed=0, iterations=10, probe=False
+        )
+        payload = shard_report(spec)
+        assert payload["shard"] == 1
+        # indices 1, 5, 9
+        assert payload["summary"]["iterations"] == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_jobs_byte_identical(self, tmp_path):
+        kwargs = dict(
+            jobs=3, iterations=15, seed=7, probe=False, shrink=False,
+            plant_divergence_every=4, in_process=True,
+        )
+        first = run_fleet(save_path=str(tmp_path / "a.jsonl"), **kwargs)
+        second = run_fleet(save_path=str(tmp_path / "b.jsonl"), **kwargs)
+        assert json.dumps(stable_dict(first), sort_keys=True) == \
+            json.dumps(stable_dict(second), sort_keys=True)
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+            (tmp_path / "b.jsonl").read_bytes()
+
+    def test_different_jobs_same_corpus_set(self, tmp_path):
+        """Unguided: the round-robin index scheme makes the generated
+        case *set* independent of the shard count, so verdict totals
+        and the dedup-by-shrunk-form corpus must match exactly."""
+        reports = [
+            run_fleet(
+                jobs=jobs, iterations=12, seed=3, probe=False,
+                shrink=False, plant_divergence_every=3,
+                in_process=True,
+                save_path=str(tmp_path / f"c{jobs}.jsonl"),
+            )
+            for jobs in (1, 2, 4)
+        ]
+        baseline = reports[0]
+        for other in reports[1:]:
+            assert other.verdicts == baseline.verdicts
+            assert other.lane_verdicts == baseline.lane_verdicts
+            assert [e.id for e in other.corpus] == \
+                [e.id for e in baseline.corpus]
+            assert other.coverage.as_dict() == \
+                baseline.coverage.as_dict()
+        assert (tmp_path / "c1.jsonl").read_bytes() == \
+            (tmp_path / "c2.jsonl").read_bytes() == \
+            (tmp_path / "c4.jsonl").read_bytes()
+
+    def test_guided_deterministic_for_fixed_seed_and_jobs(self):
+        kwargs = dict(
+            jobs=2, iterations=12, seed=0, guided=True, probe=False,
+            in_process=True,
+        )
+        first = run_fleet(**kwargs)
+        second = run_fleet(**kwargs)
+        assert stable_dict(first) == stable_dict(second)
+
+
+class TestPlantedMerge:
+    def test_planted_divergences_flow_into_merged_corpus(self):
+        """A healthy build has zero real divergences, so the merge
+        plumbing is proven with planted ones — same philosophy as the
+        chaos explorer's planted-unsound self-test."""
+        report = run_fleet(
+            jobs=2, iterations=10, seed=0, probe=False, shrink=False,
+            plant_divergence_every=5, in_process=True,
+        )
+        # indices 4 and 9 plant
+        assert report.divergences == 2
+        assert len(report.findings) == 2
+        assert [f["seed"] for f in report.findings] == [4, 9]
+        assert len(report.corpus) == 2
+        assert report.corpus == sorted(
+            report.corpus, key=lambda e: e.id
+        )
+        assert not report.ok
+
+    def test_clean_run_is_ok(self):
+        report = run_fleet(
+            jobs=2, iterations=6, seed=0, probe=False,
+            in_process=True,
+        )
+        assert report.ok
+        assert report.iterations == 6
+        assert report.corpus == []
+
+
+class TestSubprocessFleet:
+    def test_worker_protocol_round_trip(self):
+        """The real subprocess path: shards spawn as
+        ``python -m repro.fuzz.fleet`` workers and their JSON reports
+        merge identically to the in-process run."""
+        kwargs = dict(jobs=2, iterations=6, seed=1, probe=False)
+        sub = run_fleet(**kwargs)
+        local = run_fleet(in_process=True, **kwargs)
+        assert stable_dict(sub) == stable_dict(local)
+
+    def test_spec_round_trip(self):
+        spec = ShardSpec(
+            shard=2, jobs=4, seed=9, iterations=100, guided=True,
+            shrink=False, max_findings=3, probe=False,
+            plant_divergence_every=7,
+        )
+        assert ShardSpec.from_dict(spec.as_dict()) == spec
