@@ -1,0 +1,126 @@
+"""E18 — profile-guided superinstructions beat the closure backend.
+
+The second-generation compiled backend (``Machine(backend="super")``,
+repro.machine.superop) fuses hot step sequences into single Python
+frames.  The headline claim of docs/PERFORMANCE.md's Superinstructions
+section: on the call-heavy fib workload the super backend is **≥5× the
+AST walker and ≥1.5× the closure backend**, while staying
+*observationally identical* — the same counter contract E13 gates for
+the compiled backend, extended to a third backend.
+
+Per workload, a fresh cold machine per rep on each of the three
+backends (compile cost inside the timed region, exactly as E13
+measures it); the full ``MachineStats`` snapshot is asserted equal
+across all three every rep.  Speedups are recorded in the BENCH_E18
+rows; the CI gates sit well below the claims (shared runners are
+noisy): super must stay ≥1.3× over the AST walker on every workload,
+and ≥1.2× over the compiled backend on fib.
+
+Regenerates: the BENCH_E18 rows.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.bench_compiled import (
+    E13_WORKLOADS,
+    _REPS,
+    _compile,
+    _run_once,
+)
+from benchmarks.conftest import bench_record
+from repro.api import compile_expr
+from repro.machine import Machine, Normal, observe
+from repro.obs import SpanProfiler
+from repro.prelude.loader import machine_env
+
+# CI floors, deliberately below the recorded claims (≥5× AST / ≥1.5×
+# compiled on fib): a perf bar that flakes gets deleted.
+_CI_FLOOR_VS_AST = 1.3
+_CI_FLOOR_VS_COMPILED = 1.2
+
+
+def _best_of(compiled, backend: str):
+    best, stats, value = _run_once(compiled, backend)
+    for _ in range(_REPS - 1):
+        elapsed, again, _v = _run_once(compiled, backend)
+        assert again == stats  # deterministic: every rep, same counters
+        best = min(best, elapsed)
+    return best, stats, value
+
+
+class TestSuperSpeedup:
+    @pytest.mark.parametrize("name", sorted(E13_WORKLOADS))
+    def test_triple_speedup_and_counter_parity(self, name):
+        compiled = _compile(name)
+        times, stats, values = {}, {}, {}
+        for backend in ("ast", "compiled", "super"):
+            times[backend], stats[backend], values[backend] = _best_of(
+                compiled, backend
+            )
+
+        # The counter contract across all three backends: not "close",
+        # *equal* — every step, allocation, force, raise, prim-op and
+        # the force-depth high-water mark.
+        assert stats["compiled"] == stats["ast"]
+        assert stats["super"] == stats["ast"]
+        assert str(values["super"]) == str(values["ast"])
+
+        vs_ast = times["ast"] / times["super"]
+        vs_compiled = times["compiled"] / times["super"]
+        bench_record(
+            "E18",
+            workload=name,
+            ast_seconds=round(times["ast"], 6),
+            compiled_seconds=round(times["compiled"], 6),
+            super_seconds=round(times["super"], 6),
+            speedup_vs_ast=round(vs_ast, 2),
+            speedup_vs_compiled=round(vs_compiled, 2),
+            steps=stats["ast"]["steps"],
+            allocations=stats["ast"]["allocations"],
+            thunks_forced=stats["ast"]["thunks_forced"],
+            target=(
+                "fib ≥5× ast / ≥1.5× compiled "
+                "(CI floors 1.3× / 1.2×)"
+            ),
+        )
+        assert vs_ast >= _CI_FLOOR_VS_AST, (
+            f"{name}: super backend only {vs_ast:.2f}× over ast "
+            f"(ast {times['ast']:.4f}s vs super {times['super']:.4f}s)"
+        )
+        if name == "fib":
+            assert vs_compiled >= _CI_FLOOR_VS_COMPILED, (
+                f"fib: super backend only {vs_compiled:.2f}× over "
+                f"compiled (compiled {times['compiled']:.4f}s vs "
+                f"super {times['super']:.4f}s)"
+            )
+
+
+class TestProfileGuidedRun:
+    """The profile loop the CLI's ``--profile-in`` drives: record a
+    folded profile of the workload, feed it back as the heat map, and
+    the guided run keeps the exact counter contract while fusing only
+    the measured-hot regions."""
+
+    def test_profiled_fib_keeps_counters(self):
+        source = E13_WORKLOADS["fib"]
+        profiler = SpanProfiler(decisions=True)
+        machine = Machine(backend="ast")
+        env = machine_env(machine)
+        out = observe(
+            compile_expr(source), env=env, machine=machine, sink=profiler
+        )
+        assert isinstance(out, Normal)
+        reference = machine.stats.snapshot().as_dict()
+
+        guided = Machine(
+            backend="super", profile=profiler.folded_lines()
+        )
+        genv = machine_env(guided)
+        gout = observe(compile_expr(source), env=genv, machine=guided)
+        assert isinstance(gout, Normal)
+        assert str(gout.value) == str(out.value)
+        assert guided.stats.snapshot().as_dict() == reference
+        # The profile marks the recursive region hot, so fusion fired.
+        assert sum(guided.fusion_report().values()) > 0

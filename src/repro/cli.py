@@ -96,8 +96,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend",
         default="ast",
-        choices=["ast", "compiled"],
+        choices=["ast", "compiled", "super"],
         help="machine backend (docs/PERFORMANCE.md)",
+    )
+    run.add_argument(
+        "--profile-in",
+        default=None,
+        metavar="PROFILE.folded",
+        help="folded-stacks profile (from `repro profile --flame`) "
+        "narrowing superinstruction fusion to hot spans; requires "
+        "--backend super",
     )
 
     ev = sub.add_parser("eval", help="evaluate on the lazy machine")
@@ -108,8 +116,16 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument(
         "--backend",
         default="ast",
-        choices=["ast", "compiled"],
+        choices=["ast", "compiled", "super"],
         help="machine backend (docs/PERFORMANCE.md)",
+    )
+    ev.add_argument(
+        "--profile-in",
+        default=None,
+        metavar="PROFILE.folded",
+        help="folded-stacks profile (from `repro profile --flame`) "
+        "narrowing superinstruction fusion to hot spans; requires "
+        "--backend super",
     )
 
     de = sub.add_parser("denote", help="print the denotation")
@@ -194,7 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
     pro.add_argument(
         "--backend",
         default="ast",
-        choices=["ast", "compiled"],
+        choices=["ast", "compiled", "super"],
         help="machine backend (docs/PERFORMANCE.md)",
     )
     pro.add_argument(
@@ -238,7 +254,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ex.add_argument(
         "--backend",
         default="ast",
-        choices=["ast", "compiled"],
+        choices=["ast", "compiled", "super"],
         help="machine backend (docs/PERFORMANCE.md)",
     )
 
@@ -246,7 +262,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench",
         help="re-run claim benchmarks, diff against checked-in seeds",
         description=(
-            "Run the E1/E1b/E2/E13 benchmark files into a fresh "
+            "Run the E1/E1b/E2/E13/E16/E18 benchmark files into a fresh "
             "records directory, compare the BENCH_*.json rows against "
             "benchmarks/records/, and exit 1 when a deterministic "
             "metric regressed by more than 20%% (wall-clock fields "
@@ -351,6 +367,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     "iterations per shard")
     fz.add_argument("--no-probe", action="store_true",
                     help="skip the per-case interrupt probe")
+    fz.add_argument("--probe-sample", type=float, default=1.0,
+                    metavar="R",
+                    help="probe only a seeded R-fraction of cases "
+                    "(0 < R <= 1; selection is a per-case hash of "
+                    "the base seed, so it is identical across "
+                    "--jobs shardings)")
     fz.add_argument(
         "--format", default="table", choices=["table", "json"]
     )
@@ -381,7 +403,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--backend",
         default="both",
-        choices=["ast", "compiled", "both"],
+        choices=["ast", "compiled", "super", "both", "all"],
+        help="backend(s) to sweep: both = ast+compiled, "
+        "all = every backend",
     )
     ch.add_argument("--fuel", type=int, default=2_000_000)
     ch.add_argument("--limit", type=int, default=None,
@@ -429,7 +453,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_profile_in(args) -> Optional[int]:
+    """--profile-in only means something to the super backend."""
+    if args.profile_in is not None and args.backend != "super":
+        print(
+            "error: --profile-in requires --backend super",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def _cmd_run(args) -> int:
+    status = _check_profile_in(args)
+    if status is not None:
+        return status
     with open(args.file) as handle:
         source = handle.read()
     result = run_io_program(
@@ -440,6 +478,7 @@ def _cmd_run(args) -> int:
         fuel=args.fuel,
         typecheck=args.typecheck,
         backend=args.backend,
+        profile=args.profile_in,
     )
     sys.stdout.write(result.stdout)
     if result.status == "exception":
@@ -452,22 +491,32 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_eval(args) -> int:
+    status = _check_profile_in(args)
+    if status is not None:
+        return status
     outcome = observe_source(
         args.expr,
         strategy=_strategy(args.strategy),
         fuel=args.fuel,
         deep=args.deep,
         backend=args.backend,
+        profile=args.profile_in,
     )
     from repro.machine import Machine, Normal
     from repro.machine.observe import show_value
 
     if isinstance(outcome, Normal):
         # Re-run to render with a machine in hand (outputs lazily).
+        extra = (
+            {"profile": args.profile_in}
+            if args.profile_in is not None
+            else {}
+        )
         machine = Machine(
             strategy=_strategy(args.strategy),
             fuel=args.fuel,
             backend=args.backend,
+            **extra,
         )
         from repro.prelude.loader import machine_env
 
@@ -714,6 +763,10 @@ def _fuzz_table(summary_dict: dict) -> str:
         for name, hits in coverage["hits"].items():
             rate = hits / total if total else 0.0
             lines.append(f"  {name}: {hits} ({rate:.1%})")
+    sampled = summary_dict.get("probe_sampled", 0)
+    total = summary_dict.get("probe_total", 0)
+    if total and sampled != total:
+        lines.append(f"probe: sampled {sampled} of {total} cases")
     for violation in summary_dict.get("probe_violations", []):
         lines.append(f"PROBE VIOLATION: {violation}")
     for finding in summary_dict["findings"]:
@@ -769,6 +822,12 @@ def _cmd_fuzz(args) -> int:
         allow_io=not args.no_io,
         allow_catch=not args.no_catch,
     )
+    if not 0.0 < args.probe_sample <= 1.0:
+        print(
+            "error: --probe-sample must be in (0, 1]",
+            file=sys.stderr,
+        )
+        return 2
     if args.jobs > 1:
         from repro.fuzz.fleet import run_fleet
 
@@ -787,6 +846,7 @@ def _cmd_fuzz(args) -> int:
             shrink=not args.no_shrink,
             max_findings=args.max_findings,
             probe=not args.no_probe,
+            probe_sample=args.probe_sample,
             gen_config=gen_config,
             oracle_config={"warm_lane": not args.no_warm_lane},
             save_path=args.save,
@@ -809,6 +869,7 @@ def _cmd_fuzz(args) -> int:
         guided=args.guided,
         retarget_every=args.retarget_every,
         probe=not args.no_probe,
+        probe_sample=args.probe_sample,
     )
     payload = summary.to_dict()
     if args.format == "json":
@@ -828,9 +889,14 @@ def _cmd_chaos(args) -> int:
         sweep_axis,
     )
 
-    backends = (
-        ["ast", "compiled"] if args.backend == "both" else [args.backend]
-    )
+    if args.backend == "both":
+        backends = ["ast", "compiled"]
+    elif args.backend == "all":
+        from repro.machine import BACKENDS
+
+        backends = list(BACKENDS)
+    else:
+        backends = [args.backend]
     axes = list(SWEEP_AXES) if args.sweep == "all" else [args.sweep]
 
     if args.self_test:

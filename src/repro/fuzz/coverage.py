@@ -68,6 +68,14 @@ from repro.obs.events import (
 #: Default hit-rate below which a feature counts as deficient.
 DEFICIT_THRESHOLD = 0.05
 
+#: Steering hysteresis: guided retargeting keeps a deficient feature's
+#: boosts applied until its rate *comfortably* clears the reported
+#: deficit bar.  Without the margin the feedback loop equilibrates
+#: just below DEFICIT_THRESHOLD — each retarget that crosses the bar
+#: switches the boost off, the rate decays, and the run ends a shade
+#: under the threshold it was steering toward.
+STEER_THRESHOLD = DEFICIT_THRESHOLD * 1.5
+
 #: Steps the interrupt probe schedules ``ControlC`` at.  Small on
 #: purpose: delivery halts evaluation, so each probe run costs at most
 #: this many machine steps.  Two points — one early, one later — so
@@ -83,8 +91,8 @@ class FeatureSpec:
     by :func:`weights_from_coverage` when this feature is deficient.
     A knob is either a scalar :class:`~repro.fuzz.gen.GenWeights`
     field name (``knot_bias``, ``omit_nothing``, ``nested_catch``,
-    ``shared_memo``, ``io_bias``) or ``arm:<name>`` for a grammar-arm
-    weight.  Values are merged by ``max`` so several deficits can pull
+    ``shared_memo``, ``io_bias``, ``div_zero_bias``) or
+    ``arm:<name>`` for a grammar-arm weight.  Values are merged by ``max`` so several deficits can pull
     the same knob without fighting.
     """
 
@@ -110,7 +118,13 @@ FEATURES: Dict[str, FeatureSpec] = {
         _F("event:raise", "event", "an explicit raise trimmed the stack"),
         _F("event:prim-raise", "event",
            "a checked primitive (§3.1 ⊕) raised",
-           targets=(("arm:arith", 2.0),)),
+           # arm:arith alone cannot fix this deficit — random divisors
+           # are almost never zero — so the retarget also pins a
+           # fraction of div/mod divisors to literal 0.  0.6 because a
+           # pinned divisor only fires when the division is actually
+           # demanded and its left operand lands a value, which
+           # discounts the per-case incidence roughly fourfold.
+           targets=(("arm:arith", 2.0), ("div_zero_bias", 0.6))),
         _F("event:blackhole", "event",
            "a thunk under evaluation was re-entered (§5.2)",
            targets=(("knot_bias", 0.5), ("arm:fix", 3.0))),
@@ -446,14 +460,14 @@ class CoverageMap:
 
 _SCALAR_KNOBS = (
     "knot_bias", "omit_nothing", "nested_catch", "shared_memo",
-    "io_bias",
+    "io_bias", "div_zero_bias",
 )
 
 
 def weights_from_coverage(
     coverage: CoverageMap,
     base=None,
-    threshold: float = DEFICIT_THRESHOLD,
+    threshold: float = STEER_THRESHOLD,
 ):
     """Fold the coverage deficits into a :class:`GenWeights`.
 
@@ -462,6 +476,8 @@ def weights_from_coverage(
     arm weights both merge by ``max``, so the result is independent of
     deficit order.  With no deficits the result *is* ``base`` — guided
     mode on a saturated map generates exactly the uniform stream.
+    Steering uses :data:`STEER_THRESHOLD` (1.5× the reporting bar) so
+    rates settle *above* :data:`DEFICIT_THRESHOLD`, not at it.
     """
     from repro.fuzz.gen import GenWeights
 
@@ -488,4 +504,5 @@ def weights_from_coverage(
         nested_catch=scalars["nested_catch"],
         shared_memo=scalars["shared_memo"],
         io_bias=scalars["io_bias"],
+        div_zero_bias=scalars["div_zero_bias"],
     )

@@ -10,6 +10,7 @@ machine steps, raises and allocations for free (the same counters
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
@@ -74,6 +75,10 @@ class FuzzSummary:
     corpus_added: int = 0
     coverage: CoverageMap = field(default_factory=CoverageMap)
     probe_violations: List[str] = field(default_factory=list)
+    #: Cases the (possibly sampled) interrupt probe actually ran on,
+    #: vs cases that were eligible — equal unless ``probe_sample < 1``.
+    probe_sampled: int = 0
+    probe_total: int = 0
 
     @property
     def divergences(self) -> int:
@@ -98,6 +103,8 @@ class FuzzSummary:
             "corpus_added": self.corpus_added,
             "coverage": self.coverage.as_dict(),
             "probe_violations": list(self.probe_violations),
+            "probe_sampled": self.probe_sampled,
+            "probe_total": self.probe_total,
             "findings": [finding.to_dict() for finding in self.findings],
         }
 
@@ -114,6 +121,7 @@ def run_fuzz(
     guided: bool = False,
     retarget_every: int = 25,
     probe: bool = True,
+    probe_sample: float = 1.0,
     indices: Optional[Sequence[int]] = None,
     plant_divergence_every: Optional[int] = None,
 ) -> FuzzSummary:
@@ -139,6 +147,13 @@ def run_fuzz(
     generator seed ``seed + j``) — the fleet's sharding hook: shard
     ``i`` of ``J`` takes indices ``i, i+J, i+2J, ...`` so the *union*
     of case seeds is independent of the shard count.
+
+    ``probe_sample`` runs the probe on a seeded fraction of cases:
+    case ``j`` is probed iff a PRNG keyed on ``(seed, j)`` — the
+    *absolute* case index, not the loop position — draws below the
+    fraction.  The selection is therefore a pure function of the base
+    seed, identical under any ``--jobs`` sharding of the same index
+    range.
 
     ``plant_divergence_every`` appends a synthetic divergent
     comparison to every ``n``-th case's report (by absolute index, so
@@ -187,7 +202,15 @@ def run_fuzz(
                     report.reference,
                 )
             )
-        probe_result = interrupt_probe(case.expr) if probe else None
+        probe_this = probe and (
+            probe_sample >= 1.0
+            or random.Random(seed * 1_000_003 + index).random()
+            < probe_sample
+        )
+        if probe:
+            summary.probe_total += 1
+            summary.probe_sampled += 1 if probe_this else 0
+        probe_result = interrupt_probe(case.expr) if probe_this else None
         coverage.record(
             extract_features(report, case_sink.counts, probe_result)
         )

@@ -56,6 +56,7 @@ class ShardSpec:
     shrink: bool = True
     max_findings: int = 10
     probe: bool = True
+    probe_sample: float = 1.0
     plant_divergence_every: Optional[int] = None
     gen: Optional[dict] = None  # GenConfig.as_dict(), None = defaults
     oracle: Optional[dict] = None  # OracleConfig fields, None = defaults
@@ -78,6 +79,7 @@ class ShardSpec:
             shrink=bool(raw.get("shrink", True)),
             max_findings=int(raw.get("max_findings", 10)),
             probe=bool(raw.get("probe", True)),
+            probe_sample=float(raw.get("probe_sample", 1.0)),
             plant_divergence_every=raw.get("plant_divergence_every"),
             gen=raw.get("gen"),
             oracle=raw.get("oracle"),
@@ -100,6 +102,7 @@ def run_shard(spec: ShardSpec) -> FuzzSummary:
         max_findings=spec.max_findings,
         guided=spec.guided,
         probe=spec.probe,
+        probe_sample=spec.probe_sample,
         indices=spec.indices(),
         plant_divergence_every=spec.plant_divergence_every,
     )
@@ -136,6 +139,11 @@ class FleetReport:
     machine_allocs: int = 0
     coverage: CoverageMap = field(default_factory=CoverageMap)
     probe_violations: List[str] = field(default_factory=list)
+    #: Probed vs probe-eligible case counts summed over shards; a
+    #: fixed seed yields the same pair under any ``jobs`` (the
+    #: selection keys on absolute case indices).
+    probe_sampled: int = 0
+    probe_total: int = 0
     findings: List[dict] = field(default_factory=list)
     corpus: List[CorpusEntry] = field(default_factory=list)
     corpus_added: int = 0
@@ -171,6 +179,8 @@ class FleetReport:
             },
             "coverage": self.coverage.as_dict(),
             "probe_violations": list(self.probe_violations),
+            "probe_sampled": self.probe_sampled,
+            "probe_total": self.probe_total,
             "corpus": [asdict(entry) for entry in self.corpus],
             "corpus_added": self.corpus_added,
             "findings": self.findings,
@@ -196,6 +206,8 @@ def _merge_shard(report: FleetReport, payload: dict) -> None:
     report.machine_allocs += machine["allocs"]
     report.coverage.merge(CoverageMap.from_dict(summary["coverage"]))
     report.probe_violations.extend(summary["probe_violations"])
+    report.probe_sampled += summary.get("probe_sampled", 0)
+    report.probe_total += summary.get("probe_total", 0)
     report.findings.extend(summary["findings"])
     for raw in payload["corpus"]:
         report.corpus.append(CorpusEntry(**raw))
@@ -238,6 +250,7 @@ def run_fleet(
     shrink: bool = True,
     max_findings: int = 10,
     probe: bool = True,
+    probe_sample: float = 1.0,
     plant_divergence_every: Optional[int] = None,
     gen_config: Optional[GenConfig] = None,
     oracle_config: Optional[dict] = None,
@@ -264,6 +277,7 @@ def run_fleet(
             shrink=shrink,
             max_findings=max_findings,
             probe=probe,
+            probe_sample=probe_sample,
             plant_divergence_every=plant_divergence_every,
             gen=gen_config.as_dict() if gen_config else None,
             oracle=oracle_config,

@@ -136,7 +136,13 @@ class GenWeights:
       (a let-bound raising cell probed twice, so the second force is
       a §3.3 memoised re-raise) — the arm only exists when > 0;
     * ``io_bias`` — overrides ``GenConfig.io_fraction`` when set, so
-      guidance can steer toward (or away from) IO cases.
+      guidance can steer toward (or away from) IO cases;
+    * ``div_zero_bias`` — probability a ``div``/``mod`` arm pins its
+      divisor to literal ``0`` (a guaranteed §3.1 checked-primitive
+      raise once both operands are demanded).  Boosting ``arm:arith``
+      alone barely moves the prim-raise rate: random divisors are
+      almost never zero, so the deficit-retarget path steers this
+      knob instead.
     """
 
     arms: Tuple[Tuple[str, float], ...] = ()
@@ -145,6 +151,7 @@ class GenWeights:
     nested_catch: float = 0.0
     shared_memo: float = 0.0
     io_bias: Optional[float] = None
+    div_zero_bias: float = 0.0
 
     def arm_weight(self, name: str) -> float:
         for arm, weight in self.arms:
@@ -164,6 +171,7 @@ class GenWeights:
             "nested_catch": self.nested_catch,
             "shared_memo": self.shared_memo,
             "io_bias": self.io_bias,
+            "div_zero_bias": self.div_zero_bias,
         }
 
     @staticmethod
@@ -175,6 +183,7 @@ class GenWeights:
             nested_catch=raw.get("nested_catch", 0.0),
             shared_memo=raw.get("shared_memo", 0.0),
             io_bias=raw.get("io_bias"),
+            div_zero_bias=raw.get("div_zero_bias", 0.0),
         )
 
 
@@ -333,10 +342,18 @@ class _Gen:
 
     def _arm_arith(self, depth: int, env: Tuple[str, ...]) -> Expr:
         op = self.rng.choice(("+", "-", "*", "div", "mod"))
-        return PrimOp(
-            op,
-            (self.int_expr(depth - 1, env), self.int_expr(depth - 1, env)),
-        )
+        lhs = self.int_expr(depth - 1, env)
+        # The guard keeps the default RNG stream untouched: with the
+        # knob at 0.0 no extra draw happens, so unguided seeds pin the
+        # exact historical programs (GenWeights stream contract).
+        bias = self.weights.div_zero_bias
+        if (
+            bias > 0.0
+            and op in ("div", "mod")
+            and self.rng.random() < bias
+        ):
+            return PrimOp(op, (lhs, Lit(0, "int")))
+        return PrimOp(op, (lhs, self.int_expr(depth - 1, env)))
 
     def _arm_let(self, depth: int, env: Tuple[str, ...]) -> Expr:
         name = self.fresh("v")

@@ -7,15 +7,16 @@ lane's outcome is compared against a *reference*:
   the reference; lanes are the lazy machine under every standard
   strategy plus a per-case ``Shuffled`` with a recorded seed, the
   explicit ``ExVal`` encoding (Section 2), the fixed-order baseline
-  (Sections 3.4/6), and the compile-to-closures backend
-  (docs/PERFORMANCE.md) under the default strategy — classified
-  against the denotation exactly like the AST machine, so any
-  behavioural drift in the compiler surfaces as a divergence here;
+  (Sections 3.4/6), and the compile-to-closures and superinstruction
+  backends (docs/PERFORMANCE.md) under the default strategy —
+  classified against the denotation exactly like the AST machine, so
+  any behavioural drift in either compiler surfaces as a divergence
+  here;
 * IO programs — the left-to-right executor run is the reference and
   the other strategies are the lanes (the denotational reference for
   IO is the Section 4.4 LTS, already property-tested in
-  ``tests/io/test_transition.py``), plus the compiled backend under
-  the reference strategy.
+  ``tests/io/test_transition.py``), plus the compiled and super
+  backends under the reference strategy.
 
 Each comparison lands on a three-point lattice:
 
@@ -182,6 +183,7 @@ class OracleConfig:
     io_fuel: int = 400_000
     extra_shuffled: bool = True
     compiled_lane: bool = True
+    super_lane: bool = True
     warm_lane: bool = True
 
     def strategies(self, seed: int) -> Sequence[Strategy]:
@@ -674,6 +676,15 @@ def _run_pure_oracle(
             "machine:compiled", backend="compiled",
         )
         comparisons.append(_classify_machine_lane(denoted, obs))
+    if config.super_lane:
+        # Same differential again for the superinstruction backend:
+        # fused frames must not change the observed member of the
+        # exception set (docs/PERFORMANCE.md, "Superinstructions").
+        obs = _machine_observation(
+            case.expr, strategies[0], config.machine_fuel, sink,
+            "machine:super", backend="super",
+        )
+        comparisons.append(_classify_machine_lane(denoted, obs))
     if config.warm_lane:
         # The warm serving path's parity contract, checked as its own
         # differential: fork-vs-cold must be byte-identical, not just
@@ -684,6 +695,10 @@ def _run_pure_oracle(
         if config.compiled_lane:
             comparisons.append(
                 _classify_warm_lane(case.expr, config, "compiled")
+            )
+        if config.super_lane:
+            comparisons.append(
+                _classify_warm_lane(case.expr, config, "super")
             )
     comparisons.append(
         _classify_exval_lane(case.expr, denoted, config, sink)
@@ -713,6 +728,12 @@ def _run_io_oracle(
         obs = _io_observation(
             case, strategies[0], config.io_fuel, sink, "io:compiled",
             backend="compiled",
+        )
+        comparisons.append(_classify_io_lane(reference, obs))
+    if config.super_lane:
+        obs = _io_observation(
+            case, strategies[0], config.io_fuel, sink, "io:super",
+            backend="super",
         )
         comparisons.append(_classify_io_lane(reference, obs))
     return OracleReport(case, reference, comparisons)

@@ -24,6 +24,7 @@ from repro.machine.strategy import (
 )
 from repro.machine.eval import BACKENDS, Machine, MachineStats, StatsSnapshot
 from repro.machine.compile import CompiledMachine
+from repro.machine.superop import SuperMachine
 from repro.machine.frames import CClosure
 from repro.machine.observe import (
     Diverged,
@@ -53,6 +54,7 @@ __all__ = [
     "Shuffled",
     "StatsSnapshot",
     "Strategy",
+    "SuperMachine",
     "VCon",
     "VFun",
     "VIO",

@@ -64,7 +64,7 @@ from repro.obs.sinks import TraceSink, is_live
 
 Env = Dict[str, Cell]
 
-BACKENDS = ("ast", "compiled")
+BACKENDS = ("ast", "compiled", "super")
 
 _MIN_RECURSION_LIMIT = 200_000
 
@@ -123,7 +123,7 @@ class StatsSnapshot:
         return {name: getattr(self, name) for name in _STAT_FIELDS}
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineStats:
     """Operation counters, the measurement substrate for E1/E2/E4.
 
@@ -193,16 +193,25 @@ class Machine:
         ``"ast"`` (default) walks the AST directly; ``"compiled"``
         lowers each expression once to a tree of Python closures over
         slot-addressed frames (repro.machine.compile) before running
-        it.  Both backends satisfy the same observation contract —
-        identical outcomes, counters and trace events
-        (docs/PERFORMANCE.md, tests/machine/test_backends.py).
+        it; ``"super"`` additionally fuses hot step sequences into
+        single Python frames (repro.machine.superop), checking
+        interrupts at every virtual step boundary.  All backends
+        satisfy the same observation contract — identical outcomes,
+        counters and trace events (docs/PERFORMANCE.md,
+        tests/machine/test_backends.py).
     """
 
     def __new__(cls, *args, **kwargs):
-        if cls is Machine and kwargs.get("backend", "ast") == "compiled":
-            from repro.machine.compile import CompiledMachine
+        if cls is Machine:
+            backend = kwargs.get("backend", "ast")
+            if backend == "compiled":
+                from repro.machine.compile import CompiledMachine
 
-            return super().__new__(CompiledMachine)
+                return super().__new__(CompiledMachine)
+            if backend == "super":
+                from repro.machine.superop import SuperMachine
+
+                return super().__new__(SuperMachine)
         return super().__new__(cls)
 
     def __init__(

@@ -140,10 +140,17 @@ class Cell:
             stats.max_force_depth = stats.force_depth
         prov = machine._prov
         if machine._tracing:
+            # `decision` is the strategy-decision clock (the number of
+            # strict primitives executed so far — the same index raise
+            # provenance records): it says which decision preceded the
+            # demand that entered this frame.  Cell.force is shared by
+            # every backend and the prim_ops counters are in lockstep,
+            # so the annotation is backend-invariant by construction.
             machine.sink.emit(
                 FORCE,
                 depth=stats.force_depth,
                 span=getattr(expr, "span", None),
+                decision=stats.prim_ops,
             )
         if prov is not None:
             prov.stack.append(getattr(expr, "span", None))

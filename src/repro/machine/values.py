@@ -9,7 +9,6 @@ of stack trimming.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -22,20 +21,58 @@ class Value:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class VInt(Value):
-    value: int
+    """A machine integer.  Immutable by convention; hand-rolled rather
+    than a dataclass because these are the hottest allocations the
+    machine makes (one per arithmetic result)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is VInt:
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value,))
+
+    def __repr__(self) -> str:
+        return f"VInt(value={self.value!r})"
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+#: Interned instances for small non-negative results, shared by the
+#: hot arithmetic paths (the superinstruction backend indexes this
+#: directly).  Safe because a ``VInt`` is immutable and compared by
+#: value everywhere — object identity is not observable.
+SMALL_INT_LIMIT = 2048
+SMALL_INTS = tuple(VInt(i) for i in range(SMALL_INT_LIMIT))
+
+
 class VStr(Value):
     """Characters (length 1) and strings share this representation;
     the type checker keeps them apart statically."""
 
-    value: str
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is VStr:
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value,))
+
+    def __repr__(self) -> str:
+        return f"VStr(value={self.value!r})"
 
     def __str__(self) -> str:
         return repr(self.value)

@@ -23,6 +23,16 @@ Two outputs:
   consumes: one line per distinct stack, frames separated by ``;``,
   the sample count (here: machine steps) last.  ``repro profile
   --flame out.folded`` writes it.
+
+With ``decisions=True`` each folded frame additionally carries the
+strategy-decision index at which it was entered — ``<span>@d<N>``
+where ``N`` is the machine's ``prim_ops`` counter when the force
+began (the same decision clock raise provenance records).  That
+answers *why* a frame was entered — after which scheduling decision —
+not just that it was.  The index rides on the ``force`` event itself
+(emitted by the shared ``Cell.force``), so decorated stacks are
+byte-identical across backends.  Per-span ``totals`` stay
+undecorated: aggregation by site is unaffected.
 """
 
 from __future__ import annotations
@@ -54,34 +64,43 @@ class SpanProfiler:
     ``totals`` maps a span label (``str(Span)``, or :data:`NO_SPAN`,
     or :data:`ROOT`) to its counter dict; ``folded`` maps a stack of
     labels — root first — to the number of machine steps sampled with
-    exactly that stack in flight.
+    exactly that stack in flight.  ``decisions=True`` decorates the
+    folded frames (only) with the strategy-decision index at frame
+    entry: ``<label>@d<N>``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, decisions: bool = False) -> None:
+        self.decisions = decisions
         self.totals: Dict[str, Dict[str, int]] = {}
         self.folded: Dict[Tuple[str, ...], int] = {}
-        self._stack: List[str] = []
+        # Each in-flight frame is (base_label, folded_label): totals
+        # aggregate on the base, folded stacks use the (optionally
+        # decision-decorated) folded form.
+        self._stack: List[Tuple[str, str]] = []
 
     # -- sink protocol --------------------------------------------------
 
     def emit(self, name: str, **fields: Any) -> None:
         if name == STEP:
             stack = self._stack
-            label = stack[-1] if stack else ROOT
+            label = stack[-1][0] if stack else ROOT
             self._bump(label, "steps")
-            key = (ROOT, *stack)
+            key = (ROOT, *(frame for _base, frame in stack))
             self.folded[key] = self.folded.get(key, 0) + 1
         elif name == FORCE:
             span = fields.get("span")
             label = str(span) if span is not None else NO_SPAN
-            self._stack.append(label)
+            frame = label
+            if self.decisions:
+                frame = f"{label}@d{fields.get('decision', 0)}"
+            self._stack.append((label, frame))
             self._bump(label, "forces")
         elif name == FORCE_END:
             if self._stack:
                 self._stack.pop()
         elif name == ALLOC:
             stack = self._stack
-            self._bump(stack[-1] if stack else ROOT, "allocs")
+            self._bump(stack[-1][0] if stack else ROOT, "allocs")
         elif name == RAISE or name == PRIM_RAISE:
             # A raise is charged to its own site when known; otherwise
             # to the frame it unwound from.  Primitive-originated
@@ -93,7 +112,7 @@ class SpanProfiler:
             if span is not None:
                 label = str(span)
             else:
-                label = self._stack[-1] if self._stack else ROOT
+                label = self._stack[-1][0] if self._stack else ROOT
             self._bump(label, "raises")
 
     def close(self) -> None:

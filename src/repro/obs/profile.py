@@ -189,7 +189,10 @@ def profile_source(
         jsonl = JsonlSink(trace)
         members.append(jsonl)
     if attribution or flame is not None:
-        spans = SpanProfiler()
+        # Folded stacks destined for a flamegraph carry the strategy
+        # decision clock (`@d<N>` frame decorations); the aggregate
+        # span table stays undecorated either way.
+        spans = SpanProfiler(decisions=flame is not None)
         members.append(spans)
     sink: TraceSink = (
         counting if len(members) == 1 else TeeSink(*members)

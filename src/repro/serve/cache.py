@@ -1,8 +1,9 @@
 """The content-addressed program cache behind the warm path.
 
 A served program's front-end work — parse, pattern-flatten, optionally
-typecheck, and (on the compiled backend) lower to closures — is a pure
-function of the *source text*, the *backend* and the *strategy*.  The
+typecheck, and (on the compiled and super backends) lower to closures
+or fused frames — is a pure function of the *source text*, the
+*backend* and the *strategy*.  The
 cache therefore keys entries by ``sha256(source) × backend ×
 strategy`` and stores the derived artifacts:
 
@@ -59,14 +60,25 @@ class CachedProgram:
         self._lock = threading.Lock()
 
     def code(self, glob, strategy):
-        """The compiled closure tree, lowered once against ``glob``
-        (the snapshot's frozen environment)."""
+        """The lowered program — a closure tree (``compiled``) or fused
+        frame tree (``super``), built once against ``glob`` (the
+        snapshot's frozen environment).  The cache key carries the
+        backend, so entries for different backends never share code."""
         if self._code is None:
-            from repro.machine.compile import compile_top
-
             with self._lock:
                 if self._code is None:
-                    self._code = compile_top(self.expr, glob, strategy)
+                    if self.key[1] == "super":
+                        from repro.machine.superop import compile_super
+
+                        self._code = compile_super(
+                            self.expr, glob, strategy
+                        )
+                    else:
+                        from repro.machine.compile import compile_top
+
+                        self._code = compile_top(
+                            self.expr, glob, strategy
+                        )
         return self._code
 
     def typecheck(self) -> Tuple[str, str]:

@@ -166,7 +166,7 @@ SERVE_FLAGS: Tuple[FlagSpec, ...] = (
         "evaluator backend for every request",
         str,
         "ast",
-        choices=("ast", "compiled"),
+        choices=("ast", "compiled", "super"),
     ),
     FlagSpec("--max-steps", "per-request step budget", int, 2_000_000),
     FlagSpec(

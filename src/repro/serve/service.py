@@ -460,10 +460,13 @@ class EvalService:
         governor.start()
 
         program: Any = entry.expr
-        if self.snapshot is not None and config.backend == "compiled":
-            # The cached closure tree bakes the snapshot's (immutable)
-            # cells in and takes the running machine as an argument,
-            # so one compilation serves every fork.
+        if self.snapshot is not None and config.backend in (
+            "compiled",
+            "super",
+        ):
+            # The cached lowered program bakes the snapshot's
+            # (immutable) cells in and takes the running machine as an
+            # argument, so one compilation serves every fork.
             program, env = entry.code(self.snapshot.env, machine.strategy), ()
         outcome = self._observe(program, env, machine, stdin)
         return self._classify(outcome, machine, governor, fault, sink)

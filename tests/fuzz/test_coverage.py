@@ -240,6 +240,31 @@ class TestWeightsFromCoverage:
         assert weights.arm_weight("catch") > 1.0
         assert not weights.is_default
 
+    def test_prim_raise_deficit_pins_zero_divisors(self):
+        cov = CoverageMap()
+        for _ in range(100):
+            cov.record({"verdict:agree"})
+        weights = weights_from_coverage(cov)
+        assert weights.div_zero_bias > 0
+        assert weights.arm_weight("arith") > 1.0
+
+    def test_steering_threshold_exceeds_reporting_threshold(self):
+        """A feature sitting *between* the deficit bar and the steer
+        bar keeps its boosts: that hysteresis is what lets guided runs
+        settle above DEFICIT_THRESHOLD instead of just below it."""
+        from repro.fuzz.coverage import DEFICIT_THRESHOLD, STEER_THRESHOLD
+
+        assert STEER_THRESHOLD > DEFICIT_THRESHOLD
+        cov = CoverageMap()
+        # 6% prim-raise: above the 5% reporting bar, below the steer bar.
+        for i in range(100):
+            hit = {"verdict:agree"}
+            if i < 6:
+                hit.add("event:prim-raise")
+            cov.record(hit)
+        assert "event:prim-raise" not in cov.deficits()
+        assert weights_from_coverage(cov).div_zero_bias > 0
+
     def test_probe_result_features(self):
         probe = ProbeResult(delivered=True, during_force=True)
         assert probe.features() == {
@@ -266,3 +291,17 @@ class TestGuidedBeatsUniform:
             )
         assert guided.divergences == 0
         assert uniform.divergences == 0
+
+    def test_guided_500_clears_prim_raise_bar(self):
+        """The prim-raise regression (the deficit that motivated
+        ``div_zero_bias``): a 500-iteration guided run must end with
+        the §3.1 checked-primitive raise rate at or above the 5%
+        deficit threshold.  Deterministic for the fixed seed."""
+        from repro.fuzz.coverage import DEFICIT_THRESHOLD
+
+        summary = run_fuzz(
+            iterations=500, seed=0, probe=False, guided=True
+        )
+        rate = summary.coverage.rate("event:prim-raise")
+        assert rate >= DEFICIT_THRESHOLD, f"prim-raise rate {rate:.1%}"
+        assert summary.divergences == 0

@@ -123,6 +123,32 @@ class TestPlantedMerge:
         assert report.iterations == 6
         assert report.corpus == []
 
+    def test_probe_sample_selection_is_jobs_invariant(self):
+        """Probe sampling keys on the *absolute* case index, so the
+        set of probed cases — and hence the sampled/total counts —
+        is identical under any sharding of the same index range."""
+        reports = {
+            jobs: run_fleet(
+                jobs=jobs, iterations=24, seed=3,
+                probe_sample=0.4, in_process=True,
+            )
+            for jobs in (1, 3)
+        }
+        one, three = reports[1], reports[3]
+        assert one.probe_total == three.probe_total == 24
+        assert one.probe_sampled == three.probe_sampled
+        # A 0.4 sample of 24 cases should land strictly between the
+        # extremes — the selection is a real subset, not all-or-none.
+        assert 0 < one.probe_sampled < 24
+        assert one.ok and three.ok
+
+    def test_probe_sample_full_fraction_probes_everything(self):
+        report = run_fleet(
+            jobs=2, iterations=6, seed=0, probe_sample=1.0,
+            in_process=True,
+        )
+        assert report.probe_sampled == report.probe_total == 6
+
 
 class TestSubprocessFleet:
     def test_worker_protocol_round_trip(self):

@@ -29,6 +29,31 @@ class TestDeterminism:
         assert any(c.kind == "io" for c in wide)
         assert all(c.kind == "pure" for c in narrow)
 
+    def test_zero_div_zero_bias_keeps_default_stream(self):
+        """The stream contract: an explicit 0.0 bias draws the RNG
+        exactly like the historical generator, so seeds pin the same
+        programs whether or not guidance plumbing touched the config."""
+        from repro.fuzz.gen import GenWeights
+
+        explicit = GenConfig(weights=GenWeights(div_zero_bias=0.0))
+        for seed in range(60):
+            assert generate_case(seed) == generate_case(seed, explicit)
+
+    def test_div_zero_bias_pins_zero_divisors(self):
+        from repro.fuzz.gen import GenWeights
+
+        biased = GenConfig(
+            weights=GenWeights(
+                arms=(("arith", 3.0),), div_zero_bias=1.0
+            )
+        )
+        sources = [
+            generate_case(s, biased).source for s in range(120)
+        ]
+        assert any(
+            "`div` 0" in src or "`mod` 0" in src for src in sources
+        )
+
 
 class TestCoverage:
     """Over a few hundred seeds the full AST surface should appear in

@@ -1,11 +1,13 @@
-"""Backend parity: the compiled evaluator against the AST walker.
+"""Backend parity: every machine backend against the AST walker.
 
-Every test here runs under both ``backend="ast"`` and
-``backend="compiled"`` (or runs both and compares).  The contract
-(docs/PERFORMANCE.md): identical outcomes, identical counters,
-identical strategy-ordered exception choices, identical async
-delivery points — the backends must be observationally
-indistinguishable, only wall-clock differs.
+Every test here runs under each backend in
+:data:`repro.machine.BACKENDS` — ``ast``, ``compiled`` and ``super`` —
+(or runs them all and compares).  The contract (docs/PERFORMANCE.md):
+identical outcomes, identical counters, identical strategy-ordered
+exception choices, identical async delivery points — the backends
+must be observationally indistinguishable, only wall-clock differs.
+New backends join the battery by appearing in ``BACKENDS``; no
+bespoke tests are needed.
 """
 
 import pytest
@@ -22,6 +24,7 @@ from repro.machine import (
     Normal,
     RightToLeft,
     Shuffled,
+    SuperMachine,
     observe,
     observe_program,
 )
@@ -47,6 +50,7 @@ def normal_int(outcome):
 class TestDispatch:
     def test_backend_selects_subclass(self):
         assert type(Machine(backend="compiled")) is CompiledMachine
+        assert type(Machine(backend="super")) is SuperMachine
         assert type(Machine(backend="ast")) is Machine
         assert type(Machine()) is Machine
 
@@ -208,7 +212,8 @@ class TestCounterParity:
             out, machine = run(source, backend)
             assert isinstance(out, Normal)
             snapshots[backend] = machine.stats.snapshot().as_dict()
-        assert snapshots["ast"] == snapshots["compiled"]
+        for backend in BACKENDS[1:]:
+            assert snapshots[backend] == snapshots["ast"], backend
 
     def test_stats_identical_on_exception(self):
         snapshots = {}
@@ -216,7 +221,8 @@ class TestCounterParity:
             out, machine = run("1 + (2 `div` 0)", backend)
             assert isinstance(out, Exceptional)
             snapshots[backend] = machine.stats.snapshot().as_dict()
-        assert snapshots["ast"] == snapshots["compiled"]
+        for backend in BACKENDS[1:]:
+            assert snapshots[backend] == snapshots["ast"], backend
 
 
 class TestStrategyParity:
@@ -252,7 +258,8 @@ class TestStrategyParity:
             )
             assert isinstance(out, Exceptional)
             picks[backend] = out.exc
-        assert picks["ast"] == picks["compiled"]
+        for backend in BACKENDS[1:]:
+            assert picks[backend] == picks["ast"], backend
 
 
 class TestAsyncParity:
@@ -280,7 +287,8 @@ class TestAsyncParity:
             )
             assert isinstance(out, Exceptional)
             steps[backend] = machine.stats.steps
-        assert steps["ast"] == steps["compiled"]
+        for backend in BACKENDS[1:]:
+            assert steps[backend] == steps["ast"], backend
 
 
 class TestRaiseMemoisation:
@@ -367,10 +375,11 @@ class TestProvenanceParity:
             self._observe_with_provenance(source, backend)
             for backend in BACKENDS
         ]
-        ast, compiled = outcomes
-        assert ast == compiled
-        assert isinstance(ast, Exceptional)
-        assert ast.provenance == compiled.provenance
+        reference = outcomes[0]
+        assert isinstance(reference, Exceptional)
+        for backend, outcome in zip(BACKENDS[1:], outcomes[1:]):
+            assert outcome == reference, backend
+            assert outcome.provenance == reference.provenance, backend
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_records_identical_under_shuffle(self, seed):
@@ -381,7 +390,8 @@ class TestProvenanceParity:
             ).provenance
             for backend in BACKENDS
         ]
-        assert records[0] == records[1]
+        for backend, record in zip(BACKENDS[1:], records[1:]):
+            assert record == records[0], backend
 
 
 class TestAttributionParity:
@@ -412,15 +422,18 @@ class TestAttributionParity:
 
     @pytest.mark.parametrize("source", CASES)
     def test_totals_identical(self, source):
-        ast, compiled = (
+        profilers = [
             self._attribute(source, backend) for backend in BACKENDS
-        )
-        assert ast.totals == compiled.totals
-        assert ast.totals  # non-empty: attribution actually happened
+        ]
+        assert profilers[0].totals  # non-empty: attribution happened
+        for backend, prof in zip(BACKENDS[1:], profilers[1:]):
+            assert prof.totals == profilers[0].totals, backend
 
     @pytest.mark.parametrize("source", CASES)
     def test_folded_stacks_identical(self, source):
-        ast, compiled = (
+        profilers = [
             self._attribute(source, backend) for backend in BACKENDS
-        )
-        assert ast.folded_lines() == compiled.folded_lines()
+        ]
+        reference = profilers[0].folded_lines()
+        for backend, prof in zip(BACKENDS[1:], profilers[1:]):
+            assert prof.folded_lines() == reference, backend

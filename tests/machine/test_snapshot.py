@@ -33,7 +33,7 @@ from repro.machine.snapshot import (
 from repro.machine.strategy import LeftToRight, RightToLeft, Shuffled
 from repro.obs.sinks import CountingSink
 
-BACKENDS = ["ast", "compiled"]
+BACKENDS = ["ast", "compiled", "super"]
 
 #: (name, source) — exercising values, prelude-heavy evaluation, both
 #: raise paths, strategy-sensitive imprecision, and provenance.

@@ -129,12 +129,15 @@ class TestCachedProgram:
         assert status == "type-error"
         assert message
 
-    def test_code_compiles_once_and_is_shared_across_forks(self):
-        """The compiled artifact bakes the snapshot's frozen cells in,
-        so one compilation serves every fork of that snapshot."""
-        snapshot = shared_snapshot(backend="compiled")
+    @pytest.mark.parametrize("backend", ["compiled", "super"])
+    def test_code_compiles_once_and_is_shared_across_forks(self, backend):
+        """The lowered artifact bakes the snapshot's frozen cells in,
+        so one compilation serves every fork of that snapshot — on the
+        compiled backend (closure trees) and the super backend (fused
+        frames) alike."""
+        snapshot = shared_snapshot(backend=backend)
         cache = ProgramCache(
-            backend="compiled",
+            backend=backend,
             strategy_key=snapshot.strategy_key(),
         )
         entry = cache.lookup("sum (enumFromTo 1 10)")

@@ -22,7 +22,7 @@ FIB = (
     "in fib 10"
 )
 
-BACKENDS = ["ast", "compiled"]
+BACKENDS = ["ast", "compiled", "super"]
 
 
 class FakeClock:

@@ -62,7 +62,7 @@ def _service(clock=None, **overrides):
 
 
 class TestSchemas:
-    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    @pytest.mark.parametrize("backend", ["ast", "compiled", "super"])
     def test_value(self, backend):
         service = _service(backend=backend)
         status, body, _ = service.handle({"expr": "1 + 2 * 3"})
@@ -81,7 +81,7 @@ class TestSchemas:
         assert body["stdout"] == "hi"
         assert_in_schema(body)
 
-    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    @pytest.mark.parametrize("backend", ["ast", "compiled", "super"])
     def test_exceptional(self, backend):
         service = _service(backend=backend)
         status, body, _ = service.handle({"expr": "1 `div` 0"})
@@ -379,7 +379,7 @@ class TestBatch:
 
 
 class TestWarmPath:
-    @pytest.mark.parametrize("backend", ["ast", "compiled"])
+    @pytest.mark.parametrize("backend", ["ast", "compiled", "super"])
     def test_warm_and_cold_responses_are_byte_identical(self, backend):
         """The parity contract at the service level: only latency may
         distinguish the paths (docs/SERVING.md's soundness argument)."""

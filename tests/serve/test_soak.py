@@ -41,7 +41,7 @@ TOTAL_REQUESTS = 520
 WORKERS = 8
 
 
-@pytest.mark.parametrize("backend", ["ast", "compiled"])
+@pytest.mark.parametrize("backend", ["ast", "compiled", "super"])
 def test_fault_driven_soak(backend):
     clock = FakeClock()
     config = ServiceConfig(
