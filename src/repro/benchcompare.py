@@ -32,6 +32,7 @@ EXPERIMENT_SOURCES: Dict[str, str] = {
     "E13": "benchmarks/bench_compiled.py",
     "E16": "benchmarks/bench_warm_serve.py",
     "E18": "benchmarks/bench_superop.py",
+    "E19": "benchmarks/bench_telemetry.py",
 }
 
 #: Where the seed records live (checked in, regenerated with

@@ -38,6 +38,7 @@ sweep flags exactly that point — on every axis.  ``repro chaos
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -97,10 +98,20 @@ class SweepReport:
     points_checked: int
     axis: str = "interrupt"
     violations: List[SweepViolation] = field(default_factory=list)
+    #: Wall-clock for the whole sweep (baseline plus every re-run) —
+    #: reported under a ``timing`` key so deterministic fields stay
+    #: comparable across runs.
+    elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def points_per_second(self) -> float:
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.points_checked / self.elapsed
 
     def as_dict(self) -> dict:
         return {
@@ -111,6 +122,10 @@ class SweepReport:
             "baseline": self.baseline,
             "baseline_steps": self.baseline_steps,
             "points_checked": self.points_checked,
+            "timing": {
+                "elapsed_seconds": round(self.elapsed, 3),
+                "points_per_second": round(self.points_per_second, 3),
+            },
             "ok": self.ok,
             "violations": [
                 {
@@ -139,6 +154,11 @@ class SweepReport:
         if len(self.violations) > 20:
             lines.append(
                 f"    ... and {len(self.violations) - 20} more"
+            )
+        if self.elapsed:
+            lines.append(
+                f"  swept in {self.elapsed:.2f}s "
+                f"({self.points_per_second:.1f} points/s)"
             )
         return "\n".join(lines)
 
@@ -213,6 +233,7 @@ def sweep_source(
     """
     from repro.api import compile_expr
 
+    started = time.perf_counter()
     expr = compile_expr(source)
     base_outcome, base_machine = _run_once(expr, backend, fuel)
     baseline_steps = base_machine.stats.steps
@@ -245,6 +266,7 @@ def sweep_source(
         report.violations.append(
             SweepViolation(step=k, expected=expected, observed=observed)
         )
+    report.elapsed = time.perf_counter() - started
     return report
 
 
@@ -269,6 +291,7 @@ def sweep_alloc_source(
     """
     from repro.api import compile_expr
 
+    started = time.perf_counter()
     expr = compile_expr(source)
     base_outcome, base_machine = _run_once(expr, backend, fuel)
     baseline = _render_outcome(base_outcome, base_machine)
@@ -300,6 +323,7 @@ def sweep_alloc_source(
         report.violations.append(
             SweepViolation(step=a, expected=expected, observed=observed)
         )
+    report.elapsed = time.perf_counter() - started
     return report
 
 
@@ -323,6 +347,7 @@ def sweep_latency_source(
     """
     from repro.api import compile_expr
 
+    started = time.perf_counter()
     expr = compile_expr(source)
     base_outcome, base_machine = _run_once(expr, backend, fuel)
     baseline = _render_outcome(base_outcome, base_machine)
@@ -357,6 +382,7 @@ def sweep_latency_source(
         report.violations.append(
             SweepViolation(step=k, expected=expected, observed=observed)
         )
+    report.elapsed = time.perf_counter() - started
     return report
 
 

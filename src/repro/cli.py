@@ -15,6 +15,7 @@ typecheck FILE  infer and print the types of a module's bindings
 fuzz            differential fuzzing: cross-evaluator oracle + shrinker
 chaos EXPR      interrupt-schedule explorer: §5.1 soundness at every step
 serve           resilient evaluate-as-a-service HTTP daemon
+top             live dashboard: poll a daemon's /healthz + /metrics
 
 Examples
 --------
@@ -30,6 +31,7 @@ Examples
     python -m repro fuzz   --replay tests/fuzz/corpus/regressions.jsonl
     python -m repro chaos  'fib 10' --backend both --sample 100
     python -m repro serve  --port 8080 --max-concurrency 4
+    python -m repro top    --url http://127.0.0.1:8080 --interval 1
 """
 
 from __future__ import annotations
@@ -434,7 +436,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Serve POST /eval (evaluate an expression — or a "
             '{"programs": [...]} batch — under a per-request resource '
-            "governor) and GET /healthz (service metrics) on a "
+            "governor), GET /healthz (service counters) and GET "
+            "/metrics (Prometheus text exposition) on a "
             "stdlib-only threaded HTTP server.  By default requests "
             "fork a warm prelude snapshot and repeat programs are "
             "served from a content-addressed compile cache "
@@ -450,6 +453,42 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.serve.schema import add_serve_flags
 
     add_serve_flags(sv)
+
+    tp = sub.add_parser(
+        "top",
+        help="live dashboard for a running repro serve daemon",
+        description=(
+            "Poll GET /healthz and GET /metrics on a running daemon "
+            "and render a top-style screen: request rate, in-flight, "
+            "breaker state, cache hit ratio, governor trips and "
+            "latency percentiles re-derived from the exposition's "
+            "histogram buckets (docs/OBSERVABILITY.md)."
+        ),
+    )
+    tp.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the daemon (default %(default)s)",
+    )
+    tp.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default %(default)s)",
+    )
+    tp.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    tp.add_argument(
+        "--no-clear",
+        action="store_false",
+        dest="clear",
+        default=True,
+        help="append frames instead of clearing the screen",
+    )
     return parser
 
 
@@ -971,6 +1010,20 @@ def _cmd_serve(args) -> int:
         warm=args.warm,
         cache_capacity=args.cache_capacity,
         max_batch=args.max_batch,
+        telemetry=args.telemetry,
+        trace_ring=args.trace_ring,
+        trace_log=args.trace_log,
+    )
+
+
+def _cmd_top(args) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        url=args.url.rstrip("/"),
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=args.clear,
     )
 
 
@@ -988,6 +1041,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "top": _cmd_top,
 }
 
 

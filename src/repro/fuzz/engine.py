@@ -10,6 +10,7 @@ machine steps, raises and allocations for free (the same counters
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from dataclasses import dataclass, field, replace
@@ -36,6 +37,7 @@ from repro.lang.ast import expr_size
 from repro.lang.pretty import pretty
 from repro.obs.events import ALLOC, RAISE, STEP
 from repro.obs.sinks import CountingSink
+from repro.obs.telemetry import STEP_BUCKETS, Histogram, percentile_from_counts
 
 
 @dataclass
@@ -58,6 +60,19 @@ class Finding:
         }
 
 
+def step_quantiles(counts: Sequence[int]) -> Dict[str, float]:
+    """p50/p95/p99 machine steps per case, re-derived from the
+    :data:`STEP_BUCKETS` bucket counts — deterministic because the
+    counts are (integer arithmetic plus fixed interpolation)."""
+    bounds = list(STEP_BUCKETS) + [math.inf]
+    if not counts:
+        counts = [0] * len(bounds)
+    return {
+        label: round(percentile_from_counts(bounds, counts, q), 3)
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+    }
+
+
 @dataclass
 class FuzzSummary:
     """Aggregated outcome of one fuzz run."""
@@ -72,6 +87,14 @@ class FuzzSummary:
     machine_steps: int = 0
     machine_raises: int = 0
     machine_allocs: int = 0
+    #: Per-case machine-step histogram over :data:`STEP_BUCKETS` —
+    #: ``len(STEP_BUCKETS) + 1`` bucket counts (last is +Inf).  A pure
+    #: function of the case seeds, so shards merge by element-wise sum
+    #: and the fleet total is identical under any ``--jobs``.
+    case_step_buckets: List[int] = field(default_factory=list)
+    #: Wall-clock seconds per oracle lane (plus ``reference``) — wall
+    #: time, so it lives under the poppable ``timing`` block only.
+    lane_seconds: Dict[str, float] = field(default_factory=dict)
     corpus_added: int = 0
     coverage: CoverageMap = field(default_factory=CoverageMap)
     probe_violations: List[str] = field(default_factory=list)
@@ -99,6 +122,26 @@ class FuzzSummary:
                 "steps": self.machine_steps,
                 "raises": self.machine_raises,
                 "allocs": self.machine_allocs,
+            },
+            # Deterministic: bucket counts are a pure function of the
+            # case seeds (the byte-identical and jobs-invariance tests
+            # cover this field).
+            "case_steps": {
+                "buckets": list(self.case_step_buckets),
+                "quantiles": step_quantiles(self.case_step_buckets),
+            },
+            # Wall clock: everything here varies run to run, so tests
+            # pop this single key before byte comparison.
+            "timing": {
+                "cases_per_second": (
+                    round(self.iterations / self.elapsed, 3)
+                    if self.elapsed
+                    else 0.0
+                ),
+                "lane_seconds": {
+                    lane: round(spent, 6)
+                    for lane, spent in sorted(self.lane_seconds.items())
+                },
             },
             "corpus_added": self.corpus_added,
             "coverage": self.coverage.as_dict(),
@@ -169,6 +212,11 @@ def run_fuzz(
         oracle_config = OracleConfig()
     base_weights = gen_config.weights
     sink = CountingSink()
+    step_hist = Histogram(
+        "fuzz_case_steps",
+        "machine steps per fuzz case",
+        buckets=STEP_BUCKETS,
+    )
     summary = FuzzSummary(seed=seed, guided=guided)
     coverage = summary.coverage
     started = time.monotonic()
@@ -220,6 +268,11 @@ def run_fuzz(
                 for violation in probe_result.violations
             )
         _tally(summary, report)
+        step_hist.observe(case_sink.count(STEP))
+        for lane, spent in report.lane_seconds.items():
+            summary.lane_seconds[lane] = (
+                summary.lane_seconds.get(lane, 0.0) + spent
+            )
         for event, count in case_sink.counts.items():
             sink.counts[event] = sink.counts.get(event, 0) + count
         if report.verdict == DIVERGENCE:
@@ -234,6 +287,7 @@ def run_fuzz(
     summary.machine_steps = sink.count(STEP)
     summary.machine_raises = sink.count(RAISE)
     summary.machine_allocs = sink.count(ALLOC)
+    summary.case_step_buckets = step_hist.bucket_counts()
     if save_path and summary.findings:
         added = append_entries(
             save_path,

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional
 
 from repro.fuzz.corpus import CorpusEntry, append_entries
 from repro.fuzz.coverage import CoverageMap
-from repro.fuzz.engine import FuzzSummary, run_fuzz
+from repro.fuzz.engine import FuzzSummary, run_fuzz, step_quantiles
 from repro.fuzz.gen import GenConfig
 from repro.fuzz.oracle import DIVERGENCE, OracleConfig
 
@@ -137,6 +137,13 @@ class FleetReport:
     machine_steps: int = 0
     machine_raises: int = 0
     machine_allocs: int = 0
+    #: Element-wise sum of the shards' per-case step histograms —
+    #: jobs-invariant, because the union of case seeds is (the bucket
+    #: counts sum over disjoint index sets).
+    case_step_buckets: List[int] = field(default_factory=list)
+    #: Wall-clock per oracle lane, summed over shards; lives in the
+    #: poppable ``timing`` block of :meth:`to_dict`.
+    lane_seconds: Dict[str, float] = field(default_factory=dict)
     coverage: CoverageMap = field(default_factory=CoverageMap)
     probe_violations: List[str] = field(default_factory=list)
     #: Probed vs probe-eligible case counts summed over shards; a
@@ -148,6 +155,7 @@ class FleetReport:
     corpus: List[CorpusEntry] = field(default_factory=list)
     corpus_added: int = 0
     shard_elapsed: List[float] = field(default_factory=list)
+    shard_iterations: List[int] = field(default_factory=list)
 
     @property
     def divergences(self) -> int:
@@ -167,6 +175,25 @@ class FleetReport:
             "shard_elapsed_seconds": [
                 round(t, 3) for t in self.shard_elapsed
             ],
+            # Wall clock, summed over shards — tests pop this key (and
+            # the two elapsed keys above) before byte comparison.
+            "timing": {
+                "cases_per_second": (
+                    round(self.iterations / self.elapsed, 3)
+                    if self.elapsed
+                    else 0.0
+                ),
+                "shard_cases_per_second": [
+                    round(iters / t, 3) if t else 0.0
+                    for iters, t in zip(
+                        self.shard_iterations, self.shard_elapsed
+                    )
+                ],
+                "lane_seconds": {
+                    lane: round(spent, 6)
+                    for lane, spent in sorted(self.lane_seconds.items())
+                },
+            },
             "verdicts": dict(sorted(self.verdicts.items())),
             "lanes": {
                 lane: dict(sorted(counts.items()))
@@ -176,6 +203,12 @@ class FleetReport:
                 "steps": self.machine_steps,
                 "raises": self.machine_raises,
                 "allocs": self.machine_allocs,
+            },
+            # Deterministic and jobs-invariant (bucket counts sum over
+            # disjoint shard index sets).
+            "case_steps": {
+                "buckets": list(self.case_step_buckets),
+                "quantiles": step_quantiles(self.case_step_buckets),
             },
             "coverage": self.coverage.as_dict(),
             "probe_violations": list(self.probe_violations),
@@ -192,6 +225,7 @@ def _merge_shard(report: FleetReport, payload: dict) -> None:
     summary = payload["summary"]
     report.iterations += summary["iterations"]
     report.shard_elapsed.append(summary["elapsed_seconds"])
+    report.shard_iterations.append(summary["iterations"])
     for verdict, count in summary["verdicts"].items():
         report.verdicts[verdict] = (
             report.verdicts.get(verdict, 0) + count
@@ -204,6 +238,18 @@ def _merge_shard(report: FleetReport, payload: dict) -> None:
     report.machine_steps += machine["steps"]
     report.machine_raises += machine["raises"]
     report.machine_allocs += machine["allocs"]
+    buckets = summary.get("case_steps", {}).get("buckets", [])
+    if buckets:
+        if not report.case_step_buckets:
+            report.case_step_buckets = [0] * len(buckets)
+        for i, count in enumerate(buckets):
+            report.case_step_buckets[i] += count
+    for lane, spent in (
+        summary.get("timing", {}).get("lane_seconds", {}).items()
+    ):
+        report.lane_seconds[lane] = (
+            report.lane_seconds.get(lane, 0.0) + spent
+        )
     report.coverage.merge(CoverageMap.from_dict(summary["coverage"]))
     report.probe_violations.extend(summary["probe_violations"])
     report.probe_sampled += summary.get("probe_sampled", 0)

@@ -36,8 +36,9 @@ exhaustion in a non-reference lane); it never influences the verdict.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines.fixed_order import fixed_order_ctx
 from repro.core.denote import (
@@ -130,11 +131,19 @@ class Comparison:
 
 @dataclass
 class OracleReport:
-    """All lanes of one case, with the worst verdict pre-computed."""
+    """All lanes of one case, with the worst verdict pre-computed.
+
+    ``lane_seconds`` is wall-clock spent per lane (the ``reference``
+    key covers the denotation / reference run).  It is deliberately
+    *excluded* from :meth:`to_dict`: corpus entries and fleet payloads
+    must stay byte-identical across runs, so timing travels only
+    through the engine's aggregate ``timing`` block.
+    """
 
     case: FuzzCase
     reference: Observation
     comparisons: List[Comparison]
+    lane_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def verdict(self) -> str:
@@ -652,10 +661,24 @@ def _run_pure_oracle(
     # The sink must go through the constructor: ``_tracing`` is
     # computed in ``__post_init__``, so assigning ``ctx.sink`` after
     # the fact would silently drop every denote-layer event.
+    lane_seconds: Dict[str, float] = {}
+    comparisons: List[Comparison] = []
+
+    def timed(thunk: Callable[[], Comparison]) -> None:
+        lane_started = time.perf_counter()
+        comparison = thunk()
+        lane_seconds[comparison.lane] = (
+            lane_seconds.get(comparison.lane, 0.0)
+            + time.perf_counter()
+            - lane_started
+        )
+        comparisons.append(comparison)
+
+    started = time.perf_counter()
     ctx = DenoteContext(fuel=config.denote_fuel, sink=sink)
     denoted = _safe_denote(case.expr, denote_env(ctx), ctx)
     reference = Observation("denote", "denote", str(denoted))
-    comparisons: List[Comparison] = []
+    lane_seconds["reference"] = time.perf_counter() - started
     strategies = list(config.strategies(case.seed))
     for index, strategy in enumerate(strategies):
         # The per-case shuffle gets a stable lane label so summaries
@@ -663,80 +686,84 @@ def _run_pure_oracle(
         lane = f"machine:{strategy.name}"
         if config.extra_shuffled and index == len(strategies) - 1:
             lane = "machine:shuffled(per-case)"
-        obs = _machine_observation(
+        timed(lambda: _classify_machine_lane(denoted, _machine_observation(
             case.expr, strategy, config.machine_fuel, sink, lane
-        )
-        comparisons.append(_classify_machine_lane(denoted, obs))
+        )))
     if config.compiled_lane:
         # The compiled backend runs under the *default* strategy, so it
         # must land on the same verdict as the machine:left-to-right
         # lane above — the differential check on the compiler itself.
-        obs = _machine_observation(
+        timed(lambda: _classify_machine_lane(denoted, _machine_observation(
             case.expr, strategies[0], config.machine_fuel, sink,
             "machine:compiled", backend="compiled",
-        )
-        comparisons.append(_classify_machine_lane(denoted, obs))
+        )))
     if config.super_lane:
         # Same differential again for the superinstruction backend:
         # fused frames must not change the observed member of the
         # exception set (docs/PERFORMANCE.md, "Superinstructions").
-        obs = _machine_observation(
+        timed(lambda: _classify_machine_lane(denoted, _machine_observation(
             case.expr, strategies[0], config.machine_fuel, sink,
             "machine:super", backend="super",
-        )
-        comparisons.append(_classify_machine_lane(denoted, obs))
+        )))
     if config.warm_lane:
         # The warm serving path's parity contract, checked as its own
         # differential: fork-vs-cold must be byte-identical, not just
         # semantically equivalent.
-        comparisons.append(
-            _classify_warm_lane(case.expr, config, "ast")
-        )
+        timed(lambda: _classify_warm_lane(case.expr, config, "ast"))
         if config.compiled_lane:
-            comparisons.append(
-                _classify_warm_lane(case.expr, config, "compiled")
+            timed(
+                lambda: _classify_warm_lane(case.expr, config, "compiled")
             )
         if config.super_lane:
-            comparisons.append(
-                _classify_warm_lane(case.expr, config, "super")
+            timed(
+                lambda: _classify_warm_lane(case.expr, config, "super")
             )
-    comparisons.append(
-        _classify_exval_lane(case.expr, denoted, config, sink)
-    )
-    comparisons.append(
-        _classify_fixed_lane(case.expr, denoted, config, sink)
-    )
-    return OracleReport(case, reference, comparisons)
+    timed(lambda: _classify_exval_lane(case.expr, denoted, config, sink))
+    timed(lambda: _classify_fixed_lane(case.expr, denoted, config, sink))
+    return OracleReport(case, reference, comparisons, lane_seconds)
 
 
 def _run_io_oracle(
     case: FuzzCase, config: OracleConfig, sink
 ) -> OracleReport:
+    lane_seconds: Dict[str, float] = {}
+    comparisons: List[Comparison] = []
+
+    def timed(thunk: Callable[[], Comparison]) -> None:
+        lane_started = time.perf_counter()
+        comparison = thunk()
+        lane_seconds[comparison.lane] = (
+            lane_seconds.get(comparison.lane, 0.0)
+            + time.perf_counter()
+            - lane_started
+        )
+        comparisons.append(comparison)
+
     strategies = list(config.strategies(case.seed))
+    started = time.perf_counter()
     reference = _io_observation(case, strategies[0], config.io_fuel, sink)
-    comparisons = []
+    lane_seconds["reference"] = time.perf_counter() - started
     for index, strategy in enumerate(strategies[1:], start=1):
         lane = f"io:{strategy.name}"
         if config.extra_shuffled and index == len(strategies) - 1:
             lane = "io:shuffled(per-case)"
-        obs = _io_observation(case, strategy, config.io_fuel, sink, lane)
-        comparisons.append(_classify_io_lane(reference, obs))
+        timed(lambda: _classify_io_lane(reference, _io_observation(
+            case, strategy, config.io_fuel, sink, lane
+        )))
     if config.compiled_lane:
         # Same strategy as the reference run, different evaluator: any
         # disagreement (beyond §3.5's exception-choice refinement) is a
         # compiler bug, not a strategy effect.
-        obs = _io_observation(
+        timed(lambda: _classify_io_lane(reference, _io_observation(
             case, strategies[0], config.io_fuel, sink, "io:compiled",
             backend="compiled",
-        )
-        comparisons.append(_classify_io_lane(reference, obs))
+        )))
     if config.super_lane:
-        obs = _io_observation(
+        timed(lambda: _classify_io_lane(reference, _io_observation(
             case, strategies[0], config.io_fuel, sink, "io:super",
             backend="super",
-        )
-        comparisons.append(_classify_io_lane(reference, obs))
-    return OracleReport(case, reference, comparisons)
+        )))
+    return OracleReport(case, reference, comparisons, lane_seconds)
 
 
 # -- transform differentials ---------------------------------------------

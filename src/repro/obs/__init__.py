@@ -18,6 +18,16 @@ Layout
 ``repro.obs.sinks``
     The :class:`TraceSink` protocol and the four stock sinks: null,
     counting, JSONL-streaming and in-memory ring buffer (plus a tee).
+``repro.obs.telemetry``
+    Aggregation: counters, gauges and log-bucketed histograms with
+    deterministic bucket counts and percentiles, collected in a
+    :class:`MetricsRegistry` rendered as Prometheus text exposition
+    (``GET /metrics``).  :class:`NullRegistry` is the telemetry-off
+    twin — the null-sink rule, one level up.
+``repro.obs.tracing``
+    Request-scoped span trees: :class:`TraceBuilder` against the
+    injectable clock, :class:`TraceRecorder` ring + JSONL export,
+    deterministic sequence-derived trace ids.
 ``repro.obs.timers``
     Wall-clock per-phase timers that report through a sink.
 ``repro.obs.provenance``
@@ -72,13 +82,35 @@ from repro.obs.sinks import (
     is_live,
     read_trace,
 )
+from repro.obs.telemetry import (
+    LATENCY_BUCKETS,
+    STEP_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    log_buckets,
+    parse_exposition,
+    render_exposition,
+)
 from repro.obs.timers import PhaseTimer
+from repro.obs.tracing import (
+    NULL_TRACE_BUILDER,
+    NullTraceBuilder,
+    Span,
+    Trace,
+    TraceBuilder,
+    TraceRecorder,
+    format_trace_id,
+)
 
 __all__ = [
     "ALLOC",
     "ASYNC_INTERRUPT",
     "BLACKHOLE_ENTER",
     "CASE_EXCEPTION_MODE_ENTER",
+    "Counter",
     "CountingSink",
     "DENOTE_EVENTS",
     "EVENT_TAXONOMY",
@@ -88,11 +120,18 @@ __all__ = [
     "FORCE",
     "FORCE_END",
     "FUEL_GRANT",
+    "Gauge",
+    "Histogram",
     "IO_ACTION",
     "JsonlSink",
+    "LATENCY_BUCKETS",
     "MACHINE_EVENTS",
+    "MetricsRegistry",
     "NULL_SINK",
+    "NULL_TRACE_BUILDER",
+    "NullRegistry",
     "NullSink",
+    "NullTraceBuilder",
     "PHASE_END",
     "PHASE_START",
     "PRIM_RAISE",
@@ -102,10 +141,19 @@ __all__ = [
     "RaiseProvenance",
     "RingBufferSink",
     "STEP",
+    "STEP_BUCKETS",
+    "Span",
     "SpanProfiler",
     "TeeSink",
+    "Trace",
+    "TraceBuilder",
+    "TraceRecorder",
     "TraceSink",
     "format_provenance",
+    "format_trace_id",
     "is_live",
+    "log_buckets",
+    "parse_exposition",
     "read_trace",
+    "render_exposition",
 ]

@@ -1,0 +1,598 @@
+"""Metrics: counters, gauges and log-bucketed histograms.
+
+This is the *aggregation* half of the observability layer.  The PR-1
+sinks (:mod:`repro.obs.sinks`) stream or count individual evaluator
+events; a :class:`MetricsRegistry` holds **named instruments** whose
+values accumulate across requests and render as Prometheus text
+exposition for ``GET /metrics`` (docs/OBSERVABILITY.md, "Service
+telemetry").
+
+Design rules, in the same spirit as the sink layer:
+
+* **Deterministic aggregation.**  Histogram *bucket counts* are exact
+  integers and percentiles are derived from them by a fixed linear
+  interpolation — two registries fed the same observations render
+  byte-identical exposition and report identical p50/p95/p99,
+  regardless of thread interleaving, wall clock or platform.  Time
+  enters only through the caller's injectable clock (the same one
+  threaded through ``EvalService``), never through module-level
+  ``time`` calls.
+* **Pay-as-you-go.**  :class:`NullRegistry` mirrors the whole API with
+  no-op instruments, so telemetry-off code paths keep the exact
+  instruction sequence of a build with no telemetry at all
+  (``benchmarks/bench_telemetry.py`` asserts 0% machine-step overhead
+  either way — the machine hot path never sees an instrument).
+* **Thread-safe.**  Each instrument carries one lock; registries are
+  lock-guarded for instrument creation.  No instrument ever raises
+  into the serving path.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "STEP_BUCKETS",
+    "histogram_stats",
+    "log_buckets",
+    "parse_exposition",
+    "percentile_from_counts",
+    "render_exposition",
+]
+
+
+def log_buckets(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """``count`` geometric bucket upper bounds from ``start`` —
+    the standard shape for latencies and step counts, whose
+    distributions span orders of magnitude."""
+    if start <= 0 or factor <= 1 or count <= 0:
+        raise ValueError("need start > 0, factor > 1, count > 0")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: 100µs .. ~52s in doublings: wide enough for a cold prelude build,
+#: fine enough to separate warm forks from compiles.
+LATENCY_BUCKETS = log_buckets(0.0001, 2.0, 20)
+
+#: 1 .. ~4.2M machine steps in powers of four — the fuzz fleet's
+#: per-case step histogram (jobs-invariant, docs/FUZZING.md).
+STEP_BUCKETS = log_buckets(1.0, 4.0, 12)
+
+_LABEL_KEY = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(
+    labelnames: Tuple[str, ...], labels: Dict[str, Any]
+) -> _LABEL_KEY:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} != declared {sorted(labelnames)}"
+        )
+    return tuple((name, str(labels[name])) for name in labelnames)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: integers stay integral."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def _format_labels(key: _LABEL_KEY, extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically increasing sum, optionally labelled.
+
+    ``callback`` turns the counter into a *read-through* instrument:
+    its value is pulled from an existing total at render time instead
+    of being pushed — how the service exposes counters it already
+    keeps (cache hits, event totals) without double accounting.
+    """
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.callback = callback
+        self._lock = threading.Lock()
+        self._values: Dict[_LABEL_KEY, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def samples(self) -> List[Tuple[str, float]]:
+        if self.callback is not None:
+            return _callback_samples(self.name, self.callback())
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            # An unlabelled instrument always has one sample — zero
+            # until touched, per the usual client-library convention.
+            items = [((), 0.0)]
+        return [
+            (self.name + _format_labels(key), value)
+            for key, value in items
+        ]
+
+
+class Gauge(Counter):
+    """A value that can go anywhere; ``callback`` reads live state
+    (in-flight, breaker state, uptime) at render time."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+
+def _callback_samples(name: str, result: Any) -> List[Tuple[str, float]]:
+    """A callback may return one number or ``{label-value: number}``
+    (single implicit label) / ``{(k, v) tuples: number}``."""
+    if isinstance(result, dict):
+        samples = []
+        for key, value in sorted(result.items()):
+            if isinstance(key, tuple):
+                labels = _format_labels(tuple(key))
+            else:
+                labels = _format_labels((("key", str(key)),))
+            samples.append((name + labels, float(value)))
+        return samples
+    return [(name, float(result))]
+
+
+class Histogram:
+    """Log-bucketed distribution with exact deterministic counts.
+
+    Observations land in the first bucket whose upper bound is >= the
+    value (a final ``+Inf`` bucket catches the rest).  ``percentile``
+    interpolates linearly inside the winning bucket — a pure function
+    of the integer bucket counts, so two histograms with equal counts
+    report equal percentiles to the last bit.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        # key -> (per-bucket counts incl. +Inf, sum)
+        self._series: Dict[_LABEL_KEY, Tuple[List[int], float]] = {}
+
+    def _slot(self, key: _LABEL_KEY) -> Tuple[List[int], float]:
+        series = self._series.get(key)
+        if series is None:
+            series = ([0] * (len(self.buckets) + 1), 0.0)
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(self.labelnames, labels)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            counts, total = self._slot(key)
+            counts[index] += 1
+            self._series[key] = (counts, total + value)
+
+    # -- deterministic views -------------------------------------------
+
+    def bucket_counts(self, **labels: Any) -> List[int]:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            counts, _ = self._series.get(
+                key, ([0] * (len(self.buckets) + 1), 0.0)
+            )
+            return list(counts)
+
+    def count(self, **labels: Any) -> int:
+        return sum(self.bucket_counts(**labels))
+
+    def sum(self, **labels: Any) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            _, total = self._series.get(key, ([], 0.0))
+            return total
+
+    def merge_counts(self, counts: Sequence[int], **labels: Any) -> None:
+        """Fold another histogram's bucket counts in — the fleet's
+        shard-merge path (sums are merged separately by the caller)."""
+        if len(counts) != len(self.buckets) + 1:
+            raise ValueError("bucket count mismatch")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            own, total = self._slot(key)
+            for i, c in enumerate(counts):
+                own[i] += int(c)
+            self._series[key] = (own, total)
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        """The q-quantile (0 < q <= 1) by linear interpolation within
+        the winning bucket.  Pure in the bucket counts; returns 0.0
+        for an empty histogram and the largest finite bound for
+        observations that landed in ``+Inf``."""
+        counts = self.bucket_counts(**labels)
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, c in enumerate(counts):
+            if c == 0:
+                continue
+            if cumulative + c >= rank:
+                if i >= len(self.buckets):  # +Inf bucket
+                    return self.buckets[-1]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                fraction = (rank - cumulative) / c
+                return lower + fraction * (upper - lower)
+            cumulative += c
+        return self.buckets[-1]
+
+    def quantiles(self, **labels: Any) -> Dict[str, float]:
+        return {
+            "p50": self.percentile(0.50, **labels),
+            "p95": self.percentile(0.95, **labels),
+            "p99": self.percentile(0.99, **labels),
+        }
+
+    # -- exposition -----------------------------------------------------
+
+    def samples(self) -> List[Tuple[str, float]]:
+        with self._lock:
+            items = sorted(
+                (key, list(counts), total)
+                for key, (counts, total) in self._series.items()
+            )
+        if not items and not self.labelnames:
+            items = [((), [0] * (len(self.buckets) + 1), 0.0)]
+        samples: List[Tuple[str, float]] = []
+        for key, counts, total in items:
+            cumulative = 0
+            for bound, c in zip(
+                list(self.buckets) + [math.inf], counts
+            ):
+                cumulative += c
+                le = f'le="{_format_value(bound)}"'
+                samples.append(
+                    (
+                        self.name + "_bucket" + _format_labels(key, le),
+                        cumulative,
+                    )
+                )
+            samples.append(
+                (self.name + "_sum" + _format_labels(key), total)
+            )
+            samples.append(
+                (self.name + "_count" + _format_labels(key), cumulative)
+            )
+        return samples
+
+
+class MetricsRegistry:
+    """Named instruments + exposition.  ``get_or_create`` semantics:
+    re-registering a name returns the existing instrument (and raises
+    on a kind mismatch), so wiring code is idempotent."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _register(self, kind: type, name: str, *args, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"{name} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            instrument = kind(name, *args, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], Any]] = None,
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames, callback)
+
+    def gauge(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], Any]] = None,
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames, callback)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        return self._register(Histogram, name, help, buckets, labelnames)
+
+    def get(self, name: str) -> Optional[Any]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def families(self) -> List[Any]:
+        with self._lock:
+            return [
+                self._instruments[name]
+                for name in sorted(self._instruments)
+            ]
+
+    def render(self) -> str:
+        return render_exposition(self.families())
+
+
+class _NullInstrument:
+    """Every instrument method, doing nothing — the telemetry-off
+    registry hands these out so call sites need no branches."""
+
+    kind = "null"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        pass
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+    def merge_counts(self, counts, **labels: Any) -> None:
+        pass
+
+    def value(self, **labels: Any) -> float:
+        return 0.0
+
+    def count(self, **labels: Any) -> int:
+        return 0
+
+    def sum(self, **labels: Any) -> float:
+        return 0.0
+
+    def bucket_counts(self, **labels: Any) -> List[int]:
+        return []
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        return 0.0
+
+    def quantiles(self, **labels: Any) -> Dict[str, float]:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def samples(self) -> List[Tuple[str, float]]:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The telemetry-off registry: same construction API, no state,
+    empty exposition — attaching it is equivalent to attaching
+    nothing (the sink layer's ``NullSink`` rule, one level up)."""
+
+    def counter(self, name, help, labelnames=(), callback=None):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help, labelnames=(), callback=None):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help, buckets=LATENCY_BUCKETS, labelnames=()):
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def families(self) -> List[Any]:
+        return []
+
+    def render(self) -> str:
+        return ""
+
+
+def render_exposition(families: Sequence[Any]) -> str:
+    """Prometheus text exposition format 0.0.4: ``# HELP`` / ``# TYPE``
+    headers, then one ``name{labels} value`` line per sample."""
+    lines: List[str] = []
+    for family in families:
+        samples = family.samples()
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample_name, value in samples:
+            lines.append(f"{sample_name} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text back into
+    ``{family: {"help", "type", "samples": [(name, labels, value)]}}``
+    — the consumer side used by ``repro top`` and the CI scrape."""
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family_for(sample_name: str) -> Dict[str, Any]:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and trimmed in families:
+                base = trimmed
+                break
+        return families.setdefault(
+            base, {"help": "", "type": "untyped", "samples": []}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = {
+            k: v.replace('\\"', '"')
+            for k, v in _LABEL_RE.findall(match.group("labels") or "")
+        }
+        raw = match.group("value")
+        value = math.inf if raw == "+Inf" else float(raw)
+        family_for(match.group("name"))["samples"].append(
+            (match.group("name"), labels, value)
+        )
+    return families
+
+
+def histogram_stats(
+    families: Dict[str, Dict[str, Any]], name: str
+) -> Optional[Dict[str, Any]]:
+    """Pull count/sum and reconstructed bucket counts for a parsed
+    histogram family; None when absent.  The cumulative ``le`` series
+    is de-accumulated so percentiles can be re-derived client-side."""
+    family = families.get(name)
+    if family is None:
+        return None
+    bounds: List[float] = []
+    cumulative: List[float] = []
+    count = 0.0
+    total = 0.0
+    for sample_name, labels, value in family["samples"]:
+        if sample_name == name + "_bucket" and "le" in labels:
+            bound = (
+                math.inf
+                if labels["le"] == "+Inf"
+                else float(labels["le"])
+            )
+            bounds.append(bound)
+            cumulative.append(value)
+        elif sample_name == name + "_count":
+            count = value
+        elif sample_name == name + "_sum":
+            total = value
+    counts = [
+        int(c - (cumulative[i - 1] if i else 0))
+        for i, c in enumerate(cumulative)
+    ]
+    return {
+        "bounds": bounds,
+        "counts": counts,
+        "count": int(count),
+        "sum": total,
+    }
+
+
+def percentile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Re-derive a quantile from de-accumulated bucket counts — the
+    same interpolation as :meth:`Histogram.percentile`, for consumers
+    of parsed exposition (``repro top``, CI assertions)."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    finite = [b for b in bounds if b != math.inf]
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cumulative + c >= rank:
+            if i >= len(finite):
+                return finite[-1] if finite else 0.0
+            lower = finite[i - 1] if i > 0 else 0.0
+            fraction = (rank - cumulative) / c
+            return lower + fraction * (finite[i] - lower)
+        cumulative += c
+    return finite[-1] if finite else 0.0

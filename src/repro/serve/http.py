@@ -13,6 +13,13 @@ Endpoints
     Service metrics: request counts by status, breaker state and
     transition history, aggregated trace-event totals, governor trips,
     program-cache hit/miss/eviction counters and batch totals.
+``GET /metrics``
+    Prometheus text exposition of the service's
+    :class:`~repro.obs.telemetry.MetricsRegistry`: request/stage
+    latency histograms, per-status counters, breaker/cache/governor
+    gauges (family list generated into docs/ROBUSTNESS.md from
+    :data:`repro.serve.schema.METRIC_FAMILIES`).  Empty with
+    ``--no-telemetry``.
 
 The server is a ``ThreadingHTTPServer``: one Python thread per
 connection, with the service's own admission/concurrency bounds doing
@@ -62,9 +69,22 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _respond_text(self, status: int, text: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def do_GET(self) -> None:  # noqa: N802
         if self.path == "/healthz":
             self._respond(200, self.service.health())
+            return
+        if self.path == "/metrics":
+            self._respond_text(200, self.service.metrics_text())
             return
         self._respond(
             404, {"status": "error", "reason": "not-found"}
@@ -154,6 +174,9 @@ def serve_forever(
     warm: bool = True,
     cache_capacity: int = 256,
     max_batch: int = 32,
+    telemetry: bool = True,
+    trace_ring: int = 256,
+    trace_log: Optional[str] = None,
 ) -> int:
     """The ``repro serve`` entry point: run until interrupted."""
     config = ServiceConfig(
@@ -170,6 +193,9 @@ def serve_forever(
         warm=warm,
         cache_capacity=cache_capacity,
         max_batch=max_batch,
+        telemetry=telemetry,
+        trace_ring=trace_ring,
+        trace_log=trace_log,
     )
     service = EvalService(config)
     server = make_server(host, port, service)
@@ -188,4 +214,5 @@ def serve_forever(
         pass
     finally:
         server.server_close()
+        service.close()
     return 0

@@ -38,6 +38,9 @@ RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
             "attempts": "evaluation attempts consumed (>= 1)",
             "stats": "machine counter block (steps, allocations, ...)",
             "value": "rendered result",
+            "request_id": "monotonic per-service request sequence number",
+            "trace_id": "id of this request's span tree "
+            "(docs/OBSERVABILITY.md)",
         },
         {
             "stdout": "output written by the IO action, when non-empty",
@@ -53,6 +56,8 @@ RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
             "stats": "machine counter block",
             "exc": "the observed exception (one set member, §3.5)",
             "synchronous": "false for §5.1 asynchronous members",
+            "request_id": "monotonic per-service request sequence number",
+            "trace_id": "id of this request's span tree",
         },
         {
             "events": "per-request trace-event totals (when collected)",
@@ -66,6 +71,8 @@ RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
             "attempts": "evaluation attempts consumed (>= 1)",
             "stats": "machine counter block",
             "reason": "`steps` | `allocations` | `deadline` | `fuel`",
+            "request_id": "monotonic per-service request sequence number",
+            "trace_id": "id of this request's span tree",
         },
         {
             "exc": "the delivered fictitious exception "
@@ -81,6 +88,9 @@ RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
             "status": "`\"rejected\"` — never reached a machine",
             "reason": "`queue-full` (429) | `circuit-open` (503)",
             "retry_after": "seconds to wait (also the Retry-After header)",
+            "request_id": "monotonic per-service request sequence number",
+            "trace_id": "id of the (admission-only) span tree — lets a "
+            "client correlate its retries with server-side traces",
         },
         {},
     ),
@@ -92,7 +102,12 @@ RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
             "`not-found`",
             "message": "human-readable detail",
         },
-        {},
+        {
+            "request_id": "present when the request reached the service "
+            "(absent for transport-level errors shaped by the HTTP "
+            "front end: `bad-json`, `body-too-large`, `not-found`)",
+            "trace_id": "present exactly when `request_id` is",
+        },
     ),
     "batch": (
         {
@@ -100,6 +115,9 @@ RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
             "count": "number of programs evaluated",
             "results": "per-program response bodies, in request order, "
             "each one of the statuses above",
+            "request_id": "the batch envelope's own sequence number",
+            "trace_id": "the envelope trace (admission/breaker spans); "
+            "per-program traces carry it as `parent`",
         },
         {},
     ),
@@ -120,6 +138,139 @@ def schema_sets(status: str) -> Tuple[Set[str], Set[str]]:
     """(required, optional) field-name sets — the test-suite view."""
     required, optional = RESPONSE_SCHEMAS[status]
     return set(required), set(optional)
+
+
+# -- /healthz shape -----------------------------------------------------
+
+#: field -> (value kind, description).  The telemetry test gates
+#: ``set(EvalService().health()) == set(HEALTH_SCHEMA)`` so this table
+#: cannot drift from the code.
+HEALTH_SCHEMA: Dict[str, Tuple[str, str]] = {
+    "status": ("string", "always `\"ok\"` when the service answers"),
+    "backend": ("string", "evaluator backend (`ast`/`compiled`/`super`)"),
+    "warm": ("bool", "snapshot-fork warm path enabled"),
+    "cache": (
+        "object/null",
+        "program-cache hits/misses/evictions/size (null when cold)",
+    ),
+    "batches": ("object", "batch envelopes and programs served"),
+    "uptime_seconds": ("number", "seconds since service construction"),
+    "requests_total": (
+        "int",
+        "programs served (batch of N counts N; rejections excluded)",
+    ),
+    "requests": ("object", "per-status request counts"),
+    "in_flight": ("int", "programs evaluating right now"),
+    "breaker": ("object", "circuit-breaker state + transition history"),
+    "events": ("object", "aggregated machine trace-event totals"),
+    "governor_trips": ("object", "one-shot governor trips by reason"),
+    "faults_injected": ("int", "chaos-mode faults delivered"),
+    "retries_performed": ("int", "extra attempts beyond the first"),
+    "telemetry": (
+        "object",
+        "enabled flag, trace-ring occupancy, traces recorded",
+    ),
+    "limits": ("object", "configured per-request and admission limits"),
+}
+
+
+# -- /metrics families --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One exposition family — name, kind, labels, meaning.  The
+    service builds its registry from these specs and the telemetry
+    test gates the rendered ``/metrics`` families against them."""
+
+    name: str
+    kind: str  # counter | gauge | histogram
+    help: str
+    labels: Tuple[str, ...] = ()
+
+    def display_name(self) -> str:
+        if self.labels:
+            return f"{self.name}{{{','.join(self.labels)}}}"
+        return self.name
+
+
+METRIC_FAMILIES: Tuple[MetricSpec, ...] = (
+    MetricSpec(
+        "repro_uptime_seconds",
+        "gauge",
+        "seconds since service construction (injectable clock)",
+    ),
+    MetricSpec(
+        "repro_in_flight", "gauge", "programs evaluating right now"
+    ),
+    MetricSpec(
+        "repro_requests_total",
+        "counter",
+        "responses by structured status (includes rejections/errors)",
+        ("status",),
+    ),
+    MetricSpec(
+        "repro_request_seconds",
+        "histogram",
+        "per-program service latency, front end through shaping",
+    ),
+    MetricSpec(
+        "repro_stage_seconds",
+        "histogram",
+        "per-stage latency from the request span tree",
+        ("stage",),
+    ),
+    MetricSpec(
+        "repro_breaker_state",
+        "gauge",
+        "circuit breaker: 0 closed, 1 half-open, 2 open",
+    ),
+    MetricSpec(
+        "repro_cache_hits_total",
+        "counter",
+        "program-cache hits (0 on the cold path)",
+    ),
+    MetricSpec(
+        "repro_cache_misses_total",
+        "counter",
+        "program-cache misses (0 on the cold path)",
+    ),
+    MetricSpec(
+        "repro_governor_trips_total",
+        "counter",
+        "one-shot governor trips by reason",
+        ("reason",),
+    ),
+    MetricSpec(
+        "repro_retries_total",
+        "counter",
+        "extra evaluation attempts beyond the first",
+    ),
+    MetricSpec(
+        "repro_faults_injected_total",
+        "counter",
+        "chaos-mode faults delivered",
+    ),
+    MetricSpec(
+        "repro_batches_total", "counter", "batch envelopes served"
+    ),
+    MetricSpec(
+        "repro_batch_programs_total",
+        "counter",
+        "programs served inside batch envelopes",
+    ),
+    MetricSpec(
+        "repro_machine_events_total",
+        "counter",
+        "aggregated machine trace events by name",
+        ("event",),
+    ),
+    MetricSpec(
+        "repro_traces_total",
+        "counter",
+        "completed span trees recorded in the trace ring",
+    ),
+)
 
 
 # -- serve flags --------------------------------------------------------
@@ -231,6 +382,26 @@ SERVE_FLAGS: Tuple[FlagSpec, ...] = (
         int,
         32,
     ),
+    FlagSpec(
+        "--no-telemetry",
+        "disable the metrics registry and request tracing "
+        "(request/trace ids are still echoed; docs/OBSERVABILITY.md)",
+        default=True,
+        action="store_false",
+        dest="telemetry",
+    ),
+    FlagSpec(
+        "--trace-ring",
+        "completed span trees kept in the in-memory ring",
+        int,
+        256,
+    ),
+    FlagSpec(
+        "--trace-log",
+        "append one JSON line per completed trace to this file",
+        str,
+        None,
+    ),
 )
 
 
@@ -270,6 +441,28 @@ def render_markdown() -> str:
         for name, desc in optional.items():
             lines.append(f"| `{name}` | optional | {_cell(desc)} |")
         lines.append("")
+    lines.append("#### `GET /healthz` fields (generated)")
+    lines.append("")
+    lines.append("| field | kind | description |")
+    lines.append("|---|---|---|")
+    for name, (kind, desc) in HEALTH_SCHEMA.items():
+        lines.append(f"| `{name}` | {kind} | {_cell(desc)} |")
+    lines.append("")
+    lines.append("#### `GET /metrics` families (generated)")
+    lines.append("")
+    lines.append(
+        "Prometheus text exposition; histograms use the log-spaced "
+        "latency buckets from `repro.obs.telemetry.LATENCY_BUCKETS`."
+    )
+    lines.append("")
+    lines.append("| family | type | description |")
+    lines.append("|---|---|---|")
+    for metric in METRIC_FAMILIES:
+        lines.append(
+            f"| `{metric.display_name()}` | {metric.kind} | "
+            f"{_cell(metric.help)} |"
+        )
+    lines.append("")
     lines.append("#### `repro serve` flags (generated)")
     lines.append("")
     lines.append("| flag | default | meaning |")

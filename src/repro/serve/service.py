@@ -69,10 +69,25 @@ from repro.machine.snapshot import (
     warm_machine,
 )
 from repro.machine.values import VIO
-from repro.obs.sinks import CountingSink
+from repro.obs.sinks import CountingSink, JsonlSink
+from repro.obs.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import (
+    NULL_TRACE_BUILDER,
+    TraceBuilder,
+    TraceRecorder,
+    format_trace_id,
+)
 from repro.serve.cache import CachedProgram, ProgramCache
 from repro.serve.governor import GovernorLimits, ResourceGovernor
 from repro.serve.retry import CircuitBreaker, RetryPolicy
+from repro.serve.schema import METRIC_FAMILIES
+
+#: Circuit-breaker states as the ``repro_breaker_state`` gauge value.
+_BREAKER_STATES = {"closed": 0, "half-open": 1, "open": 2}
 
 
 @dataclass(frozen=True)
@@ -96,6 +111,9 @@ class ServiceConfig:
     warm: bool = True
     cache_capacity: int = 256
     max_batch: int = 32
+    telemetry: bool = True
+    trace_ring: int = 256
+    trace_log: Optional[str] = None
 
     def backstop_fuel(self) -> int:
         """The machine's own fuel — the hard stop behind the governor
@@ -147,6 +165,7 @@ class EvalService:
         )
         self._lock = threading.Lock()
         self._request_counter = 0
+        self._id_seq = 0
         self._in_flight = 0
         self.requests_by_status: Dict[str, int] = {}
         self.event_totals: Dict[str, int] = {}
@@ -168,6 +187,124 @@ class EvalService:
                 capacity=self.config.cache_capacity,
             )
         self._started_at = clock()
+        # Telemetry: registry + trace recorder, both pay-as-you-go —
+        # with telemetry off the registry is the null twin and the
+        # trace builders are shared no-ops (ids are still minted, so
+        # clients always get a correlation handle).
+        self.tracer: Optional[TraceRecorder] = None
+        if self.config.telemetry:
+            self.registry = MetricsRegistry()
+            trace_sink = None
+            if self.config.trace_log:
+                # Line-buffered so a killed daemon still leaves a
+                # complete JSONL trail (the CI artifact path).
+                trace_sink = JsonlSink(
+                    open(
+                        self.config.trace_log,
+                        "w",
+                        encoding="utf-8",
+                        buffering=1,
+                    )
+                )
+            self.tracer = TraceRecorder(
+                capacity=self.config.trace_ring, sink=trace_sink
+            )
+        else:
+            self.registry = NullRegistry()
+        self._build_metrics()
+
+    # -- telemetry ------------------------------------------------------
+
+    def _build_metrics(self) -> None:
+        """Instantiate every family in
+        :data:`repro.serve.schema.METRIC_FAMILIES` — the schema module
+        is the single source of truth, the telemetry test gates the
+        rendered exposition against it.  Live state (uptime, in-flight,
+        breaker, cache, trace ring) is exposed through read-through
+        callbacks so nothing is accounted twice."""
+        callbacks = {
+            "repro_uptime_seconds": lambda: self._clock()
+            - self._started_at,
+            "repro_in_flight": lambda: self._in_flight,
+            "repro_breaker_state": lambda: _BREAKER_STATES.get(
+                self.breaker.as_dict()["state"], -1
+            ),
+            "repro_cache_hits_total": lambda: (
+                self.cache.stats()["hits"] if self.cache else 0
+            ),
+            "repro_cache_misses_total": lambda: (
+                self.cache.stats()["misses"] if self.cache else 0
+            ),
+            "repro_traces_total": lambda: (
+                self.tracer.recorded if self.tracer else 0
+            ),
+        }
+        instruments = {}
+        for spec in METRIC_FAMILIES:
+            if spec.kind == "histogram":
+                instruments[spec.name] = self.registry.histogram(
+                    spec.name, spec.help, LATENCY_BUCKETS, spec.labels
+                )
+            elif spec.kind == "gauge":
+                instruments[spec.name] = self.registry.gauge(
+                    spec.name,
+                    spec.help,
+                    spec.labels,
+                    callback=callbacks.get(spec.name),
+                )
+            else:
+                instruments[spec.name] = self.registry.counter(
+                    spec.name,
+                    spec.help,
+                    spec.labels,
+                    callback=callbacks.get(spec.name),
+                )
+        self._m = instruments
+
+    def _next_ids(self) -> Tuple[int, str]:
+        """Mint ``(request_id, trace_id)``.  A plain monotonic
+        sequence — deterministic per service instance, so warm and
+        cold twins fed the same request sequence answer with
+        byte-identical bodies, ids included."""
+        with self._lock:
+            self._id_seq += 1
+            seq = self._id_seq
+        return seq, format_trace_id(seq)
+
+    def _trace_builder(
+        self, ids: Tuple[int, str], parent: Optional[str] = None
+    ):
+        if self.tracer is None:
+            return NULL_TRACE_BUILDER
+        request_id, trace_id = ids
+        return TraceBuilder(
+            trace_id, request_id, self._clock, parent=parent
+        )
+
+    def _finish_trace(self, builder) -> None:
+        trace = builder.finish()
+        if trace is None or self.tracer is None:
+            return
+        stage_seconds = self._m["repro_stage_seconds"]
+        for child in trace.root.children:
+            stage_seconds.observe(child.duration, stage=child.name)
+        self.tracer.record(trace)
+
+    def get_trace(self, trace_id: str):
+        """Resolve an echoed ``trace_id`` to its recorded span tree
+        (None once it ages out of the ring or with telemetry off)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.get(trace_id)
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` payload: Prometheus text exposition."""
+        return self.registry.render()
+
+    def close(self) -> None:
+        """Flush the opt-in trace log (idempotent)."""
+        if self.tracer is not None:
+            self.tracer.close()
 
     # -- request handling -----------------------------------------------
 
@@ -185,31 +322,44 @@ class EvalService:
         """
         if isinstance(payload, dict) and "programs" in payload:
             return self._handle_batch(payload)
-        if not isinstance(payload, dict) or not isinstance(
-            payload.get("expr"), str
-        ):
-            return self._bad_request(
-                'body must be JSON {"expr": "<source>"} or '
-                '{"programs": [...]}'
-            )
-        request = self._normalize(payload)
-
-        admitted, rejection = self._admit()
-        if not admitted:
-            return rejection
+        ids = self._next_ids()
+        builder = self._trace_builder(ids)
         try:
-            allowed, retry_after = self.breaker.allow()
-            if not allowed:
-                body = {
-                    "status": "rejected",
-                    "reason": "circuit-open",
-                    "retry_after": round(retry_after, 3),
-                }
-                self._count_status("rejected")
-                return 503, body, retry_after
-            return self._serve_program(request)
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("expr"), str
+            ):
+                return self._bad_request(
+                    'body must be JSON {"expr": "<source>"} or '
+                    '{"programs": [...]}',
+                    ids,
+                    builder,
+                )
+            request = self._normalize(payload)
+
+            with builder.span("admission"):
+                admitted, rejection = self._admit(ids)
+            if not admitted:
+                builder.annotate(rejected="queue-full")
+                return rejection
+            try:
+                with builder.span("breaker"):
+                    allowed, retry_after = self.breaker.allow()
+                if not allowed:
+                    builder.annotate(rejected="circuit-open")
+                    body = {
+                        "status": "rejected",
+                        "reason": "circuit-open",
+                        "retry_after": round(retry_after, 3),
+                        "request_id": ids[0],
+                        "trace_id": ids[1],
+                    }
+                    self._count_status("rejected")
+                    return 503, body, retry_after
+                return self._serve_program(request, ids, builder)
+            finally:
+                self._admission.release()
         finally:
-            self._admission.release()
+            self._finish_trace(builder)
 
     def _handle_batch(
         self, payload: Dict[str, Any]
@@ -218,62 +368,100 @@ class EvalService:
         breaker consultation and (on the warm path) the snapshot/cache
         lookups are paid once per batch, while every program keeps its
         own machine, governor, fault plan and structured response."""
-        programs = payload.get("programs")
-        if not isinstance(programs, list) or not programs:
-            return self._bad_request(
-                '"programs" must be a non-empty JSON array'
-            )
-        if len(programs) > self.config.max_batch:
-            return (
-                400,
-                {
-                    "status": "error",
-                    "reason": "batch-too-large",
-                    "message": f"batch of {len(programs)} exceeds "
-                    f"max_batch={self.config.max_batch}",
-                },
-                None,
-            )
-        requests = []
-        for item in programs:
-            if isinstance(item, str):
-                item = {"expr": item}
-            if not isinstance(item, dict) or not isinstance(
-                item.get("expr"), str
-            ):
-                return self._bad_request(
-                    "batch items must be source strings or "
-                    '{"expr": "<source>"} objects'
-                )
-            requests.append(self._normalize(item))
-
-        admitted, rejection = self._admit()
-        if not admitted:
-            return rejection
+        ids = self._next_ids()
+        builder = self._trace_builder(ids)
         try:
-            allowed, retry_after = self.breaker.allow()
-            if not allowed:
+            programs = payload.get("programs")
+            if not isinstance(programs, list) or not programs:
+                return self._bad_request(
+                    '"programs" must be a non-empty JSON array',
+                    ids,
+                    builder,
+                )
+            if len(programs) > self.config.max_batch:
+                builder.annotate(error="batch-too-large")
+                return (
+                    400,
+                    {
+                        "status": "error",
+                        "reason": "batch-too-large",
+                        "message": f"batch of {len(programs)} exceeds "
+                        f"max_batch={self.config.max_batch}",
+                        "request_id": ids[0],
+                        "trace_id": ids[1],
+                    },
+                    None,
+                )
+            requests = []
+            for item in programs:
+                if isinstance(item, str):
+                    item = {"expr": item}
+                if not isinstance(item, dict) or not isinstance(
+                    item.get("expr"), str
+                ):
+                    return self._bad_request(
+                        "batch items must be source strings or "
+                        '{"expr": "<source>"} objects',
+                        ids,
+                        builder,
+                    )
+                requests.append(self._normalize(item))
+
+            with builder.span("admission"):
+                admitted, rejection = self._admit(ids)
+            if not admitted:
+                builder.annotate(rejected="queue-full")
+                return rejection
+            try:
+                with builder.span("breaker"):
+                    allowed, retry_after = self.breaker.allow()
+                if not allowed:
+                    builder.annotate(rejected="circuit-open")
+                    body = {
+                        "status": "rejected",
+                        "reason": "circuit-open",
+                        "retry_after": round(retry_after, 3),
+                        "request_id": ids[0],
+                        "trace_id": ids[1],
+                    }
+                    self._count_status("rejected")
+                    return 503, body, retry_after
+                results = []
+                child_traces = []
+                for request in requests:
+                    child_ids = self._next_ids()
+                    child_builder = self._trace_builder(
+                        child_ids, parent=ids[1]
+                    )
+                    try:
+                        results.append(
+                            self._serve_program(
+                                request, child_ids, child_builder
+                            )[1]
+                        )
+                    finally:
+                        self._finish_trace(child_builder)
+                    child_traces.append(child_ids[1])
+                builder.annotate(
+                    programs=len(results), children=child_traces
+                )
+                with self._lock:
+                    self.batches_total += 1
+                    self.batch_programs_total += len(results)
+                self._m["repro_batches_total"].inc()
+                self._m["repro_batch_programs_total"].inc(len(results))
                 body = {
-                    "status": "rejected",
-                    "reason": "circuit-open",
-                    "retry_after": round(retry_after, 3),
+                    "status": "batch",
+                    "count": len(results),
+                    "results": results,
+                    "request_id": ids[0],
+                    "trace_id": ids[1],
                 }
-                self._count_status("rejected")
-                return 503, body, retry_after
-            results = [
-                self._serve_program(request)[1] for request in requests
-            ]
-            with self._lock:
-                self.batches_total += 1
-                self.batch_programs_total += len(results)
-            body = {
-                "status": "batch",
-                "count": len(results),
-                "results": results,
-            }
-            return 200, body, None
+                return 200, body, None
+            finally:
+                self._admission.release()
         finally:
-            self._admission.release()
+            self._finish_trace(builder)
 
     @staticmethod
     def _normalize(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -284,7 +472,7 @@ class EvalService:
             "typecheck": bool(payload.get("typecheck", False)),
         }
 
-    def _admit(self):
+    def _admit(self, ids: Tuple[int, str]):
         if self._admission.acquire(blocking=False):
             return True, None
         retry_after = max(
@@ -294,39 +482,68 @@ class EvalService:
             "status": "rejected",
             "reason": "queue-full",
             "retry_after": round(retry_after, 3),
+            "request_id": ids[0],
+            "trace_id": ids[1],
         }
         self._count_status("rejected")
         return False, (429, body, retry_after)
 
-    @staticmethod
     def _bad_request(
+        self,
         message: str,
+        ids: Optional[Tuple[int, str]] = None,
+        builder=None,
     ) -> Tuple[int, Dict[str, Any], Optional[float]]:
-        return (
-            400,
-            {
-                "status": "error",
-                "reason": "bad-request",
-                "message": message,
-            },
-            None,
-        )
+        body: Dict[str, Any] = {
+            "status": "error",
+            "reason": "bad-request",
+            "message": message,
+        }
+        if ids is not None:
+            body["request_id"] = ids[0]
+            body["trace_id"] = ids[1]
+        if builder is not None:
+            builder.annotate(error="bad-request")
+        return 400, body, None
 
     def _serve_program(
-        self, request: Dict[str, Any]
+        self,
+        request: Dict[str, Any],
+        ids: Tuple[int, str],
+        builder,
     ) -> Tuple[int, Dict[str, Any], Optional[float]]:
         """Front end, evaluation, shaping and accounting for one
-        program — admission and breaker gating already done."""
+        program — admission and breaker gating already done.  Exactly
+        one ``repro_request_seconds`` observation per call, so the
+        histogram count equals ``requests_total`` by construction."""
+        started = self._clock()
+        try:
+            status, body, retry_after = self._serve_program_inner(
+                request, builder
+            )
+        finally:
+            self._m["repro_request_seconds"].observe(
+                self._clock() - started
+            )
+        body["request_id"] = ids[0]
+        body["trace_id"] = ids[1]
+        return status, body, retry_after
+
+    def _serve_program_inner(
+        self, request: Dict[str, Any], builder
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
         with self._lock:
             self._request_counter += 1
-            request_id = self._request_counter
+            seed_id = self._request_counter
 
-        entry = self._front_end(request["expr"])
+        with builder.span("cache-lookup", warm=self.cache is not None):
+            entry = self._front_end(request["expr"])
         if entry.error is not None:
             # A parse/flatten error is the *client's* failure, not the
             # pool's — it must not open the breaker.
             self.breaker.record_success()
             self._count_status("error")
+            builder.annotate(error="parse-error")
             return (
                 400,
                 {
@@ -337,10 +554,12 @@ class EvalService:
                 None,
             )
         if request["typecheck"]:
-            verdict, detail = entry.typecheck()
+            with builder.span("typecheck"):
+                verdict, detail = entry.typecheck()
             if verdict != "ok":
                 self.breaker.record_success()
                 self._count_status("error")
+                builder.annotate(error="type-error")
                 return (
                     400,
                     {
@@ -356,15 +575,16 @@ class EvalService:
             self._in_flight += 1
         try:
             attempt_result, attempts = self._with_retries(
-                entry, request["stdin"], request_id
+                entry, request["stdin"], seed_id, builder
             )
         finally:
             with self._lock:
                 self._in_flight -= 1
             self._running.release()
 
-        body = self._shape(attempt_result, attempts)
-        self._absorb(attempt_result, attempts)
+        with builder.span("render", status=attempt_result.kind):
+            body = self._shape(attempt_result, attempts)
+            self._absorb(attempt_result, attempts)
         if attempt_result.kind == "resource-exhausted":
             self.breaker.record_failure()
         else:
@@ -383,17 +603,21 @@ class EvalService:
         return ProgramCache._build(("transient",), source)
 
     def _with_retries(
-        self, entry: CachedProgram, stdin: str, request_id: int
+        self,
+        entry: CachedProgram,
+        stdin: str,
+        seed_id: int,
+        builder=NULL_TRACE_BUILDER,
     ) -> Tuple[_Attempt, int]:
         attempts_budget = max(1, self.config.retries + 1)
         policy = RetryPolicy(
             attempts=attempts_budget,
             base_delay=self.config.retry_base_delay,
-            seed=self.config.retry_seed + request_id,
+            seed=self.config.retry_seed + seed_id,
             sleep=self._sleep,
         )
         result, attempts = policy.run(
-            lambda i: self._attempt(entry, stdin, request_id, i),
+            lambda i: self._attempt(entry, stdin, seed_id, i, builder),
             self._retryable,
         )
         return result, attempts
@@ -414,62 +638,94 @@ class EvalService:
         self,
         entry: CachedProgram,
         stdin: str,
-        request_id: int,
+        seed_id: int,
         attempt_number: int,
+        builder=NULL_TRACE_BUILDER,
     ) -> _Attempt:
         config = self.config
-        if self.snapshot is not None:
-            # Warm: an O(1) fork sharing the frozen prelude heap.  The
-            # fork carries no instrumentation; sink/governor/fault are
-            # attached below, exactly as on the cold path, so both
-            # paths instrument the same evaluation window.
-            machine, env = self.snapshot.fork(fuel=config.backstop_fuel())
-        else:
-            # Cold: rebuild the entire prelude heap and drive it to
-            # the same fully-memoised state a fork starts from
-            # (snapshot.warm_machine), so warm and cold responses are
-            # byte-identical — same outcome, same counters, same event
-            # totals — and only latency distinguishes the paths.
-            machine, env = warm_machine(
-                backend=config.backend, fuel=config.backstop_fuel()
+        with builder.span("attempt", number=attempt_number):
+            if self.snapshot is not None:
+                # Warm: an O(1) fork sharing the frozen prelude heap.
+                # The fork carries no instrumentation; sink/governor/
+                # fault are attached below, exactly as on the cold
+                # path, so both paths instrument the same evaluation
+                # window.
+                with builder.span("fork"):
+                    machine, env = self.snapshot.fork(
+                        fuel=config.backstop_fuel()
+                    )
+            else:
+                # Cold: rebuild the entire prelude heap and drive it
+                # to the same fully-memoised state a fork starts from
+                # (snapshot.warm_machine), so warm and cold responses
+                # are byte-identical — same outcome, same counters,
+                # same event totals — and only latency distinguishes
+                # the paths.
+                with builder.span("cold-build"):
+                    machine, env = warm_machine(
+                        backend=config.backend,
+                        fuel=config.backstop_fuel(),
+                    )
+            sink = CountingSink() if config.collect_events else None
+            if sink is not None:
+                machine.attach_sink(sink)
+            governor = ResourceGovernor(
+                GovernorLimits(
+                    max_steps=config.max_steps,
+                    max_allocations=config.max_allocations,
+                    deadline_seconds=config.deadline_seconds,
+                ),
+                clock=self._clock,
             )
-        sink = CountingSink() if config.collect_events else None
-        if sink is not None:
-            machine.attach_sink(sink)
-        governor = ResourceGovernor(
-            GovernorLimits(
-                max_steps=config.max_steps,
-                max_allocations=config.max_allocations,
-                deadline_seconds=config.deadline_seconds,
-            ),
-            clock=self._clock,
-        )
-        fault = None
-        if config.fault_seed is not None:
-            from repro.chaos.faults import FaultPlan
+            fault = None
+            if config.fault_seed is not None:
+                from repro.chaos.faults import FaultPlan
 
-            fault = FaultPlan.seeded(
-                config.fault_seed + request_id * 31 + attempt_number,
-                horizon=config.fault_horizon,
-                interrupts=1,
-                latencies=1,
-                sleep=self._sleep,
+                fault = FaultPlan.seeded(
+                    config.fault_seed + seed_id * 31 + attempt_number,
+                    horizon=config.fault_horizon,
+                    interrupts=1,
+                    latencies=1,
+                    sleep=self._sleep,
+                )
+                machine.attach_fault_plan(fault)
+            machine.attach_governor(governor)
+
+            program: Any = entry.expr
+            if self.snapshot is not None and config.backend in (
+                "compiled",
+                "super",
+            ):
+                # The cached lowered program bakes the snapshot's
+                # (immutable) cells in and takes the running machine
+                # as an argument, so one compilation serves every
+                # fork.
+                program, env = (
+                    entry.code(self.snapshot.env, machine.strategy),
+                    (),
+                )
+            with builder.span("machine-run"):
+                # The governor's deadline base is its own clock read,
+                # taken *inside* the span, so span bookkeeping can
+                # never shift a trip decision.
+                governor.start()
+                outcome = self._observe(program, env, machine, stdin)
+            result = self._classify(outcome, machine, governor, fault, sink)
+            # Decorate the attempt with the machine's deterministic
+            # counters and the exceptional-set summary — observation
+            # after the fact, never interference.
+            builder.annotate(
+                kind=result.kind,
+                steps=result.stats.get("steps"),
+                allocations=result.stats.get("allocations"),
             )
-            machine.attach_fault_plan(fault)
-        machine.attach_governor(governor)
-        governor.start()
-
-        program: Any = entry.expr
-        if self.snapshot is not None and config.backend in (
-            "compiled",
-            "super",
-        ):
-            # The cached lowered program bakes the snapshot's
-            # (immutable) cells in and takes the running machine as an
-            # argument, so one compilation serves every fork.
-            program, env = entry.code(self.snapshot.env, machine.strategy), ()
-        outcome = self._observe(program, env, machine, stdin)
-        return self._classify(outcome, machine, governor, fault, sink)
+            if result.exc is not None:
+                builder.annotate(
+                    exc=result.exc, synchronous=result.synchronous
+                )
+            if result.reason is not None:
+                builder.annotate(reason=result.reason)
+            return result
 
     def _observe(self, expr, env, machine, stdin: str):
         """Evaluate; perform ``IO`` values through the executor (so
@@ -592,6 +848,7 @@ class EvalService:
             self.requests_by_status[status] = (
                 self.requests_by_status.get(status, 0) + 1
             )
+        self._m["repro_requests_total"].inc(status=status)
 
     def _absorb(self, result: _Attempt, attempts: int) -> None:
         self._count_status(result.kind)
@@ -607,6 +864,19 @@ class EvalService:
                 )
             self.faults_injected += len(result.faults_injected)
             self.retries_performed += attempts - 1
+        events_metric = self._m["repro_machine_events_total"]
+        for name, count in result.events.items():
+            events_metric.inc(count, event=name)
+        if result.trip is not None:
+            self._m["repro_governor_trips_total"].inc(
+                reason=result.trip["reason"]
+            )
+        if result.faults_injected:
+            self._m["repro_faults_injected_total"].inc(
+                len(result.faults_injected)
+            )
+        if attempts > 1:
+            self._m["repro_retries_total"].inc(attempts - 1)
 
     # -- health ---------------------------------------------------------
 
@@ -638,6 +908,16 @@ class EvalService:
             "governor_trips": trips,
             "faults_injected": faults,
             "retries_performed": retries,
+            "telemetry": {
+                "enabled": self.config.telemetry,
+                "trace_ring": self.config.trace_ring,
+                "traces_recorded": (
+                    self.tracer.recorded if self.tracer else 0
+                ),
+                "traces_retained": (
+                    len(self.tracer.traces) if self.tracer else 0
+                ),
+            },
             "limits": {
                 "max_steps": self.config.max_steps,
                 "max_allocations": self.config.max_allocations,

@@ -22,6 +22,7 @@ def stable_dict(report: FleetReport) -> dict:
     d = report.to_dict()
     d.pop("elapsed_seconds")
     d.pop("shard_elapsed_seconds")
+    d.pop("timing")
     return d
 
 
@@ -81,6 +82,10 @@ class TestDeterminism:
                 [e.id for e in baseline.corpus]
             assert other.coverage.as_dict() == \
                 baseline.coverage.as_dict()
+            # The per-case step histogram is a pure function of the
+            # case seeds, so its bucket counts are jobs-invariant too.
+            assert other.case_step_buckets == \
+                baseline.case_step_buckets
         assert (tmp_path / "c1.jsonl").read_bytes() == \
             (tmp_path / "c2.jsonl").read_bytes() == \
             (tmp_path / "c4.jsonl").read_bytes()

@@ -1,0 +1,243 @@
+"""Metrics instruments: deterministic bucket counts and percentiles,
+Prometheus exposition round-trips, the null registry's emptiness, and
+the fleet's shard-merge arithmetic."""
+
+import math
+
+import pytest
+
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    STEP_BUCKETS,
+    histogram_stats,
+    log_buckets,
+    parse_exposition,
+    percentile_from_counts,
+    render_exposition,
+)
+
+
+class TestLogBuckets:
+    def test_geometric_shape(self):
+        assert log_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_defaults_are_sorted_and_wide(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert LATENCY_BUCKETS[0] == pytest.approx(0.0001)
+        assert LATENCY_BUCKETS[-1] > 50.0
+        assert STEP_BUCKETS[0] == 1.0
+        assert STEP_BUCKETS[-1] > 4_000_000
+
+    @pytest.mark.parametrize(
+        "start,factor,count", [(0, 2, 3), (1, 1, 3), (1, 2, 0)]
+    )
+    def test_rejects_degenerate_parameters(self, start, factor, count):
+        with pytest.raises(ValueError):
+            log_buckets(start, factor, count)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c_total", "help")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+
+    def test_counters_only_go_up(self):
+        c = Counter("c_total", "help")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("req_total", "help", labelnames=("status",))
+        c.inc(status="value")
+        c.inc(2, status="error")
+        assert c.value(status="value") == 1
+        assert c.value(status="error") == 2
+
+    def test_wrong_labels_raise(self):
+        c = Counter("req_total", "help", labelnames=("status",))
+        with pytest.raises(ValueError):
+            c.inc(other="x")
+
+    def test_unlabelled_untouched_renders_zero_sample(self):
+        c = Counter("quiet_total", "help")
+        assert c.samples() == [("quiet_total", 0.0)]
+
+    def test_callback_reads_through(self):
+        c = Counter("hits_total", "help", callback=lambda: 41 + 1)
+        assert c.samples() == [("hits_total", 42.0)]
+
+    def test_callback_dict_becomes_labelled_samples(self):
+        c = Counter(
+            "trips_total", "help", callback=lambda: {"deadline": 2}
+        )
+        assert c.samples() == [('trips_total{key="deadline"}', 2.0)]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("inflight", "help")
+        g.set(5)
+        g.dec(2)
+        g.inc()
+        assert g.value() == 4
+
+
+class TestHistogram:
+    def test_observation_lands_in_first_covering_bucket(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        h.observe(2.0)  # boundary: value <= bound
+        h.observe(100.0)  # +Inf
+        assert h.bucket_counts() == [0, 2, 0, 1]
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(103.5)
+
+    def test_merge_counts_is_elementwise_addition(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.merge_counts([1, 2, 3])
+        assert h.bucket_counts() == [2, 2, 3]
+
+    def test_merge_counts_rejects_length_mismatch(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            h.merge_counts([1, 2])
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=(2.0, 1.0))
+
+    def test_equal_counts_mean_equal_percentiles(self):
+        """The determinism contract: percentiles are a pure function
+        of the integer bucket counts."""
+        a = Histogram("a", "help", buckets=STEP_BUCKETS)
+        b = Histogram("b", "help", buckets=STEP_BUCKETS)
+        for h in (a, b):
+            for value in (3, 17, 17, 250, 90_000):
+                h.observe(value)
+        assert a.bucket_counts() == b.bucket_counts()
+        assert a.quantiles() == b.quantiles()
+
+    def test_empty_percentile_is_zero(self):
+        h = Histogram("h", "help")
+        assert h.percentile(0.5) == 0.0
+
+    def test_inf_bucket_reports_largest_finite_bound(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0))
+        h.observe(1e9)
+        assert h.percentile(0.99) == 2.0
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = Histogram("h", "help", buckets=(10.0, 20.0))
+        for _ in range(4):
+            h.observe(15.0)
+        # rank 2 of 4 in (10, 20]: 10 + (2/4) * 10
+        assert h.percentile(0.5) == pytest.approx(15.0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        first = reg.counter("c_total", "help")
+        again = reg.counter("c_total", "ignored")
+        assert first is again
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "help")
+        with pytest.raises(ValueError):
+            reg.histogram("x", "help")
+
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "help")
+        reg.gauge("a", "help")
+        assert [f.name for f in reg.families()] == ["a", "b_total"]
+
+
+class TestExposition:
+    def test_render_parse_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests", ("status",)).inc(
+            3, status="value"
+        )
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = reg.render()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'req_total{status="value"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        families = parse_exposition(text)
+        assert families["req_total"]["type"] == "counter"
+        stats = histogram_stats(families, "lat_seconds")
+        assert stats["counts"] == [1, 0, 1]
+        assert stats["count"] == 2
+        assert stats["sum"] == pytest.approx(5.05)
+
+    def test_bucket_samples_are_cumulative(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        cumulative = [
+            value
+            for name, value in h.samples()
+            if name.startswith("h_bucket")
+        ]
+        assert cumulative == [1, 2, 2]
+
+    def test_percentile_from_counts_matches_histogram(self):
+        h = Histogram("h", "help", buckets=LATENCY_BUCKETS)
+        for v in (0.0002, 0.003, 0.003, 0.4):
+            h.observe(v)
+        stats = histogram_stats(
+            parse_exposition(render_exposition([h])), "h"
+        )
+        for q in (0.5, 0.95, 0.99):
+            assert percentile_from_counts(
+                stats["bounds"], stats["counts"], q
+            ) == pytest.approx(h.percentile(q))
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_exposition("!! not a sample line")
+
+    def test_histogram_stats_absent_family_is_none(self):
+        assert histogram_stats({}, "nope") is None
+
+    def test_inf_values_survive_the_round_trip(self):
+        families = parse_exposition('h_bucket{le="+Inf"} 3\n')
+        (_name, labels, value) = families["h_bucket"]["samples"][0]
+        assert labels["le"] == "+Inf"
+        assert value == 3.0
+        assert math.isfinite(value)
+
+
+class TestNullRegistry:
+    def test_render_is_empty(self):
+        reg = NullRegistry()
+        reg.counter("c", "help").inc(5)
+        reg.histogram("h", "help").observe(1.0)
+        reg.gauge("g", "help").set(3)
+        assert reg.render() == ""
+        assert reg.families() == []
+        assert reg.get("c") is None
+
+    def test_null_instrument_reads_zero(self):
+        instrument = NullRegistry().histogram("h", "help")
+        instrument.observe(10.0)
+        assert instrument.count() == 0
+        assert instrument.bucket_counts() == []
+        assert instrument.quantiles() == {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }

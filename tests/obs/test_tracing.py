@@ -1,0 +1,170 @@
+"""Span trees: deterministic ids, injectable-clock durations, the
+never-reads-the-clock null builder, and the bounded trace ring."""
+
+import json
+
+import pytest
+
+from repro.obs.sinks import JsonlSink, read_trace
+from repro.obs.tracing import (
+    NULL_TRACE_BUILDER,
+    NullTraceBuilder,
+    Span,
+    TraceBuilder,
+    TraceRecorder,
+    format_trace_id,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTraceId:
+    def test_sixteen_hex_zero_padded(self):
+        assert format_trace_id(1) == "0000000000000001"
+        assert format_trace_id(0xDEADBEEF) == "00000000deadbeef"
+        assert len(format_trace_id(2**63)) == 16
+
+    def test_sequence_order_is_lexicographic_order(self):
+        ids = [format_trace_id(n) for n in (1, 9, 10, 255, 256)]
+        assert ids == sorted(ids)
+
+
+class TestTraceBuilder:
+    def test_span_tree_shape_and_durations(self):
+        clock = FakeClock()
+        builder = TraceBuilder("01", 1, clock)
+        with builder.span("admission"):
+            clock.advance(0.5)
+        with builder.span("attempt", number=1):
+            with builder.span("machine-run"):
+                clock.advance(2.0)
+        trace = builder.finish()
+        assert trace.span_names() == [
+            "request",
+            "admission",
+            "attempt",
+            "machine-run",
+        ]
+        assert trace.find("admission").duration == pytest.approx(0.5)
+        assert trace.find("machine-run").duration == pytest.approx(2.0)
+        assert trace.find("attempt").attrs == {"number": 1}
+        assert trace.find("nope") is None
+
+    def test_annotate_targets_innermost_open_span(self):
+        builder = TraceBuilder("01", 1, FakeClock())
+        with builder.span("outer"):
+            with builder.span("inner"):
+                builder.annotate(kind="value", steps=7)
+        trace = builder.finish()
+        assert trace.find("inner").attrs == {"kind": "value", "steps": 7}
+        assert trace.find("outer").attrs == {}
+
+    def test_finish_closes_unclosed_spans(self):
+        clock = FakeClock()
+        builder = TraceBuilder("01", 1, clock)
+        clock.advance(1.0)
+        trace = builder.finish()  # root still open
+        assert trace.root.end is not None
+        assert trace.root.duration == pytest.approx(1.0)
+
+    def test_finish_is_idempotent(self):
+        builder = TraceBuilder("01", 1, FakeClock())
+        assert builder.finish() is builder.finish()
+
+    def test_as_dict_carries_identity_and_parent(self):
+        builder = TraceBuilder("02", 5, FakeClock(), parent="01")
+        with builder.span("render", status="value"):
+            pass
+        record = builder.finish().as_dict()
+        assert record["trace_id"] == "02"
+        assert record["request_id"] == 5
+        assert record["parent"] == "01"
+        assert record["spans"]["name"] == "request"
+        child = record["spans"]["children"][0]
+        assert child["name"] == "render"
+        assert child["attrs"] == {"status": "value"}
+        json.dumps(record)  # JSONL-exportable
+
+    def test_orphan_trace_omits_parent(self):
+        builder = TraceBuilder("01", 1, FakeClock())
+        assert "parent" not in builder.finish().as_dict()
+
+    def test_span_dict_durations_rounded_to_nanoseconds(self):
+        span = Span("s", 0.0)
+        span.end = 0.1234567894
+        assert span.as_dict()["duration_seconds"] == 0.123456789
+
+
+class TestNullTraceBuilder:
+    def test_never_reads_the_clock(self):
+        """The clock-read-sequence guarantee: telemetry off must not
+        shift deadline arithmetic by even one read."""
+
+        def exploding_clock():
+            raise AssertionError("null builder read the clock")
+
+        builder = NullTraceBuilder()
+        with builder.span("anything", attr=1):
+            builder.annotate(more=2)
+        assert builder.finish() is None
+        del exploding_clock  # the builder never had a clock to read
+
+    def test_singleton_is_reusable(self):
+        with NULL_TRACE_BUILDER.span("a"):
+            pass
+        assert NULL_TRACE_BUILDER.finish() is None
+        assert NULL_TRACE_BUILDER.trace_id == ""
+
+
+def _trace(n: int):
+    builder = TraceBuilder(format_trace_id(n), n, FakeClock())
+    return builder.finish()
+
+
+class TestTraceRecorder:
+    def test_record_and_get(self):
+        recorder = TraceRecorder(capacity=4)
+        recorder.record(_trace(1))
+        assert recorder.get(format_trace_id(1)).request_id == 1
+        assert recorder.recorded == 1
+
+    def test_ring_evicts_oldest_and_its_index_entry(self):
+        recorder = TraceRecorder(capacity=2)
+        for n in (1, 2, 3):
+            recorder.record(_trace(n))
+        assert recorder.get(format_trace_id(1)) is None
+        assert recorder.get(format_trace_id(2)) is not None
+        assert recorder.get(format_trace_id(3)) is not None
+        assert recorder.recorded == 3
+        assert len(recorder.traces) == 2
+
+    def test_record_none_is_a_no_op(self):
+        recorder = TraceRecorder()
+        recorder.record(None)
+        assert recorder.recorded == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_jsonl_sink_receives_trace_events(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        recorder = TraceRecorder(capacity=4, sink=JsonlSink(str(path)))
+        recorder.record(_trace(1))
+        recorder.record(_trace(2))
+        recorder.close()
+        events = list(read_trace(str(path)))
+        assert [e["event"] for e in events] == ["trace", "trace"]
+        assert events[0]["trace_id"] == format_trace_id(1)
+        assert events[0]["spans"]["name"] == "request"

@@ -147,6 +147,32 @@ class TestRouting:
         status, body, _ = _post(server, "/nope", {"expr": "1"})
         assert status == 404
 
+    def test_metrics_exposition_matches_health(self, server):
+        """The scrape CI runs: exposition parses, and the request
+        histogram's count equals ``requests_total`` exactly."""
+        from repro.obs.telemetry import histogram_stats, parse_exposition
+
+        _post(server, "/eval", {"expr": "1 + 1"})
+        _post(server, "/eval", {"expr": "(("})
+        host, port = server.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=10
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            text = response.read().decode("utf-8")
+        families = parse_exposition(text)
+        stats = histogram_stats(families, "repro_request_seconds")
+        _status, health = _get(server, "/healthz")
+        assert stats["count"] == health["requests_total"]
+
+    def test_eval_bodies_carry_trace_ids(self, server):
+        _status, body, _ = _post(server, "/eval", {"expr": "1 + 1"})
+        assert len(body["trace_id"]) == 16
+        assert isinstance(body["request_id"], int)
+
 
 class TestRetryAfter:
     def test_open_breaker_sets_the_header(self, server):

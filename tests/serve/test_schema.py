@@ -9,7 +9,9 @@ from pathlib import Path
 
 from repro.serve.schema import (
     DOCS_PATH,
+    HEALTH_SCHEMA,
     HTTP_STATUS,
+    METRIC_FAMILIES,
     RESPONSE_SCHEMAS,
     SERVE_FLAGS,
     extract_block,
@@ -84,6 +86,37 @@ class TestSchemaShape:
     def test_flags_are_unique(self):
         flags = [spec.flag for spec in SERVE_FLAGS]
         assert len(flags) == len(set(flags))
+
+    def test_health_schema_matches_live_health_payload(self):
+        """``GET /healthz`` and ``HEALTH_SCHEMA`` are the same set of
+        keys — documenting a field that does not exist (or shipping
+        one undocumented) fails here."""
+        from repro.serve import EvalService, ServiceConfig
+
+        service = EvalService(ServiceConfig())
+        assert set(service.health()) == set(HEALTH_SCHEMA)
+
+    def test_metric_families_match_live_exposition(self):
+        """Every declared metric family renders (and nothing else):
+        the generated docs table is exactly the live /metrics
+        surface."""
+        from repro.obs.telemetry import parse_exposition
+        from repro.serve import EvalService, ServiceConfig
+
+        service = EvalService(ServiceConfig())
+        service.handle({"expr": "1 + 2"})
+        families = parse_exposition(service.metrics_text())
+        assert set(families) == {
+            spec.name for spec in METRIC_FAMILIES
+        }
+        kinds = {spec.name: spec.kind for spec in METRIC_FAMILIES}
+        for name, family in families.items():
+            assert family["type"] == kinds[name], name
+
+    def test_metric_family_names_are_unique_and_prefixed(self):
+        names = [spec.name for spec in METRIC_FAMILIES]
+        assert len(names) == len(set(names))
+        assert all(name.startswith("repro_") for name in names)
 
     def test_rendered_block_escapes_table_pipes(self):
         """Descriptions may contain ``|``; the renderer must escape

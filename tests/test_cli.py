@@ -278,6 +278,9 @@ class TestFuzz:
         assert data["findings"] == []
         assert data["machine"]["steps"] > 0
         assert set(data["verdicts"]) <= {"agree", "refinement"}
+        assert sum(data["case_steps"]["buckets"]) == 25
+        assert data["timing"]["cases_per_second"] > 0
+        assert data["timing"]["lane_seconds"]["reference"] > 0
 
     def test_table_format(self, capsys):
         code, out, _ = run_cli(
@@ -294,6 +297,16 @@ class TestFuzz:
         )
         assert code == 0
         assert "0 mismatches" in out
+
+
+class TestTop:
+    def test_unreachable_service_exits_one(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "top", "--url", "http://127.0.0.1:1",
+            "--iterations", "1", "--no-clear",
+        )
+        assert code == 1
+        assert "unreachable" in out
 
 
 class TestExplain:
