@@ -1,0 +1,218 @@
+"""E20 — cooperative scheduler fairness: one hot tenant, N light ones.
+
+The claim of the cooperative scheduler (docs/SERVING.md): a tenant
+that floods the service with expensive work cannot starve the other
+tenants, because deficit round-robin grants machine-step slices per
+*tenant*, not per request.  Measured here as the serving-layer
+counterpart of the paper's schedule-independence story:
+
+* **solo** — the light tenants alone: their baseline p50/p99;
+* **contended (cooperative)** — the same light workload while a hot
+  tenant continuously submits step-capped spinners: light-tenant
+  latency must stay in the same territory (the acceptance story is
+  "p99 within a small multiple of solo"; the CI floor below is far
+  looser because shared runners gyrate);
+* **contended (threads)** — the identical contended workload on the
+  thread-per-request mode, for comparison (the threaded pool serves
+  whoever holds a thread; fairness is luck, and the recorded rows
+  show the difference rather than gate it);
+* **parity** — one light request per mode, bodies compared
+  field-for-field with ids normalised: ``divergences`` is a
+  deterministic metric gated at zero.
+
+Jain's fairness index is computed over per-tenant completion
+throughput during the contended window (1.0 = perfectly fair); like
+every latency field it is derived from wall-clock behaviour, so it is
+reported, not gated (see ``benchcompare._is_wallclock``).
+
+Regenerates: the BENCH_E20 rows.
+"""
+
+import statistics
+import threading
+import time
+
+from benchmarks.conftest import bench_record
+from repro.serve import EvalService, ServiceConfig
+
+#: The light tenants' workload: a couple of thousand steps.
+LIGHT = "sum (map (\\x -> x * x) (enumFromTo 1 15))"
+#: The hot tenant's workload: spins until the step governor trips it
+#: (deterministic: every hot request costs exactly ``max_steps``).
+HOT = "let { w = \\u -> w u } in w ()"
+
+_LIGHT_TENANTS = 3
+_LIGHT_REQUESTS = 8  # per tenant
+_MAX_STEPS = 40_000
+
+#: CI floor: contended light-tenant p99 within this multiple of solo.
+#: The acceptance story ("within 2×") lives in the recorded rows and
+#: EXPERIMENTS.md; the gate is loose enough to survive noisy runners.
+_CI_P99_CEILING = 25.0
+
+
+def _config(scheduler: str) -> ServiceConfig:
+    return ServiceConfig(
+        scheduler=scheduler,
+        workers=2,
+        slice_steps=2_000,
+        max_steps=_MAX_STEPS,
+        max_allocations=None,
+        deadline_seconds=None,
+        retries=0,
+        max_concurrency=32,
+        queue_depth=32,
+        breaker_threshold=1_000_000,
+        telemetry=False,
+    )
+
+
+def _percentile(times, q):
+    if not times:
+        return 0.0
+    ordered = sorted(times)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def _light_latencies(service, tenants=_LIGHT_TENANTS):
+    """Run every light tenant's request stream concurrently; returns
+    (all latencies, per-tenant completion counts)."""
+    latencies = {t: [] for t in range(tenants)}
+
+    def worker(tenant):
+        for _ in range(_LIGHT_REQUESTS):
+            start = time.perf_counter()
+            status, body, _ = service.handle(
+                {
+                    "expr": LIGHT,
+                    "tenant": f"light-{tenant}",
+                    "priority": "interactive",
+                }
+            )
+            latencies[tenant].append(time.perf_counter() - start)
+            assert status == 200 and body["status"] == "value", body
+
+    threads = [
+        threading.Thread(target=worker, args=(t,))
+        for t in range(tenants)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return [x for ts in latencies.values() for x in ts]
+
+
+def _jain(throughputs):
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 = perfectly fair."""
+    xs = [x for x in throughputs if x > 0]
+    if not xs:
+        return 0.0
+    return sum(xs) ** 2 / (len(xs) * sum(x * x for x in xs))
+
+
+class TestSchedulerFairness:
+    def test_light_tenants_survive_hot_tenant(self):
+        # -- solo baseline (cooperative, light tenants only) ----------
+        solo = EvalService(_config("cooperative"))
+        try:
+            solo.handle({"expr": LIGHT})  # prime snapshot/cache
+            solo_times = _light_latencies(solo)
+        finally:
+            solo.close()
+        solo_p50 = statistics.median(solo_times)
+        solo_p99 = _percentile(solo_times, 0.99)
+        bench_record(
+            "E20",
+            scenario="solo-light",
+            mode="cooperative",
+            light_requests=len(solo_times),
+            light_p50_seconds=round(solo_p50, 6),
+            light_p99_seconds=round(solo_p99, 6),
+        )
+
+        # -- contended, per mode --------------------------------------
+        results = {}
+        for mode in ("cooperative", "threads"):
+            service = EvalService(_config(mode))
+            stop = threading.Event()
+            hot_served = [0]
+
+            def flood():
+                while not stop.is_set():
+                    status, body, _ = service.handle(
+                        {
+                            "expr": HOT,
+                            "tenant": "hog",
+                            "priority": "batch",
+                        }
+                    )
+                    assert status == 200, body
+                    assert body["status"] == "resource-exhausted"
+                    hot_served[0] += 1
+
+            try:
+                service.handle({"expr": LIGHT})  # prime
+                hog = threading.Thread(target=flood)
+                window = time.perf_counter()
+                hog.start()
+                times = _light_latencies(service)
+                stop.set()
+                hog.join()
+                window = time.perf_counter() - window
+            finally:
+                service.close()
+
+            p50 = statistics.median(times)
+            p99 = _percentile(times, 0.99)
+            throughputs = [
+                (len(times) / _LIGHT_TENANTS) / window
+            ] * _LIGHT_TENANTS + [hot_served[0] / window]
+            results[mode] = (p50, p99)
+            bench_record(
+                "E20",
+                scenario="contended",
+                mode=mode,
+                light_requests=len(times),
+                hot_served_wall=hot_served[0],
+                light_p50_seconds=round(p50, 6),
+                light_p99_seconds=round(p99, 6),
+                p99_vs_solo_ratio=round(p99 / max(solo_p99, 1e-9), 2),
+                jain_fairness=round(_jain(throughputs), 3),
+                target="light p99 within 2× solo (cooperative)",
+            )
+
+        coop_p99 = results["cooperative"][1]
+        assert coop_p99 <= _CI_P99_CEILING * max(solo_p99, 1e-4), (
+            f"hot tenant starved the light ones: contended p99 "
+            f"{coop_p99:.4f}s vs solo {solo_p99:.4f}s"
+        )
+
+    def test_mode_parity_is_deterministic(self):
+        """One light request per mode: byte-identical bodies (ids
+        normalised) — the deterministic row the benchcompare gate
+        holds at zero."""
+        bodies = {}
+        for mode in ("cooperative", "threads"):
+            service = EvalService(_config(mode))
+            try:
+                status, body, _ = service.handle(
+                    {"expr": LIGHT, "tenant": "alice"}
+                )
+                assert status == 200, body
+                body.pop("request_id")
+                body.pop("trace_id")
+                bodies[mode] = body
+            finally:
+                service.close()
+        divergences = (
+            0 if bodies["cooperative"] == bodies["threads"] else 1
+        )
+        bench_record(
+            "E20",
+            scenario="parity",
+            divergences=divergences,
+            steps=bodies["cooperative"]["stats"]["steps"],
+        )
+        assert divergences == 0, bodies

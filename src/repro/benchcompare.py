@@ -33,6 +33,7 @@ EXPERIMENT_SOURCES: Dict[str, str] = {
     "E16": "benchmarks/bench_warm_serve.py",
     "E18": "benchmarks/bench_superop.py",
     "E19": "benchmarks/bench_telemetry.py",
+    "E20": "benchmarks/bench_scheduler.py",
 }
 
 #: Where the seed records live (checked in, regenerated with
@@ -48,8 +49,18 @@ REGRESSION_THRESHOLD_PCT = 20.0
 
 
 def _is_wallclock(name: str) -> bool:
-    """Fields derived from wall-clock timing — reported, never gated."""
-    return "seconds" in name or name.startswith("speedup")
+    """Fields derived from wall-clock timing — reported, never gated.
+    Covers ``*seconds*`` and ``speedup*`` plus the fairness fields E20
+    derives from throughput measurements (``jain*``, ``*_ratio``) and
+    the generic ``*_wall`` suffix for counts that depend on how much
+    wall-clock a measurement window happened to contain."""
+    return (
+        "seconds" in name
+        or name.startswith("speedup")
+        or name.startswith("jain")
+        or name.endswith("_ratio")
+        or name.endswith("_wall")
+    )
 
 
 def _row_key(row: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:

@@ -38,9 +38,11 @@ sweep flags exactly that point — on every axis.  ``repro chaos
 
 from __future__ import annotations
 
+import json
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.chaos.faults import ALLOC_FAIL, LATENCY, Fault, FaultPlan
 from repro.core.excset import (
@@ -64,7 +66,7 @@ from repro.machine.observe import (
 ASYNC_BY_NAME = {exc.name: exc for exc in ASYNC_EXCEPTIONS}
 
 #: The fault axes a sweep can walk (``repro chaos --sweep``).
-SWEEP_AXES = ("interrupt", "alloc", "latency")
+SWEEP_AXES = ("interrupt", "alloc", "latency", "schedule")
 
 
 @dataclass(frozen=True)
@@ -83,6 +85,7 @@ _POINT_UNITS = {
     "interrupt": "delivery points",
     "alloc": "alloc thresholds",
     "latency": "stall points",
+    "schedule": "schedule points",
 }
 
 
@@ -139,7 +142,12 @@ class SweepReport:
 
     def render(self) -> str:
         units = _POINT_UNITS.get(self.axis, "points")
-        injected = self.exc if self.exc else "latency stalls"
+        if self.exc:
+            injected = self.exc
+        elif self.axis == "schedule":
+            injected = "slice/seed interleavings"
+        else:
+            injected = "latency stalls"
         lines = [
             f"chaos sweep [{self.axis}/{self.backend}]: {self.source}",
             f"  baseline: {self.baseline} in {self.baseline_steps} steps",
@@ -386,6 +394,171 @@ def sweep_latency_source(
     return report
 
 
+# -- the schedule axis -------------------------------------------------
+
+#: The mixed-tenant workload the schedule axis replays: three tenants,
+#: every priority class, value/exceptional/recursive shapes — enough
+#: interleaving surface that a shared-state bug between concurrently
+#: sliced machines has somewhere to show up.
+DEFAULT_SCHEDULE_WORKLOAD: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "alice",
+        "interactive",
+        "sum (map (\\x -> x * x) (enumFromTo 1 30))",
+    ),
+    ("bob", "normal", "(1 `div` 0) + 2"),
+    (
+        "alice",
+        "batch",
+        "let { f = \\n -> case n < 2 of { True -> n; "
+        "False -> f (n - 1) + f (n - 2) } } in f 12",
+    ),
+    ("carol", "normal", "length (enumFromTo 1 80)"),
+    ("bob", "batch", "foldr (\\x acc -> x + acc) 0 (enumFromTo 1 40)"),
+)
+
+#: The (slice size × rotation seed) grid the schedule sweep walks.
+SCHEDULE_SLICES: Tuple[int, ...] = (1, 7, 64, 1000)
+SCHEDULE_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+def _schedule_bodies(
+    scheduler: str,
+    slice_steps: int,
+    schedule_seed: int,
+    workload: Sequence[Tuple[str, str, str]],
+    backend: str,
+) -> List[dict]:
+    """Run the workload through one service configuration and return
+    the id-normalised response bodies in submission order.  Cooperative
+    services take all requests *concurrently* (otherwise there is
+    nothing to interleave); request machines are isolated, so bodies
+    must not depend on the schedule."""
+    from repro.serve.service import EvalService, ServiceConfig
+
+    config = ServiceConfig(
+        backend=backend,
+        # Determinism knobs: no deadline/step limits (nothing
+        # wall-clock-dependent in a body), no retries, breaker
+        # effectively disabled, telemetry off.
+        max_steps=None,
+        max_allocations=None,
+        deadline_seconds=None,
+        max_concurrency=max(4, len(workload)),
+        queue_depth=len(workload) + 4,
+        retries=0,
+        breaker_threshold=1_000_000,
+        telemetry=False,
+        scheduler=scheduler,
+        workers=2,
+        slice_steps=slice_steps,
+        schedule_seed=schedule_seed,
+    )
+    service = EvalService(config)
+    try:
+        bodies: List[Optional[dict]] = [None] * len(workload)
+
+        def call(index: int, tenant: str, priority: str, src: str):
+            _, body, _ = service.handle(
+                {"expr": src, "tenant": tenant, "priority": priority}
+            )
+            body.pop("request_id", None)
+            body.pop("trace_id", None)
+            bodies[index] = body
+
+        if scheduler == "cooperative":
+            threads = [
+                threading.Thread(target=call, args=(i, t, p, s))
+                for i, (t, p, s) in enumerate(workload)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for i, (t, p, s) in enumerate(workload):
+                call(i, t, p, s)
+        return bodies  # type: ignore[return-value]
+    finally:
+        service.close()
+
+
+def sweep_schedule(
+    backend: str = "ast",
+    workload: Optional[Sequence[Tuple[str, str, str]]] = None,
+    slice_sizes: Sequence[int] = SCHEDULE_SLICES,
+    seeds: Sequence[int] = SCHEDULE_SEEDS,
+    harness: Optional[Callable[[int, List[dict]], List[dict]]] = None,
+) -> SweepReport:
+    """Sweep the cooperative scheduler's interleaving space.
+
+    The baseline is the threaded service's response bodies for a
+    mixed-tenant workload; each sweep point replays the same workload
+    through a cooperative service at one (slice size, rotation seed)
+    grid cell, with all requests in flight at once.  Sound outcome:
+    **byte-identical bodies** (ids normalised) at every point — the
+    request machines share no mutable state, so any schedule-dependent
+    observable is a real isolation bug, the service-level analogue of
+    an unsound interrupt delivery.
+
+    ``harness`` post-processes each point's body list (the hook the
+    planted-unsound self-test uses); production sweeps leave it None.
+    """
+    started = time.perf_counter()
+    workload = list(workload or DEFAULT_SCHEDULE_WORKLOAD)
+    baseline_bodies = _schedule_bodies(
+        "threads", 0, 0, workload, backend
+    )
+    total_steps = sum(
+        body.get("stats", {}).get("steps", 0)
+        for body in baseline_bodies
+    )
+    report = SweepReport(
+        source=f"<mixed-tenant workload: {len(workload)} requests>",
+        backend=backend,
+        axis="schedule",
+        exc="",
+        baseline=f"{len(workload)} threaded response bodies",
+        baseline_steps=total_steps,
+        points_checked=0,
+    )
+    expected = "byte-identical bodies vs threaded baseline"
+    point = 0
+    for slice_steps in slice_sizes:
+        for seed in seeds:
+            point += 1
+            bodies = _schedule_bodies(
+                "cooperative", slice_steps, seed, workload, backend
+            )
+            if harness is not None:
+                bodies = harness(point, bodies)
+            report.points_checked += 1
+            if bodies == baseline_bodies:
+                continue
+            diverged = [
+                i
+                for i, (got, want) in enumerate(
+                    zip(bodies, baseline_bodies)
+                )
+                if got != want
+            ]
+            first = json.dumps(
+                bodies[diverged[0]], sort_keys=True
+            ) if diverged else "<missing>"
+            report.violations.append(
+                SweepViolation(
+                    step=point,
+                    expected=expected,
+                    observed=(
+                        f"slice={slice_steps} seed={seed}: requests "
+                        f"{diverged} diverged; first: {first[:300]}"
+                    ),
+                )
+            )
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
 def sweep_axis(
     axis: str,
     source: str,
@@ -398,7 +571,10 @@ def sweep_axis(
 ) -> SweepReport:
     """Dispatch one sweep by axis name (``exc`` only applies to the
     interrupt axis; alloc always delivers ``HeapOverflow`` and latency
-    delivers nothing)."""
+    delivers nothing; schedule ignores ``source`` — it replays the
+    built-in mixed-tenant workload)."""
+    if axis == "schedule":
+        return sweep_schedule(backend=backend)
     if axis == "interrupt":
         return sweep_source(
             source, exc=exc, backend=backend, fuel=fuel,
@@ -438,6 +614,26 @@ def plant_unsound(at_step: int) -> Callable[[int, Outcome], Outcome]:
     return harness
 
 
+def plant_unsound_schedule(
+    at_point: int,
+) -> Callable[[int, List[dict]], List[dict]]:
+    """The schedule axis' plant: at exactly one grid cell, corrupt the
+    first response body — simulating a scheduler whose interleaving
+    leaked state between request machines."""
+
+    def harness(point: int, bodies: List[dict]) -> List[dict]:
+        if point == at_point and bodies:
+            bodies = list(bodies)
+            bodies[0] = {
+                "status": "exceptional",
+                "exc": "chaos-plant",
+                "synchronous": True,
+            }
+        return bodies
+
+    return harness
+
+
 #: Per-axis default self-test programs.  The interrupt and latency
 #: axes sweep steps, which any arithmetic has; the alloc axis sweeps
 #: allocation thresholds, so its program must actually allocate.
@@ -461,6 +657,20 @@ def self_test(
     synchronous user exception).  Returns ``(passed, report)`` where
     ``passed`` means the plant *was* caught."""
     from repro.api import compile_expr
+
+    if axis == "schedule":
+        total = len(SCHEDULE_SLICES) * len(SCHEDULE_SEEDS)
+        plant_at = max(1, total // 2)
+        report = sweep_schedule(
+            backend=backend,
+            harness=plant_unsound_schedule(plant_at),
+        )
+        caught = (
+            len(report.violations) == 1
+            and report.violations[0].step == plant_at
+            and "chaos-plant" in report.violations[0].observed
+        )
+        return caught, report
 
     if source is None:
         source = _SELF_TEST_SOURCES.get(axis, "1 + 2 * 3")

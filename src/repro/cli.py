@@ -421,10 +421,12 @@ def _build_parser() -> argparse.ArgumentParser:
     ch.add_argument(
         "--sweep",
         default="interrupt",
-        choices=["interrupt", "alloc", "latency", "all"],
+        choices=["interrupt", "alloc", "latency", "schedule", "all"],
         help="which fault axis to sweep: interrupt delivery steps, "
-        "alloc-fail thresholds, latency-stall placements, or all "
-        "three (docs/ROBUSTNESS.md)",
+        "alloc-fail thresholds, latency-stall placements, "
+        "cooperative-scheduler interleavings (slice sizes × rotation "
+        "seeds over a built-in mixed-tenant workload — EXPR is "
+        "ignored), or all four (docs/ROBUSTNESS.md)",
     )
     ch.add_argument(
         "--format", default="table", choices=["table", "json"]
@@ -1013,6 +1015,11 @@ def _cmd_serve(args) -> int:
         telemetry=args.telemetry,
         trace_ring=args.trace_ring,
         trace_log=args.trace_log,
+        scheduler=args.scheduler,
+        workers=args.workers,
+        slice_steps=args.slice_steps,
+        tenant_max_in_flight=args.tenant_max_in_flight,
+        tenant_step_quota=args.tenant_step_quota,
     )
 
 

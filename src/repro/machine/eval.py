@@ -244,6 +244,7 @@ class Machine:
         self._prov = None
         self._governor = None
         self._fault = None
+        self._gate = None
         # Combined slow-path switch: True when *any* per-step consumer
         # (trace sink, resource governor, fault plan) is attached.  The
         # hot tick tests this one boolean, so a bare machine pays the
@@ -281,11 +282,28 @@ class Machine:
         self._fault = plan
         self._recompute_slow()
 
+    def attach_slice_gate(self, gate) -> None:
+        """Attach (or detach, with None) a cooperative slice gate
+        (:class:`repro.machine.slices.SliceGate`-shaped: any object
+        with ``on_tick(machine)``).
+
+        The gate is consulted on the slow half of each tick, *after*
+        the governor poll and *before* the fuel check: when the
+        granted slice budget is spent it parks the evaluation in place
+        (the Python frame stack *is* the continuation) instead of
+        raising divergence, and it may deliver a pending Section 5.1
+        interrupt through :meth:`_interrupt` — the same path the event
+        plan, fault injector and governor use, so a scheduler's
+        preemption is observationally an ordinary async signal."""
+        self._gate = gate
+        self._recompute_slow()
+
     def _recompute_slow(self) -> None:
         self._slow = bool(
             self._tracing
             or self._governor is not None
             or self._fault is not None
+            or self._gate is not None
         )
 
     def attach_provenance(self, recorder) -> None:
@@ -346,6 +364,8 @@ class Machine:
             exc = self._governor.poll(self)
             if exc is not None:
                 self._interrupt(exc)
+        if self._gate is not None:
+            self._gate.on_tick(self)
         if self.stats.steps > self.fuel:
             raise MachineDiverged(
                 f"fuel exhausted after {self.stats.steps} steps"

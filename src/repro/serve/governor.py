@@ -87,6 +87,7 @@ class ResourceGovernor:
         self._steps_armed = limits.max_steps is not None
         self._allocs_armed = limits.max_allocations is not None
         self._deadline_armed = limits.deadline_seconds is not None
+        self._injected: Optional[tuple] = None
         self.trips: List[TripRecord] = []
 
     def start(self) -> None:
@@ -120,10 +121,24 @@ class ResourceGovernor:
         )
         return exc
 
+    def inject(self, reason: str, exc: Exc) -> None:
+        """Schedule an *external* one-shot trip — the cooperative
+        scheduler's preemption hook (e.g. a per-tenant step quota
+        delivering ``Timeout`` mid-slice).  Routing preemptions through
+        the governor instead of a side channel means they register as
+        ordinary governor trips: counted, trace-spanned, and rendered
+        in the response's ``trip`` block like any §5.1 limit.  Safe to
+        call from another thread; delivered at the next poll."""
+        self._injected = (reason, exc)
+
     def poll(self, machine) -> Optional[Exc]:
         """The machine-facing hook: the exception to deliver now, or
         None.  Each limit is one-shot (disarmed after firing)."""
         stats = machine.stats
+        if self._injected is not None:
+            reason, exc = self._injected
+            self._injected = None
+            return self._fire(reason, exc, stats)
         if self._steps_armed and stats.steps > self.limits.max_steps:
             self._steps_armed = False
             return self._fire("steps", TIMEOUT, stats)

@@ -147,13 +147,22 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond(status, body, retry_after)
 
 
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # The stdlib default listen backlog (5) resets simultaneous
+    # connects well below the service's own admission limits; the
+    # cooperative scheduler is built for hundreds of concurrent
+    # clients, so let the kernel queue them and the admission layer —
+    # not the socket — decide who gets a 429.
+    request_queue_size = 128
+
+
 def make_server(
     host: str, port: int, service: EvalService
 ) -> ThreadingHTTPServer:
     """Bind (port 0 picks a free one — tests use this) and attach the
     service; the caller drives ``serve_forever``/``shutdown``."""
-    server = ThreadingHTTPServer((host, port), _Handler)
-    server.daemon_threads = True
+    server = _Server((host, port), _Handler)
     server.service = service  # type: ignore[attr-defined]
     return server
 
@@ -177,6 +186,11 @@ def serve_forever(
     telemetry: bool = True,
     trace_ring: int = 256,
     trace_log: Optional[str] = None,
+    scheduler: str = "threads",
+    workers: int = 2,
+    slice_steps: int = 25_000,
+    tenant_max_in_flight: Optional[int] = None,
+    tenant_step_quota: Optional[int] = None,
 ) -> int:
     """The ``repro serve`` entry point: run until interrupted."""
     config = ServiceConfig(
@@ -196,15 +210,26 @@ def serve_forever(
         telemetry=telemetry,
         trace_ring=trace_ring,
         trace_log=trace_log,
+        scheduler=scheduler,
+        workers=workers,
+        slice_steps=slice_steps,
+        tenant_max_in_flight=tenant_max_in_flight,
+        tenant_step_quota=tenant_step_quota,
     )
     service = EvalService(config)
     server = make_server(host, port, service)
     bound_host, bound_port = server.server_address[:2]
+    sched_note = (
+        f"cooperative scheduler: {workers} workers × "
+        f"{slice_steps}-step slices"
+        if scheduler == "cooperative"
+        else f"concurrency={max_concurrency}, queue={queue_depth}"
+    )
     print(
         f"repro serve: listening on http://{bound_host}:{bound_port} "
         f"(backend={backend}, "
         f"{'warm' if warm else 'cold'} path, "
-        f"concurrency={max_concurrency}, queue={queue_depth})",
+        f"{sched_note})",
         file=sys.stderr,
         flush=True,
     )

@@ -86,7 +86,8 @@ RESPONSE_SCHEMAS: Dict[str, Tuple[Dict[str, str], Dict[str, str]]] = {
     "rejected": (
         {
             "status": "`\"rejected\"` — never reached a machine",
-            "reason": "`queue-full` (429) | `circuit-open` (503)",
+            "reason": "`queue-full` (429) | `tenant-quota` (429) | "
+            "`circuit-open` (503)",
             "retry_after": "seconds to wait (also the Retry-After header)",
             "request_id": "monotonic per-service request sequence number",
             "trace_id": "id of the (admission-only) span tree — lets a "
@@ -170,6 +171,13 @@ HEALTH_SCHEMA: Dict[str, Tuple[str, str]] = {
         "object",
         "enabled flag, trace-ring occupancy, traces recorded",
     ),
+    "scheduler": (
+        "object",
+        "mode (`threads`/`cooperative`) plus, in cooperative mode, "
+        "workers, run-queue depth, active tenants, slices, "
+        "preemptions and the starvation watermark "
+        "(docs/SERVING.md)",
+    ),
     "limits": ("object", "configured per-request and admission limits"),
 }
 
@@ -187,6 +195,10 @@ class MetricSpec:
     kind: str  # counter | gauge | histogram
     help: str
     labels: Tuple[str, ...] = ()
+    #: Histogram bucket family: "latency" (log-spaced seconds) or
+    #: "steps" (log-spaced machine-step counts).  Ignored for
+    #: counters/gauges.
+    buckets: str = "latency"
 
     def display_name(self) -> str:
         if self.labels:
@@ -206,8 +218,9 @@ METRIC_FAMILIES: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "repro_requests_total",
         "counter",
-        "responses by structured status (includes rejections/errors)",
-        ("status",),
+        "responses by structured status and tenant (bounded "
+        "cardinality: first-K distinct tenants, then `other`)",
+        ("status", "tenant"),
     ),
     MetricSpec(
         "repro_request_seconds",
@@ -270,6 +283,55 @@ METRIC_FAMILIES: Tuple[MetricSpec, ...] = (
         "counter",
         "completed span trees recorded in the trace ring",
     ),
+    MetricSpec(
+        "repro_run_queue_depth",
+        "gauge",
+        "evaluations parked in the cooperative run queue "
+        "(0 in threads mode)",
+    ),
+    MetricSpec(
+        "repro_active_tenants",
+        "gauge",
+        "tenants with queued or running work (0 in threads mode)",
+    ),
+    MetricSpec(
+        "repro_sched_slices_total",
+        "counter",
+        "fuel slices executed by the cooperative scheduler",
+    ),
+    MetricSpec(
+        "repro_sched_preemptions_total",
+        "counter",
+        "mid-slice §5.1 preemptions injected for tenant step quotas",
+    ),
+    MetricSpec(
+        "repro_starvation_seconds",
+        "gauge",
+        "high-watermark of ready-to-scheduled wait across all tasks",
+    ),
+    MetricSpec(
+        "repro_slice_steps",
+        "histogram",
+        "machine steps executed per scheduler slice",
+        buckets="steps",
+    ),
+    MetricSpec(
+        "repro_first_slice_seconds",
+        "histogram",
+        "submit-to-first-slice latency in the cooperative scheduler",
+    ),
+    MetricSpec(
+        "repro_tenant_steps_total",
+        "counter",
+        "machine steps consumed per tenant (bounded cardinality)",
+        ("tenant",),
+    ),
+    MetricSpec(
+        "repro_tenant_served_total",
+        "counter",
+        "programs completed per tenant (bounded cardinality)",
+        ("tenant",),
+    ),
 )
 
 
@@ -330,7 +392,44 @@ SERVE_FLAGS: Tuple[FlagSpec, ...] = (
         5.0,
     ),
     FlagSpec(
-        "--max-concurrency", "requests evaluated concurrently", int, 4
+        "--max-concurrency",
+        "requests evaluated concurrently (threads mode) or admitted "
+        "in-flight (cooperative mode)",
+        int,
+        4,
+    ),
+    FlagSpec(
+        "--scheduler",
+        "execution model: one thread per request, or the fuel-sliced "
+        "cooperative multi-tenant scheduler (docs/SERVING.md)",
+        str,
+        "threads",
+        choices=("threads", "cooperative"),
+    ),
+    FlagSpec(
+        "--workers",
+        "cooperative scheduler worker threads",
+        int,
+        2,
+    ),
+    FlagSpec(
+        "--slice-steps",
+        "machine steps granted per cooperative scheduler slice",
+        int,
+        25_000,
+    ),
+    FlagSpec(
+        "--tenant-max-in-flight",
+        "per-tenant admitted-request cap (429 `tenant-quota` beyond)",
+        int,
+        None,
+    ),
+    FlagSpec(
+        "--tenant-step-quota",
+        "per-tenant in-flight machine-step budget; beyond it the "
+        "scheduler preempts with a mid-slice Timeout",
+        int,
+        None,
     ),
     FlagSpec(
         "--queue-depth",
@@ -452,7 +551,8 @@ def render_markdown() -> str:
     lines.append("")
     lines.append(
         "Prometheus text exposition; histograms use the log-spaced "
-        "latency buckets from `repro.obs.telemetry.LATENCY_BUCKETS`."
+        "latency buckets from `repro.obs.telemetry.LATENCY_BUCKETS` "
+        "(step-valued histograms use `STEP_BUCKETS`)."
     )
     lines.append("")
     lines.append("| family | type | description |")

@@ -68,10 +68,12 @@ from repro.machine.snapshot import (
     shared_snapshot,
     warm_machine,
 )
+from repro.machine.slices import SliceRunner
 from repro.machine.values import VIO
 from repro.obs.sinks import CountingSink, JsonlSink
 from repro.obs.telemetry import (
     LATENCY_BUCKETS,
+    STEP_BUCKETS,
     MetricsRegistry,
     NullRegistry,
 )
@@ -84,6 +86,11 @@ from repro.obs.tracing import (
 from repro.serve.cache import CachedProgram, ProgramCache
 from repro.serve.governor import GovernorLimits, ResourceGovernor
 from repro.serve.retry import CircuitBreaker, RetryPolicy
+from repro.serve.scheduler import (
+    PRIORITIES,
+    CooperativeScheduler,
+    SchedulerHooks,
+)
 from repro.serve.schema import METRIC_FAMILIES
 
 #: Circuit-breaker states as the ``repro_breaker_state`` gauge value.
@@ -114,6 +121,21 @@ class ServiceConfig:
     telemetry: bool = True
     trace_ring: int = 256
     trace_log: Optional[str] = None
+    # Cooperative multi-tenant scheduling (docs/SERVING.md).  In
+    # "threads" mode every admitted request evaluates on its own
+    # thread (the PR-5 model); "cooperative" runs them all on
+    # ``workers`` threads in ``slice_steps``-sized fuel slices under
+    # per-tenant deficit round-robin, so ``max_concurrency`` becomes
+    # the *admitted in-flight* bound rather than a thread count.
+    scheduler: str = "threads"
+    workers: int = 2
+    slice_steps: int = 25_000
+    tenant_max_in_flight: Optional[int] = None
+    tenant_step_quota: Optional[int] = None
+    schedule_seed: int = 0
+    #: Bounded metric cardinality: the first K distinct tenants get
+    #: their own ``tenant`` label value, the rest share ``other``.
+    tenant_label_slots: int = 8
 
     def backstop_fuel(self) -> int:
         """The machine's own fuel — the hard stop behind the governor
@@ -152,6 +174,11 @@ class EvalService:
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config or ServiceConfig()
+        if self.config.scheduler not in ("threads", "cooperative"):
+            raise ValueError(
+                f"unknown scheduler {self.config.scheduler!r}; "
+                "expected 'threads' or 'cooperative'"
+            )
         self._clock = clock
         self._sleep = sleep
         self.breaker = CircuitBreaker(
@@ -167,6 +194,8 @@ class EvalService:
         self._request_counter = 0
         self._id_seq = 0
         self._in_flight = 0
+        self._tenant_in_flight: Dict[str, int] = {}
+        self._tenant_labels: set = set()
         self.requests_by_status: Dict[str, int] = {}
         self.event_totals: Dict[str, int] = {}
         self.trip_totals: Dict[str, int] = {}
@@ -211,7 +240,20 @@ class EvalService:
             )
         else:
             self.registry = NullRegistry()
+        self.scheduler: Optional[CooperativeScheduler] = None
         self._build_metrics()
+        if self.config.scheduler == "cooperative":
+            self.scheduler = CooperativeScheduler(
+                workers=self.config.workers,
+                slice_steps=self.config.slice_steps,
+                tenant_step_quota=self.config.tenant_step_quota,
+                schedule_seed=self.config.schedule_seed,
+                clock=clock,
+                hooks=SchedulerHooks(
+                    slice_steps=self._m["repro_slice_steps"],
+                    first_slice=self._m["repro_first_slice_seconds"],
+                ),
+            )
 
     # -- telemetry ------------------------------------------------------
 
@@ -238,12 +280,33 @@ class EvalService:
             "repro_traces_total": lambda: (
                 self.tracer.recorded if self.tracer else 0
             ),
+            "repro_run_queue_depth": lambda: (
+                self.scheduler.run_queue_depth() if self.scheduler else 0
+            ),
+            "repro_active_tenants": lambda: (
+                self.scheduler.active_tenants() if self.scheduler else 0
+            ),
+            "repro_sched_slices_total": lambda: (
+                self.scheduler.slices_total if self.scheduler else 0
+            ),
+            "repro_sched_preemptions_total": lambda: (
+                self.scheduler.preemptions_total if self.scheduler else 0
+            ),
+            "repro_starvation_seconds": lambda: (
+                self.scheduler.starvation_seconds
+                if self.scheduler
+                else 0.0
+            ),
         }
+        buckets = {"latency": LATENCY_BUCKETS, "steps": STEP_BUCKETS}
         instruments = {}
         for spec in METRIC_FAMILIES:
             if spec.kind == "histogram":
                 instruments[spec.name] = self.registry.histogram(
-                    spec.name, spec.help, LATENCY_BUCKETS, spec.labels
+                    spec.name,
+                    spec.help,
+                    buckets[spec.buckets],
+                    spec.labels,
                 )
             elif spec.kind == "gauge":
                 instruments[spec.name] = self.registry.gauge(
@@ -302,7 +365,10 @@ class EvalService:
         return self.registry.render()
 
     def close(self) -> None:
-        """Flush the opt-in trace log (idempotent)."""
+        """Stop the scheduler (cooperative mode) and flush the opt-in
+        trace log (idempotent)."""
+        if self.scheduler is not None:
+            self.scheduler.close()
         if self.tracer is not None:
             self.tracer.close()
 
@@ -334,28 +400,39 @@ class EvalService:
                     ids,
                     builder,
                 )
+            identity_error = self._identity_error(payload)
+            if identity_error is not None:
+                return self._bad_request(identity_error, ids, builder)
             request = self._normalize(payload)
+            tenant = request["tenant"]
 
             with builder.span("admission"):
-                admitted, rejection = self._admit(ids)
+                admitted, rejection = self._admit(ids, tenant)
             if not admitted:
                 builder.annotate(rejected="queue-full")
                 return rejection
             try:
-                with builder.span("breaker"):
-                    allowed, retry_after = self.breaker.allow()
-                if not allowed:
-                    builder.annotate(rejected="circuit-open")
-                    body = {
-                        "status": "rejected",
-                        "reason": "circuit-open",
-                        "retry_after": round(retry_after, 3),
-                        "request_id": ids[0],
-                        "trace_id": ids[1],
-                    }
-                    self._count_status("rejected")
-                    return 503, body, retry_after
-                return self._serve_program(request, ids, builder)
+                granted, rejection = self._tenant_admit(tenant, ids)
+                if not granted:
+                    builder.annotate(rejected="tenant-quota")
+                    return rejection
+                try:
+                    with builder.span("breaker"):
+                        allowed, retry_after = self.breaker.allow()
+                    if not allowed:
+                        builder.annotate(rejected="circuit-open")
+                        body = {
+                            "status": "rejected",
+                            "reason": "circuit-open",
+                            "retry_after": round(retry_after, 3),
+                            "request_id": ids[0],
+                            "trace_id": ids[1],
+                        }
+                        self._count_status("rejected", tenant)
+                        return 503, body, retry_after
+                    return self._serve_program(request, ids, builder)
+                finally:
+                    self._tenant_release(tenant)
             finally:
                 self._admission.release()
         finally:
@@ -392,6 +469,16 @@ class EvalService:
                     },
                     None,
                 )
+            identity_error = self._identity_error(payload)
+            if identity_error is not None:
+                return self._bad_request(identity_error, ids, builder)
+            # The envelope's tenant/priority are the defaults every
+            # item inherits (items may override).
+            defaults = {
+                key: payload[key]
+                for key in ("tenant", "priority")
+                if key in payload
+            }
             requests = []
             for item in programs:
                 if isinstance(item, str):
@@ -405,63 +492,97 @@ class EvalService:
                         ids,
                         builder,
                     )
+                item = {**defaults, **item}
+                identity_error = self._identity_error(item)
+                if identity_error is not None:
+                    return self._bad_request(
+                        identity_error, ids, builder
+                    )
                 requests.append(self._normalize(item))
+            tenant = self._normalize(
+                {"expr": "", **defaults}
+            )["tenant"]
 
             with builder.span("admission"):
-                admitted, rejection = self._admit(ids)
+                admitted, rejection = self._admit(ids, tenant)
             if not admitted:
                 builder.annotate(rejected="queue-full")
                 return rejection
             try:
-                with builder.span("breaker"):
-                    allowed, retry_after = self.breaker.allow()
-                if not allowed:
-                    builder.annotate(rejected="circuit-open")
+                granted, rejection = self._tenant_admit(tenant, ids)
+                if not granted:
+                    builder.annotate(rejected="tenant-quota")
+                    return rejection
+                try:
+                    with builder.span("breaker"):
+                        allowed, retry_after = self.breaker.allow()
+                    if not allowed:
+                        builder.annotate(rejected="circuit-open")
+                        body = {
+                            "status": "rejected",
+                            "reason": "circuit-open",
+                            "retry_after": round(retry_after, 3),
+                            "request_id": ids[0],
+                            "trace_id": ids[1],
+                        }
+                        self._count_status("rejected", tenant)
+                        return 503, body, retry_after
+                    results = []
+                    child_traces = []
+                    for request in requests:
+                        child_ids = self._next_ids()
+                        child_builder = self._trace_builder(
+                            child_ids, parent=ids[1]
+                        )
+                        try:
+                            results.append(
+                                self._serve_program(
+                                    request, child_ids, child_builder
+                                )[1]
+                            )
+                        finally:
+                            self._finish_trace(child_builder)
+                        child_traces.append(child_ids[1])
+                    builder.annotate(
+                        programs=len(results), children=child_traces
+                    )
+                    with self._lock:
+                        self.batches_total += 1
+                        self.batch_programs_total += len(results)
+                    self._m["repro_batches_total"].inc()
+                    self._m["repro_batch_programs_total"].inc(
+                        len(results)
+                    )
                     body = {
-                        "status": "rejected",
-                        "reason": "circuit-open",
-                        "retry_after": round(retry_after, 3),
+                        "status": "batch",
+                        "count": len(results),
+                        "results": results,
                         "request_id": ids[0],
                         "trace_id": ids[1],
                     }
-                    self._count_status("rejected")
-                    return 503, body, retry_after
-                results = []
-                child_traces = []
-                for request in requests:
-                    child_ids = self._next_ids()
-                    child_builder = self._trace_builder(
-                        child_ids, parent=ids[1]
-                    )
-                    try:
-                        results.append(
-                            self._serve_program(
-                                request, child_ids, child_builder
-                            )[1]
-                        )
-                    finally:
-                        self._finish_trace(child_builder)
-                    child_traces.append(child_ids[1])
-                builder.annotate(
-                    programs=len(results), children=child_traces
-                )
-                with self._lock:
-                    self.batches_total += 1
-                    self.batch_programs_total += len(results)
-                self._m["repro_batches_total"].inc()
-                self._m["repro_batch_programs_total"].inc(len(results))
-                body = {
-                    "status": "batch",
-                    "count": len(results),
-                    "results": results,
-                    "request_id": ids[0],
-                    "trace_id": ids[1],
-                }
-                return 200, body, None
+                    return 200, body, None
+                finally:
+                    self._tenant_release(tenant)
             finally:
                 self._admission.release()
         finally:
             self._finish_trace(builder)
+
+    @staticmethod
+    def _identity_error(payload: Dict[str, Any]) -> Optional[str]:
+        """Validate the scheduling identity riding on a request (or a
+        batch envelope/item): ``tenant`` must be a non-empty string,
+        ``priority`` one of the known classes.  None when fine."""
+        tenant = payload.get("tenant", "anonymous")
+        if not isinstance(tenant, str) or not tenant:
+            return '"tenant" must be a non-empty string'
+        priority = payload.get("priority", "normal")
+        if priority not in PRIORITIES:
+            return (
+                f'"priority" must be one of '
+                f'{sorted(PRIORITIES)}, not {priority!r}'
+            )
+        return None
 
     @staticmethod
     def _normalize(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -470,9 +591,11 @@ class EvalService:
             "expr": payload["expr"],
             "stdin": stdin if isinstance(stdin, str) else "",
             "typecheck": bool(payload.get("typecheck", False)),
+            "tenant": payload.get("tenant", "anonymous"),
+            "priority": payload.get("priority", "normal"),
         }
 
-    def _admit(self, ids: Tuple[int, str]):
+    def _admit(self, ids: Tuple[int, str], tenant: str = "anonymous"):
         if self._admission.acquire(blocking=False):
             return True, None
         retry_after = max(
@@ -485,8 +608,57 @@ class EvalService:
             "request_id": ids[0],
             "trace_id": ids[1],
         }
-        self._count_status("rejected")
+        self._count_status("rejected", tenant)
         return False, (429, body, retry_after)
+
+    def _tenant_admit(self, tenant: str, ids: Tuple[int, str]):
+        """Per-tenant in-flight quota — the 429 a single flooding
+        tenant gets while everyone else keeps being admitted.  A
+        no-op (always granted) when ``tenant_max_in_flight`` is
+        unset."""
+        limit = self.config.tenant_max_in_flight
+        if limit is None:
+            return True, None
+        with self._lock:
+            current = self._tenant_in_flight.get(tenant, 0)
+            if current < limit:
+                self._tenant_in_flight[tenant] = current + 1
+                return True, None
+        retry_after = max(
+            (self.config.deadline_seconds or 1.0) / 2, 0.05
+        )
+        body = {
+            "status": "rejected",
+            "reason": "tenant-quota",
+            "retry_after": round(retry_after, 3),
+            "request_id": ids[0],
+            "trace_id": ids[1],
+        }
+        self._count_status("rejected", tenant)
+        return False, (429, body, retry_after)
+
+    def _tenant_release(self, tenant: str) -> None:
+        if self.config.tenant_max_in_flight is None:
+            return
+        with self._lock:
+            remaining = self._tenant_in_flight.get(tenant, 0) - 1
+            if remaining <= 0:
+                self._tenant_in_flight.pop(tenant, None)
+            else:
+                self._tenant_in_flight[tenant] = remaining
+
+    def _tenant_label(self, tenant: str) -> str:
+        """Bounded-cardinality ``tenant`` label: the first
+        ``tenant_label_slots`` distinct tenants keep their own label
+        value (an approximation of top-K that needs no decay), later
+        ones share ``other``."""
+        with self._lock:
+            if tenant in self._tenant_labels:
+                return tenant
+            if len(self._tenant_labels) < self.config.tenant_label_slots:
+                self._tenant_labels.add(tenant)
+                return tenant
+        return "other"
 
     def _bad_request(
         self,
@@ -532,6 +704,10 @@ class EvalService:
     def _serve_program_inner(
         self, request: Dict[str, Any], builder
     ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        tenant = request.get("tenant", "anonymous")
+        builder.annotate(
+            tenant=tenant, priority=request.get("priority", "normal")
+        )
         with self._lock:
             self._request_counter += 1
             seed_id = self._request_counter
@@ -542,7 +718,7 @@ class EvalService:
             # A parse/flatten error is the *client's* failure, not the
             # pool's — it must not open the breaker.
             self.breaker.record_success()
-            self._count_status("error")
+            self._count_status("error", tenant)
             builder.annotate(error="parse-error")
             return (
                 400,
@@ -558,7 +734,7 @@ class EvalService:
                 verdict, detail = entry.typecheck()
             if verdict != "ok":
                 self.breaker.record_success()
-                self._count_status("error")
+                self._count_status("error", tenant)
                 builder.annotate(error="type-error")
                 return (
                     400,
@@ -575,7 +751,7 @@ class EvalService:
             self._in_flight += 1
         try:
             attempt_result, attempts = self._with_retries(
-                entry, request["stdin"], seed_id, builder
+                entry, request, seed_id, builder
             )
         finally:
             with self._lock:
@@ -584,7 +760,7 @@ class EvalService:
 
         with builder.span("render", status=attempt_result.kind):
             body = self._shape(attempt_result, attempts)
-            self._absorb(attempt_result, attempts)
+            self._absorb(attempt_result, attempts, tenant)
         if attempt_result.kind == "resource-exhausted":
             self.breaker.record_failure()
         else:
@@ -605,7 +781,7 @@ class EvalService:
     def _with_retries(
         self,
         entry: CachedProgram,
-        stdin: str,
+        request: Dict[str, Any],
         seed_id: int,
         builder=NULL_TRACE_BUILDER,
     ) -> Tuple[_Attempt, int]:
@@ -617,7 +793,7 @@ class EvalService:
             sleep=self._sleep,
         )
         result, attempts = policy.run(
-            lambda i: self._attempt(entry, stdin, seed_id, i, builder),
+            lambda i: self._attempt(entry, request, seed_id, i, builder),
             self._retryable,
         )
         return result, attempts
@@ -637,12 +813,69 @@ class EvalService:
     def _attempt(
         self,
         entry: CachedProgram,
-        stdin: str,
+        request: Dict[str, Any],
         seed_id: int,
         attempt_number: int,
         builder=NULL_TRACE_BUILDER,
     ) -> _Attempt:
+        if self.scheduler is not None:
+            return self._attempt_cooperative(
+                entry, request, seed_id, attempt_number, builder
+            )
+        return self._run_evaluation(
+            entry, request, seed_id, attempt_number, builder
+        )
+
+    def _attempt_cooperative(
+        self,
+        entry: CachedProgram,
+        request: Dict[str, Any],
+        seed_id: int,
+        attempt_number: int,
+        builder=NULL_TRACE_BUILDER,
+    ) -> _Attempt:
+        """One attempt under the cooperative scheduler: the evaluation
+        becomes a :class:`SliceRunner` task, queued under the request's
+        tenant/priority and executed in fuel slices by the worker pool;
+        this (request) thread blocks until the task completes, so the
+        retry policy and response shaping are oblivious to the mode."""
+        holder: Dict[str, Any] = {}
+
+        def thunk(gate) -> _Attempt:
+            return self._run_evaluation(
+                entry,
+                request,
+                seed_id,
+                attempt_number,
+                builder,
+                gate=gate,
+                runner=holder["runner"],
+            )
+
+        runner = SliceRunner(thunk, clock=self._clock)
+        holder["runner"] = runner
+        task = self.scheduler.submit(
+            request.get("tenant", "anonymous"),
+            request.get("priority", "normal"),
+            runner,
+        )
+        task.wait()
+        result = runner.finish()
+        builder.annotate(slices=task.slices)
+        return result
+
+    def _run_evaluation(
+        self,
+        entry: CachedProgram,
+        request: Dict[str, Any],
+        seed_id: int,
+        attempt_number: int,
+        builder=NULL_TRACE_BUILDER,
+        gate=None,
+        runner=None,
+    ) -> _Attempt:
         config = self.config
+        stdin = request.get("stdin", "")
         with builder.span("attempt", number=attempt_number):
             if self.snapshot is not None:
                 # Warm: an O(1) fork sharing the frozen prelude heap.
@@ -669,14 +902,28 @@ class EvalService:
             sink = CountingSink() if config.collect_events else None
             if sink is not None:
                 machine.attach_sink(sink)
+            if gate is not None:
+                # Sliced mode: the machine parks at slice boundaries,
+                # and the governor's deadline is measured against the
+                # gate's *active* clock (running time minus parked
+                # time) so queueing under a busy scheduler can never
+                # consume a request's deadline budget.
+                machine.attach_slice_gate(gate)
             governor = ResourceGovernor(
                 GovernorLimits(
                     max_steps=config.max_steps,
                     max_allocations=config.max_allocations,
                     deadline_seconds=config.deadline_seconds,
                 ),
-                clock=self._clock,
+                clock=gate.active_clock if gate is not None else self._clock,
             )
+            if runner is not None:
+                # Published for the scheduler: ``governor`` is its
+                # preemption hook (§5.1 trips injected mid-slice),
+                # ``machine`` lets the runner report exact final-slice
+                # step counts.
+                runner.governor = governor
+                runner.machine = machine
             fault = None
             if config.fault_seed is not None:
                 from repro.chaos.faults import FaultPlan
@@ -843,15 +1090,26 @@ class EvalService:
             body["events"] = result.events
         return body
 
-    def _count_status(self, status: str) -> None:
+    def _count_status(
+        self, status: str, tenant: str = "anonymous"
+    ) -> None:
         with self._lock:
             self.requests_by_status[status] = (
                 self.requests_by_status.get(status, 0) + 1
             )
-        self._m["repro_requests_total"].inc(status=status)
+        self._m["repro_requests_total"].inc(
+            status=status, tenant=self._tenant_label(tenant)
+        )
 
-    def _absorb(self, result: _Attempt, attempts: int) -> None:
-        self._count_status(result.kind)
+    def _absorb(
+        self, result: _Attempt, attempts: int, tenant: str = "anonymous"
+    ) -> None:
+        self._count_status(result.kind, tenant)
+        label = self._tenant_label(tenant)
+        self._m["repro_tenant_served_total"].inc(tenant=label)
+        steps = result.stats.get("steps", 0)
+        if steps:
+            self._m["repro_tenant_steps_total"].inc(steps, tenant=label)
         with self._lock:
             for name, count in result.events.items():
                 self.event_totals[name] = (
@@ -893,10 +1151,36 @@ class EvalService:
                 "total": self.batches_total,
                 "programs": self.batch_programs_total,
             }
+        if self.scheduler is not None:
+            snap = self.scheduler.snapshot()
+            scheduler_block = {
+                "mode": "cooperative",
+                "workers": snap["workers"],
+                "slice_steps": snap["slice_steps"],
+                "run_queue_depth": snap["run_queue_depth"],
+                "active_tenants": snap["active_tenants"],
+                "slices": snap["slices"],
+                "preemptions": snap["preemptions"],
+                "starvation_seconds": round(
+                    snap["starvation_seconds"], 3
+                ),
+            }
+        else:
+            scheduler_block = {
+                "mode": "threads",
+                "workers": self.config.max_concurrency,
+                "slice_steps": None,
+                "run_queue_depth": 0,
+                "active_tenants": 0,
+                "slices": 0,
+                "preemptions": 0,
+                "starvation_seconds": 0.0,
+            }
         return {
             "status": "ok",
             "backend": self.config.backend,
             "warm": self.config.warm,
+            "scheduler": scheduler_block,
             "cache": self.cache.stats() if self.cache else None,
             "batches": batches,
             "uptime_seconds": round(self._clock() - self._started_at, 3),

@@ -159,6 +159,35 @@ def render_dashboard(
     lines.append(
         f"governor   {_fmt_counts(health.get('governor_trips', {}))}"
     )
+    sched = health.get("scheduler") or {}
+    if sched.get("mode") == "cooperative":
+        slice_rate = ""
+        if previous is not None and now is not None:
+            then, old_health = previous
+            elapsed = now - then
+            old_slices = (old_health.get("scheduler") or {}).get(
+                "slices", 0
+            )
+            if elapsed > 0:
+                delta = sched.get("slices", 0) - old_slices
+                slice_rate = f" ({delta / elapsed:+.1f}/s)"
+        lines.append(
+            f"scheduler  cooperative · {sched.get('workers', 0)}w ×"
+            f" {sched.get('slice_steps', 0)} steps"
+            f"   queue {sched.get('run_queue_depth', 0)}"
+            f"   tenants {sched.get('active_tenants', 0)}"
+        )
+        lines.append(
+            f"slices     {sched.get('slices', 0)}{slice_rate}"
+            f"   preemptions {sched.get('preemptions', 0)}"
+            f"   starvation "
+            f"{sched.get('starvation_seconds', 0.0):.3f}s"
+        )
+    elif sched:
+        lines.append(
+            f"scheduler  threads ·"
+            f" {sched.get('workers', 0)} max concurrent"
+        )
     lines.append(
         f"traces     recorded {telemetry.get('traces_recorded', 0)}"
         f" · ring {telemetry.get('traces_retained', 0)}"

@@ -213,3 +213,92 @@ main = do
                 self.PRODUCER_CONSUMER, quantum=quantum
             )
             assert result.stdout == "55"
+
+QUANTA = (1, 2, 7, 64)
+
+
+class TestQuantumRobustness:
+    """Satellite of the cooperative scheduler PR: the IO-layer
+    scheduler's quantum is the same kind of knob as the serve-layer
+    slice size, and cranking it across {1, 2, 7, 64} must leave every
+    synchronised observable — results, per-thread outcomes, deadlock
+    detection — untouched.  Only unsynchronised interleaving (which
+    the semantics deliberately leaves imprecise) may move."""
+
+    @pytest.mark.parametrize("quantum", QUANTA)
+    def test_mvar_handoff_invariant(self, quantum):
+        result = run_concurrent_source(
+            "newEmptyMVar >>= (\\done -> "
+            'forkIO (putStr "child" >> putMVar done Unit) >> '
+            "takeMVar done >>= (\\u -> putStr \"main\"))",
+            quantum=quantum,
+        )
+        assert result.ok
+        assert result.stdout == "childmain"
+        assert [t.status for t in result.threads] == ["done", "done"]
+
+    @pytest.mark.parametrize("quantum", QUANTA)
+    def test_deadlock_detected_at_every_quantum(self, quantum):
+        result = run_concurrent_source(
+            "newEmptyMVar >>= (\\m -> takeMVar m)",
+            quantum=quantum,
+        )
+        assert result.status == "deadlock"
+        assert result.exc == BLOCKED_INDEFINITELY
+
+    @pytest.mark.parametrize("quantum", QUANTA)
+    def test_cross_thread_deadlock_detected(self, quantum):
+        # Two threads each waiting on the MVar the other never fills.
+        result = run_concurrent_source(
+            "newEmptyMVar >>= (\\a -> newEmptyMVar >>= (\\b -> "
+            "forkIO (takeMVar a >>= (\\v -> putMVar b v)) >> "
+            "takeMVar b))",
+            quantum=quantum,
+        )
+        assert result.status == "deadlock"
+        assert result.exc == BLOCKED_INDEFINITELY
+
+    @pytest.mark.parametrize("quantum", QUANTA)
+    def test_per_thread_outcomes_invariant(self, quantum):
+        # A child dies of Overflow, another completes, main survives:
+        # the *multiset* of per-thread outcomes is quantum-independent
+        # even though the interleaving is not.
+        result = run_concurrent_source(
+            "newEmptyMVar >>= (\\done -> "
+            "forkIO (ioError Overflow) >> "
+            "forkIO (putMVar done Unit) >> "
+            "takeMVar done >>= (\\u -> putStr \"survived\"))",
+            quantum=quantum,
+        )
+        assert result.ok
+        assert result.stdout == "survived"
+        outcomes = sorted(
+            (t.status, t.exc.name if t.exc else None)
+            for t in result.threads
+        )
+        assert outcomes == [
+            ("done", None),
+            ("done", None),
+            ("exception", "Overflow"),
+        ]
+
+    @pytest.mark.parametrize("quantum", QUANTA)
+    def test_producer_consumer_invariant(self, quantum):
+        result = run_concurrent_program(
+            TestPrograms.PRODUCER_CONSUMER, quantum=quantum
+        )
+        assert result.ok
+        assert result.stdout == "55"
+
+    def test_catch_in_thread_invariant_across_quanta(self):
+        outputs = {
+            run_concurrent_source(
+                "newEmptyMVar >>= (\\done -> "
+                "forkIO (catchIO (ioError Overflow) "
+                "(\\e -> putStr (showException e)) >> "
+                "putMVar done Unit) >> takeMVar done)",
+                quantum=quantum,
+            ).stdout
+            for quantum in QUANTA
+        }
+        assert outputs == {"Overflow"}
